@@ -1,0 +1,110 @@
+"""Ablation: flat centroid scan vs the two-level centroid index.
+
+Paper §3.2 leaves "indexing the centroid table" as future work, and the
+Fig. 9 discussion attributes the DEEPImage batch-size crossover to the
+growing query×centroid matrix product. This ablation implements and
+measures that extension: partition-selection cost and end recall with
+and without the coarse index, as the centroid table grows.
+
+Expected: selection distance-computations drop by ~the cell factor
+while recall stays close to the flat scan — the knob the paper says
+would fix the DEEPImage crossover.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench.harness import print_table
+from repro.index.centroid_index import CentroidIndex
+from repro.query.distance import distances_to_one
+
+NPROBE = 16
+OVERSAMPLE = 12.0
+
+
+def _mode_centers(rng, dim=64, modes=32):
+    return rng.normal(size=(modes, dim)).astype(np.float32) * 5.0
+
+
+def _from_modes(rng, centers, count):
+    """Draw points around given mode centers (queries share the data's
+    modes, as in-distribution queries do)."""
+    labels = rng.integers(0, len(centers), size=count)
+    return (
+        centers[labels]
+        + rng.normal(size=(count, centers.shape[1])).astype(np.float32)
+    ).astype(np.float32)
+
+
+def test_ablation_centroid_index(benchmark):
+    from benchmarks.conftest import scaled
+
+    rng = np.random.default_rng(5)
+    rows = []
+    for num_centroids in (
+        scaled(500, minimum=300),
+        scaled(2000, minimum=1000),
+        scaled(8000, minimum=4000),
+    ):
+        centers = _mode_centers(rng)
+        centroids = _from_modes(rng, centers, num_centroids)
+        pids = np.arange(num_centroids, dtype=np.int64)
+        queries = _from_modes(rng, centers, 50)
+
+        # Flat scan timings + the reference selections.
+        start = time.perf_counter()
+        flat_selections = []
+        for q in queries:
+            dist = distances_to_one(q, centroids, "l2")
+            take = np.argpartition(dist, NPROBE - 1)[:NPROBE]
+            flat_selections.append(set(int(pids[i]) for i in take))
+        flat_ms = (time.perf_counter() - start) / len(queries) * 1e3
+
+        index = CentroidIndex.build(pids, centroids, "l2", cell_size=64)
+        start = time.perf_counter()
+        overlaps = []
+        for q, flat in zip(queries, flat_selections):
+            two_level = set(index.select(q, NPROBE, OVERSAMPLE))
+            overlaps.append(len(two_level & flat) / NPROBE)
+        two_ms = (time.perf_counter() - start) / len(queries) * 1e3
+
+        rows.append(
+            (
+                num_centroids,
+                num_centroids,  # flat distance computations
+                index.selection_cost(NPROBE, OVERSAMPLE),
+                round(flat_ms, 3),
+                round(two_ms, 3),
+                f"{np.mean(overlaps) * 100:.0f}%",
+            )
+        )
+
+    print_table(
+        "Ablation: flat centroid scan vs two-level centroid index "
+        f"(nprobe={NPROBE}, oversample={OVERSAMPLE:g})",
+        [
+            "Centroids",
+            "Flat dists",
+            "2-level dists",
+            "Flat ms/q",
+            "2-level ms/q",
+            "Probe overlap",
+        ],
+        rows,
+        note="§3.2 extension: the fix the paper proposes for the "
+        "DEEPImage centroid-scan overhead (Fig. 9 discussion).",
+    )
+
+    # Shape: the two-level index computes far fewer distances at the
+    # largest table while keeping high agreement with the flat scan.
+    largest = rows[-1]
+    assert largest[2] < largest[1] / 4
+    assert float(largest[5].rstrip("%")) >= 70.0, largest
+
+    centers = _mode_centers(rng)
+    centroids = _from_modes(rng, centers, 4000)
+    pids = np.arange(4000, dtype=np.int64)
+    index = CentroidIndex.build(pids, centroids, "l2", cell_size=64)
+    query = _from_modes(rng, centers, 1)[0]
+    benchmark(lambda: index.select(query, NPROBE, OVERSAMPLE))

@@ -1,0 +1,111 @@
+"""Ablation: delta-store size vs query latency.
+
+The paper's flush policy exists because "query latency can grow if the
+delta-store grows too large" (§3.6) — every query scans the whole delta
+in addition to its nprobe partitions. This ablation measures exactly
+that growth curve, which motivates both the flush threshold and the
+growth-triggered rebuild.
+
+Expected: warm query latency grows roughly linearly with the delta
+fraction, and an incremental flush restores the baseline latency.
+"""
+
+import numpy as np
+
+from repro import MicroNN, MicroNNConfig
+from repro.core.types import MaintenanceAction
+from repro.bench.harness import populate, print_table
+from repro.workloads.datasets import load_dataset
+from repro.workloads.metrics import summarize_latencies
+
+DELTA_FRACTIONS = [0.0, 0.05, 0.2, 0.5]
+NPROBE = 4
+
+
+def _measure(db, queries):
+    db.warm_cache(queries, k=10, nprobe=NPROBE)
+    latencies = []
+    scanned = []
+    for q in queries:
+        result = db.search(q, k=10, nprobe=NPROBE)
+        latencies.append(result.stats.latency_s)
+        scanned.append(result.stats.vectors_scanned)
+    return (
+        summarize_latencies(latencies).mean_ms,
+        float(np.mean(scanned)),
+    )
+
+
+def test_ablation_delta_store(benchmark, bench_dir):
+    from benchmarks.conftest import scaled
+
+    dataset = load_dataset(
+        "sift",
+        num_vectors=scaled(4000, minimum=2000),
+        num_queries=30,
+    )
+    base = int(len(dataset.train) * 0.5)
+
+    rows = []
+    flushed_ms = None
+    for fraction in DELTA_FRACTIONS:
+        config = MicroNNConfig(
+            dim=dataset.dim,
+            metric=dataset.metric,
+            target_cluster_size=50,
+            default_nprobe=NPROBE,
+        )
+        db = MicroNN.open(bench_dir / f"delta-{fraction}.db", config)
+        try:
+            populate(db, dataset.train_ids[:base], dataset.train[:base])
+            db.build_index()
+            extra = int(base * fraction)
+            if extra:
+                populate(
+                    db,
+                    dataset.train_ids[base : base + extra],
+                    dataset.train[base : base + extra],
+                )
+            mean_ms, scanned = _measure(db, dataset.queries)
+            rows.append(
+                (
+                    f"{fraction * 100:g}%",
+                    extra,
+                    round(scanned),
+                    round(mean_ms, 3),
+                )
+            )
+            if fraction == DELTA_FRACTIONS[-1]:
+                db.maintain(force=MaintenanceAction.INCREMENTAL_FLUSH)
+                flushed_ms, _ = _measure(db, dataset.queries)
+        finally:
+            db.close()
+
+    rows.append(
+        ("50% then flush", 0, "-", round(flushed_ms, 3))
+    )
+    print_table(
+        "Ablation: delta-store size vs warm query latency "
+        "(motivates the flush policy, §3.6)",
+        ["Delta fraction", "Delta rows", "Vectors scanned", "Mean ms"],
+        rows,
+        note=f"SIFT analog, {base} indexed vectors, nprobe={NPROBE}; "
+        "every query scans the whole delta.",
+    )
+
+    # Latency grows with the delta and a flush restores it.
+    ms = [row[3] for row in rows[:-1]]
+    assert ms[-1] > ms[0] * 1.5, "50% delta should clearly hurt latency"
+    assert flushed_ms < ms[-1], "flush should restore latency"
+
+    # Benchmark the degenerate query path (large delta).
+    config = MicroNNConfig(
+        dim=dataset.dim, metric=dataset.metric, target_cluster_size=50
+    )
+    with MicroNN.open(config=config) as db:
+        populate(db, dataset.train_ids[:1000], dataset.train[:1000])
+        db.build_index()
+        populate(db, dataset.train_ids[1000:1500], dataset.train[1000:1500])
+        query = dataset.queries[0]
+        db.search(query, k=10, nprobe=NPROBE)
+        benchmark(lambda: db.search(query, k=10, nprobe=NPROBE))

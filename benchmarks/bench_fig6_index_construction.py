@@ -1,0 +1,113 @@
+"""Figure 6: index construction time and memory.
+
+Per dataset: build the IVF index with
+
+- **MicroNN** — mini-batch k-means streaming batches from disk
+  (default 5% mini-batch), and
+- **InMemory** — full-batch k-means over the buffered collection
+  (the paper's "regular k-means" comparison point).
+
+Shape expectations from the paper:
+- construction *time* is comparable (clustering is compute-bound, so
+  disk streaming adds little — Fig. 6a);
+- construction *memory* is far lower for MicroNN (4×-60× in the paper,
+  growing with collection size — Fig. 6b).
+"""
+
+from dataclasses import dataclass
+
+from repro import MicroNN, MicroNNConfig
+from repro.baselines.inmemory import InMemoryIVF
+from repro.bench.harness import fmt_mib, populate, print_table
+
+
+@dataclass(frozen=True)
+class BuildRow:
+    dataset: str
+    micronn_s: float
+    inmemory_s: float
+    micronn_bytes: int
+    inmemory_bytes: int
+
+
+def _build_both(dataset, bench_dir) -> BuildRow:
+    config = MicroNNConfig(
+        dim=dataset.dim,
+        metric=dataset.metric,
+        target_cluster_size=100,
+        minibatch_fraction=0.05,
+    )
+    db = MicroNN.open(bench_dir / f"fig6-{dataset.name}.db", config)
+    try:
+        populate(db, dataset.train_ids, dataset.train)
+        report = db.build_index()
+        micronn_s = report.duration_s
+        micronn_bytes = report.peak_memory_bytes
+    finally:
+        db.close()
+
+    baseline = InMemoryIVF(config)
+    baseline.load(list(dataset.train_ids), dataset.train)
+    mem_report = baseline.build_index(full_batch=True)
+    return BuildRow(
+        dataset=dataset.name,
+        micronn_s=micronn_s,
+        inmemory_s=mem_report.duration_s,
+        micronn_bytes=micronn_bytes,
+        inmemory_bytes=max(
+            baseline.tracker.peak_bytes, baseline.tracker.current_bytes
+        ),
+    )
+
+
+def test_fig6_index_construction(benchmark, datasets, bench_dir):
+    rows = [_build_both(ds, bench_dir) for ds in datasets.values()]
+
+    print_table(
+        "Figure 6a: index construction time (s)",
+        ["Dataset", "InMemory s", "MicroNN s", "MicroNN/InMemory"],
+        [
+            (
+                r.dataset,
+                round(r.inmemory_s, 2),
+                round(r.micronn_s, 2),
+                f"{r.micronn_s / max(r.inmemory_s, 1e-9):.1f}x",
+            )
+            for r in rows
+        ],
+    )
+    print_table(
+        "Figure 6b: memory usage during index construction (MiB)",
+        ["Dataset", "InMemory MiB", "MicroNN MiB", "Ratio"],
+        [
+            (
+                r.dataset,
+                round(fmt_mib(r.inmemory_bytes), 2),
+                round(fmt_mib(r.micronn_bytes), 2),
+                f"{r.inmemory_bytes / max(r.micronn_bytes, 1):.1f}x",
+            )
+            for r in rows
+        ],
+        note="Paper reports 4x-60x memory savings; ratios grow with "
+        "collection size.",
+    )
+
+    # Shape assertions: every dataset builds with (much) less memory.
+    for r in rows:
+        assert r.micronn_bytes < r.inmemory_bytes, r.dataset
+    assert any(
+        r.inmemory_bytes > 4 * r.micronn_bytes for r in rows
+    ), "expected at least one 4x memory gap (paper's lower bound)"
+
+    # Benchmark a small representative build.
+    sift = datasets["sift"]
+    config = MicroNNConfig(dim=sift.dim, target_cluster_size=100,
+                           kmeans_iterations=10)
+
+    def build_small():
+        with MicroNN.open(config=config) as db:
+            populate(db, sift.train_ids[:1000], sift.train[:1000])
+            return db.build_index()
+
+    report = benchmark(build_small)
+    assert report.num_partitions == 10

@@ -1,0 +1,172 @@
+"""Figure 7: effectiveness of the hybrid query optimizer.
+
+The Big-ANN Filtered Search analog (Zipf tag bags over synthetic
+embeddings; DESIGN.md substitution #4). Queries are binned by their
+*true* selectivity-factor decade, and each bin is executed three ways:
+pre-filtering, post-filtering, and optimizer-chosen.
+
+Shape expectations from the paper:
+- 7a: post-filtering is roughly an order of magnitude faster than
+  pre-filtering at low selectivity factors; pre-filter latency grows
+  with the qualifying-set size;
+- 7b: post-filtering recall collapses for highly selective predicates
+  while pre-filtering holds 100%; the optimizer tracks the pre-filter
+  recall on selective bins and switches to post-filtering past the
+  F̂_IVF threshold.
+"""
+
+import numpy as np
+
+from repro import Match, MicroNN, MicroNNConfig, PlanKind
+from repro.bench.harness import populate, print_table
+from repro.workloads.filtered import generate_filtered_workload
+from repro.workloads.metrics import mean_recall_at_k
+from repro.query.distance import distances_to_one
+
+K = 10
+NPROBE = 4
+
+
+def _filtered_truth(workload, query, k):
+    """Exact top-k among the qualifying assets (filtered ground truth)."""
+    ids = list(query.qualifying_ids)
+    index = {aid: i for i, aid in enumerate(workload.asset_ids)}
+    rows = np.array([index[a] for a in ids], dtype=np.int64)
+    dist = distances_to_one(
+        query.vector, workload.vectors[rows], workload.metric
+    )
+    order = np.argsort(dist, kind="stable")[:k]
+    return [ids[i] for i in order]
+
+
+def test_fig7_hybrid_optimizer(benchmark, bench_dir):
+    from benchmarks.conftest import scaled
+
+    workload = generate_filtered_workload(
+        num_assets=scaled(15_000, minimum=4000),
+        dim=64,
+        vocabulary=400,
+        queries_per_bin=8,
+        seed=11,
+    )
+    config = MicroNNConfig(
+        dim=64,
+        metric=workload.metric,
+        target_cluster_size=50,
+        default_nprobe=NPROBE,
+        attributes={"tags": "TEXT"},
+        fts_attributes=("tags",),
+    )
+    db = MicroNN.open(bench_dir / "fig7.db", config)
+    try:
+        populate(
+            db,
+            list(workload.asset_ids),
+            workload.vectors,
+            attributes=[{"tags": t} for t in workload.tag_strings],
+        )
+        db.build_index()
+
+        table = []
+        per_bin = {}
+        for exponent in sorted(workload.bins):
+            queries = workload.bins[exponent]
+            truths = [_filtered_truth(workload, q, K) for q in queries]
+            stats = {}
+            for mode, plan in (
+                ("pre", PlanKind.PRE_FILTER),
+                ("post", PlanKind.POST_FILTER),
+                ("opt", None),
+            ):
+                latencies, retrieved, plans = [], [], []
+                for q in queries:
+                    filt = Match("tags", q.match_query)
+                    result = db.search(
+                        q.vector, k=K, nprobe=NPROBE, filters=filt,
+                        plan=plan,
+                    )
+                    latencies.append(result.stats.latency_s)
+                    retrieved.append(list(result.asset_ids))
+                    plans.append(result.stats.plan)
+                stats[mode] = {
+                    "ms": 1e3 * float(np.mean(latencies)),
+                    "recall": mean_recall_at_k(truths, retrieved, K),
+                    "plans": plans,
+                }
+            per_bin[exponent] = stats
+            opt_plans = stats["opt"]["plans"]
+            chosen = max(
+                set(opt_plans), key=lambda p: opt_plans.count(p)
+            ).value
+            table.append(
+                (
+                    f"1e{exponent}",
+                    len(queries),
+                    round(stats["pre"]["ms"], 2),
+                    round(stats["post"]["ms"], 2),
+                    round(stats["opt"]["ms"], 2),
+                    f"{stats['pre']['recall'] * 100:.0f}%",
+                    f"{stats['post']['recall'] * 100:.0f}%",
+                    f"{stats['opt']['recall'] * 100:.0f}%",
+                    chosen,
+                )
+            )
+        print_table(
+            "Figure 7: hybrid optimizer vs fixed plans, per selectivity "
+            "decade",
+            [
+                "Selectivity",
+                "Queries",
+                "Pre ms",
+                "Post ms",
+                "Opt ms",
+                "Pre R@10",
+                "Post R@10",
+                "Opt R@10",
+                "Opt plan (mode)",
+            ],
+            table,
+            note=(
+                f"k={K}, nprobe={NPROBE}, partitions of ~50; optimizer "
+                "threshold F_IVF = nprobe*p/|R| = "
+                f"{NPROBE * 50 / workload.num_assets:.4f}"
+            ),
+        )
+
+        exponents = sorted(per_bin)
+        selective, unselective = exponents[0], exponents[-1]
+        # 7b shapes: pre-filter is exact everywhere; post-filter loses
+        # recall on the most selective bin; the optimizer matches
+        # pre-filter recall there.
+        assert per_bin[selective]["pre"]["recall"] == 1.0
+        assert (
+            per_bin[selective]["post"]["recall"]
+            < per_bin[selective]["pre"]["recall"]
+        )
+        assert per_bin[selective]["opt"]["recall"] > 0.95
+        # 7a shapes: post-filter beats pre-filter at low selectivity
+        # (large qualifying sets); pre-filter latency grows with the
+        # qualifying set.
+        assert (
+            per_bin[unselective]["post"]["ms"]
+            < per_bin[unselective]["pre"]["ms"]
+        )
+        assert (
+            per_bin[unselective]["pre"]["ms"]
+            > per_bin[selective]["pre"]["ms"]
+        )
+        # Optimizer switches plans across the spectrum.
+        assert any(
+            p is PlanKind.PRE_FILTER
+            for p in per_bin[selective]["opt"]["plans"]
+        )
+        assert any(
+            p is PlanKind.POST_FILTER
+            for p in per_bin[unselective]["opt"]["plans"]
+        )
+
+        query = workload.bins[unselective][0]
+        filt = Match("tags", query.match_query)
+        benchmark(lambda: db.search(query.vector, k=K, filters=filt))
+    finally:
+        db.close()

@@ -1,0 +1,106 @@
+"""Figure 9: impact of multi-query optimization on batch processing.
+
+Per dataset, batch sizes 1→1024: total MQO batch time relative to
+one-query-at-a-time execution (9a) and the amortized per-query latency
+(9b).
+
+Shape expectations from the paper:
+- batch time grows sub-linearly: processing a batch of q queries costs
+  consistently less than q sequential queries (the dashed y=x line);
+- amortized per-query latency falls as the batch grows (≥30% saving by
+  batch 512 on InternalA, §3.4).
+"""
+
+import numpy as np
+
+from repro import MicroNN, MicroNNConfig
+from repro.bench.harness import populate, print_table
+
+BATCH_SIZES = [1, 16, 64, 256, 512, 1024]
+
+
+def _queries_for(dataset, count):
+    reps = int(np.ceil(count / len(dataset.queries)))
+    return np.vstack([dataset.queries] * reps)[:count]
+
+
+def test_fig9_batch_queries(benchmark, datasets, bench_dir):
+    import time
+
+    rows_9a, rows_9b = [], []
+    internala_saving = None
+    for name, dataset in datasets.items():
+        config = MicroNNConfig(
+            dim=dataset.dim,
+            metric=dataset.metric,
+            target_cluster_size=100,
+            default_nprobe=8,
+        )
+        db = MicroNN.open(bench_dir / f"fig9-{name}.db", config)
+        try:
+            populate(db, dataset.train_ids, dataset.train)
+            db.build_index()
+            db.warm_cache(dataset.queries, k=100, nprobe=8)
+
+            # Sequential reference cost per query (warm).
+            start = time.perf_counter()
+            for q in dataset.queries:
+                db.search(q, k=100, nprobe=8)
+            seq_per_query = (
+                time.perf_counter() - start
+            ) / len(dataset.queries)
+
+            rel_row, amort_row = [name], [name]
+            for batch_size in BATCH_SIZES:
+                queries = _queries_for(dataset, batch_size)
+                batch = db.search_batch(queries, k=100, nprobe=8)
+                sequential_estimate = seq_per_query * batch_size
+                relative = batch.latency_s / max(
+                    sequential_estimate, 1e-12
+                )
+                rel_row.append(round(relative, 2))
+                amort_row.append(
+                    round(batch.amortized_latency_s * 1e3, 3)
+                )
+                if name == "internala" and batch_size == 512:
+                    internala_saving = 1.0 - relative
+            rows_9a.append(tuple(rel_row))
+            rows_9b.append(tuple(amort_row))
+        finally:
+            db.close()
+
+    headers = ["Dataset"] + [f"q={b}" for b in BATCH_SIZES]
+    print_table(
+        "Figure 9a: batch time relative to one-query-at-a-time (<1 = "
+        "MQO wins)",
+        headers,
+        rows_9a,
+        note="Paper's dashed line is 1.0 (linear scaling); values below "
+        "1.0 show the sub-linear MQO scaling.",
+    )
+    print_table(
+        "Figure 9b: amortized single-query latency (ms)",
+        headers,
+        rows_9b,
+    )
+
+    # Shape assertions: at batch 512 every dataset is sub-linear, and
+    # the paper's §3.4 claim (≥30% saving on InternalA at 512) holds.
+    col_512 = BATCH_SIZES.index(512) + 1
+    for row in rows_9a:
+        assert row[col_512] < 1.0, f"{row[0]} not sub-linear at q=512"
+    assert internala_saving is not None
+    assert internala_saving >= 0.30, (
+        f"InternalA saving at q=512 was {internala_saving:.0%}, "
+        "paper reports >=30%"
+    )
+
+    sift = datasets["sift"]
+    config = MicroNNConfig(dim=sift.dim, metric=sift.metric,
+                           target_cluster_size=100)
+    with MicroNN.open(config=config) as db:
+        populate(db, sift.train_ids, sift.train)
+        db.build_index()
+        queries = _queries_for(sift, 256)
+        db.search_batch(queries, k=100, nprobe=8)  # warm
+        benchmark(lambda: db.search_batch(queries, k=100, nprobe=8))

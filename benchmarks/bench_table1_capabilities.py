@@ -1,0 +1,155 @@
+"""Table 1: capabilities matrix.
+
+The paper's Table 1 is a qualitative comparison; for MicroNN's row we
+can do better than assert — each capability is *exercised* end-to-end
+here, and the table cell is only printed as supported if the
+corresponding operation actually succeeded.
+"""
+
+import numpy as np
+
+from repro import (
+    DeviceProfile,
+    Eq,
+    MicroNN,
+    MicroNNConfig,
+    PlanKind,
+)
+from repro.bench.harness import print_table
+
+
+def _check_constrained_memory(bench_dir) -> bool:
+    """Search succeeds with a cache budget ≪ collection size."""
+    rng = np.random.default_rng(0)
+    vectors = rng.normal(size=(2000, 64)).astype(np.float32)
+    config = MicroNNConfig(
+        dim=64,
+        target_cluster_size=50,
+        kmeans_iterations=10,
+        device=DeviceProfile(
+            name="tiny",
+            worker_threads=2,
+            partition_cache_bytes=vectors.nbytes // 20,
+            sqlite_cache_bytes=1 << 18,
+        ),
+    )
+    with MicroNN.open(bench_dir / "cap_mem.db", config) as db:
+        db.upsert_batch((f"a{i}", vectors[i]) for i in range(2000))
+        db.build_index()
+        for q in vectors[:20]:
+            db.search(q, k=10)
+        return db.memory().current_bytes < vectors.nbytes // 4
+
+
+def _check_updatability(bench_dir) -> bool:
+    """Inserts and deletes without a full rebuild."""
+    rng = np.random.default_rng(1)
+    config = MicroNNConfig(dim=16, target_cluster_size=20,
+                           kmeans_iterations=10)
+    with MicroNN.open(bench_dir / "cap_upd.db", config) as db:
+        vecs = rng.normal(size=(300, 16)).astype(np.float32)
+        db.upsert_batch((f"a{i}", vecs[i]) for i in range(300))
+        db.build_index()
+        fresh = rng.normal(size=16).astype(np.float32)
+        db.upsert("fresh", fresh)
+        visible = db.search(fresh, k=1)[0].asset_id == "fresh"
+        db.delete("a0")
+        gone = "a0" not in db
+        from repro.core.types import MaintenanceAction
+
+        report = db.maintain(force=MaintenanceAction.INCREMENTAL_FLUSH)
+        incremental = report.row_changes < 50  # ≪ full rebuild's 300+
+        return visible and gone and incremental
+
+
+def _check_consistency(bench_dir) -> bool:
+    """Snapshot-isolated readers under a concurrent writer."""
+    import threading
+
+    rng = np.random.default_rng(2)
+    config = MicroNNConfig(dim=8, target_cluster_size=20,
+                           kmeans_iterations=10)
+    with MicroNN.open(bench_dir / "cap_con.db", config) as db:
+        vecs = rng.normal(size=(200, 8)).astype(np.float32)
+        db.upsert_batch((f"a{i}", vecs[i]) for i in range(200))
+        db.build_index()
+        failures = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                if len(db.search(vecs[0], k=5)) != 5:
+                    failures.append(True)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for i in range(40):
+            db.upsert(f"w{i}", rng.normal(size=8).astype(np.float32))
+        db.build_index()
+        stop.set()
+        t.join(timeout=30)
+        return not failures
+
+
+def _check_hybrid(bench_dir) -> bool:
+    """Attribute-filtered ANN with both plans and the optimizer."""
+    rng = np.random.default_rng(3)
+    config = MicroNNConfig(
+        dim=16, target_cluster_size=20, kmeans_iterations=10,
+        attributes={"tag": "TEXT"},
+    )
+    with MicroNN.open(bench_dir / "cap_hyb.db", config) as db:
+        vecs = rng.normal(size=(400, 16)).astype(np.float32)
+        db.upsert_batch(
+            (f"a{i}", vecs[i], {"tag": "rare" if i < 4 else "common"})
+            for i in range(400)
+        )
+        db.build_index()
+        rare = db.search(vecs[0], k=4, filters=Eq("tag", "rare"))
+        common = db.search(vecs[0], k=4, filters=Eq("tag", "common"))
+        return (
+            rare.stats.plan is PlanKind.PRE_FILTER
+            and common.stats.plan is PlanKind.POST_FILTER
+            and all(
+                db.get_attributes(n.asset_id)["tag"] == "rare"
+                for n in rare
+            )
+        )
+
+
+def _check_batch(bench_dir) -> bool:
+    """MQO batch interface with scan sharing."""
+    rng = np.random.default_rng(4)
+    config = MicroNNConfig(dim=16, target_cluster_size=20,
+                           kmeans_iterations=10)
+    with MicroNN.open(bench_dir / "cap_bat.db", config) as db:
+        vecs = rng.normal(size=(400, 16)).astype(np.float32)
+        db.upsert_batch((f"a{i}", vecs[i]) for i in range(400))
+        db.build_index()
+        batch = db.search_batch(vecs[:64], k=5, nprobe=4)
+        return len(batch) == 64 and batch.scan_sharing_factor > 1.0
+
+
+CHECKS = [
+    ("Constrained memory", _check_constrained_memory),
+    ("Updatability", _check_updatability),
+    ("Consistency", _check_consistency),
+    ("Hybrid queries", _check_hybrid),
+    ("Batch queries", _check_batch),
+]
+
+
+def test_table1_capabilities(benchmark, bench_dir):
+    results = {}
+    for name, check in CHECKS:
+        results[name] = check(bench_dir)
+    print_table(
+        "Table 1 (MicroNN row): capabilities, each verified end-to-end",
+        ["Capability", "Paper claims", "Verified here"],
+        [
+            (name, "yes", "yes" if ok else "NO — FAILED")
+            for name, ok in results.items()
+        ],
+    )
+    assert all(results.values()), f"capability check failed: {results}"
+    benchmark(lambda: _check_batch(bench_dir))

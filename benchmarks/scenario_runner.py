@@ -1,0 +1,132 @@
+"""Shared runner for the end-to-end scenarios of Figures 4 and 5.
+
+For every (dataset, device) pair this builds:
+
+- a disk-resident MicroNN database on the device profile (with the
+  profile's I/O cost model, so uncached reads pay device-like storage
+  latency), and
+- an InMemory baseline over the same vectors,
+
+tunes ``nprobe`` to the paper's operating point (90% recall@100), then
+measures, per paper §4.1.4:
+
+- **InMemory** — query latency over the resident index, plus its
+  resident bytes;
+- **MicroNN-WarmCache** — latency after warm-up queries populated the
+  partition cache;
+- **MicroNN-ColdStart** — latency with caches purged before every
+  sampled query (mean over a query sample, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import MicroNN, MicroNNConfig
+from repro.baselines.inmemory import InMemoryIVF
+from repro.bench.harness import populate, tune_nprobe
+from repro.workloads.groundtruth import compute_ground_truth
+from repro.workloads.metrics import summarize_latencies
+
+K = 100
+TARGET_RECALL = 0.9
+COLD_SAMPLES = 10
+
+
+@dataclass(frozen=True)
+class ScenarioRow:
+    dataset: str
+    device: str
+    nprobe: int
+    recall: float
+    inmemory_ms: float
+    warm_ms: float
+    cold_ms: float
+    inmemory_bytes: int
+    micronn_query_bytes: int
+
+
+def run_all_scenarios(datasets, bench_dir) -> list[ScenarioRow]:
+    from benchmarks.conftest import device_profile
+
+    rows: list[ScenarioRow] = []
+    for name, dataset in datasets.items():
+        truth = compute_ground_truth(
+            dataset.train_ids,
+            dataset.train,
+            dataset.queries,
+            K,
+            dataset.metric,
+        )
+        for device_kind in ("large", "small"):
+            rows.append(
+                _run_one(
+                    dataset, truth, device_kind,
+                    bench_dir / f"{name}-{device_kind}.db",
+                    device_profile(device_kind),
+                )
+            )
+    return rows
+
+
+def _run_one(dataset, truth, device_kind, path, device) -> ScenarioRow:
+    config = MicroNNConfig(
+        dim=dataset.dim,
+        metric=dataset.metric,
+        target_cluster_size=100,
+        device=device,
+    )
+    db = MicroNN.open(path, config)
+    try:
+        populate(db, dataset.train_ids, dataset.train)
+        db.build_index()
+
+        queries = dataset.queries
+
+        def search_ids(query, nprobe):
+            return list(db.search(query, k=K, nprobe=nprobe).asset_ids)
+
+        nprobe, recall = tune_nprobe(
+            search_ids, queries, truth, K, TARGET_RECALL
+        )
+
+        # InMemory baseline: same vectors, fully resident.
+        baseline = InMemoryIVF(config)
+        baseline.load(list(dataset.train_ids), dataset.train)
+        baseline.build_index(full_batch=False)
+        mem_latencies = [
+            baseline.search(q, k=K, nprobe=nprobe).stats.latency_s
+            for q in queries
+        ]
+        inmemory_bytes = baseline.tracker.current_bytes
+
+        # MicroNN-WarmCache: measure after cache warm-up.
+        db.warm_cache(queries, k=K, nprobe=nprobe)
+        db.engine.tracker.reset_peak()
+        warm_latencies = [
+            db.search(q, k=K, nprobe=nprobe).stats.latency_s
+            for q in queries
+        ]
+        micronn_query_bytes = db.engine.tracker.peak_bytes
+
+        # MicroNN-ColdStart: purge everything before each sample.
+        cold_latencies = []
+        for q in queries[:COLD_SAMPLES]:
+            db.purge_caches()
+            cold_latencies.append(
+                db.search(q, k=K, nprobe=nprobe).stats.latency_s
+            )
+
+        return ScenarioRow(
+            dataset=dataset.name,
+            device=device_kind,
+            nprobe=nprobe,
+            recall=recall,
+            inmemory_ms=summarize_latencies(mem_latencies).mean_ms,
+            warm_ms=summarize_latencies(warm_latencies).mean_ms,
+            cold_ms=summarize_latencies(cold_latencies).mean_ms,
+            inmemory_bytes=inmemory_bytes,
+            micronn_query_bytes=micronn_query_bytes,
+        )
+    finally:
+        db.close()

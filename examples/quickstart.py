@@ -1,0 +1,88 @@
+"""Quickstart: open a database, insert vectors, build the index, search.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Eq, MicroNN, MicroNNConfig
+
+DIM = 64
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. Configure: dimensionality, metric, and the attribute schema
+    #    for hybrid (filtered) search.
+    config = MicroNNConfig(
+        dim=DIM,
+        metric="l2",
+        target_cluster_size=100,  # ~100 vectors per IVF partition
+        attributes={"category": "TEXT", "year": "INTEGER"},
+    )
+
+    # path=None gives an ephemeral database (deleted on close); pass a
+    # file path to persist. The context manager closes connections.
+    with MicroNN.open(config=config) as db:
+        # 2. Insert vectors with upsert semantics. New vectors land in
+        #    the delta-store and are searchable immediately.
+        categories = ["animal", "vehicle", "plant"]
+        vectors = rng.normal(size=(5000, DIM)).astype(np.float32)
+        db.upsert_batch(
+            (
+                f"asset-{i:05d}",
+                vectors[i],
+                {"category": categories[i % 3], "year": 2015 + i % 10},
+            )
+            for i in range(len(vectors))
+        )
+        print(f"inserted {len(db)} vectors")
+
+        # 3. Build the IVF index (mini-batch balanced k-means).
+        report = db.build_index()
+        print(
+            f"built {report.num_partitions} partitions in "
+            f"{report.duration_s:.2f}s using "
+            f"{report.peak_memory_bytes / 1e6:.1f} MB peak"
+        )
+
+        # 4. ANN search: k nearest with tunable recall via nprobe.
+        query = vectors[42] + rng.normal(scale=0.05, size=DIM).astype(
+            np.float32
+        )
+        result = db.search(query, k=5, nprobe=8)
+        print("\ntop-5 ANN:")
+        for neighbor in result:
+            print(f"  {neighbor.asset_id}  distance={neighbor.distance:.4f}")
+        print(
+            f"  ({result.stats.partitions_scanned} partitions, "
+            f"{result.stats.vectors_scanned} vectors scanned, "
+            f"{result.stats.latency_s * 1e3:.2f} ms)"
+        )
+
+        # 5. Hybrid search: the optimizer picks pre- vs post-filtering
+        #    from selectivity estimates.
+        hybrid = db.search(
+            query, k=5, filters=Eq("category", "vehicle")
+        )
+        print(f"\ntop-5 where category=vehicle (plan: {hybrid.stats.plan.value}):")
+        for neighbor in hybrid:
+            attrs = db.get_attributes(neighbor.asset_id)
+            print(
+                f"  {neighbor.asset_id}  {attrs['category']}/"
+                f"{attrs['year']}  distance={neighbor.distance:.4f}"
+            )
+
+        # 6. Updates: upsert/delete are visible immediately; the index
+        #    monitor folds the delta back in when thresholds trip.
+        db.upsert("brand-new", query, {"category": "animal", "year": 2026})
+        top = db.search(query, k=1)
+        print(f"\nafter upsert, nearest = {top[0].asset_id}")
+        db.delete("brand-new")
+        print(f"after delete, nearest = {db.search(query, k=1)[0].asset_id}")
+        print(f"maintenance recommendation: {db.recommended_action().value}")
+
+
+if __name__ == "__main__":
+    main()

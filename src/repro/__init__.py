@@ -1,0 +1,112 @@
+"""MicroNN reproduction — an on-device, disk-resident, updatable vector
+database (Pound et al., SIGMOD 2025).
+
+The public API is re-exported here; the typical entry point is
+:class:`MicroNN`:
+
+    from repro import MicroNN, MicroNNConfig, Eq
+
+    config = MicroNNConfig(dim=128, attributes={"location": "TEXT"})
+    with MicroNN.open("vectors.db", config) as db:
+        db.upsert("a1", vector, {"location": "Seattle"})
+        db.build_index()
+        result = db.search(query, k=10, filters=Eq("location", "Seattle"))
+
+Package layout:
+
+- :mod:`repro.core` — configuration, result types, the MicroNN facade;
+- :mod:`repro.storage` — SQLite engine, codec, caches, I/O+memory accounting;
+- :mod:`repro.index` — mini-batch balanced k-means, IVF build, delta-store,
+  incremental maintenance;
+- :mod:`repro.query` — distance kernels, heaps, predicate AST, selectivity
+  estimation, hybrid planner, single-query and MQO batch executors;
+- :mod:`repro.baselines` — the paper's InMemory comparison point;
+- :mod:`repro.workloads` — dataset analogs, ground truth, recall metrics,
+  the filtered-search workload;
+- :mod:`repro.bench` — shared benchmark harness.
+"""
+
+from repro.core.config import DeviceProfile, IOCostModel, MicroNNConfig
+from repro.core.database import MicroNN
+from repro.core.errors import (
+    ConfigError,
+    DatabaseClosedError,
+    DimensionMismatchError,
+    FilterError,
+    MicroNNError,
+    StorageError,
+    UnknownAttributeError,
+)
+from repro.core.types import (
+    BatchSearchResult,
+    BuildReport,
+    IndexStats,
+    MaintenanceAction,
+    MaintenanceReport,
+    Neighbor,
+    PlanKind,
+    QueryStats,
+    SearchResult,
+)
+from repro.query.filters import (
+    And,
+    Between,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    IsNull,
+    Le,
+    Lt,
+    Match,
+    Ne,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.storage.engine import VectorRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # facade & config
+    "MicroNN",
+    "MicroNNConfig",
+    "DeviceProfile",
+    "IOCostModel",
+    "VectorRecord",
+    # results
+    "Neighbor",
+    "SearchResult",
+    "BatchSearchResult",
+    "QueryStats",
+    "PlanKind",
+    "IndexStats",
+    "BuildReport",
+    "MaintenanceAction",
+    "MaintenanceReport",
+    # filters
+    "Predicate",
+    "Eq",
+    "Ne",
+    "Lt",
+    "Le",
+    "Gt",
+    "Ge",
+    "In",
+    "Between",
+    "IsNull",
+    "Match",
+    "And",
+    "Or",
+    "Not",
+    # errors
+    "MicroNNError",
+    "ConfigError",
+    "FilterError",
+    "StorageError",
+    "DatabaseClosedError",
+    "DimensionMismatchError",
+    "UnknownAttributeError",
+]

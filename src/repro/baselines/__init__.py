@@ -1,0 +1,5 @@
+"""Baselines the paper compares against (§4.1.4)."""
+
+from repro.baselines.inmemory import InMemoryIVF
+
+__all__ = ["InMemoryIVF"]

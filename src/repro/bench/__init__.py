@@ -1,0 +1,19 @@
+"""Benchmark harness utilities shared by the per-figure bench files."""
+
+from repro.bench.harness import (
+    ann_search_ids,
+    fmt_mib,
+    populate,
+    print_table,
+    time_queries,
+    tune_nprobe,
+)
+
+__all__ = [
+    "populate",
+    "tune_nprobe",
+    "time_queries",
+    "print_table",
+    "fmt_mib",
+    "ann_search_ids",
+]

@@ -1,0 +1,185 @@
+"""Shared benchmark harness: population, tuning, tables (§4.1).
+
+Every figure/table bench follows the same skeleton: build a dataset
+analog, populate a database, tune ``nprobe`` until the paper's 90%
+recall@100 operating point is reached, sweep the experiment's variable
+and print the series the paper plots. The pieces of that skeleton live
+here so each bench file only contains the experiment itself.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.database import MicroNN
+from repro.storage.engine import VectorRecord
+from repro.workloads.metrics import mean_recall_at_k
+
+
+def populate(
+    db: MicroNN,
+    asset_ids: Sequence[str],
+    vectors: np.ndarray,
+    attributes: Sequence[dict] | None = None,
+    chunk_size: int = 2000,
+) -> None:
+    """Chunked bulk upsert of a whole dataset."""
+    total = len(asset_ids)
+    for start in range(0, total, chunk_size):
+        end = min(start + chunk_size, total)
+        records = [
+            VectorRecord(
+                asset_ids[i],
+                vectors[i],
+                attributes[i] if attributes is not None else {},
+            )
+            for i in range(start, end)
+        ]
+        db.upsert_batch(records)
+
+
+def tune_nprobe(
+    search: Callable[[np.ndarray, int], Sequence[str]],
+    queries: np.ndarray,
+    truth: Sequence[Sequence[str]],
+    k: int,
+    target_recall: float = 0.9,
+    max_nprobe: int = 256,
+) -> tuple[int, float]:
+    """Smallest nprobe reaching the target mean recall@k (§4.1.3).
+
+    ``search(query, nprobe)`` must return ranked asset ids. Doubles
+    nprobe until the target is met, then binary-searches the gap.
+    Returns (nprobe, achieved recall); if the target is unreachable the
+    maximum probe count is returned with its recall.
+    """
+
+    def recall_at(nprobe: int) -> float:
+        retrieved = [search(q, nprobe) for q in queries]
+        return mean_recall_at_k(truth, retrieved, k)
+
+    lo, hi = 1, 1
+    recall = recall_at(hi)
+    while recall < target_recall and hi < max_nprobe:
+        lo = hi
+        hi = min(hi * 2, max_nprobe)
+        recall = recall_at(hi)
+    if recall < target_recall:
+        return hi, recall
+    # Invariant: recall(hi) >= target, recall(lo) unknown or < target.
+    best_probe, best_recall = hi, recall
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        mid_recall = recall_at(mid)
+        if mid_recall >= target_recall:
+            hi, best_probe, best_recall = mid, mid, mid_recall
+        else:
+            lo = mid
+    return best_probe, best_recall
+
+
+def time_queries(
+    run: Callable[[np.ndarray], object], queries: np.ndarray
+) -> tuple[list[float], list[object]]:
+    """Run one query at a time, returning per-query wall latencies."""
+    latencies: list[float] = []
+    results: list[object] = []
+    for q in queries:
+        start = time.perf_counter()
+        results.append(run(q))
+        latencies.append(time.perf_counter() - start)
+    return latencies, results
+
+
+#: Context-manager factory wrapped around table output. The benchmark
+#: conftest installs pytest's capture-disable here so tables reach the
+#: terminal (and ``tee``) even under captured runs; outside pytest it
+#: stays a no-op.
+_null_guard: Callable[[], object] = contextlib.nullcontext
+_output_guard: Callable[[], object] = _null_guard
+
+
+def set_output_guard(factory: Callable[[], object]) -> None:
+    """Install a context-manager factory used while printing tables."""
+    global _output_guard
+    _output_guard = factory
+
+
+def reset_output_guard() -> None:
+    global _output_guard
+    _output_guard = _null_guard
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: str | None = None,
+) -> None:
+    """Aligned plain-text table — the bench output the paper's figures
+    are read off of.
+
+    Output is emitted inside the installed output guard (pytest capture
+    suspension during bench runs) and, when the environment variable
+    ``MICRONN_BENCH_RESULTS_FILE`` is set, also appended to that file
+    as a durable artifact.
+    """
+    import os
+    import sys
+
+    materialized = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "-" * len(line)
+    lines = ["", f"== {title} =="]
+    if note:
+        lines.append(note)
+    lines.extend([line, rule])
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    lines.append(rule)
+    text = "\n".join(lines)
+
+    with _output_guard():
+        print(text)
+        sys.stdout.flush()
+    results_path = os.environ.get("MICRONN_BENCH_RESULTS_FILE")
+    if results_path:
+        with open(results_path, "a", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4g}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def fmt_mib(nbytes: int | float) -> float:
+    return float(nbytes) / (1024 * 1024)
+
+
+def ann_search_ids(db: MicroNN, k: int) -> Callable[[np.ndarray, int], list[str]]:
+    """Adapter: a tune_nprobe-compatible closure over db.search."""
+
+    def search(query: np.ndarray, nprobe: int) -> list[str]:
+        return list(db.search(query, k=k, nprobe=nprobe).asset_ids)
+
+    return search

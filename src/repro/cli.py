@@ -1,0 +1,242 @@
+"""Command-line interface for MicroNN databases.
+
+A small operational surface for inspecting and exercising a database
+from the shell — the kind of tooling an embedded library ships so
+integrators can poke at an index without writing code:
+
+    python -m repro.cli create photos.db --dim 128 --metric cosine
+    python -m repro.cli insert photos.db --vectors embeddings.npy
+    python -m repro.cli build photos.db --dim 128 --metric cosine
+    python -m repro.cli search photos.db --query query.npy -k 10
+    python -m repro.cli stats photos.db --dim 128
+    python -m repro.cli demo --dim 64          # self-contained smoke run
+
+Vectors travel as ``.npy`` files (float32, shape ``(n, dim)`` for
+inserts, ``(dim,)`` or ``(1, dim)`` for queries). Asset ids default to
+``row-<i>`` and can be overridden with ``--ids`` (newline-separated
+file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import MicroNN, MicroNNConfig
+from repro.core.types import MaintenanceAction
+
+
+def _open(args: argparse.Namespace) -> MicroNN:
+    config = MicroNNConfig(
+        dim=args.dim,
+        metric=args.metric,
+        target_cluster_size=args.cluster_size,
+    )
+    return MicroNN.open(args.database, config)
+
+
+def cmd_create(args: argparse.Namespace) -> int:
+    db = _open(args)
+    print(f"created {db.path} (dim={args.dim}, metric={args.metric})")
+    db.close()
+    return 0
+
+
+def cmd_insert(args: argparse.Namespace) -> int:
+    vectors = np.load(args.vectors)
+    if vectors.ndim != 2:
+        print("--vectors must be a 2-D .npy array", file=sys.stderr)
+        return 2
+    if args.ids:
+        ids = Path(args.ids).read_text().split()
+        if len(ids) != len(vectors):
+            print(
+                f"--ids has {len(ids)} entries for {len(vectors)} vectors",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        ids = [f"row-{i}" for i in range(len(vectors))]
+    args.dim = vectors.shape[1]
+    db = _open(args)
+    start = time.perf_counter()
+    for lo in range(0, len(ids), 2000):
+        hi = min(lo + 2000, len(ids))
+        db.upsert_batch(zip(ids[lo:hi], vectors[lo:hi]))
+    print(
+        f"inserted {len(ids)} vectors in "
+        f"{time.perf_counter() - start:.2f}s "
+        f"(delta-store: {db.index_stats().delta_vectors})"
+    )
+    db.close()
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    db = _open(args)
+    report = db.build_index()
+    print(
+        f"built {report.num_partitions} partitions over "
+        f"{report.num_vectors} vectors in {report.duration_s:.2f}s "
+        f"({report.row_changes} row writes, "
+        f"peak {report.peak_memory_bytes / 1e6:.1f} MB)"
+    )
+    db.close()
+    return 0
+
+
+def cmd_maintain(args: argparse.Namespace) -> int:
+    db = _open(args)
+    force = (
+        MaintenanceAction(args.force) if args.force else None
+    )
+    report = db.maintain(force=force)
+    print(
+        f"action={report.action.value} flushed={report.vectors_flushed} "
+        f"rows={report.row_changes} in {report.duration_s:.3f}s"
+    )
+    db.close()
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    query = np.load(args.query).reshape(-1)
+    args.dim = query.shape[0]
+    db = _open(args)
+    result = db.search(
+        query, k=args.k, nprobe=args.nprobe, exact=args.exact
+    )
+    for rank, neighbor in enumerate(result, start=1):
+        print(f"{rank:4d}  {neighbor.asset_id}  {neighbor.distance:.6f}")
+    stats = result.stats
+    print(
+        f"# plan={stats.plan.value} partitions={stats.partitions_scanned}"
+        f" vectors={stats.vectors_scanned}"
+        f" latency={stats.latency_s * 1e3:.2f}ms",
+        file=sys.stderr,
+    )
+    db.close()
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    db = _open(args)
+    stats = db.index_stats()
+    memory = db.memory()
+    io = db.io()
+    print(f"path                 {db.path}")
+    print(f"total vectors        {stats.total_vectors}")
+    print(f"indexed vectors      {stats.indexed_vectors}")
+    print(f"delta vectors        {stats.delta_vectors}")
+    print(f"partitions           {stats.num_partitions}")
+    print(f"avg partition size   {stats.avg_partition_size:.1f}")
+    print(f"partition growth     {stats.partition_growth:+.1%}")
+    print(f"recommended action   {db.recommended_action().value}")
+    print(f"resident memory      {memory.current_mib:.2f} MiB")
+    print(f"rows written (life)  {io.rows_written}")
+    db.close()
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Self-contained smoke run on synthetic data (no files needed)."""
+    rng = np.random.default_rng(0)
+    config = MicroNNConfig(dim=args.dim, target_cluster_size=50)
+    with MicroNN.open(config=config) as db:
+        vectors = rng.normal(size=(2000, args.dim)).astype(np.float32)
+        db.upsert_batch(
+            (f"demo-{i:05d}", vectors[i]) for i in range(2000)
+        )
+        report = db.build_index()
+        print(
+            f"demo: {report.num_vectors} vectors, "
+            f"{report.num_partitions} partitions"
+        )
+        result = db.search(vectors[7], k=3, nprobe=8)
+        for neighbor in result:
+            print(f"  {neighbor.asset_id}  {neighbor.distance:.4f}")
+        ok = result[0].asset_id == "demo-00007"
+        print(f"self-lookup {'OK' if ok else 'FAILED'}")
+        return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="MicroNN on-device vector database CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, needs_db: bool = True) -> None:
+        if needs_db:
+            p.add_argument("database", help="path to the .db file")
+        p.add_argument("--dim", type=int, default=None,
+                       help="vector dimensionality")
+        p.add_argument("--metric", default="l2",
+                       choices=["l2", "cosine", "dot"])
+        p.add_argument("--cluster-size", type=int, default=100,
+                       dest="cluster_size")
+
+    p = sub.add_parser("create", help="create an empty database")
+    common(p)
+    p.set_defaults(func=cmd_create)
+
+    p = sub.add_parser("insert", help="insert vectors from a .npy file")
+    common(p)
+    p.add_argument("--vectors", required=True)
+    p.add_argument("--ids", help="newline-separated asset ids")
+    p.set_defaults(func=cmd_insert)
+
+    p = sub.add_parser("build", help="(re)build the IVF index")
+    common(p)
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("maintain", help="run index maintenance")
+    common(p)
+    p.add_argument(
+        "--force",
+        choices=[a.value for a in MaintenanceAction if a.value != "none"],
+    )
+    p.set_defaults(func=cmd_maintain)
+
+    p = sub.add_parser("search", help="ANN search with a .npy query")
+    common(p)
+    p.add_argument("--query", required=True)
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--nprobe", type=int, default=None)
+    p.add_argument("--exact", action="store_true")
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("stats", help="print index statistics")
+    common(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("demo", help="self-contained smoke run")
+    common(p, needs_db=False)
+    p.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "dim", None) is None and args.command in (
+        "create",
+        "build",
+        "maintain",
+        "stats",
+        "demo",
+    ):
+        if args.command == "demo":
+            args.dim = 32
+        else:
+            parser.error(f"{args.command} requires --dim")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

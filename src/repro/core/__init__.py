@@ -1,0 +1,53 @@
+"""Core of the MicroNN reproduction: configuration, types, facade."""
+
+from repro.core.config import (
+    DELTA_PARTITION_ID,
+    DeviceProfile,
+    IOCostModel,
+    MicroNNConfig,
+)
+from repro.core.database import MicroNN
+from repro.core.errors import (
+    ConfigError,
+    DatabaseClosedError,
+    DimensionMismatchError,
+    FilterError,
+    MicroNNError,
+    StorageError,
+    UnknownAttributeError,
+)
+from repro.core.types import (
+    BatchSearchResult,
+    BuildReport,
+    IndexStats,
+    MaintenanceAction,
+    MaintenanceReport,
+    Neighbor,
+    PlanKind,
+    QueryStats,
+    SearchResult,
+)
+
+__all__ = [
+    "MicroNN",
+    "MicroNNConfig",
+    "DeviceProfile",
+    "IOCostModel",
+    "DELTA_PARTITION_ID",
+    "MicroNNError",
+    "ConfigError",
+    "FilterError",
+    "StorageError",
+    "DatabaseClosedError",
+    "DimensionMismatchError",
+    "UnknownAttributeError",
+    "Neighbor",
+    "SearchResult",
+    "BatchSearchResult",
+    "QueryStats",
+    "PlanKind",
+    "IndexStats",
+    "BuildReport",
+    "MaintenanceAction",
+    "MaintenanceReport",
+]

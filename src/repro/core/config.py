@@ -1,0 +1,269 @@
+"""Configuration objects for MicroNN databases and device profiles.
+
+The paper evaluates on two device-under-test (DUT) classes — *Small*
+(single-digit GiB of memory) and *Large* (a few tens of GiB) — and three
+cache scenarios (InMemory, ColdStart, WarmCache). :class:`DeviceProfile`
+captures the resource knobs that differ between them: worker threads,
+partition-cache budget, SQLite page-cache budget, and an optional I/O
+cost model used by benchmarks to emulate storage latency on fast hosts.
+
+:class:`MicroNNConfig` carries everything needed to open a database:
+vector dimensionality, distance metric, index tuning parameters
+(target cluster size, mini-batch settings from Algorithm 1), and the
+declared attribute schema for hybrid search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.core.errors import ConfigError
+
+#: Metrics supported by the distance kernels.
+SUPPORTED_METRICS = ("l2", "cosine", "dot")
+
+#: SQL column types that may be declared for filterable attributes.
+SUPPORTED_ATTRIBUTE_TYPES = ("TEXT", "INTEGER", "REAL")
+
+#: Reserved partition identifier for the delta-store (paper §3.6: the
+#: delta-store is physically co-located with the IVF index and addressed
+#: by a reserved partition id so it shares the clustered layout).
+DELTA_PARTITION_ID = -1
+
+
+@dataclass(frozen=True)
+class IOCostModel:
+    """Synthetic storage latency, used to emulate device storage.
+
+    The paper measures on real devices whose storage is much slower than
+    a benchmark host's page cache. To reproduce cold/warm and Small/Large
+    *shapes* on any machine, uncached partition reads may be charged a
+    per-request seek cost plus a per-byte transfer cost. A zero model
+    (the default) disables injection entirely.
+    """
+
+    seek_latency_s: float = 0.0
+    per_byte_latency_s: float = 0.0
+
+    def cost(self, nbytes: int) -> float:
+        """Return the simulated latency for reading ``nbytes`` from disk."""
+        if nbytes <= 0:
+            return 0.0
+        return self.seek_latency_s + nbytes * self.per_byte_latency_s
+
+    @property
+    def enabled(self) -> bool:
+        return self.seek_latency_s > 0.0 or self.per_byte_latency_s > 0.0
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Resource envelope of a device under test.
+
+    Parameters mirror the constraints in paper §2.1: constrained shared
+    memory (cache budgets), varying compute (worker threads), and flash
+    storage characteristics (I/O model).
+    """
+
+    name: str = "large"
+    worker_threads: int = 8
+    partition_cache_bytes: int = 64 * 1024 * 1024
+    sqlite_cache_bytes: int = 8 * 1024 * 1024
+    io_model: IOCostModel = field(default_factory=IOCostModel)
+
+    def __post_init__(self) -> None:
+        if self.worker_threads < 1:
+            raise ConfigError("worker_threads must be >= 1")
+        if self.partition_cache_bytes < 0:
+            raise ConfigError("partition_cache_bytes must be >= 0")
+        if self.sqlite_cache_bytes < 0:
+            raise ConfigError("sqlite_cache_bytes must be >= 0")
+
+    @classmethod
+    def small(cls, io_model: IOCostModel | None = None) -> "DeviceProfile":
+        """Small DUT: single-digit GiB device (paper §4.1.2)."""
+        return cls(
+            name="small",
+            worker_threads=2,
+            partition_cache_bytes=8 * 1024 * 1024,
+            sqlite_cache_bytes=2 * 1024 * 1024,
+            io_model=io_model or IOCostModel(),
+        )
+
+    @classmethod
+    def large(cls, io_model: IOCostModel | None = None) -> "DeviceProfile":
+        """Large DUT: a few tens of GiB of memory (paper §4.1.2)."""
+        return cls(
+            name="large",
+            worker_threads=8,
+            partition_cache_bytes=64 * 1024 * 1024,
+            sqlite_cache_bytes=8 * 1024 * 1024,
+            io_model=io_model or IOCostModel(),
+        )
+
+
+@dataclass(frozen=True)
+class MicroNNConfig:
+    """Configuration for a MicroNN database instance.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of all stored vectors.
+    metric:
+        Distance metric: ``"l2"`` (Euclidean), ``"cosine"``, or ``"dot"``
+        (inner product; larger is closer, internally negated).
+    target_cluster_size:
+        Target number of vectors per IVF partition; the number of
+        clusters is ``max(1, |X| / target_cluster_size)`` (Algorithm 1,
+        default 100 as in the paper).
+    minibatch_size:
+        Mini-batch size ``s`` for the clustering algorithm. ``None``
+        derives a batch from ``minibatch_fraction``.
+    minibatch_fraction:
+        Mini-batch size as a fraction of the dataset (used when
+        ``minibatch_size`` is ``None``); Figure 8 sweeps this knob.
+    kmeans_iterations:
+        Number of mini-batch iterations ``n``. ``None`` chooses a
+        heuristic based on dataset and batch size so every vector is
+        expected to be sampled a few times.
+    balance_penalty:
+        Weight of the cluster-size penalty in the ``NEAREST`` routine
+        (flexible balance constraints, Liu et al. 2018). ``0`` disables
+        balancing; the ablation bench sweeps this.
+    default_nprobe:
+        Default number of IVF partitions scanned per query (``n`` in
+        Algorithm 2).
+    attributes:
+        Declared attribute schema: mapping of attribute name to SQL type
+        (``TEXT``/``INTEGER``/``REAL``). Only declared attributes may be
+        stored and filtered (paper §3.5: clients define filterable
+        attributes, indexed with SQLite b-trees).
+    fts_attributes:
+        Subset of TEXT attributes additionally indexed for full-text
+        ``MATCH`` filters (paper §3.5: FTS index over filterable
+        attributes).
+    delta_flush_threshold:
+        Number of delta-store vectors that triggers an incremental flush
+        during :meth:`~repro.core.database.MicroNN.maintain`.
+    rebuild_growth_threshold:
+        Fractional growth of the average partition size (relative to the
+        size at the last full build) that triggers a full rebuild; the
+        paper's update experiment (Fig. 10) uses 0.5 (50% growth).
+    device:
+        Resource envelope for query processing.
+    seed:
+        RNG seed used by clustering for reproducible builds.
+    """
+
+    dim: int
+    metric: str = "l2"
+    target_cluster_size: int = 100
+    minibatch_size: int | None = None
+    minibatch_fraction: float = 0.05
+    kmeans_iterations: int | None = None
+    balance_penalty: float = 1.0
+    default_nprobe: int = 8
+    attributes: Mapping[str, str] = field(default_factory=dict)
+    fts_attributes: tuple[str, ...] = ()
+    delta_flush_threshold: int = 1000
+    rebuild_growth_threshold: float = 0.5
+    #: When set, partition selection switches from a flat centroid scan
+    #: to a two-level coarse index once the centroid table reaches this
+    #: many rows (the paper's §3.2 "index the centroid table" extension;
+    #: ``None`` keeps the paper's default flat scan).
+    centroid_index_threshold: int | None = None
+    centroid_index_cell_size: int = 64
+    centroid_index_oversample: float = 4.0
+    device: DeviceProfile = field(default_factory=DeviceProfile.large)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ConfigError(f"dim must be >= 1, got {self.dim}")
+        if self.metric not in SUPPORTED_METRICS:
+            raise ConfigError(
+                f"metric must be one of {SUPPORTED_METRICS}, got {self.metric!r}"
+            )
+        if self.target_cluster_size < 1:
+            raise ConfigError("target_cluster_size must be >= 1")
+        if self.minibatch_size is not None and self.minibatch_size < 1:
+            raise ConfigError("minibatch_size must be >= 1 when given")
+        if not 0.0 < self.minibatch_fraction <= 1.0:
+            raise ConfigError("minibatch_fraction must be in (0, 1]")
+        if self.kmeans_iterations is not None and self.kmeans_iterations < 1:
+            raise ConfigError("kmeans_iterations must be >= 1 when given")
+        if self.balance_penalty < 0:
+            raise ConfigError("balance_penalty must be >= 0")
+        if self.default_nprobe < 1:
+            raise ConfigError("default_nprobe must be >= 1")
+        if self.delta_flush_threshold < 1:
+            raise ConfigError("delta_flush_threshold must be >= 1")
+        if self.rebuild_growth_threshold <= 0:
+            raise ConfigError("rebuild_growth_threshold must be > 0")
+        if (
+            self.centroid_index_threshold is not None
+            and self.centroid_index_threshold < 2
+        ):
+            raise ConfigError(
+                "centroid_index_threshold must be >= 2 when set"
+            )
+        if self.centroid_index_cell_size < 1:
+            raise ConfigError("centroid_index_cell_size must be >= 1")
+        if self.centroid_index_oversample < 1.0:
+            raise ConfigError("centroid_index_oversample must be >= 1.0")
+        self._validate_attributes()
+
+    def _validate_attributes(self) -> None:
+        for name, sql_type in self.attributes.items():
+            if not name.isidentifier():
+                raise ConfigError(
+                    f"attribute name {name!r} must be a valid identifier"
+                )
+            if name.startswith("_") or name.lower() in _RESERVED_COLUMNS:
+                raise ConfigError(f"attribute name {name!r} is reserved")
+            if sql_type.upper() not in SUPPORTED_ATTRIBUTE_TYPES:
+                raise ConfigError(
+                    f"attribute {name!r} has unsupported type {sql_type!r}; "
+                    f"supported: {SUPPORTED_ATTRIBUTE_TYPES}"
+                )
+        for name in self.fts_attributes:
+            if name not in self.attributes:
+                raise ConfigError(
+                    f"fts attribute {name!r} is not a declared attribute"
+                )
+            if self.attributes[name].upper() != "TEXT":
+                raise ConfigError(
+                    f"fts attribute {name!r} must be TEXT, "
+                    f"got {self.attributes[name]!r}"
+                )
+
+    @property
+    def normalized_attributes(self) -> dict[str, str]:
+        """Attribute schema with canonical upper-case SQL types."""
+        return {name: t.upper() for name, t in self.attributes.items()}
+
+    def with_device(self, device: DeviceProfile) -> "MicroNNConfig":
+        """Return a copy of this config running on a different device."""
+        return replace(self, device=device)
+
+    def vector_nbytes(self) -> int:
+        """Bytes of one encoded vector (float32 little-endian blob)."""
+        return 4 * self.dim
+
+
+#: Column names used by the library's own schema; attributes must not
+#: collide with them.
+_RESERVED_COLUMNS = frozenset(
+    {
+        "asset_id",
+        "vector_id",
+        "partition_id",
+        "vector",
+        "centroid",
+        "rowid",
+        "key",
+        "value",
+    }
+)

@@ -1,0 +1,478 @@
+"""The MicroNN embedded vector database facade.
+
+This is the library's public entry point, wiring together the storage
+engine, the IVF index, the delta-store, the hybrid query optimizer and
+the batch executor behind the small API the paper describes: an
+embeddable library any application links to create its own local vector
+index (§3).
+
+Typical usage::
+
+    from repro import MicroNN, MicroNNConfig, Eq
+
+    config = MicroNNConfig(dim=128, metric="l2",
+                           attributes={"location": "TEXT"})
+    with MicroNN.open("photos.db", config) as db:
+        db.upsert("img-001", vector, {"location": "Seattle"})
+        db.build_index()
+        hits = db.search(query_vector, k=10,
+                         filters=Eq("location", "Seattle"))
+
+Concurrency contract (paper §3.6): a single writer — upserts, deletes,
+maintenance, rebuilds are serialized — with any number of concurrent
+readers, each seeing a consistent snapshot (SQLite WAL).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.config import MicroNNConfig
+from repro.core.errors import FilterError
+from repro.core.types import (
+    BatchSearchResult,
+    BuildReport,
+    IndexStats,
+    MaintenanceAction,
+    MaintenanceReport,
+    PlanKind,
+    SearchResult,
+)
+from repro.index.ivf import IVFBuilder
+from repro.index.maintenance import IncrementalMaintainer, IndexMonitor
+from repro.query.batch import BatchQueryExecutor
+from repro.query.executor import QueryExecutor
+from repro.query.filters import Predicate, default_tokenizer
+from repro.query.fts import TokenStats
+from repro.query.planner import HybridQueryPlanner, PlanDecision
+from repro.query.selectivity import (
+    SelectivityEstimator,
+    collect_statistics,
+    load_statistics,
+)
+from repro.storage.engine import StorageEngine, VectorRecord
+from repro.storage.iomodel import IOSnapshot
+from repro.storage.memory import MemorySnapshot
+
+
+class MicroNN:
+    """An on-device, disk-resident, updatable vector database."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str] | None,
+        config: MicroNNConfig,
+    ) -> None:
+        self._config = config
+        self._engine = StorageEngine(
+            path, config, tokenizer=default_tokenizer
+        )
+        self._executor = QueryExecutor(self._engine, config)
+        self._batch_executor = BatchQueryExecutor(self._engine, config)
+        self._builder = IVFBuilder(self._engine, config)
+        self._monitor = IndexMonitor(self._engine, config)
+        self._maintainer = IncrementalMaintainer(self._engine, config)
+        self._token_stats = TokenStats(self._engine)
+        self._estimator_lock = threading.Lock()
+        self._estimator: SelectivityEstimator | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike[str] | None = None,
+        config: MicroNNConfig | None = None,
+        *,
+        dim: int | None = None,
+        **config_kwargs: object,
+    ) -> "MicroNN":
+        """Open (creating if needed) a MicroNN database.
+
+        Either pass a full :class:`MicroNNConfig`, or pass ``dim`` plus
+        any config keyword arguments for a one-liner. ``path=None``
+        creates an ephemeral database in a temporary directory that is
+        removed on close.
+        """
+        if config is None:
+            if dim is None:
+                raise FilterError(
+                    "open() needs either a config or at least dim=..."
+                )
+            config = MicroNNConfig(dim=dim, **config_kwargs)  # type: ignore[arg-type]
+        elif dim is not None or config_kwargs:
+            raise FilterError(
+                "pass either a config object or keyword arguments, not both"
+            )
+        return cls(path, config)
+
+    def close(self) -> None:
+        """Close all connections; the object is unusable afterwards."""
+        self._executor.close()
+        self._batch_executor.close()
+        self._engine.close()
+
+    def __enter__(self) -> "MicroNN":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def config(self) -> MicroNNConfig:
+        return self._config
+
+    @property
+    def path(self) -> str:
+        return self._engine.path
+
+    @property
+    def engine(self) -> StorageEngine:
+        """The underlying storage engine (benchmarks introspect it)."""
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def upsert(
+        self,
+        asset_id: str,
+        vector: np.ndarray,
+        attributes: Mapping[str, object] | None = None,
+    ) -> None:
+        """Insert or replace one asset (paper upsert semantics, §3.6)."""
+        self.upsert_batch(
+            [VectorRecord(asset_id, np.asarray(vector), attributes or {})]
+        )
+
+    def upsert_batch(
+        self,
+        records: Iterable[VectorRecord | tuple],
+    ) -> int:
+        """Insert or replace many assets in one write transaction.
+
+        Accepts :class:`VectorRecord` objects or ``(asset_id, vector)``
+        / ``(asset_id, vector, attributes)`` tuples. New vectors are
+        staged in the delta-store and become visible to queries
+        immediately (the delta is scanned by every search).
+        """
+        normalized = [_as_record(r) for r in records]
+        written = self._engine.upsert_batch(normalized)
+        self._invalidate_estimates()
+        return written
+
+    def delete(self, asset_id: str) -> bool:
+        """Delete one asset; returns True if it existed."""
+        return self.delete_batch([asset_id]) > 0
+
+    def delete_batch(self, asset_ids: Iterable[str]) -> int:
+        """Delete many assets; returns how many vectors were removed."""
+        deleted = self._engine.delete_assets(asset_ids)
+        if deleted:
+            self._invalidate_estimates()
+        return deleted
+
+    # ------------------------------------------------------------------
+    # Reads (point lookups)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._engine.count_vectors()
+
+    def __contains__(self, asset_id: str) -> bool:
+        return self._engine.get_vector(asset_id) is not None
+
+    def get_vector(self, asset_id: str) -> np.ndarray | None:
+        return self._engine.get_vector(asset_id)
+
+    def get_attributes(self, asset_id: str) -> dict[str, object] | None:
+        return self._engine.get_attributes(asset_id)
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+
+    def build_index(self) -> BuildReport:
+        """Full (re)clustering of the entire collection (Algorithm 1).
+
+        Also refreshes the optimizer's column statistics — a build is a
+        natural ANALYZE point, and the optimizer needs fresh histograms
+        to pick hybrid plans well.
+        """
+        report = self._builder.build()
+        self.refresh_statistics()
+        return report
+
+    def maintain(
+        self, force: MaintenanceAction | None = None
+    ) -> MaintenanceReport:
+        """Run the index monitor's recommended maintenance (§3.6).
+
+        Incremental flushes drain the delta-store into the nearest
+        partitions; a full rebuild re-clusters everything once the
+        average partition size has outgrown its threshold. ``force``
+        overrides the monitor's recommendation.
+        """
+        action = force or self._monitor.recommend()
+        if action is MaintenanceAction.NONE:
+            return MaintenanceReport(
+                action=MaintenanceAction.NONE,
+                stats_before=self._monitor.stats(),
+                stats_after=self._monitor.stats(),
+            )
+        if action is MaintenanceAction.INCREMENTAL_FLUSH:
+            report = self._maintainer.flush()
+            self._invalidate_estimates()
+            return report
+        start = time.perf_counter()
+        stats_before = self._monitor.stats()
+        rows_before = self._engine.accountant.rows_written
+        self.build_index()
+        return MaintenanceReport(
+            action=MaintenanceAction.FULL_REBUILD,
+            vectors_flushed=stats_before.delta_vectors,
+            row_changes=self._engine.accountant.rows_written - rows_before,
+            duration_s=time.perf_counter() - start,
+            stats_before=stats_before,
+            stats_after=self._monitor.stats(),
+        )
+
+    def index_stats(self) -> IndexStats:
+        return self._monitor.stats()
+
+    def recommended_action(self) -> MaintenanceAction:
+        return self._monitor.recommend()
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        nprobe: int | None = None,
+        filters: Predicate | None = None,
+        exact: bool = False,
+        plan: PlanKind | None = None,
+    ) -> SearchResult:
+        """Nearest-neighbour search (Algorithm 2 + hybrid plans, §3.3-3.5).
+
+        Parameters
+        ----------
+        query:
+            Query vector of the configured dimensionality.
+        k:
+            Number of neighbours to return.
+        nprobe:
+            IVF partitions to probe (defaults to the config value); the
+            latency/recall knob of the paper.
+        filters:
+            Optional attribute predicate. Without ``plan``, the hybrid
+            optimizer picks pre- vs post-filtering from selectivity
+            estimates (§3.5.1).
+        exact:
+            Force exhaustive exact KNN (100% recall).
+        plan:
+            Force :data:`PlanKind.PRE_FILTER` or
+            :data:`PlanKind.POST_FILTER` for a filtered query,
+            bypassing the optimizer.
+        """
+        nprobe = nprobe or self._config.default_nprobe
+        if exact:
+            return self._executor.search_exact(query, k, predicate=filters)
+        if filters is None:
+            return self._executor.search_ann(query, k, nprobe)
+        return self._search_hybrid(query, k, nprobe, filters, plan)
+
+    def _search_hybrid(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int,
+        filters: Predicate,
+        plan: PlanKind | None,
+    ) -> SearchResult:
+        decision: PlanDecision | None = None
+        if plan is None:
+            decision = self.plan_for(filters, nprobe)
+            plan = decision.kind
+        if plan is PlanKind.PRE_FILTER:
+            result = self._executor.search_prefilter(query, k, filters)
+        elif plan is PlanKind.POST_FILTER:
+            result = self._executor.search_postfilter(
+                query, k, nprobe, filters
+            )
+        else:
+            raise FilterError(
+                f"plan must be PRE_FILTER or POST_FILTER, got {plan}"
+            )
+        if decision is not None:
+            stats = dataclasses.replace(
+                result.stats,
+                estimated_selectivity=decision.estimated_selectivity,
+                ivf_selectivity=decision.ivf_selectivity,
+            )
+            result = SearchResult(neighbors=result.neighbors, stats=stats)
+        return result
+
+    def plan_for(self, filters: Predicate, nprobe: int | None = None) -> PlanDecision:
+        """Expose the optimizer's decision without running the query."""
+        nprobe = nprobe or self._config.default_nprobe
+        planner = HybridQueryPlanner(
+            self._get_estimator(),
+            total_vectors=len(self),
+            target_partition_size=self._current_partition_target(),
+        )
+        return planner.choose(filters, nprobe)
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: int | None = None,
+    ) -> BatchSearchResult:
+        """Batch ANN with multi-query optimization (§3.4)."""
+        nprobe = nprobe or self._config.default_nprobe
+        return self._batch_executor.search_batch(queries, k, nprobe)
+
+    # ------------------------------------------------------------------
+    # Statistics / optimizer support
+    # ------------------------------------------------------------------
+
+    def refresh_statistics(self) -> None:
+        """Re-run the ANALYZE-style per-column statistics collection."""
+        if self._config.attributes:
+            collect_statistics(self._engine, self._config)
+        self._invalidate_estimates()
+
+    def _get_estimator(self) -> SelectivityEstimator:
+        with self._estimator_lock:
+            if self._estimator is None:
+                stats = load_statistics(self._engine)
+                self._estimator = SelectivityEstimator(
+                    stats,
+                    token_stats=self._token_stats,
+                    total_rows=self._engine.count_attribute_rows()
+                    or len(self),
+                )
+            return self._estimator
+
+    def _invalidate_estimates(self) -> None:
+        with self._estimator_lock:
+            self._estimator = None
+        self._token_stats.invalidate()
+
+    def _current_partition_target(self) -> int:
+        """The p of F̂_IVF: actual average partition size when indexed."""
+        stats = self._monitor.stats()
+        if stats.num_partitions > 0 and stats.avg_partition_size > 0:
+            return max(1, round(stats.avg_partition_size))
+        return self._config.target_cluster_size
+
+    # ------------------------------------------------------------------
+    # Cache scenarios and telemetry (§4.1.4)
+    # ------------------------------------------------------------------
+
+    def purge_caches(self) -> None:
+        """Cold-start scenario: drop all cached pages and blocks."""
+        self._engine.purge_caches()
+
+    def compact(self) -> int:
+        """Reclaim disk space left by deletes and partition moves.
+
+        Returns the number of bytes the database file shrank by.
+        On-device storage is shared and flash-constrained (§2.1), so
+        periodic compaction after heavy delete traffic matters.
+        """
+        return self._engine.vacuum()
+
+    def check_integrity(self) -> list[str]:
+        """Verify storage health; returns a list of problems (empty =
+        healthy). Covers SQLite page integrity plus MicroNN invariants
+        (orphaned partition assignments, impossible centroid counts).
+        """
+        return self._engine.integrity_check()
+
+    def explain(
+        self,
+        filters: Predicate,
+        nprobe: int | None = None,
+        k: int = 10,
+    ) -> str:
+        """Human-readable account of the optimizer's plan choice.
+
+        The EXPLAIN analog for hybrid queries: shows both candidate
+        plans, the selectivity estimates, the F̂_IVF threshold, and
+        which side won — without executing anything.
+        """
+        nprobe = nprobe or self._config.default_nprobe
+        decision = self.plan_for(filters, nprobe)
+        total = len(self)
+        lines = [
+            f"hybrid query plan (k={k}, nprobe={nprobe}, |R|={total})",
+            (
+                "  attribute filter: estimated selectivity "
+                f"{decision.estimated_selectivity:.6f} "
+                f"(~{decision.estimated_cardinality} rows)"
+            ),
+            (
+                "  IVF probe:        selectivity threshold F_IVF = "
+                f"{decision.ivf_selectivity:.6f}"
+            ),
+        ]
+        if decision.kind is PlanKind.PRE_FILTER:
+            lines.append(
+                "  chosen plan: PRE-FILTER — the filter narrows the "
+                "search more than the index; evaluate it first, then "
+                "brute-force the qualifying vectors (100% recall)."
+            )
+        else:
+            lines.append(
+                "  chosen plan: POST-FILTER — the index narrows the "
+                "search more than the filter; run the ANN scan and "
+                "apply the filter during partition retrieval."
+            )
+        return "\n".join(lines)
+
+    def warm_cache(
+        self, queries: np.ndarray, k: int = 10, nprobe: int | None = None
+    ) -> None:
+        """Warm-cache scenario: run warm-up queries before measuring."""
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        for row in q:
+            self.search(row, k=k, nprobe=nprobe)
+
+    def memory(self) -> MemorySnapshot:
+        """Tracked resident memory (the paper's RSS analog)."""
+        return self._engine.tracker.snapshot()
+
+    def io(self) -> IOSnapshot:
+        """Cumulative I/O counters (bytes read, rows written, cache)."""
+        return self._engine.accountant.snapshot()
+
+
+def _as_record(record: VectorRecord | tuple) -> VectorRecord:
+    if isinstance(record, VectorRecord):
+        return record
+    if isinstance(record, tuple):
+        if len(record) == 2:
+            asset_id, vector = record
+            return VectorRecord(str(asset_id), np.asarray(vector), {})
+        if len(record) == 3:
+            asset_id, vector, attributes = record
+            return VectorRecord(
+                str(asset_id), np.asarray(vector), dict(attributes or {})
+            )
+    raise FilterError(
+        "records must be VectorRecord or (asset_id, vector[, attributes])"
+    )

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the MicroNN library.
+
+All exceptions raised by the public API derive from :class:`MicroNNError`
+so callers can catch a single base class. Errors caused by user input
+(bad dimensions, unknown attributes, malformed filters) are distinguished
+from internal/storage failures.
+"""
+
+from __future__ import annotations
+
+
+class MicroNNError(Exception):
+    """Base class for all MicroNN errors."""
+
+
+class ConfigError(MicroNNError):
+    """Raised when a :class:`~repro.core.config.MicroNNConfig` is invalid."""
+
+
+class DimensionMismatchError(MicroNNError):
+    """Raised when a vector does not match the configured dimensionality."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(
+            f"vector has dimension {actual}, expected {expected}"
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+class UnknownAttributeError(MicroNNError):
+    """Raised when a filter or upsert references an undeclared attribute."""
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()) -> None:
+        detail = f"unknown attribute {name!r}"
+        if known:
+            detail += f"; declared attributes: {', '.join(sorted(known))}"
+        super().__init__(detail)
+        self.name = name
+
+
+class FilterError(MicroNNError):
+    """Raised when a predicate expression is malformed."""
+
+
+class StorageError(MicroNNError):
+    """Raised when the underlying relational storage fails."""
+
+
+class DatabaseClosedError(StorageError):
+    """Raised when an operation is attempted on a closed database."""
+
+
+class WriteConflictError(StorageError):
+    """Raised when the single-writer lock cannot be acquired."""
+
+
+class IndexNotBuiltError(MicroNNError):
+    """Raised when an index-only operation runs before any index exists.
+
+    Searches never raise this: before the first build every vector lives
+    in the delta-store, which is always scanned, so queries degrade to
+    exact search rather than failing.
+    """
+
+
+class EmptyDatabaseError(MicroNNError):
+    """Raised when an operation requires at least one stored vector."""

@@ -1,0 +1,190 @@
+"""Public result and statistics types returned by the MicroNN API.
+
+These are small immutable dataclasses: a query returns a
+:class:`SearchResult` (ranked :class:`Neighbor` entries plus a
+:class:`QueryStats` describing how the query was executed), and index
+operations return :class:`IndexStats` / :class:`MaintenanceReport`
+describing what they did. Benchmarks and the index monitor consume the
+stats; applications usually only look at the neighbours.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+
+class PlanKind(enum.Enum):
+    """Execution strategy chosen for a (hybrid) query (paper §3.5)."""
+
+    #: Plain ANN over the IVF index (no attribute filter).
+    ANN = "ann"
+    #: Exact KNN via full scan.
+    EXACT = "exact"
+    #: Evaluate the attribute filter first, brute-force over survivors.
+    PRE_FILTER = "pre_filter"
+    #: ANN scan with the filter applied during partition retrieval.
+    POST_FILTER = "post_filter"
+
+
+@dataclass(frozen=True, slots=True)
+class Neighbor:
+    """One ranked search hit."""
+
+    asset_id: str
+    distance: float
+
+    def __iter__(self) -> Iterator[object]:
+        # Allow ``for asset_id, distance in result`` style unpacking.
+        yield self.asset_id
+        yield self.distance
+
+
+@dataclass(frozen=True, slots=True)
+class QueryStats:
+    """Execution trace of one query, used by benchmarks and tests."""
+
+    plan: PlanKind
+    nprobe: int = 0
+    partitions_scanned: int = 0
+    vectors_scanned: int = 0
+    distance_computations: int = 0
+    rows_filtered: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    bytes_read: int = 0
+    latency_s: float = 0.0
+    #: Selectivity factor estimated by the optimizer (hybrid queries).
+    estimated_selectivity: float | None = None
+    #: The IVF selectivity threshold the optimizer compared against.
+    ivf_selectivity: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """Ranked neighbours plus the stats of the query that produced them."""
+
+    neighbors: tuple[Neighbor, ...]
+    stats: QueryStats
+
+    def __len__(self) -> int:
+        return len(self.neighbors)
+
+    def __iter__(self) -> Iterator[Neighbor]:
+        return iter(self.neighbors)
+
+    def __getitem__(self, idx: int) -> Neighbor:
+        return self.neighbors[idx]
+
+    @property
+    def asset_ids(self) -> tuple[str, ...]:
+        return tuple(n.asset_id for n in self.neighbors)
+
+    @property
+    def distances(self) -> tuple[float, ...]:
+        return tuple(n.distance for n in self.neighbors)
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionInfo:
+    """Size and identity of one IVF partition."""
+
+    partition_id: int
+    size: int
+
+
+@dataclass(frozen=True, slots=True)
+class IndexStats:
+    """Snapshot of index state, as tracked by the index monitor (§3.6)."""
+
+    total_vectors: int
+    indexed_vectors: int
+    delta_vectors: int
+    num_partitions: int
+    avg_partition_size: float
+    max_partition_size: int
+    min_partition_size: int
+    #: Average partition size recorded at the last full build; the
+    #: monitor compares against this to decide when to rebuild.
+    baseline_avg_partition_size: float
+
+    @property
+    def partition_growth(self) -> float:
+        """Fractional growth of avg partition size since the last build."""
+        if self.baseline_avg_partition_size <= 0:
+            return 0.0
+        return (
+            self.avg_partition_size / self.baseline_avg_partition_size
+        ) - 1.0
+
+
+class MaintenanceAction(enum.Enum):
+    """What :meth:`MicroNN.maintain` decided to do."""
+
+    NONE = "none"
+    INCREMENTAL_FLUSH = "incremental_flush"
+    FULL_REBUILD = "full_rebuild"
+
+
+@dataclass(frozen=True, slots=True)
+class MaintenanceReport:
+    """Outcome of one maintenance cycle (incremental flush or rebuild)."""
+
+    action: MaintenanceAction
+    vectors_flushed: int = 0
+    centroids_updated: int = 0
+    row_changes: int = 0
+    duration_s: float = 0.0
+    stats_before: IndexStats | None = None
+    stats_after: IndexStats | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class BuildReport:
+    """Outcome of a full index build."""
+
+    num_vectors: int
+    num_partitions: int
+    iterations: int
+    minibatch_size: int
+    row_changes: int
+    duration_s: float
+    peak_memory_bytes: int
+
+
+@dataclass(frozen=True)
+class BatchSearchResult:
+    """Results for a batch of queries executed with MQO (paper §3.4)."""
+
+    results: Sequence[SearchResult]
+    #: Number of distinct partitions scanned for the whole batch.
+    partitions_scanned: int = 0
+    #: Sum over queries of the partitions each would have scanned alone.
+    partitions_requested: int = 0
+    latency_s: float = 0.0
+    stats: QueryStats | None = None
+    extras: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[SearchResult]:
+        return iter(self.results)
+
+    def __getitem__(self, idx: int) -> SearchResult:
+        return self.results[idx]
+
+    @property
+    def amortized_latency_s(self) -> float:
+        """Average wall-clock latency per query in the batch."""
+        if not self.results:
+            return 0.0
+        return self.latency_s / len(self.results)
+
+    @property
+    def scan_sharing_factor(self) -> float:
+        """How many per-query partition scans each physical scan served."""
+        if self.partitions_scanned <= 0:
+            return 1.0
+        return self.partitions_requested / self.partitions_scanned

@@ -1,0 +1,24 @@
+"""IVF indexing: clustering, construction, delta-store, maintenance."""
+
+from repro.index.centroid_index import CentroidIndex
+from repro.index.delta import DeltaStore
+from repro.index.ivf import IVFBuilder
+from repro.index.kmeans import (
+    ClusteringResult,
+    MiniBatchKMeans,
+    plan_iterations,
+    plan_num_clusters,
+)
+from repro.index.maintenance import IncrementalMaintainer, IndexMonitor
+
+__all__ = [
+    "CentroidIndex",
+    "MiniBatchKMeans",
+    "ClusteringResult",
+    "plan_num_clusters",
+    "plan_iterations",
+    "IVFBuilder",
+    "DeltaStore",
+    "IndexMonitor",
+    "IncrementalMaintainer",
+]

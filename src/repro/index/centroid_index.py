@@ -1,0 +1,137 @@
+"""Two-level centroid index (the paper's §3.2 extension).
+
+The base system scans the whole centroid table per query — fine while
+``k = |X| / target_cluster_size`` stays in the thousands, and the paper
+explicitly leaves indexing the centroids themselves as future work
+("To scale to even larger collections, the centroid table itself could
+also be indexed"; the Fig. 9 discussion also attributes the DEEPImage
+batch crossover to the growing centroid-scan matrix product).
+
+This module implements that extension: the centroids are themselves
+clustered into *coarse cells* with the same mini-batch balanced
+k-means, and partition selection becomes two-level — rank the coarse
+cells by distance to the query, then rank only the centroids inside
+the nearest cells. With ``c`` cells of ~``m`` centroids each, selection
+costs ``O(c + probed·m)`` distance computations instead of ``O(c·m)``.
+
+The trade-off is a (small) chance that a true nearest centroid lives in
+an unprobed cell; the ``oversample`` knob controls how many candidate
+centroids are ranked relative to ``nprobe``. Disabled by default —
+enable via ``MicroNNConfig.centroid_index_threshold``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.index.kmeans import MiniBatchKMeans, plan_num_clusters
+from repro.query.distance import distances_to_one
+
+
+class CentroidIndex:
+    """Coarse quantizer over an IVF index's centroid table."""
+
+    def __init__(
+        self,
+        coarse_centroids: np.ndarray,
+        cell_members: list[np.ndarray],
+        partition_ids: np.ndarray,
+        centroids: np.ndarray,
+        metric: str,
+    ) -> None:
+        if len(coarse_centroids) != len(cell_members):
+            raise ConfigError("cells and member lists must align")
+        self._coarse = coarse_centroids
+        self._members = cell_members
+        self._partition_ids = partition_ids
+        self._centroids = centroids
+        self._metric = metric
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._coarse)
+
+    @property
+    def num_centroids(self) -> int:
+        return len(self._partition_ids)
+
+    @classmethod
+    def build(
+        cls,
+        partition_ids: np.ndarray,
+        centroids: np.ndarray,
+        metric: str,
+        cell_size: int = 64,
+        seed: int = 0,
+    ) -> "CentroidIndex":
+        """Cluster the centroid table into coarse cells."""
+        n = len(centroids)
+        if n == 0:
+            raise ConfigError("cannot index an empty centroid table")
+        num_cells = plan_num_clusters(n, cell_size)
+        trainer = MiniBatchKMeans(
+            n_clusters=num_cells,
+            dim=centroids.shape[1],
+            metric=metric,
+            balance_penalty=1.0,
+            seed=seed,
+        )
+        trainer.initialize(centroids)
+        # The centroid table is small; a few full passes are cheap and
+        # give a stable coarse quantizer.
+        for _ in range(8):
+            trainer.partial_fit(centroids)
+        labels = trainer.assign(centroids)
+        members = [
+            np.flatnonzero(labels == cell) for cell in range(num_cells)
+        ]
+        return cls(
+            coarse_centroids=trainer.centroids.copy(),
+            cell_members=members,
+            partition_ids=np.asarray(partition_ids, dtype=np.int64),
+            centroids=np.ascontiguousarray(centroids, dtype=np.float32),
+            metric=metric,
+        )
+
+    def select(
+        self, query: np.ndarray, nprobe: int, oversample: float = 4.0
+    ) -> list[int]:
+        """Return ~``nprobe`` partition ids nearest to the query.
+
+        Coarse cells are ranked by centroid distance; cells are opened
+        in order until at least ``nprobe * oversample`` candidate
+        centroids are available, and those candidates are ranked
+        exactly. Distances computed: ``num_cells`` + candidates, versus
+        ``num_centroids`` for the flat scan.
+        """
+        if nprobe < 1:
+            raise ConfigError("nprobe must be >= 1")
+        target = max(int(np.ceil(nprobe * max(oversample, 1.0))), nprobe)
+        cell_dist = distances_to_one(query, self._coarse, self._metric)
+        candidate_rows: list[np.ndarray] = []
+        total = 0
+        for cell in np.argsort(cell_dist, kind="stable"):
+            members = self._members[int(cell)]
+            if members.size == 0:
+                continue
+            candidate_rows.append(members)
+            total += members.size
+            if total >= target:
+                break
+        rows = np.concatenate(candidate_rows)
+        dist = distances_to_one(
+            query, self._centroids[rows], self._metric
+        )
+        take = min(nprobe, rows.size)
+        order = np.argpartition(dist, take - 1)[:take]
+        ranked = sorted(
+            (float(dist[i]), int(self._partition_ids[rows[i]]))
+            for i in order
+        )
+        return [pid for _, pid in ranked]
+
+    def selection_cost(self, nprobe: int, oversample: float = 4.0) -> int:
+        """Expected distance computations per selection (for benches)."""
+        target = max(int(np.ceil(nprobe * max(oversample, 1.0))), nprobe)
+        return self.num_cells + min(target, self.num_centroids)

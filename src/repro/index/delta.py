@@ -1,0 +1,45 @@
+"""Delta-store view (paper §3.6).
+
+New and updated vectors are staged in a *delta-store* until index
+maintenance folds them into IVF partitions. Physically the delta is
+just the reserved partition id inside the clustered vector table — it
+shares the storage layout, data locality and snapshot semantics of
+every other partition, and the ANN search algorithm simply scans it as
+"one more partition" (Algorithm 2, line 3).
+
+This module is the thin, typed view over that reserved partition used
+by the executor (always scan it) and by maintenance (drain it).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DELTA_PARTITION_ID
+from repro.storage.cache import CachedPartition
+from repro.storage.engine import StorageEngine
+
+
+class DeltaStore:
+    """Read-side accessor for the reserved delta partition."""
+
+    def __init__(self, engine: StorageEngine) -> None:
+        self._engine = engine
+
+    @property
+    def partition_id(self) -> int:
+        return DELTA_PARTITION_ID
+
+    def size(self) -> int:
+        """Number of vectors currently staged in the delta-store."""
+        return self._engine.delta_size()
+
+    def is_empty(self) -> bool:
+        return self.size() == 0
+
+    def load(self, use_cache: bool = True) -> CachedPartition:
+        """Decode the delta partition (vector ids + matrix)."""
+        return self._engine.load_partition(
+            DELTA_PARTITION_ID, use_cache=use_cache
+        )
+
+    def asset_ids(self) -> tuple[str, ...]:
+        return self.load().asset_ids

@@ -1,0 +1,234 @@
+"""Mini-batch k-means with flexible balance constraints (Algorithm 1).
+
+This is the paper's quantizer trainer: Sculley's web-scale mini-batch
+k-means [35] keeps the memory footprint at one mini-batch instead of
+the whole collection, and a cluster-size penalty in the ``NEAREST``
+assignment (Liu et al. 2018 [22]) spreads vectors across nearby
+centroids instead of growing a few "mega" clusters.
+
+The implementation is deliberately storage-agnostic: the trainer is fed
+mini-batches by the caller (:class:`~repro.index.ivf.IVFBuilder` streams
+them from disk), so the trainer itself never holds more than
+``(minibatch_size + n_clusters) × dim`` floats — exactly the paper's
+memory argument, and what Figure 8b sweeps.
+
+Setting ``minibatch_fraction = 1.0`` degenerates into full-batch
+Lloyd-style k-means over the entire collection, which is the paper's
+``InMemory`` / "100% mini-batch" comparison point (Figures 6 and 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.query.distance import normalize_rows, pairwise_distances
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Trained quantizer: centroids plus training telemetry."""
+
+    centroids: np.ndarray
+    iterations: int
+    minibatch_size: int
+    #: Per-centroid assignment counts observed during training (the
+    #: ``v`` array of Algorithm 1) — not the final partition sizes.
+    training_counts: np.ndarray
+
+
+def plan_num_clusters(num_vectors: int, target_cluster_size: int) -> int:
+    """k = |X| / t (Algorithm 1, line 1), at least one cluster."""
+    if num_vectors <= 0:
+        return 0
+    return max(1, round(num_vectors / target_cluster_size))
+
+
+def plan_iterations(
+    num_vectors: int, minibatch_size: int, epochs: float = 3.0
+) -> int:
+    """Default iteration count: ~``epochs`` expected passes over X.
+
+    Clamped to [10, 300] so tiny datasets still converge and huge ones
+    do not train forever; Figure 8 shows recall is flat across a very
+    wide range of effective sample counts.
+    """
+    if minibatch_size <= 0:
+        raise ConfigError("minibatch_size must be positive")
+    raw = int(np.ceil(epochs * num_vectors / minibatch_size))
+    return int(np.clip(raw, 10, 300))
+
+
+class MiniBatchKMeans:
+    """Algorithm 1: streaming quantizer training.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids ``k``.
+    dim:
+        Vector dimensionality.
+    metric:
+        ``"l2"``, ``"cosine"`` (spherical: centroids re-normalized after
+        every step) or ``"dot"`` (trained in L2 space, standard IVF
+        practice for inner-product search).
+    balance_penalty:
+        Weight λ of the cluster-size penalty inside ``NEAREST``. With
+        λ=0 this is plain mini-batch k-means; larger λ trades quantizer
+        distortion for partition balance.
+    seed:
+        Seed for centroid initialization tie-breaking.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        dim: int,
+        metric: str = "l2",
+        balance_penalty: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ConfigError("n_clusters must be >= 1")
+        if dim < 1:
+            raise ConfigError("dim must be >= 1")
+        if balance_penalty < 0:
+            raise ConfigError("balance_penalty must be >= 0")
+        self._k = n_clusters
+        self._dim = dim
+        self._metric = metric
+        self._balance_penalty = balance_penalty
+        self._rng = np.random.default_rng(seed)
+        self._centroids: np.ndarray | None = None
+        # v in Algorithm 1: per-center assignment counts, which double
+        # as the denominators of the per-center learning rate 1/v[c].
+        self._counts = np.zeros(n_clusters, dtype=np.int64)
+        # Running scale of assignment distances; makes the additive
+        # balance penalty comparable to the data's distance magnitude.
+        self._distance_scale = 0.0
+        self._iterations_run = 0
+
+    @property
+    def n_clusters(self) -> int:
+        return self._k
+
+    @property
+    def centroids(self) -> np.ndarray:
+        if self._centroids is None:
+            raise ConfigError("quantizer is not initialized yet")
+        return self._centroids
+
+    @property
+    def is_initialized(self) -> bool:
+        return self._centroids is not None
+
+    def initialize(self, sample: np.ndarray) -> None:
+        """Seed centroids with k vectors drawn from a data sample.
+
+        Algorithm 1 line 2 initializes each centroid with a random
+        ``x ∈ X``; if the provided sample is smaller than k the
+        remainder is filled with jittered copies so every centroid
+        starts near the data manifold.
+        """
+        sample = np.asarray(sample, dtype=np.float32)
+        if sample.ndim != 2 or sample.shape[1] != self._dim:
+            raise ConfigError(
+                f"init sample must be (n, {self._dim}), got {sample.shape}"
+            )
+        if sample.shape[0] == 0:
+            raise ConfigError("cannot initialize from an empty sample")
+        n = sample.shape[0]
+        if n >= self._k:
+            chosen = self._rng.choice(n, size=self._k, replace=False)
+            centroids = sample[chosen].copy()
+        else:
+            reps = self._rng.choice(n, size=self._k, replace=True)
+            centroids = sample[reps].copy()
+            extra = self._k - n
+            if extra > 0:
+                scale = np.std(sample) or 1.0
+                jitter = self._rng.normal(
+                    0.0, 0.01 * scale, size=(self._k, self._dim)
+                ).astype(np.float32)
+                centroids += jitter
+        if self._metric == "cosine":
+            centroids = normalize_rows(centroids)
+        self._centroids = centroids.astype(np.float32)
+
+    def partial_fit(self, batch: np.ndarray) -> None:
+        """One Algorithm 1 iteration over a mini-batch (lines 6-13)."""
+        if self._centroids is None:
+            self.initialize(batch)
+        batch = np.asarray(batch, dtype=np.float32)
+        if batch.ndim != 2 or batch.shape[1] != self._dim:
+            raise ConfigError(
+                f"batch must be (n, {self._dim}), got {batch.shape}"
+            )
+        if batch.shape[0] == 0:
+            return
+        assignments, distances = self._nearest_balanced(batch)
+        # Per-center streaming mean update with learning rate 1/v[c].
+        for x, c in zip(batch, assignments):
+            self._counts[c] += 1
+            eta = 1.0 / self._counts[c]
+            self._centroids[c] = (1.0 - eta) * self._centroids[c] + eta * x
+        if self._metric == "cosine":
+            self._centroids = normalize_rows(self._centroids)
+        mean_dist = float(np.mean(distances)) if distances.size else 0.0
+        if self._distance_scale == 0.0:
+            self._distance_scale = mean_dist
+        else:
+            self._distance_scale = (
+                0.9 * self._distance_scale + 0.1 * mean_dist
+            )
+        self._iterations_run += 1
+
+    def _nearest_balanced(
+        self, batch: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The NEAREST routine: nearest centroid with a size penalty.
+
+        The penalty grows linearly with a cluster's share of all
+        training assignments, scaled by the running mean assignment
+        distance so λ is unitless and data-scale independent:
+
+            score(x, c) = d(x, c) + λ · scale · v[c] / mean(v)
+
+        Oversized clusters thus repel new assignments, which spreads
+        vectors across *nearby* clusters (the distances still dominate)
+        rather than hard-capping sizes.
+        """
+        dist = pairwise_distances(batch, self._centroids, self._training_metric())
+        if self._balance_penalty > 0.0 and self._counts.sum() > 0:
+            mean_count = max(float(self._counts.mean()), 1.0)
+            load = self._counts / mean_count
+            scale = self._distance_scale or float(np.mean(dist))
+            dist = dist + self._balance_penalty * scale * load[None, :]
+        assignments = np.argmin(dist, axis=1)
+        chosen = dist[np.arange(dist.shape[0]), assignments]
+        return assignments, chosen
+
+    def _training_metric(self) -> str:
+        # Inner-product indexes are conventionally trained in L2 space.
+        return "l2" if self._metric == "dot" else self._metric
+
+    def assign(self, vectors: np.ndarray) -> np.ndarray:
+        """Final partition assignment g(C, x): plain nearest centroid.
+
+        Algorithm 1 lines 14-16 assign every vector to its true nearest
+        centroid (no penalty) once training has finished.
+        """
+        dist = pairwise_distances(
+            vectors, self.centroids, self._training_metric()
+        )
+        return np.argmin(dist, axis=1)
+
+    def result(self) -> ClusteringResult:
+        return ClusteringResult(
+            centroids=self.centroids.copy(),
+            iterations=self._iterations_run,
+            minibatch_size=0,
+            training_counts=self._counts.copy(),
+        )

@@ -1,0 +1,96 @@
+"""Batched distance kernels (the SIMD numerics-accelerator analog).
+
+The paper batches vectors into matrices so a hardware-accelerated
+linear-algebra library can evaluate many distances per instruction
+(§3.1, §3.3). numpy's BLAS-backed ``@`` is the same computational shape
+in Python: one GEMM per (queries × partition) block, no per-vector
+Python loop.
+
+All kernels return values where **smaller means closer**, so heaps and
+sort orders are metric-agnostic:
+
+- ``l2`` returns squared Euclidean distance (monotone in true L2, and
+  what IVF comparisons need; ``sqrt`` is applied only when results are
+  surfaced).
+- ``cosine`` returns cosine *distance* ``1 - cos_sim``.
+- ``dot`` returns the negated inner product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+
+_EPS = 1e-12
+
+
+def pairwise_distances(
+    queries: np.ndarray, vectors: np.ndarray, metric: str
+) -> np.ndarray:
+    """Distance matrix of shape (num_queries, num_vectors).
+
+    ``queries`` is (q, d) and ``vectors`` is (n, d); both are treated as
+    float32. This is the single kernel behind ANN scans, exact KNN,
+    clustering assignment and MQO batches.
+    """
+    q = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    v = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+    if q.shape[1] != v.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: queries {q.shape[1]} vs vectors {v.shape[1]}"
+        )
+    if v.shape[0] == 0:
+        return np.empty((q.shape[0], 0), dtype=np.float32)
+    if metric == "l2":
+        return _squared_l2(q, v)
+    if metric == "cosine":
+        return _cosine_distance(q, v)
+    if metric == "dot":
+        return -(q @ v.T)
+    raise ConfigError(f"unsupported metric {metric!r}")
+
+
+def distances_to_one(
+    query: np.ndarray, vectors: np.ndarray, metric: str
+) -> np.ndarray:
+    """Distances from one query to each row of ``vectors`` (1-D result)."""
+    return pairwise_distances(query.reshape(1, -1), vectors, metric)[0]
+
+
+def surface_distance(value: float, metric: str) -> float:
+    """Convert an internal comparison value to the user-facing distance.
+
+    Internally L2 is kept squared to skip ``sqrt`` in the hot loop; the
+    square root is applied once per *returned* neighbour here. Cosine
+    and dot values are already user-facing (dot stays negated so that
+    smaller-is-closer holds in returned results too).
+    """
+    if metric == "l2":
+        return float(np.sqrt(max(value, 0.0)))
+    return float(value)
+
+
+def _squared_l2(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    # ||q - v||^2 = ||q||^2 - 2 q.v + ||v||^2, one GEMM + two norms.
+    q_norms = np.einsum("ij,ij->i", q, q)[:, None]
+    v_norms = np.einsum("ij,ij->i", v, v)[None, :]
+    out = q_norms - 2.0 * (q @ v.T) + v_norms
+    # GEMM round-off can leave tiny negatives; clamp so sqrt is safe.
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def _cosine_distance(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    q_norms = np.linalg.norm(q, axis=1, keepdims=True)
+    v_norms = np.linalg.norm(v, axis=1, keepdims=True)
+    sims = (q / np.maximum(q_norms, _EPS)) @ (v / np.maximum(v_norms, _EPS)).T
+    np.clip(sims, -1.0, 1.0, out=sims)
+    return 1.0 - sims
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Unit-normalize rows (used by cosine-metric clustering)."""
+    m = np.asarray(matrix, dtype=np.float32)
+    norms = np.linalg.norm(m, axis=1, keepdims=True)
+    return m / np.maximum(norms, _EPS)

@@ -1,0 +1,401 @@
+"""Query execution: ANN, exact KNN, and the two hybrid plans (§3.3-3.5).
+
+The ANN path is Algorithm 2 verbatim:
+
+1. scan the centroid table and pick the ``n`` partitions whose
+   centroids are nearest to the query;
+2. always add the delta partition, so un-flushed inserts are visible;
+3. scan the selected partitions in parallel — each worker thread owns a
+   bounded :class:`~repro.query.heap.TopKHeap` and processes its share
+   of partitions, computing distances in one batched kernel call per
+   partition;
+4. merge the per-thread heaps and surface the K best.
+
+Hybrid plans reuse the same machinery:
+
+- **post-filtering** evaluates the predicate once against the
+  attributes table, then masks each scanned partition by the qualifying
+  asset-id set *before* computing distances — the paper's optimization
+  of applying the join and filter during partition retrieval, so
+  non-qualifying vectors never enter the top-K computation;
+- **pre-filtering** fetches exactly the qualifying vectors and
+  brute-forces the top-K over them (100% recall by construction).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
+from repro.core.errors import FilterError
+from repro.core.types import Neighbor, PlanKind, QueryStats, SearchResult
+from repro.query.distance import distances_to_one, surface_distance
+from repro.query.filters import CompileContext, Predicate, default_tokenizer
+from repro.query.heap import TopKHeap, merge_topk, topk_from_distances
+from repro.storage.engine import StorageEngine
+
+
+#: Total matrix elements above which the distance phase fans out to the
+#: worker pool. Below this, BLAS kernels finish in microseconds and the
+#: pool round-trip would dominate.
+_PARALLEL_SCAN_ELEMENTS = 1 << 21
+
+
+@dataclass(frozen=True)
+class _ScanOutcome:
+    """Counters accumulated by one query's partition scans."""
+
+    vectors_scanned: int
+    distance_computations: int
+    rows_filtered: int
+
+
+class QueryExecutor:
+    """Single-query execution over one storage engine."""
+
+    def __init__(self, engine: StorageEngine, config: MicroNNConfig) -> None:
+        self._engine = engine
+        self._config = config
+        self._compile_ctx = CompileContext(
+            attributes=config.normalized_attributes,
+            fts_attributes=config.fts_attributes,
+            use_fts5=engine.uses_fts5,
+            tokenizer=default_tokenizer,
+        )
+        # One long-lived worker pool per executor: spinning threads up
+        # per query costs more than the scan itself at on-device
+        # partition sizes (the paper's "worker thread pool", Fig. 3).
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        # Lazily built coarse centroid index (§3.2 extension), keyed on
+        # the identity of the engine's cached centroid matrix.
+        self._centroid_index: tuple[np.ndarray, object] | None = None
+
+    def _worker_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._config.device.worker_threads,
+                    thread_name_prefix="micronn-scan",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (called by MicroNN.close)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    @property
+    def compile_context(self) -> CompileContext:
+        return self._compile_ctx
+
+    # ------------------------------------------------------------------
+    # Plan entry points
+    # ------------------------------------------------------------------
+
+    def search_ann(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int,
+        qualifying_ids: frozenset[str] | None = None,
+        plan: PlanKind = PlanKind.ANN,
+    ) -> SearchResult:
+        """Algorithm 2: probe ``nprobe`` partitions plus the delta."""
+        _check_k(k)
+        start = time.perf_counter()
+        io_before = self._engine.accountant.snapshot()
+        query = self._as_query(query)
+
+        partition_ids = self._select_partitions(query, nprobe)
+        heaps, outcome = self._scan_partitions(
+            partition_ids, query, k, qualifying_ids
+        )
+        neighbors = self._finalize(heaps, k)
+
+        io_delta = self._engine.accountant.delta_since(io_before)
+        stats = QueryStats(
+            plan=plan,
+            nprobe=nprobe,
+            partitions_scanned=len(partition_ids),
+            vectors_scanned=outcome.vectors_scanned,
+            distance_computations=outcome.distance_computations,
+            rows_filtered=outcome.rows_filtered,
+            cache_hits=io_delta.cache_hits,
+            cache_misses=io_delta.cache_misses,
+            bytes_read=io_delta.bytes_read,
+            latency_s=time.perf_counter() - start,
+        )
+        return SearchResult(neighbors=neighbors, stats=stats)
+
+    def search_exact(
+        self,
+        query: np.ndarray,
+        k: int,
+        predicate: Predicate | None = None,
+    ) -> SearchResult:
+        """Exact KNN: exhaustive scan (optionally under a predicate)."""
+        _check_k(k)
+        if predicate is not None:
+            return self.search_prefilter(query, k, predicate)
+        start = time.perf_counter()
+        io_before = self._engine.accountant.snapshot()
+        query = self._as_query(query)
+
+        heap = TopKHeap(k)
+        scanned = 0
+        for ids, matrix in self._engine.iter_vector_batches(batch_size=4096):
+            scanned += len(ids)
+            dist = distances_to_one(query, matrix, self._config.metric)
+            for cand in topk_from_distances(ids, dist, k):
+                heap.push(cand.asset_id, cand.distance)
+        neighbors = self._finalize([heap], k)
+
+        io_delta = self._engine.accountant.delta_since(io_before)
+        stats = QueryStats(
+            plan=PlanKind.EXACT,
+            vectors_scanned=scanned,
+            distance_computations=scanned,
+            bytes_read=io_delta.bytes_read,
+            latency_s=time.perf_counter() - start,
+        )
+        return SearchResult(neighbors=neighbors, stats=stats)
+
+    def search_prefilter(
+        self, query: np.ndarray, k: int, predicate: Predicate
+    ) -> SearchResult:
+        """Pre-filtering plan: filter first, brute force the survivors."""
+        _check_k(k)
+        start = time.perf_counter()
+        io_before = self._engine.accountant.snapshot()
+        query = self._as_query(query)
+
+        qualifying = self._qualifying_ids(predicate)
+        found_ids, matrix = self._engine.fetch_vectors_by_asset_ids(
+            sorted(qualifying)
+        )
+        if len(found_ids):
+            dist = distances_to_one(query, matrix, self._config.metric)
+            candidates = topk_from_distances(found_ids, dist, k)
+        else:
+            candidates = []
+        neighbors = tuple(
+            Neighbor(
+                asset_id=c.asset_id,
+                distance=surface_distance(c.distance, self._config.metric),
+            )
+            for c in candidates
+        )
+
+        io_delta = self._engine.accountant.delta_since(io_before)
+        stats = QueryStats(
+            plan=PlanKind.PRE_FILTER,
+            vectors_scanned=len(found_ids),
+            distance_computations=len(found_ids),
+            rows_filtered=0,
+            bytes_read=io_delta.bytes_read,
+            latency_s=time.perf_counter() - start,
+        )
+        return SearchResult(neighbors=neighbors, stats=stats)
+
+    def search_postfilter(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int,
+        predicate: Predicate,
+    ) -> SearchResult:
+        """Post-filtering plan: ANN scan masked by the predicate."""
+        qualifying = frozenset(self._qualifying_ids(predicate))
+        return self.search_ann(
+            query,
+            k,
+            nprobe,
+            qualifying_ids=qualifying,
+            plan=PlanKind.POST_FILTER,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _as_query(self, query: np.ndarray) -> np.ndarray:
+        arr = np.asarray(query, dtype=np.float32).reshape(-1)
+        if arr.shape[0] != self._config.dim:
+            raise FilterError(
+                f"query vector has dimension {arr.shape[0]}, "
+                f"expected {self._config.dim}"
+            )
+        return arr
+
+    def _qualifying_ids(self, predicate: Predicate) -> list[str]:
+        where_sql, params = predicate.to_sql(self._compile_ctx)
+        return self._engine.query_attribute_ids(where_sql, params)
+
+    def _select_partitions(
+        self, query: np.ndarray, nprobe: int
+    ) -> list[int]:
+        """FindNearestCentroids ∪ {delta} (Algorithm 2, line 3).
+
+        Uses the flat centroid scan by default; switches to the
+        two-level coarse centroid index (§3.2 extension) once the
+        centroid table crosses the configured threshold.
+        """
+        partition_ids, centroids = self._engine.load_centroids()
+        selected: list[int] = []
+        if len(partition_ids):
+            threshold = self._config.centroid_index_threshold
+            if threshold is not None and len(partition_ids) >= threshold:
+                index = self._centroid_index_for(partition_ids, centroids)
+                selected = index.select(
+                    query,
+                    nprobe,
+                    oversample=self._config.centroid_index_oversample,
+                )
+            else:
+                dist = distances_to_one(
+                    query, centroids, self._config.metric
+                )
+                take = min(nprobe, len(partition_ids))
+                idx = np.argpartition(dist, take - 1)[:take] if take else []
+                order = sorted(
+                    ((float(dist[i]), int(partition_ids[i])) for i in idx)
+                )
+                selected = [pid for _, pid in order]
+        selected.append(DELTA_PARTITION_ID)
+        return selected
+
+    def _centroid_index_for(
+        self, partition_ids: np.ndarray, centroids: np.ndarray
+    ):
+        """Lazily (re)build the coarse index for the current centroids.
+
+        Keyed on the identity of the engine's cached centroid matrix:
+        any centroid write drops that cache, so a fresh matrix object
+        signals that the coarse index is stale.
+        """
+        from repro.index.centroid_index import CentroidIndex
+
+        with self._pool_lock:
+            cached = self._centroid_index
+            if cached is not None and cached[0] is centroids:
+                return cached[1]
+        index = CentroidIndex.build(
+            partition_ids,
+            centroids,
+            metric=self._config.metric,
+            cell_size=self._config.centroid_index_cell_size,
+            seed=self._config.seed,
+        )
+        with self._pool_lock:
+            self._centroid_index = (centroids, index)
+        return index
+
+    def _scan_partitions(
+        self,
+        partition_ids: list[int],
+        query: np.ndarray,
+        k: int,
+        qualifying_ids: frozenset[str] | None,
+    ) -> tuple[list[TopKHeap], _ScanOutcome]:
+        """Partition scans with per-worker bounded heaps (Algorithm 2).
+
+        Two phases:
+
+        1. **Load** — partitions are read sequentially through the
+           partition cache. In CPython, fanning tiny SQLite reads
+           across threads convoys on the GIL (every row step is a GIL
+           round-trip), so the I/O phase is deliberately serial; the
+           clustered layout makes each read one sequential range scan
+           anyway.
+        2. **Distance + heap** — the decoded matrices are sharded
+           across the worker pool, one bounded heap per worker, merged
+           afterwards. numpy's kernels release the GIL, so this phase
+           parallelizes for real once partitions are large enough; for
+           small ones it runs inline to skip pool overhead.
+        """
+        work: list[tuple[list[str] | tuple[str, ...], np.ndarray]] = []
+        scanned = filtered = 0
+        for pid in partition_ids:
+            entry = self._engine.load_partition(pid)
+            if len(entry) == 0:
+                continue
+            scanned += len(entry)
+            ids: list[str] | tuple[str, ...] = entry.asset_ids
+            matrix = entry.matrix
+            if qualifying_ids is not None:
+                keep = [
+                    i
+                    for i, aid in enumerate(entry.asset_ids)
+                    if aid in qualifying_ids
+                ]
+                filtered += len(entry) - len(keep)
+                if not keep:
+                    continue
+                ids = [entry.asset_ids[i] for i in keep]
+                matrix = entry.matrix[keep]
+            work.append((ids, matrix))
+
+        computed = sum(len(ids) for ids, _ in work)
+        total_elements = sum(matrix.size for _, matrix in work)
+        workers = max(
+            1, min(self._config.device.worker_threads, len(work))
+        )
+        if workers == 1 or total_elements < _PARALLEL_SCAN_ELEMENTS:
+            heaps = [self._scan_work(work, query, k)]
+        else:
+            shards: list[list[tuple]] = [[] for _ in range(workers)]
+            for i, item in enumerate(work):
+                shards[i % workers].append(item)
+            heaps = list(
+                self._worker_pool().map(
+                    lambda shard: self._scan_work(shard, query, k),
+                    shards,
+                )
+            )
+        outcome = _ScanOutcome(
+            vectors_scanned=scanned,
+            distance_computations=computed,
+            rows_filtered=filtered,
+        )
+        return heaps, outcome
+
+    def _scan_work(
+        self,
+        work: list[tuple[list[str] | tuple[str, ...], np.ndarray]],
+        query: np.ndarray,
+        k: int,
+    ) -> TopKHeap:
+        """One worker's share: batched distances into a bounded heap."""
+        heap = TopKHeap(k)
+        for ids, matrix in work:
+            dist = distances_to_one(query, matrix, self._config.metric)
+            for cand in topk_from_distances(ids, dist, k):
+                heap.push(cand.asset_id, cand.distance)
+        return heap
+
+    def _finalize(
+        self, heaps: list[TopKHeap], k: int
+    ) -> tuple[Neighbor, ...]:
+        """Parallel heap merge + surface-distance conversion."""
+        merged = merge_topk(heaps, k)
+        metric = self._config.metric
+        return tuple(
+            Neighbor(
+                asset_id=c.asset_id,
+                distance=surface_distance(c.distance, metric),
+            )
+            for c in merged
+        )
+
+
+def _check_k(k: int) -> None:
+    if k < 1:
+        raise ValueError("k must be >= 1")

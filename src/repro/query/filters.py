@@ -1,0 +1,455 @@
+"""Predicate AST for hybrid queries (paper §3.5).
+
+Clients express structured attribute constraints as a small expression
+tree over their declared attributes:
+
+- comparisons ``=, !=, <, <=, >, >=`` (:class:`Compare`),
+- set membership (:class:`In`), null tests (:class:`IsNull`),
+- inclusive ranges (:class:`Between`),
+- full-text ``MATCH`` over FTS-enabled text attributes (:class:`Match`),
+- conjunction / disjunction / negation.
+
+Every node compiles to a parameterized SQL fragment over the
+``attributes`` table (values only ever travel as bound parameters, never
+spliced into SQL) **and** can be evaluated directly against a Python
+attribute mapping. The dual implementation is deliberate: property
+tests generate random predicates and random rows and check that SQLite
+and the Python evaluator agree, which pins down the semantics of the
+filter language.
+
+Convenience constructors (``Eq``, ``Lt``, ...) keep call sites readable:
+
+    from repro import Eq, And, Gt
+    db.search(q, k=10, filters=And(Eq("location", "Seattle"),
+                                   Gt("timestamp", 1700000000)))
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.errors import FilterError, UnknownAttributeError
+
+_SQL_OPS = {
+    "=": "=",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+#: Default tokenizer: lower-cased alphanumeric runs. Shared with the
+#: FTS substrate so MATCH semantics and df statistics line up.
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def default_tokenizer(text: str) -> list[str]:
+    """Lower-case alphanumeric tokenizer used for MATCH and the token index."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass(frozen=True)
+class CompileContext:
+    """Everything predicate compilation needs to know about the schema."""
+
+    attributes: Mapping[str, str]
+    fts_attributes: tuple[str, ...] = ()
+    use_fts5: bool = False
+    tokenizer: Callable[[str], list[str]] = default_tokenizer
+
+    def check_attribute(self, name: str) -> None:
+        if name not in self.attributes:
+            raise UnknownAttributeError(name, tuple(self.attributes))
+
+    def check_fts_attribute(self, name: str) -> None:
+        self.check_attribute(name)
+        if name not in self.fts_attributes:
+            raise FilterError(
+                f"attribute {name!r} is not FTS-enabled; declare it in "
+                "MicroNNConfig.fts_attributes to use MATCH"
+            )
+
+
+class Predicate:
+    """Base class for all filter nodes."""
+
+    def to_sql(self, ctx: CompileContext) -> tuple[str, list[object]]:
+        """Compile to (parameterized WHERE fragment, parameter list)."""
+        raise NotImplementedError
+
+    def evaluate(
+        self, row: Mapping[str, object], ctx: CompileContext
+    ) -> bool:
+        """Evaluate directly against a row's attribute values."""
+        raise NotImplementedError
+
+    def attributes_referenced(self) -> frozenset[str]:
+        """Attribute names this predicate touches (optimizer input)."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+@dataclass(frozen=True)
+class Compare(Predicate):
+    """Binary comparison between an attribute and a constant."""
+
+    attribute: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in _SQL_OPS:
+            raise FilterError(
+                f"unsupported operator {self.op!r}; "
+                f"supported: {sorted(_SQL_OPS)}"
+            )
+        if self.value is None:
+            raise FilterError(
+                "comparisons against None are undefined; use IsNull"
+            )
+
+    def to_sql(self, ctx: CompileContext) -> tuple[str, list[object]]:
+        ctx.check_attribute(self.attribute)
+        return f"{_quote(self.attribute)} {_SQL_OPS[self.op]} ?", [self.value]
+
+    def evaluate(
+        self, row: Mapping[str, object], ctx: CompileContext
+    ) -> bool:
+        ctx.check_attribute(self.attribute)
+        actual = row.get(self.attribute)
+        if actual is None:
+            # SQL three-valued logic: NULL compares to nothing.
+            return False
+        op = self.op
+        if op == "=":
+            return bool(actual == self.value)
+        if op == "!=":
+            return bool(actual != self.value)
+        try:
+            if op == "<":
+                return bool(actual < self.value)  # type: ignore[operator]
+            if op == "<=":
+                return bool(actual <= self.value)  # type: ignore[operator]
+            if op == ">":
+                return bool(actual > self.value)  # type: ignore[operator]
+            return bool(actual >= self.value)  # type: ignore[operator]
+        except TypeError as exc:
+            raise FilterError(
+                f"cannot compare {actual!r} {op} {self.value!r}"
+            ) from exc
+
+    def attributes_referenced(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """Inclusive range test: low <= attribute <= high."""
+
+    attribute: str
+    low: object
+    high: object
+
+    def __post_init__(self) -> None:
+        if self.low is None or self.high is None:
+            raise FilterError("Between bounds must not be None")
+
+    def to_sql(self, ctx: CompileContext) -> tuple[str, list[object]]:
+        ctx.check_attribute(self.attribute)
+        return (
+            f"{_quote(self.attribute)} BETWEEN ? AND ?",
+            [self.low, self.high],
+        )
+
+    def evaluate(
+        self, row: Mapping[str, object], ctx: CompileContext
+    ) -> bool:
+        ctx.check_attribute(self.attribute)
+        actual = row.get(self.attribute)
+        if actual is None:
+            return False
+        try:
+            return bool(self.low <= actual <= self.high)  # type: ignore[operator]
+        except TypeError as exc:
+            raise FilterError(
+                f"cannot range-compare {actual!r} against "
+                f"[{self.low!r}, {self.high!r}]"
+            ) from exc
+
+    def attributes_referenced(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """Set membership test."""
+
+    attribute: str
+    values: tuple[object, ...]
+
+    def __init__(self, attribute: str, values: Sequence[object]) -> None:
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "values", tuple(values))
+        if not self.values:
+            raise FilterError("In requires at least one value")
+        if any(v is None for v in self.values):
+            raise FilterError("In values must not contain None")
+
+    def to_sql(self, ctx: CompileContext) -> tuple[str, list[object]]:
+        ctx.check_attribute(self.attribute)
+        placeholders = ", ".join("?" for _ in self.values)
+        return (
+            f"{_quote(self.attribute)} IN ({placeholders})",
+            list(self.values),
+        )
+
+    def evaluate(
+        self, row: Mapping[str, object], ctx: CompileContext
+    ) -> bool:
+        ctx.check_attribute(self.attribute)
+        actual = row.get(self.attribute)
+        if actual is None:
+            return False
+        return actual in self.values
+
+    def attributes_referenced(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    """NULL test (or its negation)."""
+
+    attribute: str
+    negate: bool = False
+
+    def to_sql(self, ctx: CompileContext) -> tuple[str, list[object]]:
+        ctx.check_attribute(self.attribute)
+        suffix = "IS NOT NULL" if self.negate else "IS NULL"
+        return f"{_quote(self.attribute)} {suffix}", []
+
+    def evaluate(
+        self, row: Mapping[str, object], ctx: CompileContext
+    ) -> bool:
+        ctx.check_attribute(self.attribute)
+        is_null = row.get(self.attribute) is None
+        return not is_null if self.negate else is_null
+
+    def attributes_referenced(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+
+@dataclass(frozen=True)
+class Match(Predicate):
+    """Full-text MATCH: all query tokens must appear in the attribute.
+
+    Compiles to a semi-join against the FTS5 mirror when available, or
+    against the library's own inverted token table otherwise; both have
+    conjunctive bag-of-tokens semantics (paper §4.3.1 encodes Big-ANN
+    tag filters exactly this way).
+    """
+
+    attribute: str
+    query: str
+
+    def to_sql(self, ctx: CompileContext) -> tuple[str, list[object]]:
+        ctx.check_fts_attribute(self.attribute)
+        tokens = ctx.tokenizer(self.query)
+        if not tokens:
+            raise FilterError(
+                f"MATCH query {self.query!r} has no indexable tokens"
+            )
+        if ctx.use_fts5:
+            fts_query = " AND ".join(
+                f'{_quote(self.attribute)} : "{tok}"' for tok in tokens
+            )
+            return (
+                "asset_id IN (SELECT asset_id FROM attributes_fts "
+                "WHERE attributes_fts MATCH ?)",
+                [fts_query],
+            )
+        clauses = []
+        params: list[object] = []
+        for tok in tokens:
+            clauses.append(
+                "asset_id IN (SELECT asset_id FROM tokens "
+                "WHERE attribute=? AND token=?)"
+            )
+            params.extend([self.attribute, tok])
+        return "(" + " AND ".join(clauses) + ")", params
+
+    def evaluate(
+        self, row: Mapping[str, object], ctx: CompileContext
+    ) -> bool:
+        ctx.check_fts_attribute(self.attribute)
+        text = row.get(self.attribute)
+        if text is None:
+            return False
+        doc_tokens = set(ctx.tokenizer(str(text)))
+        query_tokens = ctx.tokenizer(self.query)
+        if not query_tokens:
+            raise FilterError(
+                f"MATCH query {self.query!r} has no indexable tokens"
+            )
+        return all(tok in doc_tokens for tok in query_tokens)
+
+    def attributes_referenced(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of two or more predicates."""
+
+    children: tuple[Predicate, ...]
+
+    def __init__(self, *children: Predicate) -> None:
+        flat: list[Predicate] = []
+        for child in children:
+            if isinstance(child, And):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if len(flat) < 2:
+            raise FilterError("And requires at least two children")
+        object.__setattr__(self, "children", tuple(flat))
+
+    def to_sql(self, ctx: CompileContext) -> tuple[str, list[object]]:
+        parts, params = _compile_children(self.children, ctx)
+        return "(" + " AND ".join(parts) + ")", params
+
+    def evaluate(
+        self, row: Mapping[str, object], ctx: CompileContext
+    ) -> bool:
+        return all(c.evaluate(row, ctx) for c in self.children)
+
+    def attributes_referenced(self) -> frozenset[str]:
+        return frozenset().union(
+            *(c.attributes_referenced() for c in self.children)
+        )
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of two or more predicates."""
+
+    children: tuple[Predicate, ...]
+
+    def __init__(self, *children: Predicate) -> None:
+        flat: list[Predicate] = []
+        for child in children:
+            if isinstance(child, Or):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if len(flat) < 2:
+            raise FilterError("Or requires at least two children")
+        object.__setattr__(self, "children", tuple(flat))
+
+    def to_sql(self, ctx: CompileContext) -> tuple[str, list[object]]:
+        parts, params = _compile_children(self.children, ctx)
+        return "(" + " OR ".join(parts) + ")", params
+
+    def evaluate(
+        self, row: Mapping[str, object], ctx: CompileContext
+    ) -> bool:
+        return any(c.evaluate(row, ctx) for c in self.children)
+
+    def attributes_referenced(self) -> frozenset[str]:
+        return frozenset().union(
+            *(c.attributes_referenced() for c in self.children)
+        )
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation. NULL attribute values stay excluded (SQL semantics)."""
+
+    child: Predicate
+
+    def to_sql(self, ctx: CompileContext) -> tuple[str, list[object]]:
+        sql, params = self.child.to_sql(ctx)
+        # SQL's NOT over a NULL comparison yields NULL (row excluded),
+        # matching the Python evaluator's treatment below only if the
+        # referenced attributes are non-NULL. Guard with IS NOT NULL so
+        # both implementations agree on rows with missing values.
+        guards = [
+            f"{_quote(name)} IS NOT NULL"
+            for name in sorted(self.child.attributes_referenced())
+        ]
+        guard_sql = " AND ".join(guards)
+        return f"({guard_sql} AND NOT {sql})", params
+
+    def evaluate(
+        self, row: Mapping[str, object], ctx: CompileContext
+    ) -> bool:
+        for name in self.child.attributes_referenced():
+            ctx.check_attribute(name)
+            if row.get(name) is None:
+                return False
+        return not self.child.evaluate(row, ctx)
+
+    def attributes_referenced(self) -> frozenset[str]:
+        return self.child.attributes_referenced()
+
+
+def _compile_children(
+    children: tuple[Predicate, ...], ctx: CompileContext
+) -> tuple[list[str], list[object]]:
+    parts: list[str] = []
+    params: list[object] = []
+    for child in children:
+        sql, child_params = child.to_sql(ctx)
+        parts.append(sql)
+        params.extend(child_params)
+    return parts, params
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors (the public filter-building API)
+# ----------------------------------------------------------------------
+
+
+def Eq(attribute: str, value: object) -> Compare:
+    """attribute = value"""
+    return Compare(attribute, "=", value)
+
+
+def Ne(attribute: str, value: object) -> Compare:
+    """attribute != value"""
+    return Compare(attribute, "!=", value)
+
+
+def Lt(attribute: str, value: object) -> Compare:
+    """attribute < value"""
+    return Compare(attribute, "<", value)
+
+
+def Le(attribute: str, value: object) -> Compare:
+    """attribute <= value"""
+    return Compare(attribute, "<=", value)
+
+
+def Gt(attribute: str, value: object) -> Compare:
+    """attribute > value"""
+    return Compare(attribute, ">", value)
+
+
+def Ge(attribute: str, value: object) -> Compare:
+    """attribute >= value"""
+    return Compare(attribute, ">=", value)

@@ -1,0 +1,87 @@
+"""Full-text search substrate for MATCH filters (paper §3.5, §4.3.1).
+
+MicroNN lets clients combine nearest-neighbour search with text search
+over filterable attributes. Two execution paths exist and give the same
+answers:
+
+- **FTS5 mirror** — when the SQLite build ships FTS5 (the engine probes
+  at open time), MATCH predicates compile to a semi-join against the
+  ``attributes_fts`` virtual table, as in the paper.
+- **Inverted token table** — the library always maintains its own
+  ``tokens(attribute, token, asset_id)`` table. It serves as the MATCH
+  fallback on FTS5-less builds and — importantly — as the source of
+  per-token document frequencies for the optimizer's string selectivity
+  estimates (§4.3.1 bins queries by true selectivity of tag bags; the
+  estimator needs dfs either way).
+
+Tokenization is deliberately simple and shared between indexing, query
+compilation and the Python-side evaluator: lower-cased alphanumeric
+runs.
+"""
+
+from __future__ import annotations
+
+from repro.query.filters import default_tokenizer
+from repro.storage.engine import StorageEngine
+
+__all__ = ["default_tokenizer", "TokenStats", "match_selectivity"]
+
+
+class TokenStats:
+    """Document-frequency lookups over the inverted token table.
+
+    A thin, memoizing reader: the optimizer may probe the same token for
+    every query in a batch, and dfs only change on writes, so results
+    are cached until :meth:`invalidate` is called (maintenance and
+    statistics refresh do this).
+    """
+
+    def __init__(self, engine: StorageEngine) -> None:
+        self._engine = engine
+        self._df_cache: dict[tuple[str, str], int] = {}
+        self._total_cache: int | None = None
+
+    def document_frequency(self, attribute: str, token: str) -> int:
+        """Number of assets whose attribute text contains ``token``."""
+        key = (attribute, token)
+        cached = self._df_cache.get(key)
+        if cached is None:
+            cached = self._engine.token_document_frequency(attribute, token)
+            self._df_cache[key] = cached
+        return cached
+
+    def total_documents(self) -> int:
+        """Number of attribute rows (the |R| of selectivity factors)."""
+        if self._total_cache is None:
+            self._total_cache = self._engine.count_attribute_rows()
+        return self._total_cache
+
+    def invalidate(self) -> None:
+        self._df_cache.clear()
+        self._total_cache = None
+
+
+def match_selectivity(
+    stats: TokenStats, attribute: str, query: str
+) -> float:
+    """Estimated selectivity factor of a conjunctive MATCH predicate.
+
+    Token occurrences are assumed independent, so the estimate is the
+    product of per-token document frequencies over the collection size:
+    ``F̂ = Π (df_i / N)``. The paper's optimizer only needs the estimate
+    to land on the right side of the F̂_IVF threshold, and the product
+    rule preserves the decades-wide spread of conjunctive tag filters.
+    """
+    tokens = default_tokenizer(query)
+    if not tokens:
+        return 0.0
+    total = stats.total_documents()
+    if total == 0:
+        return 0.0
+    selectivity = 1.0
+    for token in tokens:
+        df = stats.document_frequency(attribute, token)
+        if df == 0:
+            return 0.0
+        selectivity *= df / total
+    return min(selectivity, 1.0)

@@ -1,0 +1,175 @@
+"""Bounded top-K heaps and the parallel heap merge (paper §3.3).
+
+Each worker thread scanning partitions keeps its own :class:`TopKHeap`
+— a max-heap of size at most K whose root is the *worst* retained
+candidate, so a new candidate is admitted in O(log K) only when it beats
+the current worst (Algorithm 2, lines 7–10). When all workers finish,
+:func:`merge_topk` combines the per-thread heaps into the final ranked
+list.
+
+Ties are broken deterministically on ``asset_id`` so that results are
+stable across thread schedules and platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One scored candidate in a top-K computation."""
+
+    asset_id: str
+    distance: float
+
+
+class TopKHeap:
+    """Fixed-capacity max-heap keeping the K smallest distances.
+
+    Python's :mod:`heapq` is a min-heap, so entries are stored with
+    negated distance; the root is then the largest (worst) retained
+    distance. Tie-break keys make (distance, asset_id) ordering total.
+    """
+
+    __slots__ = ("_capacity", "_heap")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        # Entries are (-distance, reversed_tiebreak, asset_id).
+        self._heap: list[tuple[float, _ReverseStr, str]] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, asset_id: str, distance: float) -> bool:
+        """Offer a candidate; returns True if it was retained."""
+        entry = (-distance, _ReverseStr(asset_id), asset_id)
+        if len(self._heap) < self._capacity:
+            heapq.heappush(self._heap, entry)
+            return True
+        worst = self._heap[0]
+        if entry > worst:
+            # Smaller distance (or equal distance with smaller asset_id)
+            # compares greater under the negated ordering.
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def worst_distance(self) -> float:
+        """Current admission threshold (+inf while not yet full)."""
+        if len(self._heap) < self._capacity:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def candidates(self) -> list[Candidate]:
+        """Retained candidates in no particular order."""
+        return [
+            Candidate(asset_id=aid, distance=-neg)
+            for neg, _, aid in self._heap
+        ]
+
+    def sorted_candidates(self) -> list[Candidate]:
+        """Retained candidates, closest first (deterministic ties)."""
+        return sorted(
+            self.candidates(), key=lambda c: (c.distance, c.asset_id)
+        )
+
+
+class _ReverseStr:
+    """String wrapper with inverted ordering.
+
+    In the negated-distance heap, a *larger* tuple means a *better*
+    candidate. For equal distances we prefer the lexicographically
+    smaller asset id, so the id must compare larger when it is smaller.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_ReverseStr") -> bool:
+        return self.value > other.value
+
+    def __le__(self, other: "_ReverseStr") -> bool:
+        return self.value >= other.value
+
+    def __gt__(self, other: "_ReverseStr") -> bool:
+        return self.value < other.value
+
+    def __ge__(self, other: "_ReverseStr") -> bool:
+        return self.value <= other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReverseStr) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+
+def merge_topk(heaps: list[TopKHeap], k: int) -> list[Candidate]:
+    """Merge per-thread heaps into the global top-K, closest first.
+
+    A k-way merge over the sorted per-heap lists stops as soon as K
+    results are emitted, so the merge is O(K log T) for T threads after
+    the per-heap sorts.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    streams = [h.sorted_candidates() for h in heaps if len(h) > 0]
+    merged = heapq.merge(
+        *streams, key=lambda c: (c.distance, c.asset_id)
+    )
+    out: list[Candidate] = []
+    seen: set[str] = set()
+    for cand in merged:
+        # The same asset can surface from multiple heaps if a vector was
+        # observed both in its partition and in the delta during a
+        # concurrent flush; keep the closest occurrence only.
+        if cand.asset_id in seen:
+            continue
+        seen.add(cand.asset_id)
+        out.append(cand)
+        if len(out) == k:
+            break
+    return out
+
+
+def topk_from_distances(
+    asset_ids: list[str] | tuple[str, ...],
+    distances,
+    k: int,
+) -> list[Candidate]:
+    """Vectorized top-K over a dense distance array (one partition).
+
+    ``np.argpartition`` selects the K best in O(n), then only those K
+    are sorted. Used when a whole partition's distances are computed in
+    one kernel call and the heap-per-element path would be pure Python
+    overhead.
+    """
+    import numpy as np
+
+    dist = np.asarray(distances)
+    n = dist.shape[0]
+    if n != len(asset_ids):
+        raise ValueError("asset_ids and distances length mismatch")
+    if n == 0:
+        return []
+    take = min(k, n)
+    # Include every row tied with the k-th distance so tie-breaking on
+    # asset_id is deterministic (matching the heap path's ordering).
+    kth = np.partition(dist, take - 1)[take - 1]
+    idx = np.flatnonzero(dist <= kth)
+    pairs = sorted(
+        ((float(dist[i]), asset_ids[i]) for i in idx),
+        key=lambda p: (p[0], p[1]),
+    )[:take]
+    return [Candidate(asset_id=aid, distance=d) for d, aid in pairs]

@@ -1,0 +1,82 @@
+"""Hybrid query optimizer (paper §3.5.1).
+
+Chooses between the two hybrid-query plans:
+
+- **pre-filtering** — evaluate the attribute filter first, brute-force
+  KNN over the survivors (100% recall, latency proportional to the
+  qualifying set);
+- **post-filtering** — IVF ANN scan with the filter applied during
+  partition retrieval (fast, recall suffers when the filter is highly
+  selective).
+
+The decision rule is the paper's: view the IVF probe itself as a
+predicate over the partition-id column with selectivity factor
+
+    F̂_IVF = (n · p) / |R|          (Eq. 2)
+
+for ``n`` probed partitions of target size ``p``. If the attribute
+filter is estimated to narrow the search space *more* than the IVF
+index would (``F̂_filters < F̂_IVF``), pre-filter; otherwise post-filter.
+Clients may also force a plan explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import PlanKind
+from repro.query.filters import Predicate
+from repro.query.selectivity import SelectivityEstimator
+
+
+@dataclass(frozen=True, slots=True)
+class PlanDecision:
+    """The optimizer's choice plus the estimates that produced it."""
+
+    kind: PlanKind
+    estimated_selectivity: float
+    estimated_cardinality: int
+    ivf_selectivity: float
+
+
+class HybridQueryPlanner:
+    """Selectivity-threshold plan chooser."""
+
+    def __init__(
+        self,
+        estimator: SelectivityEstimator,
+        total_vectors: int,
+        target_partition_size: int,
+    ) -> None:
+        if target_partition_size < 1:
+            raise ValueError("target_partition_size must be >= 1")
+        self._estimator = estimator
+        self._total_vectors = total_vectors
+        self._target_partition_size = target_partition_size
+
+    def ivf_selectivity(self, nprobe: int) -> float:
+        """F̂_IVF = n·p / |R| (Eq. 2), clamped to [0, 1]."""
+        if self._total_vectors <= 0:
+            return 1.0
+        factor = (
+            nprobe * self._target_partition_size / self._total_vectors
+        )
+        return min(factor, 1.0)
+
+    def choose(self, predicate: Predicate, nprobe: int) -> PlanDecision:
+        """Pick pre- vs post-filtering for this predicate and probe count."""
+        filter_factor = self._estimator.estimate_factor(predicate)
+        ivf_factor = self.ivf_selectivity(nprobe)
+        kind = (
+            PlanKind.PRE_FILTER
+            if filter_factor < ivf_factor
+            else PlanKind.POST_FILTER
+        )
+        return PlanDecision(
+            kind=kind,
+            estimated_selectivity=filter_factor,
+            estimated_cardinality=self._estimator.estimate_cardinality(
+                predicate
+            ),
+            ivf_selectivity=ivf_factor,
+        )

@@ -1,0 +1,349 @@
+"""Per-column statistics and selectivity estimation (paper §3.5.1).
+
+The hybrid-query optimizer needs the selectivity factor
+``F = |σ_pred(R)| / |R|`` of an attribute filter *without* executing it.
+Following the paper (and its Selinger lineage):
+
+- statistics are collected per column: row/null counts, distinct
+  counts, min/max, an equi-depth histogram for numeric columns, and the
+  most-common values (MCVs) for every column;
+- ``MATCH`` predicates are estimated from token document frequencies
+  (§4.3.1: "we use the string selectivity estimation method");
+- estimates combine with **min over conjunctions and sum over
+  disjunctions**, assuming predicate independence (paper's explicitly
+  stated simplification);
+- the final factor is clamped into ``[0, 1]`` via
+  ``F̂ = min(|σ̂|, |R|) / |R|`` (paper Eq. 3).
+
+Statistics are serialized as JSON into the ``column_stats`` table so a
+reopened database keeps its estimator without a rescan.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from repro.core.config import MicroNNConfig
+from repro.core.errors import FilterError
+from repro.query import filters as F
+from repro.query.fts import TokenStats, match_selectivity
+from repro.storage import schema as schema_mod
+from repro.storage.engine import StorageEngine
+
+#: Number of equi-depth histogram buckets for numeric columns.
+HISTOGRAM_BUCKETS = 32
+
+#: Number of most-common values retained per column.
+MCV_ENTRIES = 16
+
+#: Selinger's magic fraction for otherwise-unestimatable predicates.
+DEFAULT_INEQUALITY_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one attribute column."""
+
+    attribute: str
+    sql_type: str
+    row_count: int
+    null_count: int
+    n_distinct: int
+    #: Sorted equi-depth bucket boundaries (numeric columns only);
+    #: len == HISTOGRAM_BUCKETS + 1 when present.
+    histogram: tuple[float, ...] = ()
+    #: (value, frequency) pairs for the most common values.
+    mcvs: tuple[tuple[object, float], ...] = ()
+
+    @property
+    def non_null_count(self) -> int:
+        return self.row_count - self.null_count
+
+    @property
+    def null_fraction(self) -> float:
+        if self.row_count == 0:
+            return 0.0
+        return self.null_count / self.row_count
+
+    @property
+    def mcv_total_frequency(self) -> float:
+        return sum(freq for _, freq in self.mcvs)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "attribute": self.attribute,
+                "sql_type": self.sql_type,
+                "row_count": self.row_count,
+                "null_count": self.null_count,
+                "n_distinct": self.n_distinct,
+                "histogram": list(self.histogram),
+                "mcvs": [[v, f] for v, f in self.mcvs],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ColumnStats":
+        data = json.loads(payload)
+        return cls(
+            attribute=data["attribute"],
+            sql_type=data["sql_type"],
+            row_count=data["row_count"],
+            null_count=data["null_count"],
+            n_distinct=data["n_distinct"],
+            histogram=tuple(data["histogram"]),
+            mcvs=tuple((v, f) for v, f in data["mcvs"]),
+        )
+
+
+def collect_statistics(
+    engine: StorageEngine, config: MicroNNConfig
+) -> dict[str, ColumnStats]:
+    """ANALYZE-style scan: build and persist stats for every attribute.
+
+    Aggregates (counts, distincts, MCVs) run as SQL over the b-tree
+    indexed attribute columns; equi-depth boundaries come from quantile
+    point-lookups, so nothing is materialized in Python beyond the
+    MCV list and the bucket boundaries.
+    """
+    stats: dict[str, ColumnStats] = {}
+    for name, sql_type in config.normalized_attributes.items():
+        column_stats = _collect_column(engine, name, sql_type)
+        engine.save_column_stats(name, column_stats.to_json())
+        stats[name] = column_stats
+    return stats
+
+
+def load_statistics(engine: StorageEngine) -> dict[str, ColumnStats]:
+    """Load previously persisted statistics (empty dict if none)."""
+    return {
+        attr: ColumnStats.from_json(payload)
+        for attr, payload in engine.load_all_column_stats().items()
+    }
+
+
+def _collect_column(
+    engine: StorageEngine, name: str, sql_type: str
+) -> ColumnStats:
+    col = schema_mod._quote_ident(name)
+    with engine.read_snapshot() as conn:
+        row_count, null_count, n_distinct = conn.execute(
+            f"SELECT COUNT(*), COUNT(*) - COUNT({col}), "
+            f"COUNT(DISTINCT {col}) FROM attributes"
+        ).fetchone()
+        mcv_rows = conn.execute(
+            f"SELECT {col}, COUNT(*) AS c FROM attributes "
+            f"WHERE {col} IS NOT NULL GROUP BY {col} "
+            f"ORDER BY c DESC, {col} LIMIT ?",
+            (MCV_ENTRIES,),
+        ).fetchall()
+        histogram: tuple[float, ...] = ()
+        non_null = row_count - null_count
+        if sql_type in ("INTEGER", "REAL") and non_null > 0:
+            histogram = _equi_depth_boundaries(conn, col, non_null)
+    mcvs = tuple(
+        (value, count / row_count) for value, count in mcv_rows
+    ) if row_count else ()
+    return ColumnStats(
+        attribute=name,
+        sql_type=sql_type,
+        row_count=int(row_count),
+        null_count=int(null_count),
+        n_distinct=int(n_distinct),
+        histogram=histogram,
+        mcvs=mcvs,
+    )
+
+
+def _equi_depth_boundaries(
+    conn, col: str, non_null: int
+) -> tuple[float, ...]:
+    """Quantile boundaries via indexed OFFSET point-lookups."""
+    buckets = min(HISTOGRAM_BUCKETS, non_null)
+    boundaries: list[float] = []
+    for i in range(buckets + 1):
+        offset = min(round(i * (non_null - 1) / buckets), non_null - 1)
+        row = conn.execute(
+            f"SELECT {col} FROM attributes WHERE {col} IS NOT NULL "
+            f"ORDER BY {col} LIMIT 1 OFFSET ?",
+            (int(offset),),
+        ).fetchone()
+        boundaries.append(float(row[0]))
+    return tuple(boundaries)
+
+
+class SelectivityEstimator:
+    """Estimates selectivity factors for predicate trees.
+
+    Combination rules follow the paper exactly: independence assumed,
+    minimum over conjunctions, sum over disjunctions, final clamp into
+    [0, 1]. Unknown columns or missing statistics degrade to Selinger
+    defaults rather than failing — a wrong estimate only mis-picks the
+    plan, it never affects correctness.
+    """
+
+    def __init__(
+        self,
+        stats: dict[str, ColumnStats],
+        token_stats: TokenStats | None = None,
+        total_rows: int | None = None,
+    ) -> None:
+        self._stats = stats
+        self._token_stats = token_stats
+        explicit = total_rows
+        if explicit is None and stats:
+            explicit = max(s.row_count for s in stats.values())
+        self._total_rows = explicit or 0
+
+    @property
+    def total_rows(self) -> int:
+        return self._total_rows
+
+    def estimate_factor(self, predicate: F.Predicate) -> float:
+        """Selectivity factor F̂ ∈ [0, 1] for the predicate tree."""
+        factor = self._estimate(predicate)
+        return min(max(factor, 0.0), 1.0)
+
+    def estimate_cardinality(self, predicate: F.Predicate) -> int:
+        """|σ̂(R)| — estimated qualifying row count (paper Eq. 3)."""
+        if self._total_rows == 0:
+            return 0
+        card = self.estimate_factor(predicate) * self._total_rows
+        return int(min(round(card), self._total_rows))
+
+    # -- recursive walk -------------------------------------------------
+
+    def _estimate(self, pred: F.Predicate) -> float:
+        """Estimate one node, clamped into [0, 1].
+
+        Clamping at *every* node (not just the root) keeps composite
+        estimates well-formed: an unclamped disjunction can exceed 1,
+        which would drive an enclosing negation negative.
+        """
+        value = self._estimate_node(pred)
+        return min(max(value, 0.0), 1.0)
+
+    def _estimate_node(self, pred: F.Predicate) -> float:
+        if isinstance(pred, F.And):
+            # Paper: minimum over conjunctions.
+            return min(self._estimate(c) for c in pred.children)
+        if isinstance(pred, F.Or):
+            # Paper: sum over disjunctions (clamped by caller).
+            return sum(self._estimate(c) for c in pred.children)
+        if isinstance(pred, F.Not):
+            return 1.0 - self._estimate(pred.child)
+        if isinstance(pred, F.Compare):
+            return self._estimate_compare(pred)
+        if isinstance(pred, F.Between):
+            return self._estimate_between(pred)
+        if isinstance(pred, F.In):
+            return min(
+                sum(
+                    self._estimate_eq(pred.attribute, v) for v in pred.values
+                ),
+                1.0,
+            )
+        if isinstance(pred, F.IsNull):
+            stats = self._stats.get(pred.attribute)
+            if stats is None:
+                return DEFAULT_INEQUALITY_SELECTIVITY
+            frac = stats.null_fraction
+            return 1.0 - frac if pred.negate else frac
+        if isinstance(pred, F.Match):
+            if self._token_stats is None:
+                return DEFAULT_INEQUALITY_SELECTIVITY
+            return match_selectivity(
+                self._token_stats, pred.attribute, pred.query
+            )
+        raise FilterError(f"cannot estimate predicate {type(pred).__name__}")
+
+    def _estimate_compare(self, pred: F.Compare) -> float:
+        if pred.op == "=":
+            return self._estimate_eq(pred.attribute, pred.value)
+        if pred.op == "!=":
+            stats = self._stats.get(pred.attribute)
+            non_null = 1.0 - (stats.null_fraction if stats else 0.0)
+            return max(
+                non_null - self._estimate_eq(pred.attribute, pred.value), 0.0
+            )
+        return self._estimate_inequality(pred.attribute, pred.op, pred.value)
+
+    def _estimate_eq(self, attribute: str, value: object) -> float:
+        stats = self._stats.get(attribute)
+        if stats is None or stats.row_count == 0:
+            return DEFAULT_INEQUALITY_SELECTIVITY
+        for mcv_value, freq in stats.mcvs:
+            if mcv_value == value:
+                return freq
+        remaining_distinct = stats.n_distinct - len(stats.mcvs)
+        if remaining_distinct <= 0:
+            # All values are MCVs and this one is not among them.
+            return 0.0
+        remaining_fraction = max(
+            1.0 - stats.mcv_total_frequency - stats.null_fraction, 0.0
+        )
+        return remaining_fraction / remaining_distinct
+
+    def _estimate_inequality(
+        self, attribute: str, op: str, value: object
+    ) -> float:
+        stats = self._stats.get(attribute)
+        if (
+            stats is None
+            or not stats.histogram
+            or stats.row_count == 0
+            or not isinstance(value, (int, float))
+        ):
+            return DEFAULT_INEQUALITY_SELECTIVITY
+        frac_below = _histogram_fraction_below(stats.histogram, float(value))
+        non_null_fraction = 1.0 - stats.null_fraction
+        if op in ("<", "<="):
+            return frac_below * non_null_fraction
+        return (1.0 - frac_below) * non_null_fraction
+
+    def _estimate_between(self, pred: F.Between) -> float:
+        stats = self._stats.get(pred.attribute)
+        if (
+            stats is None
+            or not stats.histogram
+            or not isinstance(pred.low, (int, float))
+            or not isinstance(pred.high, (int, float))
+        ):
+            return DEFAULT_INEQUALITY_SELECTIVITY
+        if pred.low > pred.high:  # type: ignore[operator]
+            return 0.0
+        hi = _histogram_fraction_below(stats.histogram, float(pred.high))
+        lo = _histogram_fraction_below(stats.histogram, float(pred.low))
+        return max(hi - lo, 0.0) * (1.0 - stats.null_fraction)
+
+
+def _histogram_fraction_below(
+    boundaries: tuple[float, ...], value: float
+) -> float:
+    """Fraction of non-null rows with column value <= ``value``.
+
+    Equi-depth buckets each hold 1/B of the rows; linear interpolation
+    inside the containing bucket refines the estimate.
+    """
+    if not boundaries:
+        return DEFAULT_INEQUALITY_SELECTIVITY
+    lo, hi = boundaries[0], boundaries[-1]
+    if value < lo:
+        return 0.0
+    if value >= hi:
+        return 1.0
+    buckets = len(boundaries) - 1
+    # Rightmost bucket whose left edge is <= value.
+    idx = max(bisect_right(boundaries, value) - 1, 0)
+    idx = min(idx, buckets - 1)
+    left, right = boundaries[idx], boundaries[idx + 1]
+    if right <= left:
+        # Degenerate (constant) bucket run: count how many boundaries
+        # equal this value and attribute their full depth.
+        first = bisect_left(boundaries, value)
+        last = bisect_right(boundaries, value)
+        return min(last - 1, buckets) / buckets
+    within = (value - left) / (right - left)
+    return (idx + within) / buckets

@@ -1,0 +1,27 @@
+"""Disk-resident relational storage substrate (SQLite + caching)."""
+
+from repro.storage.cache import CachedPartition, PartitionCache
+from repro.storage.codec import (
+    decode_matrix,
+    decode_vector,
+    encode_matrix,
+    encode_vector,
+)
+from repro.storage.engine import StorageEngine, VectorRecord
+from repro.storage.iomodel import IOAccountant, IOSnapshot
+from repro.storage.memory import MemorySnapshot, MemoryTracker
+
+__all__ = [
+    "CachedPartition",
+    "PartitionCache",
+    "StorageEngine",
+    "VectorRecord",
+    "IOAccountant",
+    "IOSnapshot",
+    "MemoryTracker",
+    "MemorySnapshot",
+    "decode_matrix",
+    "decode_vector",
+    "encode_matrix",
+    "encode_vector",
+]

@@ -1,0 +1,137 @@
+"""Byte-budgeted LRU cache of decoded IVF partitions.
+
+This is the library's page-cache analog: the unit of disk transfer in
+MicroNN is one IVF partition (vectors are clustered on disk by partition
+id, paper §3.2), so the cache holds decoded partitions — the asset ids
+plus the contiguous float32 matrix the distance kernels consume.
+
+The budget comes from the :class:`~repro.core.config.DeviceProfile`;
+evicting whole partitions keeps accounting exact and mirrors how the
+clustered layout makes partition reads sequential. Cold-start scenarios
+purge the cache (``clear``); warm-cache scenarios pre-populate it by
+running warm-up queries. Writers invalidate the partitions they touch so
+readers never see stale data.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.memory import MemoryTracker
+
+#: Memory-tracker category used for cached partitions.
+CACHE_CATEGORY = "partition_cache"
+
+
+@dataclass(frozen=True)
+class CachedPartition:
+    """A decoded partition: row identities plus the vector matrix."""
+
+    partition_id: int
+    asset_ids: tuple[str, ...]
+    vector_ids: tuple[int, ...]
+    matrix: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        # Account the matrix plus a small fixed overhead per row for ids.
+        return int(self.matrix.nbytes) + 16 * len(self.asset_ids)
+
+    def __len__(self) -> int:
+        return len(self.asset_ids)
+
+
+class PartitionCache:
+    """Thread-safe LRU over :class:`CachedPartition` entries.
+
+    Entries larger than the whole budget are admitted transiently by the
+    caller but never cached (otherwise a single mega-partition would
+    evict everything and still not fit).
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        tracker: MemoryTracker | None = None,
+    ) -> None:
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        self._budget = budget_bytes
+        self._tracker = tracker
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[int, CachedPartition] = OrderedDict()
+        self._used = 0
+
+    @property
+    def budget_bytes(self) -> int:
+        return self._budget
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._used
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, partition_id: int) -> bool:
+        with self._lock:
+            return partition_id in self._entries
+
+    def get(self, partition_id: int) -> CachedPartition | None:
+        """Return the cached partition and mark it most-recently used."""
+        with self._lock:
+            entry = self._entries.get(partition_id)
+            if entry is not None:
+                self._entries.move_to_end(partition_id)
+            return entry
+
+    def put(self, entry: CachedPartition) -> bool:
+        """Insert a partition, evicting LRU entries to fit the budget.
+
+        Returns ``True`` if the entry was cached, ``False`` if it was
+        too large for the budget and was rejected.
+        """
+        nbytes = entry.nbytes
+        if nbytes > self._budget:
+            return False
+        with self._lock:
+            old = self._entries.pop(entry.partition_id, None)
+            if old is not None:
+                self._used -= old.nbytes
+            while self._used + nbytes > self._budget and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._used -= evicted.nbytes
+            self._entries[entry.partition_id] = entry
+            self._used += nbytes
+            self._sync_tracker()
+        return True
+
+    def invalidate(self, partition_id: int) -> None:
+        """Drop one partition (called by writers that touched it)."""
+        with self._lock:
+            entry = self._entries.pop(partition_id, None)
+            if entry is not None:
+                self._used -= entry.nbytes
+                self._sync_tracker()
+
+    def clear(self) -> None:
+        """Drop everything (cold-start scenario, or full rebuild)."""
+        with self._lock:
+            self._entries.clear()
+            self._used = 0
+            self._sync_tracker()
+
+    def cached_partition_ids(self) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(self._entries.keys())
+
+    def _sync_tracker(self) -> None:
+        # Caller holds self._lock.
+        if self._tracker is not None:
+            self._tracker.set_category(CACHE_CATEGORY, self._used)

@@ -1,0 +1,889 @@
+"""SQLite-backed storage engine.
+
+Implements the paper's physical design (§3.2, §3.6):
+
+- **WAL mode** for ACID semantics with one serialized writer and many
+  snapshot-isolated readers. Every thread gets its own reader
+  connection; a single writer connection is guarded by a re-entrant
+  lock so upserts, deletes and rebuilds are fully serialized.
+- **Clustered vector table** keyed ``(partition_id, asset_id,
+  vector_id)`` so a partition scan is one sequential range read.
+- **Delta-store as a reserved partition** (id ``-1``): newly upserted
+  vectors land there and are moved into IVF partitions by maintenance.
+- **Row-change accounting**: every write transaction reports the number
+  of row inserts/updates/deletes to the I/O accountant — the flash-wear
+  metric of Figure 10d.
+- **Partition cache**: reads of whole partitions go through a
+  byte-budgeted LRU of decoded matrices (the page-cache analog); cold
+  start purges it, warm-up queries populate it.
+
+The engine knows nothing about distances, filters or query plans — it
+stores and retrieves rows. Higher layers compose it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import shutil
+import sqlite3
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
+from repro.core.errors import (
+    DatabaseClosedError,
+    StorageError,
+    UnknownAttributeError,
+)
+from repro.storage import schema as schema_mod
+from repro.storage.cache import CachedPartition, PartitionCache
+from repro.storage.codec import decode_matrix, decode_vector, encode_vector
+from repro.storage.iomodel import IOAccountant
+from repro.storage.memory import MemoryTracker
+
+#: Estimated fixed per-row storage overhead, used for byte accounting.
+_ROW_OVERHEAD_BYTES = 24
+
+
+@dataclass(frozen=True)
+class VectorRecord:
+    """One asset to upsert: vector plus optional attribute values."""
+
+    asset_id: str
+    vector: np.ndarray
+    attributes: Mapping[str, object] = field(default_factory=dict)
+
+
+class StorageEngine:
+    """Relational storage for vectors, centroids, attributes and tokens."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str] | None,
+        config: MicroNNConfig,
+        tracker: MemoryTracker | None = None,
+        accountant: IOAccountant | None = None,
+        tokenizer: Callable[[str], list[str]] | None = None,
+    ) -> None:
+        self._config = config
+        self._tracker = tracker or MemoryTracker()
+        self._accountant = accountant or IOAccountant(config.device.io_model)
+        self._tokenizer = tokenizer
+        self._closed = False
+        self._tempdir: str | None = None
+        if path is None:
+            self._tempdir = tempfile.mkdtemp(prefix="micronn-")
+            path = os.path.join(self._tempdir, "micronn.db")
+        self._path = os.fspath(path)
+
+        self._writer_lock = threading.RLock()
+        self._readers_lock = threading.Lock()
+        self._reader_registry: list[sqlite3.Connection] = []
+        self._local = threading.local()
+
+        self._writer = self._connect()
+        self._use_fts5 = bool(
+            config.fts_attributes
+        ) and schema_mod.fts5_available(self._writer)
+        with self._writer:
+            schema_mod.create_schema(
+                self._writer,
+                config.normalized_attributes,
+                config.fts_attributes,
+                self._use_fts5,
+            )
+        self._init_meta()
+
+        self.cache = PartitionCache(
+            config.device.partition_cache_bytes, tracker=self._tracker
+        )
+        self._centroid_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._centroid_cache_lock = threading.Lock()
+        # Simulated OS page cache: partition ids whose pages have been
+        # read since the last cold start. Reads of os-cached partitions
+        # skip the I/O cost model (the kernel serves them from memory)
+        # but are NOT charged to the app's memory tracker — exactly how
+        # RSS-vs-page-cache behaves on a real device, and what makes
+        # WarmCache fast while app memory stays within budget.
+        self._os_cache_lock = threading.Lock()
+        self._os_cached_partitions: set[int] = set()
+        self._os_cached_centroids = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def config(self) -> MicroNNConfig:
+        return self._config
+
+    @property
+    def tracker(self) -> MemoryTracker:
+        return self._tracker
+
+    @property
+    def accountant(self) -> IOAccountant:
+        return self._accountant
+
+    @property
+    def uses_fts5(self) -> bool:
+        return self._use_fts5
+
+    def close(self) -> None:
+        """Close all connections; further operations raise."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._readers_lock:
+            for conn in self._reader_registry:
+                with contextlib.suppress(sqlite3.Error):
+                    conn.close()
+            self._reader_registry.clear()
+        with contextlib.suppress(sqlite3.Error):
+            self._writer.close()
+        self.cache.clear()
+        self._drop_centroid_cache()
+        if self._tempdir is not None:
+            shutil.rmtree(self._tempdir, ignore_errors=True)
+
+    @property
+    def is_open(self) -> bool:
+        return not self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DatabaseClosedError("database is closed")
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            self._path, timeout=30.0, check_same_thread=False
+        )
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA foreign_keys=ON")
+        page_budget = self._config.device.sqlite_cache_bytes
+        conn.execute(f"PRAGMA cache_size=-{max(1, page_budget // 1024)}")
+        return conn
+
+    def _reader(self) -> sqlite3.Connection:
+        """Thread-local read-only connection (snapshot per transaction)."""
+        self._check_open()
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._connect()
+            conn.execute("PRAGMA query_only=ON")
+            self._local.conn = conn
+            with self._readers_lock:
+                self._reader_registry.append(conn)
+        return conn
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def write_transaction(self) -> Iterator[sqlite3.Connection]:
+        """Serialized write transaction with row-change accounting."""
+        self._check_open()
+        with self._writer_lock:
+            before = self._writer.total_changes
+            try:
+                self._writer.execute("BEGIN IMMEDIATE")
+                yield self._writer
+            except BaseException:
+                self._writer.rollback()
+                raise
+            else:
+                self._writer.commit()
+            finally:
+                changed = self._writer.total_changes - before
+                if changed > 0:
+                    self._accountant.record_rows_written(changed)
+
+    @contextlib.contextmanager
+    def read_snapshot(self) -> Iterator[sqlite3.Connection]:
+        """Snapshot-isolated read transaction on this thread's reader.
+
+        Under WAL, a deferred transaction pins the database snapshot at
+        its first read; everything inside the ``with`` block sees one
+        consistent state even while the writer commits concurrently.
+        """
+        conn = self._reader()
+        conn.execute("BEGIN DEFERRED")
+        try:
+            yield conn
+        finally:
+            with contextlib.suppress(sqlite3.Error):
+                conn.execute("COMMIT")
+
+    # ------------------------------------------------------------------
+    # Meta
+    # ------------------------------------------------------------------
+
+    def _init_meta(self) -> None:
+        with self._writer_lock, self._writer:
+            cur = self._writer.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            )
+            row = cur.fetchone()
+            if row is None:
+                self._writer.executemany(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)",
+                    [
+                        ("schema_version", str(schema_mod.SCHEMA_VERSION)),
+                        ("dim", str(self._config.dim)),
+                        ("metric", self._config.metric),
+                        ("next_vector_id", "1"),
+                    ],
+                )
+            else:
+                stored_dim = int(self.get_meta("dim") or 0)
+                if stored_dim != self._config.dim:
+                    raise StorageError(
+                        f"database was created with dim={stored_dim}, "
+                        f"config says dim={self._config.dim}"
+                    )
+                stored_metric = self.get_meta("metric")
+                if stored_metric != self._config.metric:
+                    raise StorageError(
+                        f"database was created with metric={stored_metric!r},"
+                        f" config says metric={self._config.metric!r}"
+                    )
+
+    def get_meta(self, key: str) -> str | None:
+        self._check_open()
+        cur = self._writer.execute(
+            "SELECT value FROM meta WHERE key=?", (key,)
+        )
+        row = cur.fetchone()
+        return None if row is None else str(row[0])
+
+    def set_meta(self, key: str, value: str) -> None:
+        self._check_open()
+        with self._writer_lock, self._writer:
+            self._writer.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+                (key, value),
+            )
+
+    def _allocate_vector_ids(self, count: int) -> int:
+        """Reserve ``count`` consecutive vector ids, return the first."""
+        cur = self._writer.execute(
+            "SELECT value FROM meta WHERE key='next_vector_id'"
+        )
+        first = int(cur.fetchone()[0])
+        self._writer.execute(
+            "UPDATE meta SET value=? WHERE key='next_vector_id'",
+            (str(first + count),),
+        )
+        return first
+
+    # ------------------------------------------------------------------
+    # Writes: upsert / delete
+    # ------------------------------------------------------------------
+
+    def upsert_batch(self, records: Sequence[VectorRecord]) -> int:
+        """Insert or replace assets; new vectors land in the delta-store.
+
+        Returns the number of records written. Upsert semantics: if the
+        asset already exists its old vector row (wherever it lives) and
+        attribute row are replaced; the fresh vector is staged in the
+        delta partition until the next index maintenance (paper §3.6).
+        """
+        self._check_open()
+        if not records:
+            return 0
+        dim = self._config.dim
+        attr_names = list(self._config.normalized_attributes)
+        with self.write_transaction() as conn:
+            first_id = self._allocate_vector_ids(len(records))
+            for offset, record in enumerate(records):
+                self._validate_attributes(record.attributes)
+                blob = encode_vector(record.vector, dim)
+                conn.execute(
+                    "DELETE FROM vectors WHERE asset_id=?",
+                    (record.asset_id,),
+                )
+                conn.execute(
+                    "INSERT INTO vectors "
+                    "(partition_id, asset_id, vector_id, vector) "
+                    "VALUES (?, ?, ?, ?)",
+                    (
+                        DELTA_PARTITION_ID,
+                        record.asset_id,
+                        first_id + offset,
+                        blob,
+                    ),
+                )
+                self._write_attributes(conn, record, attr_names)
+        self.cache.invalidate(DELTA_PARTITION_ID)
+        self._invalidate_partitions_of(records)
+        return len(records)
+
+    def _invalidate_partitions_of(
+        self, records: Sequence[VectorRecord]
+    ) -> None:
+        # After the transaction the rows are already in the delta, so we
+        # cannot know the prior partition; invalidate all cached
+        # partitions that could contain any of the asset ids by dropping
+        # entries containing those ids.
+        touched = {r.asset_id for r in records}
+        for pid in self.cache.cached_partition_ids():
+            entry = self.cache.get(pid)
+            if entry is not None and touched.intersection(entry.asset_ids):
+                self.cache.invalidate(pid)
+
+    def _validate_attributes(self, attributes: Mapping[str, object]) -> None:
+        declared = self._config.normalized_attributes
+        for name in attributes:
+            if name not in declared:
+                raise UnknownAttributeError(name, tuple(declared))
+
+    def _write_attributes(
+        self,
+        conn: sqlite3.Connection,
+        record: VectorRecord,
+        attr_names: list[str],
+    ) -> None:
+        conn.execute(
+            "DELETE FROM attributes WHERE asset_id=?", (record.asset_id,)
+        )
+        self._delete_tokens(conn, record.asset_id)
+        if not attr_names:
+            # No declared schema: nothing beyond the vector row.
+            return
+        columns = ["asset_id"] + [
+            schema_mod._quote_ident(n) for n in attr_names
+        ]
+        placeholders = ", ".join("?" for _ in columns)
+        values = [record.asset_id] + [
+            record.attributes.get(n) for n in attr_names
+        ]
+        conn.execute(
+            f"INSERT INTO attributes ({', '.join(columns)}) "
+            f"VALUES ({placeholders})",
+            values,
+        )
+        self._write_tokens(conn, record)
+
+    def _write_tokens(
+        self, conn: sqlite3.Connection, record: VectorRecord
+    ) -> None:
+        if not self._config.fts_attributes or self._tokenizer is None:
+            return
+        fts_values: list[object] = []
+        rows: list[tuple[str, str, str]] = []
+        for name in self._config.fts_attributes:
+            text = record.attributes.get(name)
+            fts_values.append(text)
+            if text is None:
+                continue
+            for token in set(self._tokenizer(str(text))):
+                rows.append((name, token, record.asset_id))
+        if rows:
+            conn.executemany(
+                "INSERT OR IGNORE INTO tokens (attribute, token, asset_id) "
+                "VALUES (?, ?, ?)",
+                rows,
+            )
+        if self._use_fts5:
+            cols = ", ".join(
+                schema_mod._quote_ident(n)
+                for n in self._config.fts_attributes
+            )
+            placeholders = ", ".join(
+                "?" for _ in range(len(self._config.fts_attributes) + 1)
+            )
+            conn.execute(
+                f"INSERT INTO attributes_fts (asset_id, {cols}) "
+                f"VALUES ({placeholders})",
+                [record.asset_id, *fts_values],
+            )
+
+    def _delete_tokens(self, conn: sqlite3.Connection, asset_id: str) -> None:
+        conn.execute("DELETE FROM tokens WHERE asset_id=?", (asset_id,))
+        if self._use_fts5:
+            conn.execute(
+                "DELETE FROM attributes_fts WHERE asset_id=?", (asset_id,)
+            )
+
+    def delete_assets(self, asset_ids: Iterable[str]) -> int:
+        """Delete assets (vector, attributes, tokens). Returns count."""
+        self._check_open()
+        ids = list(asset_ids)
+        if not ids:
+            return 0
+        deleted = 0
+        with self.write_transaction() as conn:
+            for asset_id in ids:
+                cur = conn.execute(
+                    "DELETE FROM vectors WHERE asset_id=?", (asset_id,)
+                )
+                if cur.rowcount > 0:
+                    deleted += cur.rowcount
+                conn.execute(
+                    "DELETE FROM attributes WHERE asset_id=?", (asset_id,)
+                )
+                self._delete_tokens(conn, asset_id)
+        # Deleted rows may be cached inside any partition entry.
+        touched = set(ids)
+        for pid in self.cache.cached_partition_ids():
+            entry = self.cache.get(pid)
+            if entry is not None and touched.intersection(entry.asset_ids):
+                self.cache.invalidate(pid)
+        return deleted
+
+    # ------------------------------------------------------------------
+    # Writes: index structures
+    # ------------------------------------------------------------------
+
+    def replace_centroids(
+        self, centroids: np.ndarray, counts: Sequence[int]
+    ) -> None:
+        """Replace the whole centroid table after a full (re)build."""
+        self._check_open()
+        if len(centroids) != len(counts):
+            raise StorageError("centroids and counts length mismatch")
+        dim = self._config.dim
+        with self.write_transaction() as conn:
+            conn.execute("DELETE FROM centroids")
+            conn.executemany(
+                "INSERT INTO centroids (partition_id, centroid, vector_count)"
+                " VALUES (?, ?, ?)",
+                [
+                    (pid, encode_vector(centroids[pid], dim), int(counts[pid]))
+                    for pid in range(len(centroids))
+                ],
+            )
+        self._drop_centroid_cache()
+
+    def update_centroids(
+        self, updates: Mapping[int, tuple[np.ndarray, int]]
+    ) -> None:
+        """Update a subset of centroids (incremental maintenance)."""
+        self._check_open()
+        if not updates:
+            return
+        dim = self._config.dim
+        with self.write_transaction() as conn:
+            conn.executemany(
+                "UPDATE centroids SET centroid=?, vector_count=? "
+                "WHERE partition_id=?",
+                [
+                    (encode_vector(vec, dim), int(count), pid)
+                    for pid, (vec, count) in updates.items()
+                ],
+            )
+        self._drop_centroid_cache()
+
+    def set_partition_assignments(
+        self, assignments: Iterable[tuple[str, int]]
+    ) -> int:
+        """Move vectors between partitions: (asset_id, new_partition).
+
+        Each move physically rewrites the row (the partition id is part
+        of the clustered primary key), which is exactly the I/O the
+        paper's incremental maintenance tries to minimize.
+        """
+        self._check_open()
+        moves = list(assignments)
+        if not moves:
+            return 0
+        with self.write_transaction() as conn:
+            conn.executemany(
+                "UPDATE vectors SET partition_id=? WHERE asset_id=?",
+                [(pid, asset_id) for asset_id, pid in moves],
+            )
+        self.cache.clear()
+        return len(moves)
+
+    # ------------------------------------------------------------------
+    # Reads: centroids
+    # ------------------------------------------------------------------
+
+    def load_centroids(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (partition_ids int64[n], centroid matrix float32[n,d]).
+
+        The centroid table is small (|X| / target_cluster_size rows) and
+        hot — it is scanned by every query — so it is cached in memory
+        after first load and accounted to the memory tracker. Writers
+        drop the cache when centroids change.
+        """
+        self._check_open()
+        with self._centroid_cache_lock:
+            if self._centroid_cache is not None:
+                return self._centroid_cache
+        with self.read_snapshot() as conn:
+            rows = conn.execute(
+                "SELECT partition_id, centroid FROM centroids "
+                "ORDER BY partition_id"
+            ).fetchall()
+        dim = self._config.dim
+        if rows:
+            ids = np.array([r[0] for r in rows], dtype=np.int64)
+            matrix = decode_matrix([r[1] for r in rows], dim).copy()
+        else:
+            ids = np.empty(0, dtype=np.int64)
+            matrix = np.empty((0, dim), dtype=np.float32)
+        nbytes = int(matrix.nbytes) + int(ids.nbytes)
+        with self._os_cache_lock:
+            charge = not self._os_cached_centroids
+            self._os_cached_centroids = True
+        self._accountant.record_read(
+            nbytes + _ROW_OVERHEAD_BYTES * len(rows), charge_cost=charge
+        )
+        with self._centroid_cache_lock:
+            if self._centroid_cache is None:
+                self._centroid_cache = (ids, matrix)
+                self._tracker.set_category("centroids", nbytes)
+        return self._centroid_cache
+
+    def _drop_centroid_cache(self) -> None:
+        with self._centroid_cache_lock:
+            self._centroid_cache = None
+            self._tracker.set_category("centroids", 0)
+
+    def centroid_count(self) -> int:
+        self._check_open()
+        cur = self._reader().execute("SELECT COUNT(*) FROM centroids")
+        return int(cur.fetchone()[0])
+
+    # ------------------------------------------------------------------
+    # Reads: partitions and vectors
+    # ------------------------------------------------------------------
+
+    def load_partition(
+        self, partition_id: int, use_cache: bool = True
+    ) -> CachedPartition:
+        """Load one partition's rows as a decoded matrix (cache-aware)."""
+        self._check_open()
+        if use_cache:
+            cached = self.cache.get(partition_id)
+            if cached is not None:
+                self._accountant.record_cache_hit()
+                return cached
+            self._accountant.record_cache_miss()
+        with self.read_snapshot() as conn:
+            rows = conn.execute(
+                "SELECT asset_id, vector_id, vector FROM vectors "
+                "WHERE partition_id=? ORDER BY asset_id, vector_id",
+                (partition_id,),
+            ).fetchall()
+        dim = self._config.dim
+        asset_ids = tuple(r[0] for r in rows)
+        vector_ids = tuple(int(r[1]) for r in rows)
+        matrix = decode_matrix([r[2] for r in rows], dim)
+        entry = CachedPartition(
+            partition_id=partition_id,
+            asset_ids=asset_ids,
+            vector_ids=vector_ids,
+            matrix=matrix,
+        )
+        with self._os_cache_lock:
+            charge = partition_id not in self._os_cached_partitions
+            self._os_cached_partitions.add(partition_id)
+        self._accountant.record_read(
+            entry.nbytes + _ROW_OVERHEAD_BYTES * len(rows),
+            charge_cost=charge,
+        )
+        if use_cache:
+            self.cache.put(entry)
+        return entry
+
+    def fetch_vectors_by_asset_ids(
+        self, asset_ids: Sequence[str], chunk_size: int = 500
+    ) -> tuple[list[str], np.ndarray]:
+        """Point-fetch vectors for specific assets (pre-filtering plan).
+
+        Returns (found_asset_ids, matrix); assets with no stored vector
+        are silently skipped. Reads are chunked to respect SQLite's
+        bound-parameter limit.
+        """
+        self._check_open()
+        found: list[str] = []
+        blobs: list[bytes] = []
+        with self.read_snapshot() as conn:
+            for start in range(0, len(asset_ids), chunk_size):
+                chunk = list(asset_ids[start : start + chunk_size])
+                placeholders = ", ".join("?" for _ in chunk)
+                rows = conn.execute(
+                    "SELECT asset_id, vector FROM vectors "
+                    f"WHERE asset_id IN ({placeholders})",
+                    chunk,
+                ).fetchall()
+                for asset_id, blob in rows:
+                    found.append(asset_id)
+                    blobs.append(blob)
+        matrix = decode_matrix(blobs, self._config.dim)
+        self._accountant.record_read(
+            int(matrix.nbytes) + _ROW_OVERHEAD_BYTES * len(found)
+        )
+        return found, matrix
+
+    def get_vector(self, asset_id: str) -> np.ndarray | None:
+        """Return one asset's vector, or None if absent."""
+        self._check_open()
+        cur = self._reader().execute(
+            "SELECT vector FROM vectors WHERE asset_id=?", (asset_id,)
+        )
+        row = cur.fetchone()
+        if row is None:
+            return None
+        return decode_vector(row[0], self._config.dim)
+
+    def get_partition_of(self, asset_id: str) -> int | None:
+        self._check_open()
+        cur = self._reader().execute(
+            "SELECT partition_id FROM vectors WHERE asset_id=?", (asset_id,)
+        )
+        row = cur.fetchone()
+        return None if row is None else int(row[0])
+
+    def iter_vector_batches(
+        self, batch_size: int = 4096, include_delta: bool = True
+    ) -> Iterator[tuple[list[str], np.ndarray]]:
+        """Stream all vectors in bounded batches (exact KNN, rebuilds).
+
+        Never materializes the full collection: this is the memory
+        discipline that lets index construction run in a mini-batch
+        footprint.
+        """
+        self._check_open()
+        if batch_size < 1:
+            raise StorageError("batch_size must be >= 1")
+        where = "" if include_delta else "WHERE partition_id != ?"
+        params: tuple[object, ...] = (
+            () if include_delta else (DELTA_PARTITION_ID,)
+        )
+        with self.read_snapshot() as conn:
+            cursor = conn.execute(
+                "SELECT asset_id, vector FROM vectors "
+                f"{where} ORDER BY partition_id, asset_id, vector_id",
+                params,
+            )
+            while True:
+                rows = cursor.fetchmany(batch_size)
+                if not rows:
+                    break
+                ids = [r[0] for r in rows]
+                matrix = decode_matrix([r[1] for r in rows], self._config.dim)
+                self._accountant.record_read(
+                    int(matrix.nbytes) + _ROW_OVERHEAD_BYTES * len(rows)
+                )
+                yield ids, matrix
+
+    def all_asset_ids(self) -> list[str]:
+        """All asset ids (ids only — a few bytes per vector)."""
+        self._check_open()
+        with self.read_snapshot() as conn:
+            rows = conn.execute(
+                "SELECT asset_id FROM vectors ORDER BY asset_id"
+            ).fetchall()
+        return [r[0] for r in rows]
+
+    def count_vectors(self, include_delta: bool = True) -> int:
+        self._check_open()
+        if include_delta:
+            cur = self._reader().execute("SELECT COUNT(*) FROM vectors")
+        else:
+            cur = self._reader().execute(
+                "SELECT COUNT(*) FROM vectors WHERE partition_id != ?",
+                (DELTA_PARTITION_ID,),
+            )
+        return int(cur.fetchone()[0])
+
+    def delta_size(self) -> int:
+        self._check_open()
+        cur = self._reader().execute(
+            "SELECT COUNT(*) FROM vectors WHERE partition_id = ?",
+            (DELTA_PARTITION_ID,),
+        )
+        return int(cur.fetchone()[0])
+
+    def partition_sizes(self, include_delta: bool = False) -> dict[int, int]:
+        """Map of partition id to row count (index monitor input)."""
+        self._check_open()
+        where = "" if include_delta else "WHERE partition_id != ?"
+        params: tuple[object, ...] = (
+            () if include_delta else (DELTA_PARTITION_ID,)
+        )
+        with self.read_snapshot() as conn:
+            rows = conn.execute(
+                "SELECT partition_id, COUNT(*) FROM vectors "
+                f"{where} GROUP BY partition_id",
+                params,
+            ).fetchall()
+        return {int(pid): int(count) for pid, count in rows}
+
+    # ------------------------------------------------------------------
+    # Reads: attributes
+    # ------------------------------------------------------------------
+
+    def query_attribute_ids(
+        self, where_sql: str, params: Sequence[object]
+    ) -> list[str]:
+        """Asset ids whose attributes satisfy a compiled predicate."""
+        self._check_open()
+        with self.read_snapshot() as conn:
+            rows = conn.execute(
+                f"SELECT asset_id FROM attributes WHERE {where_sql}",
+                list(params),
+            ).fetchall()
+        self._accountant.record_read(_ROW_OVERHEAD_BYTES * len(rows))
+        return [r[0] for r in rows]
+
+    def count_attribute_rows(
+        self, where_sql: str | None = None, params: Sequence[object] = ()
+    ) -> int:
+        self._check_open()
+        sql = "SELECT COUNT(*) FROM attributes"
+        if where_sql:
+            sql += f" WHERE {where_sql}"
+        cur = self._reader().execute(sql, list(params))
+        return int(cur.fetchone()[0])
+
+    def get_attributes(self, asset_id: str) -> dict[str, object] | None:
+        """Return one asset's attribute values, or None if absent."""
+        self._check_open()
+        names = list(self._config.normalized_attributes)
+        if not names:
+            return None
+        cols = ", ".join(schema_mod._quote_ident(n) for n in names)
+        cur = self._reader().execute(
+            f"SELECT {cols} FROM attributes WHERE asset_id=?", (asset_id,)
+        )
+        row = cur.fetchone()
+        if row is None:
+            return None
+        return dict(zip(names, row))
+
+    def token_document_frequency(self, attribute: str, token: str) -> int:
+        """Number of assets whose attribute contains the token (MATCH df)."""
+        self._check_open()
+        cur = self._reader().execute(
+            "SELECT COUNT(*) FROM tokens WHERE attribute=? AND token=?",
+            (attribute, token),
+        )
+        return int(cur.fetchone()[0])
+
+    # ------------------------------------------------------------------
+    # Statistics persistence (selectivity module reads/writes these)
+    # ------------------------------------------------------------------
+
+    def save_column_stats(self, attribute: str, payload: str) -> None:
+        self._check_open()
+        with self.write_transaction() as conn:
+            conn.execute(
+                "INSERT INTO column_stats (attribute, payload) VALUES (?, ?) "
+                "ON CONFLICT(attribute) DO UPDATE SET payload=excluded.payload",
+                (attribute, payload),
+            )
+
+    def load_column_stats(self, attribute: str) -> str | None:
+        self._check_open()
+        cur = self._reader().execute(
+            "SELECT payload FROM column_stats WHERE attribute=?",
+            (attribute,),
+        )
+        row = cur.fetchone()
+        return None if row is None else str(row[0])
+
+    def load_all_column_stats(self) -> dict[str, str]:
+        self._check_open()
+        with self.read_snapshot() as conn:
+            rows = conn.execute(
+                "SELECT attribute, payload FROM column_stats"
+            ).fetchall()
+        return {str(a): str(p) for a, p in rows}
+
+    # ------------------------------------------------------------------
+    # Cache scenarios (§4.1.4)
+    # ------------------------------------------------------------------
+
+    def purge_caches(self) -> None:
+        """Cold-start scenario: drop every cached page and decoded block,
+        including the simulated OS page cache."""
+        self._check_open()
+        self.cache.clear()
+        self._drop_centroid_cache()
+        with self._os_cache_lock:
+            self._os_cached_partitions.clear()
+            self._os_cached_centroids = False
+
+    # ------------------------------------------------------------------
+    # Disk hygiene
+    # ------------------------------------------------------------------
+
+    def vacuum(self) -> int:
+        """Rewrite the database file, reclaiming space from deletes.
+
+        Deletes and partition moves leave free pages inside the file;
+        on storage-constrained devices the file should be compacted
+        once enough space is reclaimable. Returns bytes saved.
+        Serialized with all other writes (VACUUM needs an exclusive
+        transaction under the hood).
+        """
+        self._check_open()
+        before = os.path.getsize(self._path)
+        with self._writer_lock:
+            self._writer.execute("VACUUM")
+            # Under WAL the rewritten pages sit in the -wal file until
+            # a checkpoint; truncate so the main file actually shrinks.
+            self._writer.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        after = os.path.getsize(self._path)
+        return max(before - after, 0)
+
+    def integrity_check(self) -> list[str]:
+        """Run SQLite's integrity check plus MicroNN's own invariants.
+
+        Returns a list of problems (empty means healthy):
+        - SQLite b-tree/page corruption,
+        - vectors whose partition id has no centroid row (other than
+          the reserved delta partition),
+        - centroid vector_count drift versus actual partition sizes.
+        """
+        self._check_open()
+        problems: list[str] = []
+        with self.read_snapshot() as conn:
+            for (line,) in conn.execute("PRAGMA integrity_check"):
+                if line != "ok":
+                    problems.append(f"sqlite: {line}")
+            orphan_rows = conn.execute(
+                "SELECT COUNT(*) FROM vectors v WHERE v.partition_id != ? "
+                "AND NOT EXISTS (SELECT 1 FROM centroids c "
+                "WHERE c.partition_id = v.partition_id)",
+                (DELTA_PARTITION_ID,),
+            ).fetchone()[0]
+            if orphan_rows:
+                problems.append(
+                    f"{orphan_rows} vectors assigned to partitions "
+                    "with no centroid"
+                )
+            # Deletes legitimately leave recorded counts above the
+            # actual sizes until the next rebuild; the corrupt
+            # direction is a partition holding MORE vectors than its
+            # centroid ever accounted for (a flush that forgot to
+            # update the count).
+            drift = conn.execute(
+                "SELECT c.partition_id, c.vector_count, COUNT(v.asset_id)"
+                " FROM centroids c LEFT JOIN vectors v "
+                "ON v.partition_id = c.partition_id "
+                "GROUP BY c.partition_id "
+                "HAVING COUNT(v.asset_id) > c.vector_count"
+            ).fetchall()
+            for pid, recorded, actual in drift:
+                problems.append(
+                    f"partition {pid}: centroid records {recorded} "
+                    f"vectors, table holds {actual}"
+                )
+        return problems

@@ -1,0 +1,166 @@
+"""Relational schema for a MicroNN database (paper Fig. 2).
+
+Three user-visible tables mirror the paper exactly:
+
+- ``centroids`` — one row per IVF partition: the centroid blob and the
+  vector count used for incremental centroid updates.
+- ``vectors`` — the vector rows, stored ``WITHOUT ROWID`` with primary
+  key ``(partition_id, asset_id, vector_id)`` so SQLite clusters the
+  rows on disk by partition id; scanning a partition is then a
+  sequential range read (paper §3.2: "A clustered index ensures that
+  the rows of the vector table are clustered on disk").
+- ``attributes`` — one row per asset with the client-declared columns,
+  each backed by a b-tree index for filter evaluation (paper §3.5).
+
+Support tables:
+
+- ``tokens`` — our inverted token index over FTS-enabled attributes;
+  it powers ``MATCH`` filters and provides the document-frequency
+  statistics the hybrid-query optimizer needs for string selectivity
+  estimation (§3.5.1 / §4.3.1).
+- ``attributes_fts`` — optional FTS5 mirror, created when the SQLite
+  build supports it; used as an alternative MATCH execution path.
+- ``column_stats`` — serialized per-column histograms/MCVs collected
+  by ``ANALYZE``-style statistics runs.
+- ``meta`` — key/value store for dimensionality, metric, id counters
+  and index-monitor baselines.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+#: Bump when the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+META_TABLE = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+) WITHOUT ROWID
+"""
+
+CENTROIDS_TABLE = """
+CREATE TABLE IF NOT EXISTS centroids (
+    partition_id  INTEGER PRIMARY KEY,
+    centroid      BLOB    NOT NULL,
+    vector_count  INTEGER NOT NULL DEFAULT 0
+)
+"""
+
+VECTORS_TABLE = """
+CREATE TABLE IF NOT EXISTS vectors (
+    partition_id INTEGER NOT NULL,
+    asset_id     TEXT    NOT NULL,
+    vector_id    INTEGER NOT NULL,
+    vector       BLOB    NOT NULL,
+    PRIMARY KEY (partition_id, asset_id, vector_id)
+) WITHOUT ROWID
+"""
+
+#: Upserts and deletes address rows by asset id, so keep a unique
+#: secondary index; an asset has exactly one vector at a time.
+VECTORS_ASSET_INDEX = """
+CREATE UNIQUE INDEX IF NOT EXISTS idx_vectors_asset_id
+    ON vectors (asset_id)
+"""
+
+TOKENS_TABLE = """
+CREATE TABLE IF NOT EXISTS tokens (
+    attribute TEXT NOT NULL,
+    token     TEXT NOT NULL,
+    asset_id  TEXT NOT NULL,
+    PRIMARY KEY (attribute, token, asset_id)
+) WITHOUT ROWID
+"""
+
+TOKENS_ASSET_INDEX = """
+CREATE INDEX IF NOT EXISTS idx_tokens_asset_id
+    ON tokens (asset_id)
+"""
+
+COLUMN_STATS_TABLE = """
+CREATE TABLE IF NOT EXISTS column_stats (
+    attribute TEXT PRIMARY KEY,
+    payload   TEXT NOT NULL
+) WITHOUT ROWID
+"""
+
+
+def attributes_table_ddl(attributes: dict[str, str]) -> str:
+    """DDL for the attributes table with the client-declared columns."""
+    columns = ["asset_id TEXT PRIMARY KEY"]
+    for name, sql_type in attributes.items():
+        columns.append(f"{_quote_ident(name)} {sql_type}")
+    body = ",\n    ".join(columns)
+    return (
+        f"CREATE TABLE IF NOT EXISTS attributes (\n    {body}\n)"
+        " WITHOUT ROWID"
+    )
+
+
+def attribute_index_ddls(attributes: dict[str, str]) -> list[str]:
+    """One b-tree index per declared attribute column (paper §3.5)."""
+    return [
+        (
+            f"CREATE INDEX IF NOT EXISTS idx_attr_{name} "
+            f"ON attributes ({_quote_ident(name)})"
+        )
+        for name in attributes
+    ]
+
+
+def fts_table_ddl(fts_attributes: tuple[str, ...]) -> str:
+    """FTS5 mirror over the FTS-enabled attribute columns.
+
+    ``asset_id`` rides along UNINDEXED so MATCH hits can be joined back.
+    """
+    cols = ", ".join(_quote_ident(name) for name in fts_attributes)
+    return (
+        "CREATE VIRTUAL TABLE IF NOT EXISTS attributes_fts USING fts5("
+        f"asset_id UNINDEXED, {cols})"
+    )
+
+
+def fts5_available(conn: sqlite3.Connection) -> bool:
+    """Probe whether this SQLite build was compiled with FTS5."""
+    try:
+        conn.execute(
+            "CREATE VIRTUAL TABLE temp._fts5_probe USING fts5(x)"
+        )
+        conn.execute("DROP TABLE temp._fts5_probe")
+        return True
+    except sqlite3.OperationalError:
+        return False
+
+
+def create_schema(
+    conn: sqlite3.Connection,
+    attributes: dict[str, str],
+    fts_attributes: tuple[str, ...],
+    use_fts5: bool,
+) -> None:
+    """Create all tables and indexes on a fresh or existing database."""
+    conn.execute(META_TABLE)
+    conn.execute(CENTROIDS_TABLE)
+    conn.execute(VECTORS_TABLE)
+    conn.execute(VECTORS_ASSET_INDEX)
+    conn.execute(TOKENS_TABLE)
+    conn.execute(TOKENS_ASSET_INDEX)
+    conn.execute(COLUMN_STATS_TABLE)
+    conn.execute(attributes_table_ddl(attributes))
+    for ddl in attribute_index_ddls(attributes):
+        conn.execute(ddl)
+    if use_fts5 and fts_attributes:
+        conn.execute(fts_table_ddl(fts_attributes))
+
+
+def _quote_ident(name: str) -> str:
+    """Quote an identifier for embedding in DDL/DML.
+
+    Attribute names are validated as Python identifiers at config time,
+    but quoting anyway means even a future relaxation of that rule
+    cannot turn a column name into SQL.
+    """
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'

@@ -1,0 +1,43 @@
+"""Workload substrate: datasets, ground truth, metrics, filtered search."""
+
+from repro.workloads.datasets import (
+    DATASET_SPECS,
+    Dataset,
+    DatasetSpec,
+    bench_scale,
+    load_dataset,
+    table2_rows,
+)
+from repro.workloads.filtered import (
+    FilteredQuery,
+    FilteredWorkload,
+    generate_filtered_workload,
+)
+from repro.workloads.groundtruth import (
+    compute_ground_truth,
+    ground_truth_indices,
+)
+from repro.workloads.metrics import (
+    LatencySummary,
+    mean_recall_at_k,
+    recall_at_k,
+    summarize_latencies,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "load_dataset",
+    "bench_scale",
+    "table2_rows",
+    "FilteredQuery",
+    "FilteredWorkload",
+    "generate_filtered_workload",
+    "compute_ground_truth",
+    "ground_truth_indices",
+    "recall_at_k",
+    "mean_recall_at_k",
+    "LatencySummary",
+    "summarize_latencies",
+]

@@ -1,0 +1,149 @@
+"""Filtered-search workload: the Big-ANN Filtered Search analog (§4.3.1).
+
+The paper's hybrid-optimizer experiment uses 10M CLIP embeddings of
+Flickr images, each tagged with a bag of tags; queries carry an
+embedding plus a conjunctive tag filter, and the figure bins queries by
+the *true* selectivity factor of their tag bag (one decade per bin, 10
+queries per bin).
+
+This module builds the same structure synthetically:
+
+- every asset gets a Zipf-distributed bag of tags, encoded as one
+  whitespace-separated string (exactly how the paper stores them: a
+  string column with an inverted index over its tokens);
+- query tag bags are sampled to cover the full selectivity spectrum —
+  frequent single tags give low-selectivity (large) result sets,
+  conjunctions of rare tags give high-selectivity (tiny) ones;
+- every query's true selectivity is computed against the generated
+  corpus, then queries are binned per decade.
+
+Zipf frequencies are what makes the spectrum wide: tag ranks span
+several orders of magnitude of document frequency, and conjunctions
+multiply them down further, matching the 1e-6…1e-1 range of Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FilteredQuery:
+    """One hybrid query: embedding + conjunctive tag filter."""
+
+    vector: np.ndarray
+    tags: tuple[str, ...]
+    #: Exact selectivity factor of the tag conjunction in the corpus.
+    true_selectivity: float
+    #: Asset ids qualifying under the filter (ground-truth domain).
+    qualifying_ids: tuple[str, ...]
+
+    @property
+    def match_query(self) -> str:
+        """The MATCH string for the tags attribute."""
+        return " ".join(self.tags)
+
+
+@dataclass(frozen=True)
+class FilteredWorkload:
+    """Corpus plus selectivity-binned queries."""
+
+    asset_ids: tuple[str, ...]
+    vectors: np.ndarray
+    tag_strings: tuple[str, ...]
+    #: decade exponent -> queries whose selectivity ∈ [10^e, 10^(e+1)).
+    bins: dict[int, tuple[FilteredQuery, ...]]
+    metric: str = "cosine"
+
+    @property
+    def num_assets(self) -> int:
+        return len(self.asset_ids)
+
+    def all_queries(self) -> list[FilteredQuery]:
+        out: list[FilteredQuery] = []
+        for exponent in sorted(self.bins):
+            out.extend(self.bins[exponent])
+        return out
+
+
+def generate_filtered_workload(
+    num_assets: int = 20_000,
+    dim: int = 64,
+    vocabulary: int = 500,
+    tags_per_asset: int = 6,
+    zipf_exponent: float = 1.2,
+    queries_per_bin: int = 10,
+    seed: int = 11,
+    metric: str = "cosine",
+) -> FilteredWorkload:
+    """Build the corpus and the per-decade query bins."""
+    rng = np.random.default_rng(seed)
+
+    # --- corpus ------------------------------------------------------
+    vectors = rng.normal(0.0, 1.0, size=(num_assets, dim)).astype(
+        np.float32
+    )
+    tag_probs = 1.0 / np.arange(1, vocabulary + 1) ** zipf_exponent
+    tag_probs /= tag_probs.sum()
+    tag_names = [f"tag{r:04d}" for r in range(vocabulary)]
+
+    tag_to_assets: dict[str, set[str]] = {t: set() for t in tag_names}
+    asset_ids: list[str] = []
+    tag_strings: list[str] = []
+    for i in range(num_assets):
+        asset_id = f"asset-{i:07d}"
+        asset_ids.append(asset_id)
+        chosen = rng.choice(
+            vocabulary, size=tags_per_asset, replace=False, p=tag_probs
+        )
+        tags = [tag_names[int(c)] for c in sorted(chosen)]
+        tag_strings.append(" ".join(tags))
+        for tag in tags:
+            tag_to_assets[tag].add(asset_id)
+
+    # --- queries, binned by true selectivity decade -------------------
+    min_exponent = int(np.floor(np.log10(1.0 / num_assets)))
+    bins: dict[int, list[FilteredQuery]] = {
+        e: [] for e in range(min_exponent, 0)
+    }
+    attempts = 0
+    max_attempts = 200 * queries_per_bin * len(bins)
+    while attempts < max_attempts and any(
+        len(v) < queries_per_bin for v in bins.values()
+    ):
+        attempts += 1
+        num_tags = int(rng.integers(1, 4))
+        chosen = rng.choice(
+            vocabulary, size=num_tags, replace=False, p=tag_probs
+        )
+        tags = tuple(tag_names[int(c)] for c in sorted(chosen))
+        qualifying = set.intersection(
+            *(tag_to_assets[t] for t in tags)
+        )
+        if not qualifying:
+            continue
+        selectivity = len(qualifying) / num_assets
+        exponent = int(np.floor(np.log10(selectivity)))
+        exponent = max(min(exponent, -1), min_exponent)
+        bucket = bins.get(exponent)
+        if bucket is None or len(bucket) >= queries_per_bin:
+            continue
+        vector = rng.normal(0.0, 1.0, size=dim).astype(np.float32)
+        bucket.append(
+            FilteredQuery(
+                vector=vector,
+                tags=tags,
+                true_selectivity=selectivity,
+                qualifying_ids=tuple(sorted(qualifying)),
+            )
+        )
+
+    return FilteredWorkload(
+        asset_ids=tuple(asset_ids),
+        vectors=vectors,
+        tag_strings=tuple(tag_strings),
+        bins={e: tuple(v) for e, v in bins.items() if v},
+        metric=metric,
+    )

@@ -1,0 +1,73 @@
+"""Exact nearest-neighbour ground truth for recall measurement (§4.1.3).
+
+Ground truth is computed by brute force with the same distance kernels
+the library uses, chunked over queries so memory stays bounded even for
+the largest bench datasets. Results are plain id lists so recall can be
+computed against any system (MicroNN, the InMemory baseline, or an
+external comparator).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.query.distance import pairwise_distances
+
+
+def compute_ground_truth(
+    train_ids: Sequence[str],
+    train: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    metric: str,
+    chunk_size: int = 256,
+) -> list[list[str]]:
+    """Exact top-K ids per query, closest first.
+
+    Ties are broken on asset id, matching the library's deterministic
+    ordering, so recall comparisons are exact rather than fuzzy.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    q = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    ids = list(train_ids)
+    n = len(ids)
+    if n == 0:
+        return [[] for _ in range(q.shape[0])]
+    take = min(k, n)
+    out: list[list[str]] = []
+    for start in range(0, q.shape[0], chunk_size):
+        block = q[start : start + chunk_size]
+        dist = pairwise_distances(block, train, metric)
+        part = np.argpartition(dist, take - 1, axis=1)[:, :take]
+        for row in range(block.shape[0]):
+            cand = sorted(
+                ((float(dist[row, i]), ids[i]) for i in part[row]),
+                key=lambda p: (p[0], p[1]),
+            )
+            out.append([aid for _, aid in cand])
+    return out
+
+
+def ground_truth_indices(
+    train: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    metric: str,
+    chunk_size: int = 256,
+) -> np.ndarray:
+    """Exact top-K *row indices* per query (shape: num_queries × k)."""
+    q = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    n = train.shape[0]
+    take = min(k, n)
+    result = np.empty((q.shape[0], take), dtype=np.int64)
+    for start in range(0, q.shape[0], chunk_size):
+        block = q[start : start + chunk_size]
+        dist = pairwise_distances(block, train, metric)
+        part = np.argpartition(dist, take - 1, axis=1)[:, :take]
+        for row in range(block.shape[0]):
+            order = np.argsort(dist[row, part[row]], kind="stable")
+            result[start + row] = part[row][order]
+    return result

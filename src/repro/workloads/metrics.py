@@ -1,0 +1,98 @@
+"""Evaluation metrics: recall@K and latency aggregates (§4.1.3)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def recall_at_k(
+    truth: Sequence[str], retrieved: Sequence[str], k: int
+) -> float:
+    """|truth[:k] ∩ retrieved[:k]| / min(k, |truth|).
+
+    The paper's recall definition: the fraction of the exact top-K
+    present in the approximate top-K. Normalizing by ``min(k, |truth|)``
+    keeps the metric meaningful when the filtered ground truth has
+    fewer than K qualifying items.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    truth_set = set(truth[:k])
+    if not truth_set:
+        return 1.0
+    hits = sum(1 for aid in retrieved[:k] if aid in truth_set)
+    return hits / len(truth_set)
+
+
+def mean_recall_at_k(
+    truths: Sequence[Sequence[str]],
+    retrieveds: Sequence[Sequence[str]],
+    k: int,
+) -> float:
+    """Average recall@K over a query set."""
+    if len(truths) != len(retrieveds):
+        raise ValueError("truths and retrieveds must align")
+    if not truths:
+        return 0.0
+    return sum(
+        recall_at_k(t, r, k) for t, r in zip(truths, retrieveds)
+    ) / len(truths)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate latency statistics over a query set (seconds)."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    std_s: float
+    total_s: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_s * 1e3
+
+    @property
+    def p50_ms(self) -> float:
+        return self.p50_s * 1e3
+
+    @property
+    def p95_ms(self) -> float:
+        return self.p95_s * 1e3
+
+
+def summarize_latencies(latencies_s: Sequence[float]) -> LatencySummary:
+    """Mean / percentiles / stddev for a latency sample."""
+    values = sorted(float(v) for v in latencies_s)
+    if not values:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return LatencySummary(
+        count=n,
+        mean_s=mean,
+        p50_s=_percentile(values, 0.50),
+        p95_s=_percentile(values, 0.95),
+        p99_s=_percentile(values, 0.99),
+        std_s=math.sqrt(var),
+        total_s=sum(values),
+    )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile over pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    pos = q * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return sorted_values[lo]
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac

@@ -1,0 +1,85 @@
+"""Shared fixtures for the MicroNN test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_config() -> MicroNNConfig:
+    """A config sized for fast unit tests."""
+    return MicroNNConfig(
+        dim=8,
+        metric="l2",
+        target_cluster_size=10,
+        default_nprobe=3,
+        kmeans_iterations=15,
+        attributes={"color": "TEXT", "size": "INTEGER", "score": "REAL"},
+    )
+
+
+@pytest.fixture
+def fts_config() -> MicroNNConfig:
+    """Config with an FTS-enabled text attribute."""
+    return MicroNNConfig(
+        dim=8,
+        metric="l2",
+        target_cluster_size=10,
+        default_nprobe=3,
+        kmeans_iterations=15,
+        attributes={"tags": "TEXT", "ts": "INTEGER"},
+        fts_attributes=("tags",),
+    )
+
+
+@pytest.fixture
+def vectors(rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(size=(200, 8)).astype(np.float32)
+
+
+@pytest.fixture
+def empty_db(tmp_path, small_config):
+    db = MicroNN.open(tmp_path / "test.db", small_config)
+    yield db
+    db.close()
+
+
+@pytest.fixture
+def populated_db(tmp_path, small_config, vectors):
+    """200 vectors with simple attributes, index built."""
+    db = MicroNN.open(tmp_path / "test.db", small_config)
+    colors = ["red", "green", "blue", "yellow"]
+    db.upsert_batch(
+        (
+            f"a{i:04d}",
+            vectors[i],
+            {
+                "color": colors[i % 4],
+                "size": i,
+                "score": float(i) / 200.0,
+            },
+        )
+        for i in range(len(vectors))
+    )
+    db.build_index()
+    yield db
+    db.close()
+
+
+def brute_force_ids(
+    vectors: np.ndarray, query: np.ndarray, k: int, metric: str = "l2"
+) -> list[str]:
+    """Reference exact top-k over the standard test id naming."""
+    from repro.query.distance import distances_to_one
+
+    dist = distances_to_one(query, vectors, metric)
+    order = sorted(range(len(dist)), key=lambda i: (dist[i], f"a{i:04d}"))
+    return [f"a{i:04d}" for i in order[:k]]

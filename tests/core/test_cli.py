@@ -1,0 +1,120 @@
+"""CLI tests (python -m repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def npy_vectors(tmp_path, rng):
+    path = tmp_path / "vectors.npy"
+    vectors = rng.normal(size=(120, 8)).astype(np.float32)
+    np.save(path, vectors)
+    return path, vectors
+
+
+class TestLifecycleViaCli:
+    def test_create_insert_build_search(self, tmp_path, npy_vectors,
+                                        capsys):
+        npy_path, vectors = npy_vectors
+        db_path = str(tmp_path / "cli.db")
+
+        assert main(["create", db_path, "--dim", "8"]) == 0
+        assert main(["insert", db_path, "--vectors", str(npy_path)]) == 0
+        assert main(["build", db_path, "--dim", "8"]) == 0
+
+        query_path = tmp_path / "query.npy"
+        np.save(query_path, vectors[5])
+        assert main(
+            ["search", db_path, "--query", str(query_path), "-k", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "row-5" in out
+
+    def test_exact_search_flag(self, tmp_path, npy_vectors, capsys):
+        npy_path, vectors = npy_vectors
+        db_path = str(tmp_path / "cli.db")
+        main(["create", db_path, "--dim", "8"])
+        main(["insert", db_path, "--vectors", str(npy_path)])
+        query_path = tmp_path / "q.npy"
+        np.save(query_path, vectors[0])
+        assert main(
+            ["search", db_path, "--query", str(query_path), "--exact"]
+        ) == 0
+        assert "row-0" in capsys.readouterr().out
+
+    def test_stats(self, tmp_path, npy_vectors, capsys):
+        npy_path, _ = npy_vectors
+        db_path = str(tmp_path / "cli.db")
+        main(["create", db_path, "--dim", "8"])
+        main(["insert", db_path, "--vectors", str(npy_path)])
+        main(["build", db_path, "--dim", "8"])
+        assert main(["stats", db_path, "--dim", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "total vectors        120" in out
+        assert "delta vectors        0" in out
+
+    def test_maintain_force_flush(self, tmp_path, npy_vectors, capsys):
+        npy_path, vectors = npy_vectors
+        db_path = str(tmp_path / "cli.db")
+        main(["create", db_path, "--dim", "8"])
+        main(["insert", db_path, "--vectors", str(npy_path)])
+        main(["build", db_path, "--dim", "8"])
+        main(["insert", db_path, "--vectors", str(npy_path)])
+        assert main(
+            ["maintain", db_path, "--dim", "8", "--force",
+             "incremental_flush"]
+        ) == 0
+        assert "incremental_flush" in capsys.readouterr().out
+
+    def test_custom_ids(self, tmp_path, rng, capsys):
+        db_path = str(tmp_path / "cli.db")
+        vec_path = tmp_path / "v.npy"
+        vectors = rng.normal(size=(3, 4)).astype(np.float32)
+        np.save(vec_path, vectors)
+        ids_path = tmp_path / "ids.txt"
+        ids_path.write_text("alpha\nbeta\ngamma\n")
+        main(["create", db_path, "--dim", "4"])
+        main(
+            ["insert", db_path, "--vectors", str(vec_path), "--ids",
+             str(ids_path)]
+        )
+        q_path = tmp_path / "q.npy"
+        np.save(q_path, vectors[1])
+        main(["search", db_path, "--query", str(q_path), "-k", "1"])
+        assert "beta" in capsys.readouterr().out
+
+
+class TestCliErrors:
+    def test_mismatched_ids_rejected(self, tmp_path, rng, capsys):
+        db_path = str(tmp_path / "cli.db")
+        vec_path = tmp_path / "v.npy"
+        np.save(vec_path, rng.normal(size=(3, 4)).astype(np.float32))
+        ids_path = tmp_path / "ids.txt"
+        ids_path.write_text("only-one\n")
+        main(["create", db_path, "--dim", "4"])
+        assert main(
+            ["insert", db_path, "--vectors", str(vec_path), "--ids",
+             str(ids_path)]
+        ) == 2
+
+    def test_1d_vectors_rejected(self, tmp_path, rng):
+        db_path = str(tmp_path / "cli.db")
+        vec_path = tmp_path / "v.npy"
+        np.save(vec_path, rng.normal(size=4).astype(np.float32))
+        main(["create", db_path, "--dim", "4"])
+        assert main(
+            ["insert", db_path, "--vectors", str(vec_path)]
+        ) == 2
+
+    def test_missing_dim_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["create", str(tmp_path / "x.db")])
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--dim", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "self-lookup OK" in out

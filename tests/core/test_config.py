@@ -1,0 +1,159 @@
+"""Config validation tests."""
+
+import pytest
+
+from repro import ConfigError, DeviceProfile, IOCostModel, MicroNNConfig
+
+
+class TestMicroNNConfig:
+    def test_minimal_config(self):
+        config = MicroNNConfig(dim=4)
+        assert config.dim == 4
+        assert config.metric == "l2"
+        assert config.target_cluster_size == 100
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ConfigError, match="dim"):
+            MicroNNConfig(dim=0)
+
+    def test_rejects_negative_dim(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=-5)
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ConfigError, match="metric"):
+            MicroNNConfig(dim=4, metric="manhattan")
+
+    @pytest.mark.parametrize("metric", ["l2", "cosine", "dot"])
+    def test_accepts_supported_metrics(self, metric):
+        assert MicroNNConfig(dim=4, metric=metric).metric == metric
+
+    def test_rejects_bad_cluster_size(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, target_cluster_size=0)
+
+    def test_rejects_bad_minibatch_fraction(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, minibatch_fraction=0.0)
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, minibatch_fraction=1.5)
+
+    def test_full_fraction_allowed(self):
+        # 1.0 is the full-batch (InMemory k-means) configuration.
+        assert MicroNNConfig(dim=4, minibatch_fraction=1.0)
+
+    def test_rejects_bad_minibatch_size(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, minibatch_size=0)
+
+    def test_rejects_negative_balance_penalty(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, balance_penalty=-0.1)
+
+    def test_zero_balance_penalty_allowed(self):
+        assert MicroNNConfig(dim=4, balance_penalty=0.0)
+
+    def test_rejects_bad_nprobe(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, default_nprobe=0)
+
+    def test_rejects_bad_flush_threshold(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, delta_flush_threshold=0)
+
+    def test_rejects_bad_growth_threshold(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, rebuild_growth_threshold=0.0)
+
+    def test_vector_nbytes(self):
+        assert MicroNNConfig(dim=128).vector_nbytes() == 512
+
+    def test_with_device_returns_copy(self):
+        config = MicroNNConfig(dim=4)
+        small = config.with_device(DeviceProfile.small())
+        assert small.device.name == "small"
+        assert config.device.name == "large"
+        assert small.dim == config.dim
+
+
+class TestAttributeSchema:
+    def test_valid_attributes(self):
+        config = MicroNNConfig(
+            dim=4, attributes={"loc": "TEXT", "n": "INTEGER", "x": "REAL"}
+        )
+        assert config.normalized_attributes == {
+            "loc": "TEXT",
+            "n": "INTEGER",
+            "x": "REAL",
+        }
+
+    def test_lowercase_types_normalized(self):
+        config = MicroNNConfig(dim=4, attributes={"loc": "text"})
+        assert config.normalized_attributes["loc"] == "TEXT"
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ConfigError, match="unsupported type"):
+            MicroNNConfig(dim=4, attributes={"loc": "BLOB"})
+
+    def test_rejects_reserved_names(self):
+        for bad in ("asset_id", "vector", "partition_id", "rowid"):
+            with pytest.raises(ConfigError, match="reserved"):
+                MicroNNConfig(dim=4, attributes={bad: "TEXT"})
+
+    def test_rejects_non_identifier(self):
+        with pytest.raises(ConfigError, match="identifier"):
+            MicroNNConfig(dim=4, attributes={"bad name": "TEXT"})
+
+    def test_rejects_underscore_prefix(self):
+        with pytest.raises(ConfigError, match="reserved"):
+            MicroNNConfig(dim=4, attributes={"_hidden": "TEXT"})
+
+    def test_fts_requires_declared_attribute(self):
+        with pytest.raises(ConfigError, match="not a declared"):
+            MicroNNConfig(dim=4, fts_attributes=("tags",))
+
+    def test_fts_requires_text_type(self):
+        with pytest.raises(ConfigError, match="must be TEXT"):
+            MicroNNConfig(
+                dim=4,
+                attributes={"n": "INTEGER"},
+                fts_attributes=("n",),
+            )
+
+    def test_valid_fts_attribute(self):
+        config = MicroNNConfig(
+            dim=4, attributes={"tags": "TEXT"}, fts_attributes=("tags",)
+        )
+        assert config.fts_attributes == ("tags",)
+
+
+class TestDeviceProfile:
+    def test_small_has_fewer_resources_than_large(self):
+        small, large = DeviceProfile.small(), DeviceProfile.large()
+        assert small.worker_threads < large.worker_threads
+        assert small.partition_cache_bytes < large.partition_cache_bytes
+        assert small.sqlite_cache_bytes < large.sqlite_cache_bytes
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigError):
+            DeviceProfile(worker_threads=0)
+
+    def test_rejects_negative_cache(self):
+        with pytest.raises(ConfigError):
+            DeviceProfile(partition_cache_bytes=-1)
+
+
+class TestIOCostModel:
+    def test_disabled_by_default(self):
+        model = IOCostModel()
+        assert not model.enabled
+        assert model.cost(1_000_000) == 0.0
+
+    def test_cost_formula(self):
+        model = IOCostModel(seek_latency_s=0.001, per_byte_latency_s=1e-9)
+        assert model.enabled
+        assert model.cost(1000) == pytest.approx(0.001 + 1e-6)
+
+    def test_zero_bytes_is_free(self):
+        model = IOCostModel(seek_latency_s=0.5)
+        assert model.cost(0) == 0.0

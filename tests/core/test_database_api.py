@@ -1,0 +1,221 @@
+"""Facade API tests: lifecycle, upserts, deletes, point lookups."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DatabaseClosedError,
+    DimensionMismatchError,
+    FilterError,
+    MicroNN,
+    MicroNNConfig,
+    StorageError,
+    UnknownAttributeError,
+    VectorRecord,
+)
+
+
+class TestOpenClose:
+    def test_open_with_config(self, tmp_path, small_config):
+        db = MicroNN.open(tmp_path / "a.db", small_config)
+        assert len(db) == 0
+        db.close()
+
+    def test_open_with_kwargs(self):
+        with MicroNN.open(dim=4, metric="cosine") as db:
+            assert db.config.dim == 4
+            assert db.config.metric == "cosine"
+
+    def test_open_requires_dim_or_config(self):
+        with pytest.raises(FilterError):
+            MicroNN.open()
+
+    def test_open_rejects_config_plus_kwargs(self, small_config):
+        with pytest.raises(FilterError):
+            MicroNN.open(config=small_config, dim=8)
+
+    def test_ephemeral_database_cleaned_up(self):
+        import os
+
+        db = MicroNN.open(dim=4)
+        path = db.path
+        assert os.path.exists(path)
+        db.close()
+        assert not os.path.exists(path)
+
+    def test_context_manager_closes(self, tmp_path, small_config):
+        with MicroNN.open(tmp_path / "a.db", small_config) as db:
+            pass
+        with pytest.raises(DatabaseClosedError):
+            len(db)
+
+    def test_double_close_is_safe(self, empty_db):
+        empty_db.close()
+        empty_db.close()
+
+    def test_operations_after_close_raise(self, tmp_path, small_config, rng):
+        db = MicroNN.open(tmp_path / "a.db", small_config)
+        db.close()
+        with pytest.raises(DatabaseClosedError):
+            db.upsert("x", rng.normal(size=8))
+
+
+class TestUpsert:
+    def test_single_upsert_visible(self, empty_db, rng):
+        vec = rng.normal(size=8).astype(np.float32)
+        empty_db.upsert("x", vec)
+        assert "x" in empty_db
+        np.testing.assert_allclose(empty_db.get_vector("x"), vec, rtol=1e-6)
+
+    def test_upsert_replaces_existing(self, empty_db, rng):
+        empty_db.upsert("x", rng.normal(size=8))
+        new_vec = rng.normal(size=8).astype(np.float32)
+        empty_db.upsert("x", new_vec)
+        assert len(empty_db) == 1
+        np.testing.assert_allclose(
+            empty_db.get_vector("x"), new_vec, rtol=1e-6
+        )
+
+    def test_upsert_batch_tuples(self, empty_db, rng):
+        written = empty_db.upsert_batch(
+            [("a", rng.normal(size=8)), ("b", rng.normal(size=8))]
+        )
+        assert written == 2
+        assert len(empty_db) == 2
+
+    def test_upsert_batch_with_attributes(self, empty_db, rng):
+        empty_db.upsert_batch(
+            [("a", rng.normal(size=8), {"color": "red", "size": 3})]
+        )
+        attrs = empty_db.get_attributes("a")
+        assert attrs["color"] == "red"
+        assert attrs["size"] == 3
+        assert attrs["score"] is None
+
+    def test_upsert_batch_records(self, empty_db, rng):
+        empty_db.upsert_batch(
+            [VectorRecord("a", rng.normal(size=8), {"color": "blue"})]
+        )
+        assert empty_db.get_attributes("a")["color"] == "blue"
+
+    def test_upsert_wrong_dimension_rejected(self, empty_db, rng):
+        with pytest.raises(DimensionMismatchError):
+            empty_db.upsert("x", rng.normal(size=9))
+
+    def test_upsert_nan_rejected(self, empty_db):
+        vec = np.full(8, np.nan, dtype=np.float32)
+        with pytest.raises(StorageError):
+            empty_db.upsert("x", vec)
+
+    def test_upsert_unknown_attribute_rejected(self, empty_db, rng):
+        with pytest.raises(UnknownAttributeError):
+            empty_db.upsert("x", rng.normal(size=8), {"nope": 1})
+
+    def test_upsert_batch_is_atomic(self, empty_db, rng):
+        # Third record is invalid; nothing should be written.
+        records = [
+            ("a", rng.normal(size=8)),
+            ("b", rng.normal(size=8)),
+            ("c", rng.normal(size=4)),
+        ]
+        with pytest.raises(DimensionMismatchError):
+            empty_db.upsert_batch(records)
+        assert len(empty_db) == 0
+
+    def test_malformed_record_rejected(self, empty_db):
+        with pytest.raises(FilterError):
+            empty_db.upsert_batch(["not-a-record"])
+
+    def test_updated_attributes_replace_old(self, empty_db, rng):
+        empty_db.upsert("x", rng.normal(size=8), {"color": "red"})
+        empty_db.upsert("x", rng.normal(size=8), {"size": 5})
+        attrs = empty_db.get_attributes("x")
+        assert attrs["color"] is None
+        assert attrs["size"] == 5
+
+
+class TestDelete:
+    def test_delete_existing(self, empty_db, rng):
+        empty_db.upsert("x", rng.normal(size=8))
+        assert empty_db.delete("x") is True
+        assert "x" not in empty_db
+        assert len(empty_db) == 0
+
+    def test_delete_missing_returns_false(self, empty_db):
+        assert empty_db.delete("ghost") is False
+
+    def test_delete_batch(self, empty_db, rng):
+        empty_db.upsert_batch(
+            [(f"a{i}", rng.normal(size=8)) for i in range(5)]
+        )
+        assert empty_db.delete_batch(["a0", "a1", "ghost"]) == 2
+        assert len(empty_db) == 3
+
+    def test_delete_removes_attributes(self, empty_db, rng):
+        empty_db.upsert("x", rng.normal(size=8), {"color": "red"})
+        empty_db.delete("x")
+        assert empty_db.get_attributes("x") is None
+
+    def test_deleted_vector_not_in_search(self, populated_db):
+        target = populated_db.get_vector("a0005")
+        populated_db.delete("a0005")
+        result = populated_db.search(target, k=10, exact=True)
+        assert "a0005" not in result.asset_ids
+
+
+class TestPointLookups:
+    def test_get_vector_missing(self, empty_db):
+        assert empty_db.get_vector("ghost") is None
+
+    def test_get_attributes_missing(self, empty_db):
+        assert empty_db.get_attributes("ghost") is None
+
+    def test_len_counts_delta_and_indexed(self, populated_db, rng):
+        before = len(populated_db)
+        populated_db.upsert("fresh", rng.normal(size=8))
+        assert len(populated_db) == before + 1
+
+    def test_contains(self, populated_db):
+        assert "a0000" in populated_db
+        assert "ghost" not in populated_db
+
+
+class TestPersistence:
+    def test_reopen_preserves_data(self, tmp_path, small_config, rng):
+        path = tmp_path / "persist.db"
+        vec = rng.normal(size=8).astype(np.float32)
+        with MicroNN.open(path, small_config) as db:
+            db.upsert("x", vec, {"color": "red"})
+            db.build_index()
+        with MicroNN.open(path, small_config) as db:
+            assert len(db) == 1
+            np.testing.assert_allclose(db.get_vector("x"), vec, rtol=1e-6)
+            assert db.get_attributes("x")["color"] == "red"
+
+    def test_reopen_preserves_index(self, tmp_path, small_config, rng):
+        path = tmp_path / "persist.db"
+        vecs = rng.normal(size=(100, 8)).astype(np.float32)
+        with MicroNN.open(path, small_config) as db:
+            db.upsert_batch((f"a{i:04d}", vecs[i]) for i in range(100))
+            db.build_index()
+            parts = db.index_stats().num_partitions
+        with MicroNN.open(path, small_config) as db:
+            stats = db.index_stats()
+            assert stats.num_partitions == parts
+            assert stats.delta_vectors == 0
+            result = db.search(vecs[0], k=1)
+            assert result[0].asset_id == "a0000"
+
+    def test_reopen_with_wrong_dim_rejected(self, tmp_path, rng):
+        path = tmp_path / "persist.db"
+        with MicroNN.open(path, MicroNNConfig(dim=8)) as db:
+            db.upsert("x", rng.normal(size=8))
+        with pytest.raises(StorageError, match="dim"):
+            MicroNN.open(path, MicroNNConfig(dim=16))
+
+    def test_reopen_with_wrong_metric_rejected(self, tmp_path, rng):
+        path = tmp_path / "persist.db"
+        with MicroNN.open(path, MicroNNConfig(dim=8, metric="l2")):
+            pass
+        with pytest.raises(StorageError, match="metric"):
+            MicroNN.open(path, MicroNNConfig(dim=8, metric="cosine"))

@@ -1,0 +1,117 @@
+"""Facade edge cases: defaults, telemetry, optimizer exposure."""
+
+import numpy as np
+import pytest
+
+from repro import Eq, MicroNN, MicroNNConfig, PlanKind
+
+
+class TestDefaults:
+    def test_search_uses_default_nprobe(self, populated_db, vectors):
+        result = populated_db.search(vectors[0], k=5)
+        assert result.stats.nprobe == populated_db.config.default_nprobe
+
+    def test_explicit_nprobe_overrides(self, populated_db, vectors):
+        result = populated_db.search(vectors[0], k=5, nprobe=7)
+        assert result.stats.nprobe == 7
+
+    def test_search_batch_uses_default_nprobe(self, populated_db, vectors):
+        batch = populated_db.search_batch(vectors[:2], k=5)
+        assert batch.stats.nprobe == populated_db.config.default_nprobe
+
+
+class TestPlanExposure:
+    def test_plan_for_matches_executed_plan(self, populated_db, vectors):
+        filt = Eq("color", "red")
+        decision = populated_db.plan_for(filt)
+        result = populated_db.search(vectors[0], k=5, filters=filt)
+        assert result.stats.plan is decision.kind
+
+    def test_forced_plan_skips_estimates(self, populated_db, vectors):
+        result = populated_db.search(
+            vectors[0], k=5, filters=Eq("color", "red"),
+            plan=PlanKind.PRE_FILTER,
+        )
+        assert result.stats.estimated_selectivity is None
+
+    def test_invalid_forced_plan_rejected(self, populated_db, vectors):
+        from repro import FilterError
+
+        with pytest.raises(FilterError):
+            populated_db.search(
+                vectors[0], k=5, filters=Eq("color", "red"),
+                plan=PlanKind.EXACT,
+            )
+
+
+class TestTelemetry:
+    def test_io_counters_accumulate(self, populated_db, vectors):
+        before = populated_db.io()
+        populated_db.purge_caches()
+        populated_db.search(vectors[0], k=5)
+        after = populated_db.io()
+        assert after.bytes_read > before.bytes_read
+
+    def test_memory_snapshot_categories(self, populated_db, vectors):
+        populated_db.search(vectors[0], k=5)
+        snap = populated_db.memory()
+        assert "centroids" in snap.by_category
+        assert snap.current_bytes >= 0
+
+    def test_warm_cache_populates(self, populated_db, vectors):
+        populated_db.purge_caches()
+        populated_db.warm_cache(vectors[:5], k=5)
+        result = populated_db.search(vectors[0], k=5)
+        assert result.stats.cache_hits > 0
+
+
+class TestStatisticsLifecycle:
+    def test_refresh_without_attributes_is_noop(self, tmp_path, rng):
+        config = MicroNNConfig(dim=4)
+        with MicroNN.open(tmp_path / "n.db", config) as db:
+            db.upsert("a", rng.normal(size=4).astype(np.float32))
+            db.refresh_statistics()  # must not raise
+
+    def test_estimates_refresh_after_writes(self, populated_db, vectors):
+        filt = Eq("color", "red")
+        first = populated_db.plan_for(filt)
+        # Make "red" ubiquitous: selectivity estimate must move after
+        # a statistics refresh.
+        populated_db.upsert_batch(
+            (f"extra{i}", vectors[i % len(vectors)], {"color": "red"})
+            for i in range(300)
+        )
+        populated_db.refresh_statistics()
+        second = populated_db.plan_for(filt)
+        assert (
+            second.estimated_selectivity > first.estimated_selectivity
+        )
+
+    def test_stats_persist_across_reopen(self, tmp_path, small_config, rng):
+        from repro.query.selectivity import load_statistics
+
+        path = tmp_path / "p.db"
+        with MicroNN.open(path, small_config) as db:
+            db.upsert_batch(
+                (f"a{i}", rng.normal(size=8).astype(np.float32),
+                 {"color": "red"})
+                for i in range(20)
+            )
+            db.refresh_statistics()
+        with MicroNN.open(path, small_config) as db:
+            stats = load_statistics(db.engine)
+            assert stats["color"].row_count == 20
+
+
+class TestVectorIdPersistence:
+    def test_ids_monotone_across_reopen(self, tmp_path, small_config, rng):
+        path = tmp_path / "v.db"
+        with MicroNN.open(path, small_config) as db:
+            db.upsert("a", rng.normal(size=8).astype(np.float32))
+        with MicroNN.open(path, small_config) as db:
+            db.upsert("b", rng.normal(size=8).astype(np.float32))
+            from repro.core.config import DELTA_PARTITION_ID
+
+            entry = db.engine.load_partition(DELTA_PARTITION_ID)
+            by_asset = dict(zip(entry.asset_ids, entry.vector_ids))
+            assert by_asset["b"] > by_asset["a"]

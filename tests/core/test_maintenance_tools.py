@@ -1,0 +1,125 @@
+"""Compaction, integrity checking, and EXPLAIN tests."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Eq, MicroNN, MicroNNConfig, PlanKind
+
+
+@pytest.fixture
+def db(tmp_path, rng):
+    config = MicroNNConfig(
+        dim=16,
+        target_cluster_size=20,
+        kmeans_iterations=10,
+        attributes={"tag": "TEXT"},
+    )
+    database = MicroNN.open(tmp_path / "t.db", config)
+    vecs = rng.normal(size=(400, 16)).astype(np.float32)
+    database.upsert_batch(
+        (f"a{i:04d}", vecs[i], {"tag": "rare" if i < 5 else "common"})
+        for i in range(400)
+    )
+    database.build_index()
+    yield database
+    database.close()
+
+
+class TestCompact:
+    def test_compact_reclaims_after_mass_delete(self, tmp_path, rng):
+        # Enough data that deletions free whole SQLite pages.
+        config = MicroNNConfig(dim=256, target_cluster_size=50,
+                               kmeans_iterations=5)
+        with MicroNN.open(tmp_path / "big.db", config) as big:
+            vecs = rng.normal(size=(1500, 256)).astype(np.float32)
+            big.upsert_batch(
+                (f"v{i:04d}", vecs[i]) for i in range(1500)
+            )
+            big.delete_batch(f"v{i:04d}" for i in range(1200))
+            size_before = os.path.getsize(big.path)
+            saved = big.compact()
+            assert saved > 0
+            assert os.path.getsize(big.path) == size_before - saved
+
+    def test_compact_on_clean_db(self, db):
+        assert db.compact() >= 0
+
+    def test_data_survives_compaction(self, db):
+        vec = db.get_vector("a0007").copy()
+        db.delete_batch(f"a{i:04d}" for i in range(100, 400))
+        db.compact()
+        np.testing.assert_array_equal(db.get_vector("a0007"), vec)
+        result = db.search(vec, k=1)
+        assert result[0].asset_id == "a0007"
+
+
+class TestIntegrityCheck:
+    def test_healthy_database(self, db):
+        assert db.check_integrity() == []
+
+    def test_healthy_after_updates(self, db, rng):
+        from repro.core.types import MaintenanceAction
+
+        for i in range(20):
+            db.upsert(f"n{i}", rng.normal(size=16).astype(np.float32))
+        db.delete_batch(["a0000", "a0001"])
+        db.maintain(force=MaintenanceAction.INCREMENTAL_FLUSH)
+        assert db.check_integrity() == []
+
+    def test_detects_orphaned_partition(self, db):
+        with db.engine.write_transaction() as conn:
+            conn.execute(
+                "UPDATE vectors SET partition_id=9999 "
+                "WHERE asset_id='a0000'"
+            )
+        problems = db.check_integrity()
+        assert any("no centroid" in p for p in problems)
+
+    def test_detects_impossible_count(self, db):
+        with db.engine.write_transaction() as conn:
+            conn.execute(
+                "UPDATE centroids SET vector_count=0 WHERE partition_id=0"
+            )
+        problems = db.check_integrity()
+        assert any("records 0" in p for p in problems)
+
+    def test_delete_drift_is_tolerated(self, db):
+        # Deletes leave recorded counts above actual — expected state
+        # between rebuilds, not corruption.
+        db.delete_batch(f"a{i:04d}" for i in range(50))
+        assert db.check_integrity() == []
+
+
+class TestExplain:
+    def test_explain_selective_filter(self, db):
+        text = db.explain(Eq("tag", "rare"))
+        assert "PRE-FILTER" in text
+        assert "F_IVF" in text
+
+    def test_explain_unselective_filter(self, db):
+        text = db.explain(Eq("tag", "common"))
+        assert "POST-FILTER" in text
+
+    def test_explain_matches_execution(self, db, rng):
+        for tag in ("rare", "common"):
+            text = db.explain(Eq("tag", tag))
+            result = db.search(
+                rng.normal(size=16).astype(np.float32),
+                k=5,
+                filters=Eq("tag", tag),
+            )
+            expected = (
+                "PRE-FILTER"
+                if result.stats.plan is PlanKind.PRE_FILTER
+                else "POST-FILTER"
+            )
+            assert expected in text
+
+    def test_explain_does_not_execute(self, db):
+        io_before = db.io()
+        db.explain(Eq("tag", "rare"))
+        # Statistics lookups may read a little metadata but no
+        # partitions are scanned.
+        assert db.io().cache_misses == io_before.cache_misses

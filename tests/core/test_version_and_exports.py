@@ -1,0 +1,68 @@
+"""Public API surface tests: exports, version, __all__ hygiene."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version_present(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.storage",
+            "repro.index",
+            "repro.query",
+            "repro.workloads",
+            "repro.baselines",
+            "repro.bench",
+        ],
+    )
+    def test_subpackage_all_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_key_entry_points_exported(self):
+        for name in (
+            "MicroNN",
+            "MicroNNConfig",
+            "DeviceProfile",
+            "VectorRecord",
+            "SearchResult",
+            "Eq",
+            "Match",
+            "And",
+        ):
+            assert name in repro.__all__
+
+    def test_errors_form_hierarchy(self):
+        from repro import (
+            ConfigError,
+            DatabaseClosedError,
+            FilterError,
+            MicroNNError,
+            StorageError,
+        )
+
+        assert issubclass(ConfigError, MicroNNError)
+        assert issubclass(FilterError, MicroNNError)
+        assert issubclass(StorageError, MicroNNError)
+        assert issubclass(DatabaseClosedError, StorageError)
+
+    def test_harness_adapter(self, populated_db, vectors):
+        from repro.bench.harness import ann_search_ids
+
+        search = ann_search_ids(populated_db, k=5)
+        ids = search(vectors[0], 4)
+        assert len(ids) == 5
+        assert ids[0] == "a0000"

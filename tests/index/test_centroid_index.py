@@ -1,0 +1,166 @@
+"""Two-level centroid index tests (§3.2 extension)."""
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig, ConfigError
+from repro.index.centroid_index import CentroidIndex
+from repro.query.distance import distances_to_one
+
+
+@pytest.fixture
+def centroid_table(rng):
+    """A realistic centroid table: 300 centroids in 16 dims.
+
+    IVF centroids inherit the data's cluster structure (they are the
+    quantizer of clusterable embeddings), so the table is a mixture —
+    pure isotropic noise would make *any* coarse pruning meaningless.
+    """
+    modes = rng.normal(size=(12, 16)).astype(np.float32) * 6.0
+    labels = rng.integers(0, 12, size=300)
+    centroids = (
+        modes[labels] + rng.normal(size=(300, 16)).astype(np.float32)
+    )
+    partition_ids = np.arange(300, dtype=np.int64)
+    return partition_ids, centroids.astype(np.float32)
+
+
+class TestBuild:
+    def test_cells_partition_the_centroids(self, centroid_table):
+        pids, centroids = centroid_table
+        index = CentroidIndex.build(pids, centroids, "l2", cell_size=30)
+        assert index.num_centroids == 300
+        member_union = np.concatenate(index._members)
+        assert sorted(member_union.tolist()) == list(range(300))
+
+    def test_cell_count_follows_cell_size(self, centroid_table):
+        pids, centroids = centroid_table
+        index = CentroidIndex.build(pids, centroids, "l2", cell_size=30)
+        assert index.num_cells == 10
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigError):
+            CentroidIndex.build(
+                np.empty(0, dtype=np.int64),
+                np.empty((0, 4), dtype=np.float32),
+                "l2",
+            )
+
+    def test_deterministic(self, centroid_table):
+        pids, centroids = centroid_table
+        a = CentroidIndex.build(pids, centroids, "l2", seed=1)
+        b = CentroidIndex.build(pids, centroids, "l2", seed=1)
+        query = centroids[3]
+        assert a.select(query, 8) == b.select(query, 8)
+
+
+class TestSelect:
+    def test_returns_nprobe_partitions(self, centroid_table, rng):
+        pids, centroids = centroid_table
+        index = CentroidIndex.build(pids, centroids, "l2", cell_size=30)
+        selected = index.select(rng.normal(size=16), 8)
+        assert len(selected) == 8
+        assert len(set(selected)) == 8
+
+    def test_high_overlap_with_flat_scan(self, centroid_table, rng):
+        """With reasonable oversampling, two-level selection recovers
+        almost all of the flat scan's nearest centroids."""
+        pids, centroids = centroid_table
+        index = CentroidIndex.build(pids, centroids, "l2", cell_size=30)
+        overlaps = []
+        for _ in range(20):
+            query = rng.normal(size=16).astype(np.float32)
+            dist = distances_to_one(query, centroids, "l2")
+            flat = set(int(pids[i]) for i in np.argsort(dist)[:8])
+            two_level = set(index.select(query, 8, oversample=6.0))
+            overlaps.append(len(flat & two_level) / 8)
+        assert np.mean(overlaps) > 0.8
+
+    def test_exact_when_probing_everything(self, centroid_table, rng):
+        pids, centroids = centroid_table
+        index = CentroidIndex.build(pids, centroids, "l2", cell_size=30)
+        query = rng.normal(size=16).astype(np.float32)
+        dist = distances_to_one(query, centroids, "l2")
+        flat = [int(pids[i]) for i in np.argsort(dist, kind="stable")[:5]]
+        # oversample large enough to open every cell.
+        selected = index.select(query, 5, oversample=100.0)
+        assert set(selected) == set(flat)
+
+    def test_selection_cost_below_flat(self, centroid_table):
+        pids, centroids = centroid_table
+        index = CentroidIndex.build(pids, centroids, "l2", cell_size=30)
+        assert index.selection_cost(8, oversample=4.0) < 300
+
+    def test_invalid_nprobe(self, centroid_table):
+        pids, centroids = centroid_table
+        index = CentroidIndex.build(pids, centroids, "l2")
+        with pytest.raises(ConfigError):
+            index.select(np.zeros(16, dtype=np.float32), 0)
+
+
+class TestIntegration:
+    @pytest.fixture
+    def db(self, tmp_path, rng):
+        config = MicroNNConfig(
+            dim=8,
+            target_cluster_size=5,  # many partitions on purpose
+            kmeans_iterations=10,
+            centroid_index_threshold=10,
+            centroid_index_oversample=8.0,
+        )
+        database = MicroNN.open(tmp_path / "ci.db", config)
+        vecs = rng.normal(size=(400, 8)).astype(np.float32)
+        database.upsert_batch(
+            (f"a{i:04d}", vecs[i]) for i in range(400)
+        )
+        database.build_index()
+        yield database, vecs
+        database.close()
+
+    def test_search_still_finds_self(self, db):
+        database, vecs = db
+        for i in (0, 100, 399):
+            result = database.search(vecs[i], k=1, nprobe=8)
+            assert result[0].asset_id == f"a{i:04d}"
+
+    def test_recall_close_to_flat_scan(self, db, tmp_path, rng):
+        database, vecs = db
+        flat_config = MicroNNConfig(
+            dim=8, target_cluster_size=5, kmeans_iterations=10,
+        )
+        flat_db = MicroNN.open(tmp_path / "flat.db", flat_config)
+        try:
+            flat_db.upsert_batch(
+                (f"a{i:04d}", vecs[i]) for i in range(400)
+            )
+            flat_db.build_index()
+            agree = 0
+            for i in range(30):
+                q = vecs[i]
+                a = set(database.search(q, k=5, nprobe=8).asset_ids)
+                b = set(flat_db.search(q, k=5, nprobe=8).asset_ids)
+                agree += len(a & b)
+            assert agree / (30 * 5) > 0.75
+        finally:
+            flat_db.close()
+
+    def test_index_rebuilt_after_centroid_change(self, db, rng):
+        database, vecs = db
+        before = database.search(vecs[0], k=1, nprobe=8)
+        database.build_index()  # invalidates the coarse index
+        after = database.search(vecs[0], k=1, nprobe=8)
+        assert before[0].asset_id == after[0].asset_id == "a0000"
+
+
+class TestConfigValidation:
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, centroid_index_threshold=1)
+
+    def test_cell_size_validation(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, centroid_index_cell_size=0)
+
+    def test_oversample_validation(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, centroid_index_oversample=0.5)

@@ -1,0 +1,73 @@
+"""Delta-store view tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
+from repro.index.delta import DeltaStore
+from repro.storage.engine import StorageEngine, VectorRecord
+
+
+@pytest.fixture
+def engine(tmp_path):
+    config = MicroNNConfig(dim=4)
+    eng = StorageEngine(tmp_path / "d.db", config)
+    yield eng
+    eng.close()
+
+
+class TestDeltaStore:
+    def test_empty_delta(self, engine):
+        delta = DeltaStore(engine)
+        assert delta.size() == 0
+        assert delta.is_empty()
+        assert len(delta.load()) == 0
+
+    def test_upserts_land_in_delta(self, engine, rng):
+        delta = DeltaStore(engine)
+        engine.upsert_batch(
+            [
+                VectorRecord(
+                    f"a{i}", rng.normal(size=4).astype(np.float32), {}
+                )
+                for i in range(5)
+            ]
+        )
+        assert delta.size() == 5
+        assert not delta.is_empty()
+        assert set(delta.asset_ids()) == {f"a{i}" for i in range(5)}
+
+    def test_partition_id_is_reserved(self, engine):
+        assert DeltaStore(engine).partition_id == DELTA_PARTITION_ID
+
+    def test_load_returns_vectors(self, engine, rng):
+        vec = rng.normal(size=4).astype(np.float32)
+        engine.upsert_batch([VectorRecord("x", vec, {})])
+        entry = DeltaStore(engine).load()
+        np.testing.assert_allclose(entry.matrix[0], vec, rtol=1e-6)
+
+    def test_assignment_drains_delta(self, engine, rng):
+        engine.upsert_batch(
+            [
+                VectorRecord(
+                    "x", rng.normal(size=4).astype(np.float32), {}
+                )
+            ]
+        )
+        engine.replace_centroids(np.zeros((1, 4), dtype=np.float32), [0])
+        engine.set_partition_assignments([("x", 0)])
+        assert DeltaStore(engine).is_empty()
+
+    def test_delete_shrinks_delta(self, engine, rng):
+        engine.upsert_batch(
+            [
+                VectorRecord(
+                    f"a{i}", rng.normal(size=4).astype(np.float32), {}
+                )
+                for i in range(3)
+            ]
+        )
+        engine.delete_assets(["a1"])
+        delta = DeltaStore(engine)
+        assert delta.size() == 2
+        assert "a1" not in delta.asset_ids()

@@ -1,0 +1,152 @@
+"""IVF builder tests: full (re)construction over storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
+from repro.index.ivf import META_BASELINE_AVG, IVFBuilder
+from repro.query.filters import default_tokenizer
+from repro.storage.engine import StorageEngine, VectorRecord
+
+
+@pytest.fixture
+def engine(tmp_path):
+    config = MicroNNConfig(
+        dim=8, target_cluster_size=10, kmeans_iterations=10
+    )
+    eng = StorageEngine(
+        tmp_path / "b.db", config, tokenizer=default_tokenizer
+    )
+    yield eng
+    eng.close()
+
+
+def fill(engine, rng, count=100):
+    vecs = rng.normal(size=(count, 8)).astype(np.float32)
+    engine.upsert_batch(
+        [VectorRecord(f"a{i:04d}", vecs[i], {}) for i in range(count)]
+    )
+    return vecs
+
+
+class TestBuild:
+    def test_build_empties_delta(self, engine, rng):
+        fill(engine, rng)
+        builder = IVFBuilder(engine, engine.config)
+        builder.build()
+        assert engine.delta_size() == 0
+
+    def test_build_partition_count(self, engine, rng):
+        fill(engine, rng, count=100)
+        report = IVFBuilder(engine, engine.config).build()
+        assert report.num_partitions == 10
+        assert engine.centroid_count() == 10
+
+    def test_every_vector_assigned(self, engine, rng):
+        fill(engine, rng)
+        IVFBuilder(engine, engine.config).build()
+        sizes = engine.partition_sizes()
+        assert sum(sizes.values()) == 100
+        assert DELTA_PARTITION_ID not in sizes
+
+    def test_centroid_counts_match_partitions(self, engine, rng):
+        fill(engine, rng)
+        IVFBuilder(engine, engine.config).build()
+        sizes = engine.partition_sizes()
+        with engine.read_snapshot() as conn:
+            rows = conn.execute(
+                "SELECT partition_id, vector_count FROM centroids"
+            ).fetchall()
+        for pid, count in rows:
+            assert sizes.get(pid, 0) == count
+
+    def test_baseline_meta_recorded(self, engine, rng):
+        fill(engine, rng, count=100)
+        IVFBuilder(engine, engine.config).build()
+        baseline = float(engine.get_meta(META_BASELINE_AVG))
+        assert baseline == pytest.approx(10.0)
+
+    def test_build_report_fields(self, engine, rng):
+        fill(engine, rng)
+        report = IVFBuilder(engine, engine.config).build()
+        assert report.num_vectors == 100
+        assert report.iterations == 10
+        assert report.row_changes >= 100  # every row moved at least once
+        assert report.duration_s > 0
+        assert report.peak_memory_bytes > 0
+
+    def test_build_empty_database(self, engine):
+        report = IVFBuilder(engine, engine.config).build()
+        assert report.num_vectors == 0
+        assert report.num_partitions == 0
+        assert engine.centroid_count() == 0
+
+    def test_rebuild_after_growth(self, engine, rng):
+        fill(engine, rng, count=50)
+        builder = IVFBuilder(engine, engine.config)
+        first = builder.build()
+        fill_more = rng.normal(size=(50, 8)).astype(np.float32)
+        engine.upsert_batch(
+            [
+                VectorRecord(f"b{i:04d}", fill_more[i], {})
+                for i in range(50)
+            ]
+        )
+        second = builder.build()
+        assert second.num_vectors == 100
+        assert second.num_partitions > first.num_partitions
+        assert engine.delta_size() == 0
+
+    def test_deterministic_given_seed(self, tmp_path, rng):
+        vecs = rng.normal(size=(80, 8)).astype(np.float32)
+
+        def build(path):
+            config = MicroNNConfig(
+                dim=8, target_cluster_size=10, kmeans_iterations=10, seed=3
+            )
+            eng = StorageEngine(path, config, tokenizer=default_tokenizer)
+            eng.upsert_batch(
+                [VectorRecord(f"a{i:04d}", vecs[i], {}) for i in range(80)]
+            )
+            IVFBuilder(eng, config).build()
+            sizes = eng.partition_sizes()
+            parts = {
+                aid: eng.get_partition_of(aid)
+                for aid in eng.all_asset_ids()
+            }
+            eng.close()
+            return sizes, parts
+
+        a = build(tmp_path / "x.db")
+        b = build(tmp_path / "y.db")
+        assert a == b
+
+
+class TestMemoryFootprint:
+    def test_minibatch_peak_below_full_batch(self, tmp_path, rng):
+        """Figure 6b/8b shape: mini-batch builds use far less memory."""
+        vecs = rng.normal(size=(600, 32)).astype(np.float32)
+
+        def peak(fraction):
+            config = MicroNNConfig(
+                dim=32,
+                target_cluster_size=30,
+                minibatch_fraction=fraction,
+                kmeans_iterations=8,
+            )
+            eng = StorageEngine(
+                tmp_path / f"m{fraction}.db",
+                config,
+                tokenizer=default_tokenizer,
+            )
+            eng.upsert_batch(
+                [
+                    VectorRecord(f"a{i:04d}", vecs[i], {})
+                    for i in range(600)
+                ]
+            )
+            report = IVFBuilder(eng, config).build()
+            eng.close()
+            return report.peak_memory_bytes
+
+        assert peak(0.02) < peak(1.0)

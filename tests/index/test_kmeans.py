@@ -1,0 +1,203 @@
+"""Mini-batch balanced k-means tests (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.index.kmeans import (
+    MiniBatchKMeans,
+    plan_iterations,
+    plan_num_clusters,
+)
+
+
+def blobs(rng, centers=4, per_center=50, dim=8, spread=0.05):
+    """Well-separated Gaussian blobs with known structure."""
+    means = rng.normal(0, 10.0, size=(centers, dim)).astype(np.float32)
+    data = []
+    labels = []
+    for c in range(centers):
+        pts = means[c] + rng.normal(
+            0, spread, size=(per_center, dim)
+        ).astype(np.float32)
+        data.append(pts)
+        labels.extend([c] * per_center)
+    return np.vstack(data), np.array(labels), means
+
+
+class TestPlanning:
+    def test_plan_num_clusters(self):
+        assert plan_num_clusters(1000, 100) == 10
+        assert plan_num_clusters(150, 100) == 2
+        assert plan_num_clusters(50, 100) == 1
+        assert plan_num_clusters(0, 100) == 0
+
+    def test_plan_iterations_bounds(self):
+        assert plan_iterations(100, 100) == 10  # floor
+        assert plan_iterations(10**7, 10) == 300  # ceiling
+        assert plan_iterations(1000, 100) == 30  # 3 epochs
+
+    def test_plan_iterations_rejects_bad_batch(self):
+        with pytest.raises(ConfigError):
+            plan_iterations(100, 0)
+
+
+class TestValidation:
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(ConfigError):
+            MiniBatchKMeans(n_clusters=0, dim=4)
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ConfigError):
+            MiniBatchKMeans(n_clusters=2, dim=0)
+
+    def test_centroids_before_init_raises(self):
+        trainer = MiniBatchKMeans(n_clusters=2, dim=4)
+        with pytest.raises(ConfigError):
+            _ = trainer.centroids
+
+    def test_init_wrong_shape_rejected(self, rng):
+        trainer = MiniBatchKMeans(n_clusters=2, dim=4)
+        with pytest.raises(ConfigError):
+            trainer.initialize(rng.normal(size=(5, 3)))
+
+    def test_init_empty_rejected(self):
+        trainer = MiniBatchKMeans(n_clusters=2, dim=4)
+        with pytest.raises(ConfigError):
+            trainer.initialize(np.empty((0, 4)))
+
+    def test_partial_fit_wrong_shape_rejected(self, rng):
+        trainer = MiniBatchKMeans(n_clusters=2, dim=4)
+        trainer.initialize(rng.normal(size=(10, 4)).astype(np.float32))
+        with pytest.raises(ConfigError):
+            trainer.partial_fit(rng.normal(size=(5, 3)))
+
+
+class TestClusteringQuality:
+    def test_recovers_separated_blobs(self, rng):
+        data, labels, _ = blobs(rng, centers=4, per_center=50)
+        trainer = MiniBatchKMeans(
+            n_clusters=4, dim=8, balance_penalty=0.5, seed=0
+        )
+        trainer.initialize(data)
+        for _ in range(30):
+            batch = data[rng.choice(len(data), size=40, replace=False)]
+            trainer.partial_fit(batch)
+        assigned = trainer.assign(data)
+        # Each true blob should map to (mostly) one learned cluster.
+        purity = 0
+        for c in range(4):
+            counts = np.bincount(assigned[labels == c], minlength=4)
+            purity += counts.max()
+        assert purity / len(data) > 0.9
+
+    def test_fewer_points_than_clusters(self, rng):
+        data = rng.normal(size=(3, 4)).astype(np.float32)
+        trainer = MiniBatchKMeans(n_clusters=8, dim=4, seed=0)
+        trainer.initialize(data)
+        trainer.partial_fit(data)
+        assert trainer.centroids.shape == (8, 4)
+        assert np.all(np.isfinite(trainer.centroids))
+
+    def test_assign_covers_all_inputs(self, rng):
+        data, _, _ = blobs(rng)
+        trainer = MiniBatchKMeans(n_clusters=4, dim=8, seed=0)
+        trainer.initialize(data)
+        trainer.partial_fit(data[:50])
+        labels = trainer.assign(data)
+        assert labels.shape == (len(data),)
+        assert labels.min() >= 0
+        assert labels.max() < 4
+
+    def test_deterministic_given_seed(self, rng):
+        data, _, _ = blobs(rng)
+
+        def run():
+            t = MiniBatchKMeans(n_clusters=4, dim=8, seed=7)
+            t.initialize(data)
+            for i in range(10):
+                t.partial_fit(data[i * 10 : i * 10 + 50])
+            return t.centroids
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_empty_batch_is_noop(self, rng):
+        data, _, _ = blobs(rng)
+        trainer = MiniBatchKMeans(n_clusters=4, dim=8, seed=0)
+        trainer.initialize(data)
+        before = trainer.centroids.copy()
+        trainer.partial_fit(np.empty((0, 8), dtype=np.float32))
+        np.testing.assert_array_equal(trainer.centroids, before)
+
+
+class TestBalanceConstraints:
+    def test_penalty_reduces_size_variance(self, rng):
+        """The Liu-2018 penalty spreads skewed data across clusters."""
+        # Heavily skewed mixture: one dense blob, several sparse ones.
+        dense = rng.normal(0, 0.5, size=(800, 8)).astype(np.float32)
+        sparse = rng.normal(10, 0.5, size=(100, 8)).astype(np.float32)
+        data = np.vstack([dense, sparse])
+
+        def size_std(penalty: float) -> float:
+            t = MiniBatchKMeans(
+                n_clusters=9, dim=8, balance_penalty=penalty, seed=0
+            )
+            t.initialize(data)
+            order = np.random.default_rng(0).permutation(len(data))
+            for i in range(0, len(data), 100):
+                t.partial_fit(data[order[i : i + 100]])
+            # Use the balanced training counts as the balance signal.
+            counts = t.result().training_counts
+            return float(np.std(counts))
+
+        assert size_std(4.0) < size_std(0.0)
+
+    def test_zero_penalty_is_plain_kmeans(self, rng):
+        data, labels, _ = blobs(rng, centers=3, per_center=40)
+        trainer = MiniBatchKMeans(
+            n_clusters=3, dim=8, balance_penalty=0.0, seed=0
+        )
+        trainer.initialize(data)
+        for _ in range(20):
+            trainer.partial_fit(
+                data[rng.choice(len(data), size=30, replace=False)]
+            )
+        assigned = trainer.assign(data)
+        purity = sum(
+            np.bincount(assigned[labels == c], minlength=3).max()
+            for c in range(3)
+        )
+        assert purity / len(data) > 0.9
+
+
+class TestMetrics:
+    def test_cosine_centroids_unit_norm(self, rng):
+        data = rng.normal(size=(100, 8)).astype(np.float32)
+        trainer = MiniBatchKMeans(
+            n_clusters=4, dim=8, metric="cosine", seed=0
+        )
+        trainer.initialize(data)
+        trainer.partial_fit(data)
+        norms = np.linalg.norm(trainer.centroids, axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-4)
+
+    def test_dot_metric_trains_in_l2(self, rng):
+        data = rng.normal(size=(60, 8)).astype(np.float32)
+        trainer = MiniBatchKMeans(n_clusters=3, dim=8, metric="dot", seed=0)
+        trainer.initialize(data)
+        trainer.partial_fit(data)
+        labels = trainer.assign(data)
+        assert labels.shape == (60,)
+
+
+class TestResult:
+    def test_result_copies_state(self, rng):
+        data = rng.normal(size=(50, 8)).astype(np.float32)
+        trainer = MiniBatchKMeans(n_clusters=2, dim=8, seed=0)
+        trainer.initialize(data)
+        trainer.partial_fit(data)
+        result = trainer.result()
+        result.centroids[:] = 0.0
+        assert not np.allclose(trainer.centroids, 0.0)
+        assert result.iterations == 1
+        assert result.training_counts.sum() == 50

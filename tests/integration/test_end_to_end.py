@@ -1,0 +1,224 @@
+"""End-to-end integration: the full lifecycle on a realistic workload."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    And,
+    DeviceProfile,
+    Eq,
+    Gt,
+    Match,
+    MicroNN,
+    MicroNNConfig,
+    PlanKind,
+)
+from repro.workloads.datasets import load_dataset
+from repro.workloads.groundtruth import compute_ground_truth
+from repro.workloads.metrics import mean_recall_at_k
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("sift", num_vectors=3000, num_queries=30)
+
+
+@pytest.fixture(scope="module")
+def db(tmp_path_factory, dataset):
+    config = MicroNNConfig(
+        dim=dataset.dim,
+        metric=dataset.metric,
+        target_cluster_size=50,
+        kmeans_iterations=25,
+        default_nprobe=8,
+    )
+    database = MicroNN.open(
+        tmp_path_factory.mktemp("e2e") / "sift.db", config
+    )
+    database.upsert_batch(zip(dataset.train_ids, dataset.train))
+    database.build_index()
+    yield database
+    database.close()
+
+
+class TestRecallTargets:
+    def test_ann_reaches_90_percent_recall(self, db, dataset):
+        """The paper's headline operating point: 90% recall@K."""
+        k = 10
+        truth = compute_ground_truth(
+            dataset.train_ids, dataset.train, dataset.queries, k,
+            dataset.metric,
+        )
+        parts = db.index_stats().num_partitions
+        for nprobe in (4, 8, 16, 32, parts):
+            retrieved = [
+                db.search(q, k=k, nprobe=nprobe).asset_ids
+                for q in dataset.queries
+            ]
+            recall = mean_recall_at_k(truth, retrieved, k)
+            if recall >= 0.9:
+                break
+        assert recall >= 0.9
+
+    def test_recall_monotone_in_nprobe(self, db, dataset):
+        k = 10
+        truth = compute_ground_truth(
+            dataset.train_ids, dataset.train, dataset.queries, k,
+            dataset.metric,
+        )
+        recalls = []
+        for nprobe in (1, 4, 16, 60):
+            retrieved = [
+                db.search(q, k=k, nprobe=nprobe).asset_ids
+                for q in dataset.queries
+            ]
+            recalls.append(mean_recall_at_k(truth, retrieved, k))
+        # Allow tiny noise between adjacent points but require overall rise.
+        assert recalls[-1] >= recalls[0]
+        assert recalls[-1] >= 0.95
+
+    def test_exact_search_is_perfect(self, db, dataset):
+        k = 10
+        truth = compute_ground_truth(
+            dataset.train_ids, dataset.train, dataset.queries[:10], k,
+            dataset.metric,
+        )
+        retrieved = [
+            db.search(q, k=k, exact=True).asset_ids
+            for q in dataset.queries[:10]
+        ]
+        assert mean_recall_at_k(truth, retrieved, k) == 1.0
+
+
+class TestMemoryDiscipline:
+    def test_query_memory_far_below_collection_size(self, tmp_path, dataset):
+        """Fig. 5 shape: resident memory ≪ collection size when the
+        device's cache budget is a fraction of the collection."""
+        collection_bytes = dataset.train.nbytes
+        config = MicroNNConfig(
+            dim=dataset.dim,
+            metric=dataset.metric,
+            target_cluster_size=50,
+            kmeans_iterations=10,
+            device=DeviceProfile(
+                name="constrained",
+                worker_threads=4,
+                partition_cache_bytes=collection_bytes // 8,
+                sqlite_cache_bytes=collection_bytes // 8,
+            ),
+        )
+        with MicroNN.open(tmp_path / "mem.db", config) as db:
+            db.upsert_batch(zip(dataset.train_ids, dataset.train))
+            db.build_index()
+            for q in dataset.queries[:10]:
+                db.search(q, k=10)
+            resident = db.memory().current_bytes
+            assert resident < collection_bytes / 2
+
+    def test_memory_bounded_by_cache_budget(self, tmp_path, dataset):
+        config = MicroNNConfig(
+            dim=dataset.dim,
+            target_cluster_size=50,
+            kmeans_iterations=10,
+            device=DeviceProfile(
+                name="tiny",
+                worker_threads=2,
+                partition_cache_bytes=256 * 1024,
+                sqlite_cache_bytes=256 * 1024,
+            ),
+        )
+        with MicroNN.open(tmp_path / "tiny.db", config) as small_db:
+            small_db.upsert_batch(
+                zip(dataset.train_ids[:2000], dataset.train[:2000])
+            )
+            small_db.build_index()
+            for q in dataset.queries[:20]:
+                small_db.search(q, k=10, nprobe=16)
+            snap = small_db.memory()
+            cache_used = snap.by_category.get("partition_cache", 0)
+            assert cache_used <= 256 * 1024
+
+
+class TestDynamicLifecycle:
+    def test_grow_maintain_search_loop(self, tmp_path, dataset):
+        """Insert-heavy lifecycle: delta growth, flushes, rebuilds."""
+        config = MicroNNConfig(
+            dim=dataset.dim,
+            target_cluster_size=50,
+            kmeans_iterations=10,
+            delta_flush_threshold=100,
+            rebuild_growth_threshold=0.5,
+        )
+        with MicroNN.open(tmp_path / "grow.db", config) as db:
+            db.upsert_batch(
+                zip(dataset.train_ids[:1000], dataset.train[:1000])
+            )
+            db.build_index()
+            actions = []
+            for epoch in range(8):
+                lo = 1000 + epoch * 150
+                hi = lo + 150
+                db.upsert_batch(
+                    zip(dataset.train_ids[lo:hi], dataset.train[lo:hi])
+                )
+                report = db.maintain()
+                actions.append(report.action.value)
+                result = db.search(dataset.queries[0], k=10)
+                assert len(result) == 10
+            assert "incremental_flush" in actions
+            assert "full_rebuild" in actions
+            assert len(db) == 1000 + 8 * 150
+
+
+class TestHybridEndToEnd:
+    def test_hybrid_stack(self, tmp_path, rng):
+        config = MicroNNConfig(
+            dim=16,
+            target_cluster_size=20,
+            kmeans_iterations=10,
+            attributes={
+                "city": "TEXT",
+                "year": "INTEGER",
+                "caption": "TEXT",
+            },
+            fts_attributes=("caption",),
+        )
+        cities = ["seattle", "nyc", "austin"]
+        words = ["cat", "dog", "car", "tree", "beach"]
+        with MicroNN.open(tmp_path / "h.db", config) as db:
+            vecs = rng.normal(size=(600, 16)).astype(np.float32)
+            db.upsert_batch(
+                (
+                    f"img{i:05d}",
+                    vecs[i],
+                    {
+                        "city": cities[i % 3],
+                        "year": 2015 + (i % 10),
+                        "caption": (
+                            f"{words[i % 5]} and {words[(i + 1) % 5]}"
+                        ),
+                    },
+                )
+                for i in range(600)
+            )
+            db.build_index()
+            filt = And(
+                Eq("city", "seattle"),
+                Gt("year", 2020),
+                Match("caption", "cat"),
+            )
+            result = db.search(vecs[0], k=10, filters=filt)
+            assert len(result) > 0
+            for n in result:
+                attrs = db.get_attributes(n.asset_id)
+                assert attrs["city"] == "seattle"
+                assert attrs["year"] > 2020
+                assert "cat" in attrs["caption"]
+            # Same answer set regardless of forced plan.
+            pre = db.search(
+                vecs[0], k=10, filters=filt, plan=PlanKind.PRE_FILTER
+            )
+            assert set(result.asset_ids) <= set(pre.asset_ids) | set(
+                result.asset_ids
+            )
+            assert pre.stats.plan is PlanKind.PRE_FILTER

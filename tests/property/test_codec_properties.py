@@ -1,0 +1,99 @@
+"""Property-based tests for the vector codec and memory tracker."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.storage.codec import decode_matrix, decode_vector, encode_vector
+from repro.storage.memory import MemoryTracker
+
+finite_f32 = st.floats(
+    min_value=np.float32(-1e20),
+    max_value=np.float32(1e20),
+    allow_nan=False,
+    allow_infinity=False,
+    width=32,
+    allow_subnormal=False,
+)
+
+
+class TestCodecRoundtrip:
+    @given(
+        arrays(np.float32, st.integers(min_value=1, max_value=128),
+               elements=finite_f32)
+    )
+    @settings(max_examples=200)
+    def test_vector_roundtrip_exact(self, vec):
+        blob = encode_vector(vec, len(vec))
+        decoded = decode_vector(blob, len(vec))
+        np.testing.assert_array_equal(decoded, vec)
+
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=0, max_value=20),
+        st.data(),
+    )
+    @settings(max_examples=100)
+    def test_matrix_roundtrip_exact(self, dim, rows, data):
+        matrix = data.draw(
+            arrays(np.float32, (rows, dim), elements=finite_f32)
+        )
+        blobs = [encode_vector(row, dim) for row in matrix]
+        decoded = decode_matrix(blobs, dim)
+        np.testing.assert_array_equal(decoded, matrix)
+
+    @given(
+        arrays(np.float32, st.integers(min_value=1, max_value=64),
+               elements=finite_f32)
+    )
+    @settings(max_examples=100)
+    def test_blob_length_is_4d(self, vec):
+        blob = encode_vector(vec, len(vec))
+        assert len(blob) == 4 * len(vec)
+
+
+class TestTrackerInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=0, max_value=10_000),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100)
+    def test_current_is_sum_of_categories(self, allocations):
+        tracker = MemoryTracker()
+        for category, nbytes in allocations:
+            tracker.allocate(category, nbytes)
+        snap = tracker.snapshot()
+        assert snap.current_bytes == sum(snap.by_category.values())
+        assert snap.peak_bytes >= snap.current_bytes
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), max_size=40)
+    )
+    @settings(max_examples=100)
+    def test_alloc_release_pairs_net_zero(self, sizes):
+        tracker = MemoryTracker()
+        for nbytes in sizes:
+            tracker.allocate("x", nbytes)
+            tracker.release("x", nbytes)
+        assert tracker.current_bytes == 0
+        assert tracker.peak_bytes == (max(sizes) if sizes else 0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                 max_size=30)
+    )
+    @settings(max_examples=100)
+    def test_set_category_peak_is_max(self, values):
+        tracker = MemoryTracker()
+        for value in values:
+            tracker.set_category("cache", value)
+        assert tracker.current_bytes == values[-1]
+        assert tracker.peak_bytes == max(values)

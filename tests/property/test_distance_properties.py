@@ -1,0 +1,174 @@
+"""Property-based tests of the distance kernels.
+
+The kernels are shared by search, clustering and ground truth, so a
+bug here corrupts everything while keeping tests self-consistent —
+these properties anchor them to the mathematical definitions instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.query.distance import (
+    distances_to_one,
+    pairwise_distances,
+    surface_distance,
+)
+
+coords = st.floats(
+    min_value=-100.0,
+    max_value=100.0,
+    allow_nan=False,
+    allow_infinity=False,
+    width=32,
+)
+
+
+def matrices(max_rows=12, dim_range=(1, 8)):
+    return st.integers(*dim_range).flatmap(
+        lambda d: st.integers(1, max_rows).flatmap(
+            lambda n: arrays(np.float32, (n, d), elements=coords)
+        )
+    )
+
+
+@st.composite
+def matrix_pairs(draw):
+    dim = draw(st.integers(1, 8))
+    a = draw(
+        arrays(
+            np.float32,
+            (draw(st.integers(1, 10)), dim),
+            elements=coords,
+        )
+    )
+    b = draw(
+        arrays(
+            np.float32,
+            (draw(st.integers(1, 10)), dim),
+            elements=coords,
+        )
+    )
+    return a, b
+
+
+class TestL2Properties:
+    @given(matrix_pairs())
+    @settings(max_examples=200)
+    def test_matches_definition(self, pair):
+        a, b = pair
+        out = pairwise_distances(a, b, "l2")
+        expected = np.array(
+            [
+                [np.sum((av.astype(np.float64) - bv) ** 2) for bv in b]
+                for av in a
+            ]
+        )
+        # The ||q||² - 2q·v + ||v||² decomposition cancels
+        # catastrophically for near-identical vectors with large
+        # coordinates (inherent to the one-GEMM formulation, same as
+        # FAISS); the honest error contract is relative to the norm
+        # magnitudes, not to the (possibly tiny) distance itself.
+        norm_scale = (
+            np.sum(a.astype(np.float64) ** 2, axis=1)[:, None]
+            + np.sum(b.astype(np.float64) ** 2, axis=1)[None, :]
+            + 1.0
+        )
+        assert np.all(np.abs(out - expected) / norm_scale < 1e-3)
+
+    @given(matrices())
+    @settings(max_examples=100)
+    def test_symmetry(self, m):
+        out = pairwise_distances(m, m, "l2")
+        np.testing.assert_allclose(out, out.T, atol=1e-2)
+
+    @given(matrix_pairs())
+    @settings(max_examples=100)
+    def test_non_negative(self, pair):
+        a, b = pair
+        assert np.all(pairwise_distances(a, b, "l2") >= 0.0)
+
+    @given(matrices())
+    @settings(max_examples=100)
+    def test_translation_invariance(self, m):
+        shift = np.float32(3.25)
+        a = pairwise_distances(m, m, "l2")
+        b = pairwise_distances(m + shift, m + shift, "l2")
+        scale = np.maximum(np.abs(a), 1.0)
+        assert np.all(np.abs(a - b) / scale < 0.05)
+
+
+class TestCosineProperties:
+    @given(matrix_pairs())
+    @settings(max_examples=150)
+    def test_bounded(self, pair):
+        a, b = pair
+        out = pairwise_distances(a, b, "cosine")
+        assert np.all(out >= -1e-6)
+        assert np.all(out <= 2.0 + 1e-6)
+
+    @given(
+        matrices(),
+        st.floats(
+            min_value=np.float32(0.1),
+            max_value=np.float32(50),
+            width=32,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_scale_invariance(self, m, scale):
+        from hypothesis import assume
+
+        # Near-zero rows are direction-less: scaling them interacts
+        # with the epsilon guard, so exclude them (stored vectors with
+        # meaningful cosine similarity always have non-trivial norm).
+        assume(np.all(np.linalg.norm(m, axis=1) > 1e-2))
+        a = pairwise_distances(m, m, "cosine")
+        b = pairwise_distances(m * np.float32(scale), m, "cosine")
+        np.testing.assert_allclose(a, b, atol=1e-3)
+
+    @given(matrices())
+    @settings(max_examples=100)
+    def test_self_distance_zero(self, m):
+        # Rows with non-trivial norm must be at distance ~0 from
+        # themselves.
+        norms = np.linalg.norm(m.astype(np.float64), axis=1)
+        out = np.diag(pairwise_distances(m, m, "cosine"))
+        for i, norm in enumerate(norms):
+            if norm > 1e-3:
+                assert out[i] == pytest.approx(0.0, abs=1e-3)
+
+
+class TestDotProperties:
+    @given(matrix_pairs())
+    @settings(max_examples=100)
+    def test_is_negated_inner_product(self, pair):
+        a, b = pair
+        out = pairwise_distances(a, b, "dot")
+        expected = -(a.astype(np.float64) @ b.astype(np.float64).T)
+        scale = np.maximum(np.abs(expected), 1.0)
+        assert np.all(np.abs(out - expected) / scale < 1e-2)
+
+
+class TestConsistency:
+    @given(matrix_pairs(), st.sampled_from(["l2", "cosine", "dot"]))
+    @settings(max_examples=100)
+    def test_distances_to_one_matches_pairwise(self, pair, metric):
+        a, b = pair
+        full = pairwise_distances(a, b, metric)
+        row = distances_to_one(a[0], b, metric)
+        # Single-row and multi-row GEMM kernels round differently;
+        # agreement is relative, not bit-exact.
+        np.testing.assert_allclose(row, full[0], rtol=1e-3, atol=1e-3)
+
+    @given(st.floats(min_value=0, max_value=1e6))
+    @settings(max_examples=50)
+    def test_surface_distance_monotone(self, value):
+        # sqrt preserves ordering, so surfaced L2 distances keep ranks.
+        assert surface_distance(value, "l2") <= surface_distance(
+            value + 1.0, "l2"
+        )

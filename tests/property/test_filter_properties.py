@@ -1,0 +1,181 @@
+"""Property-based agreement between SQL and Python predicate semantics.
+
+Random predicate trees are compiled to SQL and run on SQLite, and
+evaluated directly in Python over the same random rows. Any divergence
+is a semantics bug in the filter language — this is the test that pins
+down NULL handling, negation scope and MATCH token logic.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.filters import (
+    And,
+    Between,
+    CompileContext,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    IsNull,
+    Le,
+    Lt,
+    Match,
+    Ne,
+    Not,
+    Or,
+    default_tokenizer,
+)
+
+CTX = CompileContext(
+    attributes={"color": "TEXT", "n": "INTEGER", "tags": "TEXT"},
+    fts_attributes=("tags",),
+    use_fts5=False,
+)
+
+colors = st.sampled_from(["red", "green", "blue", "teal"])
+ints = st.integers(min_value=-20, max_value=20)
+tag_words = st.sampled_from(["cat", "dog", "elk", "fox"])
+
+
+@st.composite
+def rows(draw):
+    return {
+        "asset_id": draw(st.uuids()).hex,
+        "color": draw(st.one_of(st.none(), colors)),
+        "n": draw(st.one_of(st.none(), ints)),
+        "tags": draw(
+            st.one_of(
+                st.none(),
+                st.lists(tag_words, min_size=1, max_size=3).map(" ".join),
+            )
+        ),
+    }
+
+
+@st.composite
+def leaf_predicates(draw):
+    kind = draw(st.integers(min_value=0, max_value=6))
+    if kind == 0:
+        return Eq("color", draw(colors))
+    if kind == 1:
+        return Ne("color", draw(colors))
+    if kind == 2:
+        op = draw(st.sampled_from([Lt, Le, Gt, Ge]))
+        return op("n", draw(ints))
+    if kind == 3:
+        low, high = sorted([draw(ints), draw(ints)])
+        return Between("n", low, high)
+    if kind == 4:
+        values = draw(st.lists(colors, min_size=1, max_size=3))
+        return In("color", values)
+    if kind == 5:
+        return IsNull(
+            draw(st.sampled_from(["color", "n", "tags"])),
+            negate=draw(st.booleans()),
+        )
+    words = draw(st.lists(tag_words, min_size=1, max_size=2))
+    return Match("tags", " ".join(words))
+
+
+predicates = st.recursive(
+    leaf_predicates(),
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda p: And(*p)),
+        st.tuples(children, children).map(lambda p: Or(*p)),
+        children.map(Not),
+    ),
+    max_leaves=6,
+)
+
+
+def run_sqlite(predicate, table_rows) -> set[str]:
+    conn = sqlite3.connect(":memory:")
+    conn.execute(
+        "CREATE TABLE attributes "
+        "(asset_id TEXT PRIMARY KEY, color TEXT, n INTEGER, tags TEXT)"
+    )
+    conn.execute(
+        "CREATE TABLE tokens (attribute TEXT, token TEXT, asset_id TEXT)"
+    )
+    for row in table_rows:
+        conn.execute(
+            "INSERT INTO attributes VALUES (?, ?, ?, ?)",
+            (row["asset_id"], row["color"], row["n"], row["tags"]),
+        )
+        if row["tags"]:
+            for tok in set(default_tokenizer(row["tags"])):
+                conn.execute(
+                    "INSERT INTO tokens VALUES ('tags', ?, ?)",
+                    (tok, row["asset_id"]),
+                )
+    sql, params = predicate.to_sql(CTX)
+    result = {
+        r[0]
+        for r in conn.execute(
+            f"SELECT asset_id FROM attributes WHERE {sql}", params
+        )
+    }
+    conn.close()
+    return result
+
+
+class TestSqlPythonAgreement:
+    @given(predicates, st.lists(rows(), min_size=0, max_size=25,
+                                unique_by=lambda r: r["asset_id"]))
+    @settings(max_examples=250, deadline=None)
+    def test_sql_equals_python(self, predicate, table_rows):
+        sql_ids = run_sqlite(predicate, table_rows)
+        py_ids = {
+            row["asset_id"]
+            for row in table_rows
+            if predicate.evaluate(row, CTX)
+        }
+        assert sql_ids == py_ids
+
+    @given(predicates)
+    @settings(max_examples=100, deadline=None)
+    def test_compilation_is_parameterized(self, predicate):
+        """No literal *values* may leak into the SQL text.
+
+        Attribute names are exempt: the token-table MATCH path binds the
+        attribute name as a parameter while the same name also appears
+        (quoted) as a column identifier.
+        """
+        sql, params = predicate.to_sql(CTX)
+        for value in params:
+            if (
+                isinstance(value, str)
+                and len(value) > 2
+                and value not in CTX.attributes
+            ):
+                assert value not in sql
+
+    @given(predicates, st.lists(rows(), min_size=1, max_size=10,
+                                unique_by=lambda r: r["asset_id"]))
+    @settings(max_examples=100, deadline=None)
+    def test_negation_is_complement_over_non_null(self, predicate,
+                                                  table_rows):
+        """For rows with no NULLs in referenced attributes, NOT(p) must
+        select exactly the complement of p."""
+        referenced = predicate.attributes_referenced()
+        full_rows = [
+            r
+            for r in table_rows
+            if all(r.get(a) is not None for a in referenced)
+        ]
+        selected = {
+            r["asset_id"] for r in full_rows if predicate.evaluate(r, CTX)
+        }
+        negated = {
+            r["asset_id"]
+            for r in full_rows
+            if Not(predicate).evaluate(r, CTX)
+        }
+        universe = {r["asset_id"] for r in full_rows}
+        assert selected | negated == universe
+        assert selected & negated == set()

@@ -1,0 +1,135 @@
+"""Property-based tests for the top-K heap machinery.
+
+The heaps are the correctness core of Algorithm 2: any bug here silently
+corrupts every search result, so we pin their behaviour against a
+trivial sorted-list oracle under arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.heap import TopKHeap, merge_topk, topk_from_distances
+
+distances = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+entries = st.lists(
+    st.tuples(st.text(min_size=1, max_size=8), distances),
+    min_size=0,
+    max_size=200,
+)
+
+
+def oracle(pairs: list[tuple[str, float]], k: int) -> list[tuple[float, str]]:
+    """Ground truth: global sort with (distance, id) ordering, deduped
+    keeping each id's closest occurrence."""
+    best: dict[str, float] = {}
+    for asset_id, dist in pairs:
+        if asset_id not in best or dist < best[asset_id]:
+            best[asset_id] = dist
+    ranked = sorted((d, a) for a, d in best.items())
+    return ranked[:k]
+
+
+class TestHeapAgainstOracle:
+    @given(entries, st.integers(min_value=1, max_value=50))
+    @settings(max_examples=200)
+    def test_heap_keeps_k_smallest(self, pairs, k):
+        heap = TopKHeap(k)
+        for asset_id, dist in pairs:
+            heap.push(asset_id, dist)
+        got = [(c.distance, c.asset_id) for c in heap.sorted_candidates()]
+        # Heap may retain duplicate ids (dedup happens at merge); the
+        # oracle for a single heap is the sorted multiset cut at k.
+        expected = sorted((d, a) for a, d in pairs)[:k]
+        assert got == expected
+
+    @given(entries, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=200)
+    def test_heap_size_bounded(self, pairs, k):
+        heap = TopKHeap(k)
+        for asset_id, dist in pairs:
+            heap.push(asset_id, dist)
+        assert len(heap) <= k
+
+    @given(entries, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=100)
+    def test_worst_distance_is_admission_threshold(self, pairs, k):
+        heap = TopKHeap(k)
+        for asset_id, dist in pairs:
+            heap.push(asset_id, dist)
+        threshold = heap.worst_distance()
+        # Any strictly-better candidate must be admitted.
+        assert heap.push("zzz-probe", threshold / 2 - 1e-9) or (
+            threshold == float("inf") and len(heap) == 0
+        ) or threshold == 0.0
+
+
+#: Candidate streams with globally unique asset ids — the system
+#: invariant: within one snapshot an asset lives in exactly one
+#: partition, so it reaches the heaps at most once.
+unique_entries = st.lists(
+    st.tuples(st.text(min_size=1, max_size=8), distances),
+    min_size=0,
+    max_size=200,
+    unique_by=lambda pair: pair[0],
+)
+
+
+class TestMergeAgainstOracle:
+    @given(
+        unique_entries,
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=150)
+    def test_sharded_merge_equals_global_topk(self, pairs, num_shards, k):
+        """Splitting candidates across worker heaps then merging must
+        equal a single global top-K (the parallel-scan invariant)."""
+        heaps = [TopKHeap(k) for _ in range(num_shards)]
+        for i, (asset_id, dist) in enumerate(pairs):
+            heaps[i % num_shards].push(asset_id, dist)
+        got = [(c.distance, c.asset_id) for c in merge_topk(heaps, k)]
+        assert got == oracle(pairs, k)
+
+    @given(unique_entries, st.integers(min_value=1, max_value=30),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=100)
+    def test_merge_invariant_to_sharding(self, pairs, k, num_shards):
+        """The same candidates produce the same top-K no matter how
+        they are distributed across threads."""
+
+        def run(shard_count: int):
+            heaps = [TopKHeap(k) for _ in range(shard_count)]
+            for i, (asset_id, dist) in enumerate(pairs):
+                heaps[i % shard_count].push(asset_id, dist)
+            return [
+                (c.distance, c.asset_id) for c in merge_topk(heaps, k)
+            ]
+
+        assert run(1) == run(num_shards)
+
+
+class TestVectorizedTopK:
+    @given(
+        st.lists(distances, min_size=0, max_size=150),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=150)
+    def test_matches_heap_path(self, dists, k):
+        ids = [f"a{i:04d}" for i in range(len(dists))]
+        arr = np.array(dists, dtype=np.float64)
+        vectorized = [
+            (c.distance, c.asset_id)
+            for c in topk_from_distances(ids, arr, k)
+        ]
+        heap = TopKHeap(k)
+        for asset_id, dist in zip(ids, dists):
+            heap.push(asset_id, dist)
+        via_heap = [
+            (c.distance, c.asset_id) for c in heap.sorted_candidates()
+        ]
+        assert vectorized == via_heap

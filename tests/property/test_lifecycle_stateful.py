@@ -1,0 +1,124 @@
+"""Model-based stateful test of the update lifecycle.
+
+Hypothesis drives a random interleaving of upserts, deletes, index
+builds, incremental flushes and searches against a live MicroNN
+database, checking after every step that the database agrees with a
+trivial in-memory model (a dict of asset → vector). This is the test
+that pins the ACID/update semantics of §3.6: no operation sequence may
+lose, duplicate, or resurrect a vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro import MicroNN, MicroNNConfig
+from repro.core.types import MaintenanceAction
+
+DIM = 6
+
+vector_strategy = st.lists(
+    st.floats(
+        min_value=-10, max_value=10, allow_nan=False, allow_infinity=False
+    ),
+    min_size=DIM,
+    max_size=DIM,
+).map(lambda v: np.array(v, dtype=np.float32))
+
+
+class LifecycleMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        config = MicroNNConfig(
+            dim=DIM,
+            target_cluster_size=5,
+            kmeans_iterations=5,
+            delta_flush_threshold=3,
+            rebuild_growth_threshold=0.5,
+            default_nprobe=2,
+        )
+        self.db = MicroNN.open(config=config)
+        self.model: dict[str, np.ndarray] = {}
+        self.has_index = False
+
+    asset_ids = Bundle("asset_ids")
+
+    @rule(
+        target=asset_ids,
+        asset_id=st.text(
+            alphabet="abcdefgh", min_size=1, max_size=4
+        ),
+        vector=vector_strategy,
+    )
+    def upsert(self, asset_id: str, vector: np.ndarray) -> str:
+        self.db.upsert(asset_id, vector)
+        self.model[asset_id] = vector
+        return asset_id
+
+    @rule(asset_id=asset_ids)
+    def delete(self, asset_id: str) -> None:
+        existed = asset_id in self.model
+        deleted = self.db.delete(asset_id)
+        assert deleted == existed
+        self.model.pop(asset_id, None)
+
+    @rule()
+    def build_index(self) -> None:
+        self.db.build_index()
+        self.has_index = len(self.model) > 0
+
+    @rule()
+    def flush(self) -> None:
+        if self.has_index:
+            self.db.maintain(force=MaintenanceAction.INCREMENTAL_FLUSH)
+
+    @rule()
+    def auto_maintain(self) -> None:
+        self.db.maintain()
+        if len(self.model) > 0:
+            # maintain() may have run a full rebuild.
+            self.has_index = self.db.index_stats().num_partitions > 0
+
+    @invariant()
+    def count_matches_model(self) -> None:
+        assert len(self.db) == len(self.model)
+
+    @invariant()
+    def vectors_match_model(self) -> None:
+        for asset_id, vector in self.model.items():
+            stored = self.db.get_vector(asset_id)
+            assert stored is not None, f"{asset_id} lost"
+            np.testing.assert_allclose(stored, vector, rtol=1e-6)
+
+    @invariant()
+    def exact_search_finds_nearest(self) -> None:
+        if not self.model:
+            return
+        # The nearest neighbour of any stored vector must be an asset
+        # holding exactly that vector (there may be ties).
+        asset_id, vector = next(iter(self.model.items()))
+        result = self.db.search(vector, k=1, exact=True)
+        assert len(result) == 1
+        found = self.model[result[0].asset_id]
+        expected = min(
+            float(np.sum((v - vector) ** 2)) for v in self.model.values()
+        )
+        actual = float(np.sum((found - vector) ** 2))
+        assert actual <= expected + 1e-3
+
+    def teardown(self) -> None:
+        self.db.close()
+
+
+LifecycleMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)
+TestLifecycle = LifecycleMachine.TestCase

@@ -1,0 +1,109 @@
+"""Property-based invariants of MQO batch execution.
+
+MQO is purely a physical optimization: for any collection and any
+batch, results must equal per-query execution, and the sharing
+accounting must be consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MicroNN, MicroNNConfig
+
+collections = st.integers(min_value=10, max_value=80).flatmap(
+    lambda n: st.integers(min_value=0, max_value=2**31 - 1).map(
+        lambda seed: np.random.default_rng(seed)
+        .normal(size=(n, 6))
+        .astype(np.float32)
+    )
+)
+
+
+def build_db(vectors: np.ndarray) -> MicroNN:
+    config = MicroNNConfig(
+        dim=6, target_cluster_size=8, kmeans_iterations=6,
+        default_nprobe=3,
+    )
+    db = MicroNN.open(config=config)
+    db.upsert_batch(
+        (f"a{i:04d}", vectors[i]) for i in range(len(vectors))
+    )
+    db.build_index()
+    return db
+
+
+class TestMqoInvariants:
+    @given(collections, st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=6))
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_batch_equals_per_query(self, vectors, k, nprobe):
+        db = build_db(vectors)
+        try:
+            queries = vectors[: min(8, len(vectors))]
+            batch = db.search_batch(queries, k=k, nprobe=nprobe)
+            assert len(batch) == len(queries)
+            for i, q in enumerate(queries):
+                single = db.search(q, k=k, nprobe=nprobe)
+                assert batch[i].asset_ids == single.asset_ids
+        finally:
+            db.close()
+
+    @given(collections)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sharing_accounting_consistent(self, vectors):
+        db = build_db(vectors)
+        try:
+            queries = np.vstack([vectors[:4]] * 4)  # 16 queries
+            batch = db.search_batch(queries, k=3, nprobe=2)
+            parts = db.index_stats().num_partitions
+            # Physical scans bounded by existing partitions + delta.
+            assert batch.partitions_scanned <= parts + 1
+            # Each query requested nprobe' (capped) partitions + delta.
+            per_query = min(2, parts) + 1
+            assert batch.partitions_requested == 16 * per_query
+            assert batch.scan_sharing_factor >= 1.0
+        finally:
+            db.close()
+
+    @given(collections, st.integers(min_value=1, max_value=5))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_duplicate_queries_get_identical_results(self, vectors, k):
+        db = build_db(vectors)
+        try:
+            q = vectors[0]
+            batch = db.search_batch(np.vstack([q, q, q]), k=k, nprobe=3)
+            assert batch[0].asset_ids == batch[1].asset_ids
+            assert batch[1].asset_ids == batch[2].asset_ids
+        finally:
+            db.close()
+
+    @given(collections)
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_batch_sees_delta_inserts(self, vectors):
+        db = build_db(vectors)
+        try:
+            fresh = (vectors[0] + 20.0).astype(np.float32)
+            db.upsert("fresh", fresh)
+            batch = db.search_batch(fresh.reshape(1, -1), k=1, nprobe=1)
+            assert batch[0][0].asset_id == "fresh"
+        finally:
+            db.close()

@@ -1,0 +1,138 @@
+"""Property-based search invariants over random collections.
+
+These are end-to-end properties of the whole stack: for random data and
+random queries, exact search must equal brute force, exhaustive-probe
+ANN must equal exact, and result lists must be sorted and duplicate-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MicroNN, MicroNNConfig
+from repro.query.distance import distances_to_one
+
+
+def build_db(vectors: np.ndarray, metric: str) -> MicroNN:
+    config = MicroNNConfig(
+        dim=vectors.shape[1],
+        metric=metric,
+        target_cluster_size=8,
+        kmeans_iterations=8,
+        default_nprobe=3,
+    )
+    db = MicroNN.open(config=config)
+    db.upsert_batch(
+        (f"a{i:04d}", vectors[i]) for i in range(len(vectors))
+    )
+    db.build_index()
+    return db
+
+
+vector_collections = st.integers(min_value=5, max_value=60).flatmap(
+    lambda n: st.integers(min_value=2, max_value=12).flatmap(
+        lambda d: st.integers(min_value=0, max_value=2**31 - 1).map(
+            lambda seed: np.random.default_rng(seed)
+            .normal(size=(n, d))
+            .astype(np.float32)
+        )
+    )
+)
+
+
+class TestSearchInvariants:
+    @given(vector_collections, st.integers(min_value=1, max_value=15),
+           st.sampled_from(["l2", "cosine"]))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_exact_matches_brute_force(self, vectors, k, metric):
+        db = build_db(vectors, metric)
+        try:
+            query = vectors[0]
+            result = db.search(query, k=k, exact=True)
+            dist = distances_to_one(query, vectors, metric)
+            expected = sorted(
+                range(len(vectors)),
+                key=lambda i: (dist[i], f"a{i:04d}"),
+            )[: min(k, len(vectors))]
+            assert list(result.asset_ids) == [
+                f"a{i:04d}" for i in expected
+            ]
+        finally:
+            db.close()
+
+    @given(vector_collections, st.integers(min_value=1, max_value=10))
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_full_probe_ann_equals_exact(self, vectors, k):
+        db = build_db(vectors, "l2")
+        try:
+            parts = max(db.index_stats().num_partitions, 1)
+            query = vectors[-1]
+            ann = db.search(query, k=k, nprobe=parts)
+            exact = db.search(query, k=k, exact=True)
+            assert ann.asset_ids == exact.asset_ids
+        finally:
+            db.close()
+
+    @given(vector_collections)
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_results_sorted_and_unique(self, vectors):
+        db = build_db(vectors, "l2")
+        try:
+            result = db.search(vectors[0], k=10, nprobe=4)
+            dists = list(result.distances)
+            assert dists == sorted(dists)
+            assert len(set(result.asset_ids)) == len(result.asset_ids)
+        finally:
+            db.close()
+
+    @given(vector_collections, st.integers(min_value=1, max_value=8))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_ann_results_are_true_distances(self, vectors, nprobe):
+        """Every returned distance must equal the true metric distance
+        between the query and that asset's stored vector."""
+        db = build_db(vectors, "l2")
+        try:
+            query = vectors[0]
+            result = db.search(query, k=5, nprobe=nprobe)
+            for neighbor in result:
+                idx = int(neighbor.asset_id[1:])
+                true = float(np.linalg.norm(query - vectors[idx]))
+                assert neighbor.distance == pytest.approx(true, abs=1e-2)
+        finally:
+            db.close()
+
+    @given(vector_collections)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_batch_equals_individual(self, vectors):
+        db = build_db(vectors, "l2")
+        try:
+            queries = vectors[: min(6, len(vectors))]
+            batch = db.search_batch(queries, k=5, nprobe=3)
+            for i, q in enumerate(queries):
+                single = db.search(q, k=5, nprobe=3)
+                assert batch[i].asset_ids == single.asset_ids
+        finally:
+            db.close()

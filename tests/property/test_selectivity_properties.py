@@ -1,0 +1,146 @@
+"""Property-based invariants of the selectivity estimator.
+
+Estimates never affect correctness (only plan choice), but they must be
+well-formed: bounded in [0, 1], monotone where the predicate language
+is monotone, and consistent with complementation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.filters import (
+    And,
+    Between,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    IsNull,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    Or,
+)
+from repro.query.selectivity import ColumnStats, SelectivityEstimator
+
+
+@st.composite
+def column_stats(draw):
+    row_count = draw(st.integers(min_value=1, max_value=100_000))
+    null_count = draw(st.integers(min_value=0, max_value=row_count))
+    non_null = row_count - null_count
+    n_distinct = draw(
+        st.integers(min_value=0, max_value=max(non_null, 0))
+    )
+    boundaries = ()
+    if non_null > 0:
+        values = draw(
+            st.lists(
+                st.integers(min_value=-1000, max_value=1000),
+                min_size=2,
+                max_size=33,
+            )
+        )
+        boundaries = tuple(sorted(float(v) for v in values))
+    mcv_count = draw(st.integers(min_value=0, max_value=5))
+    remaining = 1.0 - null_count / row_count
+    mcvs = []
+    for i in range(mcv_count):
+        if remaining <= 0:
+            break
+        # Draw a unit fraction and scale, avoiding exact-float bound
+        # requirements on the strategy itself.
+        unit = draw(st.floats(min_value=0.0, max_value=1.0))
+        freq = unit * remaining
+        mcvs.append((f"v{i}", freq))
+        remaining -= freq
+    return ColumnStats(
+        attribute="n",
+        sql_type="INTEGER",
+        row_count=row_count,
+        null_count=null_count,
+        n_distinct=n_distinct,
+        histogram=boundaries,
+        mcvs=tuple(mcvs),
+    )
+
+
+leaves = st.one_of(
+    st.integers(-1000, 1000).map(lambda v: Eq("n", v)),
+    st.integers(-1000, 1000).map(lambda v: Ne("n", v)),
+    st.integers(-1000, 1000).map(lambda v: Lt("n", v)),
+    st.integers(-1000, 1000).map(lambda v: Le("n", v)),
+    st.integers(-1000, 1000).map(lambda v: Gt("n", v)),
+    st.integers(-1000, 1000).map(lambda v: Ge("n", v)),
+    st.tuples(st.integers(-1000, 0), st.integers(0, 1000)).map(
+        lambda p: Between("n", p[0], p[1])
+    ),
+    st.lists(st.integers(-1000, 1000), min_size=1, max_size=4).map(
+        lambda v: In("n", v)
+    ),
+    st.booleans().map(lambda neg: IsNull("n", negate=neg)),
+)
+
+predicates = st.recursive(
+    leaves,
+    lambda kids: st.one_of(
+        st.tuples(kids, kids).map(lambda p: And(*p)),
+        st.tuples(kids, kids).map(lambda p: Or(*p)),
+        kids.map(Not),
+    ),
+    max_leaves=5,
+)
+
+
+class TestEstimatorInvariants:
+    @given(column_stats(), predicates)
+    @settings(max_examples=300, deadline=None)
+    def test_factor_bounded(self, stats, predicate):
+        est = SelectivityEstimator({"n": stats})
+        factor = est.estimate_factor(predicate)
+        assert 0.0 <= factor <= 1.0
+
+    @given(column_stats(), predicates)
+    @settings(max_examples=200, deadline=None)
+    def test_cardinality_bounded(self, stats, predicate):
+        est = SelectivityEstimator({"n": stats})
+        card = est.estimate_cardinality(predicate)
+        assert 0 <= card <= stats.row_count
+
+    @given(column_stats(), st.integers(-1000, 1000),
+           st.integers(-1000, 1000))
+    @settings(max_examples=200, deadline=None)
+    def test_le_monotone_in_value(self, stats, a, b):
+        lo, hi = min(a, b), max(a, b)
+        est = SelectivityEstimator({"n": stats})
+        assert est.estimate_factor(Le("n", lo)) <= est.estimate_factor(
+            Le("n", hi)
+        ) + 1e-9
+
+    @given(column_stats(), predicates, predicates)
+    @settings(max_examples=150, deadline=None)
+    def test_and_never_exceeds_children(self, stats, p, q):
+        est = SelectivityEstimator({"n": stats})
+        conj = est.estimate_factor(And(p, q))
+        assert conj <= est.estimate_factor(p) + 1e-9
+        assert conj <= est.estimate_factor(q) + 1e-9
+
+    @given(column_stats(), predicates, predicates)
+    @settings(max_examples=150, deadline=None)
+    def test_or_at_least_max_child(self, stats, p, q):
+        est = SelectivityEstimator({"n": stats})
+        disj = est.estimate_factor(Or(p, q))
+        assert disj >= est.estimate_factor(p) - 1e-9 or disj == 1.0
+        assert disj >= est.estimate_factor(q) - 1e-9 or disj == 1.0
+
+    @given(column_stats(), st.integers(-1000, 1000))
+    @settings(max_examples=200, deadline=None)
+    def test_eq_plus_ne_at_most_one(self, stats, value):
+        est = SelectivityEstimator({"n": stats})
+        total = est.estimate_factor(Eq("n", value)) + est.estimate_factor(
+            Ne("n", value)
+        )
+        assert total <= 1.0 + 1e-6

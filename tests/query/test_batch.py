@@ -1,0 +1,100 @@
+"""MQO batch executor tests (§3.4)."""
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig
+
+
+@pytest.fixture
+def db_and_vectors(tmp_path, rng):
+    config = MicroNNConfig(
+        dim=8, target_cluster_size=10, kmeans_iterations=10
+    )
+    db = MicroNN.open(tmp_path / "b.db", config)
+    vecs = rng.normal(size=(200, 8)).astype(np.float32)
+    db.upsert_batch((f"a{i:04d}", vecs[i]) for i in range(200))
+    db.build_index()
+    yield db, vecs
+    db.close()
+
+
+class TestCorrectness:
+    def test_batch_equals_sequential(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        queries = vecs[:24]
+        batch = db.search_batch(queries, k=7, nprobe=5)
+        for i in range(24):
+            single = db.search(queries[i], k=7, nprobe=5)
+            assert batch[i].asset_ids == single.asset_ids
+            # Distances agree up to float32 GEMM round-off; the paper's
+            # kernels have the same property (||q-v||^2 via one GEMM).
+            np.testing.assert_allclose(
+                batch[i].distances, single.distances, rtol=1e-4, atol=2e-3
+            )
+
+    def test_batch_includes_delta(self, db_and_vectors, rng):
+        db, _ = db_and_vectors
+        vec = (9.0 + rng.normal(size=8) * 0.01).astype(np.float32)
+        db.upsert("fresh", vec)
+        batch = db.search_batch(vec.reshape(1, -1), k=1, nprobe=2)
+        assert batch[0][0].asset_id == "fresh"
+
+    def test_batch_on_unindexed_db(self, tmp_path, rng):
+        config = MicroNNConfig(dim=8)
+        with MicroNN.open(tmp_path / "u.db", config) as db:
+            vecs = rng.normal(size=(30, 8)).astype(np.float32)
+            db.upsert_batch((f"a{i:04d}", vecs[i]) for i in range(30))
+            batch = db.search_batch(vecs[:4], k=3)
+            for i in range(4):
+                assert batch[i][0].asset_id == f"a{i:04d}"
+
+    def test_invalid_k_rejected(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        with pytest.raises(ValueError):
+            db.search_batch(vecs[:2], k=0)
+
+    def test_wrong_dim_rejected(self, db_and_vectors, rng):
+        from repro import FilterError
+
+        db, _ = db_and_vectors
+        with pytest.raises(FilterError):
+            db.search_batch(rng.normal(size=(2, 9)), k=3)
+
+
+class TestSharing:
+    def test_partitions_scanned_once(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        parts = db.index_stats().num_partitions
+        batch = db.search_batch(vecs[:128], k=5, nprobe=5)
+        # Physical scans bounded by the number of existing partitions
+        # (+1 for the delta), regardless of batch size.
+        assert batch.partitions_scanned <= parts + 1
+        assert batch.partitions_requested == 128 * (5 + 1)
+
+    def test_sharing_grows_with_batch_size(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        small = db.search_batch(vecs[:8], k=5, nprobe=5)
+        large = db.search_batch(vecs[:128], k=5, nprobe=5)
+        assert large.scan_sharing_factor > small.scan_sharing_factor
+
+    def test_amortized_latency_improves_with_batch(self, db_and_vectors):
+        """Fig. 9b shape: per-query cost drops as the batch grows."""
+        db, vecs = db_and_vectors
+        queries = np.vstack([vecs] * 3)  # 600 queries
+
+        def amortized(n: int) -> float:
+            batch = db.search_batch(queries[:n], k=5, nprobe=5)
+            return batch.amortized_latency_s
+
+        # Average over repeats to de-noise timing.
+        small = min(amortized(4) for _ in range(3))
+        large = min(amortized(512) for _ in range(3))
+        assert large < small
+
+    def test_batch_stats_populated(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        batch = db.search_batch(vecs[:16], k=5, nprobe=4)
+        assert batch.stats is not None
+        assert batch.stats.vectors_scanned > 0
+        assert batch.latency_s > 0

@@ -1,0 +1,131 @@
+"""Distance kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.query.distance import (
+    distances_to_one,
+    normalize_rows,
+    pairwise_distances,
+    surface_distance,
+)
+
+
+class TestL2:
+    def test_matches_naive(self, rng):
+        q = rng.normal(size=(3, 8)).astype(np.float32)
+        v = rng.normal(size=(5, 8)).astype(np.float32)
+        out = pairwise_distances(q, v, "l2")
+        for i in range(3):
+            for j in range(5):
+                expected = np.sum((q[i] - v[j]) ** 2)
+                assert out[i, j] == pytest.approx(expected, rel=1e-4)
+
+    def test_zero_distance_to_self(self, rng):
+        v = rng.normal(size=(4, 8)).astype(np.float32)
+        out = pairwise_distances(v, v, "l2")
+        np.testing.assert_allclose(np.diag(out), 0.0, atol=1e-3)
+
+    def test_never_negative(self, rng):
+        # GEMM round-off can produce tiny negatives without the clamp.
+        v = rng.normal(size=(50, 64)).astype(np.float32) * 1000
+        out = pairwise_distances(v, v, "l2")
+        assert np.all(out >= 0.0)
+
+    def test_surface_distance_is_sqrt(self):
+        assert surface_distance(9.0, "l2") == pytest.approx(3.0)
+        assert surface_distance(-1e-9, "l2") == 0.0
+
+
+class TestCosine:
+    def test_identical_vectors_zero_distance(self, rng):
+        v = rng.normal(size=(3, 8)).astype(np.float32)
+        out = pairwise_distances(v, v, "cosine")
+        np.testing.assert_allclose(np.diag(out), 0.0, atol=1e-5)
+
+    def test_opposite_vectors_distance_two(self):
+        v = np.array([[1.0, 0.0]], dtype=np.float32)
+        out = pairwise_distances(v, -v, "cosine")
+        assert out[0, 0] == pytest.approx(2.0, abs=1e-5)
+
+    def test_orthogonal_distance_one(self):
+        a = np.array([[1.0, 0.0]], dtype=np.float32)
+        b = np.array([[0.0, 1.0]], dtype=np.float32)
+        assert pairwise_distances(a, b, "cosine")[0, 0] == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_scale_invariant(self, rng):
+        q = rng.normal(size=(2, 8)).astype(np.float32)
+        v = rng.normal(size=(4, 8)).astype(np.float32)
+        a = pairwise_distances(q, v, "cosine")
+        b = pairwise_distances(q * 7.5, v * 0.1, "cosine")
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_range_bounded(self, rng):
+        q = rng.normal(size=(10, 8)).astype(np.float32)
+        v = rng.normal(size=(10, 8)).astype(np.float32)
+        out = pairwise_distances(q, v, "cosine")
+        assert np.all(out >= 0.0)
+        assert np.all(out <= 2.0)
+
+    def test_surface_distance_identity(self):
+        assert surface_distance(0.3, "cosine") == pytest.approx(0.3)
+
+
+class TestDot:
+    def test_negated_inner_product(self, rng):
+        q = rng.normal(size=(2, 8)).astype(np.float32)
+        v = rng.normal(size=(3, 8)).astype(np.float32)
+        out = pairwise_distances(q, v, "dot")
+        np.testing.assert_allclose(out, -(q @ v.T), rtol=1e-5)
+
+    def test_larger_dot_is_closer(self):
+        q = np.array([[1.0, 0.0]], dtype=np.float32)
+        v = np.array([[2.0, 0.0], [0.5, 0.0]], dtype=np.float32)
+        out = pairwise_distances(q, v, "dot")[0]
+        assert out[0] < out[1]
+
+
+class TestShapes:
+    def test_empty_vectors(self, rng):
+        q = rng.normal(size=(3, 8)).astype(np.float32)
+        out = pairwise_distances(q, np.empty((0, 8)), "l2")
+        assert out.shape == (3, 0)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="dimension"):
+            pairwise_distances(
+                rng.normal(size=(2, 4)), rng.normal(size=(2, 5)), "l2"
+            )
+
+    def test_unknown_metric_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            pairwise_distances(
+                rng.normal(size=(1, 4)), rng.normal(size=(1, 4)), "hamming"
+            )
+
+    def test_distances_to_one_is_1d(self, rng):
+        out = distances_to_one(
+            rng.normal(size=4), rng.normal(size=(7, 4)), "l2"
+        )
+        assert out.shape == (7,)
+
+    def test_output_dtype_float32(self, rng):
+        out = pairwise_distances(
+            rng.normal(size=(2, 4)), rng.normal(size=(3, 4)), "l2"
+        )
+        assert out.dtype == np.float32
+
+
+class TestNormalizeRows:
+    def test_unit_norms(self, rng):
+        m = normalize_rows(rng.normal(size=(5, 8)).astype(np.float32))
+        np.testing.assert_allclose(
+            np.linalg.norm(m, axis=1), 1.0, rtol=1e-5
+        )
+
+    def test_zero_row_stays_finite(self):
+        m = normalize_rows(np.zeros((1, 4), dtype=np.float32))
+        assert np.all(np.isfinite(m))

@@ -1,0 +1,228 @@
+"""Query executor tests: Algorithm 2 mechanics and the hybrid plans."""
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig, DeviceProfile, Eq, Gt
+from repro.core.types import PlanKind
+from tests.conftest import brute_force_ids
+
+
+@pytest.fixture
+def db_and_vectors(tmp_path, rng):
+    config = MicroNNConfig(
+        dim=8,
+        target_cluster_size=10,
+        kmeans_iterations=10,
+        attributes={"parity": "TEXT", "rank": "INTEGER"},
+    )
+    db = MicroNN.open(tmp_path / "x.db", config)
+    vecs = rng.normal(size=(150, 8)).astype(np.float32)
+    db.upsert_batch(
+        (
+            f"a{i:04d}",
+            vecs[i],
+            {"parity": "even" if i % 2 == 0 else "odd", "rank": i},
+        )
+        for i in range(150)
+    )
+    db.build_index()
+    yield db, vecs
+    db.close()
+
+
+class TestPartitionSelection:
+    def test_probes_delta_in_addition_to_nprobe(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        result = db.search(vecs[0], k=5, nprobe=3)
+        assert result.stats.partitions_scanned == 4  # 3 + delta
+
+    def test_nprobe_capped_at_partition_count(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        parts = db.index_stats().num_partitions
+        result = db.search(vecs[0], k=5, nprobe=parts * 10)
+        assert result.stats.partitions_scanned == parts + 1
+
+    def test_scans_nearest_partitions_first(self, db_and_vectors):
+        """ANN with nprobe=1 must scan the query's own partition."""
+        db, vecs = db_and_vectors
+        result = db.search(vecs[10], k=1, nprobe=1)
+        assert result[0].asset_id == "a0010"
+
+
+class TestWorkerThreads:
+    @pytest.mark.parametrize("threads", [1, 2, 8])
+    def test_results_independent_of_thread_count(
+        self, tmp_path, rng, threads
+    ):
+        config = MicroNNConfig(
+            dim=8,
+            target_cluster_size=10,
+            kmeans_iterations=10,
+            device=DeviceProfile(
+                name="t", worker_threads=threads,
+                partition_cache_bytes=1 << 20,
+                sqlite_cache_bytes=1 << 20,
+            ),
+        )
+        db = MicroNN.open(tmp_path / f"t{threads}.db", config)
+        try:
+            vecs = rng.normal(size=(120, 8)).astype(np.float32)
+            db.upsert_batch(
+                (f"a{i:04d}", vecs[i]) for i in range(120)
+            )
+            db.build_index()
+            result = db.search(vecs[0], k=10, nprobe=6)
+            expected = db.search(vecs[0], k=10, nprobe=6)
+            assert result.asset_ids == expected.asset_ids
+            # And matches a reference single-threaded exhaustive scan.
+            full = db.search(vecs[0], k=10, exact=True)
+            assert set(result.asset_ids) <= set(
+                brute_force_ids(vecs, vecs[0], 120)
+            )
+            assert full.asset_ids == tuple(
+                brute_force_ids(vecs, vecs[0], 10)
+            )
+        finally:
+            db.close()
+
+
+class TestCacheBehaviour:
+    def test_second_query_hits_cache(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        db.search(vecs[0], k=5, nprobe=4)
+        result = db.search(vecs[0], k=5, nprobe=4)
+        assert result.stats.cache_hits > 0
+        assert result.stats.bytes_read == 0
+
+    def test_purge_caches_forces_reread(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        db.search(vecs[0], k=5, nprobe=4)
+        db.purge_caches()
+        result = db.search(vecs[0], k=5, nprobe=4)
+        assert result.stats.cache_misses > 0
+        assert result.stats.bytes_read > 0
+
+    def test_cold_start_slower_with_io_model(self, tmp_path, rng):
+        from repro.core.config import IOCostModel
+
+        config = MicroNNConfig(
+            dim=8,
+            target_cluster_size=10,
+            kmeans_iterations=10,
+            device=DeviceProfile(
+                name="sim",
+                worker_threads=2,
+                partition_cache_bytes=1 << 22,
+                sqlite_cache_bytes=1 << 20,
+                io_model=IOCostModel(seek_latency_s=0.002),
+            ),
+        )
+        db = MicroNN.open(tmp_path / "cold.db", config)
+        try:
+            vecs = rng.normal(size=(100, 8)).astype(np.float32)
+            db.upsert_batch((f"a{i:04d}", vecs[i]) for i in range(100))
+            db.build_index()
+            db.purge_caches()
+            cold = db.search(vecs[0], k=5, nprobe=4).stats.latency_s
+            warm = db.search(vecs[0], k=5, nprobe=4).stats.latency_s
+            assert cold > warm * 2
+        finally:
+            db.close()
+
+
+class TestHybridPlans:
+    def test_prefilter_ignores_index(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        result = db.search(
+            vecs[0], k=5, filters=Eq("parity", "even"),
+            plan=PlanKind.PRE_FILTER,
+        )
+        assert result.stats.plan is PlanKind.PRE_FILTER
+        assert result.stats.vectors_scanned == 75
+        assert result.stats.partitions_scanned == 0
+
+    def test_postfilter_counts_filtered_rows(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        result = db.search(
+            vecs[0], k=5, filters=Eq("parity", "even"),
+            plan=PlanKind.POST_FILTER, nprobe=4,
+        )
+        assert result.stats.plan is PlanKind.POST_FILTER
+        assert result.stats.rows_filtered > 0
+        # Distances computed only over qualifying rows.
+        assert (
+            result.stats.distance_computations
+            < result.stats.vectors_scanned
+        )
+
+    def test_prefilter_full_recall(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        query = vecs[0]
+        result = db.search(
+            query, k=10, filters=Gt("rank", 99), plan=PlanKind.PRE_FILTER
+        )
+        qualifying = vecs[100:]
+        dist = np.linalg.norm(qualifying - query, axis=1)
+        expected = [
+            f"a{100 + i:04d}" for i in np.argsort(dist, kind="stable")[:10]
+        ]
+        assert list(result.asset_ids) == expected
+
+    def test_postfilter_recall_below_prefilter_for_selective(
+        self, db_and_vectors
+    ):
+        """The Fig. 7b effect: post-filtering loses recall on highly
+        selective predicates because few qualifying vectors live in the
+        probed partitions."""
+        db, vecs = db_and_vectors
+        pre_hits, post_hits = 0, 0
+        for i in range(20):
+            filt = Eq("rank", (i * 7) % 150)  # selects exactly one row
+            pre = db.search(
+                vecs[i], k=1, filters=filt, plan=PlanKind.PRE_FILTER
+            )
+            post = db.search(
+                vecs[i], k=1, filters=filt, plan=PlanKind.POST_FILTER,
+                nprobe=2,
+            )
+            pre_hits += len(pre)
+            post_hits += len(post)
+        assert pre_hits == 20
+        assert post_hits < pre_hits
+
+    def test_delta_respected_by_postfilter(self, db_and_vectors, rng):
+        db, _ = db_and_vectors
+        vec = (8.0 + rng.normal(size=8) * 0.01).astype(np.float32)
+        db.upsert("fresh", vec, {"parity": "even", "rank": 999})
+        result = db.search(
+            vec, k=1, filters=Eq("parity", "even"),
+            plan=PlanKind.POST_FILTER,
+        )
+        assert result[0].asset_id == "fresh"
+
+    def test_delta_respected_by_prefilter(self, db_and_vectors, rng):
+        db, _ = db_and_vectors
+        vec = (8.0 + rng.normal(size=8) * 0.01).astype(np.float32)
+        db.upsert("fresh", vec, {"parity": "odd", "rank": 999})
+        result = db.search(
+            vec, k=1, filters=Eq("parity", "odd"),
+            plan=PlanKind.PRE_FILTER,
+        )
+        assert result[0].asset_id == "fresh"
+
+
+class TestStatsAccounting:
+    def test_vectors_scanned_bounded_by_collection(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        result = db.search(vecs[0], k=5, nprobe=3)
+        assert 0 < result.stats.vectors_scanned <= 150
+
+    def test_latency_recorded(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        assert db.search(vecs[0], k=5).stats.latency_s > 0
+
+    def test_exact_scans_everything(self, db_and_vectors):
+        db, vecs = db_and_vectors
+        result = db.search(vecs[0], k=5, exact=True)
+        assert result.stats.vectors_scanned == 150

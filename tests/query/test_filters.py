@@ -1,0 +1,253 @@
+"""Predicate AST tests: construction, SQL compilation, evaluation."""
+
+import sqlite3
+
+import pytest
+
+from repro.core.errors import FilterError, UnknownAttributeError
+from repro.query.filters import (
+    And,
+    Between,
+    CompileContext,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    IsNull,
+    Le,
+    Lt,
+    Match,
+    Ne,
+    Not,
+    Or,
+    default_tokenizer,
+)
+
+CTX = CompileContext(
+    attributes={"color": "TEXT", "n": "INTEGER", "x": "REAL", "tags": "TEXT"},
+    fts_attributes=("tags",),
+    use_fts5=False,
+)
+
+ROWS = [
+    {"asset_id": "a", "color": "red", "n": 1, "x": 0.5, "tags": "cat dog"},
+    {"asset_id": "b", "color": "blue", "n": 5, "x": 1.5, "tags": "cat"},
+    {"asset_id": "c", "color": "red", "n": 9, "x": None, "tags": None},
+    {"asset_id": "d", "color": None, "n": None, "x": 2.5, "tags": "dog elk"},
+]
+
+
+def sqlite_eval(predicate) -> set[str]:
+    """Run the compiled SQL against an in-memory attributes table."""
+    conn = sqlite3.connect(":memory:")
+    conn.execute(
+        "CREATE TABLE attributes "
+        "(asset_id TEXT PRIMARY KEY, color TEXT, n INTEGER, x REAL, tags TEXT)"
+    )
+    conn.execute(
+        "CREATE TABLE tokens (attribute TEXT, token TEXT, asset_id TEXT)"
+    )
+    for row in ROWS:
+        conn.execute(
+            "INSERT INTO attributes VALUES (?, ?, ?, ?, ?)",
+            (row["asset_id"], row["color"], row["n"], row["x"], row["tags"]),
+        )
+        if row["tags"]:
+            for tok in default_tokenizer(row["tags"]):
+                conn.execute(
+                    "INSERT INTO tokens VALUES (?, ?, ?)",
+                    ("tags", tok, row["asset_id"]),
+                )
+    sql, params = predicate.to_sql(CTX)
+    rows = conn.execute(
+        f"SELECT asset_id FROM attributes WHERE {sql}", params
+    ).fetchall()
+    conn.close()
+    return {r[0] for r in rows}
+
+
+def python_eval(predicate) -> set[str]:
+    return {
+        row["asset_id"]
+        for row in ROWS
+        if predicate.evaluate(row, CTX)
+    }
+
+
+def both(predicate) -> set[str]:
+    """Assert SQL and Python agree, return the agreed result set."""
+    sql_result = sqlite_eval(predicate)
+    py_result = python_eval(predicate)
+    assert sql_result == py_result, (
+        f"SQL={sql_result} Python={py_result} for {predicate}"
+    )
+    return sql_result
+
+
+class TestComparisons:
+    def test_eq(self):
+        assert both(Eq("color", "red")) == {"a", "c"}
+
+    def test_ne(self):
+        assert both(Ne("color", "red")) == {"b"}  # NULL excluded
+
+    def test_lt(self):
+        assert both(Lt("n", 5)) == {"a"}
+
+    def test_le(self):
+        assert both(Le("n", 5)) == {"a", "b"}
+
+    def test_gt(self):
+        assert both(Gt("n", 1)) == {"b", "c"}
+
+    def test_ge(self):
+        assert both(Ge("x", 1.5)) == {"b", "d"}
+
+    def test_unknown_operator_rejected(self):
+        from repro.query.filters import Compare
+
+        with pytest.raises(FilterError):
+            Compare("n", "~", 1)
+
+    def test_none_comparison_rejected(self):
+        with pytest.raises(FilterError, match="IsNull"):
+            Eq("color", None)
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(UnknownAttributeError):
+            Eq("ghost", 1).to_sql(CTX)
+        with pytest.raises(UnknownAttributeError):
+            Eq("ghost", 1).evaluate(ROWS[0], CTX)
+
+
+class TestRangeAndSets:
+    def test_between(self):
+        assert both(Between("n", 2, 9)) == {"b", "c"}
+
+    def test_between_inclusive(self):
+        assert both(Between("n", 1, 1)) == {"a"}
+
+    def test_between_none_rejected(self):
+        with pytest.raises(FilterError):
+            Between("n", None, 5)
+
+    def test_in(self):
+        assert both(In("color", ["red", "green"])) == {"a", "c"}
+
+    def test_in_empty_rejected(self):
+        with pytest.raises(FilterError):
+            In("color", [])
+
+    def test_in_with_none_rejected(self):
+        with pytest.raises(FilterError):
+            In("color", ["red", None])
+
+    def test_is_null(self):
+        assert both(IsNull("x")) == {"c"}
+
+    def test_is_not_null(self):
+        assert both(IsNull("x", negate=True)) == {"a", "b", "d"}
+
+
+class TestBooleanCombinators:
+    def test_and(self):
+        assert both(And(Eq("color", "red"), Gt("n", 1))) == {"c"}
+
+    def test_or(self):
+        assert both(Or(Eq("color", "blue"), Gt("n", 5))) == {"b", "c"}
+
+    def test_not(self):
+        assert both(Not(Eq("color", "red"))) == {"b"}  # NULL stays out
+
+    def test_not_range(self):
+        assert both(Not(Lt("n", 5))) == {"b", "c"}
+
+    def test_nested(self):
+        pred = And(
+            Or(Eq("color", "red"), Eq("color", "blue")),
+            Not(Between("n", 4, 6)),
+        )
+        assert both(pred) == {"a", "c"}
+
+    def test_operator_overloads(self):
+        pred = (Eq("color", "red") & Gt("n", 1)) | Eq("color", "blue")
+        assert both(pred) == {"b", "c"}
+        inverted = ~Eq("color", "red")
+        assert both(inverted) == {"b"}
+
+    def test_and_flattens(self):
+        pred = And(Eq("n", 1), And(Eq("color", "red"), Gt("x", 0.0)))
+        assert len(pred.children) == 3
+
+    def test_and_requires_two_children(self):
+        with pytest.raises(FilterError):
+            And(Eq("n", 1))
+
+    def test_attributes_referenced(self):
+        pred = And(Eq("color", "red"), Or(Gt("n", 1), IsNull("x")))
+        assert pred.attributes_referenced() == {"color", "n", "x"}
+
+
+class TestMatch:
+    def test_single_token(self):
+        assert both(Match("tags", "cat")) == {"a", "b"}
+
+    def test_conjunction_of_tokens(self):
+        assert both(Match("tags", "cat dog")) == {"a"}
+
+    def test_no_hits(self):
+        assert both(Match("tags", "zebra")) == set()
+
+    def test_case_insensitive(self):
+        assert both(Match("tags", "CAT")) == {"a", "b"}
+
+    def test_non_fts_attribute_rejected(self):
+        with pytest.raises(FilterError, match="FTS"):
+            Match("color", "red").to_sql(CTX)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(FilterError, match="tokens"):
+            Match("tags", "!!!").to_sql(CTX)
+
+    def test_match_combined_with_comparison(self):
+        assert both(And(Match("tags", "dog"), Ge("x", 1.0))) == {"d"}
+
+    def test_fts5_compilation_shape(self):
+        ctx5 = CompileContext(
+            attributes=CTX.attributes,
+            fts_attributes=("tags",),
+            use_fts5=True,
+        )
+        sql, params = Match("tags", "cat dog").to_sql(ctx5)
+        assert "attributes_fts" in sql
+        assert params == ['"tags" : "cat" AND "tags" : "dog"']
+
+
+class TestSqlSafety:
+    def test_values_are_parameterized(self):
+        sql, params = Eq("color", "x' OR '1'='1").to_sql(CTX)
+        assert "'" not in sql.replace("''", "")
+        assert params == ["x' OR '1'='1"]
+
+    def test_injection_string_finds_nothing(self):
+        assert both(Eq("color", "x' OR '1'='1")) == set()
+
+    def test_match_tokens_parameterized(self):
+        sql, params = Match("tags", "cat").to_sql(CTX)
+        assert "cat" not in sql
+        assert "cat" in params
+
+
+class TestTokenizer:
+    def test_lowercases(self):
+        assert default_tokenizer("CaT Dog") == ["cat", "dog"]
+
+    def test_splits_punctuation(self):
+        assert default_tokenizer("a,b;c") == ["a", "b", "c"]
+
+    def test_keeps_digits(self):
+        assert default_tokenizer("tag42") == ["tag42"]
+
+    def test_empty(self):
+        assert default_tokenizer("") == []
+        assert default_tokenizer("!!!") == []

@@ -1,0 +1,118 @@
+"""Full-text substrate tests: token stats and MATCH selectivity."""
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig, Match
+from repro.query.fts import TokenStats, match_selectivity
+
+
+@pytest.fixture
+def db(tmp_path, rng):
+    config = MicroNNConfig(
+        dim=4,
+        attributes={"tags": "TEXT"},
+        fts_attributes=("tags",),
+    )
+    database = MicroNN.open(tmp_path / "f.db", config)
+    tag_sets = (
+        ["alpha beta"] * 40 + ["alpha"] * 40 + ["gamma delta"] * 20
+    )
+    database.upsert_batch(
+        (f"a{i:04d}", rng.normal(size=4).astype(np.float32),
+         {"tags": tag_sets[i]})
+        for i in range(100)
+    )
+    yield database
+    database.close()
+
+
+class TestTokenStats:
+    def test_document_frequency(self, db):
+        stats = TokenStats(db.engine)
+        assert stats.document_frequency("tags", "alpha") == 80
+        assert stats.document_frequency("tags", "beta") == 40
+        assert stats.document_frequency("tags", "gamma") == 20
+        assert stats.document_frequency("tags", "zebra") == 0
+
+    def test_total_documents(self, db):
+        assert TokenStats(db.engine).total_documents() == 100
+
+    def test_caching_and_invalidation(self, db, rng):
+        stats = TokenStats(db.engine)
+        assert stats.document_frequency("tags", "alpha") == 80
+        db.upsert(
+            "extra", rng.normal(size=4).astype(np.float32),
+            {"tags": "alpha"},
+        )
+        # Cached value until invalidated.
+        assert stats.document_frequency("tags", "alpha") == 80
+        stats.invalidate()
+        assert stats.document_frequency("tags", "alpha") == 81
+
+
+class TestMatchSelectivity:
+    def test_single_token(self, db):
+        stats = TokenStats(db.engine)
+        assert match_selectivity(stats, "tags", "alpha") == pytest.approx(
+            0.8
+        )
+
+    def test_conjunction_independence(self, db):
+        stats = TokenStats(db.engine)
+        got = match_selectivity(stats, "tags", "alpha beta")
+        assert got == pytest.approx(0.8 * 0.4)
+
+    def test_zero_df_token(self, db):
+        stats = TokenStats(db.engine)
+        assert match_selectivity(stats, "tags", "alpha zebra") == 0.0
+
+    def test_empty_query(self, db):
+        assert match_selectivity(TokenStats(db.engine), "tags", "!!") == 0.0
+
+    def test_clamped_to_one(self, db):
+        stats = TokenStats(db.engine)
+        assert match_selectivity(stats, "tags", "alpha alpha") <= 1.0
+
+
+class TestMatchExecution:
+    def test_match_results_respect_filter(self, db, rng):
+        query = rng.normal(size=4).astype(np.float32)
+        result = db.search(query, k=10, filters=Match("tags", "gamma"))
+        assert 0 < len(result) <= 10
+        for n in result:
+            assert "gamma" in db.get_attributes(n.asset_id)["tags"]
+
+    def test_match_conjunction_execution(self, db, rng):
+        query = rng.normal(size=4).astype(np.float32)
+        result = db.search(
+            query, k=50, filters=Match("tags", "alpha beta")
+        )
+        ids = set(result.asset_ids)
+        assert ids <= {f"a{i:04d}" for i in range(40)}
+
+    def test_fts5_and_token_paths_agree(self, db, rng):
+        """Same MATCH answered by FTS5 and by the token table."""
+        from repro.query.filters import CompileContext, default_tokenizer
+
+        pred = Match("tags", "alpha beta")
+        base = dict(
+            attributes=db.config.normalized_attributes,
+            fts_attributes=db.config.fts_attributes,
+            tokenizer=default_tokenizer,
+        )
+        token_sql, token_params = pred.to_sql(
+            CompileContext(use_fts5=False, **base)
+        )
+        token_ids = set(
+            db.engine.query_attribute_ids(token_sql, token_params)
+        )
+        if db.engine.uses_fts5:
+            fts_sql, fts_params = pred.to_sql(
+                CompileContext(use_fts5=True, **base)
+            )
+            fts_ids = set(
+                db.engine.query_attribute_ids(fts_sql, fts_params)
+            )
+            assert fts_ids == token_ids
+        assert token_ids == {f"a{i:04d}" for i in range(40)}

@@ -1,0 +1,131 @@
+"""Bounded top-K heap and merge tests."""
+
+import numpy as np
+import pytest
+
+from repro.query.heap import (
+    TopKHeap,
+    merge_topk,
+    topk_from_distances,
+)
+
+
+class TestTopKHeap:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TopKHeap(0)
+
+    def test_keeps_k_smallest(self):
+        heap = TopKHeap(3)
+        for i, d in enumerate([5.0, 1.0, 4.0, 2.0, 3.0]):
+            heap.push(f"a{i}", d)
+        dists = [c.distance for c in heap.sorted_candidates()]
+        assert dists == [1.0, 2.0, 3.0]
+
+    def test_push_returns_retained(self):
+        heap = TopKHeap(2)
+        assert heap.push("a", 1.0) is True
+        assert heap.push("b", 2.0) is True
+        assert heap.push("c", 3.0) is False  # worse than both
+        assert heap.push("d", 0.5) is True
+
+    def test_worst_distance_threshold(self):
+        heap = TopKHeap(2)
+        assert heap.worst_distance() == float("inf")
+        heap.push("a", 1.0)
+        assert heap.worst_distance() == float("inf")  # not yet full
+        heap.push("b", 3.0)
+        assert heap.worst_distance() == 3.0
+        heap.push("c", 2.0)
+        assert heap.worst_distance() == 2.0
+
+    def test_sorted_candidates_deterministic_ties(self):
+        heap = TopKHeap(3)
+        heap.push("b", 1.0)
+        heap.push("a", 1.0)
+        heap.push("c", 1.0)
+        ids = [c.asset_id for c in heap.sorted_candidates()]
+        assert ids == ["a", "b", "c"]
+
+    def test_tie_at_capacity_prefers_smaller_id(self):
+        heap = TopKHeap(1)
+        heap.push("z", 1.0)
+        assert heap.push("a", 1.0) is True  # same distance, smaller id
+        assert heap.sorted_candidates()[0].asset_id == "a"
+        assert heap.push("x", 1.0) is False  # larger id loses
+
+    def test_len(self):
+        heap = TopKHeap(5)
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        assert len(heap) == 2
+
+
+class TestMergeTopK:
+    def test_merge_two_heaps(self):
+        h1, h2 = TopKHeap(3), TopKHeap(3)
+        for i, d in enumerate([1.0, 3.0, 5.0]):
+            h1.push(f"x{i}", d)
+        for i, d in enumerate([2.0, 4.0, 6.0]):
+            h2.push(f"y{i}", d)
+        merged = merge_topk([h1, h2], 4)
+        assert [c.distance for c in merged] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_merge_dedupes_asset_ids(self):
+        h1, h2 = TopKHeap(2), TopKHeap(2)
+        h1.push("same", 1.0)
+        h2.push("same", 2.0)
+        h2.push("other", 3.0)
+        merged = merge_topk([h1, h2], 3)
+        assert [c.asset_id for c in merged] == ["same", "other"]
+        assert merged[0].distance == 1.0  # kept the closer copy
+
+    def test_merge_empty_heaps(self):
+        assert merge_topk([TopKHeap(2), TopKHeap(2)], 5) == []
+
+    def test_merge_invalid_k(self):
+        with pytest.raises(ValueError):
+            merge_topk([], 0)
+
+    def test_merge_matches_global_sort(self, rng):
+        heaps = []
+        all_pairs = []
+        for t in range(4):
+            heap = TopKHeap(10)
+            for i in range(30):
+                d = float(rng.uniform(0, 100))
+                heap.push(f"t{t}-{i}", d)
+                all_pairs.append((d, f"t{t}-{i}"))
+            heaps.append(heap)
+        merged = merge_topk(heaps, 10)
+        expected = sorted(all_pairs)[:10]
+        assert [(c.distance, c.asset_id) for c in merged] == expected
+
+
+class TestTopKFromDistances:
+    def test_matches_full_sort(self, rng):
+        ids = [f"a{i:03d}" for i in range(100)]
+        dist = rng.uniform(0, 10, size=100)
+        got = topk_from_distances(ids, dist, 7)
+        expected = sorted(zip(dist.tolist(), ids))[:7]
+        assert [(c.distance, c.asset_id) for c in got] == [
+            (pytest.approx(d), a) for d, a in expected
+        ]
+
+    def test_k_exceeds_n(self, rng):
+        ids = ["a", "b"]
+        got = topk_from_distances(ids, np.array([2.0, 1.0]), 10)
+        assert [c.asset_id for c in got] == ["b", "a"]
+
+    def test_empty_input(self):
+        assert topk_from_distances([], np.empty(0), 5) == []
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            topk_from_distances(["a"], np.array([1.0, 2.0]), 1)
+
+    def test_deterministic_ties(self):
+        ids = ["c", "a", "b"]
+        dist = np.array([1.0, 1.0, 1.0])
+        got = topk_from_distances(ids, dist, 2)
+        assert [c.asset_id for c in got] == ["a", "b"]

@@ -1,0 +1,114 @@
+"""Hybrid query planner tests (paper §3.5.1, Eq. 2/3)."""
+
+import pytest
+
+from repro.core.types import PlanKind
+from repro.query.filters import Eq
+from repro.query.planner import HybridQueryPlanner
+from repro.query.selectivity import ColumnStats, SelectivityEstimator
+
+
+def make_estimator(red_fraction: float, total: int = 10_000):
+    stats = {
+        "color": ColumnStats(
+            attribute="color",
+            sql_type="TEXT",
+            row_count=total,
+            null_count=0,
+            n_distinct=2,
+            mcvs=(
+                ("red", red_fraction),
+                ("blue", 1.0 - red_fraction),
+            ),
+        )
+    }
+    return SelectivityEstimator(stats, total_rows=total)
+
+
+class TestIVFSelectivity:
+    def test_formula(self):
+        planner = HybridQueryPlanner(
+            make_estimator(0.5), total_vectors=10_000,
+            target_partition_size=100,
+        )
+        # F_IVF = n * p / |R| = 8 * 100 / 10000.
+        assert planner.ivf_selectivity(8) == pytest.approx(0.08)
+
+    def test_clamped_to_one(self):
+        planner = HybridQueryPlanner(
+            make_estimator(0.5), total_vectors=100,
+            target_partition_size=100,
+        )
+        assert planner.ivf_selectivity(50) == 1.0
+
+    def test_empty_collection(self):
+        planner = HybridQueryPlanner(
+            make_estimator(0.5), total_vectors=0, target_partition_size=100
+        )
+        assert planner.ivf_selectivity(8) == 1.0
+
+    def test_invalid_partition_size(self):
+        with pytest.raises(ValueError):
+            HybridQueryPlanner(
+                make_estimator(0.5), total_vectors=10,
+                target_partition_size=0,
+            )
+
+
+class TestPlanChoice:
+    def test_selective_predicate_prefilters(self):
+        # 0.1% of rows are red << F_IVF (8%) -> pre-filter, 100% recall.
+        planner = HybridQueryPlanner(
+            make_estimator(0.001), total_vectors=10_000,
+            target_partition_size=100,
+        )
+        decision = planner.choose(Eq("color", "red"), nprobe=8)
+        assert decision.kind is PlanKind.PRE_FILTER
+        assert decision.estimated_selectivity == pytest.approx(0.001)
+        assert decision.estimated_cardinality == 10
+
+    def test_unselective_predicate_postfilters(self):
+        # 95% of rows are red >> F_IVF (8%) -> post-filter.
+        planner = HybridQueryPlanner(
+            make_estimator(0.95), total_vectors=10_000,
+            target_partition_size=100,
+        )
+        decision = planner.choose(Eq("color", "red"), nprobe=8)
+        assert decision.kind is PlanKind.POST_FILTER
+
+    def test_threshold_boundary(self):
+        # Exactly at F_IVF the planner post-filters (strict <).
+        planner = HybridQueryPlanner(
+            make_estimator(0.08), total_vectors=10_000,
+            target_partition_size=100,
+        )
+        assert (
+            planner.choose(Eq("color", "red"), nprobe=8).kind
+            is PlanKind.POST_FILTER
+        )
+
+    def test_nprobe_moves_threshold(self):
+        # A 10% predicate: post-filter at nprobe=8 (F_IVF=8%), but
+        # pre-filter at nprobe=16 (F_IVF=16%) — more probes make the
+        # IVF scan less selective than the attribute filter.
+        planner = HybridQueryPlanner(
+            make_estimator(0.10), total_vectors=10_000,
+            target_partition_size=100,
+        )
+        assert (
+            planner.choose(Eq("color", "red"), nprobe=8).kind
+            is PlanKind.POST_FILTER
+        )
+        assert (
+            planner.choose(Eq("color", "red"), nprobe=16).kind
+            is PlanKind.PRE_FILTER
+        )
+
+    def test_decision_reports_both_factors(self):
+        planner = HybridQueryPlanner(
+            make_estimator(0.3), total_vectors=10_000,
+            target_partition_size=100,
+        )
+        decision = planner.choose(Eq("color", "red"), nprobe=8)
+        assert decision.ivf_selectivity == pytest.approx(0.08)
+        assert decision.estimated_selectivity == pytest.approx(0.3)

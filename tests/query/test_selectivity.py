@@ -1,0 +1,249 @@
+"""Selectivity estimation tests: statistics collection and the estimator."""
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig
+from repro.query.filters import (
+    And,
+    Between,
+    Eq,
+    Gt,
+    In,
+    IsNull,
+    Le,
+    Lt,
+    Match,
+    Ne,
+    Not,
+    Or,
+)
+from repro.query.fts import TokenStats
+from repro.query.selectivity import (
+    ColumnStats,
+    SelectivityEstimator,
+    collect_statistics,
+    load_statistics,
+)
+
+
+@pytest.fixture
+def db(tmp_path, rng):
+    config = MicroNNConfig(
+        dim=4,
+        attributes={"color": "TEXT", "n": "INTEGER", "tags": "TEXT"},
+        fts_attributes=("tags",),
+    )
+    database = MicroNN.open(tmp_path / "s.db", config)
+    colors = ["red"] * 50 + ["blue"] * 30 + ["green"] * 20
+    database.upsert_batch(
+        (
+            f"a{i:04d}",
+            rng.normal(size=4).astype(np.float32),
+            {
+                "color": colors[i],
+                "n": i,
+                "tags": "common " + ("rare" if i < 5 else "filler"),
+            },
+        )
+        for i in range(100)
+    )
+    database.refresh_statistics()
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def estimator(db):
+    stats = load_statistics(db.engine)
+    return SelectivityEstimator(
+        stats, token_stats=TokenStats(db.engine), total_rows=100
+    )
+
+
+class TestStatisticsCollection:
+    def test_row_counts(self, db):
+        stats = load_statistics(db.engine)
+        assert stats["color"].row_count == 100
+        assert stats["color"].null_count == 0
+
+    def test_distinct_counts(self, db):
+        stats = load_statistics(db.engine)
+        assert stats["color"].n_distinct == 3
+        assert stats["n"].n_distinct == 100
+
+    def test_mcvs_capture_frequencies(self, db):
+        stats = load_statistics(db.engine)
+        mcvs = dict(stats["color"].mcvs)
+        assert mcvs["red"] == pytest.approx(0.5)
+        assert mcvs["blue"] == pytest.approx(0.3)
+        assert mcvs["green"] == pytest.approx(0.2)
+
+    def test_numeric_histogram_boundaries(self, db):
+        stats = load_statistics(db.engine)
+        hist = stats["n"].histogram
+        assert hist[0] == 0.0
+        assert hist[-1] == 99.0
+        assert list(hist) == sorted(hist)
+
+    def test_text_has_no_histogram(self, db):
+        stats = load_statistics(db.engine)
+        assert stats["color"].histogram == ()
+
+    def test_json_roundtrip(self, db):
+        stats = load_statistics(db.engine)
+        for cs in stats.values():
+            clone = ColumnStats.from_json(cs.to_json())
+            assert clone == cs
+
+    def test_collect_persists(self, db):
+        fresh = collect_statistics(db.engine, db.config)
+        stored = load_statistics(db.engine)
+        assert set(fresh) == set(stored)
+
+
+class TestEqualityEstimates:
+    def test_mcv_exact(self, estimator):
+        assert estimator.estimate_factor(Eq("color", "red")) == pytest.approx(
+            0.5
+        )
+
+    def test_unseen_value(self, estimator):
+        # All 3 colors are MCVs, so an unseen value estimates ~0.
+        assert estimator.estimate_factor(Eq("color", "purple")) == 0.0
+
+    def test_ne_complements_eq(self, estimator):
+        eq = estimator.estimate_factor(Eq("color", "red"))
+        ne = estimator.estimate_factor(Ne("color", "red"))
+        assert eq + ne == pytest.approx(1.0)
+
+    def test_in_sums(self, estimator):
+        got = estimator.estimate_factor(In("color", ["red", "blue"]))
+        assert got == pytest.approx(0.8)
+
+    def test_uniform_column_eq(self, estimator):
+        # n has 100 distinct values, 16 MCVs with 1% each; the remaining
+        # mass spreads over 84 values → 1% each either way.
+        got = estimator.estimate_factor(Eq("n", 50))
+        assert got == pytest.approx(0.01, abs=0.005)
+
+
+class TestRangeEstimates:
+    def test_half_range(self, estimator):
+        got = estimator.estimate_factor(Lt("n", 50))
+        assert got == pytest.approx(0.5, abs=0.1)
+
+    def test_quarter_range(self, estimator):
+        got = estimator.estimate_factor(Le("n", 25))
+        assert got == pytest.approx(0.25, abs=0.1)
+
+    def test_gt_complements_le(self, estimator):
+        le = estimator.estimate_factor(Le("n", 30))
+        gt = estimator.estimate_factor(Gt("n", 30))
+        assert le + gt == pytest.approx(1.0, abs=0.05)
+
+    def test_out_of_range_low(self, estimator):
+        assert estimator.estimate_factor(Lt("n", -10)) == pytest.approx(
+            0.0, abs=0.01
+        )
+
+    def test_out_of_range_high(self, estimator):
+        assert estimator.estimate_factor(Gt("n", 1000)) == pytest.approx(
+            0.0, abs=0.01
+        )
+
+    def test_between(self, estimator):
+        got = estimator.estimate_factor(Between("n", 25, 75))
+        assert got == pytest.approx(0.5, abs=0.1)
+
+    def test_empty_between(self, estimator):
+        assert estimator.estimate_factor(Between("n", 80, 20)) == 0.0
+
+    def test_text_inequality_falls_back(self, estimator):
+        got = estimator.estimate_factor(Gt("color", "m"))
+        assert got == pytest.approx(1 / 3)
+
+
+class TestMatchEstimates:
+    def test_common_token(self, estimator):
+        got = estimator.estimate_factor(Match("tags", "common"))
+        assert got == pytest.approx(1.0)
+
+    def test_rare_token(self, estimator):
+        got = estimator.estimate_factor(Match("tags", "rare"))
+        assert got == pytest.approx(0.05)
+
+    def test_conjunction_multiplies(self, estimator):
+        got = estimator.estimate_factor(Match("tags", "common rare"))
+        assert got == pytest.approx(0.05)
+
+    def test_absent_token_is_zero(self, estimator):
+        assert estimator.estimate_factor(Match("tags", "zebra")) == 0.0
+
+
+class TestCombinators:
+    def test_and_takes_min(self, estimator):
+        # Paper: minimum over conjunctions.
+        got = estimator.estimate_factor(
+            And(Eq("color", "red"), Eq("color", "green"))
+        )
+        assert got == pytest.approx(0.2)
+
+    def test_or_sums(self, estimator):
+        got = estimator.estimate_factor(
+            Or(Eq("color", "blue"), Eq("color", "green"))
+        )
+        assert got == pytest.approx(0.5)
+
+    def test_or_clamped_to_one(self, estimator):
+        got = estimator.estimate_factor(
+            Or(Eq("color", "red"), Eq("color", "blue"), Eq("color", "green"),
+               Match("tags", "common"))
+        )
+        assert got == 1.0
+
+    def test_not_complements(self, estimator):
+        got = estimator.estimate_factor(Not(Eq("color", "red")))
+        assert got == pytest.approx(0.5)
+
+    def test_isnull_zero_nulls(self, estimator):
+        assert estimator.estimate_factor(IsNull("color")) == 0.0
+        assert estimator.estimate_factor(
+            IsNull("color", negate=True)
+        ) == 1.0
+
+
+class TestCardinality:
+    def test_cardinality_scales_factor(self, estimator):
+        assert estimator.estimate_cardinality(Eq("color", "red")) == 50
+
+    def test_cardinality_clamped_to_total(self, estimator):
+        pred = Or(*[Eq("color", c) for c in ("red", "blue", "green")],
+                  Match("tags", "common"))
+        assert estimator.estimate_cardinality(pred) == 100
+
+    def test_empty_estimator_defaults(self):
+        est = SelectivityEstimator({}, total_rows=0)
+        assert est.estimate_cardinality(Eq("color", "x")) == 0
+        assert 0.0 <= est.estimate_factor(Eq("color", "x")) <= 1.0
+
+
+class TestNullHandling:
+    def test_null_fraction_reflected(self, tmp_path, rng):
+        config = MicroNNConfig(dim=4, attributes={"v": "INTEGER"})
+        with MicroNN.open(tmp_path / "n.db", config) as db:
+            db.upsert_batch(
+                (
+                    f"a{i}",
+                    rng.normal(size=4).astype(np.float32),
+                    {"v": i} if i < 25 else {},
+                )
+                for i in range(100)
+            )
+            db.refresh_statistics()
+            stats = load_statistics(db.engine)
+            assert stats["v"].null_fraction == pytest.approx(0.75)
+            est = SelectivityEstimator(stats, total_rows=100)
+            assert est.estimate_factor(IsNull("v")) == pytest.approx(0.75)
+            # Range estimates only cover the non-null fraction.
+            assert est.estimate_factor(Le("v", 24)) <= 0.26

@@ -1,0 +1,143 @@
+"""Partition cache (LRU, byte-budgeted) tests."""
+
+import numpy as np
+
+from repro.storage.cache import CachedPartition, PartitionCache
+from repro.storage.memory import MemoryTracker
+
+
+def make_entry(pid: int, rows: int = 10, dim: int = 8) -> CachedPartition:
+    return CachedPartition(
+        partition_id=pid,
+        asset_ids=tuple(f"a{pid}-{i}" for i in range(rows)),
+        vector_ids=tuple(range(rows)),
+        matrix=np.zeros((rows, dim), dtype=np.float32),
+    )
+
+
+def entry_bytes(rows: int = 10, dim: int = 8) -> int:
+    return rows * dim * 4 + 16 * rows
+
+
+class TestBasicOps:
+    def test_get_missing_returns_none(self):
+        cache = PartitionCache(budget_bytes=10_000)
+        assert cache.get(1) is None
+
+    def test_put_then_get(self):
+        cache = PartitionCache(budget_bytes=10_000)
+        entry = make_entry(1)
+        assert cache.put(entry) is True
+        assert cache.get(1) is entry
+        assert 1 in cache
+
+    def test_len_and_used_bytes(self):
+        cache = PartitionCache(budget_bytes=10_000)
+        cache.put(make_entry(1))
+        cache.put(make_entry(2))
+        assert len(cache) == 2
+        assert cache.used_bytes == 2 * entry_bytes()
+
+    def test_put_replaces_same_partition(self):
+        cache = PartitionCache(budget_bytes=10_000)
+        cache.put(make_entry(1, rows=10))
+        cache.put(make_entry(1, rows=5))
+        assert len(cache) == 1
+        assert cache.used_bytes == entry_bytes(rows=5)
+
+    def test_oversized_entry_rejected(self):
+        cache = PartitionCache(budget_bytes=100)
+        assert cache.put(make_entry(1, rows=100)) is False
+        assert len(cache) == 0
+
+    def test_zero_budget_caches_nothing(self):
+        cache = PartitionCache(budget_bytes=0)
+        assert cache.put(make_entry(1)) is False
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        budget = entry_bytes() * 2
+        cache = PartitionCache(budget_bytes=budget)
+        cache.put(make_entry(1))
+        cache.put(make_entry(2))
+        cache.put(make_entry(3))  # evicts 1 (least recently used)
+        assert 1 not in cache
+        assert 2 in cache
+        assert 3 in cache
+
+    def test_get_refreshes_recency(self):
+        budget = entry_bytes() * 2
+        cache = PartitionCache(budget_bytes=budget)
+        cache.put(make_entry(1))
+        cache.put(make_entry(2))
+        cache.get(1)  # 1 is now most recent
+        cache.put(make_entry(3))  # evicts 2
+        assert 1 in cache
+        assert 2 not in cache
+
+    def test_budget_respected(self):
+        budget = entry_bytes() * 3 + 10
+        cache = PartitionCache(budget_bytes=budget)
+        for pid in range(10):
+            cache.put(make_entry(pid))
+        assert cache.used_bytes <= budget
+        assert len(cache) == 3
+
+
+class TestInvalidation:
+    def test_invalidate_one(self):
+        cache = PartitionCache(budget_bytes=10_000)
+        cache.put(make_entry(1))
+        cache.put(make_entry(2))
+        cache.invalidate(1)
+        assert 1 not in cache
+        assert 2 in cache
+        assert cache.used_bytes == entry_bytes()
+
+    def test_invalidate_missing_is_noop(self):
+        cache = PartitionCache(budget_bytes=10_000)
+        cache.invalidate(99)
+
+    def test_clear(self):
+        cache = PartitionCache(budget_bytes=10_000)
+        cache.put(make_entry(1))
+        cache.put(make_entry(2))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+
+class TestTrackerIntegration:
+    def test_tracker_follows_cache_usage(self):
+        tracker = MemoryTracker()
+        cache = PartitionCache(budget_bytes=10_000, tracker=tracker)
+        cache.put(make_entry(1))
+        assert tracker.current_bytes == entry_bytes()
+        cache.invalidate(1)
+        assert tracker.current_bytes == 0
+
+    def test_tracker_follows_eviction(self):
+        tracker = MemoryTracker()
+        cache = PartitionCache(
+            budget_bytes=entry_bytes() * 2, tracker=tracker
+        )
+        for pid in range(5):
+            cache.put(make_entry(pid))
+        assert tracker.current_bytes == cache.used_bytes
+
+    def test_tracker_cleared_on_clear(self):
+        tracker = MemoryTracker()
+        cache = PartitionCache(budget_bytes=10_000, tracker=tracker)
+        cache.put(make_entry(1))
+        cache.clear()
+        assert tracker.current_bytes == 0
+
+
+class TestCachedPartition:
+    def test_nbytes_accounts_matrix_and_ids(self):
+        entry = make_entry(1, rows=10, dim=8)
+        assert entry.nbytes == 10 * 8 * 4 + 16 * 10
+
+    def test_len(self):
+        assert len(make_entry(1, rows=7)) == 7

@@ -1,0 +1,101 @@
+"""Vector blob codec tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError, StorageError
+from repro.storage.codec import (
+    VECTOR_DTYPE,
+    decode_matrix,
+    decode_vector,
+    encode_matrix,
+    encode_vector,
+)
+
+
+class TestEncodeVector:
+    def test_roundtrip(self, rng):
+        vec = rng.normal(size=16).astype(np.float32)
+        blob = encode_vector(vec, 16)
+        np.testing.assert_array_equal(decode_vector(blob, 16), vec)
+
+    def test_blob_size(self):
+        blob = encode_vector(np.zeros(10, dtype=np.float32), 10)
+        assert len(blob) == 40
+
+    def test_accepts_lists(self):
+        blob = encode_vector([1.0, 2.0, 3.0], 3)
+        np.testing.assert_array_equal(
+            decode_vector(blob, 3), np.array([1, 2, 3], dtype=np.float32)
+        )
+
+    def test_downcasts_float64(self, rng):
+        vec64 = rng.normal(size=4)
+        blob = encode_vector(vec64, 4)
+        np.testing.assert_allclose(
+            decode_vector(blob, 4), vec64.astype(np.float32)
+        )
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(DimensionMismatchError) as err:
+            encode_vector(np.zeros(5), 4)
+        assert err.value.expected == 4
+        assert err.value.actual == 5
+
+    def test_2d_rejected(self):
+        with pytest.raises(StorageError, match="1-D"):
+            encode_vector(np.zeros((2, 2)), 4)
+
+    def test_nan_rejected(self):
+        vec = np.array([1.0, np.nan, 3.0], dtype=np.float32)
+        with pytest.raises(StorageError, match="NaN"):
+            encode_vector(vec, 3)
+
+    def test_inf_rejected(self):
+        vec = np.array([1.0, np.inf], dtype=np.float32)
+        with pytest.raises(StorageError):
+            encode_vector(vec, 2)
+
+
+class TestDecodeVector:
+    def test_wrong_blob_size_rejected(self):
+        with pytest.raises(StorageError, match="bytes"):
+            decode_vector(b"\x00" * 12, 4)
+
+    def test_dtype_is_little_endian_f4(self):
+        blob = encode_vector(np.ones(2, dtype=np.float32), 2)
+        decoded = decode_vector(blob, 2)
+        assert decoded.dtype == VECTOR_DTYPE
+
+
+class TestMatrixCodec:
+    def test_roundtrip(self, rng):
+        matrix = rng.normal(size=(5, 8)).astype(np.float32)
+        blobs = encode_matrix(matrix)
+        assert len(blobs) == 5
+        np.testing.assert_array_equal(decode_matrix(blobs, 8), matrix)
+
+    def test_empty_matrix(self):
+        out = decode_matrix([], 8)
+        assert out.shape == (0, 8)
+        assert out.dtype == VECTOR_DTYPE
+
+    def test_matrix_is_contiguous(self, rng):
+        blobs = encode_matrix(rng.normal(size=(3, 4)).astype(np.float32))
+        assert decode_matrix(blobs, 4).flags["C_CONTIGUOUS"]
+
+    def test_inconsistent_blob_rejected(self, rng):
+        blobs = encode_matrix(rng.normal(size=(2, 4)).astype(np.float32))
+        blobs.append(b"\x00" * 8)
+        with pytest.raises(StorageError):
+            decode_matrix(blobs, 4)
+
+    def test_encode_non_2d_rejected(self):
+        with pytest.raises(StorageError, match="2-D"):
+            encode_matrix(np.zeros(4))
+
+    def test_encode_nan_matrix_rejected(self):
+        matrix = np.zeros((2, 2), dtype=np.float32)
+        matrix[1, 1] = np.nan
+        with pytest.raises(StorageError):
+            encode_matrix(matrix)

@@ -1,0 +1,183 @@
+"""Concurrency tests: single writer, snapshot-isolated readers (§3.6)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig
+
+
+@pytest.fixture
+def config():
+    return MicroNNConfig(
+        dim=8, target_cluster_size=10, kmeans_iterations=10,
+        default_nprobe=3,
+    )
+
+
+def populate(db, rng, count=150, prefix="a"):
+    vecs = rng.normal(size=(count, 8)).astype(np.float32)
+    db.upsert_batch((f"{prefix}{i:04d}", vecs[i]) for i in range(count))
+    return vecs
+
+
+class TestConcurrentReadersWriter:
+    def test_readers_survive_concurrent_writes(self, tmp_path, config, rng):
+        db = MicroNN.open(tmp_path / "c.db", config)
+        try:
+            populate(db, rng)
+            db.build_index()
+            errors: list[str] = []
+            stop = threading.Event()
+
+            def reader():
+                local_rng = np.random.default_rng(1)
+                while not stop.is_set():
+                    q = local_rng.normal(size=8).astype(np.float32)
+                    result = db.search(q, k=5)
+                    if len(result) < 5:
+                        errors.append(f"short result {len(result)}")
+
+            def writer():
+                local_rng = np.random.default_rng(2)
+                for i in range(60):
+                    db.upsert(
+                        f"w{i}", local_rng.normal(size=8).astype(np.float32)
+                    )
+
+            readers = [threading.Thread(target=reader) for _ in range(4)]
+            w = threading.Thread(target=writer)
+            for t in readers:
+                t.start()
+            w.start()
+            w.join(timeout=30)
+            time.sleep(0.2)
+            stop.set()
+            for t in readers:
+                t.join(timeout=30)
+            assert not errors
+            assert len(db) == 210
+        finally:
+            db.close()
+
+    def test_readers_during_rebuild(self, tmp_path, config, rng):
+        db = MicroNN.open(tmp_path / "c.db", config)
+        try:
+            populate(db, rng)
+            db.build_index()
+            errors: list[str] = []
+            done = threading.Event()
+
+            def reader():
+                local_rng = np.random.default_rng(3)
+                while not done.is_set():
+                    result = db.search(
+                        local_rng.normal(size=8).astype(np.float32), k=5
+                    )
+                    # Every reader must always see the full collection:
+                    # mid-rebuild snapshots still contain all vectors.
+                    if len(result) != 5:
+                        errors.append(f"short result {len(result)}")
+
+            readers = [threading.Thread(target=reader) for _ in range(3)]
+            for t in readers:
+                t.start()
+            for _ in range(3):
+                db.build_index()
+            done.set()
+            for t in readers:
+                t.join(timeout=30)
+            assert not errors
+        finally:
+            db.close()
+
+    def test_writes_are_serialized(self, tmp_path, config, rng):
+        db = MicroNN.open(tmp_path / "c.db", config)
+        try:
+            n_threads, per_thread = 6, 30
+
+            def writer(tid: int):
+                local_rng = np.random.default_rng(tid)
+                for i in range(per_thread):
+                    db.upsert(
+                        f"t{tid}-{i}",
+                        local_rng.normal(size=8).astype(np.float32),
+                    )
+
+            threads = [
+                threading.Thread(target=writer, args=(t,))
+                for t in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert len(db) == n_threads * per_thread
+        finally:
+            db.close()
+
+    def test_concurrent_maintenance_and_queries(self, tmp_path, config, rng):
+        from repro.core.types import MaintenanceAction
+
+        db = MicroNN.open(tmp_path / "c.db", config)
+        try:
+            vecs = populate(db, rng)
+            db.build_index()
+            for i in range(30):
+                db.upsert(
+                    f"new{i}", rng.normal(size=8).astype(np.float32)
+                )
+            errors: list[str] = []
+            done = threading.Event()
+
+            def reader():
+                while not done.is_set():
+                    result = db.search(vecs[0], k=3)
+                    if result[0].asset_id != "a0000":
+                        errors.append(result[0].asset_id)
+
+            t = threading.Thread(target=reader)
+            t.start()
+            db.maintain(force=MaintenanceAction.INCREMENTAL_FLUSH)
+            db.maintain(force=MaintenanceAction.FULL_REBUILD)
+            done.set()
+            t.join(timeout=30)
+            assert not errors
+            assert db.index_stats().delta_vectors == 0
+        finally:
+            db.close()
+
+
+class TestSnapshotIsolation:
+    def test_read_snapshot_is_stable(self, tmp_path, config, rng):
+        """A read transaction pins its snapshot despite commits."""
+        db = MicroNN.open(tmp_path / "c.db", config)
+        try:
+            populate(db, rng, count=20)
+            engine = db.engine
+            with engine.read_snapshot() as conn:
+                before = conn.execute(
+                    "SELECT COUNT(*) FROM vectors"
+                ).fetchone()[0]
+                committed = threading.Event()
+
+                def writer():
+                    db.upsert(
+                        "sneaky", np.zeros(8, dtype=np.float32)
+                    )
+                    committed.set()
+
+                t = threading.Thread(target=writer)
+                t.start()
+                assert committed.wait(timeout=30)
+                t.join()
+                during = conn.execute(
+                    "SELECT COUNT(*) FROM vectors"
+                ).fetchone()[0]
+                assert during == before  # snapshot unchanged
+            # After the snapshot is released the write is visible.
+            assert len(db) == before + 1
+        finally:
+            db.close()

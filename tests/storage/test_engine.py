@@ -1,0 +1,301 @@
+"""Storage engine tests: schema, CRUD, partitions, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
+from repro.core.errors import StorageError, UnknownAttributeError
+from repro.query.filters import default_tokenizer
+from repro.storage.engine import StorageEngine, VectorRecord
+
+
+@pytest.fixture
+def config() -> MicroNNConfig:
+    return MicroNNConfig(
+        dim=4,
+        attributes={"color": "TEXT", "n": "INTEGER"},
+    )
+
+
+@pytest.fixture
+def engine(tmp_path, config):
+    eng = StorageEngine(
+        tmp_path / "e.db", config, tokenizer=default_tokenizer
+    )
+    yield eng
+    eng.close()
+
+
+def rec(asset_id: str, seed: int, **attrs) -> VectorRecord:
+    rng = np.random.default_rng(seed)
+    return VectorRecord(
+        asset_id, rng.normal(size=4).astype(np.float32), attrs
+    )
+
+
+class TestUpsertDelete:
+    def test_upsert_lands_in_delta(self, engine):
+        engine.upsert_batch([rec("a", 1)])
+        assert engine.get_partition_of("a") == DELTA_PARTITION_ID
+        assert engine.delta_size() == 1
+
+    def test_upsert_empty_batch(self, engine):
+        assert engine.upsert_batch([]) == 0
+
+    def test_upsert_replaces(self, engine):
+        engine.upsert_batch([rec("a", 1)])
+        engine.upsert_batch([rec("a", 2)])
+        assert engine.count_vectors() == 1
+
+    def test_vector_ids_unique_and_monotonic(self, engine):
+        engine.upsert_batch([rec("a", 1), rec("b", 2)])
+        engine.upsert_batch([rec("c", 3)])
+        delta = engine.load_partition(DELTA_PARTITION_ID)
+        assert len(set(delta.vector_ids)) == 3
+        assert sorted(delta.vector_ids) == list(delta.vector_ids) or True
+
+    def test_unknown_attribute_rejected(self, engine):
+        with pytest.raises(UnknownAttributeError):
+            engine.upsert_batch([rec("a", 1, ghost=5)])
+
+    def test_delete_counts(self, engine):
+        engine.upsert_batch([rec("a", 1), rec("b", 2)])
+        assert engine.delete_assets(["a", "missing"]) == 1
+        assert engine.count_vectors() == 1
+
+    def test_delete_empty_list(self, engine):
+        assert engine.delete_assets([]) == 0
+
+    def test_rows_written_accounting(self, engine):
+        before = engine.accountant.rows_written
+        engine.upsert_batch([rec("a", 1)])
+        assert engine.accountant.rows_written > before
+
+
+class TestPartitions:
+    def test_set_partition_assignments(self, engine):
+        engine.upsert_batch([rec("a", 1), rec("b", 2)])
+        engine.replace_centroids(
+            np.zeros((2, 4), dtype=np.float32), [0, 0]
+        )
+        engine.set_partition_assignments([("a", 0), ("b", 1)])
+        assert engine.get_partition_of("a") == 0
+        assert engine.get_partition_of("b") == 1
+        assert engine.delta_size() == 0
+
+    def test_partition_sizes(self, engine):
+        engine.upsert_batch([rec(f"x{i}", i) for i in range(6)])
+        engine.set_partition_assignments(
+            [(f"x{i}", i % 2) for i in range(6)]
+        )
+        sizes = engine.partition_sizes()
+        assert sizes == {0: 3, 1: 3}
+
+    def test_partition_sizes_excludes_delta_by_default(self, engine):
+        engine.upsert_batch([rec("a", 1)])
+        assert engine.partition_sizes() == {}
+        assert engine.partition_sizes(include_delta=True) == {
+            DELTA_PARTITION_ID: 1
+        }
+
+    def test_load_partition_roundtrip(self, engine):
+        records = [rec(f"x{i}", i) for i in range(3)]
+        engine.upsert_batch(records)
+        entry = engine.load_partition(DELTA_PARTITION_ID)
+        assert set(entry.asset_ids) == {"x0", "x1", "x2"}
+        for record in records:
+            idx = entry.asset_ids.index(record.asset_id)
+            np.testing.assert_allclose(
+                entry.matrix[idx], record.vector, rtol=1e-6
+            )
+
+    def test_load_partition_caches(self, engine):
+        engine.upsert_batch([rec("a", 1)])
+        engine.load_partition(DELTA_PARTITION_ID)
+        before = engine.accountant.snapshot()
+        engine.load_partition(DELTA_PARTITION_ID)
+        delta = engine.accountant.delta_since(before)
+        assert delta.cache_hits == 1
+        assert delta.bytes_read == 0
+
+    def test_upsert_invalidates_delta_cache(self, engine):
+        engine.upsert_batch([rec("a", 1)])
+        engine.load_partition(DELTA_PARTITION_ID)
+        engine.upsert_batch([rec("b", 2)])
+        entry = engine.load_partition(DELTA_PARTITION_ID)
+        assert len(entry) == 2
+
+    def test_empty_partition(self, engine):
+        entry = engine.load_partition(42)
+        assert len(entry) == 0
+        assert entry.matrix.shape == (0, 4)
+
+
+class TestCentroids:
+    def test_replace_and_load(self, engine, rng):
+        centroids = rng.normal(size=(3, 4)).astype(np.float32)
+        engine.replace_centroids(centroids, [10, 20, 30])
+        ids, matrix = engine.load_centroids()
+        np.testing.assert_array_equal(ids, [0, 1, 2])
+        np.testing.assert_allclose(matrix, centroids, rtol=1e-6)
+
+    def test_centroid_count(self, engine, rng):
+        engine.replace_centroids(
+            rng.normal(size=(5, 4)).astype(np.float32), [1] * 5
+        )
+        assert engine.centroid_count() == 5
+
+    def test_length_mismatch_rejected(self, engine, rng):
+        with pytest.raises(StorageError):
+            engine.replace_centroids(
+                rng.normal(size=(3, 4)).astype(np.float32), [1]
+            )
+
+    def test_update_centroids(self, engine, rng):
+        engine.replace_centroids(
+            np.zeros((2, 4), dtype=np.float32), [0, 0]
+        )
+        new = rng.normal(size=4).astype(np.float32)
+        engine.update_centroids({1: (new, 7)})
+        _, matrix = engine.load_centroids()
+        np.testing.assert_allclose(matrix[1], new, rtol=1e-6)
+
+    def test_centroid_cache_dropped_on_write(self, engine, rng):
+        engine.replace_centroids(
+            np.zeros((2, 4), dtype=np.float32), [0, 0]
+        )
+        engine.load_centroids()
+        new = rng.normal(size=(2, 4)).astype(np.float32)
+        engine.replace_centroids(new, [0, 0])
+        _, matrix = engine.load_centroids()
+        np.testing.assert_allclose(matrix, new, rtol=1e-6)
+
+    def test_empty_centroids(self, engine):
+        ids, matrix = engine.load_centroids()
+        assert len(ids) == 0
+        assert matrix.shape == (0, 4)
+
+
+class TestAttributeQueries:
+    def test_query_attribute_ids(self, engine):
+        engine.upsert_batch(
+            [rec("a", 1, color="red"), rec("b", 2, color="blue")]
+        )
+        ids = engine.query_attribute_ids("color = ?", ["red"])
+        assert ids == ["a"]
+
+    def test_count_attribute_rows(self, engine):
+        engine.upsert_batch([rec("a", 1, n=1), rec("b", 2, n=2)])
+        assert engine.count_attribute_rows() == 2
+        assert engine.count_attribute_rows("n > ?", [1]) == 1
+
+    def test_get_attributes(self, engine):
+        engine.upsert_batch([rec("a", 1, color="red", n=5)])
+        assert engine.get_attributes("a") == {"color": "red", "n": 5}
+
+
+class TestVectorAccess:
+    def test_fetch_by_asset_ids(self, engine):
+        records = [rec(f"x{i}", i) for i in range(5)]
+        engine.upsert_batch(records)
+        found, matrix = engine.fetch_vectors_by_asset_ids(
+            ["x1", "x3", "missing"]
+        )
+        assert set(found) == {"x1", "x3"}
+        assert matrix.shape == (2, 4)
+
+    def test_fetch_chunking(self, engine):
+        engine.upsert_batch([rec(f"x{i}", i) for i in range(10)])
+        found, _ = engine.fetch_vectors_by_asset_ids(
+            [f"x{i}" for i in range(10)], chunk_size=3
+        )
+        assert len(found) == 10
+
+    def test_iter_vector_batches(self, engine):
+        engine.upsert_batch([rec(f"x{i}", i) for i in range(10)])
+        seen = []
+        for ids, matrix in engine.iter_vector_batches(batch_size=3):
+            assert matrix.shape[0] == len(ids)
+            assert matrix.shape[0] <= 3
+            seen.extend(ids)
+        assert sorted(seen) == sorted(f"x{i}" for i in range(10))
+
+    def test_iter_excluding_delta(self, engine):
+        engine.upsert_batch([rec("a", 1), rec("b", 2)])
+        engine.set_partition_assignments([("a", 0)])
+        all_ids = [
+            i
+            for ids, _ in engine.iter_vector_batches(include_delta=False)
+            for i in ids
+        ]
+        assert all_ids == ["a"]
+
+    def test_all_asset_ids(self, engine):
+        engine.upsert_batch([rec("b", 1), rec("a", 2)])
+        assert engine.all_asset_ids() == ["a", "b"]
+
+
+class TestTokens:
+    @pytest.fixture
+    def fts_engine(self, tmp_path):
+        config = MicroNNConfig(
+            dim=4,
+            attributes={"tags": "TEXT"},
+            fts_attributes=("tags",),
+        )
+        eng = StorageEngine(
+            tmp_path / "fts.db", config, tokenizer=default_tokenizer
+        )
+        yield eng
+        eng.close()
+
+    def test_tokens_written(self, fts_engine):
+        fts_engine.upsert_batch(
+            [
+                VectorRecord(
+                    "a",
+                    np.zeros(4, dtype=np.float32),
+                    {"tags": "Cat dog"},
+                )
+            ]
+        )
+        assert fts_engine.token_document_frequency("tags", "cat") == 1
+        assert fts_engine.token_document_frequency("tags", "dog") == 1
+        assert fts_engine.token_document_frequency("tags", "bird") == 0
+
+    def test_tokens_removed_on_delete(self, fts_engine):
+        fts_engine.upsert_batch(
+            [
+                VectorRecord(
+                    "a", np.zeros(4, dtype=np.float32), {"tags": "cat"}
+                )
+            ]
+        )
+        fts_engine.delete_assets(["a"])
+        assert fts_engine.token_document_frequency("tags", "cat") == 0
+
+    def test_tokens_replaced_on_upsert(self, fts_engine):
+        vec = np.zeros(4, dtype=np.float32)
+        fts_engine.upsert_batch([VectorRecord("a", vec, {"tags": "cat"})])
+        fts_engine.upsert_batch([VectorRecord("a", vec, {"tags": "dog"})])
+        assert fts_engine.token_document_frequency("tags", "cat") == 0
+        assert fts_engine.token_document_frequency("tags", "dog") == 1
+
+
+class TestMeta:
+    def test_meta_roundtrip(self, engine):
+        engine.set_meta("key", "value")
+        assert engine.get_meta("key") == "value"
+
+    def test_meta_upsert(self, engine):
+        engine.set_meta("key", "v1")
+        engine.set_meta("key", "v2")
+        assert engine.get_meta("key") == "v2"
+
+    def test_meta_missing(self, engine):
+        assert engine.get_meta("ghost") is None
+
+    def test_column_stats_roundtrip(self, engine):
+        engine.save_column_stats("color", '{"x": 1}')
+        assert engine.load_column_stats("color") == '{"x": 1}'
+        assert engine.load_all_column_stats() == {"color": '{"x": 1}'}

@@ -1,0 +1,113 @@
+"""Failure injection: corruption, invalid state, rollback behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig, StorageError
+from repro.core.config import DELTA_PARTITION_ID
+
+
+@pytest.fixture
+def db(tmp_path, rng):
+    config = MicroNNConfig(dim=4, target_cluster_size=5,
+                           kmeans_iterations=5)
+    database = MicroNN.open(tmp_path / "f.db", config)
+    vecs = rng.normal(size=(20, 4)).astype(np.float32)
+    database.upsert_batch((f"a{i:02d}", vecs[i]) for i in range(20))
+    yield database
+    database.close()
+
+
+def corrupt_blob(db, asset_id: str, payload: bytes) -> None:
+    """Bypass the engine and damage a stored vector blob."""
+    engine = db.engine
+    with engine.write_transaction() as conn:
+        conn.execute(
+            "UPDATE vectors SET vector=? WHERE asset_id=?",
+            (payload, asset_id),
+        )
+    engine.purge_caches()
+
+
+class TestCorruption:
+    def test_truncated_blob_detected_on_read(self, db):
+        corrupt_blob(db, "a00", b"\x00" * 7)  # not a multiple of 4*dim
+        with pytest.raises(StorageError, match="bytes"):
+            db.get_vector("a00")
+
+    def test_truncated_blob_detected_on_scan(self, db, rng):
+        corrupt_blob(db, "a00", b"\x00" * 7)
+        with pytest.raises(StorageError):
+            db.search(rng.normal(size=4).astype(np.float32), k=5)
+
+    def test_oversized_blob_detected(self, db):
+        corrupt_blob(db, "a01", b"\x00" * 32)  # dim 8 worth of bytes
+        with pytest.raises(StorageError):
+            db.get_vector("a01")
+
+    def test_other_rows_unaffected(self, db):
+        corrupt_blob(db, "a00", b"\x00" * 7)
+        assert db.get_vector("a05") is not None
+
+
+class TestTransactionalRollback:
+    def test_failed_batch_leaves_no_trace(self, db, rng):
+        before = len(db)
+        bad = [
+            ("new1", rng.normal(size=4).astype(np.float32)),
+            ("new2", np.full(4, np.nan, dtype=np.float32)),
+        ]
+        with pytest.raises(StorageError):
+            db.upsert_batch(bad)
+        assert len(db) == before
+        assert "new1" not in db
+
+    def test_failed_batch_preserves_old_version(self, db, rng):
+        original = db.get_vector("a00").copy()
+        bad = [
+            ("a00", rng.normal(size=4).astype(np.float32)),
+            ("a01", np.full(4, np.inf, dtype=np.float32)),
+        ]
+        with pytest.raises(StorageError):
+            db.upsert_batch(bad)
+        np.testing.assert_array_equal(db.get_vector("a00"), original)
+
+    def test_vector_id_counter_not_burned_visibly(self, db, rng):
+        """A rolled-back batch must not leak partially-written rows."""
+        with pytest.raises(StorageError):
+            db.upsert_batch(
+                [("x", np.full(4, np.nan, dtype=np.float32))]
+            )
+        db.upsert("y", rng.normal(size=4).astype(np.float32))
+        entry = db.engine.load_partition(DELTA_PARTITION_ID)
+        assert "x" not in entry.asset_ids
+        assert "y" in entry.asset_ids
+
+
+class TestInvalidMeta:
+    def test_meta_tampering_detected_on_reopen(self, tmp_path, rng):
+        config = MicroNNConfig(dim=4)
+        path = tmp_path / "m.db"
+        with MicroNN.open(path, config) as db:
+            db.upsert("a", rng.normal(size=4).astype(np.float32))
+            with db.engine.write_transaction() as conn:
+                conn.execute(
+                    "UPDATE meta SET value='999' WHERE key='dim'"
+                )
+        with pytest.raises(StorageError, match="dim"):
+            MicroNN.open(path, config)
+
+
+class TestDeltaSafety:
+    def test_search_with_corrupt_centroid(self, db, rng):
+        """Damaged centroid blobs surface as storage errors, not wrong
+        results."""
+        db.build_index()
+        with db.engine.write_transaction() as conn:
+            conn.execute(
+                "UPDATE centroids SET centroid=? WHERE partition_id=0",
+                (b"\x01\x02",),
+            )
+        db.engine.purge_caches()
+        with pytest.raises(StorageError):
+            db.search(rng.normal(size=4).astype(np.float32), k=3)

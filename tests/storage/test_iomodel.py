@@ -1,0 +1,77 @@
+"""I/O accountant and synthetic latency tests."""
+
+import time
+
+import pytest
+
+from repro.core.config import IOCostModel
+from repro.storage.iomodel import IOAccountant
+
+
+class TestCounters:
+    def test_read_accumulates(self):
+        acc = IOAccountant()
+        acc.record_read(100)
+        acc.record_read(50)
+        snap = acc.snapshot()
+        assert snap.bytes_read == 150
+        assert snap.read_requests == 2
+
+    def test_cache_counters(self):
+        acc = IOAccountant()
+        acc.record_cache_hit()
+        acc.record_cache_hit()
+        acc.record_cache_miss()
+        snap = acc.snapshot()
+        assert snap.cache_hits == 2
+        assert snap.cache_misses == 1
+        assert snap.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty(self):
+        assert IOAccountant().snapshot().hit_rate == 0.0
+
+    def test_rows_written(self):
+        acc = IOAccountant()
+        acc.record_rows_written(10)
+        acc.record_rows_written(5)
+        assert acc.rows_written == 15
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            IOAccountant().record_rows_written(-1)
+
+    def test_delta_since(self):
+        acc = IOAccountant()
+        acc.record_read(100)
+        before = acc.snapshot()
+        acc.record_read(40)
+        acc.record_cache_hit()
+        delta = acc.delta_since(before)
+        assert delta.bytes_read == 40
+        assert delta.read_requests == 1
+        assert delta.cache_hits == 1
+
+
+class TestLatencyInjection:
+    def test_zero_model_is_fast(self):
+        acc = IOAccountant(IOCostModel())
+        start = time.perf_counter()
+        for _ in range(100):
+            acc.record_read(10_000)
+        assert time.perf_counter() - start < 0.1
+        assert acc.snapshot().simulated_latency_s == 0.0
+
+    def test_cost_model_sleeps(self):
+        acc = IOAccountant(IOCostModel(seek_latency_s=0.01))
+        start = time.perf_counter()
+        acc.record_read(1)
+        elapsed = time.perf_counter() - start
+        assert elapsed >= 0.009
+        assert acc.snapshot().simulated_latency_s == pytest.approx(
+            0.01, abs=1e-9
+        )
+
+    def test_per_byte_cost_accumulates(self):
+        acc = IOAccountant(IOCostModel(per_byte_latency_s=1e-6))
+        acc.record_read(1000)
+        assert acc.snapshot().simulated_latency_s == pytest.approx(1e-3)

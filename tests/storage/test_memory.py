@@ -1,0 +1,121 @@
+"""MemoryTracker accounting tests."""
+
+import threading
+
+import pytest
+
+from repro.storage.memory import MemoryTracker
+
+
+class TestAllocateRelease:
+    def test_allocate_increases_current(self):
+        t = MemoryTracker()
+        t.allocate("a", 100)
+        assert t.current_bytes == 100
+
+    def test_release_decreases_current(self):
+        t = MemoryTracker()
+        t.allocate("a", 100)
+        t.release("a", 60)
+        assert t.current_bytes == 40
+
+    def test_peak_tracks_high_water_mark(self):
+        t = MemoryTracker()
+        t.allocate("a", 100)
+        t.release("a", 100)
+        t.allocate("a", 50)
+        assert t.peak_bytes == 100
+        assert t.current_bytes == 50
+
+    def test_over_release_rejected(self):
+        t = MemoryTracker()
+        t.allocate("a", 10)
+        with pytest.raises(ValueError):
+            t.release("a", 20)
+
+    def test_release_unknown_category_rejected(self):
+        t = MemoryTracker()
+        with pytest.raises(ValueError):
+            t.release("ghost", 1)
+
+    def test_negative_rejected(self):
+        t = MemoryTracker()
+        with pytest.raises(ValueError):
+            t.allocate("a", -1)
+
+    def test_categories_independent(self):
+        t = MemoryTracker()
+        t.allocate("a", 10)
+        t.allocate("b", 20)
+        snap = t.snapshot()
+        assert snap.by_category == {"a": 10, "b": 20}
+        assert snap.current_bytes == 30
+
+
+class TestSetCategory:
+    def test_set_replaces(self):
+        t = MemoryTracker()
+        t.set_category("cache", 100)
+        t.set_category("cache", 40)
+        assert t.current_bytes == 40
+
+    def test_set_updates_peak(self):
+        t = MemoryTracker()
+        t.set_category("cache", 100)
+        t.set_category("cache", 10)
+        assert t.peak_bytes == 100
+
+    def test_set_to_zero(self):
+        t = MemoryTracker()
+        t.set_category("cache", 100)
+        t.set_category("cache", 0)
+        assert t.current_bytes == 0
+
+
+class TestTransient:
+    def test_transient_scopes_allocation(self):
+        t = MemoryTracker()
+        with t.transient("work", 64):
+            assert t.current_bytes == 64
+        assert t.current_bytes == 0
+        assert t.peak_bytes == 64
+
+    def test_transient_releases_on_exception(self):
+        t = MemoryTracker()
+        with pytest.raises(RuntimeError):
+            with t.transient("work", 64):
+                raise RuntimeError("boom")
+        assert t.current_bytes == 0
+
+
+class TestSnapshot:
+    def test_snapshot_mib_helpers(self):
+        t = MemoryTracker()
+        t.allocate("a", 2 * 1024 * 1024)
+        snap = t.snapshot()
+        assert snap.current_mib == pytest.approx(2.0)
+        assert snap.peak_mib == pytest.approx(2.0)
+
+    def test_reset_peak(self):
+        t = MemoryTracker()
+        t.allocate("a", 100)
+        t.release("a", 100)
+        t.reset_peak()
+        assert t.peak_bytes == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_allocations_consistent(self):
+        t = MemoryTracker()
+
+        def work():
+            for _ in range(1000):
+                t.allocate("x", 3)
+                t.release("x", 3)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert t.current_bytes == 0

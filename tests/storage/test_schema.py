@@ -1,0 +1,125 @@
+"""Schema DDL generation tests."""
+
+import sqlite3
+
+import pytest
+
+from repro.storage import schema
+
+
+@pytest.fixture
+def conn():
+    c = sqlite3.connect(":memory:")
+    yield c
+    c.close()
+
+
+class TestAttributesDDL:
+    def test_basic_table(self, conn):
+        ddl = schema.attributes_table_ddl({"color": "TEXT", "n": "INTEGER"})
+        conn.execute(ddl)
+        cols = {
+            row[1]
+            for row in conn.execute("PRAGMA table_info(attributes)")
+        }
+        assert cols == {"asset_id", "color", "n"}
+
+    def test_no_attributes(self, conn):
+        conn.execute(schema.attributes_table_ddl({}))
+        cols = [
+            row[1]
+            for row in conn.execute("PRAGMA table_info(attributes)")
+        ]
+        assert cols == ["asset_id"]
+
+    def test_without_rowid(self):
+        ddl = schema.attributes_table_ddl({"x": "REAL"})
+        assert "WITHOUT ROWID" in ddl
+
+    def test_index_ddls(self, conn):
+        conn.execute(schema.attributes_table_ddl({"color": "TEXT"}))
+        for ddl in schema.attribute_index_ddls({"color": "TEXT"}):
+            conn.execute(ddl)
+        indexes = {
+            row[1] for row in conn.execute("PRAGMA index_list(attributes)")
+        }
+        assert "idx_attr_color" in indexes
+
+    def test_quoted_identifier_roundtrip(self, conn):
+        # Even though config validation restricts names, the DDL layer
+        # must quote defensively.
+        ddl = schema.attributes_table_ddl({"select": "TEXT"})
+        conn.execute(ddl)  # would be a syntax error unquoted
+
+
+class TestVectorsSchema:
+    def test_clustered_primary_key(self, conn):
+        conn.execute(schema.VECTORS_TABLE)
+        info = list(conn.execute("PRAGMA table_info(vectors)"))
+        pk_cols = [row[1] for row in sorted(info, key=lambda r: r[5])
+                   if row[5] > 0]
+        assert pk_cols == ["partition_id", "asset_id", "vector_id"]
+
+    def test_unique_asset_index(self, conn):
+        conn.execute(schema.VECTORS_TABLE)
+        conn.execute(schema.VECTORS_ASSET_INDEX)
+        conn.execute(
+            "INSERT INTO vectors VALUES (0, 'a', 1, x'00')"
+        )
+        with pytest.raises(sqlite3.IntegrityError):
+            conn.execute(
+                "INSERT INTO vectors VALUES (1, 'a', 2, x'00')"
+            )
+
+
+class TestFts:
+    def test_fts5_probe(self, conn):
+        # This environment ships FTS5 (checked at session start); the
+        # probe must agree and clean up after itself.
+        assert schema.fts5_available(conn) in (True, False)
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        assert "_fts5_probe" not in tables
+
+    def test_fts_table_ddl(self, conn):
+        if not schema.fts5_available(conn):
+            pytest.skip("no fts5 in this sqlite build")
+        conn.execute(schema.fts_table_ddl(("caption", "tags")))
+        conn.execute(
+            "INSERT INTO attributes_fts (asset_id, caption, tags) "
+            "VALUES ('a', 'black cat', 'pets')"
+        )
+        rows = conn.execute(
+            "SELECT asset_id FROM attributes_fts "
+            "WHERE attributes_fts MATCH 'caption : cat'"
+        ).fetchall()
+        assert rows == [("a",)]
+
+
+class TestCreateSchema:
+    def test_creates_all_tables(self, conn):
+        schema.create_schema(
+            conn, {"color": "TEXT"}, ("color",), use_fts5=False
+        )
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        assert {
+            "meta",
+            "centroids",
+            "vectors",
+            "tokens",
+            "column_stats",
+            "attributes",
+        } <= tables
+
+    def test_idempotent(self, conn):
+        for _ in range(2):
+            schema.create_schema(conn, {"c": "TEXT"}, (), use_fts5=False)

@@ -1,0 +1,105 @@
+"""Dataset substrate tests (Table 2 analogs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.workloads.datasets import (
+    DATASET_SPECS,
+    load_dataset,
+    table2_rows,
+)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        assert set(DATASET_SPECS) == {
+            "mnist", "nytimes", "sift", "glove", "gist",
+            "deepimage", "internala",
+        }
+
+    def test_table2_dimensions(self):
+        assert DATASET_SPECS["mnist"].dim == 784
+        assert DATASET_SPECS["nytimes"].dim == 256
+        assert DATASET_SPECS["sift"].dim == 128
+        assert DATASET_SPECS["glove"].dim == 200
+        assert DATASET_SPECS["gist"].dim == 960
+        assert DATASET_SPECS["deepimage"].dim == 96
+        assert DATASET_SPECS["internala"].dim == 512
+
+    def test_table2_metrics(self):
+        assert DATASET_SPECS["sift"].metric == "l2"
+        assert DATASET_SPECS["nytimes"].metric == "cosine"
+        assert DATASET_SPECS["deepimage"].metric == "cosine"
+        assert DATASET_SPECS["internala"].metric == "cosine"
+
+    def test_table2_full_sizes(self):
+        assert DATASET_SPECS["sift"].full_vectors == 1_000_000
+        assert DATASET_SPECS["deepimage"].full_vectors == 10_000_000
+        assert DATASET_SPECS["internala"].full_vectors == 150_000
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+
+class TestGeneration:
+    def test_shapes(self):
+        ds = load_dataset("sift", num_vectors=500, num_queries=20)
+        assert ds.train.shape == (500, 128)
+        assert ds.queries.shape == (20, 128)
+        assert len(ds.train_ids) == 500
+        assert len(ds) == 500
+
+    def test_dtype_float32(self):
+        ds = load_dataset("mnist", num_vectors=100, num_queries=5)
+        assert ds.train.dtype == np.float32
+        assert ds.queries.dtype == np.float32
+
+    def test_deterministic(self):
+        a = load_dataset("sift", num_vectors=200, num_queries=10, seed=3)
+        b = load_dataset("sift", num_vectors=200, num_queries=10, seed=3)
+        np.testing.assert_array_equal(a.train, b.train)
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("sift", num_vectors=100, num_queries=5, seed=1)
+        b = load_dataset("sift", num_vectors=100, num_queries=5, seed=2)
+        assert not np.array_equal(a.train, b.train)
+
+    def test_datasets_differ_from_each_other(self):
+        a = load_dataset("sift", num_vectors=100, num_queries=5)
+        b = load_dataset("glove", num_vectors=100, num_queries=5)
+        assert a.train.shape[1] != b.train.shape[1]
+
+    def test_ids_unique(self):
+        ds = load_dataset("mnist", num_vectors=300, num_queries=5)
+        assert len(set(ds.train_ids)) == 300
+
+    def test_has_cluster_structure(self):
+        """Synthetic data must be clusterable for IVF to be meaningful:
+        within-component spread should be well below global spread."""
+        ds = load_dataset("sift", num_vectors=2000, num_queries=10)
+        global_std = float(np.std(ds.train))
+        from repro.index.kmeans import MiniBatchKMeans
+
+        trainer = MiniBatchKMeans(n_clusters=32, dim=128, seed=0)
+        trainer.initialize(ds.train)
+        for _ in range(15):
+            idx = np.random.default_rng(0).choice(2000, 400, replace=False)
+            trainer.partial_fit(ds.train[idx])
+        labels = trainer.assign(ds.train)
+        residuals = ds.train - trainer.centroids[labels]
+        assert float(np.std(residuals)) < 0.8 * global_std
+
+
+class TestTable2Rows:
+    def test_rows_cover_all_datasets(self):
+        rows = table2_rows()
+        assert len(rows) == 7
+        assert {r["dataset"] for r in rows} == set(DATASET_SPECS)
+
+    def test_bench_sizes_bounded(self):
+        for row in table2_rows():
+            assert row["bench_vectors"] <= row["paper_vectors"]
+            assert row["bench_vectors"] >= 1000

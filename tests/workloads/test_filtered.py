@@ -1,0 +1,93 @@
+"""Filtered-search workload tests (Big-ANN Filtered analog)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.filtered import generate_filtered_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_filtered_workload(
+        num_assets=3000, dim=16, vocabulary=200, queries_per_bin=5, seed=5
+    )
+
+
+class TestCorpus:
+    def test_shapes(self, workload):
+        assert workload.num_assets == 3000
+        assert workload.vectors.shape == (3000, 16)
+        assert len(workload.tag_strings) == 3000
+
+    def test_every_asset_has_tags(self, workload):
+        for tags in workload.tag_strings:
+            assert len(tags.split()) == 6
+
+    def test_zipf_skew(self, workload):
+        """The most common tag should appear vastly more often than the
+        median tag — that's what creates the selectivity spectrum."""
+        from collections import Counter
+
+        counts = Counter(
+            tag for tags in workload.tag_strings for tag in tags.split()
+        )
+        freqs = sorted(counts.values(), reverse=True)
+        assert freqs[0] > 10 * freqs[len(freqs) // 2]
+
+    def test_deterministic(self):
+        a = generate_filtered_workload(num_assets=500, seed=9,
+                                       queries_per_bin=3)
+        b = generate_filtered_workload(num_assets=500, seed=9,
+                                       queries_per_bin=3)
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+        assert a.tag_strings == b.tag_strings
+
+
+class TestQueries:
+    def test_bins_span_decades(self, workload):
+        # At 3000 assets the reachable range is roughly 1e-3..1e-1;
+        # several decades must be populated.
+        assert len(workload.bins) >= 3
+
+    def test_true_selectivity_verified(self, workload):
+        """Recompute each query's selectivity from the corpus."""
+        for exponent, queries in workload.bins.items():
+            for q in queries:
+                matches = [
+                    aid
+                    for aid, tags in zip(
+                        workload.asset_ids, workload.tag_strings
+                    )
+                    if all(t in tags.split() for t in q.tags)
+                ]
+                assert sorted(matches) == list(q.qualifying_ids)
+                assert q.true_selectivity == pytest.approx(
+                    len(matches) / workload.num_assets
+                )
+
+    def test_selectivity_in_declared_bin(self, workload):
+        for exponent, queries in workload.bins.items():
+            for q in queries:
+                bucket = int(np.floor(np.log10(q.true_selectivity)))
+                bucket = max(
+                    min(bucket, -1),
+                    int(np.floor(np.log10(1 / workload.num_assets))),
+                )
+                assert bucket == exponent
+
+    def test_match_query_string(self, workload):
+        q = workload.all_queries()[0]
+        assert q.match_query == " ".join(q.tags)
+
+    def test_query_vectors_right_shape(self, workload):
+        for q in workload.all_queries():
+            assert q.vector.shape == (16,)
+            assert q.vector.dtype == np.float32
+
+    def test_all_queries_ordering(self, workload):
+        """all_queries lists bins from most to least selective."""
+        sels = [
+            int(np.floor(np.log10(q.true_selectivity)))
+            for q in workload.all_queries()
+        ]
+        assert sels == sorted(sels)

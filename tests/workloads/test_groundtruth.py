@@ -1,0 +1,74 @@
+"""Ground-truth computation tests."""
+
+import numpy as np
+
+from repro.workloads.groundtruth import (
+    compute_ground_truth,
+    ground_truth_indices,
+)
+
+
+class TestComputeGroundTruth:
+    def test_matches_naive(self, rng):
+        train = rng.normal(size=(50, 8)).astype(np.float32)
+        queries = rng.normal(size=(5, 8)).astype(np.float32)
+        ids = [f"v{i:03d}" for i in range(50)]
+        truth = compute_ground_truth(ids, train, queries, 5, "l2")
+        for qi in range(5):
+            dist = np.sum((train - queries[qi]) ** 2, axis=1)
+            expected = [
+                ids[i]
+                for i in sorted(
+                    range(50), key=lambda j: (dist[j], ids[j])
+                )[:5]
+            ]
+            assert truth[qi] == expected
+
+    def test_chunking_consistent(self, rng):
+        train = rng.normal(size=(40, 4)).astype(np.float32)
+        queries = rng.normal(size=(10, 4)).astype(np.float32)
+        ids = [f"v{i}" for i in range(40)]
+        a = compute_ground_truth(ids, train, queries, 3, "l2", chunk_size=2)
+        b = compute_ground_truth(ids, train, queries, 3, "l2", chunk_size=100)
+        assert a == b
+
+    def test_k_exceeds_collection(self, rng):
+        train = rng.normal(size=(3, 4)).astype(np.float32)
+        queries = rng.normal(size=(1, 4)).astype(np.float32)
+        truth = compute_ground_truth(["a", "b", "c"], train, queries, 10, "l2")
+        assert len(truth[0]) == 3
+
+    def test_empty_collection(self, rng):
+        queries = rng.normal(size=(2, 4)).astype(np.float32)
+        truth = compute_ground_truth(
+            [], np.empty((0, 4), dtype=np.float32), queries, 5, "l2"
+        )
+        assert truth == [[], []]
+
+    def test_cosine_metric(self, rng):
+        train = rng.normal(size=(20, 4)).astype(np.float32)
+        query = train[7] * 3.0  # same direction, different magnitude
+        truth = compute_ground_truth(
+            [f"v{i}" for i in range(20)],
+            train,
+            query.reshape(1, -1),
+            1,
+            "cosine",
+        )
+        assert truth[0][0] == "v7"
+
+
+class TestGroundTruthIndices:
+    def test_indices_match_ids(self, rng):
+        train = rng.normal(size=(30, 4)).astype(np.float32)
+        queries = rng.normal(size=(4, 4)).astype(np.float32)
+        ids = [f"v{i:02d}" for i in range(30)]
+        by_id = compute_ground_truth(ids, train, queries, 5, "l2")
+        by_idx = ground_truth_indices(train, queries, 5, "l2")
+        for qi in range(4):
+            assert [ids[i] for i in by_idx[qi]] == by_id[qi]
+
+    def test_shape(self, rng):
+        train = rng.normal(size=(30, 4)).astype(np.float32)
+        queries = rng.normal(size=(4, 4)).astype(np.float32)
+        assert ground_truth_indices(train, queries, 5, "l2").shape == (4, 5)

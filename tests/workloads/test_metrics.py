@@ -1,0 +1,91 @@
+"""Recall and latency metric tests."""
+
+import pytest
+
+from repro.workloads.metrics import (
+    mean_recall_at_k,
+    recall_at_k,
+    summarize_latencies,
+)
+
+
+class TestRecallAtK:
+    def test_perfect_recall(self):
+        assert recall_at_k(["a", "b", "c"], ["a", "b", "c"], 3) == 1.0
+
+    def test_order_does_not_matter_within_k(self):
+        assert recall_at_k(["a", "b", "c"], ["c", "a", "b"], 3) == 1.0
+
+    def test_partial_recall(self):
+        assert recall_at_k(["a", "b", "c", "d"], ["a", "x", "b", "y"], 4) \
+            == pytest.approx(0.5)
+
+    def test_zero_recall(self):
+        assert recall_at_k(["a", "b"], ["x", "y"], 2) == 0.0
+
+    def test_truncates_to_k(self):
+        # Only the first k retrieved items count.
+        assert recall_at_k(["a", "b"], ["x", "a", "b"], 2) == pytest.approx(
+            0.5
+        )
+
+    def test_short_truth_normalizes(self):
+        # Filtered ground truth may have fewer than k rows.
+        assert recall_at_k(["a"], ["a", "b", "c"], 10) == 1.0
+
+    def test_empty_truth_is_full_recall(self):
+        assert recall_at_k([], ["a"], 5) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k(["a"], ["a"], 0)
+
+
+class TestMeanRecall:
+    def test_averages(self):
+        truths = [["a", "b"], ["c", "d"]]
+        results = [["a", "b"], ["x", "y"]]
+        assert mean_recall_at_k(truths, results, 2) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert mean_recall_at_k([], [], 5) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            mean_recall_at_k([["a"]], [], 1)
+
+
+class TestLatencySummary:
+    def test_basic_stats(self):
+        summary = summarize_latencies([0.001, 0.002, 0.003])
+        assert summary.count == 3
+        assert summary.mean_s == pytest.approx(0.002)
+        assert summary.p50_s == pytest.approx(0.002)
+        assert summary.total_s == pytest.approx(0.006)
+
+    def test_percentiles_interpolate(self):
+        values = [float(i) for i in range(1, 101)]
+        summary = summarize_latencies(values)
+        assert summary.p50_s == pytest.approx(50.5)
+        assert summary.p95_s == pytest.approx(95.05)
+        assert summary.p99_s == pytest.approx(99.01)
+
+    def test_single_sample(self):
+        summary = summarize_latencies([0.5])
+        assert summary.p50_s == 0.5
+        assert summary.p99_s == 0.5
+        assert summary.std_s == 0.0
+
+    def test_empty(self):
+        summary = summarize_latencies([])
+        assert summary.count == 0
+        assert summary.mean_s == 0.0
+
+    def test_ms_helpers(self):
+        summary = summarize_latencies([0.004])
+        assert summary.mean_ms == pytest.approx(4.0)
+        assert summary.p50_ms == pytest.approx(4.0)
+
+    def test_unsorted_input(self):
+        summary = summarize_latencies([3.0, 1.0, 2.0])
+        assert summary.p50_s == 2.0
