@@ -1,0 +1,168 @@
+"""SQ8 vs float32 on the hot query path: latency, bytes read, recall.
+
+The tentpole claim of the quantization subsystem, measured end to end:
+scanning int8 codes with exact rerank should cut partition I/O ~4x
+(cold) while recall stays within a point of the float32 scan. Emits a
+JSON artifact (``MICRONN_BENCH_ARTIFACTS`` directory, default
+``bench-artifacts/``) that the CI smoke job archives, so perf
+regressions leave a diffable trail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import DeviceProfile, MicroNN, MicroNNConfig
+from repro.bench.harness import populate, print_table
+from repro.workloads.datasets import load_dataset
+from repro.workloads.groundtruth import compute_ground_truth
+from repro.workloads.metrics import mean_recall_at_k, summarize_latencies
+
+K = 10
+NPROBE = 16
+
+
+def _artifact_dir() -> Path:
+    return Path(os.environ.get("MICRONN_BENCH_ARTIFACTS", "bench-artifacts"))
+
+
+def _run_mode(bench_dir, dataset, quantization: str) -> dict:
+    config = MicroNNConfig(
+        dim=dataset.dim,
+        metric=dataset.metric,
+        target_cluster_size=100,
+        quantization=quantization,
+        rerank_factor=4,
+        device=DeviceProfile(
+            name=f"bench-{quantization}",
+            worker_threads=4,
+            # No partition cache: every scan's bytes hit the I/O
+            # accountant, measuring what a cache-cold device pulls
+            # from flash rather than what a warm host re-serves.
+            partition_cache_bytes=0,
+            sqlite_cache_bytes=1024 * 1024,
+        ),
+    )
+    db = MicroNN.open(bench_dir / f"quant-{quantization}.db", config)
+    try:
+        populate(db, dataset.train_ids, dataset.train)
+        build = db.build_index()
+
+        db.purge_caches()
+        db.search(dataset.queries[0], k=K, nprobe=NPROBE)  # warm centroids
+        before = db.io()
+        latencies = []
+        retrieved = []
+        for query in dataset.queries:
+            start = time.perf_counter()
+            result = db.search(query, k=K, nprobe=NPROBE)
+            latencies.append(time.perf_counter() - start)
+            retrieved.append(result.asset_ids)
+        io_delta_bytes = db.io().bytes_read - before.bytes_read
+
+        truth = compute_ground_truth(
+            dataset.train_ids,
+            dataset.train,
+            dataset.queries,
+            K,
+            dataset.metric,
+        )
+        summary = summarize_latencies(latencies)
+        sample = db.search(dataset.queries[0], k=K, nprobe=NPROBE)
+        return {
+            "quantization": quantization,
+            "scan_mode": sample.stats.scan_mode,
+            "num_vectors": len(dataset),
+            "dim": dataset.dim,
+            "nprobe": NPROBE,
+            "k": K,
+            "recall_at_k": mean_recall_at_k(truth, retrieved, K),
+            "mean_latency_ms": summary.mean_ms,
+            "p95_latency_ms": summary.p95_ms,
+            "bytes_read_per_query": io_delta_bytes / len(dataset.queries),
+            "candidates_reranked": sample.stats.candidates_reranked,
+            "build_duration_s": build.duration_s,
+        }
+    finally:
+        db.close()
+
+
+def test_sq8_vs_float32(benchmark, bench_dir):
+    from benchmarks.conftest import scaled
+
+    dataset = load_dataset(
+        "sift",
+        num_vectors=scaled(6000, minimum=3000),
+        num_queries=scaled(40, minimum=20),
+    )
+    results = {
+        mode: _run_mode(bench_dir, dataset, mode) for mode in ("none", "sq8")
+    }
+    none, sq8 = results["none"], results["sq8"]
+    reduction = none["bytes_read_per_query"] / max(
+        sq8["bytes_read_per_query"], 1.0
+    )
+
+    print_table(
+        "SQ8 quantized scan vs float32 (cold partition reads)",
+        ["Quantity", "float32", "sq8"],
+        [
+            ("vectors", none["num_vectors"], sq8["num_vectors"]),
+            (
+                "recall@10",
+                f"{none['recall_at_k']:.3f}",
+                f"{sq8['recall_at_k']:.3f}",
+            ),
+            (
+                "mean latency",
+                f"{none['mean_latency_ms']:.2f} ms",
+                f"{sq8['mean_latency_ms']:.2f} ms",
+            ),
+            (
+                "bytes read / query",
+                f"{none['bytes_read_per_query']:.0f}",
+                f"{sq8['bytes_read_per_query']:.0f}",
+            ),
+            ("I/O reduction", "1.0x", f"{reduction:.2f}x"),
+            ("reranked / query", 0, sq8["candidates_reranked"]),
+        ],
+        note="sq8 scans 1-byte codes and reranks top rerank_factor*k "
+        "candidates against float32 vectors fetched by id.",
+    )
+
+    artifact_dir = _artifact_dir()
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "bench": "quantization",
+        "dataset": dataset.name,
+        "results": results,
+        "io_reduction_factor": reduction,
+    }
+    (artifact_dir / "quantization.json").write_text(
+        json.dumps(payload, indent=2)
+    )
+
+    # Hard regression gates for the CI smoke job.
+    assert sq8["scan_mode"] == "sq8"
+    assert reduction >= 2.5, f"I/O reduction collapsed: {reduction:.2f}x"
+    assert sq8["recall_at_k"] >= none["recall_at_k"] - 0.02
+
+    query = dataset.queries[0]
+    db = MicroNN.open(
+        bench_dir / "quant-bench-loop.db",
+        MicroNNConfig(
+            dim=dataset.dim,
+            metric=dataset.metric,
+            target_cluster_size=100,
+            quantization="sq8",
+        ),
+    )
+    try:
+        populate(db, dataset.train_ids, dataset.train)
+        db.build_index()
+        benchmark(lambda: db.search(query, k=K, nprobe=NPROBE))
+    finally:
+        db.close()

@@ -8,7 +8,10 @@ scenarios:
 - **cold-start vs warm-cache** latency, with a synthetic I/O cost model
   standing in for device flash,
 - memory telemetry proving residency stays within budget while recall
-  holds.
+  holds,
+- **SQ8 quantization** (``quantization="sq8"``): int8 scan codes cut
+  cold partition reads ~4x, and the ``rerank_factor`` knob trades the
+  small rerank I/O against recall.
 
 Run:  python examples/device_constrained.py
 """
@@ -102,6 +105,72 @@ def main() -> None:
             f"I/O: {io.bytes_read / 1e6:.1f} MB read, cache hit rate "
             f"{io.hit_rate:.1%}, {io.rows_written} rows written"
         )
+
+    quantization_tradeoff(ids, vectors, queries, truth, device)
+
+
+def quantization_tradeoff(ids, vectors, queries, truth, device) -> None:
+    """SQ8 on the same constrained device: the rerank_factor knob.
+
+    The quantized scan reads 1-byte codes instead of float32 blobs
+    (~4x less cold partition I/O) and re-scores the top
+    ``rerank_factor * K`` candidates exactly. Sweeping the factor shows
+    the tradeoff: 1 is cheapest but trusts the approximate ranking,
+    larger factors buy recall back with a few extra point reads.
+    """
+    print("\n-- SQ8 quantization: memory/latency tradeoff --")
+    print(f"{'mode':>14s} {'recall@10':>10s} {'MB/query':>9s} "
+          f"{'cold ms':>8s}")
+    for quantization, rerank_factor in (
+        ("none", 1),
+        ("sq8", 1),
+        ("sq8", 2),
+        ("sq8", 4),
+        ("sq8", 8),
+    ):
+        config = MicroNNConfig(
+            dim=DIM,
+            target_cluster_size=100,
+            device=device,
+            minibatch_fraction=0.02,
+            quantization=quantization,
+            rerank_factor=rerank_factor,
+        )
+        with MicroNN.open(config=config) as db:
+            db.upsert_batch(zip(ids, vectors))
+            db.build_index()
+            db.purge_caches()
+            db.search(queries[0], k=K, nprobe=8)  # warm the centroids
+            before = db.io()
+            start = time.perf_counter()
+            retrieved = []
+            for q in queries:
+                db.purge_caches()
+                retrieved.append(db.search(q, k=K, nprobe=8).asset_ids)
+            elapsed_ms = (
+                (time.perf_counter() - start) / len(queries) * 1e3
+            )
+            delta = db.io()
+            mb_per_query = (
+                (delta.bytes_read - before.bytes_read)
+                / len(queries)
+                / 1e6
+            )
+            recall = mean_recall_at_k(truth, retrieved, K)
+            label = (
+                "float32"
+                if quantization == "none"
+                else f"sq8 r={rerank_factor}"
+            )
+            print(
+                f"{label:>14s} {recall:>10.1%} {mb_per_query:>9.2f} "
+                f"{elapsed_ms:>8.2f}"
+            )
+    print(
+        "sq8 reads ~4x fewer partition bytes; raising rerank_factor "
+        "recovers recall\nfor a few extra full-precision point reads "
+        "per query."
+    )
 
 
 if __name__ == "__main__":

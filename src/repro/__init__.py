@@ -65,6 +65,7 @@ from repro.query.filters import (
     Predicate,
 )
 from repro.storage.engine import VectorRecord
+from repro.storage.quantization import SQ8Quantizer
 
 __version__ = "1.0.0"
 
@@ -76,6 +77,7 @@ __all__ = [
     "DeviceProfile",
     "IOCostModel",
     "VectorRecord",
+    "SQ8Quantizer",
     # results
     "Neighbor",
     "SearchResult",

@@ -115,10 +115,20 @@ class MicroNN:
         return cls(path, config)
 
     def close(self) -> None:
-        """Close all connections; the object is unusable afterwards."""
-        self._executor.close()
-        self._batch_executor.close()
-        self._engine.close()
+        """Close all connections; the object is unusable afterwards.
+
+        Deterministic teardown: both worker pools are joined before the
+        storage connections drop, so repeated open/close cycles in one
+        process never leak ``micronn-*`` threads, and the engine is
+        closed even if a pool shutdown raises.
+        """
+        try:
+            self._executor.close()
+        finally:
+            try:
+                self._batch_executor.close()
+            finally:
+                self._engine.close()
 
     def __enter__(self) -> "MicroNN":
         return self
@@ -420,6 +430,7 @@ class MicroNN:
         total = len(self)
         lines = [
             f"hybrid query plan (k={k}, nprobe={nprobe}, |R|={total})",
+            f"  partition scan:   {self.scan_mode_description(k)}",
             (
                 "  attribute filter: estimated selectivity "
                 f"{decision.estimated_selectivity:.6f} "
@@ -443,6 +454,36 @@ class MicroNN:
                 "apply the filter during partition retrieval."
             )
         return "\n".join(lines)
+
+    def scan_mode(self) -> str:
+        """How ANN scans currently read partitions: "float32" or "sq8".
+
+        "sq8" requires both the config flag and a trained quantizer; a
+        freshly opened (or never-built) sq8 database reports "float32"
+        because its scans fall back to full precision until the first
+        build trains the quantizer.
+        """
+        if (
+            self._config.uses_quantization
+            and self._engine.load_quantizer() is not None
+        ):
+            return "sq8"
+        return "float32"
+
+    def scan_mode_description(self, k: int = 10) -> str:
+        """One-line human-readable account of the active scan mode."""
+        if self.scan_mode() == "sq8":
+            factor = self._config.rerank_factor
+            return (
+                "sq8 — int8 codes (1 byte/dim, ~4x less partition I/O), "
+                f"exact rerank of top {factor}*k={factor * k} candidates"
+            )
+        if self._config.uses_quantization:
+            return (
+                "float32 — sq8 configured but no quantizer trained yet "
+                "(run build_index() or maintain())"
+            )
+        return "float32 — full-precision partition scans"
 
     def warm_cache(
         self, queries: np.ndarray, k: int = 10, nprobe: int | None = None

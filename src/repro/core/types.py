@@ -59,6 +59,12 @@ class QueryStats:
     estimated_selectivity: float | None = None
     #: The IVF selectivity threshold the optimizer compared against.
     ivf_selectivity: float | None = None
+    #: How partitions were scanned: ``"float32"`` full-precision blobs,
+    #: or ``"sq8"`` quantized codes with exact reranking.
+    scan_mode: str = "float32"
+    #: Number of approximate candidates re-scored against their
+    #: full-precision vectors (SQ8 scans only).
+    candidates_reranked: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,6 +114,11 @@ class IndexStats:
     #: Average partition size recorded at the last full build; the
     #: monitor compares against this to decide when to rebuild.
     baseline_avg_partition_size: float
+    #: Partition-storage quantization scheme in effect ("none"/"sq8").
+    quantization: str = "none"
+    #: Vectors with a stored SQ8 code (indexed partitions only; the
+    #: delta stays full-precision until maintenance folds it in).
+    quantized_vectors: int = 0
 
     @property
     def partition_growth(self) -> float:

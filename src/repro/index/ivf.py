@@ -32,6 +32,7 @@ from repro.index.kmeans import (
     plan_num_clusters,
 )
 from repro.storage.engine import StorageEngine
+from repro.storage.quantization import SQ8Trainer
 
 #: Memory-tracker category for clustering working memory.
 BUILD_CATEGORY = "index_build"
@@ -85,6 +86,8 @@ class IVFBuilder:
         )
         counts = self._assign_all(trainer, minibatch_size)
         engine.replace_centroids(trainer.centroids, counts)
+        if config.uses_quantization:
+            self.refresh_scalar_quantizer()
 
         avg_size = num_vectors / max(k, 1)
         engine.set_meta(META_BASELINE_AVG, repr(avg_size))
@@ -102,6 +105,26 @@ class IVFBuilder:
         )
 
     # ------------------------------------------------------------------
+
+    def refresh_scalar_quantizer(self) -> int:
+        """Retrain the SQ8 quantizer and rewrite every code (sq8 only).
+
+        One extra streaming pass over the collection: a per-dimension
+        min/max accumulation (a few bytes of state per dimension)
+        followed by the batched code rewrite. A full build is the
+        natural retrain point — the same moment the k-means quantizer
+        is refreshed — and maintenance also calls this when upsert
+        drift makes the trained ranges clip. Returns codes written.
+        """
+        engine = self._engine
+        trainer = SQ8Trainer(self._config.dim)
+        for _, matrix in engine.iter_vector_batches(batch_size=4096):
+            trainer.update(matrix)
+        if trainer.count == 0:
+            return 0
+        # rebuild_codes persists the quantizer and the codes in one
+        # transaction, so the pair can never go out of sync.
+        return engine.rebuild_codes(trainer.finish())
 
     def _plan_minibatch(self, num_vectors: int) -> int:
         config = self._config

@@ -30,9 +30,18 @@ from repro.core.types import (
     MaintenanceReport,
 )
 from repro.index.delta import DeltaStore
-from repro.index.ivf import META_BASELINE_AVG
+from repro.index.ivf import IVFBuilder, META_BASELINE_AVG
 from repro.query.distance import pairwise_distances
+from repro.storage.codec import encode_code_matrix
 from repro.storage.engine import StorageEngine
+
+#: Fraction of flushed vector components allowed to clip outside the
+#: trained quantizer range before maintenance retrains it. Clipped
+#: components carry unbounded quantization error, so a drifting upsert
+#: stream must eventually trigger a retrain ("Quantization for Vector
+#: Search under Streaming Updates" keeps recall by retraining on
+#: distribution shift, not on every insert).
+QUANTIZER_DRIFT_CLIP_FRACTION = 0.01
 
 
 class IndexMonitor:
@@ -61,6 +70,8 @@ class IndexMonitor:
             max_partition_size=max(values) if values else 0,
             min_partition_size=min(values) if values else 0,
             baseline_avg_partition_size=baseline,
+            quantization=self._config.quantization,
+            quantized_vectors=self._engine.count_codes(),
         )
 
     def recommend(self) -> MaintenanceAction:
@@ -161,8 +172,14 @@ class IncrementalMaintainer:
         for pid, (centroid, count) in working.items():
             centroid_updates[pid] = (centroid.astype(np.float32), count)
 
-        engine.set_partition_assignments(moves)
+        code_rows, retrain_needed = self._plan_flush_codes(delta, moves)
+        # Moves and codes commit atomically: a crash can never leave
+        # flushed vectors sitting uncoded (= invisible) inside a
+        # quantized partition.
+        engine.set_partition_assignments(moves, code_rows=code_rows)
         engine.update_centroids(centroid_updates)
+        if retrain_needed:
+            IVFBuilder(engine, self._config).refresh_scalar_quantizer()
 
         stats_after = self._monitor.stats()
         return MaintenanceReport(
@@ -174,3 +191,39 @@ class IncrementalMaintainer:
             stats_before=stats_before,
             stats_after=stats_after,
         )
+
+    def _plan_flush_codes(
+        self, delta, moves: list[tuple[str, int]]
+    ) -> tuple[list[tuple[int, str, int, bytes]] | None, bool]:
+        """SQ8 codes for the vectors a flush is about to move.
+
+        Returns ``(code_rows, retrain_needed)``. The cheap common case
+        encodes just the flushed vectors with the *existing* quantizer
+        — cost proportional to the delta, like the flush itself — and
+        the caller commits the rows atomically with the moves. Two
+        situations force the expensive path (full retrain + code
+        rewrite after the moves) instead: no quantizer exists yet (a
+        pre-quantization database being upgraded in place), or the
+        incoming vectors clip the trained ranges beyond the drift
+        threshold, meaning the data distribution has moved. A crash
+        before the retrain finishes leaves uncoded vectors, which
+        ``integrity_check`` reports explicitly.
+        """
+        if not self._config.uses_quantization:
+            return None, False
+        quantizer = self._engine.load_quantizer()
+        if (
+            quantizer is None
+            or quantizer.clip_fraction(delta.matrix)
+            > QUANTIZER_DRIFT_CLIP_FRACTION
+        ):
+            return None, True
+        pid_of = dict(moves)
+        blobs = encode_code_matrix(quantizer.encode(delta.matrix))
+        code_rows = [
+            (pid_of[aid], aid, vid, blob)
+            for aid, vid, blob in zip(
+                delta.asset_ids, delta.vector_ids, blobs
+            )
+        ]
+        return code_rows, False

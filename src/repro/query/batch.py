@@ -25,7 +25,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
-from repro.core.errors import FilterError
+from repro.core.errors import DatabaseClosedError, FilterError
 from repro.core.types import (
     BatchSearchResult,
     Neighbor,
@@ -33,7 +33,12 @@ from repro.core.types import (
     QueryStats,
     SearchResult,
 )
-from repro.query.distance import pairwise_distances, surface_distance
+from repro.query.distance import (
+    asymmetric_pairwise_distances,
+    distances_to_one,
+    pairwise_distances,
+    surface_distance,
+)
 from repro.query.heap import Candidate, topk_from_distances
 from repro.storage.engine import StorageEngine
 
@@ -52,9 +57,12 @@ class BatchQueryExecutor:
         # Long-lived worker pool (see QueryExecutor._worker_pool).
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        self._pool_closed = False
 
     def _worker_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
+            if self._pool_closed:
+                raise DatabaseClosedError("batch executor is closed")
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self._config.device.worker_threads,
@@ -63,10 +71,12 @@ class BatchQueryExecutor:
             return self._pool
 
     def close(self) -> None:
+        """Deterministic, idempotent pool shutdown (joins workers)."""
         with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=False, cancel_futures=True)
-                self._pool = None
+            self._pool_closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def search_batch(
         self, queries: np.ndarray, k: int, nprobe: int
@@ -89,33 +99,67 @@ class BatchQueryExecutor:
         if num_queries == 0:
             return BatchSearchResult(results=[], latency_s=0.0)
 
+        quantizer = (
+            self._engine.load_quantizer()
+            if self._config.uses_quantization
+            else None
+        )
+        scan_mode = "sq8" if quantizer is not None else "float32"
+
         groups, requested = self._group_by_partition(q, nprobe)
         per_query: list[list[Candidate]] = [[] for _ in range(num_queries)]
+        # Approximate candidates from quantized scans, kept apart from
+        # the exact ones until the per-query rerank resolves them.
+        per_query_approx: list[list[Candidate]] = [
+            [] for _ in range(num_queries)
+        ]
         scanned_counts = np.zeros(num_queries, dtype=np.int64)
+        rerank_pool = max(k, self._config.rerank_factor * k)
 
         # Load phase: each needed partition is read exactly ONCE — the
         # point of MQO — and sequentially (threaded tiny SQLite reads
-        # convoy on the GIL; see executor._scan_partitions).
-        loaded = [
-            (self._engine.load_partition(pid), query_rows)
-            for pid, query_rows in groups.items()
-        ]
+        # convoy on the GIL; see executor._scan_partitions). Under sq8
+        # the read is the code partition (a quarter of the bytes); the
+        # delta and code-less partitions stay full-precision.
+        loaded = []
+        for pid, query_rows in groups.items():
+            if quantizer is not None and pid != DELTA_PARTITION_ID:
+                entry = self._engine.load_partition_codes(pid)
+                if len(entry):
+                    loaded.append((entry, query_rows, True))
+                    continue
+                loaded.append(
+                    (self._engine.load_partition(pid), query_rows, False)
+                )
+            else:
+                loaded.append(
+                    (self._engine.load_partition(pid), query_rows, False)
+                )
 
         def compute(item):
-            entry, query_rows = item
+            entry, query_rows, is_codes = item
             if len(entry) == 0:
-                return query_rows, [], 0
+                return query_rows, [], 0, is_codes
             sub = q[query_rows]
             # One GEMM covers every query interested in this partition.
-            dist = pairwise_distances(sub, entry.matrix, self._config.metric)
+            if is_codes:
+                dist = asymmetric_pairwise_distances(
+                    sub, entry.matrix, quantizer, self._config.metric
+                )
+                keep = rerank_pool
+            else:
+                dist = pairwise_distances(
+                    sub, entry.matrix, self._config.metric
+                )
+                keep = k
             locals_per_query = [
-                topk_from_distances(entry.asset_ids, dist[row], k)
+                topk_from_distances(entry.asset_ids, dist[row], keep)
                 for row in range(len(query_rows))
             ]
-            return query_rows, locals_per_query, len(entry)
+            return query_rows, locals_per_query, len(entry), is_codes
 
         total_elements = sum(
-            len(entry) * len(query_rows) for entry, query_rows in loaded
+            len(entry) * len(query_rows) for entry, query_rows, _ in loaded
         )
         workers = max(
             1, min(self._config.device.worker_threads, len(loaded))
@@ -125,10 +169,17 @@ class BatchQueryExecutor:
         else:
             outcomes = list(self._worker_pool().map(compute, loaded))
 
-        for query_rows, locals_per_query, size in outcomes:
+        for query_rows, locals_per_query, size, is_codes in outcomes:
+            sink = per_query_approx if is_codes else per_query
             for row, candidates in zip(query_rows, locals_per_query):
-                per_query[row].extend(candidates)
+                sink[row].extend(candidates)
                 scanned_counts[row] += size
+
+        reranked = 0
+        if quantizer is not None:
+            reranked = self._rerank_batch(
+                q, per_query, per_query_approx, rerank_pool, k
+            )
 
         latency = time.perf_counter() - start
         io_delta = self._engine.accountant.delta_since(io_before)
@@ -141,11 +192,13 @@ class BatchQueryExecutor:
             nprobe=nprobe,
             partitions_scanned=len(groups),
             vectors_scanned=int(scanned_counts.sum()),
-            distance_computations=int(scanned_counts.sum()),
+            distance_computations=int(scanned_counts.sum()) + reranked,
             cache_hits=io_delta.cache_hits,
             cache_misses=io_delta.cache_misses,
             bytes_read=io_delta.bytes_read,
             latency_s=latency,
+            scan_mode=scan_mode,
+            candidates_reranked=reranked,
         )
         return BatchSearchResult(
             results=results,
@@ -156,6 +209,60 @@ class BatchQueryExecutor:
         )
 
     # ------------------------------------------------------------------
+
+    def _rerank_batch(
+        self,
+        q: np.ndarray,
+        per_query: list[list[Candidate]],
+        per_query_approx: list[list[Candidate]],
+        rerank_pool: int,
+        k: int,
+    ) -> int:
+        """Re-score each query's approximate candidates exactly.
+
+        The rerank I/O is amortized like the scans: the union of every
+        query's top ``rerank_factor * k`` candidate ids is point-
+        fetched in ONE chunked read, then each query re-scores its own
+        candidates against the shared float32 matrix. Exact candidates
+        land in ``per_query`` where ``_merge_one`` resolves duplicates
+        by keeping the closest (= true) distance.
+        """
+        chosen: list[list[str]] = []
+        union: set[str] = set()
+        for row, candidates in enumerate(per_query_approx):
+            ranked = sorted(
+                candidates, key=lambda c: (c.distance, c.asset_id)
+            )
+            ids: list[str] = []
+            seen: set[str] = set()
+            for cand in ranked:
+                if cand.asset_id in seen:
+                    continue
+                seen.add(cand.asset_id)
+                ids.append(cand.asset_id)
+                if len(ids) == rerank_pool:
+                    break
+            chosen.append(ids)
+            union.update(ids)
+        if not union:
+            return 0
+        found, matrix = self._engine.fetch_vectors_by_asset_ids(
+            sorted(union)
+        )
+        row_of = {aid: i for i, aid in enumerate(found)}
+        reranked = 0
+        for row, ids in enumerate(chosen):
+            present = [aid for aid in ids if aid in row_of]
+            if not present:
+                continue
+            sub = matrix[[row_of[aid] for aid in present]]
+            dist = distances_to_one(q[row], sub, self._config.metric)
+            per_query[row].extend(
+                Candidate(asset_id=aid, distance=float(d))
+                for aid, d in zip(present, dist)
+            )
+            reranked += len(present)
+        return reranked
 
     def _group_by_partition(
         self, q: np.ndarray, nprobe: int

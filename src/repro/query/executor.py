@@ -11,6 +11,12 @@ The ANN path is Algorithm 2 verbatim:
    partition;
 4. merge the per-thread heaps and surface the K best.
 
+With ``quantization="sq8"`` step 3 becomes the *fast scan path*: code
+partitions (1 byte/dimension) are scanned with the asymmetric kernel,
+the top ``rerank_factor * k`` approximate candidates are re-scored
+against their full-precision vectors, and the delta partition is still
+scanned exactly. Same algorithm shape, ~4x less partition I/O.
+
 Hybrid plans reuse the same machinery:
 
 - **post-filtering** evaluates the predicate once against the
@@ -32,12 +38,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
-from repro.core.errors import FilterError
+from repro.core.errors import DatabaseClosedError, FilterError
 from repro.core.types import Neighbor, PlanKind, QueryStats, SearchResult
-from repro.query.distance import distances_to_one, surface_distance
+from repro.query.distance import (
+    asymmetric_distances_to_one,
+    distances_to_one,
+    surface_distance,
+)
 from repro.query.filters import CompileContext, Predicate, default_tokenizer
 from repro.query.heap import TopKHeap, merge_topk, topk_from_distances
 from repro.storage.engine import StorageEngine
+from repro.storage.quantization import SQ8Quantizer
 
 
 #: Total matrix elements above which the distance phase fans out to the
@@ -53,6 +64,8 @@ class _ScanOutcome:
     vectors_scanned: int
     distance_computations: int
     rows_filtered: int
+    scan_mode: str = "float32"
+    candidates_reranked: int = 0
 
 
 class QueryExecutor:
@@ -72,12 +85,15 @@ class QueryExecutor:
         # partition sizes (the paper's "worker thread pool", Fig. 3).
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        self._pool_closed = False
         # Lazily built coarse centroid index (§3.2 extension), keyed on
         # the identity of the engine's cached centroid matrix.
         self._centroid_index: tuple[np.ndarray, object] | None = None
 
     def _worker_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
+            if self._pool_closed:
+                raise DatabaseClosedError("executor is closed")
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self._config.device.worker_threads,
@@ -86,11 +102,18 @@ class QueryExecutor:
             return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool (called by MicroNN.close)."""
+        """Shut down the worker pool (called by MicroNN.close).
+
+        Deterministic and idempotent: waits for worker threads to exit
+        so repeated open/close cycles in one process never accumulate
+        dangling ``micronn-scan`` threads, and marks the executor
+        closed so no later call can silently respawn a pool.
+        """
         with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=False, cancel_futures=True)
-                self._pool = None
+            self._pool_closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     @property
     def compile_context(self) -> CompileContext:
@@ -115,9 +138,15 @@ class QueryExecutor:
         query = self._as_query(query)
 
         partition_ids = self._select_partitions(query, nprobe)
-        heaps, outcome = self._scan_partitions(
-            partition_ids, query, k, qualifying_ids
-        )
+        quantizer = self._scan_quantizer()
+        if quantizer is not None:
+            heaps, outcome = self._scan_partitions_quantized(
+                partition_ids, query, k, qualifying_ids, quantizer
+            )
+        else:
+            heaps, outcome = self._scan_partitions(
+                partition_ids, query, k, qualifying_ids
+            )
         neighbors = self._finalize(heaps, k)
 
         io_delta = self._engine.accountant.delta_since(io_before)
@@ -132,6 +161,8 @@ class QueryExecutor:
             cache_misses=io_delta.cache_misses,
             bytes_read=io_delta.bytes_read,
             latency_s=time.perf_counter() - start,
+            scan_mode=outcome.scan_mode,
+            candidates_reranked=outcome.candidates_reranked,
         )
         return SearchResult(neighbors=neighbors, stats=stats)
 
@@ -380,6 +411,151 @@ class QueryExecutor:
             for cand in topk_from_distances(ids, dist, k):
                 heap.push(cand.asset_id, cand.distance)
         return heap
+
+    # ------------------------------------------------------------------
+    # Quantized (sq8) scan path
+    # ------------------------------------------------------------------
+
+    def _scan_quantizer(self) -> SQ8Quantizer | None:
+        """The quantizer driving the fast scan, or None for float32.
+
+        None either because quantization is off, or because no
+        quantizer has been trained yet (a database opened with sq8 but
+        not yet built) — both fall back to the exact float32 scan.
+        """
+        if not self._config.uses_quantization:
+            return None
+        return self._engine.load_quantizer()
+
+    def _scan_partitions_quantized(
+        self,
+        partition_ids: list[int],
+        query: np.ndarray,
+        k: int,
+        qualifying_ids: frozenset[str] | None,
+        quantizer: SQ8Quantizer,
+    ) -> tuple[list[TopKHeap], _ScanOutcome]:
+        """SQ8 scan: code partitions + exact rerank (tentpole hot path).
+
+        Non-delta partitions are read as 1-byte-per-dimension codes —
+        the same sequential range read at a quarter of the bytes — and
+        scored with the asymmetric kernel into bounded heaps of
+        capacity ``rerank_factor * k``. The delta partition (always
+        full-precision, so upserts stay one cheap row write) and any
+        partition without codes (mid-build, or a pre-quantization
+        database) are scanned exactly. The merged approximate top
+        candidates are then re-scored against their float32 vectors,
+        point-fetched by id, and combined with the exact candidates.
+        """
+        approx_work: list[tuple[list[str] | tuple[str, ...], np.ndarray]] = []
+        exact_work: list[tuple[list[str] | tuple[str, ...], np.ndarray]] = []
+        scanned = filtered = 0
+        for pid in partition_ids:
+            if pid == DELTA_PARTITION_ID:
+                entry = self._engine.load_partition(pid)
+                bucket = exact_work
+            else:
+                entry = self._engine.load_partition_codes(pid)
+                bucket = approx_work
+                if len(entry) == 0:
+                    entry = self._engine.load_partition(pid)
+                    bucket = exact_work
+            if len(entry) == 0:
+                continue
+            scanned += len(entry)
+            ids: list[str] | tuple[str, ...] = entry.asset_ids
+            matrix = entry.matrix
+            if qualifying_ids is not None:
+                keep = [
+                    i
+                    for i, aid in enumerate(entry.asset_ids)
+                    if aid in qualifying_ids
+                ]
+                filtered += len(entry) - len(keep)
+                if not keep:
+                    continue
+                ids = [entry.asset_ids[i] for i in keep]
+                matrix = entry.matrix[keep]
+            bucket.append((ids, matrix))
+
+        rerank_pool = max(k, self._config.rerank_factor * k)
+        computed = sum(len(ids) for ids, _ in approx_work) + sum(
+            len(ids) for ids, _ in exact_work
+        )
+        total_elements = sum(m.size for _, m in approx_work)
+        workers = max(
+            1,
+            min(self._config.device.worker_threads, len(approx_work)),
+        )
+        if workers == 1 or total_elements < _PARALLEL_SCAN_ELEMENTS:
+            approx_heaps = [
+                self._scan_codes_work(
+                    approx_work, query, rerank_pool, quantizer
+                )
+            ]
+        else:
+            shards: list[list[tuple]] = [[] for _ in range(workers)]
+            for i, item in enumerate(approx_work):
+                shards[i % workers].append(item)
+            approx_heaps = list(
+                self._worker_pool().map(
+                    lambda shard: self._scan_codes_work(
+                        shard, query, rerank_pool, quantizer
+                    ),
+                    shards,
+                )
+            )
+
+        exact_heap = self._scan_work(exact_work, query, k)
+        rerank_heap, reranked = self._rerank(
+            merge_topk(approx_heaps, rerank_pool), query, k
+        )
+        outcome = _ScanOutcome(
+            vectors_scanned=scanned,
+            distance_computations=computed + reranked,
+            rows_filtered=filtered,
+            scan_mode="sq8",
+            candidates_reranked=reranked,
+        )
+        return [rerank_heap, exact_heap], outcome
+
+    def _scan_codes_work(
+        self,
+        work: list[tuple[list[str] | tuple[str, ...], np.ndarray]],
+        query: np.ndarray,
+        capacity: int,
+        quantizer: SQ8Quantizer,
+    ) -> TopKHeap:
+        """One worker's share of the asymmetric code scan."""
+        heap = TopKHeap(capacity)
+        for ids, codes in work:
+            dist = asymmetric_distances_to_one(
+                query, codes, quantizer, self._config.metric
+            )
+            for cand in topk_from_distances(ids, dist, capacity):
+                heap.push(cand.asset_id, cand.distance)
+        return heap
+
+    def _rerank(
+        self, candidates, query: np.ndarray, k: int
+    ) -> tuple[TopKHeap, int]:
+        """Re-score approximate candidates against float32 vectors.
+
+        The point-fetch reads only ``rerank_factor * k`` full-precision
+        rows — the small, bounded I/O that buys exactness back after
+        the quantized scan.
+        """
+        heap = TopKHeap(k)
+        if not candidates:
+            return heap, 0
+        found, matrix = self._engine.fetch_vectors_by_asset_ids(
+            [c.asset_id for c in candidates]
+        )
+        if found:
+            dist = distances_to_one(query, matrix, self._config.metric)
+            for aid, d in zip(found, dist):
+                heap.push(aid, float(d))
+        return heap, len(found)
 
     def _finalize(
         self, heaps: list[TopKHeap], k: int

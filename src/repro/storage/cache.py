@@ -26,10 +26,19 @@ from repro.storage.memory import MemoryTracker
 #: Memory-tracker category used for cached partitions.
 CACHE_CATEGORY = "partition_cache"
 
+#: Memory-tracker category used for cached quantized-code partitions.
+CODES_CACHE_CATEGORY = "codes_cache"
+
 
 @dataclass(frozen=True)
 class CachedPartition:
-    """A decoded partition: row identities plus the vector matrix."""
+    """A decoded partition: row identities plus the vector matrix.
+
+    The matrix is float32 for full-precision partitions and uint8 for
+    SQ8 code partitions — the byte accounting below works for both, and
+    a code entry is ~4x smaller, which is exactly why the codes cache
+    holds 4x more partitions in the same budget.
+    """
 
     partition_id: int
     asset_ids: tuple[str, ...]
@@ -57,11 +66,13 @@ class PartitionCache:
         self,
         budget_bytes: int,
         tracker: MemoryTracker | None = None,
+        category: str = CACHE_CATEGORY,
     ) -> None:
         if budget_bytes < 0:
             raise ValueError("budget_bytes must be >= 0")
         self._budget = budget_bytes
         self._tracker = tracker
+        self._category = category
         self._lock = threading.Lock()
         self._entries: OrderedDict[int, CachedPartition] = OrderedDict()
         self._used = 0
@@ -134,4 +145,4 @@ class PartitionCache:
     def _sync_tracker(self) -> None:
         # Caller holds self._lock.
         if self._tracker is not None:
-            self._tracker.set_category(CACHE_CATEGORY, self._used)
+            self._tracker.set_category(self._category, self._used)

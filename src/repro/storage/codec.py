@@ -17,6 +17,9 @@ from repro.core.errors import DimensionMismatchError, StorageError
 #: dtype of every stored vector; fixed little-endian for portability.
 VECTOR_DTYPE = np.dtype("<f4")
 
+#: dtype of quantized SQ8 codes: one unsigned byte per dimension.
+CODE_DTYPE = np.dtype("u1")
+
 
 def encode_vector(vector: np.ndarray, dim: int) -> bytes:
     """Encode one vector as a float32 little-endian blob.
@@ -74,3 +77,32 @@ def encode_matrix(matrix: np.ndarray) -> list[bytes]:
     if not np.all(np.isfinite(arr)):
         raise StorageError("matrix contains NaN or infinity")
     return [row.tobytes() for row in arr]
+
+
+def encode_code_matrix(codes: np.ndarray) -> list[bytes]:
+    """Encode each row of a (n, dim) uint8 code matrix as a blob.
+
+    SQ8 codes are stored exactly as the asymmetric scan kernel consumes
+    them — one byte per dimension, row-contiguous — so, like the float
+    blobs, decoding a quantized partition is a bulk ``frombuffer``.
+    """
+    arr = np.ascontiguousarray(codes)
+    if arr.ndim != 2:
+        raise StorageError(f"code matrix must be 2-D, got shape {arr.shape}")
+    if arr.dtype != CODE_DTYPE:
+        raise StorageError(f"codes must be uint8, got {arr.dtype}")
+    return [row.tobytes() for row in arr]
+
+
+def decode_code_matrix(blobs: list[bytes], dim: int) -> np.ndarray:
+    """Decode code blobs into a contiguous (n, dim) uint8 matrix."""
+    if not blobs:
+        return np.empty((0, dim), dtype=CODE_DTYPE)
+    for blob in blobs:
+        if len(blob) != dim:
+            raise StorageError(
+                f"code blob has {len(blob)} bytes, expected {dim}"
+            )
+    joined = b"".join(blobs)
+    matrix = np.frombuffer(joined, dtype=CODE_DTYPE)
+    return matrix.reshape(len(blobs), dim)

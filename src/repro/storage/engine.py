@@ -16,6 +16,10 @@ Implements the paper's physical design (§3.2, §3.6):
 - **Partition cache**: reads of whole partitions go through a
   byte-budgeted LRU of decoded matrices (the page-cache analog); cold
   start purges it, warm-up queries populate it.
+- **Quantized codes** (``quantization="sq8"``): a parallel clustered
+  table of 1-byte-per-dimension scan codes, with its own LRU, serving
+  the fast scan path; float32 blobs stay authoritative for reranking,
+  and the codes table is absent entirely in the default float mode.
 
 The engine knows nothing about distances, filters or query plans — it
 stores and retrieves rows. Higher layers compose it.
@@ -41,10 +45,21 @@ from repro.core.errors import (
     UnknownAttributeError,
 )
 from repro.storage import schema as schema_mod
-from repro.storage.cache import CachedPartition, PartitionCache
-from repro.storage.codec import decode_matrix, decode_vector, encode_vector
+from repro.storage.cache import (
+    CODES_CACHE_CATEGORY,
+    CachedPartition,
+    PartitionCache,
+)
+from repro.storage.codec import (
+    decode_code_matrix,
+    decode_matrix,
+    decode_vector,
+    encode_code_matrix,
+    encode_vector,
+)
 from repro.storage.iomodel import IOAccountant
 from repro.storage.memory import MemoryTracker
+from repro.storage.quantization import SQ8Quantizer
 
 #: Estimated fixed per-row storage overhead, used for byte accounting.
 _ROW_OVERHEAD_BYTES = 24
@@ -90,18 +105,34 @@ class StorageEngine:
         self._use_fts5 = bool(
             config.fts_attributes
         ) and schema_mod.fts5_available(self._writer)
+        self._use_quantization = config.uses_quantization
         with self._writer:
             schema_mod.create_schema(
                 self._writer,
                 config.normalized_attributes,
                 config.fts_attributes,
                 self._use_fts5,
+                use_quantization=self._use_quantization,
             )
         self._init_meta()
 
-        self.cache = PartitionCache(
-            config.device.partition_cache_bytes, tracker=self._tracker
+        # In sq8 mode the device's cache budget is SPLIT between the
+        # two LRUs — their sum never exceeds the configured envelope.
+        # Codes get the lion's share (a code entry is 4x smaller than
+        # its float twin, so 3/4 of the budget holds 3x the partitions
+        # a full float budget would); the float cache keeps the rest
+        # for the delta partition and code-less fallback loads.
+        budget = config.device.partition_cache_bytes
+        float_budget = budget // 4 if self._use_quantization else budget
+        self.cache = PartitionCache(float_budget, tracker=self._tracker)
+        self.codes_cache = PartitionCache(
+            budget - float_budget if self._use_quantization else 0,
+            tracker=self._tracker,
+            category=CODES_CACHE_CATEGORY,
         )
+        self._quantizer_lock = threading.Lock()
+        self._quantizer: SQ8Quantizer | None = None
+        self._quantizer_loaded = False
         self._centroid_cache: tuple[np.ndarray, np.ndarray] | None = None
         self._centroid_cache_lock = threading.Lock()
         # Simulated OS page cache: partition ids whose pages have been
@@ -112,6 +143,7 @@ class StorageEngine:
         # WarmCache fast while app memory stays within budget.
         self._os_cache_lock = threading.Lock()
         self._os_cached_partitions: set[int] = set()
+        self._os_cached_code_partitions: set[int] = set()
         self._os_cached_centroids = False
 
     # ------------------------------------------------------------------
@@ -138,6 +170,10 @@ class StorageEngine:
     def uses_fts5(self) -> bool:
         return self._use_fts5
 
+    @property
+    def uses_quantization(self) -> bool:
+        return self._use_quantization
+
     def close(self) -> None:
         """Close all connections; further operations raise."""
         if self._closed:
@@ -151,6 +187,7 @@ class StorageEngine:
         with contextlib.suppress(sqlite3.Error):
             self._writer.close()
         self.cache.clear()
+        self.codes_cache.clear()
         self._drop_centroid_cache()
         if self._tempdir is not None:
             shutil.rmtree(self._tempdir, ignore_errors=True)
@@ -314,6 +351,13 @@ class StorageEngine:
                     "DELETE FROM vectors WHERE asset_id=?",
                     (record.asset_id,),
                 )
+                if self._use_quantization:
+                    # The fresh vector lands in the full-precision
+                    # delta; any stale code row must not survive it.
+                    conn.execute(
+                        "DELETE FROM vector_codes WHERE asset_id=?",
+                        (record.asset_id,),
+                    )
                 conn.execute(
                     "INSERT INTO vectors "
                     "(partition_id, asset_id, vector_id, vector) "
@@ -330,6 +374,14 @@ class StorageEngine:
         self._invalidate_partitions_of(records)
         return len(records)
 
+    def _invalidate_codes_for(self, asset_ids: Iterable[str]) -> None:
+        """Drop cached code partitions containing any of the assets."""
+        touched = set(asset_ids)
+        for pid in self.codes_cache.cached_partition_ids():
+            entry = self.codes_cache.get(pid)
+            if entry is not None and touched.intersection(entry.asset_ids):
+                self.codes_cache.invalidate(pid)
+
     def _invalidate_partitions_of(
         self, records: Sequence[VectorRecord]
     ) -> None:
@@ -342,6 +394,8 @@ class StorageEngine:
             entry = self.cache.get(pid)
             if entry is not None and touched.intersection(entry.asset_ids):
                 self.cache.invalidate(pid)
+        if self._use_quantization:
+            self._invalidate_codes_for(touched)
 
     def _validate_attributes(self, attributes: Mapping[str, object]) -> None:
         declared = self._config.normalized_attributes
@@ -431,6 +485,11 @@ class StorageEngine:
                 )
                 if cur.rowcount > 0:
                     deleted += cur.rowcount
+                if self._use_quantization:
+                    conn.execute(
+                        "DELETE FROM vector_codes WHERE asset_id=?",
+                        (asset_id,),
+                    )
                 conn.execute(
                     "DELETE FROM attributes WHERE asset_id=?", (asset_id,)
                 )
@@ -441,6 +500,8 @@ class StorageEngine:
             entry = self.cache.get(pid)
             if entry is not None and touched.intersection(entry.asset_ids):
                 self.cache.invalidate(pid)
+        if self._use_quantization:
+            self._invalidate_codes_for(touched)
         return deleted
 
     # ------------------------------------------------------------------
@@ -487,24 +548,51 @@ class StorageEngine:
         self._drop_centroid_cache()
 
     def set_partition_assignments(
-        self, assignments: Iterable[tuple[str, int]]
+        self,
+        assignments: Iterable[tuple[str, int]],
+        code_rows: Sequence[tuple[int, str, int, bytes]] | None = None,
     ) -> int:
         """Move vectors between partitions: (asset_id, new_partition).
 
         Each move physically rewrites the row (the partition id is part
         of the clustered primary key), which is exactly the I/O the
         paper's incremental maintenance tries to minimize.
+
+        ``code_rows`` — (partition_id, asset_id, vector_id, blob) SQ8
+        codes for the moved vectors — commit in the SAME transaction:
+        an incremental flush must never land vectors in a quantized
+        partition without their codes, or a crash between two commits
+        would leave them invisible to every quantized scan.
         """
         self._check_open()
         moves = list(assignments)
         if not moves:
             return 0
+        if code_rows and not self._use_quantization:
+            raise StorageError("quantization is not enabled for this database")
         with self.write_transaction() as conn:
             conn.executemany(
                 "UPDATE vectors SET partition_id=? WHERE asset_id=?",
                 [(pid, asset_id) for asset_id, pid in moves],
             )
+            if self._use_quantization:
+                # Codes are clustered by partition id exactly like the
+                # float rows; a move must rewrite both or the quantized
+                # scan would miss the vector.
+                conn.executemany(
+                    "UPDATE vector_codes SET partition_id=? "
+                    "WHERE asset_id=?",
+                    [(pid, asset_id) for asset_id, pid in moves],
+                )
+            if code_rows:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO vector_codes "
+                    "(partition_id, asset_id, vector_id, code) "
+                    "VALUES (?, ?, ?, ?)",
+                    list(code_rows),
+                )
         self.cache.clear()
+        self.codes_cache.clear()
         return len(moves)
 
     # ------------------------------------------------------------------
@@ -726,6 +814,145 @@ class StorageEngine:
         return {int(pid): int(count) for pid, count in rows}
 
     # ------------------------------------------------------------------
+    # Quantized codes (sq8)
+    # ------------------------------------------------------------------
+
+    #: meta-table key holding the serialized trained quantizer.
+    QUANTIZER_META_KEY = "sq8_quantizer"
+
+    def load_quantizer(self) -> SQ8Quantizer | None:
+        """The trained SQ8 quantizer, or None before the first build.
+
+        Cached in memory; :meth:`rebuild_codes` refreshes the cache
+        when it persists a retrained quantizer, so readers never
+        re-parse the meta row on the hot path.
+        """
+        self._check_open()
+        if not self._use_quantization:
+            return None
+        with self._quantizer_lock:
+            if self._quantizer_loaded:
+                return self._quantizer
+        payload = self.get_meta(self.QUANTIZER_META_KEY)
+        quantizer = (
+            SQ8Quantizer.from_json(payload) if payload is not None else None
+        )
+        with self._quantizer_lock:
+            self._quantizer = quantizer
+            self._quantizer_loaded = True
+        return quantizer
+
+    def load_partition_codes(
+        self, partition_id: int, use_cache: bool = True
+    ) -> CachedPartition:
+        """Load one partition's SQ8 codes as a decoded uint8 matrix.
+
+        This is the fast scan path's read: same clustered range scan as
+        :meth:`load_partition` at a quarter of the bytes. Returns an
+        empty entry when the partition has no code rows (e.g. mid-build
+        or for a database created before quantization was enabled);
+        callers fall back to the float32 scan for that partition.
+        """
+        self._check_open()
+        if not self._use_quantization:
+            raise StorageError("quantization is not enabled for this database")
+        if use_cache:
+            cached = self.codes_cache.get(partition_id)
+            if cached is not None:
+                self._accountant.record_cache_hit()
+                return cached
+            self._accountant.record_cache_miss()
+        with self.read_snapshot() as conn:
+            rows = conn.execute(
+                "SELECT asset_id, vector_id, code FROM vector_codes "
+                "WHERE partition_id=? ORDER BY asset_id, vector_id",
+                (partition_id,),
+            ).fetchall()
+        dim = self._config.dim
+        entry = CachedPartition(
+            partition_id=partition_id,
+            asset_ids=tuple(r[0] for r in rows),
+            vector_ids=tuple(int(r[1]) for r in rows),
+            matrix=decode_code_matrix([r[2] for r in rows], dim),
+        )
+        with self._os_cache_lock:
+            charge = partition_id not in self._os_cached_code_partitions
+            self._os_cached_code_partitions.add(partition_id)
+        self._accountant.record_read(
+            entry.nbytes + _ROW_OVERHEAD_BYTES * len(rows),
+            charge_cost=charge,
+        )
+        if use_cache:
+            self.codes_cache.put(entry)
+        return entry
+
+    def rebuild_codes(
+        self, quantizer: SQ8Quantizer, batch_size: int = 4096
+    ) -> int:
+        """Persist ``quantizer`` and re-encode every indexed vector.
+
+        Runs after a full index build (or a drift-triggered retrain):
+        all existing codes are dropped and the non-delta vectors are
+        streamed through the quantizer in bounded batches, so peak
+        memory stays at one batch. The quantizer's meta row commits in
+        the SAME transaction as the codes — they are one unit; a crash
+        can never pair new codes with an old quantizer or vice versa.
+        Returns the number of codes written.
+        """
+        self._check_open()
+        if not self._use_quantization:
+            raise StorageError("quantization is not enabled for this database")
+        if quantizer.dim != self._config.dim:
+            raise StorageError(
+                f"quantizer has dim={quantizer.dim}, "
+                f"database dim={self._config.dim}"
+            )
+        dim = self._config.dim
+        written = 0
+        with self.write_transaction() as conn:
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+                (self.QUANTIZER_META_KEY, quantizer.to_json()),
+            )
+            conn.execute("DELETE FROM vector_codes")
+            cursor = conn.execute(
+                "SELECT partition_id, asset_id, vector_id, vector "
+                "FROM vectors WHERE partition_id != ? "
+                "ORDER BY partition_id, asset_id, vector_id",
+                (DELTA_PARTITION_ID,),
+            )
+            while True:
+                rows = cursor.fetchmany(batch_size)
+                if not rows:
+                    break
+                matrix = decode_matrix([r[3] for r in rows], dim)
+                blobs = encode_code_matrix(quantizer.encode(matrix))
+                conn.executemany(
+                    "INSERT INTO vector_codes "
+                    "(partition_id, asset_id, vector_id, code) "
+                    "VALUES (?, ?, ?, ?)",
+                    [
+                        (int(r[0]), r[1], int(r[2]), blob)
+                        for r, blob in zip(rows, blobs)
+                    ],
+                )
+                written += len(rows)
+        with self._quantizer_lock:
+            self._quantizer = quantizer
+            self._quantizer_loaded = True
+        self.codes_cache.clear()
+        return written
+
+    def count_codes(self) -> int:
+        """Number of vectors with a stored SQ8 code row."""
+        self._check_open()
+        if not self._use_quantization:
+            return 0
+        cur = self._reader().execute("SELECT COUNT(*) FROM vector_codes")
+        return int(cur.fetchone()[0])
+
+    # ------------------------------------------------------------------
     # Reads: attributes
     # ------------------------------------------------------------------
 
@@ -815,9 +1042,11 @@ class StorageEngine:
         including the simulated OS page cache."""
         self._check_open()
         self.cache.clear()
+        self.codes_cache.clear()
         self._drop_centroid_cache()
         with self._os_cache_lock:
             self._os_cached_partitions.clear()
+            self._os_cached_code_partitions.clear()
             self._os_cached_centroids = False
 
     # ------------------------------------------------------------------
@@ -886,4 +1115,49 @@ class StorageEngine:
                     f"partition {pid}: centroid records {recorded} "
                     f"vectors, table holds {actual}"
                 )
+            if self._use_quantization:
+                # Once a quantizer is trained, EVERY indexed (non-
+                # delta) vector must carry a code row — an uncoded
+                # vector in a quantized partition is invisible to the
+                # fast scan path (e.g. a crash between an assignment
+                # commit and a code rewrite).
+                if self.get_meta(self.QUANTIZER_META_KEY) is not None:
+                    uncoded = conn.execute(
+                        "SELECT COUNT(*) FROM vectors v "
+                        "WHERE v.partition_id != ? "
+                        "AND NOT EXISTS (SELECT 1 FROM vector_codes c "
+                        "WHERE c.asset_id = v.asset_id "
+                        "AND c.partition_id = v.partition_id)",
+                        (DELTA_PARTITION_ID,),
+                    ).fetchone()[0]
+                    if uncoded:
+                        problems.append(
+                            f"{uncoded} indexed vectors have no "
+                            "quantized code (invisible to sq8 scans; "
+                            "rebuild the index to re-encode)"
+                        )
+                # A code row must shadow a float row in the same
+                # partition; the delta is never quantized.
+                stale = conn.execute(
+                    "SELECT COUNT(*) FROM vector_codes c "
+                    "WHERE NOT EXISTS (SELECT 1 FROM vectors v "
+                    "WHERE v.asset_id = c.asset_id "
+                    "AND v.partition_id = c.partition_id)"
+                ).fetchone()[0]
+                if stale:
+                    problems.append(
+                        f"{stale} quantized code rows do not match any "
+                        "vector row"
+                    )
+                delta_codes = conn.execute(
+                    "SELECT COUNT(*) FROM vector_codes "
+                    "WHERE partition_id = ?",
+                    (DELTA_PARTITION_ID,),
+                ).fetchone()[0]
+                if delta_codes:
+                    problems.append(
+                        f"{delta_codes} quantized code rows in the "
+                        "delta partition (delta must stay "
+                        "full-precision)"
+                    )
         return problems

@@ -1,0 +1,200 @@
+"""Scalar quantization (SQ8) for partition storage.
+
+MicroNN's dominant query-path cost is reading and scanning full-
+precision float32 partition blobs. Per-dimension min/max scalar
+quantization compresses each stored vector to one byte per dimension —
+a 4x reduction of the bytes a partition scan must pull from disk —
+while keeping the full-precision blobs around for exact reranking of
+the few top candidates ("Decoupling Vector Data and Index Storage for
+Space Efficiency": compact scan-time codes live apart from the
+full-precision vectors used for verification).
+
+The quantizer is *trained* on the indexed collection (one streaming
+min/max pass during ``build_index``), persisted in the ``meta`` table,
+and applied asymmetrically at query time: the query stays float32,
+codes are dequantized on the fly, and the top ``rerank_factor * k``
+candidates are re-scored against their float32 vectors. The delta
+partition is never quantized — upserts stay a single row write and
+fresh vectors are scanned exactly until maintenance folds them in
+("Quantization for Vector Search under Streaming Updates": hold the
+quantizer fixed between retrains, keep the streaming side exact).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DimensionMismatchError, StorageError
+from repro.storage.codec import CODE_DTYPE
+
+#: Number of quantization levels per dimension (8-bit codes).
+CODE_LEVELS = 255
+
+
+@dataclass(frozen=True)
+class SQ8Quantizer:
+    """Per-dimension min/max scalar quantizer (8-bit codes).
+
+    Dimension ``j`` maps ``[lo[j], hi[j]]`` linearly onto ``0..255``;
+    values outside the trained range are clipped (the clip fraction is
+    the drift signal maintenance watches). A constant dimension
+    (``hi == lo``) has scale zero: every value encodes to code 0 and
+    decodes back to ``lo`` exactly.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float32).reshape(-1)
+        hi = np.asarray(self.hi, dtype=np.float32).reshape(-1)
+        if lo.shape != hi.shape or lo.shape[0] < 1:
+            raise StorageError("quantizer lo/hi must be equal-length 1-D")
+        if not (np.all(np.isfinite(lo)) and np.all(np.isfinite(hi))):
+            raise StorageError("quantizer bounds must be finite")
+        if np.any(hi < lo):
+            raise StorageError("quantizer requires hi >= lo per dimension")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        scale = (hi.astype(np.float64) - lo) / CODE_LEVELS
+        object.__setattr__(self, "_scale", scale.astype(np.float32))
+
+    @property
+    def dim(self) -> int:
+        return int(self.lo.shape[0])
+
+    @property
+    def scale(self) -> np.ndarray:
+        """Per-dimension step size ``(hi - lo) / 255`` (0 if constant)."""
+        return self._scale  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def train(cls, matrix: np.ndarray) -> "SQ8Quantizer":
+        """Train from one in-memory matrix (rows are vectors)."""
+        trainer = SQ8Trainer(np.atleast_2d(matrix).shape[1])
+        trainer.update(matrix)
+        return trainer.finish()
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+
+    def encode(self, matrix: np.ndarray) -> np.ndarray:
+        """Quantize rows to uint8 codes of shape ``(n, dim)``.
+
+        Out-of-range values are clipped to the trained range; rounding
+        is to the nearest level, so the in-range reconstruction error is
+        at most half a step per dimension.
+        """
+        arr = np.atleast_2d(np.asarray(matrix, dtype=np.float32))
+        if arr.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                expected=self.dim, actual=arr.shape[1]
+            )
+        scale = self.scale
+        safe = np.where(scale > 0, scale, 1.0)
+        levels = np.rint((arr - self.lo) / safe)
+        np.clip(levels, 0, CODE_LEVELS, out=levels)
+        levels[:, scale == 0] = 0
+        return levels.astype(CODE_DTYPE)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct float32 approximations from uint8 codes."""
+        arr = np.atleast_2d(np.asarray(codes))
+        if arr.dtype != CODE_DTYPE:
+            raise StorageError(f"codes must be uint8, got {arr.dtype}")
+        if arr.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                expected=self.dim, actual=arr.shape[1]
+            )
+        return self.lo + arr.astype(np.float32) * self.scale
+
+    def clip_fraction(self, matrix: np.ndarray) -> float:
+        """Fraction of components falling outside the trained range.
+
+        This is the drift signal: a quantizer trained on yesterday's
+        distribution starts clipping when upserts move the data, and
+        clipped components carry unbounded quantization error.
+        """
+        arr = np.atleast_2d(np.asarray(matrix, dtype=np.float32))
+        if arr.size == 0:
+            return 0.0
+        if arr.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                expected=self.dim, actual=arr.shape[1]
+            )
+        outside = np.count_nonzero((arr < self.lo) | (arr > self.hi))
+        return float(outside) / float(arr.size)
+
+    # ------------------------------------------------------------------
+    # Persistence (meta-table JSON)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": "sq8",
+                "lo": [float(v) for v in self.lo],
+                "hi": [float(v) for v in self.hi],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SQ8Quantizer":
+        try:
+            data = json.loads(payload)
+            if data.get("kind") != "sq8":
+                raise StorageError(
+                    f"unsupported quantizer kind {data.get('kind')!r}"
+                )
+            return cls(
+                lo=np.asarray(data["lo"], dtype=np.float32),
+                hi=np.asarray(data["hi"], dtype=np.float32),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(f"malformed quantizer payload: {exc}") from exc
+
+
+class SQ8Trainer:
+    """Streaming per-dimension min/max accumulator.
+
+    The builder feeds it disk-streamed batches so training a quantizer
+    never materializes the collection — the same memory discipline as
+    the mini-batch k-means pass it piggybacks on.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise StorageError("dim must be >= 1")
+        self._dim = dim
+        self._lo = np.full(dim, np.inf, dtype=np.float32)
+        self._hi = np.full(dim, -np.inf, dtype=np.float32)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def update(self, matrix: np.ndarray) -> None:
+        arr = np.atleast_2d(np.asarray(matrix, dtype=np.float32))
+        if arr.shape[0] == 0:
+            return
+        if arr.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                expected=self._dim, actual=arr.shape[1]
+            )
+        np.minimum(self._lo, arr.min(axis=0), out=self._lo)
+        np.maximum(self._hi, arr.max(axis=0), out=self._hi)
+        self._count += arr.shape[0]
+
+    def finish(self) -> SQ8Quantizer:
+        if self._count == 0:
+            raise StorageError("cannot train a quantizer on zero vectors")
+        return SQ8Quantizer(lo=self._lo.copy(), hi=self._hi.copy())

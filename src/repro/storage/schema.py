@@ -14,6 +14,10 @@ Three user-visible tables mirror the paper exactly:
 
 Support tables:
 
+- ``vector_codes`` — SQ8-quantized scan codes (1 byte/dimension),
+  clustered like ``vectors`` and present only when the database was
+  opened with ``quantization="sq8"``; the fast scan path reads these
+  instead of the float32 blobs and reranks against ``vectors``.
 - ``tokens`` — our inverted token index over FTS-enabled attributes;
   it powers ``MATCH`` filters and provides the document-frequency
   statistics the hybrid-query optimizer needs for string selectivity
@@ -63,6 +67,27 @@ CREATE TABLE IF NOT EXISTS vectors (
 VECTORS_ASSET_INDEX = """
 CREATE UNIQUE INDEX IF NOT EXISTS idx_vectors_asset_id
     ON vectors (asset_id)
+"""
+
+#: Quantized SQ8 codes, clustered on disk exactly like ``vectors`` so a
+#: quantized partition scan is the same sequential range read at a
+#: quarter of the bytes. Created ONLY when the database is opened with
+#: ``quantization="sq8"`` — the default float32 layout stays
+#: byte-identical for existing databases.
+VECTOR_CODES_TABLE = """
+CREATE TABLE IF NOT EXISTS vector_codes (
+    partition_id INTEGER NOT NULL,
+    asset_id     TEXT    NOT NULL,
+    vector_id    INTEGER NOT NULL,
+    code         BLOB    NOT NULL,
+    PRIMARY KEY (partition_id, asset_id, vector_id)
+) WITHOUT ROWID
+"""
+
+#: Upserts and deletes drop an asset's stale code row by asset id.
+CODES_ASSET_INDEX = """
+CREATE UNIQUE INDEX IF NOT EXISTS idx_codes_asset_id
+    ON vector_codes (asset_id)
 """
 
 TOKENS_TABLE = """
@@ -139,12 +164,16 @@ def create_schema(
     attributes: dict[str, str],
     fts_attributes: tuple[str, ...],
     use_fts5: bool,
+    use_quantization: bool = False,
 ) -> None:
     """Create all tables and indexes on a fresh or existing database."""
     conn.execute(META_TABLE)
     conn.execute(CENTROIDS_TABLE)
     conn.execute(VECTORS_TABLE)
     conn.execute(VECTORS_ASSET_INDEX)
+    if use_quantization:
+        conn.execute(VECTOR_CODES_TABLE)
+        conn.execute(CODES_ASSET_INDEX)
     conn.execute(TOKENS_TABLE)
     conn.execute(TOKENS_ASSET_INDEX)
     conn.execute(COLUMN_STATS_TABLE)

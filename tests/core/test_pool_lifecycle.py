@@ -1,0 +1,89 @@
+"""Worker-pool lifecycle: close() must be deterministic and leak-free.
+
+Both executors keep long-lived thread pools. ``MicroNN.close()`` has to
+join them — repeated open/close cycles in one process (test suites,
+notebook reloads, app restarts-in-place) must not accumulate dangling
+``micronn-*`` threads — and a closed executor must never respawn one.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig
+from repro.core.errors import DatabaseClosedError
+
+
+def micronn_threads() -> list[str]:
+    return [
+        t.name
+        for t in threading.enumerate()
+        if t.name.startswith(("micronn-scan", "micronn-batch"))
+    ]
+
+
+def force_pools_alive(db: MicroNN) -> None:
+    """Spawn both pools' threads (ThreadPoolExecutor is lazy: threads
+    start on first submit, so a plain pool access is not enough)."""
+    db._executor._worker_pool().submit(lambda: None).result()
+    db._batch_executor._worker_pool().submit(lambda: None).result()
+
+
+@pytest.fixture
+def lifecycle_config():
+    return MicroNNConfig(dim=8, target_cluster_size=10, kmeans_iterations=10)
+
+
+class TestPoolShutdown:
+    def test_close_joins_worker_threads(self, tmp_path, lifecycle_config):
+        baseline = len(micronn_threads())
+        db = MicroNN.open(tmp_path / "a.db", lifecycle_config)
+        force_pools_alive(db)
+        assert len(micronn_threads()) > baseline
+        db.close()
+        # shutdown(wait=True) joined the workers before returning.
+        assert len(micronn_threads()) == baseline
+
+    def test_repeated_open_close_does_not_accumulate(
+        self, tmp_path, lifecycle_config, rng
+    ):
+        baseline = len(micronn_threads())
+        vectors = rng.normal(size=(40, 8)).astype(np.float32)
+        for cycle in range(5):
+            db = MicroNN.open(tmp_path / f"c{cycle}.db", lifecycle_config)
+            db.upsert_batch(
+                (f"a{i:03d}", vectors[i]) for i in range(len(vectors))
+            )
+            db.build_index()
+            db.search(vectors[0], k=3)
+            db.search_batch(vectors[:4], k=3)
+            force_pools_alive(db)
+            db.close()
+            assert len(micronn_threads()) == baseline
+
+    def test_close_is_idempotent(self, tmp_path, lifecycle_config):
+        db = MicroNN.open(tmp_path / "b.db", lifecycle_config)
+        force_pools_alive(db)
+        db.close()
+        db.close()
+
+    def test_closed_executor_cannot_respawn_pool(
+        self, tmp_path, lifecycle_config
+    ):
+        db = MicroNN.open(tmp_path / "d.db", lifecycle_config)
+        force_pools_alive(db)
+        db.close()
+        with pytest.raises(DatabaseClosedError):
+            db._executor._worker_pool()
+        with pytest.raises(DatabaseClosedError):
+            db._batch_executor._worker_pool()
+        assert micronn_threads() == []
+
+    def test_search_after_close_raises(self, tmp_path, lifecycle_config):
+        db = MicroNN.open(tmp_path / "e.db", lifecycle_config)
+        db.close()
+        with pytest.raises(DatabaseClosedError):
+            db.search(np.zeros(8, dtype=np.float32), k=1)

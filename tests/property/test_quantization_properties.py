@@ -1,0 +1,113 @@
+"""Property tests for the SQ8 quantizer (edge-case heavy by design).
+
+The quantizer must hold its reconstruction-error contract for any
+training distribution hypothesis can produce: constant dimensions,
+single vectors, extreme dynamic ranges, mixed-sign data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.storage.codec import decode_code_matrix, encode_code_matrix
+from repro.storage.quantization import CODE_LEVELS, SQ8Quantizer
+
+
+def matrices(max_magnitude: float = 1e4):
+    """Finite float32 matrices of modest size, any sign/scale mix."""
+    # Bounds must be exactly representable at width=32.
+    max_magnitude = float(np.float32(max_magnitude))
+    return st.integers(min_value=1, max_value=12).flatmap(
+        lambda dim: st.integers(min_value=1, max_value=30).flatmap(
+            lambda n: arrays(
+                dtype=np.float32,
+                shape=(n, dim),
+                elements=st.floats(
+                    min_value=-max_magnitude,
+                    max_value=max_magnitude,
+                    allow_nan=False,
+                    allow_infinity=False,
+                    width=32,
+                ),
+            )
+        )
+    )
+
+
+class TestReconstructionContract:
+    @given(matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_error_within_half_step(self, matrix):
+        q = SQ8Quantizer.train(matrix)
+        approx = q.decode(q.encode(matrix))
+        # Half a quantization step per dimension, plus float32 slack
+        # proportional to the range magnitude.
+        magnitude = np.maximum(np.abs(q.lo), np.abs(q.hi))
+        slack = 1e-3 * np.maximum(magnitude, 1.0)
+        assert np.all(np.abs(approx - matrix) <= q.scale / 2 + slack)
+
+    @given(matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_codes_within_level_range(self, matrix):
+        q = SQ8Quantizer.train(matrix)
+        codes = q.encode(matrix)
+        assert codes.dtype == np.uint8
+        assert codes.min() >= 0
+        assert codes.max() <= CODE_LEVELS
+
+    @given(matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_encode_is_idempotent_on_reconstructions(self, matrix):
+        # Encoding a reconstruction must reproduce the same codes:
+        # decode lands exactly on a code point, so a second round trip
+        # cannot drift (no accumulating quantization error).
+        q = SQ8Quantizer.train(matrix)
+        codes = q.encode(matrix)
+        again = q.encode(q.decode(codes))
+        np.testing.assert_array_equal(codes, again)
+
+    @given(matrices(max_magnitude=1e30))
+    @settings(max_examples=40, deadline=None)
+    def test_extreme_ranges_stay_finite(self, matrix):
+        # Huge dynamic ranges: scale and reconstructions must stay
+        # finite (the (hi - lo) subtraction is done in float64).
+        q = SQ8Quantizer.train(matrix)
+        assert np.all(np.isfinite(q.scale))
+        assert np.all(np.isfinite(q.decode(q.encode(matrix))))
+
+    @given(
+        st.floats(
+            min_value=-1e6,
+            max_value=1e6,
+            allow_nan=False,
+            width=32,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_constant_collection_is_lossless(self, value, dim):
+        matrix = np.full((5, dim), value, dtype=np.float32)
+        q = SQ8Quantizer.train(matrix)
+        np.testing.assert_array_equal(q.decode(q.encode(matrix)), matrix)
+
+    @given(matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_serialization_preserves_codes(self, matrix):
+        q = SQ8Quantizer.train(matrix)
+        restored = SQ8Quantizer.from_json(q.to_json())
+        np.testing.assert_array_equal(
+            q.encode(matrix), restored.encode(matrix)
+        )
+
+    @given(matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_blob_round_trip(self, matrix):
+        q = SQ8Quantizer.train(matrix)
+        codes = q.encode(matrix)
+        blobs = encode_code_matrix(codes)
+        np.testing.assert_array_equal(
+            decode_code_matrix(blobs, codes.shape[1]), codes
+        )

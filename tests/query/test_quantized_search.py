@@ -1,0 +1,281 @@
+"""Behavioral tests for the SQ8 fast scan path (executor + batch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Eq, MicroNN, MicroNNConfig
+from repro.core.types import PlanKind
+
+
+def clustered(rng, n, dim, components=8, spread=6.0):
+    centers = rng.normal(size=(components, dim)) * spread
+    counts = np.full(components, n // components)
+    counts[: n % components] += 1
+    parts = [
+        centers[i] + rng.normal(size=(int(c), dim))
+        for i, c in enumerate(counts)
+    ]
+    return np.concatenate(parts).astype(np.float32)
+
+
+@pytest.fixture
+def sq8_config():
+    return MicroNNConfig(
+        dim=16,
+        metric="l2",
+        target_cluster_size=25,
+        default_nprobe=4,
+        kmeans_iterations=10,
+        quantization="sq8",
+        rerank_factor=4,
+        attributes={"color": "TEXT"},
+    )
+
+
+@pytest.fixture
+def sq8_db(tmp_path, sq8_config, rng):
+    vectors = clustered(rng, 400, 16)
+    db = MicroNN.open(tmp_path / "sq8.db", sq8_config)
+    db.upsert_batch(
+        (f"a{i:04d}", vectors[i], {"color": ["red", "blue"][i % 2]})
+        for i in range(len(vectors))
+    )
+    db.build_index()
+    yield db, vectors
+    db.close()
+
+
+class TestScanMode:
+    def test_float32_before_build(self, tmp_path, sq8_config, rng):
+        with MicroNN.open(tmp_path / "pre.db", sq8_config) as db:
+            db.upsert_batch(
+                (f"a{i:04d}", v)
+                for i, v in enumerate(rng.normal(size=(30, 16)))
+            )
+            assert db.scan_mode() == "float32"
+            result = db.search(rng.normal(size=16), k=5)
+            assert result.stats.scan_mode == "float32"
+            assert "no quantizer trained" in db.scan_mode_description()
+
+    def test_sq8_after_build(self, sq8_db):
+        db, vectors = sq8_db
+        assert db.scan_mode() == "sq8"
+        result = db.search(vectors[0], k=5)
+        assert result.stats.scan_mode == "sq8"
+        assert result.stats.candidates_reranked > 0
+        assert "sq8" in db.scan_mode_description()
+
+    def test_none_config_stays_float32(self, populated_db, vectors):
+        result = populated_db.search(vectors[0], k=5)
+        assert result.stats.scan_mode == "float32"
+        assert result.stats.candidates_reranked == 0
+
+    def test_index_stats_reports_quantization(self, sq8_db):
+        db, _ = sq8_db
+        stats = db.index_stats()
+        assert stats.quantization == "sq8"
+        assert stats.quantized_vectors == stats.indexed_vectors > 0
+
+    def test_explain_mentions_scan_mode(self, sq8_db):
+        db, _ = sq8_db
+        text = db.explain(Eq("color", "red"))
+        assert "sq8" in text
+        assert "rerank" in text
+
+
+class TestQuantizedResults:
+    def test_nearest_self_is_found(self, sq8_db):
+        db, vectors = sq8_db
+        for i in (0, 57, 211, 399):
+            result = db.search(vectors[i], k=1)
+            assert result.asset_ids[0] == f"a{i:04d}"
+
+    def test_high_recall_against_exact(self, sq8_db):
+        db, vectors = sq8_db
+        rng = np.random.default_rng(7)
+        queries = vectors[rng.choice(len(vectors), 20, replace=False)]
+        hits = total = 0
+        for q in queries:
+            approx = set(db.search(q, k=10, nprobe=16).asset_ids)
+            exact = set(db.search(q, k=10, exact=True).asset_ids)
+            hits += len(approx & exact)
+            total += len(exact)
+        assert hits / total >= 0.95
+
+    def test_reranked_distances_are_exact(self, sq8_db):
+        db, vectors = sq8_db
+        query = vectors[3]
+        approx = db.search(query, k=5)
+        exact = db.search(query, k=5, exact=True)
+        for n_a in approx:
+            for n_e in exact:
+                if n_a.asset_id == n_e.asset_id:
+                    assert n_a.distance == pytest.approx(
+                        n_e.distance, abs=1e-4
+                    )
+
+    def test_rerank_pool_bounded(self, sq8_db):
+        db, vectors = sq8_db
+        result = db.search(vectors[0], k=5)
+        reranked = result.stats.candidates_reranked
+        assert reranked <= db.config.rerank_factor * 5
+
+    def test_post_filter_respects_predicate(self, sq8_db):
+        db, vectors = sq8_db
+        result = db.search(
+            vectors[0],
+            k=8,
+            filters=Eq("color", "red"),
+            plan=PlanKind.POST_FILTER,
+        )
+        assert result.stats.scan_mode == "sq8"
+        assert all(int(aid[1:]) % 2 == 0 for aid in result.asset_ids)
+
+    def test_delta_upserts_visible_and_exact(self, sq8_db):
+        db, vectors = sq8_db
+        new = vectors[0] + 1e-4
+        db.upsert("fresh", new)
+        result = db.search(new, k=2)
+        assert "fresh" in result.asset_ids
+        assert result.stats.scan_mode == "sq8"
+
+    def test_upsert_of_indexed_asset_drops_stale_code(self, sq8_db):
+        db, vectors = sq8_db
+        # Move a0000 far away: the quantized scan must not resurrect
+        # its old location from a stale code row.
+        far = vectors[0] + 50.0
+        db.upsert("a0000", far)
+        result = db.search(vectors[0], k=10)
+        assert "a0000" not in result.asset_ids
+        assert db.check_integrity() == []
+
+    def test_delete_removes_code_row(self, sq8_db):
+        db, vectors = sq8_db
+        before = db.index_stats().quantized_vectors
+        assert db.delete("a0005")
+        assert db.index_stats().quantized_vectors == before - 1
+        assert "a0005" not in db.search(vectors[5], k=10).asset_ids
+
+
+class TestMaintenanceInteraction:
+    def test_flush_quantizes_flushed_vectors(self, sq8_db):
+        db, vectors = sq8_db
+        db.upsert_batch((f"n{i:03d}", vectors[i] + 1e-3) for i in range(50))
+        from repro.core.types import MaintenanceAction
+
+        db.maintain(force=MaintenanceAction.INCREMENTAL_FLUSH)
+        stats = db.index_stats()
+        assert stats.delta_vectors == 0
+        assert stats.quantized_vectors == stats.indexed_vectors
+        assert db.check_integrity() == []
+        result = db.search(vectors[0] + 1e-3, k=3)
+        assert "n000" in result.asset_ids
+
+    def test_drifted_upserts_trigger_retrain(self, sq8_db):
+        db, vectors = sq8_db
+        from repro.core.types import MaintenanceAction
+
+        quantizer_before = db.engine.load_quantizer()
+        # Far outside the trained range: > 1% of components clip.
+        db.upsert_batch((f"d{i:03d}", vectors[i] + 500.0) for i in range(40))
+        db.maintain(force=MaintenanceAction.INCREMENTAL_FLUSH)
+        quantizer_after = db.engine.load_quantizer()
+        assert float(quantizer_after.hi.max()) > float(
+            quantizer_before.hi.max()
+        )
+        assert quantizer_after.clip_fraction(vectors + 500.0) < 0.5
+        # All codes were rewritten under the new quantizer.
+        stats = db.index_stats()
+        assert stats.quantized_vectors == stats.indexed_vectors
+        assert db.check_integrity() == []
+
+    def test_flush_commits_moves_and_codes_atomically(self, sq8_db):
+        # The crash-safety invariant behind the single-transaction
+        # flush: a vector landing in a quantized partition WITHOUT its
+        # code row (what a commit-then-crash between two transactions
+        # would leave behind) must be reported by integrity_check —
+        # and a normal flush must never produce that state.
+        db, vectors = sq8_db
+        db.upsert("lost", vectors[0] + 1e-3)
+        # Simulate the torn state: move the delta row without codes.
+        with db.engine.write_transaction() as conn:
+            conn.execute(
+                "UPDATE vectors SET partition_id="
+                "(SELECT MIN(partition_id) FROM centroids) "
+                "WHERE asset_id='lost'"
+            )
+        db.engine.cache.clear()
+        db.engine.codes_cache.clear()
+        problems = db.check_integrity()
+        assert any("no quantized code" in p for p in problems)
+        # A rebuild re-encodes everything and heals the invariant.
+        db.build_index()
+        assert db.check_integrity() == []
+
+    def test_rebuild_keeps_codes_complete(self, sq8_db, rng):
+        db, vectors = sq8_db
+        db.upsert_batch(
+            (f"m{i:03d}", rng.normal(size=16).astype(np.float32) * 3)
+            for i in range(60)
+        )
+        db.build_index()
+        stats = db.index_stats()
+        assert stats.quantized_vectors == stats.indexed_vectors == 460
+        assert db.check_integrity() == []
+
+
+class TestQuantizedBatch:
+    def test_batch_matches_single_queries(self, sq8_db):
+        db, vectors = sq8_db
+        queries = vectors[:6]
+        batch = db.search_batch(queries, k=5, nprobe=6)
+        assert batch.stats.scan_mode == "sq8"
+        assert batch.stats.candidates_reranked > 0
+        for i, result in enumerate(batch):
+            single = db.search(queries[i], k=5, nprobe=6)
+            assert result.asset_ids == single.asset_ids
+
+    def test_batch_shares_partition_scans(self, sq8_db):
+        db, vectors = sq8_db
+        batch = db.search_batch(vectors[:10], k=5, nprobe=6)
+        assert batch.scan_sharing_factor > 1.0
+
+
+def table_names(db: MicroNN) -> set[str]:
+    sql = "SELECT name FROM sqlite_master WHERE type='table'"
+    return {row[0] for row in db.engine._reader().execute(sql).fetchall()}
+
+
+class TestOnDiskCompatibility:
+    def test_none_layout_has_no_codes_table(self, populated_db):
+        assert "vector_codes" not in table_names(populated_db)
+        # And no quantizer key pollutes the meta table.
+        assert populated_db.engine.get_meta("sq8_quantizer") is None
+
+    def test_sq8_layout_has_codes_table(self, sq8_db):
+        db, _ = sq8_db
+        assert "vector_codes" in table_names(db)
+
+    def test_float_db_reopened_with_sq8_upgrades(self, tmp_path, rng):
+        vectors = clustered(rng, 120, 16)
+        base = dict(dim=16, target_cluster_size=25, kmeans_iterations=10)
+        path = tmp_path / "upgrade.db"
+        with MicroNN.open(path, MicroNNConfig(**base)) as db:
+            db.upsert_batch(
+                (f"a{i:04d}", vectors[i]) for i in range(len(vectors))
+            )
+            db.build_index()
+        with MicroNN.open(
+            path, MicroNNConfig(quantization="sq8", **base)
+        ) as db:
+            # Old database, no codes yet: falls back to float32 scans.
+            assert db.scan_mode() == "float32"
+            result = db.search(vectors[0], k=1)
+            assert result.asset_ids[0] == "a0000"
+            db.build_index()
+            assert db.scan_mode() == "sq8"
+            result = db.search(vectors[0], k=1)
+            assert result.asset_ids[0] == "a0000"
+            assert result.stats.scan_mode == "sq8"

@@ -1,0 +1,149 @@
+"""Unit tests for the SQ8 scalar quantizer and code codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError, StorageError
+from repro.storage.codec import (
+    CODE_DTYPE,
+    decode_code_matrix,
+    encode_code_matrix,
+)
+from repro.storage.quantization import (
+    CODE_LEVELS,
+    SQ8Quantizer,
+    SQ8Trainer,
+)
+
+
+class TestTraining:
+    def test_train_learns_per_dimension_bounds(self, rng):
+        matrix = rng.normal(size=(100, 8)).astype(np.float32)
+        q = SQ8Quantizer.train(matrix)
+        np.testing.assert_allclose(q.lo, matrix.min(axis=0))
+        np.testing.assert_allclose(q.hi, matrix.max(axis=0))
+
+    def test_streaming_matches_one_shot(self, rng):
+        matrix = rng.normal(size=(256, 8)).astype(np.float32)
+        trainer = SQ8Trainer(8)
+        for start in range(0, 256, 64):
+            trainer.update(matrix[start : start + 64])
+        streamed = trainer.finish()
+        one_shot = SQ8Quantizer.train(matrix)
+        np.testing.assert_array_equal(streamed.lo, one_shot.lo)
+        np.testing.assert_array_equal(streamed.hi, one_shot.hi)
+
+    def test_zero_vectors_rejected(self):
+        with pytest.raises(StorageError):
+            SQ8Trainer(4).finish()
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(StorageError):
+            SQ8Quantizer(lo=np.ones(4), hi=np.zeros(4))
+        with pytest.raises(StorageError):
+            SQ8Quantizer(lo=np.array([np.nan]), hi=np.array([1.0]))
+
+
+class TestRoundTrip:
+    def test_error_bounded_by_half_step(self, rng):
+        matrix = rng.normal(size=(200, 16)).astype(np.float32) * 10
+        q = SQ8Quantizer.train(matrix)
+        approx = q.decode(q.encode(matrix))
+        # Rounding to the nearest of 256 levels: error <= step / 2 per
+        # dimension (plus float32 round-off slack).
+        bound = q.scale / 2 + 1e-4 * np.maximum(np.abs(q.lo), np.abs(q.hi))
+        assert np.all(np.abs(approx - matrix) <= bound + 1e-6)
+
+    def test_endpoints_reconstruct_exactly(self):
+        matrix = np.array([[0.0, -5.0], [10.0, 5.0]], dtype=np.float32)
+        q = SQ8Quantizer.train(matrix)
+        approx = q.decode(q.encode(matrix))
+        np.testing.assert_allclose(approx, matrix, atol=1e-5)
+
+    def test_constant_dimension_is_lossless(self):
+        matrix = np.array(
+            [[3.5, 1.0], [3.5, 2.0], [3.5, 3.0]], dtype=np.float32
+        )
+        q = SQ8Quantizer.train(matrix)
+        assert q.scale[0] == 0.0
+        codes = q.encode(matrix)
+        assert np.all(codes[:, 0] == 0)
+        np.testing.assert_allclose(q.decode(codes)[:, 0], 3.5)
+
+    def test_single_vector_collection(self):
+        matrix = np.array([[1.0, -2.0, 0.0]], dtype=np.float32)
+        q = SQ8Quantizer.train(matrix)
+        np.testing.assert_allclose(q.decode(q.encode(matrix)), matrix)
+
+    def test_out_of_range_values_clip(self):
+        train = np.array([[0.0], [1.0]], dtype=np.float32)
+        q = SQ8Quantizer.train(train)
+        codes = q.encode(np.array([[-100.0], [100.0]], dtype=np.float32))
+        assert codes[0, 0] == 0
+        assert codes[1, 0] == CODE_LEVELS
+
+    def test_dimension_mismatch_rejected(self, rng):
+        q = SQ8Quantizer.train(rng.normal(size=(10, 4)))
+        with pytest.raises(DimensionMismatchError):
+            q.encode(rng.normal(size=(3, 5)))
+        with pytest.raises(DimensionMismatchError):
+            q.decode(np.zeros((3, 5), dtype=CODE_DTYPE))
+
+
+class TestClipFraction:
+    def test_zero_for_training_data(self, rng):
+        matrix = rng.normal(size=(50, 4)).astype(np.float32)
+        q = SQ8Quantizer.train(matrix)
+        assert q.clip_fraction(matrix) == 0.0
+
+    def test_counts_out_of_range_components(self):
+        q = SQ8Quantizer.train(
+            np.array([[0.0, 0.0], [1.0, 1.0]], dtype=np.float32)
+        )
+        probe = np.array([[2.0, 0.5], [0.5, 0.5]], dtype=np.float32)
+        assert q.clip_fraction(probe) == pytest.approx(0.25)
+
+    def test_empty_matrix(self, rng):
+        q = SQ8Quantizer.train(rng.normal(size=(10, 4)))
+        assert q.clip_fraction(np.empty((0, 4), dtype=np.float32)) == 0.0
+
+
+class TestSerialization:
+    def test_json_round_trip(self, rng):
+        q = SQ8Quantizer.train(rng.normal(size=(20, 6)) * 100)
+        restored = SQ8Quantizer.from_json(q.to_json())
+        np.testing.assert_array_equal(restored.lo, q.lo)
+        np.testing.assert_array_equal(restored.hi, q.hi)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(StorageError):
+            SQ8Quantizer.from_json("{}")
+        with pytest.raises(StorageError):
+            SQ8Quantizer.from_json('{"kind": "pq", "lo": [0], "hi": [1]}')
+        with pytest.raises(StorageError):
+            SQ8Quantizer.from_json('{"kind": "sq8", "lo": "x", "hi": [1]}')
+
+
+class TestCodeCodec:
+    def test_round_trip(self, rng):
+        codes = rng.integers(0, 256, size=(12, 8)).astype(CODE_DTYPE)
+        blobs = encode_code_matrix(codes)
+        assert all(len(b) == 8 for b in blobs)
+        np.testing.assert_array_equal(decode_code_matrix(blobs, 8), codes)
+
+    def test_empty(self):
+        assert decode_code_matrix([], 8).shape == (0, 8)
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(StorageError):
+            encode_code_matrix(np.zeros((2, 4), dtype=np.float32))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(StorageError):
+            encode_code_matrix(np.zeros(4, dtype=CODE_DTYPE))
+
+    def test_wrong_blob_size_rejected(self):
+        with pytest.raises(StorageError):
+            decode_code_matrix([b"abc"], 8)
