@@ -1,0 +1,147 @@
+"""Diff benchmark JSON artifacts against the previous CI run's.
+
+The smoke job archives ``bench-artifacts/*.json`` every run; this
+script compares the current artifacts against the previous successful
+run's (downloaded as the trend baseline) and:
+
+- **fails** (exit 1) on a >20% regression of any bytes-read metric —
+  partition I/O is deterministic, so growth is a real regression;
+- **warns** (GitHub ``::warning::`` annotation, exit 0) on a >20%
+  regression of any latency metric — wall-clock on shared runners is
+  noisy, so latency drift flags for a human instead of blocking.
+
+Metrics are discovered by walking each JSON document: numeric leaves
+whose key matches ``bytes_read`` gate hard, leaves whose key looks like
+a latency/percentile/duration gate soft. Higher is worse for both. A
+missing baseline (first run, expired artifact) passes with a note.
+
+Usage::
+
+    python benchmarks/check_bench_trend.py \
+        --baseline bench-baseline --current bench-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+#: Relative growth above which a metric counts as regressed.
+DEFAULT_THRESHOLD = 0.20
+
+#: Leaf-key patterns. bytes-read metrics fail the job; latency-shaped
+#: metrics only warn. Diagnostic timings (io_time_ms/compute_time_ms
+#: are *summed thread times*, expected to move with worker counts) are
+#: deliberately not matched, and higher-is-better keys (speedups,
+#: recall, reduction factors — e.g. ``cold_p50_speedup``) are excluded
+#: even when they embed a percentile name, since growth there is an
+#: improvement, not a regression.
+BYTES_PATTERN = re.compile(r"bytes_read")
+LATENCY_PATTERN = re.compile(r"latency|p50|p95|p99|duration")
+HIGHER_IS_BETTER_PATTERN = re.compile(r"speedup|recall|reduction|factor")
+
+
+def flatten_metrics(payload: object, prefix: str = "") -> dict[str, float]:
+    """All numeric leaves of a JSON document, keyed by dotted path."""
+    out: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_metrics(value, path))
+    elif isinstance(payload, list):
+        for i, value in enumerate(payload):
+            out.update(flatten_metrics(value, f"{prefix}[{i}]"))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        out[prefix] = float(payload)
+    return out
+
+
+def compare_artifacts(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[str], list[str]]:
+    """Return (hard failures, soft warnings) between two metric maps."""
+    failures: list[str] = []
+    warnings: list[str] = []
+    for path in sorted(baseline.keys() & current.keys()):
+        leaf = path.rsplit(".", 1)[-1]
+        if HIGHER_IS_BETTER_PATTERN.search(leaf):
+            continue
+        hard = bool(BYTES_PATTERN.search(leaf))
+        soft = bool(LATENCY_PATTERN.search(leaf))
+        if not (hard or soft):
+            continue
+        before, after = baseline[path], current[path]
+        if before <= 0:
+            continue
+        growth = (after - before) / before
+        if growth <= threshold:
+            continue
+        message = (
+            f"{path}: {before:.4g} -> {after:.4g} "
+            f"(+{growth:.0%}, threshold +{threshold:.0%})"
+        )
+        (failures if hard else warnings).append(message)
+    return failures, warnings
+
+
+def check_directories(
+    baseline_dir: Path,
+    current_dir: Path,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> int:
+    if not baseline_dir.is_dir():
+        print(f"no baseline at {baseline_dir}; first run, nothing to diff")
+        return 0
+    compared = 0
+    exit_code = 0
+    for current_path in sorted(current_dir.glob("*.json")):
+        baseline_path = baseline_dir / current_path.name
+        if not baseline_path.is_file():
+            print(f"{current_path.name}: new artifact, no baseline")
+            continue
+        try:
+            baseline = flatten_metrics(
+                json.loads(baseline_path.read_text())
+            )
+            current = flatten_metrics(json.loads(current_path.read_text()))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"::warning::{current_path.name}: unreadable ({exc})")
+            continue
+        compared += 1
+        failures, warnings = compare_artifacts(
+            baseline, current, threshold
+        )
+        for message in warnings:
+            print(f"::warning::{current_path.name}: latency regression "
+                  f"{message}")
+        for message in failures:
+            print(f"::error::{current_path.name}: bytes-read regression "
+                  f"{message}")
+            exit_code = 1
+        if not failures and not warnings:
+            print(f"{current_path.name}: within +{threshold:.0%} of baseline")
+    if compared == 0:
+        print("no artifacts shared with the baseline; nothing compared")
+    return exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="previous run's artifact directory")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="this run's artifact directory")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="relative growth treated as regression")
+    args = parser.parse_args(argv)
+    return check_directories(args.baseline, args.current, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

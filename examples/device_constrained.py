@@ -11,7 +11,14 @@ scenarios:
   holds,
 - **SQ8 quantization** (``quantization="sq8"``): int8 scan codes cut
   cold partition reads ~4x, and the ``rerank_factor`` knob trades the
-  small rerank I/O against recall.
+  small rerank I/O against recall,
+- the **pipelined partition scan**: cache-cold queries overlap
+  partition reads with distance kernels, tuned by three knobs —
+  ``pipeline_depth`` (bounded queue of loaded-but-unscored partitions;
+  0 disables), ``io_prefetch_threads`` (the worker split: how many
+  threads feed the queue vs score from it), and the device's
+  ``scratch_buffer_bytes`` (reusable decode buffers so cold scans stop
+  allocating one matrix per partition per query).
 
 Run:  python examples/device_constrained.py
 """
@@ -107,6 +114,7 @@ def main() -> None:
         )
 
     quantization_tradeoff(ids, vectors, queries, truth, device)
+    pipeline_tuning(ids, vectors, queries, device)
 
 
 def quantization_tradeoff(ids, vectors, queries, truth, device) -> None:
@@ -170,6 +178,70 @@ def quantization_tradeoff(ids, vectors, queries, truth, device) -> None:
         "sq8 reads ~4x fewer partition bytes; raising rerank_factor "
         "recovers recall\nfor a few extra full-precision point reads "
         "per query."
+    )
+
+
+def pipeline_tuning(ids, vectors, queries, device) -> None:
+    """The partition-scan pipeline knobs on the same constrained device.
+
+    A cache-cold query alternates between reading a partition from
+    flash and scoring it; the pipeline runs both at once. Tuning guide:
+
+    - ``pipeline_depth`` — how many loaded partitions may wait in the
+      queue. 2-4 is enough: the queue only needs to cover one load's
+      worth of compute. 0 disables the pipeline (the A/B baseline
+      below). Each queued partition pins one scratch buffer, so depth
+      also bounds transient memory.
+    - ``io_prefetch_threads`` — the worker split. 1 keeps reads
+      strictly sequential in centroid-distance order (best for GIL
+      friendliness); 2 helps when storage latency, not bandwidth,
+      dominates (seek-heavy flash) because two reads overlap.
+    - ``device.scratch_buffer_bytes`` — decode-buffer pool for
+      partitions the cache cannot hold; results are identical either
+      way, a too-small pool just allocates transiently.
+
+    Results are bit-identical with the pipeline on or off — the knobs
+    move wall-clock only. Per-query ``QueryStats.io_time_ms`` /
+    ``compute_time_ms`` (summed thread times) exceeding the latency is
+    the overlap made visible.
+    """
+    print("\n-- pipelined scan: depth / worker-split tuning --")
+    print(f"{'config':>22s} {'cold ms':>8s} {'io ms':>7s} {'comp ms':>8s}")
+    for depth, io_threads in ((0, 1), (2, 1), (4, 1), (4, 2)):
+        config = MicroNNConfig(
+            dim=DIM,
+            target_cluster_size=100,
+            device=device,
+            minibatch_fraction=0.02,
+            pipeline_depth=depth,
+            io_prefetch_threads=io_threads,
+        )
+        with MicroNN.open(config=config) as db:
+            db.upsert_batch(zip(ids, vectors))
+            db.build_index()
+            latencies, io_ms, comp_ms = [], 0.0, 0.0
+            for q in queries:
+                db.purge_caches()
+                db.engine.load_centroids()  # charge the scan, not this
+                start = time.perf_counter()
+                stats = db.search(q, k=K, nprobe=8).stats
+                latencies.append(time.perf_counter() - start)
+                io_ms += stats.io_time_ms
+                comp_ms += stats.compute_time_ms
+            label = (
+                "serial (depth=0)"
+                if depth == 0
+                else f"depth={depth} io={io_threads}"
+            )
+            n = len(queries)
+            print(
+                f"{label:>22s} {sum(latencies) / n * 1e3:>8.2f} "
+                f"{io_ms / n:>7.2f} {comp_ms / n:>8.2f}"
+            )
+    print(
+        "io+compute exceeding the cold latency is the overlap: both "
+        "stages run\nat the same time. Warm queries bypass the "
+        "pipeline entirely."
     )
 
 

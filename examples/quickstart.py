@@ -66,7 +66,10 @@ def main() -> None:
         hybrid = db.search(
             query, k=5, filters=Eq("category", "vehicle")
         )
-        print(f"\ntop-5 where category=vehicle (plan: {hybrid.stats.plan.value}):")
+        print(
+            "\ntop-5 where category=vehicle "
+            f"(plan: {hybrid.stats.plan.value}):"
+        )
         for neighbor in hybrid:
             attrs = db.get_attributes(neighbor.asset_id)
             print(

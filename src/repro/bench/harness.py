@@ -176,7 +176,9 @@ def fmt_mib(nbytes: int | float) -> float:
     return float(nbytes) / (1024 * 1024)
 
 
-def ann_search_ids(db: MicroNN, k: int) -> Callable[[np.ndarray, int], list[str]]:
+def ann_search_ids(
+    db: MicroNN, k: int
+) -> Callable[[np.ndarray, int], list[str]]:
     """Adapter: a tune_nprobe-compatible closure over db.search."""
 
     def search(query: np.ndarray, nprobe: int) -> list[str]:

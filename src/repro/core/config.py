@@ -73,6 +73,12 @@ class DeviceProfile:
     worker_threads: int = 8
     partition_cache_bytes: int = 64 * 1024 * 1024
     sqlite_cache_bytes: int = 8 * 1024 * 1024
+    #: Budget for the reusable scratch buffers the pipelined scan
+    #: decodes partitions into when they cannot be admitted to the
+    #: partition cache (e.g. a zero cache budget). Checked-out buffers
+    #: are pinned and accounted to the memory tracker; ``0`` disables
+    #: pooling and falls back to per-scan allocations.
+    scratch_buffer_bytes: int = 16 * 1024 * 1024
     io_model: IOCostModel = field(default_factory=IOCostModel)
 
     def __post_init__(self) -> None:
@@ -82,6 +88,8 @@ class DeviceProfile:
             raise ConfigError("partition_cache_bytes must be >= 0")
         if self.sqlite_cache_bytes < 0:
             raise ConfigError("sqlite_cache_bytes must be >= 0")
+        if self.scratch_buffer_bytes < 0:
+            raise ConfigError("scratch_buffer_bytes must be >= 0")
 
     @classmethod
     def small(cls, io_model: IOCostModel | None = None) -> "DeviceProfile":
@@ -91,6 +99,7 @@ class DeviceProfile:
             worker_threads=2,
             partition_cache_bytes=8 * 1024 * 1024,
             sqlite_cache_bytes=2 * 1024 * 1024,
+            scratch_buffer_bytes=4 * 1024 * 1024,
             io_model=io_model or IOCostModel(),
         )
 
@@ -162,6 +171,13 @@ class MicroNNConfig:
     rerank_factor:
         With ``quantization="sq8"``, the number of approximate
         candidates kept for exact reranking, as a multiple of ``k``.
+    pipeline_depth:
+        Bounded-queue depth of the partition-scan I/O–compute pipeline
+        (``0`` disables pipelining; scans fall back to the serial
+        load-then-score path).
+    io_prefetch_threads:
+        Worker threads dedicated to the pipeline's I/O stage; the rest
+        of ``device.worker_threads`` score partitions as they arrive.
     device:
         Resource envelope for query processing.
     seed:
@@ -199,6 +215,23 @@ class MicroNNConfig:
     #: ``rerank_factor * k`` approximate candidates and re-scores them
     #: exactly. Higher values trade rerank I/O for recall.
     rerank_factor: int = 4
+    #: Depth of the partition-scan pipeline: how many loaded-but-not-
+    #: yet-scored partitions may sit in the bounded queue between the
+    #: I/O stage and the compute stage. While partition ``N`` is being
+    #: scored, up to ``pipeline_depth`` later partitions are already
+    #: being read and decoded, so the disk and the cores stay busy at
+    #: the same time. ``0`` disables the pipeline entirely (the serial
+    #: load-then-score path, the A/B baseline). The pipeline engages
+    #: only when at least one selected partition is cache-cold — fully
+    #: warm scans keep the lower-overhead serial path.
+    pipeline_depth: int = 2
+    #: Number of worker threads dedicated to the pipeline's I/O stage
+    #: (reading + decoding partitions). The compute stage gets the
+    #: remaining ``worker_threads`` (at least one). One I/O thread is
+    #: usually right: SQLite range reads are sequential and tiny reads
+    #: fanned across threads convoy on the GIL, but a slow-flash device
+    #: profile can raise it to keep the queue fed.
+    io_prefetch_threads: int = 1
     device: DeviceProfile = field(default_factory=DeviceProfile.large)
     seed: int = 0
 
@@ -207,7 +240,8 @@ class MicroNNConfig:
             raise ConfigError(f"dim must be >= 1, got {self.dim}")
         if self.metric not in SUPPORTED_METRICS:
             raise ConfigError(
-                f"metric must be one of {SUPPORTED_METRICS}, got {self.metric!r}"
+                f"metric must be one of {SUPPORTED_METRICS}, "
+                f"got {self.metric!r}"
             )
         if self.target_cluster_size < 1:
             raise ConfigError("target_cluster_size must be >= 1")
@@ -243,6 +277,10 @@ class MicroNNConfig:
             )
         if self.rerank_factor < 1:
             raise ConfigError("rerank_factor must be >= 1")
+        if self.pipeline_depth < 0:
+            raise ConfigError("pipeline_depth must be >= 0")
+        if self.io_prefetch_threads < 1:
+            raise ConfigError("io_prefetch_threads must be >= 1")
         self._validate_attributes()
 
     def _validate_attributes(self) -> None:

@@ -107,7 +107,9 @@ class MicroNN:
                 raise FilterError(
                     "open() needs either a config or at least dim=..."
                 )
-            config = MicroNNConfig(dim=dim, **config_kwargs)  # type: ignore[arg-type]
+            config = MicroNNConfig(
+                dim=dim, **config_kwargs  # type: ignore[arg-type]
+            )
         elif dim is not None or config_kwargs:
             raise FilterError(
                 "pass either a config object or keyword arguments, not both"
@@ -335,7 +337,9 @@ class MicroNN:
             result = SearchResult(neighbors=result.neighbors, stats=stats)
         return result
 
-    def plan_for(self, filters: Predicate, nprobe: int | None = None) -> PlanDecision:
+    def plan_for(
+        self, filters: Predicate, nprobe: int | None = None
+    ) -> PlanDecision:
         """Expose the optimizer's decision without running the query."""
         nprobe = nprobe or self._config.default_nprobe
         planner = HybridQueryPlanner(
@@ -431,6 +435,7 @@ class MicroNN:
         lines = [
             f"hybrid query plan (k={k}, nprobe={nprobe}, |R|={total})",
             f"  partition scan:   {self.scan_mode_description(k)}",
+            f"  scan pipeline:    {self.pipeline_description()}",
             (
                 "  attribute filter: estimated selectivity "
                 f"{decision.estimated_selectivity:.6f} "
@@ -469,6 +474,24 @@ class MicroNN:
         ):
             return "sq8"
         return "float32"
+
+    def pipeline_description(self) -> str:
+        """One-line account of the partition-scan pipeline settings.
+
+        The per-query observability lives in :class:`QueryStats`:
+        ``io_time_ms``/``compute_time_ms`` are summed thread times, so
+        their total exceeding the query latency is the direct signature
+        of I/O–compute overlap, and ``scan_pipelined`` says whether the
+        pipeline actually engaged.
+        """
+        depth = self._config.pipeline_depth
+        if depth < 1:
+            return "off — serial load-then-score scans (pipeline_depth=0)"
+        return (
+            f"I/O–compute overlap on cache-cold scans (depth={depth}, "
+            f"{self._config.io_prefetch_threads} I/O thread(s), up to "
+            f"{self._config.device.worker_threads} compute workers)"
+        )
 
     def scan_mode_description(self, k: int = 10) -> str:
         """One-line human-readable account of the active scan mode."""

@@ -65,6 +65,17 @@ class QueryStats:
     #: Number of approximate candidates re-scored against their
     #: full-precision vectors (SQ8 scans only).
     candidates_reranked: int = 0
+    #: Milliseconds spent loading + decoding partitions. When the scan
+    #: was pipelined this is summed across I/O tasks, so
+    #: ``io_time_ms + compute_time_ms > latency_s * 1e3`` is the
+    #: direct signature of I/O–compute overlap.
+    io_time_ms: float = 0.0
+    #: Milliseconds spent in distance kernels + heap maintenance
+    #: (summed across compute workers when pipelined).
+    compute_time_ms: float = 0.0
+    #: Whether the two-stage I/O–compute pipeline executed this scan
+    #: (cache-cold ANN scans with ``pipeline_depth > 0``).
+    scan_pipelined: bool = False
 
 
 @dataclass(frozen=True, slots=True)

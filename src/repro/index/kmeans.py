@@ -200,7 +200,9 @@ class MiniBatchKMeans:
         vectors across *nearby* clusters (the distances still dominate)
         rather than hard-capping sizes.
         """
-        dist = pairwise_distances(batch, self._centroids, self._training_metric())
+        dist = pairwise_distances(
+            batch, self._centroids, self._training_metric()
+        )
         if self._balance_penalty > 0.0 and self._counts.sum() > 0:
             mean_count = max(float(self._counts.mean()), 1.0)
             load = self._counts / mean_count

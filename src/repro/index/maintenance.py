@@ -89,7 +89,8 @@ class IndexMonitor:
         if stats.num_partitions == 0:
             # Nothing has ever been clustered; only a build helps.
             return MaintenanceAction.FULL_REBUILD
-        if self._projected_growth(stats) >= self._config.rebuild_growth_threshold:
+        threshold = self._config.rebuild_growth_threshold
+        if self._projected_growth(stats) >= threshold:
             return MaintenanceAction.FULL_REBUILD
         if stats.delta_vectors >= self._config.delta_flush_threshold:
             return MaintenanceAction.INCREMENTAL_FLUSH

@@ -40,6 +40,11 @@ from repro.query.distance import (
     surface_distance,
 )
 from repro.query.heap import Candidate, topk_from_distances
+from repro.query.pipeline import (
+    has_cold_partition,
+    release_scratch_payload,
+    run_scan_pipeline,
+)
 from repro.storage.engine import StorageEngine
 
 
@@ -48,14 +53,27 @@ from repro.storage.engine import StorageEngine
 _PARALLEL_BATCH_ELEMENTS = 1 << 21
 
 
+class _BatchScanState:
+    """One compute worker's private MQO accumulator."""
+
+    __slots__ = ("outcomes",)
+
+    def __init__(self) -> None:
+        # (query_rows, locals_per_query, partition_size, is_codes)
+        self.outcomes: list[tuple] = []
+
+
 class BatchQueryExecutor:
     """MQO execution of a batch of ANN queries."""
 
     def __init__(self, engine: StorageEngine, config: MicroNNConfig) -> None:
         self._engine = engine
         self._config = config
-        # Long-lived worker pool (see QueryExecutor._worker_pool).
+        # Long-lived worker pools (see QueryExecutor._worker_pool; the
+        # I/O pool is separate so pipeline producers can never wait
+        # behind compute consumers on the same pool).
         self._pool: ThreadPoolExecutor | None = None
+        self._io_pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._pool_closed = False
 
@@ -70,13 +88,27 @@ class BatchQueryExecutor:
                 )
             return self._pool
 
+    def _io_worker_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool_closed:
+                raise DatabaseClosedError("batch executor is closed")
+            if self._io_pool is None:
+                self._io_pool = ThreadPoolExecutor(
+                    max_workers=self._config.io_prefetch_threads,
+                    thread_name_prefix="micronn-batch-io",
+                )
+            return self._io_pool
+
     def close(self) -> None:
         """Deterministic, idempotent pool shutdown (joins workers)."""
         with self._pool_lock:
             self._pool_closed = True
             pool, self._pool = self._pool, None
+            io_pool, self._io_pool = self._io_pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        if io_pool is not None:
+            io_pool.shutdown(wait=True, cancel_futures=True)
 
     def search_batch(
         self, queries: np.ndarray, k: int, nprobe: int
@@ -116,58 +148,18 @@ class BatchQueryExecutor:
         scanned_counts = np.zeros(num_queries, dtype=np.int64)
         rerank_pool = max(k, self._config.rerank_factor * k)
 
-        # Load phase: each needed partition is read exactly ONCE — the
-        # point of MQO — and sequentially (threaded tiny SQLite reads
-        # convoy on the GIL; see executor._scan_partitions). Under sq8
-        # the read is the code partition (a quarter of the bytes); the
-        # delta and code-less partitions stay full-precision.
-        loaded = []
-        for pid, query_rows in groups.items():
-            if quantizer is not None and pid != DELTA_PARTITION_ID:
-                entry = self._engine.load_partition_codes(pid)
-                if len(entry):
-                    loaded.append((entry, query_rows, True))
-                    continue
-                loaded.append(
-                    (self._engine.load_partition(pid), query_rows, False)
-                )
-            else:
-                loaded.append(
-                    (self._engine.load_partition(pid), query_rows, False)
-                )
-
-        def compute(item):
-            entry, query_rows, is_codes = item
-            if len(entry) == 0:
-                return query_rows, [], 0, is_codes
-            sub = q[query_rows]
-            # One GEMM covers every query interested in this partition.
-            if is_codes:
-                dist = asymmetric_pairwise_distances(
-                    sub, entry.matrix, quantizer, self._config.metric
-                )
-                keep = rerank_pool
-            else:
-                dist = pairwise_distances(
-                    sub, entry.matrix, self._config.metric
-                )
-                keep = k
-            locals_per_query = [
-                topk_from_distances(entry.asset_ids, dist[row], keep)
-                for row in range(len(query_rows))
-            ]
-            return query_rows, locals_per_query, len(entry), is_codes
-
-        total_elements = sum(
-            len(entry) * len(query_rows) for entry, query_rows, _ in loaded
+        # Scan phase: each needed partition is read exactly ONCE — the
+        # point of MQO. Under sq8 the read is the code partition (a
+        # quarter of the bytes); the delta and code-less partitions
+        # stay full-precision. Cache-cold batches run the same
+        # I/O–compute pipeline as single queries: one partition is
+        # being read while another's shared GEMM runs, still once per
+        # partition per batch. Warm batches keep the serial path
+        # (threaded tiny SQLite reads convoy on the GIL; see
+        # executor._scan_partitions).
+        outcomes, io_time, compute_time, pipelined = self._scan_groups(
+            groups, q, quantizer, rerank_pool, k
         )
-        workers = max(
-            1, min(self._config.device.worker_threads, len(loaded))
-        )
-        if workers == 1 or total_elements < _PARALLEL_BATCH_ELEMENTS:
-            outcomes = [compute(item) for item in loaded]
-        else:
-            outcomes = list(self._worker_pool().map(compute, loaded))
 
         for query_rows, locals_per_query, size, is_codes in outcomes:
             sink = per_query_approx if is_codes else per_query
@@ -199,6 +191,9 @@ class BatchQueryExecutor:
             latency_s=latency,
             scan_mode=scan_mode,
             candidates_reranked=reranked,
+            io_time_ms=io_time * 1e3,
+            compute_time_ms=compute_time * 1e3,
+            scan_pipelined=pipelined,
         )
         return BatchSearchResult(
             results=results,
@@ -207,6 +202,165 @@ class BatchQueryExecutor:
             latency_s=latency,
             stats=batch_stats,
         )
+
+    # ------------------------------------------------------------------
+
+    def _load_group(self, pid: int, quantizer, use_scratch: bool = False):
+        """Read one partition for the batch (codes when available)."""
+        return self._engine.load_scan_entry(
+            pid, quantized=quantizer is not None, use_scratch=use_scratch
+        )
+
+    def _compute_group(self, entry, query_rows, is_codes, q, quantizer,
+                       rerank_pool: int, k: int):
+        """Score one partition for every query interested in it."""
+        if len(entry) == 0:
+            return query_rows, [], 0, is_codes
+        sub = q[query_rows]
+        # One kernel call covers every query interested in this
+        # partition (a GEMM for float32, the fused int8 contraction
+        # for codes).
+        if is_codes:
+            dist = asymmetric_pairwise_distances(
+                sub, entry.matrix, quantizer, self._config.metric
+            )
+            keep = rerank_pool
+        else:
+            dist = pairwise_distances(
+                sub, entry.matrix, self._config.metric
+            )
+            keep = k
+        locals_per_query = [
+            topk_from_distances(entry.asset_ids, dist[row], keep)
+            for row in range(len(query_rows))
+        ]
+        return query_rows, locals_per_query, len(entry), is_codes
+
+    def _scan_groups(
+        self, groups, q, quantizer, rerank_pool: int, k: int
+    ) -> tuple[list[tuple], float, float, bool]:
+        """Run the batch's partition scans (pipelined when cold).
+
+        Returns (per-partition outcomes, io seconds, compute seconds,
+        pipelined flag). Outcome order varies across schedules but the
+        per-query merge sorts on (distance, asset_id), so batch results
+        are identical with the pipeline on or off.
+        """
+        items = list(groups.items())
+        if self._should_pipeline(items, quantizer):
+            return self._scan_groups_pipelined(
+                items, q, quantizer, rerank_pool, k
+            )
+
+        io_start = time.perf_counter()
+        loaded = []
+        for pid, query_rows in items:
+            entry, is_codes = self._load_group(pid, quantizer)
+            loaded.append((entry, query_rows, is_codes))
+        io_time = time.perf_counter() - io_start
+
+        compute_start = time.perf_counter()
+        total_elements = sum(
+            len(entry) * len(query_rows) for entry, query_rows, _ in loaded
+        )
+        workers = max(
+            1, min(self._config.device.worker_threads, len(loaded))
+        )
+
+        def compute(item):
+            entry, query_rows, is_codes = item
+            return self._compute_group(
+                entry, query_rows, is_codes, q, quantizer, rerank_pool, k
+            )
+
+        if workers == 1 or total_elements < _PARALLEL_BATCH_ELEMENTS:
+            outcomes = [compute(item) for item in loaded]
+        else:
+            outcomes = list(self._worker_pool().map(compute, loaded))
+        return outcomes, io_time, time.perf_counter() - compute_start, False
+
+    def _should_pipeline(self, items, quantizer) -> bool:
+        """Pipeline only cache-cold batches (see executor heuristic)."""
+        if self._config.pipeline_depth < 1 or len(items) <= 1:
+            return False
+        return has_cold_partition(
+            self._engine.cache,
+            self._engine.codes_cache,
+            (pid for pid, _ in items),
+            quantizer is not None,
+            DELTA_PARTITION_ID,
+        )
+
+    def _scan_groups_pipelined(
+        self, items, q, quantizer, rerank_pool: int, k: int
+    ) -> tuple[list[tuple], float, float, bool]:
+        """Batch scans through the two-stage pipeline.
+
+        The I/O stage still reads each partition exactly once per
+        batch; compute workers run the shared per-partition kernels on
+        payloads as they arrive and release scratch leases as soon as
+        a partition has been scored.
+        """
+
+        def load(item):
+            pid, query_rows = item
+            entry, is_codes = self._load_group(
+                pid, quantizer, use_scratch=True
+            )
+            if len(entry) == 0:
+                return None
+            return entry, query_rows, is_codes
+
+        def score(state: _BatchScanState, payload) -> None:
+            entry, query_rows, is_codes = payload
+            try:
+                state.outcomes.append(
+                    self._compute_group(
+                        entry, query_rows, is_codes, q, quantizer,
+                        rerank_pool, k,
+                    )
+                )
+            finally:
+                if entry.lease is not None:
+                    entry.lease.release()
+
+        # Compute fan-out mirrors the serial _PARALLEL_BATCH_ELEMENTS
+        # gate — query-rows x expected partition rows, same units —
+        # so a batch that would run inline warm also runs inline cold.
+        # Fanned-out consumers come out of worker_threads (the worker
+        # split with the I/O stage); small batches keep the caller-
+        # thread consumer and just overlap the I/O.
+        io_threads = min(self._config.io_prefetch_threads, len(items))
+        expected_elements = sum(
+            len(query_rows) * self._config.target_cluster_size
+            for _, query_rows in items
+        )
+        if expected_elements < _PARALLEL_BATCH_ELEMENTS:
+            compute_workers = 1
+        else:
+            compute_workers = max(
+                1,
+                min(
+                    self._config.device.worker_threads - io_threads,
+                    len(items),
+                ),
+            )
+        outcome = run_scan_pipeline(
+            items,
+            load,
+            _BatchScanState,
+            score,
+            io_pool=self._io_worker_pool,
+            compute_pool=self._worker_pool,
+            io_threads=io_threads,
+            compute_workers=compute_workers,
+            depth=self._config.pipeline_depth,
+            discard=release_scratch_payload,
+        )
+        outcomes = [
+            item for state in outcome.states for item in state.outcomes
+        ]
+        return outcomes, outcome.io_s, outcome.compute_s, True
 
     # ------------------------------------------------------------------
 

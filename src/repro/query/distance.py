@@ -24,6 +24,10 @@ from repro.core.errors import ConfigError
 
 _EPS = 1e-12
 
+#: Metrics the asymmetric SQ8 kernel supports (same set as the float
+#: kernels — it delegates per decoded block).
+SUPPORTED_FUSED_METRICS = ("l2", "cosine", "dot")
+
 
 def pairwise_distances(
     queries: np.ndarray, vectors: np.ndarray, metric: str
@@ -100,6 +104,11 @@ def normalize_rows(matrix: np.ndarray) -> np.ndarray:
 # Asymmetric SQ8 kernels (quantized fast scan path)
 # ----------------------------------------------------------------------
 
+#: Rows dequantized per transient block: bounds the decode working
+#: buffer at ``chunk * dim * 4`` bytes (512 KB at dim=128) regardless
+#: of partition size.
+_FUSED_CHUNK = 1024
+
 
 def asymmetric_pairwise_distances(
     queries: np.ndarray, codes: np.ndarray, quantizer, metric: str
@@ -107,21 +116,44 @@ def asymmetric_pairwise_distances(
     """Distances from float32 queries to SQ8-coded vectors.
 
     The asymmetric scheme of the quantized scan path: queries stay
-    full-precision, stored vectors are dequantized on the fly from
-    their 1-byte-per-dimension codes, and the same BLAS-backed kernels
-    evaluate the distances. The resulting values approximate the true
-    distances to within the quantization step, which is why the scan
-    keeps ``rerank_factor * k`` candidates and re-scores them exactly.
+    full-precision, stored vectors keep their 1-byte-per-dimension
+    codes. Decoding (``v̂ = lo + c ∘ s``) is fused into the distance
+    evaluation at block granularity: ``_FUSED_CHUNK`` rows are decoded
+    into a transient buffer that immediately feeds the BLAS kernels,
+    so — unlike the one-shot dequantize reference — **no float32 copy
+    of the code partition is ever materialized**. That removes the one
+    allocation that used to give the decode step a float32 cache
+    footprint 4x the bytes just read from disk, and measures faster at
+    every (queries, partition-size) point than both the reference and
+    a fully-fused einsum expansion over the uint8 views (the expansion
+    needs float64 accumulation for conditioning — the expanded forms
+    cancel catastrophically when the quantizer offsets dwarf the
+    residual — which costs it the contest; see PR 2's kernel notes).
 
-    Dequantization is one fused multiply-add over the block — the 4x
-    I/O and cache-footprint win of reading codes instead of float32
-    blobs dwarfs its cost at partition sizes.
+    Values approximate the true distances to within the quantization
+    step, which is why the scan keeps ``rerank_factor * k`` candidates
+    and re-scores them exactly.
     """
     q = np.atleast_2d(np.asarray(queries, dtype=np.float32))
     c = np.atleast_2d(np.asarray(codes))
     if c.shape[0] == 0:
         return np.empty((q.shape[0], 0), dtype=np.float32)
-    return pairwise_distances(q, quantizer.decode(c), metric)
+    if q.shape[1] != c.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: queries {q.shape[1]} vs codes {c.shape[1]}"
+        )
+    if metric not in SUPPORTED_FUSED_METRICS:
+        raise ConfigError(f"unsupported metric {metric!r}")
+    out = np.empty((q.shape[0], c.shape[0]), dtype=np.float32)
+    for start in range(0, c.shape[0], _FUSED_CHUNK):
+        block = quantizer.decode(c[start : start + _FUSED_CHUNK])
+        out[:, start : start + _FUSED_CHUNK] = pairwise_distances(
+            q, block, metric
+        )
+        # Drop the binding before the next decode, so only ONE decoded
+        # block is ever live — the kernel's whole memory contract.
+        del block
+    return out
 
 
 def asymmetric_distances_to_one(
@@ -131,3 +163,21 @@ def asymmetric_distances_to_one(
     return asymmetric_pairwise_distances(
         query.reshape(1, -1), codes, quantizer, metric
     )[0]
+
+
+def dequantized_pairwise_distances(
+    queries: np.ndarray, codes: np.ndarray, quantizer, metric: str
+) -> np.ndarray:
+    """Reference asymmetric kernel: dequantize, then the GEMM kernels.
+
+    Mathematically identical to the fused kernel (modulo float32
+    association) but materializes ``quantizer.decode(codes)`` — a full-
+    precision copy of the code partition. Kept as the oracle the fused
+    kernel's property tests compare against; the scan path no longer
+    calls it.
+    """
+    q = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    c = np.atleast_2d(np.asarray(codes))
+    if c.shape[0] == 0:
+        return np.empty((q.shape[0], 0), dtype=np.float32)
+    return pairwise_distances(q, quantizer.decode(c), metric)

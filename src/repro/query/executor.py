@@ -8,7 +8,10 @@ The ANN path is Algorithm 2 verbatim:
 3. scan the selected partitions in parallel — each worker thread owns a
    bounded :class:`~repro.query.heap.TopKHeap` and processes its share
    of partitions, computing distances in one batched kernel call per
-   partition;
+   partition. Cache-cold scans run as a two-stage I/O–compute pipeline
+   (:mod:`repro.query.pipeline`): partitions are prefetched in
+   centroid-distance order and scored as they arrive, so the disk and
+   the cores are busy at the same time;
 4. merge the per-thread heaps and surface the K best.
 
 With ``quantization="sq8"`` step 3 becomes the *fast scan path*: code
@@ -47,6 +50,12 @@ from repro.query.distance import (
 )
 from repro.query.filters import CompileContext, Predicate, default_tokenizer
 from repro.query.heap import TopKHeap, merge_topk, topk_from_distances
+from repro.query.pipeline import (
+    has_cold_partition,
+    release_scratch_payload,
+    run_scan_pipeline,
+)
+from repro.storage.cache import CachedPartition
 from repro.storage.engine import StorageEngine
 from repro.storage.quantization import SQ8Quantizer
 
@@ -66,6 +75,58 @@ class _ScanOutcome:
     rows_filtered: int
     scan_mode: str = "float32"
     candidates_reranked: int = 0
+    #: Seconds spent loading+decoding partitions (summed across I/O
+    #: tasks when pipelined, phase wall-clock when serial).
+    io_time_s: float = 0.0
+    #: Seconds spent in distance kernels + heap pushes (summed across
+    #: compute workers when pipelined).
+    compute_time_s: float = 0.0
+    #: Whether the I/O–compute pipeline executed this scan.
+    pipelined: bool = False
+
+
+class _ScanState:
+    """One pipeline compute-worker's private accumulator (float32)."""
+
+    __slots__ = ("heap", "scanned", "computed", "filtered")
+
+    def __init__(self, capacity: int) -> None:
+        self.heap = TopKHeap(capacity)
+        self.scanned = 0
+        self.computed = 0
+        self.filtered = 0
+
+
+class _QuantizedScanState:
+    """Pipeline accumulator for the SQ8 scan: approx + exact heaps."""
+
+    __slots__ = ("approx", "exact", "scanned", "computed", "filtered")
+
+    def __init__(self, rerank_pool: int, k: int) -> None:
+        self.approx = TopKHeap(rerank_pool)
+        self.exact = TopKHeap(k)
+        self.scanned = 0
+        self.computed = 0
+        self.filtered = 0
+
+
+def _masked(
+    entry: CachedPartition, qualifying_ids: frozenset[str] | None
+) -> tuple[list[str] | tuple[str, ...], np.ndarray, int]:
+    """Apply the post-filter mask; returns (ids, matrix, rows_dropped)."""
+    if qualifying_ids is None:
+        return entry.asset_ids, entry.matrix, 0
+    keep = [
+        i for i, aid in enumerate(entry.asset_ids) if aid in qualifying_ids
+    ]
+    dropped = len(entry) - len(keep)
+    if not keep:
+        return [], entry.matrix[:0], dropped
+    return (
+        [entry.asset_ids[i] for i in keep],
+        entry.matrix[keep],
+        dropped,
+    )
 
 
 class QueryExecutor:
@@ -83,7 +144,11 @@ class QueryExecutor:
         # One long-lived worker pool per executor: spinning threads up
         # per query costs more than the scan itself at on-device
         # partition sizes (the paper's "worker thread pool", Fig. 3).
+        # The I/O pool is its own (small) executor so pipeline
+        # producers can never deadlock against compute consumers
+        # queued on the same pool.
         self._pool: ThreadPoolExecutor | None = None
+        self._io_pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._pool_closed = False
         # Lazily built coarse centroid index (§3.2 extension), keyed on
@@ -101,19 +166,33 @@ class QueryExecutor:
                 )
             return self._pool
 
+    def _io_worker_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool_closed:
+                raise DatabaseClosedError("executor is closed")
+            if self._io_pool is None:
+                self._io_pool = ThreadPoolExecutor(
+                    max_workers=self._config.io_prefetch_threads,
+                    thread_name_prefix="micronn-io",
+                )
+            return self._io_pool
+
     def close(self) -> None:
-        """Shut down the worker pool (called by MicroNN.close).
+        """Shut down the worker pools (called by MicroNN.close).
 
         Deterministic and idempotent: waits for worker threads to exit
         so repeated open/close cycles in one process never accumulate
-        dangling ``micronn-scan`` threads, and marks the executor
-        closed so no later call can silently respawn a pool.
+        dangling ``micronn-scan``/``micronn-io`` threads, and marks the
+        executor closed so no later call can silently respawn a pool.
         """
         with self._pool_lock:
             self._pool_closed = True
             pool, self._pool = self._pool, None
+            io_pool, self._io_pool = self._io_pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        if io_pool is not None:
+            io_pool.shutdown(wait=True, cancel_futures=True)
 
     @property
     def compile_context(self) -> CompileContext:
@@ -163,6 +242,9 @@ class QueryExecutor:
             latency_s=time.perf_counter() - start,
             scan_mode=outcome.scan_mode,
             candidates_reranked=outcome.candidates_reranked,
+            io_time_ms=outcome.io_time_s * 1e3,
+            compute_time_ms=outcome.compute_time_s * 1e3,
+            scan_pipelined=outcome.pipelined,
         )
         return SearchResult(neighbors=neighbors, stats=stats)
 
@@ -329,6 +411,55 @@ class QueryExecutor:
             self._centroid_index = (centroids, index)
         return index
 
+    def _pipeline_split(
+        self, partition_ids: list[int], quantized: bool
+    ) -> tuple[int, int] | None:
+        """(io_threads, compute_workers) if this scan should pipeline.
+
+        The pipeline pays a bounded-queue plus task-dispatch overhead
+        that only buys anything when partition loads actually touch
+        storage, so it engages only when the scan is at least partly
+        cache-cold; fully-warm scans keep the serial fast path (whose
+        results are bit-identical — same kernels, same merges). A
+        ``pipeline_depth`` of 0 disables it outright (the A/B knob).
+        """
+        if self._config.pipeline_depth < 1 or len(partition_ids) <= 1:
+            return None
+        if not has_cold_partition(
+            self._engine.cache,
+            self._engine.codes_cache,
+            partition_ids,
+            quantized,
+            DELTA_PARTITION_ID,
+        ):
+            return None
+        io_threads = min(
+            self._config.io_prefetch_threads, len(partition_ids)
+        )
+        # Expected scan volume decides the compute fan-out, mirroring
+        # the serial path's _PARALLEL_SCAN_ELEMENTS gate: small scans
+        # keep a single (caller-thread) consumer — the I/O overlap is
+        # the whole win and extra pool dispatch would eat it. Fanned-
+        # out consumers come out of the device's worker_threads budget
+        # (the worker split), leaving io_threads of it to the I/O
+        # stage; a pipeline always needs at least one of each.
+        expected_elements = (
+            len(partition_ids)
+            * self._config.target_cluster_size
+            * self._config.dim
+        )
+        if expected_elements < _PARALLEL_SCAN_ELEMENTS:
+            compute_workers = 1
+        else:
+            compute_workers = max(
+                1,
+                min(
+                    self._config.device.worker_threads - io_threads,
+                    len(partition_ids),
+                ),
+            )
+        return io_threads, compute_workers
+
     def _scan_partitions(
         self,
         partition_ids: list[int],
@@ -338,42 +469,48 @@ class QueryExecutor:
     ) -> tuple[list[TopKHeap], _ScanOutcome]:
         """Partition scans with per-worker bounded heaps (Algorithm 2).
 
-        Two phases:
+        Cache-cold scans run the two-stage I/O–compute pipeline
+        (:mod:`repro.query.pipeline`): partition ``N+1`` is being read
+        and decoded while partition ``N`` is being scored. Warm scans
+        keep the serial two-phase path:
 
         1. **Load** — partitions are read sequentially through the
            partition cache. In CPython, fanning tiny SQLite reads
            across threads convoys on the GIL (every row step is a GIL
-           round-trip), so the I/O phase is deliberately serial; the
-           clustered layout makes each read one sequential range scan
-           anyway.
+           round-trip), so the serial path keeps I/O single-threaded;
+           the clustered layout makes each read one sequential range
+           scan anyway.
         2. **Distance + heap** — the decoded matrices are sharded
            across the worker pool, one bounded heap per worker, merged
            afterwards. numpy's kernels release the GIL, so this phase
            parallelizes for real once partitions are large enough; for
            small ones it runs inline to skip pool overhead.
         """
+        split = self._pipeline_split(partition_ids, quantized=False)
+        if split is not None:
+            return self._scan_partitions_pipelined(
+                partition_ids, query, k, qualifying_ids, split
+            )
+        # The io window covers loads only; masking is CPU work and is
+        # charged to the compute window, matching how the pipelined
+        # path attributes it (masking happens inside score()).
+        io_start = time.perf_counter()
+        entries = [
+            entry
+            for pid in partition_ids
+            if len(entry := self._engine.load_partition(pid))
+        ]
+        io_time = time.perf_counter() - io_start
+
+        compute_start = time.perf_counter()
         work: list[tuple[list[str] | tuple[str, ...], np.ndarray]] = []
         scanned = filtered = 0
-        for pid in partition_ids:
-            entry = self._engine.load_partition(pid)
-            if len(entry) == 0:
-                continue
+        for entry in entries:
             scanned += len(entry)
-            ids: list[str] | tuple[str, ...] = entry.asset_ids
-            matrix = entry.matrix
-            if qualifying_ids is not None:
-                keep = [
-                    i
-                    for i, aid in enumerate(entry.asset_ids)
-                    if aid in qualifying_ids
-                ]
-                filtered += len(entry) - len(keep)
-                if not keep:
-                    continue
-                ids = [entry.asset_ids[i] for i in keep]
-                matrix = entry.matrix[keep]
-            work.append((ids, matrix))
-
+            ids, matrix, dropped = _masked(entry, qualifying_ids)
+            filtered += dropped
+            if len(ids):
+                work.append((ids, matrix))
         computed = sum(len(ids) for ids, _ in work)
         total_elements = sum(matrix.size for _, matrix in work)
         workers = max(
@@ -395,8 +532,71 @@ class QueryExecutor:
             vectors_scanned=scanned,
             distance_computations=computed,
             rows_filtered=filtered,
+            io_time_s=io_time,
+            compute_time_s=time.perf_counter() - compute_start,
         )
         return heaps, outcome
+
+    def _scan_partitions_pipelined(
+        self,
+        partition_ids: list[int],
+        query: np.ndarray,
+        k: int,
+        qualifying_ids: frozenset[str] | None,
+        split: tuple[int, int],
+    ) -> tuple[list[TopKHeap], _ScanOutcome]:
+        """Float32 scan through the I/O–compute pipeline.
+
+        Loads use the scratch-buffer pool for partitions the LRU cache
+        would never admit; each compute worker releases a payload's
+        lease as soon as it has been scored, so at most ``depth +
+        compute_workers`` scratch buffers are pinned at once.
+        """
+        engine = self._engine
+        metric = self._config.metric
+        io_threads, compute_workers = split
+
+        def load(pid: int) -> CachedPartition | None:
+            entry = engine.load_partition(pid, use_scratch=True)
+            return entry if len(entry) else None
+
+        def score(state: _ScanState, entry: CachedPartition) -> None:
+            try:
+                state.scanned += len(entry)
+                ids, matrix, dropped = _masked(entry, qualifying_ids)
+                state.filtered += dropped
+                if not len(ids):
+                    return
+                state.computed += len(ids)
+                dist = distances_to_one(query, matrix, metric)
+                state.heap.push_candidates(
+                    topk_from_distances(ids, dist, k)
+                )
+            finally:
+                if entry.lease is not None:
+                    entry.lease.release()
+
+        outcome = run_scan_pipeline(
+            partition_ids,
+            load,
+            lambda: _ScanState(k),
+            score,
+            io_pool=self._io_worker_pool,
+            compute_pool=self._worker_pool,
+            io_threads=io_threads,
+            compute_workers=compute_workers,
+            depth=self._config.pipeline_depth,
+            discard=release_scratch_payload,
+        )
+        states = outcome.states
+        return [s.heap for s in states], _ScanOutcome(
+            vectors_scanned=sum(s.scanned for s in states),
+            distance_computations=sum(s.computed for s in states),
+            rows_filtered=sum(s.filtered for s in states),
+            io_time_s=outcome.io_s,
+            compute_time_s=outcome.compute_s,
+            pipelined=True,
+        )
 
     def _scan_work(
         self,
@@ -447,37 +647,35 @@ class QueryExecutor:
         candidates are then re-scored against their float32 vectors,
         point-fetched by id, and combined with the exact candidates.
         """
+        split = self._pipeline_split(partition_ids, quantized=True)
+        if split is not None:
+            return self._scan_quantized_pipelined(
+                partition_ids, query, k, qualifying_ids, quantizer, split
+            )
+        # Load window, then masking + kernels in the compute window —
+        # same phase attribution as the pipelined path (see
+        # _scan_partitions).
+        io_start = time.perf_counter()
+        loaded: list[tuple[CachedPartition, bool]] = []
+        for pid in partition_ids:
+            entry, is_codes = self._engine.load_scan_entry(
+                pid, quantized=True
+            )
+            if len(entry):
+                loaded.append((entry, is_codes))
+        io_time = time.perf_counter() - io_start
+
+        compute_start = time.perf_counter()
         approx_work: list[tuple[list[str] | tuple[str, ...], np.ndarray]] = []
         exact_work: list[tuple[list[str] | tuple[str, ...], np.ndarray]] = []
         scanned = filtered = 0
-        for pid in partition_ids:
-            if pid == DELTA_PARTITION_ID:
-                entry = self._engine.load_partition(pid)
-                bucket = exact_work
-            else:
-                entry = self._engine.load_partition_codes(pid)
-                bucket = approx_work
-                if len(entry) == 0:
-                    entry = self._engine.load_partition(pid)
-                    bucket = exact_work
-            if len(entry) == 0:
-                continue
+        for entry, is_codes in loaded:
             scanned += len(entry)
-            ids: list[str] | tuple[str, ...] = entry.asset_ids
-            matrix = entry.matrix
-            if qualifying_ids is not None:
-                keep = [
-                    i
-                    for i, aid in enumerate(entry.asset_ids)
-                    if aid in qualifying_ids
-                ]
-                filtered += len(entry) - len(keep)
-                if not keep:
-                    continue
-                ids = [entry.asset_ids[i] for i in keep]
-                matrix = entry.matrix[keep]
-            bucket.append((ids, matrix))
-
+            ids, matrix, dropped = _masked(entry, qualifying_ids)
+            filtered += dropped
+            if len(ids):
+                bucket = approx_work if is_codes else exact_work
+                bucket.append((ids, matrix))
         rerank_pool = max(k, self._config.rerank_factor * k)
         computed = sum(len(ids) for ids, _ in approx_work) + sum(
             len(ids) for ids, _ in exact_work
@@ -507,6 +705,7 @@ class QueryExecutor:
             )
 
         exact_heap = self._scan_work(exact_work, query, k)
+        compute_time = time.perf_counter() - compute_start
         rerank_heap, reranked = self._rerank(
             merge_topk(approx_heaps, rerank_pool), query, k
         )
@@ -516,8 +715,95 @@ class QueryExecutor:
             rows_filtered=filtered,
             scan_mode="sq8",
             candidates_reranked=reranked,
+            io_time_s=io_time,
+            compute_time_s=compute_time,
         )
         return [rerank_heap, exact_heap], outcome
+
+    def _scan_quantized_pipelined(
+        self,
+        partition_ids: list[int],
+        query: np.ndarray,
+        k: int,
+        qualifying_ids: frozenset[str] | None,
+        quantizer: SQ8Quantizer,
+        split: tuple[int, int],
+    ) -> tuple[list[TopKHeap], _ScanOutcome]:
+        """SQ8 scan through the I/O–compute pipeline.
+
+        The I/O stage reads code partitions (falling back to float32
+        for the delta and code-less partitions, exactly like the serial
+        path); each compute worker keeps an approx heap of capacity
+        ``rerank_factor * k`` fed by the fused int8 kernel plus an
+        exact heap for full-precision payloads. The merged approximate
+        candidates are reranked once the pipeline drains.
+        """
+        engine = self._engine
+        metric = self._config.metric
+        rerank_pool = max(k, self._config.rerank_factor * k)
+        io_threads, compute_workers = split
+
+        def load(pid: int):
+            entry, is_codes = engine.load_scan_entry(
+                pid, quantized=True, use_scratch=True
+            )
+            if len(entry) == 0:
+                return None
+            return entry, is_codes
+
+        def score(state: _QuantizedScanState, payload) -> None:
+            entry, is_codes = payload
+            try:
+                state.scanned += len(entry)
+                ids, matrix, dropped = _masked(entry, qualifying_ids)
+                state.filtered += dropped
+                if not len(ids):
+                    return
+                state.computed += len(ids)
+                if is_codes:
+                    dist = asymmetric_distances_to_one(
+                        query, matrix, quantizer, metric
+                    )
+                    state.approx.push_candidates(
+                        topk_from_distances(ids, dist, rerank_pool)
+                    )
+                else:
+                    dist = distances_to_one(query, matrix, metric)
+                    state.exact.push_candidates(
+                        topk_from_distances(ids, dist, k)
+                    )
+            finally:
+                if entry.lease is not None:
+                    entry.lease.release()
+
+        outcome = run_scan_pipeline(
+            partition_ids,
+            load,
+            lambda: _QuantizedScanState(rerank_pool, k),
+            score,
+            io_pool=self._io_worker_pool,
+            compute_pool=self._worker_pool,
+            io_threads=io_threads,
+            compute_workers=compute_workers,
+            depth=self._config.pipeline_depth,
+            discard=release_scratch_payload,
+        )
+        states = outcome.states
+        rerank_heap, reranked = self._rerank(
+            merge_topk([s.approx for s in states], rerank_pool), query, k
+        )
+        heaps = [rerank_heap] + [s.exact for s in states]
+        return heaps, _ScanOutcome(
+            vectors_scanned=sum(s.scanned for s in states),
+            distance_computations=sum(s.computed for s in states)
+            + reranked,
+            rows_filtered=sum(s.filtered for s in states),
+            scan_mode="sq8",
+            candidates_reranked=reranked,
+            io_time_s=outcome.io_s,
+            compute_time_s=outcome.compute_s,
+            pipelined=True,
+        )
 
     def _scan_codes_work(
         self,

@@ -184,7 +184,10 @@ class Between(Predicate):
         if actual is None:
             return False
         try:
-            return bool(self.low <= actual <= self.high)  # type: ignore[operator]
+            in_range = (  # type: ignore[operator]
+                self.low <= actual <= self.high
+            )
+            return bool(in_range)
         except TypeError as exc:
             raise FilterError(
                 f"cannot range-compare {actual!r} against "

@@ -63,6 +63,11 @@ class TopKHeap:
             return True
         return False
 
+    def push_candidates(self, candidates) -> None:
+        """Offer an iterable of :class:`Candidate` objects in order."""
+        for cand in candidates:
+            self.push(cand.asset_id, cand.distance)
+
     def worst_distance(self) -> float:
         """Current admission threshold (+inf while not yet full)."""
         if len(self._heap) < self._capacity:

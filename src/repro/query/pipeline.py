@@ -1,0 +1,245 @@
+"""Two-stage partition-scan pipeline: I/O–compute overlap (§3.3).
+
+The serial scan alternates between an I/O-bound phase (read + decode a
+partition from SQLite) and a compute-bound phase (distance kernel +
+top-K heap), so the cores idle during reads and the disk idles during
+kernels. This module overlaps them:
+
+- **I/O stage** — ``io_threads`` producer tasks pull work items in the
+  order given (the executors pass partitions sorted by centroid
+  distance, so the most promising partitions are loaded — and therefore
+  scored — first), call ``load`` and feed a bounded queue of decoded
+  partitions. The queue depth caps how many loaded-but-unscored
+  partitions (and therefore scratch buffers) are in flight.
+- **Compute stage** — ``compute_workers`` consumer tasks drain the
+  queue, each scoring into its own private state (a bounded heap);
+  per-worker states are merged by the caller exactly as the serial
+  scan merges per-shard heaps, so results are bit-identical with the
+  pipeline on or off.
+
+The caller's thread acts as one of the consumers. That guarantees
+liveness even when the shared worker pool is saturated by concurrent
+queries: the queue always has at least one live drain, so producers
+can never block forever on a full queue.
+
+Ownership: a loaded item belongs to the I/O stage until queued, then to
+whichever consumer dequeues it. Items that are never consumed (a
+failing scan aborts the pipeline) are handed to ``discard`` so scratch
+leases are returned rather than leaked.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from queue import Empty, Full, Queue
+from typing import Callable, Sequence
+
+#: Queue marker telling one consumer to exit (one is emitted per
+#: consumer once every producer has finished).
+_SENTINEL = object()
+
+
+def release_scratch_payload(payload) -> None:
+    """Discard callback shared by both executors: return the scratch
+    lease of a loaded-but-never-scored payload (a bare entry, or a
+    tuple whose first element is the entry)."""
+    entry = payload[0] if isinstance(payload, tuple) else payload
+    if entry.lease is not None:
+        entry.lease.release()
+
+
+def has_cold_partition(
+    cache,
+    codes_cache,
+    partition_ids,
+    use_codes: bool,
+    delta_partition_id: int,
+) -> bool:
+    """Whether any selected partition misses its (float or codes) LRU.
+
+    The shared coldness heuristic behind pipeline engagement: with
+    ``use_codes`` (a quantized scan), non-delta partitions are read
+    from the codes cache and the delta from the float cache, exactly
+    mirroring the load path — including the fallback: a cached *empty*
+    codes entry marks a code-less partition (pre-quantization data,
+    mid-build) whose scan falls through to the full float32 read, so
+    it only counts as warm if the float cache holds it too. Single-
+    query and batch executors must agree on all of this or their
+    pipelines silently diverge.
+    """
+    for pid in partition_ids:
+        if use_codes and pid != delta_partition_id:
+            entry = codes_cache.get(pid)
+            if entry is None:
+                return True
+            if len(entry) == 0 and pid not in cache:
+                return True
+        elif pid not in cache:
+            return True
+    return False
+
+
+#: How long blocked queue operations wait before re-checking the abort
+#: flag. Purely a shutdown-latency knob; the happy path never waits.
+_POLL_S = 0.05
+
+
+@dataclass(frozen=True)
+class PipelineOutcome:
+    """Merged result of one pipelined scan."""
+
+    #: One per compute worker, in no particular order.
+    states: list
+    #: Total seconds spent inside ``load`` across all I/O tasks.
+    io_s: float
+    #: Total seconds spent inside ``score`` across all compute tasks.
+    #: Summed thread time: ``io_s + compute_s`` exceeding the query's
+    #: wall latency is the direct signature of overlap.
+    compute_s: float
+
+
+def run_scan_pipeline(
+    work_items: Sequence,
+    load: Callable,
+    make_state: Callable,
+    score: Callable,
+    *,
+    io_pool: Callable[[], ThreadPoolExecutor],
+    compute_pool: Callable[[], ThreadPoolExecutor],
+    io_threads: int,
+    compute_workers: int,
+    depth: int,
+    discard: Callable | None = None,
+) -> PipelineOutcome:
+    """Run ``load`` / ``score`` over ``work_items`` as a pipeline.
+
+    ``load(item)`` returns a loaded payload or ``None`` to skip;
+    ``make_state()`` builds one private accumulator per compute worker;
+    ``score(state, payload)`` folds a payload into a state (and owns
+    releasing any scratch lease the payload carries, success or not).
+    ``io_pool`` / ``compute_pool`` are factories so pools are only
+    materialized when a stage actually fans out.
+
+    Raises the first stage exception after the pipeline has fully shut
+    down and unconsumed payloads have been ``discard``-ed.
+    """
+    if io_threads < 1:
+        raise ValueError("io_threads must be >= 1")
+    if compute_workers < 1:
+        raise ValueError("compute_workers must be >= 1")
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+
+    queue: Queue = Queue(maxsize=depth)
+    abort = threading.Event()
+    lock = threading.Lock()
+    cursor = 0
+    producers_left = io_threads
+    io_seconds = [0.0]
+    errors: list[BaseException] = []
+
+    def next_item():
+        nonlocal cursor
+        with lock:
+            if cursor >= len(work_items):
+                return None, False
+            item = work_items[cursor]
+            cursor += 1
+            return item, True
+
+    def offer(payload) -> bool:
+        while not abort.is_set():
+            try:
+                queue.put(payload, timeout=_POLL_S)
+                return True
+            except Full:
+                continue
+        return False
+
+    def produce() -> None:
+        nonlocal producers_left
+        spent = 0.0
+        try:
+            while not abort.is_set():
+                item, ok = next_item()
+                if not ok:
+                    break
+                start = time.perf_counter()
+                payload = load(item)
+                spent += time.perf_counter() - start
+                if payload is None:
+                    continue
+                if not offer(payload):
+                    if discard is not None:
+                        discard(payload)
+                    break
+        except BaseException as exc:  # propagate through the main thread
+            with lock:
+                errors.append(exc)
+            abort.set()
+        finally:
+            with lock:
+                producers_left -= 1
+                last = producers_left == 0
+                io_seconds[0] += spent
+            if last:
+                # One exit marker per consumer. ``offer`` (not ``put``)
+                # so a consumer crash — which sets ``abort`` — can
+                # never leave the last producer wedged on a full queue.
+                for _ in range(compute_workers):
+                    if not offer(_SENTINEL):
+                        break
+
+    def consume():
+        state = None
+        spent = 0.0
+        try:
+            state = make_state()
+            while not abort.is_set():
+                try:
+                    payload = queue.get(timeout=_POLL_S)
+                except Empty:
+                    continue
+                if payload is _SENTINEL:
+                    break
+                start = time.perf_counter()
+                score(state, payload)
+                spent += time.perf_counter() - start
+        except BaseException as exc:
+            with lock:
+                errors.append(exc)
+            abort.set()
+        return state, spent
+
+    io_futures = [io_pool().submit(produce) for _ in range(io_threads)]
+    compute_futures = (
+        [compute_pool().submit(consume) for _ in range(compute_workers - 1)]
+        if compute_workers > 1
+        else []
+    )
+    results = [consume()]  # the caller's thread is always one consumer
+    for future in compute_futures:
+        results.append(future.result())
+    for future in io_futures:
+        future.result()
+
+    # Anything still queued was loaded but never scored (abort path).
+    while True:
+        try:
+            payload = queue.get_nowait()
+        except Empty:
+            break
+        if payload is not _SENTINEL and discard is not None:
+            discard(payload)
+    if errors:
+        raise errors[0]
+
+    return PipelineOutcome(
+        # None states can only occur on the (raised-above) error path.
+        states=[state for state, _ in results if state is not None],
+        io_s=io_seconds[0],
+        compute_s=sum(spent for _, spent in results),
+    )

@@ -29,6 +29,14 @@ CACHE_CATEGORY = "partition_cache"
 #: Memory-tracker category used for cached quantized-code partitions.
 CODES_CACHE_CATEGORY = "codes_cache"
 
+#: Memory-tracker category used for pipeline scratch buffers.
+SCRATCH_CATEGORY = "scratch_buffers"
+
+#: Fixed per-row byte overhead charged for row identities (asset and
+#: vector ids) in cache accounting; admission estimates made before
+#: decoding must use the same constant or they drift from ``put``.
+ROW_ID_OVERHEAD_BYTES = 16
+
 
 @dataclass(frozen=True)
 class CachedPartition:
@@ -38,17 +46,26 @@ class CachedPartition:
     SQ8 code partitions — the byte accounting below works for both, and
     a code entry is ~4x smaller, which is exactly why the codes cache
     holds 4x more partitions in the same budget.
+
+    ``lease`` is set only on entries decoded into a pipeline scratch
+    buffer (loads the partition cache would not admit): the matrix is a
+    view into pooled memory, the entry must never be cached, and the
+    consumer returns the lease to its :class:`ScratchBufferPool` once
+    the partition has been scored.
     """
 
     partition_id: int
     asset_ids: tuple[str, ...]
     vector_ids: tuple[int, ...]
     matrix: np.ndarray
+    lease: "ScratchLease | None" = None
 
     @property
     def nbytes(self) -> int:
         # Account the matrix plus a small fixed overhead per row for ids.
-        return int(self.matrix.nbytes) + 16 * len(self.asset_ids)
+        return int(self.matrix.nbytes) + ROW_ID_OVERHEAD_BYTES * len(
+            self.asset_ids
+        )
 
     def __len__(self) -> int:
         return len(self.asset_ids)
@@ -85,6 +102,17 @@ class PartitionCache:
     def used_bytes(self) -> int:
         with self._lock:
             return self._used
+
+    def would_admit(self, nbytes: int) -> bool:
+        """Whether an entry of ``nbytes`` could be cached at all.
+
+        ``put`` evicts LRU entries to make room, so the only entries it
+        rejects are those larger than the whole budget. The pipelined
+        scan asks this *before* decoding, to decode never-cacheable
+        partitions into a reusable scratch buffer instead of a fresh
+        allocation per scan.
+        """
+        return nbytes <= self._budget
 
     def __len__(self) -> int:
         with self._lock:
@@ -146,3 +174,171 @@ class PartitionCache:
         # Caller holds self._lock.
         if self._tracker is not None:
             self._tracker.set_category(self._category, self._used)
+
+
+#: Scratch buffers are rounded up to a multiple of this, so buffers are
+#: shared across partitions of slightly different sizes instead of the
+#: pool fragmenting into one exact-fit buffer per partition size.
+_SCRATCH_GRANULE = 64 * 1024
+
+
+class ScratchLease:
+    """One checked-out scratch buffer (pinned until checked back in).
+
+    ``array(shape, dtype)`` views the leased bytes as the matrix the
+    decoder fills; the view dies with the lease, so returning the lease
+    while a kernel still reads the matrix is a use-after-free bug the
+    pipeline's ownership handoff (I/O stage → queue → compute stage)
+    exists to prevent.
+    """
+
+    __slots__ = ("_buffer", "nbytes", "_pool")
+
+    def __init__(
+        self, buffer: np.ndarray, pool: "ScratchBufferPool"
+    ) -> None:
+        self._buffer = buffer
+        self.nbytes = int(buffer.nbytes)
+        self._pool = pool
+
+    def array(self, shape: tuple[int, ...], dtype: object) -> np.ndarray:
+        """A writable ndarray view of the leased bytes."""
+        needed = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        if needed > self.nbytes:
+            raise ValueError(
+                f"lease holds {self.nbytes} bytes, view needs {needed}"
+            )
+        flat = self._buffer[:needed].view(dtype)
+        return flat.reshape(shape)
+
+    def release(self) -> None:
+        """Return this lease to its pool (idempotent).
+
+        Also drops the buffer reference, so any stale view used after
+        release fails fast instead of silently reading pooled memory
+        that may already be checked out to another worker.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.checkin(self)
+            self._buffer = None
+
+
+class ScratchBufferPool:
+    """Reusable decode buffers for the pipelined partition scan.
+
+    Cold scans through a zero/tiny partition-cache budget previously
+    allocated a fresh matrix per partition per query; the pipeline
+    instead checks a buffer out, decodes into it, scores, and checks it
+    back in — the steady state is ``pipeline_depth + compute workers``
+    buffers recycled forever.
+
+    Accounting: *pinned* bytes (checked out) plus *pooled* bytes (free,
+    awaiting reuse) are both resident and tracked under
+    :data:`SCRATCH_CATEGORY` against the device memory budget. When a
+    checkout would push residency past the budget the buffer is still
+    handed out — queries must proceed — but flagged transient: on
+    checkin it is freed, not pooled, so the pool never holds more than
+    the budget in steady state.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        tracker: MemoryTracker | None = None,
+        category: str = SCRATCH_CATEGORY,
+    ) -> None:
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        self._budget = budget_bytes
+        self._tracker = tracker
+        self._category = category
+        self._lock = threading.Lock()
+        self._free: list[np.ndarray] = []
+        self._pinned = 0
+        self._pooled = 0
+        self._checkouts = 0
+        self._reuses = 0
+
+    @property
+    def budget_bytes(self) -> int:
+        return self._budget
+
+    @property
+    def pinned_bytes(self) -> int:
+        with self._lock:
+            return self._pinned
+
+    @property
+    def pooled_bytes(self) -> int:
+        with self._lock:
+            return self._pooled
+
+    @property
+    def checkouts(self) -> int:
+        with self._lock:
+            return self._checkouts
+
+    @property
+    def reuses(self) -> int:
+        """Checkouts served by recycling a pooled buffer."""
+        with self._lock:
+            return self._reuses
+
+    def checkout(self, nbytes: int) -> ScratchLease:
+        """Lease a buffer of at least ``nbytes`` (pinned until checkin)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        size = max(
+            _SCRATCH_GRANULE,
+            -(-nbytes // _SCRATCH_GRANULE) * _SCRATCH_GRANULE,
+        )
+        with self._lock:
+            self._checkouts += 1
+            # Smallest pooled buffer that fits; the granule rounding
+            # keeps partition-size jitter from defeating reuse.
+            best = None
+            for i, buf in enumerate(self._free):
+                if buf.nbytes >= size and (
+                    best is None or buf.nbytes < self._free[best].nbytes
+                ):
+                    best = i
+            if best is not None:
+                buf = self._free.pop(best)
+                self._pooled -= buf.nbytes
+                self._pinned += buf.nbytes
+                self._reuses += 1
+                self._sync_tracker()
+                return ScratchLease(buf, self)
+            buf = np.empty(size, dtype=np.uint8)
+            self._pinned += size
+            self._sync_tracker()
+        return ScratchLease(buf, self)
+
+    def checkin(self, lease: ScratchLease) -> None:
+        """Return a lease; pool the buffer if the budget allows."""
+        buf = lease._buffer
+        with self._lock:
+            self._pinned -= buf.nbytes
+            if self._pinned + self._pooled + buf.nbytes <= self._budget:
+                self._free.append(buf)
+                self._pooled += buf.nbytes
+            self._sync_tracker()
+
+    def drain(self) -> None:
+        """Free all pooled (unpinned) buffers — cold start / close.
+
+        Leases still checked out stay pinned and accounted; they return
+        through ``checkin`` as their scans finish.
+        """
+        with self._lock:
+            self._free.clear()
+            self._pooled = 0
+            self._sync_tracker()
+
+    def _sync_tracker(self) -> None:
+        # Caller holds self._lock.
+        if self._tracker is not None:
+            self._tracker.set_category(
+                self._category, self._pinned + self._pooled
+            )

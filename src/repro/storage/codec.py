@@ -69,6 +69,44 @@ def decode_matrix(blobs: list[bytes], dim: int) -> np.ndarray:
     return matrix.reshape(len(blobs), dim)
 
 
+def decode_matrix_into(
+    blobs: list[bytes], dim: int, out: np.ndarray
+) -> np.ndarray:
+    """Decode blobs into a caller-provided (n, dim) float32 matrix.
+
+    The pipelined scan's allocation-free twin of :func:`decode_matrix`:
+    rows are copied straight into ``out`` (a scratch-buffer view), so a
+    cold scan recycles a handful of buffers instead of allocating one
+    matrix per partition per query. Returns ``out``.
+    """
+    return _decode_into(blobs, dim, out, VECTOR_DTYPE)
+
+
+def decode_code_matrix_into(
+    blobs: list[bytes], dim: int, out: np.ndarray
+) -> np.ndarray:
+    """Decode SQ8 code blobs into a caller-provided (n, dim) uint8 matrix."""
+    return _decode_into(blobs, dim, out, CODE_DTYPE)
+
+
+def _decode_into(
+    blobs: list[bytes], dim: int, out: np.ndarray, dtype: np.dtype
+) -> np.ndarray:
+    if out.shape != (len(blobs), dim) or out.dtype != dtype:
+        raise StorageError(
+            f"output buffer must be {dtype} of shape ({len(blobs)}, {dim}),"
+            f" got {out.dtype} {out.shape}"
+        )
+    expected = dim * dtype.itemsize
+    for i, blob in enumerate(blobs):
+        if len(blob) != expected:
+            raise StorageError(
+                f"vector blob has {len(blob)} bytes, expected {expected}"
+            )
+        out[i] = np.frombuffer(blob, dtype=dtype)
+    return out
+
+
 def encode_matrix(matrix: np.ndarray) -> list[bytes]:
     """Encode each row of a (n, dim) matrix as a blob."""
     arr = np.ascontiguousarray(matrix, dtype=VECTOR_DTYPE)

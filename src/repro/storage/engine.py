@@ -47,12 +47,19 @@ from repro.core.errors import (
 from repro.storage import schema as schema_mod
 from repro.storage.cache import (
     CODES_CACHE_CATEGORY,
+    ROW_ID_OVERHEAD_BYTES,
     CachedPartition,
     PartitionCache,
+    ScratchBufferPool,
+    ScratchLease,
 )
 from repro.storage.codec import (
+    CODE_DTYPE,
+    VECTOR_DTYPE,
     decode_code_matrix,
+    decode_code_matrix_into,
     decode_matrix,
+    decode_matrix_into,
     decode_vector,
     encode_code_matrix,
     encode_vector,
@@ -130,6 +137,13 @@ class StorageEngine:
             tracker=self._tracker,
             category=CODES_CACHE_CATEGORY,
         )
+        # Reusable decode buffers for the pipelined scan: partitions the
+        # LRU above would never admit (e.g. a zero cache budget) are
+        # decoded into pooled scratch memory instead of a fresh
+        # allocation per partition per query.
+        self.scratch = ScratchBufferPool(
+            config.device.scratch_buffer_bytes, tracker=self._tracker
+        )
         self._quantizer_lock = threading.Lock()
         self._quantizer: SQ8Quantizer | None = None
         self._quantizer_loaded = False
@@ -188,6 +202,7 @@ class StorageEngine:
             self._writer.close()
         self.cache.clear()
         self.codes_cache.clear()
+        self.scratch.drain()
         self._drop_centroid_cache()
         if self._tempdir is not None:
             shutil.rmtree(self._tempdir, ignore_errors=True)
@@ -650,10 +665,51 @@ class StorageEngine:
     # Reads: partitions and vectors
     # ------------------------------------------------------------------
 
+    def _decode_blobs(
+        self,
+        blobs: list[bytes],
+        dtype: np.dtype,
+        cache: PartitionCache,
+        use_scratch: bool,
+        decode: Callable[[list[bytes], int], np.ndarray],
+        decode_into: Callable[[list[bytes], int, np.ndarray], np.ndarray],
+    ) -> tuple[np.ndarray, ScratchLease | None]:
+        """Decode partition blobs, through scratch when never-cacheable.
+
+        ``use_scratch`` loads that ``cache`` could not admit anyway
+        (the admission estimate uses the same per-row constant as
+        ``CachedPartition.nbytes``) are decoded into a pooled scratch
+        lease, returned alongside the matrix for the caller to release
+        after scoring; everything else decodes into a fresh matrix.
+        """
+        dim = self._config.dim
+        if use_scratch and blobs:
+            nbytes = len(blobs) * dim * dtype.itemsize
+            estimate = nbytes + ROW_ID_OVERHEAD_BYTES * len(blobs)
+            if not cache.would_admit(estimate):
+                lease = self.scratch.checkout(nbytes)
+                try:
+                    out = lease.array((len(blobs), dim), dtype)
+                    return decode_into(blobs, dim, out), lease
+                except BaseException:
+                    lease.release()
+                    raise
+        return decode(blobs, dim), None
+
     def load_partition(
-        self, partition_id: int, use_cache: bool = True
+        self,
+        partition_id: int,
+        use_cache: bool = True,
+        use_scratch: bool = False,
     ) -> CachedPartition:
-        """Load one partition's rows as a decoded matrix (cache-aware)."""
+        """Load one partition's rows as a decoded matrix (cache-aware).
+
+        With ``use_scratch`` (the pipelined scan), a cache-miss load of
+        a partition the LRU would never admit is decoded into a pooled
+        scratch buffer; the returned entry carries the lease and the
+        caller MUST release it (``entry.lease.release()``) once the
+        matrix has been consumed.
+        """
         self._check_open()
         if use_cache:
             cached = self.cache.get(partition_id)
@@ -667,15 +723,22 @@ class StorageEngine:
                 "WHERE partition_id=? ORDER BY asset_id, vector_id",
                 (partition_id,),
             ).fetchall()
-        dim = self._config.dim
         asset_ids = tuple(r[0] for r in rows)
         vector_ids = tuple(int(r[1]) for r in rows)
-        matrix = decode_matrix([r[2] for r in rows], dim)
+        matrix, lease = self._decode_blobs(
+            [r[2] for r in rows],
+            VECTOR_DTYPE,
+            self.cache,
+            use_scratch,
+            decode_matrix,
+            decode_matrix_into,
+        )
         entry = CachedPartition(
             partition_id=partition_id,
             asset_ids=asset_ids,
             vector_ids=vector_ids,
             matrix=matrix,
+            lease=lease,
         )
         with self._os_cache_lock:
             charge = partition_id not in self._os_cached_partitions
@@ -684,7 +747,7 @@ class StorageEngine:
             entry.nbytes + _ROW_OVERHEAD_BYTES * len(rows),
             charge_cost=charge,
         )
-        if use_cache:
+        if use_cache and lease is None:
             self.cache.put(entry)
         return entry
 
@@ -843,7 +906,10 @@ class StorageEngine:
         return quantizer
 
     def load_partition_codes(
-        self, partition_id: int, use_cache: bool = True
+        self,
+        partition_id: int,
+        use_cache: bool = True,
+        use_scratch: bool = False,
     ) -> CachedPartition:
         """Load one partition's SQ8 codes as a decoded uint8 matrix.
 
@@ -852,6 +918,7 @@ class StorageEngine:
         empty entry when the partition has no code rows (e.g. mid-build
         or for a database created before quantization was enabled);
         callers fall back to the float32 scan for that partition.
+        ``use_scratch`` behaves as in :meth:`load_partition`.
         """
         self._check_open()
         if not self._use_quantization:
@@ -868,12 +935,20 @@ class StorageEngine:
                 "WHERE partition_id=? ORDER BY asset_id, vector_id",
                 (partition_id,),
             ).fetchall()
-        dim = self._config.dim
+        matrix, lease = self._decode_blobs(
+            [r[2] for r in rows],
+            CODE_DTYPE,
+            self.codes_cache,
+            use_scratch,
+            decode_code_matrix,
+            decode_code_matrix_into,
+        )
         entry = CachedPartition(
             partition_id=partition_id,
             asset_ids=tuple(r[0] for r in rows),
             vector_ids=tuple(int(r[1]) for r in rows),
-            matrix=decode_code_matrix([r[2] for r in rows], dim),
+            matrix=matrix,
+            lease=lease,
         )
         with self._os_cache_lock:
             charge = partition_id not in self._os_cached_code_partitions
@@ -882,9 +957,36 @@ class StorageEngine:
             entry.nbytes + _ROW_OVERHEAD_BYTES * len(rows),
             charge_cost=charge,
         )
-        if use_cache:
+        if use_cache and lease is None:
             self.codes_cache.put(entry)
         return entry
+
+    def load_scan_entry(
+        self,
+        partition_id: int,
+        quantized: bool,
+        use_scratch: bool = False,
+    ) -> tuple[CachedPartition, bool]:
+        """One partition read for an ANN scan: (entry, is_codes).
+
+        THE single definition of the scan-path load rule: quantized
+        scans read code partitions, except the delta (always full
+        precision) and code-less partitions (mid-build, or data
+        predating quantization), which fall back to the float32 read.
+        Both executors and the pipeline's coldness heuristic
+        (:func:`repro.query.pipeline.has_cold_partition`) must track
+        this rule — keep them in sync when it changes.
+        """
+        if quantized and partition_id != DELTA_PARTITION_ID:
+            entry = self.load_partition_codes(
+                partition_id, use_scratch=use_scratch
+            )
+            if len(entry):
+                return entry, True
+        return (
+            self.load_partition(partition_id, use_scratch=use_scratch),
+            False,
+        )
 
     def rebuild_codes(
         self, quantizer: SQ8Quantizer, batch_size: int = 4096
@@ -1011,8 +1113,9 @@ class StorageEngine:
         self._check_open()
         with self.write_transaction() as conn:
             conn.execute(
-                "INSERT INTO column_stats (attribute, payload) VALUES (?, ?) "
-                "ON CONFLICT(attribute) DO UPDATE SET payload=excluded.payload",
+                "INSERT INTO column_stats (attribute, payload) "
+                "VALUES (?, ?) ON CONFLICT(attribute) "
+                "DO UPDATE SET payload=excluded.payload",
                 (attribute, payload),
             )
 
@@ -1043,6 +1146,7 @@ class StorageEngine:
         self._check_open()
         self.cache.clear()
         self.codes_cache.clear()
+        self.scratch.drain()
         self._drop_centroid_cache()
         with self._os_cache_lock:
             self._os_cached_partitions.clear()

@@ -114,7 +114,15 @@ class SQ8Quantizer:
             raise DimensionMismatchError(
                 expected=self.dim, actual=arr.shape[1]
             )
-        return self.lo + arr.astype(np.float32) * self.scale
+        # In-place after the (unavoidable) uint8->float32 cast: one
+        # allocation instead of three. IEEE addition commutes, so the
+        # result is bit-identical to ``lo + cast * scale`` — and this
+        # is the per-chunk transient of the block-fused scan kernel,
+        # so its footprint is the kernel's footprint.
+        out = arr.astype(np.float32)
+        out *= self.scale
+        out += self.lo
+        return out
 
     def clip_fraction(self, matrix: np.ndarray) -> float:
         """Fraction of components falling outside the trained range.

@@ -55,7 +55,9 @@ DATASET_SPECS: dict[str, DatasetSpec] = {
         DatasetSpec("sift", 128, "l2", 1_000_000, 10_000, components=64),
         DatasetSpec("glove", 200, "l2", 1_183_514, 10_000, components=64),
         DatasetSpec("gist", 960, "l2", 1_000_000, 1_000, components=32),
-        DatasetSpec("deepimage", 96, "cosine", 10_000_000, 10_000, components=96),
+        DatasetSpec(
+            "deepimage", 96, "cosine", 10_000_000, 10_000, components=96
+        ),
         DatasetSpec("internala", 512, "cosine", 150_000, 1_000, components=32),
     )
 }

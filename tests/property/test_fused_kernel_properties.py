@@ -1,0 +1,165 @@
+"""Property tests for the block-fused int8 asymmetric kernel.
+
+Two contracts:
+
+1. **Numerical** — the block-fused kernel (bounded-chunk decode
+   feeding the BLAS kernels) must match the one-shot dequantize-then-
+   GEMM reference to within float32 tolerance for any quantizer/codes/
+   query hypothesis can produce, on every metric.
+2. **Memory** — the fused kernel must never materialize a full-
+   precision copy of the code partition (the reference kernel's whole
+   cost); asserted with tracemalloc around both kernels.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.query.distance import (
+    asymmetric_distances_to_one,
+    asymmetric_pairwise_distances,
+    dequantized_pairwise_distances,
+)
+from repro.storage.quantization import SQ8Quantizer
+
+
+def kernel_cases(max_magnitude: float = 1e3):
+    """(training matrix, query matrix) pairs of matching dimension."""
+    max_magnitude = float(np.float32(max_magnitude))
+    elements = st.floats(
+        min_value=-max_magnitude,
+        max_value=max_magnitude,
+        allow_nan=False,
+        allow_infinity=False,
+        width=32,
+    )
+    return st.integers(min_value=1, max_value=12).flatmap(
+        lambda dim: st.tuples(
+            st.integers(min_value=1, max_value=30).flatmap(
+                lambda n: arrays(np.float32, (n, dim), elements=elements)
+            ),
+            st.integers(min_value=1, max_value=5).flatmap(
+                lambda m: arrays(np.float32, (m, dim), elements=elements)
+            ),
+        )
+    )
+
+
+def assert_matches_reference(matrix, queries, metric):
+    quantizer = SQ8Quantizer.train(matrix)
+    codes = quantizer.encode(matrix)
+    fused = asymmetric_pairwise_distances(queries, codes, quantizer, metric)
+    ref = dequantized_pairwise_distances(queries, codes, quantizer, metric)
+    assert fused.shape == ref.shape
+    assert fused.dtype == np.float32
+    # Same association-order slack as the float32 distance property
+    # tests: absolute tolerance scaled by the magnitudes entering the
+    # subtraction (cancellation amplifies representation error).
+    magnitude = np.maximum(np.abs(ref), 1.0)
+    if metric != "cosine":
+        scale = float(
+            np.max(np.abs(matrix), initial=1.0)
+            * np.max(np.abs(queries), initial=1.0)
+        )
+        magnitude = np.maximum(magnitude, scale)
+    tol = 2e-4 * magnitude
+    assert np.all(np.abs(fused - ref) <= tol)
+
+
+class TestMatchesReference:
+    @given(kernel_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_l2(self, case):
+        matrix, queries = case
+        assert_matches_reference(matrix, queries, "l2")
+
+    @given(kernel_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_cosine(self, case):
+        matrix, queries = case
+        assert_matches_reference(matrix, queries, "cosine")
+
+    @given(kernel_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_dot(self, case):
+        matrix, queries = case
+        assert_matches_reference(matrix, queries, "dot")
+
+    @given(kernel_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_to_one_is_first_pairwise_row(self, case):
+        matrix, queries = case
+        quantizer = SQ8Quantizer.train(matrix)
+        codes = quantizer.encode(matrix)
+        one = asymmetric_distances_to_one(
+            queries[0], codes, quantizer, "l2"
+        )
+        pair = asymmetric_pairwise_distances(
+            queries[:1], codes, quantizer, "l2"
+        )
+        np.testing.assert_array_equal(one, pair[0])
+
+
+class TestEdgeShapes:
+    def test_empty_codes(self):
+        quantizer = SQ8Quantizer.train(np.ones((2, 4), dtype=np.float32))
+        empty = np.empty((0, 4), dtype=np.uint8)
+        out = asymmetric_pairwise_distances(
+            np.ones((3, 4), dtype=np.float32), empty, quantizer, "l2"
+        )
+        assert out.shape == (3, 0)
+
+    def test_dimension_mismatch_raises(self):
+        import pytest
+
+        quantizer = SQ8Quantizer.train(np.ones((2, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            asymmetric_pairwise_distances(
+                np.ones((1, 5), dtype=np.float32),
+                np.zeros((2, 4), dtype=np.uint8),
+                quantizer,
+                "l2",
+            )
+
+    def test_constant_dimension_zero_scale(self):
+        matrix = np.full((6, 3), 2.5, dtype=np.float32)
+        quantizer = SQ8Quantizer.train(matrix)
+        codes = quantizer.encode(matrix)
+        out = asymmetric_distances_to_one(
+            matrix[0], codes, quantizer, "l2"
+        )
+        np.testing.assert_allclose(out, 0.0, atol=1e-6)
+
+
+class TestNoFullPrecisionCopy:
+    def test_fused_kernel_peak_memory(self):
+        """The fused kernel's tracemalloc peak stays far below the
+        float32 copy the reference kernel materializes."""
+        rng = np.random.default_rng(0)
+        n, dim = 20_000, 128
+        matrix = rng.normal(size=(n, dim)).astype(np.float32)
+        quantizer = SQ8Quantizer.train(matrix)
+        codes = quantizer.encode(matrix)
+        query = rng.normal(size=(1, dim)).astype(np.float32)
+        float_copy_bytes = codes.size * 4
+
+        tracemalloc.start()
+        asymmetric_pairwise_distances(query, codes, quantizer, "l2")
+        _, fused_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        tracemalloc.start()
+        dequantized_pairwise_distances(query, codes, quantizer, "l2")
+        _, ref_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        # Reference allocates the decoded float32 matrix (4x the code
+        # bytes); fused must stay below even one code-partition copy.
+        assert ref_peak >= float_copy_bytes
+        assert fused_peak < codes.nbytes
+        assert fused_peak < float_copy_bytes / 4

@@ -1,0 +1,298 @@
+"""Pipelined partition scans: parity with serial scans + observability.
+
+The contract the bench relies on: for any query, the two-stage
+I/O–compute pipeline returns byte-identical results to the serial scan
+— same neighbors, same distances — for float32, SQ8, filtered and batch
+queries. Only the wall-clock shape may differ.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from repro import DeviceProfile, Eq, MicroNN, MicroNNConfig
+from repro.core.errors import ConfigError
+from repro.core.types import PlanKind
+
+
+def clustered(rng, n, dim, components=8, spread=6.0):
+    centers = rng.normal(size=(components, dim)) * spread
+    counts = np.full(components, n // components)
+    counts[: n % components] += 1
+    parts = [
+        centers[i] + rng.normal(size=(int(c), dim))
+        for i, c in enumerate(counts)
+    ]
+    return np.concatenate(parts).astype(np.float32)
+
+
+def make_config(quantization: str, pipeline_depth: int) -> MicroNNConfig:
+    return MicroNNConfig(
+        dim=16,
+        target_cluster_size=25,
+        default_nprobe=4,
+        kmeans_iterations=10,
+        quantization=quantization,
+        pipeline_depth=pipeline_depth,
+        attributes={"color": "TEXT"},
+        device=DeviceProfile(
+            name="pipe-test",
+            worker_threads=4,
+            # Zero partition cache: every scan is cold, so the
+            # pipeline engages on every query.
+            partition_cache_bytes=0,
+            sqlite_cache_bytes=1 << 20,
+            scratch_buffer_bytes=1 << 22,
+        ),
+    )
+
+
+def populate(db: MicroNN, vectors: np.ndarray) -> None:
+    db.upsert_batch(
+        (f"a{i:04d}", vectors[i], {"color": ["red", "blue"][i % 2]})
+        for i in range(len(vectors))
+    )
+    db.build_index()
+
+
+@pytest.fixture(params=["none", "sq8"])
+def db_pair(request, tmp_path, rng):
+    """(pipelined db, serial db) over identical data."""
+    vectors = clustered(rng, 400, 16)
+    pipelined = MicroNN.open(
+        tmp_path / "pipelined.db", make_config(request.param, 2)
+    )
+    serial = MicroNN.open(
+        tmp_path / "serial.db", make_config(request.param, 0)
+    )
+    populate(pipelined, vectors)
+    populate(serial, vectors)
+    yield pipelined, serial, vectors
+    pipelined.close()
+    serial.close()
+
+
+class TestParity:
+    def test_ann_results_identical(self, db_pair, rng):
+        pipelined, serial, vectors = db_pair
+        queries = vectors[rng.choice(len(vectors), 15, replace=False)]
+        for q in queries:
+            a = pipelined.search(q, k=10, nprobe=6)
+            b = serial.search(q, k=10, nprobe=6)
+            assert a.asset_ids == b.asset_ids
+            assert a.distances == b.distances
+            assert a.stats.scan_pipelined
+            assert not b.stats.scan_pipelined
+
+    def test_counters_identical(self, db_pair):
+        pipelined, serial, vectors = db_pair
+        a = pipelined.search(vectors[0], k=10, nprobe=6).stats
+        b = serial.search(vectors[0], k=10, nprobe=6).stats
+        for field in (
+            "vectors_scanned",
+            "distance_computations",
+            "rows_filtered",
+            "partitions_scanned",
+            "bytes_read",
+            "scan_mode",
+            "candidates_reranked",
+        ):
+            assert getattr(a, field) == getattr(b, field), field
+
+    def test_filtered_results_identical(self, db_pair):
+        pipelined, serial, vectors = db_pair
+        for q in vectors[:8]:
+            a = pipelined.search(
+                q, k=8, filters=Eq("color", "red"),
+                plan=PlanKind.POST_FILTER,
+            )
+            b = serial.search(
+                q, k=8, filters=Eq("color", "red"),
+                plan=PlanKind.POST_FILTER,
+            )
+            assert a.asset_ids == b.asset_ids
+            assert a.distances == b.distances
+            assert all(int(aid[1:]) % 2 == 0 for aid in a.asset_ids)
+
+    def test_batch_results_identical(self, db_pair):
+        pipelined, serial, vectors = db_pair
+        queries = vectors[:10]
+        a = pipelined.search_batch(queries, k=5, nprobe=6)
+        b = serial.search_batch(queries, k=5, nprobe=6)
+        assert a.stats.scan_pipelined
+        assert not b.stats.scan_pipelined
+        for x, y in zip(a.results, b.results):
+            assert x.asset_ids == y.asset_ids
+            assert x.distances == y.distances
+
+    def test_delta_upserts_visible_through_pipeline(self, db_pair):
+        pipelined, serial, vectors = db_pair
+        fresh = vectors[0] + 1e-4
+        pipelined.upsert("fresh", fresh)
+        serial.upsert("fresh", fresh)
+        a = pipelined.search(fresh, k=3)
+        b = serial.search(fresh, k=3)
+        assert "fresh" in a.asset_ids
+        assert a.asset_ids == b.asset_ids
+        assert a.distances == b.distances
+
+
+class TestObservability:
+    def test_stage_times_populated(self, db_pair):
+        pipelined, serial, vectors = db_pair
+        stats = pipelined.search(vectors[0], k=5, nprobe=6).stats
+        assert stats.scan_pipelined
+        assert stats.io_time_ms > 0.0
+        assert stats.compute_time_ms > 0.0
+        stats = serial.search(vectors[0], k=5, nprobe=6).stats
+        assert not stats.scan_pipelined
+        assert stats.io_time_ms > 0.0
+        assert stats.compute_time_ms >= 0.0
+
+    def test_explain_reports_pipeline(self, db_pair):
+        pipelined, serial, _ = db_pair
+        assert "I/O–compute overlap" in pipelined.explain(
+            Eq("color", "red")
+        )
+        assert "pipeline_depth=0" in serial.explain(Eq("color", "red"))
+
+    def test_codeless_sq8_scans_stay_pipelined(self, tmp_path, rng):
+        # A trained quantizer with code-less partitions (mid-build, or
+        # a crash between assignment and re-encode) falls back to cold
+        # float32 reads; the cached *empty* codes entries that fallback
+        # leaves behind must not fool the coldness heuristic into
+        # dropping the pipeline after the first query.
+        vectors = clustered(rng, 300, 16)
+        db = MicroNN.open(tmp_path / "codeless.db", make_config("sq8", 2))
+        try:
+            db.upsert_batch(
+                (f"a{i:04d}", vectors[i]) for i in range(len(vectors))
+            )
+            db.build_index()
+            with db.engine.write_transaction() as conn:
+                conn.execute("DELETE FROM vector_codes")
+            db.purge_caches()
+            assert db.scan_mode() == "sq8"  # quantizer still trained
+            first = db.search(vectors[0], k=5, nprobe=4)
+            second = db.search(vectors[0], k=5, nprobe=4)
+            assert first.stats.scan_mode == "sq8"
+            assert first.stats.scan_pipelined
+            assert second.stats.scan_pipelined
+            assert first.asset_ids == second.asset_ids
+        finally:
+            db.close()
+
+    def test_warm_scans_skip_pipeline(self, tmp_path, rng):
+        # A default (large) cache holds every partition after warm-up;
+        # fully-warm scans keep the serial fast path.
+        vectors = clustered(rng, 300, 16)
+        config = MicroNNConfig(
+            dim=16,
+            target_cluster_size=25,
+            kmeans_iterations=10,
+            pipeline_depth=2,
+        )
+        with MicroNN.open(tmp_path / "warm.db", config) as db:
+            db.upsert_batch(
+                (f"a{i:04d}", vectors[i]) for i in range(len(vectors))
+            )
+            db.build_index()
+            db.purge_caches()
+            cold = db.search(vectors[0], k=5, nprobe=4)
+            assert cold.stats.scan_pipelined
+            warm = db.search(vectors[0], k=5, nprobe=4)
+            assert not warm.stats.scan_pipelined
+            assert warm.asset_ids == cold.asset_ids
+
+
+class TestPipelinePrimitive:
+    """Direct shutdown/error-path coverage of run_scan_pipeline."""
+
+    def _run(self, items, load, score, workers=2, depth=2, discard=None):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.query.pipeline import run_scan_pipeline
+
+        with ThreadPoolExecutor(max_workers=2) as io_pool:
+            with ThreadPoolExecutor(max_workers=4) as compute_pool:
+                return run_scan_pipeline(
+                    items,
+                    load,
+                    list,
+                    score,
+                    io_pool=lambda: io_pool,
+                    compute_pool=lambda: compute_pool,
+                    io_threads=1,
+                    compute_workers=workers,
+                    depth=depth,
+                    discard=discard,
+                )
+
+    def test_all_items_scored_exactly_once(self):
+        outcome = self._run(
+            list(range(25)),
+            load=lambda item: item * 10,
+            score=lambda state, payload: state.append(payload),
+        )
+        scored = sorted(x for state in outcome.states for x in state)
+        assert scored == [i * 10 for i in range(25)]
+        assert outcome.io_s >= 0.0
+        assert outcome.compute_s >= 0.0
+
+    def test_none_loads_are_skipped(self):
+        outcome = self._run(
+            list(range(10)),
+            load=lambda item: item if item % 2 else None,
+            score=lambda state, payload: state.append(payload),
+        )
+        scored = sorted(x for state in outcome.states for x in state)
+        assert scored == [1, 3, 5, 7, 9]
+
+    def test_load_error_propagates_and_discards_queued(self):
+        discarded = []
+
+        def load(item):
+            if item == 7:
+                raise RuntimeError("disk on fire")
+            return item
+
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            self._run(
+                list(range(50)),
+                load,
+                score=lambda state, payload: time.sleep(0.001),
+                discard=discarded.append,
+            )
+
+    def test_score_error_propagates(self):
+        def score(state, payload):
+            raise ValueError("bad kernel")
+
+        with pytest.raises(ValueError, match="bad kernel"):
+            self._run(list(range(10)), lambda i: i, score)
+
+
+class TestConfig:
+    def test_pipeline_knobs_validated(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=8, pipeline_depth=-1)
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=8, io_prefetch_threads=0)
+        with pytest.raises(ConfigError):
+            dataclasses.replace(
+                MicroNNConfig(dim=8).device, scratch_buffer_bytes=-1
+            )
+
+    def test_depth_zero_disables_everywhere(self, tmp_path, rng):
+        vectors = clustered(rng, 200, 16)
+        config = dataclasses.replace(make_config("none", 0))
+        with MicroNN.open(tmp_path / "off.db", config) as db:
+            populate(db, vectors)
+            result = db.search(vectors[0], k=5)
+            assert not result.stats.scan_pipelined
+            batch = db.search_batch(vectors[:4], k=5)
+            assert not batch.stats.scan_pipelined
