@@ -138,6 +138,10 @@ def test_sq8_vs_float32(benchmark, bench_dir):
     payload = {
         "bench": "quantization",
         "dataset": dataset.name,
+        # Top-level num_vectors is the trend checker's scale guard: a
+        # pinned baseline recorded at another MICRONN_BENCH_SCALE must
+        # not be compared against this run.
+        "num_vectors": len(dataset),
         "results": results,
         "io_reduction_factor": reduction,
     }

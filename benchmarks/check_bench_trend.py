@@ -12,13 +12,24 @@ run's (downloaded as the trend baseline) and:
 
 Metrics are discovered by walking each JSON document: numeric leaves
 whose key matches ``bytes_read`` gate hard, leaves whose key looks like
-a latency/percentile/duration gate soft. Higher is worse for both. A
-missing baseline (first run, expired artifact) passes with a note.
+a latency/percentile/duration gate soft. Higher is worse for both.
+
+``--pinned`` names a directory of curated baseline JSONs committed
+in-repo (``benchmarks/baselines/``): when the previous run's artifact
+is missing (first run on a branch, expired artifact), the pinned file
+of the same name is diffed instead, so the bytes-read gate survives
+artifact expiry. Pinned files are curated to the deterministic metrics
+(byte counts), not wall-clock, and carry the ``num_vectors`` they were
+recorded at: a current artifact with a different ``num_vectors`` (a
+``MICRONN_BENCH_SCALE`` change) skips the pinned diff rather than
+comparing across scales. A missing baseline on both sides passes with
+a note.
 
 Usage::
 
     python benchmarks/check_bench_trend.py \
-        --baseline bench-baseline --current bench-artifacts
+        --baseline bench-baseline --current bench-artifacts \
+        --pinned benchmarks/baselines
 """
 
 from __future__ import annotations
@@ -89,42 +100,87 @@ def compare_artifacts(
     return failures, warnings
 
 
+def resolve_baseline(
+    name: str, baseline_dir: Path, pinned_dir: Path | None
+) -> tuple[Path, str] | None:
+    """Pick the baseline for one artifact: last run's, else pinned."""
+    artifact = baseline_dir / name
+    if artifact.is_file():
+        return artifact, "previous run"
+    if pinned_dir is not None:
+        pinned = pinned_dir / name
+        if pinned.is_file():
+            return pinned, "pinned baseline"
+    return None
+
+
+def scales_match(baseline_doc: object, current_doc: object) -> bool:
+    """Comparable only when both ran at the same dataset size.
+
+    Documents without a top-level ``num_vectors`` are always compared
+    (nothing to guard on).
+    """
+    if not isinstance(baseline_doc, dict) or not isinstance(
+        current_doc, dict
+    ):
+        return True
+    before = baseline_doc.get("num_vectors")
+    after = current_doc.get("num_vectors")
+    if before is None or after is None:
+        return True
+    return before == after
+
+
 def check_directories(
     baseline_dir: Path,
     current_dir: Path,
     threshold: float = DEFAULT_THRESHOLD,
+    pinned_dir: Path | None = None,
 ) -> int:
-    if not baseline_dir.is_dir():
+    have_pinned = pinned_dir is not None and pinned_dir.is_dir()
+    if not baseline_dir.is_dir() and not have_pinned:
         print(f"no baseline at {baseline_dir}; first run, nothing to diff")
         return 0
     compared = 0
     exit_code = 0
     for current_path in sorted(current_dir.glob("*.json")):
-        baseline_path = baseline_dir / current_path.name
-        if not baseline_path.is_file():
+        resolved = resolve_baseline(
+            current_path.name,
+            baseline_dir,
+            pinned_dir if have_pinned else None,
+        )
+        if resolved is None:
             print(f"{current_path.name}: new artifact, no baseline")
             continue
+        baseline_path, source = resolved
         try:
-            baseline = flatten_metrics(
-                json.loads(baseline_path.read_text())
-            )
-            current = flatten_metrics(json.loads(current_path.read_text()))
+            baseline_doc = json.loads(baseline_path.read_text())
+            current_doc = json.loads(current_path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
             print(f"::warning::{current_path.name}: unreadable ({exc})")
             continue
+        if not scales_match(baseline_doc, current_doc):
+            print(
+                f"{current_path.name}: num_vectors differs from the "
+                f"{source} (bench scale changed); skipping the diff"
+            )
+            continue
+        baseline = flatten_metrics(baseline_doc)
+        current = flatten_metrics(current_doc)
         compared += 1
         failures, warnings = compare_artifacts(
             baseline, current, threshold
         )
         for message in warnings:
             print(f"::warning::{current_path.name}: latency regression "
-                  f"{message}")
+                  f"vs {source} {message}")
         for message in failures:
             print(f"::error::{current_path.name}: bytes-read regression "
-                  f"{message}")
+                  f"vs {source} {message}")
             exit_code = 1
         if not failures and not warnings:
-            print(f"{current_path.name}: within +{threshold:.0%} of baseline")
+            print(f"{current_path.name}: within +{threshold:.0%} of "
+                  f"{source}")
     if compared == 0:
         print("no artifacts shared with the baseline; nothing compared")
     return exit_code
@@ -139,8 +195,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float,
                         default=DEFAULT_THRESHOLD,
                         help="relative growth treated as regression")
+    parser.add_argument("--pinned", type=Path, default=None,
+                        help="curated in-repo baseline directory used "
+                        "when the previous run's artifact is missing")
     args = parser.parse_args(argv)
-    return check_directories(args.baseline, args.current, args.threshold)
+    return check_directories(
+        args.baseline, args.current, args.threshold,
+        pinned_dir=args.pinned,
+    )
 
 
 if __name__ == "__main__":

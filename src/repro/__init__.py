@@ -20,6 +20,8 @@ Package layout:
   incremental maintenance;
 - :mod:`repro.query` — distance kernels, heaps, predicate AST, selectivity
   estimation, hybrid planner, single-query and MQO batch executors;
+- :mod:`repro.serve` — the concurrent serving layer: async query
+  scheduler with shared cross-query I/O and admission control;
 - :mod:`repro.baselines` — the paper's InMemory comparison point;
 - :mod:`repro.workloads` — dataset analogs, ground truth, recall metrics,
   the filtered-search workload;
@@ -64,6 +66,7 @@ from repro.query.filters import (
     Or,
     Predicate,
 )
+from repro.serve.session import ServeStats, Session
 from repro.storage.engine import VectorRecord
 from repro.storage.quantization import SQ8Quantizer
 
@@ -78,6 +81,9 @@ __all__ = [
     "IOCostModel",
     "VectorRecord",
     "SQ8Quantizer",
+    # serving
+    "Session",
+    "ServeStats",
     # results
     "Neighbor",
     "SearchResult",

@@ -232,6 +232,41 @@ class MicroNNConfig:
     #: fanned across threads convoy on the GIL, but a slow-flash device
     #: profile can raise it to keep the queue fed.
     io_prefetch_threads: int = 1
+    #: Adaptive nprobe early termination: once a scan's top-K candidate
+    #: set is full, a remaining partition is skipped when its centroid
+    #: distance exceeds the current k-th candidate distance by more
+    #: than ``margin * abs(kth)`` (internal smaller-is-closer space).
+    #: ``None`` (the default) disables the check and keeps every scan
+    #: exhaustive over its probe set. This is a recall/latency knob:
+    #: small margins prune aggressively, large margins almost never
+    #: fire. The delta partition is never skipped. The margin is
+    #: *relative* (``margin * abs(kth)``), so it degenerates toward
+    #: margin-0 behavior when the k-th distance is near zero — routine
+    #: with the ``dot`` metric, whose internal distances cross zero —
+    #: so prefer this knob with ``l2``/``cosine``. Note that pruning
+    #: decisions depend on the order partitions are scored in, so on
+    #: concurrent paths (the pipelined scan, the serving scheduler)
+    #: adaptive runs are recall-equivalent within the margin rather
+    #: than bit-reproducible; only the single-threaded serial loop is
+    #: deterministic. Bit-identity guarantees elsewhere in the API
+    #: assume this knob is unset. The batch MQO path (``search_batch``)
+    #: does not implement the check — its inverted partition→queries
+    #: loop has no per-query scan order to terminate — and scans its
+    #: probe sets exhaustively regardless of this setting.
+    adaptive_nprobe_margin: float | None = None
+    #: Admission bound of the concurrent serving layer: how many
+    #: queries submitted through ``search_async``/``serve.Session`` may
+    #: be in flight at once. Further submissions queue (their wait is
+    #: surfaced as ``QueryStats.queue_wait_ms``) until a slot frees AND
+    #: the scratch-buffer pool is back under its memory budget.
+    max_inflight_queries: int = 8
+    #: Threads of the serving layer's *shared* I/O stage (one stage
+    #: multiplexed across every in-flight query, unlike
+    #: ``io_prefetch_threads`` which is per query). ``None`` derives
+    #: ``max(io_prefetch_threads, min(8, device.worker_threads))`` — a
+    #: server overlaps storage latency across queries, so it wants more
+    #: I/O parallelism than any single query does.
+    serve_io_threads: int | None = None
     device: DeviceProfile = field(default_factory=DeviceProfile.large)
     seed: int = 0
 
@@ -281,6 +316,17 @@ class MicroNNConfig:
             raise ConfigError("pipeline_depth must be >= 0")
         if self.io_prefetch_threads < 1:
             raise ConfigError("io_prefetch_threads must be >= 1")
+        if (
+            self.adaptive_nprobe_margin is not None
+            and self.adaptive_nprobe_margin < 0
+        ):
+            raise ConfigError(
+                "adaptive_nprobe_margin must be >= 0 when set"
+            )
+        if self.max_inflight_queries < 1:
+            raise ConfigError("max_inflight_queries must be >= 1")
+        if self.serve_io_threads is not None and self.serve_io_threads < 1:
+            raise ConfigError("serve_io_threads must be >= 1 when set")
         self._validate_attributes()
 
     def _validate_attributes(self) -> None:
@@ -323,6 +369,15 @@ class MicroNNConfig:
     @property
     def uses_quantization(self) -> bool:
         return self.quantization != "none"
+
+    @property
+    def resolved_serve_io_threads(self) -> int:
+        """The serving layer's shared I/O stage width (None resolved)."""
+        if self.serve_io_threads is not None:
+            return self.serve_io_threads
+        return max(
+            self.io_prefetch_threads, min(8, self.device.worker_threads)
+        )
 
 
 #: Column names used by the library's own schema; attributes must not

@@ -34,7 +34,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.core.config import MicroNNConfig
-from repro.core.errors import FilterError
+from repro.core.errors import DatabaseClosedError, FilterError
 from repro.core.types import (
     BatchSearchResult,
     BuildReport,
@@ -47,7 +47,7 @@ from repro.core.types import (
 from repro.index.ivf import IVFBuilder
 from repro.index.maintenance import IncrementalMaintainer, IndexMonitor
 from repro.query.batch import BatchQueryExecutor
-from repro.query.executor import QueryExecutor
+from repro.query.executor import QueryExecutor, _check_k
 from repro.query.filters import Predicate, default_tokenizer
 from repro.query.fts import TokenStats
 from repro.query.planner import HybridQueryPlanner, PlanDecision
@@ -81,6 +81,13 @@ class MicroNN:
         self._token_stats = TokenStats(self._engine)
         self._estimator_lock = threading.Lock()
         self._estimator: SelectivityEstimator | None = None
+        # The concurrent serving scheduler is built lazily on the first
+        # async submission — a purely synchronous user never pays for
+        # its threads. ``_closed`` (set under the same lock) keeps a
+        # racing search_async from resurrecting a scheduler mid-close.
+        self._scheduler_lock = threading.Lock()
+        self._scheduler = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -119,18 +126,28 @@ class MicroNN:
     def close(self) -> None:
         """Close all connections; the object is unusable afterwards.
 
-        Deterministic teardown: both worker pools are joined before the
-        storage connections drop, so repeated open/close cycles in one
-        process never leak ``micronn-*`` threads, and the engine is
-        closed even if a pool shutdown raises.
+        Deterministic teardown: the serving scheduler drains first
+        (new submissions are rejected, queued-but-unadmitted queries
+        are cancelled, in-flight futures complete), then both worker
+        pools are joined before the storage connections drop — so
+        repeated open/close cycles in one process never leak
+        ``micronn-*`` threads, and the engine is closed even if a pool
+        shutdown raises.
         """
+        with self._scheduler_lock:
+            self._closed = True
+            scheduler, self._scheduler = self._scheduler, None
         try:
-            self._executor.close()
+            if scheduler is not None:
+                scheduler.close()
         finally:
             try:
-                self._batch_executor.close()
+                self._executor.close()
             finally:
-                self._engine.close()
+                try:
+                    self._batch_executor.close()
+                finally:
+                    self._engine.close()
 
     def __enter__(self) -> "MicroNN":
         return self
@@ -360,6 +377,148 @@ class MicroNN:
         return self._batch_executor.search_batch(queries, k, nprobe)
 
     # ------------------------------------------------------------------
+    # Concurrent serving (repro.serve)
+    # ------------------------------------------------------------------
+
+    def _get_scheduler(self):
+        with self._scheduler_lock:
+            if self._scheduler is None:
+                if self._closed or not self._engine.is_open:
+                    raise DatabaseClosedError("database is closed")
+                from repro.serve.scheduler import QueryScheduler
+
+                self._scheduler = QueryScheduler(
+                    self._engine, self._executor, self._config
+                )
+            return self._scheduler
+
+    def search_async(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        nprobe: int | None = None,
+        filters: Predicate | None = None,
+        exact: bool = False,
+        plan: PlanKind | None = None,
+    ):
+        """Schedule a search; returns a :class:`concurrent.futures.Future`.
+
+        Same parameters and plan selection as :meth:`search`, and the
+        resolved result is bit-identical to what the serial call would
+        return — the scheduler reuses the executor's kernels and
+        merges, it only changes *when* partitions are read. (The one
+        carve-out is ``adaptive_nprobe_margin``: its pruning depends
+        on scoring order on every concurrent path, so adaptive runs
+        are recall-equivalent within the margin rather than
+        bit-identical.) What the async path adds: many in-flight
+        queries at once, cross-query read coalescing on overlapping
+        probe sets (see ``QueryStats.io_shared_hits``), and bounded
+        admission (``max_inflight_queries`` + scratch-memory
+        back-pressure, waits surfaced as
+        ``QueryStats.queue_wait_ms``).
+
+        Invalid inputs (bad dimension, bad k) raise here synchronously;
+        execution errors surface through the future.
+        """
+        nprobe = nprobe or self._config.default_nprobe
+        # Input validation stays synchronous on every plan (call plans
+        # would otherwise defer the error to the future); the
+        # canonicalized array is what every downstream path consumes,
+        # so validation happens exactly once.
+        query = self._executor.as_query(query)
+        _check_k(k)
+        scheduler = self._get_scheduler()
+        if exact:
+            return scheduler.submit_call(
+                lambda: self._executor.search_exact(
+                    query, k, predicate=filters
+                )
+            )
+        if filters is None:
+            return scheduler.submit(query, k, nprobe)
+        if plan is not None and plan not in (
+            PlanKind.PRE_FILTER,
+            PlanKind.POST_FILTER,
+        ):
+            raise FilterError(
+                f"plan must be PRE_FILTER or POST_FILTER, got {plan}"
+            )
+
+        def setup():
+            # Runs on the scheduler's compute pool at admission: the
+            # optimizer's selectivity estimate and (for post-filtering)
+            # the predicate's attribute-table scan are real storage
+            # work that must neither block the submitting thread nor
+            # escape admission control.
+            decision: PlanDecision | None = None
+            chosen = plan
+            if chosen is None:
+                decision = self.plan_for(filters, nprobe)
+                chosen = decision.kind
+            extra = (
+                {
+                    "estimated_selectivity": (
+                        decision.estimated_selectivity
+                    ),
+                    "ivf_selectivity": decision.ivf_selectivity,
+                }
+                if decision is not None
+                else None
+            )
+            if chosen is PlanKind.PRE_FILTER:
+                return (
+                    "call",
+                    lambda: self._executor.search_prefilter(
+                        query, k, filters
+                    ),
+                    extra,
+                )
+            return (
+                "scan",
+                self._executor.qualifying_ids_for(filters),
+                extra,
+            )
+
+        return scheduler.submit(
+            query, k, nprobe, plan=PlanKind.POST_FILTER, setup=setup
+        )
+
+    async def search_asyncio(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        nprobe: int | None = None,
+        filters: Predicate | None = None,
+        exact: bool = False,
+        plan: PlanKind | None = None,
+    ) -> SearchResult:
+        """Awaitable :meth:`search` for asyncio applications.
+
+        Bridges the scheduler's future onto the running event loop, so
+        ``await db.search_asyncio(q)`` composes with ``asyncio.gather``
+        for fan-out without blocking the loop.
+        """
+        import asyncio
+
+        return await asyncio.wrap_future(
+            self.search_async(
+                query,
+                k=k,
+                nprobe=nprobe,
+                filters=filters,
+                exact=exact,
+                plan=plan,
+            )
+        )
+
+    def serve_session(self):
+        """Open a :class:`repro.serve.Session` over this database."""
+        from repro.serve.session import Session
+
+        self._get_scheduler()
+        return Session(self)
+
+    # ------------------------------------------------------------------
     # Statistics / optimizer support
     # ------------------------------------------------------------------
 
@@ -436,6 +595,8 @@ class MicroNN:
             f"hybrid query plan (k={k}, nprobe={nprobe}, |R|={total})",
             f"  partition scan:   {self.scan_mode_description(k)}",
             f"  scan pipeline:    {self.pipeline_description()}",
+            f"  adaptive nprobe:  {self.adaptive_nprobe_description()}",
+            f"  serving:          {self.serving_description()}",
             (
                 "  attribute filter: estimated selectivity "
                 f"{decision.estimated_selectivity:.6f} "
@@ -491,6 +652,29 @@ class MicroNN:
             f"I/O–compute overlap on cache-cold scans (depth={depth}, "
             f"{self._config.io_prefetch_threads} I/O thread(s), up to "
             f"{self._config.device.worker_threads} compute workers)"
+        )
+
+    def adaptive_nprobe_description(self) -> str:
+        """One-line account of the adaptive early-termination knob."""
+        margin = self._config.adaptive_nprobe_margin
+        if margin is None:
+            return (
+                "off — every probe-set partition is scanned "
+                "(adaptive_nprobe_margin=None)"
+            )
+        return (
+            f"margin {margin:g} — stop admitting partitions once the "
+            f"centroid distance exceeds the k-th candidate by "
+            f"{margin:g}x (QueryStats.partitions_skipped counts them)"
+        )
+
+    def serving_description(self) -> str:
+        """One-line account of the concurrent serving configuration."""
+        return (
+            f"up to {self._config.max_inflight_queries} in-flight "
+            f"queries, {self._config.resolved_serve_io_threads} shared "
+            "I/O thread(s), cross-query read coalescing on overlapping "
+            "probe sets (search_async / serve_session)"
         )
 
     def scan_mode_description(self, k: int = 10) -> str:

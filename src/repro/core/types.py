@@ -76,6 +76,21 @@ class QueryStats:
     #: Whether the two-stage I/O–compute pipeline executed this scan
     #: (cache-cold ANN scans with ``pipeline_depth > 0``).
     scan_pipelined: bool = False
+    #: Partitions in the probe set that adaptive-nprobe early
+    #: termination skipped (``adaptive_nprobe_margin``): their centroid
+    #: distance already exceeded the k-th candidate by the margin, so
+    #: they were never scored — and not read either, except on the
+    #: serving path when another concurrent query still needed the
+    #: same partition (the shared read then happens for that query).
+    partitions_skipped: int = 0
+    #: Of this query's partition loads, how many were shared with at
+    #: least one other concurrent query (the serving layer's cross-
+    #: query I/O coalescing: one read + decode, N scoring consumers).
+    io_shared_hits: int = 0
+    #: Milliseconds this query waited in the serving layer's admission
+    #: queue before a slot (and scratch-memory headroom) freed up.
+    #: Always 0 for the synchronous ``search()`` path.
+    queue_wait_ms: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)

@@ -131,47 +131,54 @@ class BatchQueryExecutor:
         if num_queries == 0:
             return BatchSearchResult(results=[], latency_s=0.0)
 
-        quantizer = (
-            self._engine.load_quantizer()
-            if self._config.uses_quantization
-            else None
-        )
-        scan_mode = "sq8" if quantizer is not None else "float32"
-
-        groups, requested = self._group_by_partition(q, nprobe)
-        per_query: list[list[Candidate]] = [[] for _ in range(num_queries)]
-        # Approximate candidates from quantized scans, kept apart from
-        # the exact ones until the per-query rerank resolves them.
-        per_query_approx: list[list[Candidate]] = [
-            [] for _ in range(num_queries)
-        ]
-        scanned_counts = np.zeros(num_queries, dtype=np.int64)
-        rerank_pool = max(k, self._config.rerank_factor * k)
-
-        # Scan phase: each needed partition is read exactly ONCE — the
-        # point of MQO. Under sq8 the read is the code partition (a
-        # quarter of the bytes); the delta and code-less partitions
-        # stay full-precision. Cache-cold batches run the same
-        # I/O–compute pipeline as single queries: one partition is
-        # being read while another's shared GEMM runs, still once per
-        # partition per batch. Warm batches keep the serial path
-        # (threaded tiny SQLite reads convoy on the GIL; see
-        # executor._scan_partitions).
-        outcomes, io_time, compute_time, pipelined = self._scan_groups(
-            groups, q, quantizer, rerank_pool, k
-        )
-
-        for query_rows, locals_per_query, size, is_codes in outcomes:
-            sink = per_query_approx if is_codes else per_query
-            for row, candidates in zip(query_rows, locals_per_query):
-                sink[row].extend(candidates)
-                scanned_counts[row] += size
-
-        reranked = 0
-        if quantizer is not None:
-            reranked = self._rerank_batch(
-                q, per_query, per_query_approx, rerank_pool, k
+        # The whole storage-touching window registers with the purge
+        # guard, mirroring the single-query executor: purge_caches()
+        # during a batch waits for the batch to finish.
+        with self._engine.scan_session():
+            quantizer = (
+                self._engine.load_quantizer()
+                if self._config.uses_quantization
+                else None
             )
+            scan_mode = "sq8" if quantizer is not None else "float32"
+
+            groups, requested = self._group_by_partition(q, nprobe)
+            per_query: list[list[Candidate]] = [
+                [] for _ in range(num_queries)
+            ]
+            # Approximate candidates from quantized scans, kept apart
+            # from the exact ones until the per-query rerank resolves
+            # them.
+            per_query_approx: list[list[Candidate]] = [
+                [] for _ in range(num_queries)
+            ]
+            scanned_counts = np.zeros(num_queries, dtype=np.int64)
+            rerank_pool = max(k, self._config.rerank_factor * k)
+
+            # Scan phase: each needed partition is read exactly ONCE —
+            # the point of MQO. Under sq8 the read is the code
+            # partition (a quarter of the bytes); the delta and
+            # code-less partitions stay full-precision. Cache-cold
+            # batches run the same I/O–compute pipeline as single
+            # queries: one partition is being read while another's
+            # shared GEMM runs, still once per partition per batch.
+            # Warm batches keep the serial path (threaded tiny SQLite
+            # reads convoy on the GIL; see executor._scan_partitions).
+            outcomes, io_time, compute_time, pipelined = self._scan_groups(
+                groups, q, quantizer, rerank_pool, k
+            )
+
+            for query_rows, locals_per_query, size, is_codes in outcomes:
+                sink = per_query_approx if is_codes else per_query
+                for row, candidates in zip(query_rows, locals_per_query):
+                    sink[row].extend(candidates)
+                    scanned_counts[row] += size
+
+            reranked = 0
+            if quantizer is not None:
+                reranked = self._rerank_batch(
+                    q, per_query, per_query_approx, rerank_pool, k
+                )
 
         latency = time.perf_counter() - start
         io_delta = self._engine.accountant.delta_since(io_before)

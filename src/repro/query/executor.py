@@ -66,6 +66,56 @@ from repro.storage.quantization import SQ8Quantizer
 _PARALLEL_SCAN_ELEMENTS = 1 << 21
 
 
+def adaptive_skip(
+    centroid_dist: float, kth: float, margin: float
+) -> bool:
+    """Adaptive-nprobe admission check (ROADMAP early-termination item).
+
+    Skip a partition whose centroid distance already exceeds the
+    current k-th candidate distance by more than ``margin * abs(kth)``
+    — with the probe set ordered by centroid distance, once one
+    partition trips this every later one would too. All values are in
+    the internal smaller-is-closer space, so the same check serves l2
+    (squared), cosine and dot (negated). While the candidate set is
+    not yet full ``kth`` is ``inf`` and nothing is skipped; the delta
+    partition carries ``-inf`` and is never skipped. Being relative,
+    the margin loses its bite as ``kth`` nears zero (see the config
+    docstring's ``dot`` caveat).
+    """
+    if kth == float("inf"):
+        return False
+    return centroid_dist > kth + margin * abs(kth)
+
+
+class SharedKthTracker:
+    """Monotone k-th-candidate bound shared across pipeline workers.
+
+    Each compute worker scores into a private heap, so no worker knows
+    the global k-th distance; each publishes its own heap's worst
+    retained distance here and admission checks read the minimum seen
+    so far. A private heap's worst is always an *upper* bound on the
+    global k-th, so the pruning this feeds is conservative — it only
+    skips partitions the exact serial check would also skip.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = float("inf")
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def observe(self, worst: float) -> None:
+        if worst < self._value:
+            with self._lock:
+                if worst < self._value:
+                    self._value = worst
+
+
 @dataclass(frozen=True)
 class _ScanOutcome:
     """Counters accumulated by one query's partition scans."""
@@ -75,6 +125,8 @@ class _ScanOutcome:
     rows_filtered: int
     scan_mode: str = "float32"
     candidates_reranked: int = 0
+    #: Probe-set partitions adaptive early termination never scanned.
+    partitions_skipped: int = 0
     #: Seconds spent loading+decoding partitions (summed across I/O
     #: tasks when pipelined, phase wall-clock when serial).
     io_time_s: float = 0.0
@@ -151,9 +203,12 @@ class QueryExecutor:
         self._io_pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._pool_closed = False
-        # Lazily built coarse centroid index (§3.2 extension), keyed on
-        # the identity of the engine's cached centroid matrix.
-        self._centroid_index: tuple[np.ndarray, object] | None = None
+        # Lazily built coarse centroid index (§3.2 extension) plus the
+        # pid→row map, keyed on the identity of the engine's cached
+        # centroid matrix.
+        self._centroid_index: (
+            tuple[np.ndarray, object, dict[int, int]] | None
+        ) = None
 
     def _worker_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
@@ -199,6 +254,38 @@ class QueryExecutor:
         return self._compile_ctx
 
     # ------------------------------------------------------------------
+    # Serving-layer entry points (repro.serve)
+    # ------------------------------------------------------------------
+    # The concurrent scheduler reuses the executor's selection, rerank
+    # and finalize machinery, so a scheduled query runs exactly the
+    # serial path's numerics — the bit-identical-results guarantee
+    # reduces to "same kernels, same merges, different I/O schedule".
+
+    def as_query(self, query: np.ndarray) -> np.ndarray:
+        """Validate + canonicalize a query vector (serving layer)."""
+        return self._as_query(query)
+
+    def qualifying_ids_for(self, predicate: Predicate) -> frozenset[str]:
+        """Post-filter qualifying set, as the serial path computes it."""
+        return frozenset(self._qualifying_ids(predicate))
+
+    def scan_quantizer(self) -> SQ8Quantizer | None:
+        """The quantizer driving scans, or None (see _scan_quantizer)."""
+        return self._scan_quantizer()
+
+    def rerank_candidates(
+        self, candidates, query: np.ndarray, k: int
+    ) -> tuple[TopKHeap, int]:
+        """Exact rerank of approximate candidates (serving layer)."""
+        return self._rerank(candidates, query, k)
+
+    def finalize_heaps(
+        self, heaps: list[TopKHeap], k: int
+    ) -> tuple[Neighbor, ...]:
+        """Merge heaps into surfaced neighbors (serving layer)."""
+        return self._finalize(heaps, k)
+
+    # ------------------------------------------------------------------
     # Plan entry points
     # ------------------------------------------------------------------
 
@@ -216,23 +303,25 @@ class QueryExecutor:
         io_before = self._engine.accountant.snapshot()
         query = self._as_query(query)
 
-        partition_ids = self._select_partitions(query, nprobe)
-        quantizer = self._scan_quantizer()
-        if quantizer is not None:
-            heaps, outcome = self._scan_partitions_quantized(
-                partition_ids, query, k, qualifying_ids, quantizer
-            )
-        else:
-            heaps, outcome = self._scan_partitions(
-                partition_ids, query, k, qualifying_ids
-            )
+        with self._engine.scan_session():
+            partitions = self.select_partitions(query, nprobe)
+            quantizer = self._scan_quantizer()
+            if quantizer is not None:
+                heaps, outcome = self._scan_partitions_quantized(
+                    partitions, query, k, qualifying_ids, quantizer
+                )
+            else:
+                heaps, outcome = self._scan_partitions(
+                    partitions, query, k, qualifying_ids
+                )
         neighbors = self._finalize(heaps, k)
 
         io_delta = self._engine.accountant.delta_since(io_before)
         stats = QueryStats(
             plan=plan,
             nprobe=nprobe,
-            partitions_scanned=len(partition_ids),
+            partitions_scanned=len(partitions)
+            - outcome.partitions_skipped,
             vectors_scanned=outcome.vectors_scanned,
             distance_computations=outcome.distance_computations,
             rows_filtered=outcome.rows_filtered,
@@ -245,6 +334,7 @@ class QueryExecutor:
             io_time_ms=outcome.io_time_s * 1e3,
             compute_time_ms=outcome.compute_time_s * 1e3,
             scan_pipelined=outcome.pipelined,
+            partitions_skipped=outcome.partitions_skipped,
         )
         return SearchResult(neighbors=neighbors, stats=stats)
 
@@ -264,11 +354,14 @@ class QueryExecutor:
 
         heap = TopKHeap(k)
         scanned = 0
-        for ids, matrix in self._engine.iter_vector_batches(batch_size=4096):
-            scanned += len(ids)
-            dist = distances_to_one(query, matrix, self._config.metric)
-            for cand in topk_from_distances(ids, dist, k):
-                heap.push(cand.asset_id, cand.distance)
+        with self._engine.scan_session():
+            for ids, matrix in self._engine.iter_vector_batches(
+                batch_size=4096
+            ):
+                scanned += len(ids)
+                dist = distances_to_one(query, matrix, self._config.metric)
+                for cand in topk_from_distances(ids, dist, k):
+                    heap.push(cand.asset_id, cand.distance)
         neighbors = self._finalize([heap], k)
 
         io_delta = self._engine.accountant.delta_since(io_before)
@@ -290,10 +383,11 @@ class QueryExecutor:
         io_before = self._engine.accountant.snapshot()
         query = self._as_query(query)
 
-        qualifying = self._qualifying_ids(predicate)
-        found_ids, matrix = self._engine.fetch_vectors_by_asset_ids(
-            sorted(qualifying)
-        )
+        with self._engine.scan_session():
+            qualifying = self._qualifying_ids(predicate)
+            found_ids, matrix = self._engine.fetch_vectors_by_asset_ids(
+                sorted(qualifying)
+            )
         if len(found_ids):
             dist = distances_to_one(query, matrix, self._config.metric)
             candidates = topk_from_distances(found_ids, dist, k)
@@ -352,25 +446,41 @@ class QueryExecutor:
         where_sql, params = predicate.to_sql(self._compile_ctx)
         return self._engine.query_attribute_ids(where_sql, params)
 
-    def _select_partitions(
+    def select_partitions(
         self, query: np.ndarray, nprobe: int
-    ) -> list[int]:
+    ) -> list[tuple[int, float]]:
         """FindNearestCentroids ∪ {delta} (Algorithm 2, line 3).
 
-        Uses the flat centroid scan by default; switches to the
-        two-level coarse centroid index (§3.2 extension) once the
-        centroid table crosses the configured threshold.
+        Returns ``(partition_id, centroid_distance)`` pairs in centroid-
+        distance order — the distances feed the pipeline's prefetch
+        priority, adaptive-nprobe admission, and the serving
+        scheduler's cross-query load prioritization. The delta is
+        appended with ``-inf`` so every consumer scans it
+        unconditionally. Uses the flat centroid scan by default;
+        switches to the two-level coarse centroid index (§3.2
+        extension) once the centroid table crosses the configured
+        threshold.
         """
         partition_ids, centroids = self._engine.load_centroids()
-        selected: list[int] = []
+        selected: list[tuple[int, float]] = []
         if len(partition_ids):
             threshold = self._config.centroid_index_threshold
             if threshold is not None and len(partition_ids) >= threshold:
-                index = self._centroid_index_for(partition_ids, centroids)
-                selected = index.select(
+                index, row_of = self._centroid_index_for(
+                    partition_ids, centroids
+                )
+                pids = index.select(
                     query,
                     nprobe,
                     oversample=self._config.centroid_index_oversample,
+                )
+                dist = distances_to_one(
+                    query,
+                    centroids[[row_of[pid] for pid in pids]],
+                    self._config.metric,
+                )
+                order = sorted(
+                    (float(d), pid) for d, pid in zip(dist, pids)
                 )
             else:
                 dist = distances_to_one(
@@ -381,8 +491,8 @@ class QueryExecutor:
                 order = sorted(
                     ((float(dist[i]), int(partition_ids[i])) for i in idx)
                 )
-                selected = [pid for _, pid in order]
-        selected.append(DELTA_PARTITION_ID)
+            selected = [(pid, d) for d, pid in order]
+        selected.append((DELTA_PARTITION_ID, float("-inf")))
         return selected
 
     def _centroid_index_for(
@@ -392,14 +502,17 @@ class QueryExecutor:
 
         Keyed on the identity of the engine's cached centroid matrix:
         any centroid write drops that cache, so a fresh matrix object
-        signals that the coarse index is stale.
+        signals that the coarse index is stale. Returns the index plus
+        the partition-id→centroid-row map, cached together — the map
+        is O(num_partitions) to build, which is exactly the per-query
+        cost the two-level index exists to avoid.
         """
         from repro.index.centroid_index import CentroidIndex
 
         with self._pool_lock:
             cached = self._centroid_index
             if cached is not None and cached[0] is centroids:
-                return cached[1]
+                return cached[1], cached[2]
         index = CentroidIndex.build(
             partition_ids,
             centroids,
@@ -407,12 +520,13 @@ class QueryExecutor:
             cell_size=self._config.centroid_index_cell_size,
             seed=self._config.seed,
         )
+        row_of = {int(pid): row for row, pid in enumerate(partition_ids)}
         with self._pool_lock:
-            self._centroid_index = (centroids, index)
-        return index
+            self._centroid_index = (centroids, index, row_of)
+        return index, row_of
 
     def _pipeline_split(
-        self, partition_ids: list[int], quantized: bool
+        self, partitions: list[tuple[int, float]], quantized: bool
     ) -> tuple[int, int] | None:
         """(io_threads, compute_workers) if this scan should pipeline.
 
@@ -423,18 +537,18 @@ class QueryExecutor:
         results are bit-identical — same kernels, same merges). A
         ``pipeline_depth`` of 0 disables it outright (the A/B knob).
         """
-        if self._config.pipeline_depth < 1 or len(partition_ids) <= 1:
+        if self._config.pipeline_depth < 1 or len(partitions) <= 1:
             return None
         if not has_cold_partition(
             self._engine.cache,
             self._engine.codes_cache,
-            partition_ids,
+            (pid for pid, _ in partitions),
             quantized,
             DELTA_PARTITION_ID,
         ):
             return None
         io_threads = min(
-            self._config.io_prefetch_threads, len(partition_ids)
+            self._config.io_prefetch_threads, len(partitions)
         )
         # Expected scan volume decides the compute fan-out, mirroring
         # the serial path's _PARALLEL_SCAN_ELEMENTS gate: small scans
@@ -444,7 +558,7 @@ class QueryExecutor:
         # (the worker split), leaving io_threads of it to the I/O
         # stage; a pipeline always needs at least one of each.
         expected_elements = (
-            len(partition_ids)
+            len(partitions)
             * self._config.target_cluster_size
             * self._config.dim
         )
@@ -455,14 +569,14 @@ class QueryExecutor:
                 1,
                 min(
                     self._config.device.worker_threads - io_threads,
-                    len(partition_ids),
+                    len(partitions),
                 ),
             )
         return io_threads, compute_workers
 
     def _scan_partitions(
         self,
-        partition_ids: list[int],
+        partitions: list[tuple[int, float]],
         query: np.ndarray,
         k: int,
         qualifying_ids: frozenset[str] | None,
@@ -471,8 +585,10 @@ class QueryExecutor:
 
         Cache-cold scans run the two-stage I/O–compute pipeline
         (:mod:`repro.query.pipeline`): partition ``N+1`` is being read
-        and decoded while partition ``N`` is being scored. Warm scans
-        keep the serial two-phase path:
+        and decoded while partition ``N`` is being scored. With
+        ``adaptive_nprobe_margin`` set, warm scans run the ordered
+        early-termination loop instead. Plain warm scans keep the
+        serial two-phase path:
 
         1. **Load** — partitions are read sequentially through the
            partition cache. In CPython, fanning tiny SQLite reads
@@ -486,10 +602,14 @@ class QueryExecutor:
            parallelizes for real once partitions are large enough; for
            small ones it runs inline to skip pool overhead.
         """
-        split = self._pipeline_split(partition_ids, quantized=False)
+        split = self._pipeline_split(partitions, quantized=False)
         if split is not None:
             return self._scan_partitions_pipelined(
-                partition_ids, query, k, qualifying_ids, split
+                partitions, query, k, qualifying_ids, split
+            )
+        if self._config.adaptive_nprobe_margin is not None:
+            return self._scan_partitions_adaptive(
+                partitions, query, k, qualifying_ids
             )
         # The io window covers loads only; masking is CPU work and is
         # charged to the compute window, matching how the pipelined
@@ -497,7 +617,7 @@ class QueryExecutor:
         io_start = time.perf_counter()
         entries = [
             entry
-            for pid in partition_ids
+            for pid, _ in partitions
             if len(entry := self._engine.load_partition(pid))
         ]
         io_time = time.perf_counter() - io_start
@@ -537,9 +657,57 @@ class QueryExecutor:
         )
         return heaps, outcome
 
+    def _scan_partitions_adaptive(
+        self,
+        partitions: list[tuple[int, float]],
+        query: np.ndarray,
+        k: int,
+        qualifying_ids: frozenset[str] | None,
+    ) -> tuple[list[TopKHeap], _ScanOutcome]:
+        """Ordered load→score loop with adaptive early termination.
+
+        The probe set arrives in centroid-distance order, so the
+        admission check runs before each *load*: a skipped partition
+        costs neither I/O nor a kernel. Single-threaded on purpose —
+        the check is order-dependent, which makes this path exactly
+        reproducible (the deterministic reference the pipelined
+        admission approximates conservatively).
+        """
+        margin = self._config.adaptive_nprobe_margin
+        heap = TopKHeap(k)
+        io_time = compute_time = 0.0
+        scanned = computed = filtered = skipped = 0
+        for pid, cdist in partitions:
+            if adaptive_skip(cdist, heap.worst_distance(), margin):
+                skipped += 1
+                continue
+            start = time.perf_counter()
+            entry = self._engine.load_partition(pid)
+            io_time += time.perf_counter() - start
+            if not len(entry):
+                continue
+            start = time.perf_counter()
+            scanned += len(entry)
+            ids, matrix, dropped = _masked(entry, qualifying_ids)
+            filtered += dropped
+            if len(ids):
+                computed += len(ids)
+                dist = distances_to_one(query, matrix, self._config.metric)
+                heap.push_candidates(topk_from_distances(ids, dist, k))
+            compute_time += time.perf_counter() - start
+        outcome = _ScanOutcome(
+            vectors_scanned=scanned,
+            distance_computations=computed,
+            rows_filtered=filtered,
+            io_time_s=io_time,
+            compute_time_s=compute_time,
+            partitions_skipped=skipped,
+        )
+        return [heap], outcome
+
     def _scan_partitions_pipelined(
         self,
-        partition_ids: list[int],
+        partitions: list[tuple[int, float]],
         query: np.ndarray,
         k: int,
         qualifying_ids: frozenset[str] | None,
@@ -550,15 +718,26 @@ class QueryExecutor:
         Loads use the scratch-buffer pool for partitions the LRU cache
         would never admit; each compute worker releases a payload's
         lease as soon as it has been scored, so at most ``depth +
-        compute_workers`` scratch buffers are pinned at once.
+        compute_workers`` scratch buffers are pinned at once. With
+        ``adaptive_nprobe_margin`` set, compute workers publish their
+        heap bounds to a shared tracker and producers stop admitting
+        partitions that can no longer beat the k-th candidate.
         """
         engine = self._engine
         metric = self._config.metric
         io_threads, compute_workers = split
+        margin = self._config.adaptive_nprobe_margin
+        tracker = SharedKthTracker() if margin is not None else None
 
-        def load(pid: int) -> CachedPartition | None:
-            entry = engine.load_partition(pid, use_scratch=True)
+        def load(item: tuple[int, float]) -> CachedPartition | None:
+            entry = engine.load_partition(item[0], use_scratch=True)
             return entry if len(entry) else None
+
+        admit = None
+        if tracker is not None:
+
+            def admit(item: tuple[int, float]) -> bool:
+                return not adaptive_skip(item[1], tracker.value, margin)
 
         def score(state: _ScanState, entry: CachedPartition) -> None:
             try:
@@ -575,9 +754,11 @@ class QueryExecutor:
             finally:
                 if entry.lease is not None:
                     entry.lease.release()
+            if tracker is not None:
+                tracker.observe(state.heap.worst_distance())
 
         outcome = run_scan_pipeline(
-            partition_ids,
+            partitions,
             load,
             lambda: _ScanState(k),
             score,
@@ -587,6 +768,7 @@ class QueryExecutor:
             compute_workers=compute_workers,
             depth=self._config.pipeline_depth,
             discard=release_scratch_payload,
+            admit=admit,
         )
         states = outcome.states
         return [s.heap for s in states], _ScanOutcome(
@@ -596,6 +778,7 @@ class QueryExecutor:
             io_time_s=outcome.io_s,
             compute_time_s=outcome.compute_s,
             pipelined=True,
+            partitions_skipped=outcome.skipped,
         )
 
     def _scan_work(
@@ -629,7 +812,7 @@ class QueryExecutor:
 
     def _scan_partitions_quantized(
         self,
-        partition_ids: list[int],
+        partitions: list[tuple[int, float]],
         query: np.ndarray,
         k: int,
         qualifying_ids: frozenset[str] | None,
@@ -647,17 +830,21 @@ class QueryExecutor:
         candidates are then re-scored against their float32 vectors,
         point-fetched by id, and combined with the exact candidates.
         """
-        split = self._pipeline_split(partition_ids, quantized=True)
+        split = self._pipeline_split(partitions, quantized=True)
         if split is not None:
             return self._scan_quantized_pipelined(
-                partition_ids, query, k, qualifying_ids, quantizer, split
+                partitions, query, k, qualifying_ids, quantizer, split
+            )
+        if self._config.adaptive_nprobe_margin is not None:
+            return self._scan_quantized_adaptive(
+                partitions, query, k, qualifying_ids, quantizer
             )
         # Load window, then masking + kernels in the compute window —
         # same phase attribution as the pipelined path (see
         # _scan_partitions).
         io_start = time.perf_counter()
         loaded: list[tuple[CachedPartition, bool]] = []
-        for pid in partition_ids:
+        for pid, _ in partitions:
             entry, is_codes = self._engine.load_scan_entry(
                 pid, quantized=True
             )
@@ -720,9 +907,83 @@ class QueryExecutor:
         )
         return [rerank_heap, exact_heap], outcome
 
+    def _scan_quantized_adaptive(
+        self,
+        partitions: list[tuple[int, float]],
+        query: np.ndarray,
+        k: int,
+        qualifying_ids: frozenset[str] | None,
+        quantizer: SQ8Quantizer,
+    ) -> tuple[list[TopKHeap], _ScanOutcome]:
+        """Ordered SQ8 load→score loop with adaptive early termination.
+
+        The admission bound is the tighter of the approximate heap's
+        ``rerank_factor * k``-th distance and the exact heap's k-th.
+        The exact side is a true upper bound on the final k-th
+        candidate; the approximate side lives in quantized space,
+        where clipping/rounding can understate an exact distance — so
+        under SQ8 the margin must absorb quantization error too, and
+        pruning is a recall heuristic rather than a strict guarantee
+        (bounding on the exact heap alone would almost never fire: it
+        only sees delta and code-less partitions).
+        """
+        margin = self._config.adaptive_nprobe_margin
+        rerank_pool = max(k, self._config.rerank_factor * k)
+        approx = TopKHeap(rerank_pool)
+        exact = TopKHeap(k)
+        io_time = compute_time = 0.0
+        scanned = computed = filtered = skipped = 0
+        for pid, cdist in partitions:
+            kth = min(approx.worst_distance(), exact.worst_distance())
+            if adaptive_skip(cdist, kth, margin):
+                skipped += 1
+                continue
+            start = time.perf_counter()
+            entry, is_codes = self._engine.load_scan_entry(
+                pid, quantized=True
+            )
+            io_time += time.perf_counter() - start
+            if not len(entry):
+                continue
+            start = time.perf_counter()
+            scanned += len(entry)
+            ids, matrix, dropped = _masked(entry, qualifying_ids)
+            filtered += dropped
+            if len(ids):
+                computed += len(ids)
+                if is_codes:
+                    dist = asymmetric_distances_to_one(
+                        query, matrix, quantizer, self._config.metric
+                    )
+                    approx.push_candidates(
+                        topk_from_distances(ids, dist, rerank_pool)
+                    )
+                else:
+                    dist = distances_to_one(
+                        query, matrix, self._config.metric
+                    )
+                    exact.push_candidates(
+                        topk_from_distances(ids, dist, k)
+                    )
+            compute_time += time.perf_counter() - start
+        rerank_heap, reranked = self._rerank(
+            merge_topk([approx], rerank_pool), query, k
+        )
+        outcome = _ScanOutcome(
+            vectors_scanned=scanned,
+            distance_computations=computed + reranked,
+            rows_filtered=filtered,
+            scan_mode="sq8",
+            candidates_reranked=reranked,
+            io_time_s=io_time,
+            compute_time_s=compute_time,
+            partitions_skipped=skipped,
+        )
+        return [rerank_heap, exact], outcome
+
     def _scan_quantized_pipelined(
         self,
-        partition_ids: list[int],
+        partitions: list[tuple[int, float]],
         query: np.ndarray,
         k: int,
         qualifying_ids: frozenset[str] | None,
@@ -742,14 +1003,22 @@ class QueryExecutor:
         metric = self._config.metric
         rerank_pool = max(k, self._config.rerank_factor * k)
         io_threads, compute_workers = split
+        margin = self._config.adaptive_nprobe_margin
+        tracker = SharedKthTracker() if margin is not None else None
 
-        def load(pid: int):
+        def load(item: tuple[int, float]):
             entry, is_codes = engine.load_scan_entry(
-                pid, quantized=True, use_scratch=True
+                item[0], quantized=True, use_scratch=True
             )
             if len(entry) == 0:
                 return None
             return entry, is_codes
+
+        admit = None
+        if tracker is not None:
+
+            def admit(item: tuple[int, float]) -> bool:
+                return not adaptive_skip(item[1], tracker.value, margin)
 
         def score(state: _QuantizedScanState, payload) -> None:
             entry, is_codes = payload
@@ -775,9 +1044,16 @@ class QueryExecutor:
             finally:
                 if entry.lease is not None:
                     entry.lease.release()
+            if tracker is not None:
+                tracker.observe(
+                    min(
+                        state.approx.worst_distance(),
+                        state.exact.worst_distance(),
+                    )
+                )
 
         outcome = run_scan_pipeline(
-            partition_ids,
+            partitions,
             load,
             lambda: _QuantizedScanState(rerank_pool, k),
             score,
@@ -787,6 +1063,7 @@ class QueryExecutor:
             compute_workers=compute_workers,
             depth=self._config.pipeline_depth,
             discard=release_scratch_payload,
+            admit=admit,
         )
         states = outcome.states
         rerank_heap, reranked = self._rerank(
@@ -803,6 +1080,7 @@ class QueryExecutor:
             io_time_s=outcome.io_s,
             compute_time_s=outcome.compute_s,
             pipelined=True,
+            partitions_skipped=outcome.skipped,
         )
 
     def _scan_codes_work(

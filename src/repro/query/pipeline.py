@@ -51,6 +51,34 @@ def release_scratch_payload(payload) -> None:
         entry.lease.release()
 
 
+def is_partition_cold(
+    cache,
+    codes_cache,
+    partition_id: int,
+    use_codes: bool,
+    delta_partition_id: int,
+) -> bool:
+    """Whether one partition misses its (float or codes) LRU.
+
+    The per-partition coldness rule behind pipeline engagement and the
+    serving scheduler's per-query cache attribution: with ``use_codes``
+    (a quantized scan), non-delta partitions are read from the codes
+    cache and the delta from the float cache, exactly mirroring the
+    load path — including the fallback: a cached *empty* codes entry
+    marks a code-less partition (pre-quantization data, mid-build)
+    whose scan falls through to the full float32 read, so it only
+    counts as warm if the float cache holds it too. Single-query and
+    batch executors must agree on all of this or their pipelines
+    silently diverge.
+    """
+    if use_codes and partition_id != delta_partition_id:
+        entry = codes_cache.get(partition_id)
+        if entry is None:
+            return True
+        return len(entry) == 0 and partition_id not in cache
+    return partition_id not in cache
+
+
 def has_cold_partition(
     cache,
     codes_cache,
@@ -58,28 +86,13 @@ def has_cold_partition(
     use_codes: bool,
     delta_partition_id: int,
 ) -> bool:
-    """Whether any selected partition misses its (float or codes) LRU.
-
-    The shared coldness heuristic behind pipeline engagement: with
-    ``use_codes`` (a quantized scan), non-delta partitions are read
-    from the codes cache and the delta from the float cache, exactly
-    mirroring the load path — including the fallback: a cached *empty*
-    codes entry marks a code-less partition (pre-quantization data,
-    mid-build) whose scan falls through to the full float32 read, so
-    it only counts as warm if the float cache holds it too. Single-
-    query and batch executors must agree on all of this or their
-    pipelines silently diverge.
-    """
-    for pid in partition_ids:
-        if use_codes and pid != delta_partition_id:
-            entry = codes_cache.get(pid)
-            if entry is None:
-                return True
-            if len(entry) == 0 and pid not in cache:
-                return True
-        elif pid not in cache:
-            return True
-    return False
+    """Whether any selected partition misses its (float or codes) LRU."""
+    return any(
+        is_partition_cold(
+            cache, codes_cache, pid, use_codes, delta_partition_id
+        )
+        for pid in partition_ids
+    )
 
 
 #: How long blocked queue operations wait before re-checking the abort
@@ -99,6 +112,9 @@ class PipelineOutcome:
     #: Summed thread time: ``io_s + compute_s`` exceeding the query's
     #: wall latency is the direct signature of overlap.
     compute_s: float
+    #: Work items the ``admit`` callback rejected — never loaded, never
+    #: scored (adaptive-nprobe early termination).
+    skipped: int = 0
 
 
 def run_scan_pipeline(
@@ -113,6 +129,7 @@ def run_scan_pipeline(
     compute_workers: int,
     depth: int,
     discard: Callable | None = None,
+    admit: Callable | None = None,
 ) -> PipelineOutcome:
     """Run ``load`` / ``score`` over ``work_items`` as a pipeline.
 
@@ -122,6 +139,14 @@ def run_scan_pipeline(
     releasing any scratch lease the payload carries, success or not).
     ``io_pool`` / ``compute_pool`` are factories so pools are only
     materialized when a stage actually fans out.
+
+    ``admit(item)``, when given, is the pipeline's admission check:
+    producers consult it immediately before loading, so a work item
+    rejected late in the scan (e.g. adaptive nprobe deciding the
+    partition can no longer beat the current k-th candidate) skips the
+    read *and* the kernel. Rejections are tallied in
+    :attr:`PipelineOutcome.skipped`. The callback runs on I/O threads
+    concurrently — it must be thread-safe and cheap.
 
     Raises the first stage exception after the pipeline has fully shut
     down and unconsumed payloads have been ``discard``-ed.
@@ -139,6 +164,7 @@ def run_scan_pipeline(
     cursor = 0
     producers_left = io_threads
     io_seconds = [0.0]
+    skipped = [0]
     errors: list[BaseException] = []
 
     def next_item():
@@ -167,6 +193,10 @@ def run_scan_pipeline(
                 item, ok = next_item()
                 if not ok:
                     break
+                if admit is not None and not admit(item):
+                    with lock:
+                        skipped[0] += 1
+                    continue
                 start = time.perf_counter()
                 payload = load(item)
                 spent += time.perf_counter() - start
@@ -242,4 +272,5 @@ def run_scan_pipeline(
         states=[state for state, _ in results if state is not None],
         io_s=io_seconds[0],
         compute_s=sum(spent for _, spent in results),
+        skipped=skipped[0],
     )

@@ -1,0 +1,15 @@
+"""Concurrent query serving layer (the ROADMAP async/MQO items).
+
+Turns MicroNN from a one-query-at-a-time library into a serving
+engine: :class:`QueryScheduler` multiplexes many in-flight queries over
+one shared, centroid-distance-prioritized I/O stage with cross-query
+read coalescing and bounded admission control; :class:`Session` is the
+client-facing handle. Entry points on the facade:
+``MicroNN.search_async`` (a future), ``MicroNN.search_asyncio`` (an
+awaitable) and ``MicroNN.serve_session``.
+"""
+
+from repro.serve.scheduler import QueryScheduler
+from repro.serve.session import ServeStats, Session
+
+__all__ = ["QueryScheduler", "ServeStats", "Session"]

@@ -1,0 +1,802 @@
+"""Concurrent query scheduler: shared I/O, admission control, futures.
+
+This is the serving engine behind ``MicroNN.search_async`` and
+:class:`repro.serve.Session`. The single-query pipeline
+(:mod:`repro.query.pipeline`) overlaps one query's reads with its own
+kernels; the scheduler generalizes that producer/consumer into a
+**shared I/O stage** multiplexed across every in-flight query:
+
+- **Admission control** — at most ``max_inflight_queries`` queries run
+  at once; further submissions queue FIFO (their wait is surfaced as
+  ``QueryStats.queue_wait_ms``). Admission additionally defers while
+  the scratch-buffer pool's pinned bytes exceed its budget, so a burst
+  of cold queries cannot commit unbounded decode memory — unless
+  nothing is in flight at all, in which case one query is always
+  admitted (liveness).
+- **Cross-query I/O coalescing** — each admitted query registers
+  interest in its probe set; a partition wanted by several queries is
+  read and decoded **once** and scored for every interested query (the
+  multi-query optimization of §3.4, applied to the cache-cold case).
+  Loads are prioritized by centroid distance across *all* queries, so
+  the most promising partitions of every query are scored first.
+- **Fair attribution** — a shared load's bytes and I/O time are split
+  across its consumers; ``io_shared_hits`` counts how many of a
+  query's partitions were served by a shared read.
+
+Results are **bit-identical** to serial ``search()``: the scheduler
+reuses the executor's selection, per-partition kernels
+(``distances_to_one`` per query — never a cross-query GEMM, whose
+accumulation order could differ), rerank and merge machinery. Only the
+I/O schedule changes. One carve-out: with ``adaptive_nprobe_margin``
+set, pruning decisions depend on the order partitions happen to be
+scored in — true of every concurrent path, the single-query pipeline
+included — so adaptive runs are recall-equivalent within the margin
+rather than bit-identical; the contract holds exactly when the margin
+is unset (the default).
+
+Error isolation: a failed load fails exactly the queries waiting on
+it; a failed scoring or finalize step fails exactly that query. The
+shared stage itself keeps running either way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
+from repro.core.errors import DatabaseClosedError
+from repro.core.types import PlanKind, QueryStats, SearchResult
+from repro.query.distance import (
+    asymmetric_distances_to_one,
+    distances_to_one,
+)
+from repro.query.executor import QueryExecutor, _masked, adaptive_skip
+from repro.query.heap import TopKHeap, merge_topk, topk_from_distances
+from repro.query.pipeline import is_partition_cold
+from repro.storage.engine import _ROW_OVERHEAD_BYTES, StorageEngine
+
+#: Load-job lifecycle: queued (joinable), loading (joinable), done
+#: (no longer in the registry — later interest starts a fresh job).
+_PENDING, _RUNNING, _DONE = 0, 1, 2
+
+
+class _LoadJob:
+    """One shared partition read plus the queries waiting on it."""
+
+    __slots__ = ("pid", "use_codes", "state", "waiters", "priority")
+
+    def __init__(self, pid: int, use_codes: bool, priority: float) -> None:
+        self.pid = pid
+        self.use_codes = use_codes
+        self.state = _PENDING
+        #: ``(task, centroid_distance)`` per interested query.
+        self.waiters: list[tuple["_ScanTask", float]] = []
+        self.priority = priority
+
+    @property
+    def key(self) -> tuple[int, bool]:
+        return (self.pid, self.use_codes)
+
+
+class _ScanTask:
+    """Per-query state of one scheduled ANN / post-filter search."""
+
+    __slots__ = (
+        "query", "k", "nprobe", "qualifying_ids", "plan", "stats_extra",
+        "setup_fn", "future", "quantizer", "rerank_pool", "heap",
+        "approx", "exact", "pending", "num_selected", "lock", "failed",
+        "finished", "scanned", "computed", "filtered", "skipped",
+        "shared_hits", "cache_hits", "cache_misses", "bytes_read",
+        "io_s", "compute_s", "submit_t", "admit_t",
+    )
+
+    def __init__(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int,
+        qualifying_ids: frozenset[str] | None,
+        plan: PlanKind,
+        stats_extra: dict | None,
+        setup_fn: Callable | None = None,
+    ) -> None:
+        self.query = query
+        self.k = k
+        self.nprobe = nprobe
+        self.qualifying_ids = qualifying_ids
+        self.plan = plan
+        self.stats_extra = stats_extra
+        self.setup_fn = setup_fn
+        self.future: Future = Future()
+        self.quantizer = None
+        self.rerank_pool = k
+        self.heap: TopKHeap | None = None
+        self.approx: TopKHeap | None = None
+        self.exact: TopKHeap | None = None
+        self.pending: set[int] = set()
+        self.num_selected = 0
+        self.lock = threading.Lock()
+        self.failed = False
+        self.finished = False
+        self.scanned = 0
+        self.computed = 0
+        self.filtered = 0
+        self.skipped = 0
+        self.shared_hits = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.bytes_read = 0
+        self.io_s = 0.0
+        self.compute_s = 0.0
+        self.submit_t = time.perf_counter()
+        self.admit_t = self.submit_t
+
+    def prepare(
+        self,
+        partitions: list[tuple[int, float]],
+        quantizer,
+        rerank_factor: int,
+    ) -> None:
+        """Set up heaps + pending set once the probe set is known."""
+        self.quantizer = quantizer
+        self.num_selected = len(partitions)
+        self.pending = {pid for pid, _ in partitions}
+        if quantizer is not None:
+            self.rerank_pool = max(self.k, rerank_factor * self.k)
+            self.approx = TopKHeap(self.rerank_pool)
+            self.exact = TopKHeap(self.k)
+        else:
+            self.heap = TopKHeap(self.k)
+
+    def current_kth(self) -> float:
+        """Current k-th candidate bound driving adaptive admission.
+
+        Exact (a true upper bound) for float32 scans; for SQ8 the
+        approximate heap's bound is in quantized space, so — as on the
+        serial adaptive path — the margin must absorb quantization
+        error and pruning is heuristic, not strict.
+        """
+        if self.heap is not None:
+            return self.heap.worst_distance()
+        return min(
+            self.approx.worst_distance(), self.exact.worst_distance()
+        )
+
+    def score_entry(
+        self,
+        entry,
+        is_codes: bool,
+        centroid_dist: float,
+        metric: str,
+        margin: float | None,
+    ) -> None:
+        """Fold one loaded partition into this query's heaps.
+
+        Exactly the serial scan's per-partition numerics: one
+        ``distances_to_one`` (or fused int8) call for this query alone,
+        then the deterministic ``topk_from_distances`` push.
+        """
+        with self.lock:
+            if self.finished or self.failed:
+                return
+            if margin is not None and adaptive_skip(
+                centroid_dist, self.current_kth(), margin
+            ):
+                self.skipped += 1
+                return
+        if not len(entry):
+            return
+        ids, matrix, dropped = _masked(entry, self.qualifying_ids)
+        candidates = None
+        keep = self.k
+        if len(ids):
+            if is_codes:
+                keep = self.rerank_pool
+                dist = asymmetric_distances_to_one(
+                    self.query, matrix, self.quantizer, metric
+                )
+            else:
+                dist = distances_to_one(self.query, matrix, metric)
+            candidates = topk_from_distances(ids, dist, keep)
+        with self.lock:
+            if self.finished or self.failed:
+                return
+            self.scanned += len(entry)
+            self.filtered += dropped
+            if candidates is not None:
+                self.computed += len(ids)
+                if is_codes:
+                    self.approx.push_candidates(candidates)
+                elif self.exact is not None:
+                    self.exact.push_candidates(candidates)
+                else:
+                    self.heap.push_candidates(candidates)
+
+    def partition_done(self, pid: int) -> bool:
+        """Mark one probe-set partition resolved; True when last."""
+        with self.lock:
+            if self.finished:
+                return False
+            self.pending.discard(pid)
+            if self.pending:
+                return False
+            self.finished = True
+            return True
+
+class QueryScheduler:
+    """The concurrent serving engine over one storage engine."""
+
+    def __init__(
+        self,
+        engine: StorageEngine,
+        executor: QueryExecutor,
+        config: MicroNNConfig,
+    ) -> None:
+        self._engine = engine
+        self._executor = executor
+        self._config = config
+        self._cv = threading.Condition()
+        self._closed = False
+        self._stop = False
+        self._seq = 0
+        self._waiting: deque = deque()
+        self._active: set = set()
+        self._jobs: dict[tuple[int, bool], _LoadJob] = {}
+        self._io_heap: list[tuple[float, int, _LoadJob]] = []
+        #: Lifetime counters (Session.stats / benches read these).
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        io_threads = config.resolved_serve_io_threads
+        # Load-ahead bound: the scheduler's generalization of the
+        # single-query pipeline's `depth`. At most this many decoded
+        # payloads may sit loaded-but-unscored at once; io threads
+        # stall past it, so a slow compute stage back-pressures reads
+        # instead of letting scratch leases pile up unboundedly.
+        self._load_ahead_cap = (
+            max(1, config.pipeline_depth)
+            + config.device.worker_threads
+            + io_threads
+        )
+        self._outstanding = 0
+        self._compute_pool = ThreadPoolExecutor(
+            max_workers=config.device.worker_threads,
+            thread_name_prefix="micronn-serve",
+        )
+        self._io_threads = [
+            threading.Thread(
+                target=self._io_loop,
+                name=f"micronn-serve-io-{i}",
+                daemon=True,
+            )
+            for i in range(io_threads)
+        ]
+        for thread in self._io_threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission + admission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int,
+        qualifying_ids: frozenset[str] | None = None,
+        plan: PlanKind = PlanKind.ANN,
+        stats_extra: dict | None = None,
+        setup: Callable | None = None,
+    ) -> Future:
+        """Schedule one ANN / post-filter query; returns its future.
+
+        Validation happens synchronously (bad vectors raise here, like
+        the serial path); everything else — plan setup, selection,
+        loads, kernels, rerank — runs on the serving stages' threads,
+        never the submitter's (an asyncio loop can submit without
+        stalling).
+
+        ``setup``, when given, runs on the compute pool at admission
+        and returns either ``("call", fn, extra)`` — the query resolves
+        to one serial call (e.g. the optimizer picked pre-filtering) —
+        or ``("scan", qualifying_ids, extra)`` to proceed through the
+        shared scan stage. This keeps plan resolution and predicate
+        evaluation (a full attribute-table scan for broad filters) off
+        the caller's thread and inside admission control.
+
+        Caller contract (``MicroNN.search_async`` is the sole caller):
+        ``query`` is already canonicalized via ``executor.as_query``
+        and ``k`` validated — one owner for the input rules, no
+        re-validation here.
+        """
+        if nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        task = _ScanTask(
+            query, k, nprobe, qualifying_ids, plan, stats_extra,
+            setup_fn=setup,
+        )
+        self._enqueue(task)
+        return task.future
+
+    def submit_call(
+        self,
+        fn: Callable[[], SearchResult],
+        stats_extra: dict | None = None,
+    ) -> Future:
+        """Schedule a query that runs as one serial call (exact KNN,
+        pre-filter plans — no partition scan to share), still under the
+        same admission control as scanned queries."""
+        task = _CallTask(fn)
+        task.stats_extra = stats_extra
+        self._enqueue(task)
+        return task.future
+
+    def _enqueue(self, task) -> None:
+        with self._cv:
+            if self._closed:
+                raise DatabaseClosedError("scheduler is closed")
+            self._submitted += 1
+            self._waiting.append(task)
+        self._pump()
+
+    def _pump(self) -> None:
+        """Admit queued queries while slots + memory headroom allow."""
+        while True:
+            with self._cv:
+                if not self._waiting:
+                    return
+                if len(self._active) >= self._config.max_inflight_queries:
+                    return
+                # Memory-aware back-pressure: while in-flight scans
+                # keep the scratch pool pinned past its budget, hold
+                # new admissions — but never starve an idle scheduler.
+                if self._active and not self._engine.scratch.has_headroom():
+                    return
+                task = self._waiting.popleft()
+                self._active.add(task)
+            if not task.future.set_running_or_notify_cancel():
+                # Cancelled while queued: this is an _active shrink
+                # like any other, so drain()/close() waiters must be
+                # woken or they sleep forever on an empty scheduler.
+                with self._cv:
+                    self._active.discard(task)
+                    self._cv.notify_all()
+                continue
+            task.admit_t = time.perf_counter()
+            # Launch on the compute pool: plan setup, predicate
+            # evaluation and centroid selection are real storage work
+            # that must not run on the submitting thread (which may be
+            # an asyncio event loop).
+            self._compute_pool.submit(self._launch_guarded, task)
+
+    def _launch_guarded(self, task) -> None:
+        try:
+            self._launch(task)
+        except BaseException as exc:
+            self._fail_task(task, exc)
+
+    def _launch(self, task) -> None:
+        if isinstance(task, _CallTask):
+            self._execute_call(task, task.fn, task.stats_extra)
+            return
+        if task.setup_fn is not None:
+            kind, payload, extra = task.setup_fn()
+            if kind == "call":
+                self._execute_call(task, payload, extra)
+                return
+            task.qualifying_ids = payload
+            if extra:
+                task.stats_extra = extra
+        # Selection reads the centroid table; register with the purge
+        # guard like every other storage-touching serving step. (The
+        # setup() call above is deliberately outside: a pre-filter
+        # plan's fn takes its own scan_session, and the guard is not
+        # reentrant.)
+        with self._engine.scan_session():
+            partitions = self._executor.select_partitions(
+                task.query, task.nprobe
+            )
+        quantizer = self._executor.scan_quantizer()
+        task.prepare(partitions, quantizer, self._config.rerank_factor)
+        use_codes = quantizer is not None
+        with self._cv:
+            for pid, cdist in partitions:
+                key = (pid, use_codes)
+                job = self._jobs.get(key)
+                if job is not None:
+                    job.waiters.append((task, cdist))
+                    if cdist < job.priority and job.state == _PENDING:
+                        # Lazy decrease-key: push a duplicate entry;
+                        # stale pops are skipped by the state check.
+                        job.priority = cdist
+                        self._seq += 1
+                        heapq.heappush(
+                            self._io_heap, (cdist, self._seq, job)
+                        )
+                else:
+                    job = _LoadJob(pid, use_codes, cdist)
+                    job.waiters.append((task, cdist))
+                    self._jobs[key] = job
+                    self._seq += 1
+                    heapq.heappush(
+                        self._io_heap, (cdist, self._seq, job)
+                    )
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # Shared I/O stage
+    # ------------------------------------------------------------------
+
+    def _io_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._stop and (
+                    not self._io_heap
+                    or self._outstanding >= self._load_ahead_cap
+                ):
+                    self._cv.wait()
+                if self._stop and not self._io_heap:
+                    return
+                if self._outstanding >= self._load_ahead_cap:
+                    continue
+                _, _, job = heapq.heappop(self._io_heap)
+                if job.state != _PENDING:
+                    continue
+                job.state = _RUNNING
+            self._run_load(job)
+
+    def _release_load_slot(self) -> None:
+        with self._cv:
+            self._outstanding -= 1
+            self._cv.notify_all()
+
+    def _run_load(self, job: _LoadJob) -> None:
+        if self._retire_job_without_load(job):
+            return
+        engine = self._engine
+        was_cold = is_partition_cold(
+            engine.cache,
+            engine.codes_cache,
+            job.pid,
+            job.use_codes,
+            DELTA_PARTITION_ID,
+        )
+        # The load-ahead slot is held from here until the payload has
+        # been scored (or the load failed).
+        with self._cv:
+            self._outstanding += 1
+        start = time.perf_counter()
+        try:
+            with engine.scan_session():
+                entry, is_codes = engine.load_scan_entry(
+                    job.pid, quantized=job.use_codes, use_scratch=True
+                )
+        except BaseException as exc:
+            self._release_load_slot()
+            waiters = self._complete_job(job)
+            for task, _ in waiters:
+                self._fail_task(task, exc)
+            return
+        load_s = time.perf_counter() - start
+        waiters = self._complete_job(job)
+        self._compute_pool.submit(
+            self._score_job, job, entry, is_codes, waiters, was_cold,
+            load_s,
+        )
+
+    def _retire_job_without_load(self, job: _LoadJob) -> bool:
+        """Skip the read when no live waiter still needs it.
+
+        Two reasons a popped job may be dead I/O: every waiter already
+        finished (e.g. the sole interested query failed on an earlier
+        partition), or — with ``adaptive_nprobe_margin`` set, mirroring
+        the pipeline's producer-side ``admit`` check — every live
+        waiter's current k-th candidate already beats the partition's
+        centroid distance by the margin. Decided under the registry
+        lock so a new waiter cannot join between the verdict and the
+        job's retirement; if any waiter still needs the partition, it
+        is loaded for everyone and the per-waiter check at scoring time
+        settles the rest.
+        """
+        margin = self._config.adaptive_nprobe_margin
+        with self._cv:
+            for task, cdist in job.waiters:
+                # Snapshot under the task lock: a compute thread
+                # mid-heap-push can leave a transiently-too-small root
+                # that an unlocked worst_distance() read would mistake
+                # for the k-th bound.
+                with task.lock:
+                    if task.finished:
+                        continue
+                    kth = task.current_kth()
+                if margin is None or not adaptive_skip(
+                    cdist, kth, margin
+                ):
+                    return False
+            job.state = _DONE
+            self._jobs.pop(job.key, None)
+            waiters = list(job.waiters)
+        for task, _ in waiters:
+            with task.lock:
+                if not task.finished:
+                    task.skipped += 1
+            if task.partition_done(job.pid):
+                # Finalize (SQ8 rerank I/O + merges) belongs on the
+                # compute pool — this path runs on a shared io thread,
+                # which must get back to other queries' loads.
+                self._compute_pool.submit(self._finalize_task, task)
+        return True
+
+    def _complete_job(self, job: _LoadJob) -> list[tuple]:
+        """DONE transition: freeze the waiter list, leave the registry.
+
+        Interest arriving after this point starts a fresh job — the
+        payload may be a scratch lease that is released as soon as the
+        frozen waiters have been scored, so it must never gain new
+        consumers.
+        """
+        with self._cv:
+            job.state = _DONE
+            self._jobs.pop(job.key, None)
+            return list(job.waiters)
+
+    # ------------------------------------------------------------------
+    # Compute stage
+    # ------------------------------------------------------------------
+
+    def _score_job(
+        self, job, entry, is_codes, waiters, was_cold, load_s
+    ) -> None:
+        """One decode, N scoring consumers (then finalize finished
+        queries). Runs on the compute pool."""
+        metric = self._config.metric
+        margin = self._config.adaptive_nprobe_margin
+        # Attribute the physical read among waiters alive at snapshot
+        # time — a query that failed earlier must not swallow a byte
+        # share. Attribution within the snapshot is then
+        # unconditional: a task that fails *after* the snapshot still
+        # absorbs its share (its stats are never surfaced, and
+        # re-splitting would drop the leader's remainder and cache
+        # miss on the floor), so summed shares always equal the
+        # physical read. A warm load (LRU hit) records NO bytes —
+        # exactly as the engine's accountant treats cache hits, so
+        # serving and serial stats stay comparable.
+        live = []
+        for task, cdist in waiters:
+            with task.lock:
+                if not task.finished:
+                    live.append((task, cdist))
+        sharers = max(len(live), 1)
+        total_bytes = (
+            int(entry.nbytes) + _ROW_OVERHEAD_BYTES * len(entry)
+            if was_cold
+            else 0
+        )
+        share = total_bytes // sharers
+        try:
+            with self._engine.scan_session():
+                for i, (task, cdist) in enumerate(live):
+                    with task.lock:
+                        task.io_s += load_s / sharers
+                        if sharers > 1:
+                            task.shared_hits += 1
+                        # The leader's read was the physical one; it
+                        # alone carries the hit/miss so per-query
+                        # misses sum to the engine's physical misses.
+                        if i == 0:
+                            task.bytes_read += (
+                                total_bytes - share * (sharers - 1)
+                            )
+                            if was_cold:
+                                task.cache_misses += 1
+                            else:
+                                task.cache_hits += 1
+                        else:
+                            task.bytes_read += share
+                        if task.finished:
+                            continue
+                    start = time.perf_counter()
+                    try:
+                        task.score_entry(
+                            entry, is_codes, cdist, metric, margin
+                        )
+                    except BaseException as exc:
+                        self._fail_task(task, exc)
+                        continue
+                    with task.lock:
+                        task.compute_s += time.perf_counter() - start
+        finally:
+            if entry.lease is not None:
+                entry.lease.release()
+                # Returning a lease may restore scratch headroom;
+                # re-pump so a memory-deferred query is admitted now,
+                # not when some whole query eventually retires.
+                self._pump()
+            self._release_load_slot()
+        for task, _ in waiters:
+            if task.partition_done(job.pid):
+                self._finalize_task(task)
+
+    def _finalize_task(self, task: _ScanTask) -> None:
+        try:
+            result = self._build_result(task)
+        except BaseException as exc:
+            self._resolve(task, exc=exc)
+            return
+        self._resolve(task, result=result)
+
+    def _build_result(self, task: _ScanTask) -> SearchResult:
+        executor = self._executor
+        reranked = 0
+        if task.quantizer is not None:
+            with self._engine.scan_session():
+                rerank_heap, reranked = executor.rerank_candidates(
+                    merge_topk([task.approx], task.rerank_pool),
+                    task.query,
+                    task.k,
+                )
+            heaps = [rerank_heap, task.exact]
+            # The rerank point-fetch is this query's alone; charge it
+            # with the same formula the engine's accountant uses.
+            task.bytes_read += reranked * (
+                4 * self._config.dim + _ROW_OVERHEAD_BYTES
+            )
+        else:
+            heaps = [task.heap]
+        neighbors = executor.finalize_heaps(heaps, task.k)
+        now = time.perf_counter()
+        stats = QueryStats(
+            plan=task.plan,
+            nprobe=task.nprobe,
+            partitions_scanned=task.num_selected - task.skipped,
+            vectors_scanned=task.scanned,
+            distance_computations=task.computed + reranked,
+            rows_filtered=task.filtered,
+            cache_hits=task.cache_hits,
+            cache_misses=task.cache_misses,
+            bytes_read=task.bytes_read,
+            latency_s=now - task.submit_t,
+            scan_mode="sq8" if task.quantizer is not None else "float32",
+            candidates_reranked=reranked,
+            io_time_ms=task.io_s * 1e3,
+            compute_time_ms=task.compute_s * 1e3,
+            partitions_skipped=task.skipped,
+            io_shared_hits=task.shared_hits,
+            queue_wait_ms=(task.admit_t - task.submit_t) * 1e3,
+        )
+        if task.stats_extra:
+            stats = dataclasses.replace(stats, **task.stats_extra)
+        return SearchResult(neighbors=neighbors, stats=stats)
+
+    def _execute_call(self, task, fn, extra: dict | None) -> None:
+        """Run a call-plan query inline (already on the compute pool).
+
+        ``latency_s`` is rebased to submit→now so call-plan and
+        scan-plan queries measure end-to-end on the same clock (the
+        inner serial call's latency excludes the admission wait).
+        """
+        result = fn()
+        stats = dataclasses.replace(
+            result.stats,
+            latency_s=time.perf_counter() - task.submit_t,
+            queue_wait_ms=(task.admit_t - task.submit_t) * 1e3,
+            **(extra or {}),
+        )
+        self._resolve(
+            task,
+            result=SearchResult(neighbors=result.neighbors, stats=stats),
+        )
+
+    # ------------------------------------------------------------------
+    # Completion + lifecycle
+    # ------------------------------------------------------------------
+
+    def _fail_task(self, task, exc: BaseException) -> None:
+        """Fail exactly one query without poisoning the shared stage."""
+        with task.lock:
+            if task.failed:
+                return
+            task.failed = True
+            already_finished = task.finished
+            task.finished = True
+        if not task.future.done():
+            task.future.set_exception(exc)
+        if not already_finished:
+            self._retire(task, failed=True)
+
+    def _resolve(self, task, result=None, exc=None) -> None:
+        with task.lock:
+            task.finished = True
+            if exc is not None:
+                task.failed = True
+        if exc is not None:
+            if not task.future.done():
+                task.future.set_exception(exc)
+            self._retire(task, failed=True)
+            return
+        if not task.future.done():
+            task.future.set_result(result)
+        self._retire(task, failed=False)
+
+    def _retire(self, task, failed: bool) -> None:
+        with self._cv:
+            self._active.discard(task)
+            if failed:
+                self._failed += 1
+            else:
+                self._completed += 1
+            self._cv.notify_all()
+        self._pump()
+
+    @property
+    def inflight(self) -> int:
+        with self._cv:
+            return len(self._active)
+
+    @property
+    def queued(self) -> int:
+        with self._cv:
+            return len(self._waiting)
+
+    def counters(self) -> tuple[int, int, int]:
+        """(submitted, completed, failed) lifetime counters."""
+        with self._cv:
+            return self._submitted, self._completed, self._failed
+
+    def drain(self) -> None:
+        """Block until every admitted query has resolved."""
+        with self._cv:
+            while self._active or self._waiting:
+                self._cv.wait()
+
+    def close(self) -> None:
+        """Deterministic shutdown: reject new queries, cancel the
+        admission queue, complete in-flight ones, join every thread.
+
+        Idempotent; after it returns no ``micronn-serve*`` thread of
+        this scheduler is alive.
+        """
+        with self._cv:
+            self._closed = True
+            cancelled = list(self._waiting)
+            self._waiting.clear()
+        for task in cancelled:
+            task.future.cancel()
+        with self._cv:
+            while self._active:
+                self._cv.wait()
+            self._stop = True
+            self._cv.notify_all()
+        # Join unconditionally (Thread.join is idempotent): a second
+        # concurrent close() must not return while the first is still
+        # reaping micronn-serve-io-* threads.
+        for thread in self._io_threads:
+            thread.join()
+        self._compute_pool.shutdown(wait=True)
+
+
+class _CallTask:
+    """A query executed as one serial call under admission control."""
+
+    __slots__ = (
+        "fn", "future", "lock", "failed", "finished", "submit_t",
+        "admit_t", "stats_extra",
+    )
+
+    def __init__(self, fn: Callable[[], SearchResult]) -> None:
+        self.fn = fn
+        self.future: Future = Future()
+        self.lock = threading.Lock()
+        self.failed = False
+        self.finished = False
+        self.submit_t = time.perf_counter()
+        self.admit_t = self.submit_t
+        self.stats_extra: dict | None = None

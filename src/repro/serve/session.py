@@ -1,0 +1,111 @@
+"""Serving sessions: many in-flight queries, one drain point.
+
+A :class:`Session` is the client-facing handle on the concurrent
+scheduler: submit as many queries as you like (each returns a
+:class:`~concurrent.futures.Future`), then ``drain()`` for the results
+in submission order. Sessions are cheap — open one per request burst,
+or keep one per client; all sessions of a database share the same
+scheduler, admission control and coalesced I/O stage.
+
+    with db.serve_session() as session:
+        futures = [session.submit(q, k=10) for q in queries]
+        results = session.drain()
+    print(session.stats())
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import SearchResult
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """Aggregate view of one session's completed queries."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Sum of per-query ``io_shared_hits`` — partition loads served by
+    #: a read shared with another concurrent query.
+    io_shared_hits: int = 0
+    #: Sum of per-query ``partitions_skipped`` (adaptive nprobe).
+    partitions_skipped: int = 0
+    avg_queue_wait_ms: float = 0.0
+    max_queue_wait_ms: float = 0.0
+
+    @property
+    def sharing_rate(self) -> float:
+        """Shared loads per completed query (coalescing effectiveness)."""
+        if self.completed == 0:
+            return 0.0
+        return self.io_shared_hits / self.completed
+
+
+class Session:
+    """Tracks the futures one client has in flight.
+
+    Thin by design: submission goes straight to
+    ``MicroNN.search_async`` (same signature as ``search``), so a
+    session adds only ordering (``drain`` preserves submission order)
+    and aggregation (``stats``). Used as a context manager it drains on
+    clean exit, so no query outlives the ``with`` block unnoticed.
+    """
+
+    def __init__(self, db) -> None:
+        self._db = db
+        self._futures: list[Future] = []
+
+    def submit(self, query: np.ndarray, **kwargs) -> Future:
+        """Submit one query (keywords as in ``MicroNN.search``)."""
+        future = self._db.search_async(query, **kwargs)
+        self._futures.append(future)
+        return future
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    def drain(self) -> list[SearchResult]:
+        """Wait for every submitted query; results in submission order.
+
+        A failed query raises its exception here (the first one, in
+        submission order); the remaining futures keep their state and
+        can still be inspected individually.
+        """
+        return [future.result() for future in self._futures]
+
+    def stats(self) -> ServeStats:
+        """Aggregate stats over queries that have completed so far."""
+        completed = failed = shared = skipped = 0
+        waits: list[float] = []
+        for future in self._futures:
+            if not future.done():
+                continue
+            if future.cancelled() or future.exception() is not None:
+                failed += 1
+                continue
+            completed += 1
+            stats = future.result().stats
+            shared += stats.io_shared_hits
+            skipped += stats.partitions_skipped
+            waits.append(stats.queue_wait_ms)
+        return ServeStats(
+            submitted=len(self._futures),
+            completed=completed,
+            failed=failed,
+            io_shared_hits=shared,
+            partitions_skipped=skipped,
+            avg_queue_wait_ms=sum(waits) / len(waits) if waits else 0.0,
+            max_queue_wait_ms=max(waits) if waits else 0.0,
+        )
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, *exc_info: object) -> None:
+        if exc_type is None:
+            self.drain()

@@ -285,6 +285,20 @@ class ScratchBufferPool:
         with self._lock:
             return self._reuses
 
+    def has_headroom(self) -> bool:
+        """Whether pinned residency is still inside the budget.
+
+        ``checkout`` never fails — in-flight queries must proceed, so an
+        over-budget checkout is handed out transiently — which makes
+        this the back-pressure signal instead: the serving layer's
+        admission control defers *new* queries while the pinned bytes
+        alone exceed the budget, letting in-flight scans return their
+        leases before more decode memory is committed. A zero budget
+        disables pooling, not serving, so it always has headroom.
+        """
+        with self._lock:
+            return self._budget == 0 or self._pinned < self._budget
+
     def checkout(self, nbytes: int) -> ScratchLease:
         """Lease a buffer of at least ``nbytes`` (pinned until checkin)."""
         if nbytes < 0:

@@ -159,6 +159,14 @@ class StorageEngine:
         self._os_cached_partitions: set[int] = set()
         self._os_cached_code_partitions: set[int] = set()
         self._os_cached_centroids = False
+        # In-flight scan guard: partition scans register themselves so
+        # purge_caches() can wait for them to finish instead of ripping
+        # decoded state out from under a running query. The guard is a
+        # counter + condition, not a lock held across a scan, so scans
+        # from many threads proceed concurrently.
+        self._scan_cv = threading.Condition()
+        self._active_scans = 0
+        self._purging = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -649,7 +657,15 @@ class StorageEngine:
             if self._centroid_cache is None:
                 self._centroid_cache = (ids, matrix)
                 self._tracker.set_category("centroids", nbytes)
-        return self._centroid_cache
+            else:
+                # Another reader won the race; hand out its tuple so
+                # identity-keyed consumers (the coarse-index cache)
+                # converge on one matrix object.
+                ids, matrix = self._centroid_cache
+        # Return the locally held tuple, never the attribute: a
+        # concurrent purge may null the cache between this lock and
+        # the return, and callers must still get a coherent snapshot.
+        return ids, matrix
 
     def _drop_centroid_cache(self) -> None:
         with self._centroid_cache_lock:
@@ -1140,18 +1156,72 @@ class StorageEngine:
     # Cache scenarios (§4.1.4)
     # ------------------------------------------------------------------
 
+    @contextlib.contextmanager
+    def scan_session(self) -> Iterator[None]:
+        """Register an in-flight partition scan with the purge guard.
+
+        Query paths (executors, the batch MQO scan, and every load or
+        scoring task of the serving scheduler) wrap their storage-
+        touching window in one of these. :meth:`purge_caches` drains
+        active sessions before purging and holds off new ones while it
+        runs, so a purge can never interleave with a scan half-way —
+        the explicit guard the concurrency contract promises, instead
+        of timing luck. Sessions are short-lived and never wait on
+        anything while registered, which keeps the guard deadlock-free.
+        """
+        with self._scan_cv:
+            while self._purging:
+                self._scan_cv.wait()
+            self._active_scans += 1
+        try:
+            yield
+        finally:
+            with self._scan_cv:
+                self._active_scans -= 1
+                if self._active_scans == 0:
+                    self._scan_cv.notify_all()
+
+    @property
+    def active_scans(self) -> int:
+        """In-flight scan sessions (observability for tests/benches)."""
+        with self._scan_cv:
+            return self._active_scans
+
     def purge_caches(self) -> None:
         """Cold-start scenario: drop every cached page and decoded block,
-        including the simulated OS page cache."""
+        including the simulated OS page cache.
+
+        Safe while queries are in flight: waits for active scan
+        sessions to drain (holding off new ones), purges, then releases
+        the guard. Atomicity is per scan *session*: the serial
+        executors and the batch MQO hold one session for the whole
+        query, so a purge never lands mid-query for them; served
+        queries register shorter per-load/per-score sessions, so a
+        purge may fall between two of a served query's partitions —
+        results are unaffected (decoded entries are held by
+        reference), but that query's remaining loads run cold and its
+        cache stats mix pre- and post-purge state.
+        """
         self._check_open()
-        self.cache.clear()
-        self.codes_cache.clear()
-        self.scratch.drain()
-        self._drop_centroid_cache()
-        with self._os_cache_lock:
-            self._os_cached_partitions.clear()
-            self._os_cached_code_partitions.clear()
-            self._os_cached_centroids = False
+        with self._scan_cv:
+            while self._purging:
+                self._scan_cv.wait()
+            self._purging = True
+            while self._active_scans > 0:
+                self._scan_cv.wait()
+        try:
+            self.cache.clear()
+            self.codes_cache.clear()
+            self.scratch.drain()
+            self._drop_centroid_cache()
+            with self._os_cache_lock:
+                self._os_cached_partitions.clear()
+                self._os_cached_code_partitions.clear()
+                self._os_cached_centroids = False
+        finally:
+            with self._scan_cv:
+                self._purging = False
+                self._scan_cv.notify_all()
 
     # ------------------------------------------------------------------
     # Disk hygiene

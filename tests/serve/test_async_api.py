@@ -1,0 +1,157 @@
+"""Facade-level async API: futures, asyncio wrapper, sessions."""
+
+import asyncio
+import concurrent.futures
+
+import numpy as np
+
+from repro import MicroNN, MicroNNConfig, ServeStats
+
+
+def make_db(tmp_path, rng, **config_kwargs):
+    config_kwargs.setdefault("dim", 8)
+    config_kwargs.setdefault("target_cluster_size", 15)
+    config_kwargs.setdefault("default_nprobe", 3)
+    config_kwargs.setdefault("kmeans_iterations", 10)
+    db = MicroNN.open(tmp_path / "api.db", MicroNNConfig(**config_kwargs))
+    vecs = rng.normal(size=(250, 8)).astype(np.float32)
+    db.upsert_batch((f"a{i:04d}", vecs[i]) for i in range(250))
+    db.build_index()
+    return db
+
+
+class TestSearchAsync:
+    def test_returns_standard_future(self, tmp_path, rng):
+        db = make_db(tmp_path, rng)
+        try:
+            future = db.search_async(np.zeros(8, dtype=np.float32), k=4)
+            assert isinstance(future, concurrent.futures.Future)
+            result = future.result(timeout=30)
+            assert len(result) == 4
+            assert result.stats.queue_wait_ms >= 0.0
+        finally:
+            db.close()
+
+    def test_kwargs_match_search(self, tmp_path, rng):
+        db = make_db(tmp_path, rng)
+        try:
+            q = rng.normal(size=8).astype(np.float32)
+            want = db.search(q, k=3, nprobe=5)
+            got = db.search_async(q, k=3, nprobe=5).result(timeout=30)
+            assert got.neighbors == want.neighbors
+            assert got.stats.nprobe == 5
+        finally:
+            db.close()
+
+
+class TestAsyncioWrapper:
+    def test_await_single(self, tmp_path, rng):
+        db = make_db(tmp_path, rng)
+        try:
+            q = rng.normal(size=8).astype(np.float32)
+            want = db.search(q, k=4)
+
+            result = asyncio.run(db.search_asyncio(q, k=4))
+            assert result.neighbors == want.neighbors
+        finally:
+            db.close()
+
+    def test_gather_fanout(self, tmp_path, rng):
+        db = make_db(tmp_path, rng)
+        try:
+            queries = rng.normal(size=(10, 8)).astype(np.float32)
+            want = [db.search(q, k=4) for q in queries]
+
+            async def fanout():
+                return await asyncio.gather(
+                    *(db.search_asyncio(q, k=4) for q in queries)
+                )
+
+            got = asyncio.run(fanout())
+            for g, w in zip(got, want):
+                assert g.neighbors == w.neighbors
+        finally:
+            db.close()
+
+
+class TestSession:
+    def test_drain_preserves_submission_order(self, tmp_path, rng):
+        db = make_db(tmp_path, rng)
+        try:
+            queries = rng.normal(size=(9, 8)).astype(np.float32)
+            want = [db.search(q, k=4) for q in queries]
+            session = db.serve_session()
+            for q in queries:
+                session.submit(q, k=4)
+            results = session.drain()
+            assert len(results) == len(queries)
+            for got, expected in zip(results, want):
+                assert got.neighbors == expected.neighbors
+        finally:
+            db.close()
+
+    def test_context_manager_drains_on_exit(self, tmp_path, rng):
+        db = make_db(tmp_path, rng)
+        try:
+            with db.serve_session() as session:
+                futures = [
+                    session.submit(
+                        rng.normal(size=8).astype(np.float32), k=4
+                    )
+                    for _ in range(5)
+                ]
+            assert all(f.done() for f in futures)
+        finally:
+            db.close()
+
+    def test_stats_aggregation(self, tmp_path, rng):
+        from repro import DeviceProfile, IOCostModel
+
+        # Zero partition cache + injected seek latency: loads are slow
+        # real reads, so the 4 identical queries reliably overlap and
+        # coalesce rather than racing to completion one by one.
+        db = make_db(
+            tmp_path,
+            rng,
+            device=DeviceProfile(
+                name="session-stats",
+                worker_threads=2,
+                partition_cache_bytes=0,
+                sqlite_cache_bytes=256 * 1024,
+                scratch_buffer_bytes=2 * 1024 * 1024,
+                io_model=IOCostModel(seek_latency_s=0.003),
+            ),
+        )
+        try:
+            with db.serve_session() as session:
+                q = rng.normal(size=8).astype(np.float32)
+                db.purge_caches()
+                for _ in range(4):
+                    session.submit(q, k=4)
+            stats = session.stats()
+            assert isinstance(stats, ServeStats)
+            assert stats.submitted == 4
+            assert stats.completed == 4
+            assert stats.failed == 0
+            assert stats.avg_queue_wait_ms >= 0.0
+            assert stats.max_queue_wait_ms >= stats.avg_queue_wait_ms
+            # Identical queries submitted together coalesce.
+            assert stats.io_shared_hits > 0
+            assert stats.sharing_rate > 0.0
+        finally:
+            db.close()
+
+    def test_sessions_share_one_scheduler(self, tmp_path, rng):
+        db = make_db(tmp_path, rng)
+        try:
+            a = db.serve_session()
+            b = db.serve_session()
+            q = rng.normal(size=8).astype(np.float32)
+            fa = a.submit(q, k=3)
+            fb = b.submit(q, k=3)
+            assert fa.result(timeout=30).neighbors == fb.result(
+                timeout=30
+            ).neighbors
+            assert db._get_scheduler().counters()[0] >= 2
+        finally:
+            db.close()

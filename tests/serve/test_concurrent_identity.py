@@ -1,0 +1,173 @@
+"""Concurrency correctness: every async result == serial ``search()``.
+
+The serving layer's core contract: no matter how many queries are in
+flight, how their loads coalesce, or which thread scores what, the
+neighbors (ids AND distances) of every concurrent query are
+bit-identical to what a lone serial ``search()`` returns — float32 and
+SQ8, filtered and unfiltered, warm and cold.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import DeviceProfile, Eq, Gt, MicroNN, MicroNNConfig
+
+DIM = 16
+COUNT = 600
+K = 5
+THREADS = 8
+QUERIES_PER_THREAD = 6
+
+
+def build_db(tmp_path, rng, quantization):
+    config = MicroNNConfig(
+        dim=DIM,
+        target_cluster_size=20,
+        default_nprobe=4,
+        kmeans_iterations=10,
+        quantization=quantization,
+        max_inflight_queries=16,
+        attributes={"color": "TEXT", "size": "INTEGER"},
+        device=DeviceProfile(
+            name="hammer",
+            worker_threads=4,
+            # Tiny cache: most loads are real reads, so the shared I/O
+            # stage (and its scratch leases) is actually exercised.
+            partition_cache_bytes=16 * 1024,
+            sqlite_cache_bytes=256 * 1024,
+            scratch_buffer_bytes=2 * 1024 * 1024,
+        ),
+    )
+    db = MicroNN.open(tmp_path / f"hammer-{quantization}.db", config)
+    vecs = rng.normal(size=(COUNT, DIM)).astype(np.float32)
+    db.upsert_batch(
+        (
+            f"a{i:04d}",
+            vecs[i],
+            {"color": ["red", "green", "blue"][i % 3], "size": i % 50},
+        )
+        for i in range(COUNT)
+    )
+    db.build_index()
+    return db
+
+
+@pytest.mark.parametrize("quantization", ["none", "sq8"])
+@pytest.mark.parametrize(
+    "filters",
+    [None, Eq("color", "red"), Gt("size", 25)],
+    ids=["unfiltered", "eq-filter", "range-filter"],
+)
+def test_hammer_bit_identical_to_serial(
+    tmp_path, rng, quantization, filters
+):
+    db = build_db(tmp_path, rng, quantization)
+    try:
+        queries = rng.normal(
+            size=(THREADS * QUERIES_PER_THREAD, DIM)
+        ).astype(np.float32)
+        expected = [db.search(q, k=K, filters=filters) for q in queries]
+        if quantization == "sq8" and filters is None:
+            assert expected[0].stats.scan_mode == "sq8"
+
+        db.purge_caches()
+        results: list = [None] * len(queries)
+        errors: list = []
+        barrier = threading.Barrier(THREADS)
+
+        def hammer(tid: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                lo = tid * QUERIES_PER_THREAD
+                futures = [
+                    (i, db.search_async(queries[i], k=K, filters=filters))
+                    for i in range(lo, lo + QUERIES_PER_THREAD)
+                ]
+                for i, future in futures:
+                    results[i] = future.result(timeout=60)
+            except BaseException as exc:  # surfaced by the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+
+        for i, (got, want) in enumerate(zip(results, expected)):
+            assert got is not None, f"query {i} never resolved"
+            # Bit-identical: same ids, same float distances.
+            assert got.neighbors == want.neighbors, f"query {i} diverged"
+            assert got.stats.plan == want.stats.plan
+            assert got.stats.scan_mode == want.stats.scan_mode
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("quantization", ["none", "sq8"])
+def test_hammer_exact_and_prefilter_paths(tmp_path, rng, quantization):
+    """The call-task plans (exact KNN, pre-filter) match serial too."""
+    db = build_db(tmp_path, rng, quantization)
+    try:
+        queries = rng.normal(size=(6, DIM)).astype(np.float32)
+        exact_expected = [db.search(q, k=K, exact=True) for q in queries]
+        narrow = Eq("size", 7)  # ~12 rows -> optimizer picks pre-filter
+        pre_expected = [
+            db.search(q, k=K, filters=narrow) for q in queries
+        ]
+        assert pre_expected[0].stats.plan.value == "pre_filter"
+        exact_futures = [
+            db.search_async(q, k=K, exact=True) for q in queries
+        ]
+        pre_futures = [
+            db.search_async(q, k=K, filters=narrow) for q in queries
+        ]
+        for want, future in zip(exact_expected, exact_futures):
+            assert future.result(timeout=60).neighbors == want.neighbors
+        for want, future in zip(pre_expected, pre_futures):
+            got = future.result(timeout=60)
+            assert got.neighbors == want.neighbors
+            assert got.stats.plan == want.stats.plan
+    finally:
+        db.close()
+
+
+def test_hammer_survives_repeated_cold_starts(tmp_path, rng):
+    """purge_caches() racing a stream of async queries is safe and
+    never changes any result (the in-flight scan guard)."""
+    db = build_db(tmp_path, rng, "none")
+    try:
+        queries = rng.normal(size=(16, DIM)).astype(np.float32)
+        expected = [db.search(q, k=K) for q in queries]
+        stop = threading.Event()
+        purge_errors: list = []
+
+        def purger() -> None:
+            try:
+                while not stop.is_set():
+                    db.purge_caches()
+            except BaseException as exc:
+                purge_errors.append(exc)
+
+        purge_thread = threading.Thread(target=purger)
+        purge_thread.start()
+        try:
+            for _ in range(4):
+                futures = [
+                    db.search_async(q, k=K) for q in queries
+                ]
+                for want, future in zip(expected, futures):
+                    got = future.result(timeout=60)
+                    assert got.neighbors == want.neighbors
+        finally:
+            stop.set()
+            purge_thread.join(timeout=30)
+        assert not purge_errors, purge_errors
+    finally:
+        db.close()

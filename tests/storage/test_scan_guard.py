@@ -1,0 +1,105 @@
+"""The engine's in-flight scan guard (purge vs running queries)."""
+
+import threading
+import time
+
+import numpy as np
+
+from repro import MicroNN, MicroNNConfig
+
+
+def make_db(tmp_path, rng):
+    config = MicroNNConfig(
+        dim=8, target_cluster_size=10, default_nprobe=3,
+        kmeans_iterations=10,
+    )
+    db = MicroNN.open(tmp_path / "guard.db", config)
+    vecs = rng.normal(size=(120, 8)).astype(np.float32)
+    db.upsert_batch((f"a{i:04d}", vecs[i]) for i in range(120))
+    db.build_index()
+    return db
+
+
+class TestScanGuard:
+    def test_purge_waits_for_active_session(self, tmp_path, rng):
+        db = make_db(tmp_path, rng)
+        try:
+            engine = db.engine
+            purged = threading.Event()
+            session = engine.scan_session()
+            session.__enter__()
+            assert engine.active_scans == 1
+
+            def purge():
+                db.purge_caches()
+                purged.set()
+
+            thread = threading.Thread(target=purge)
+            thread.start()
+            # The purge must block while the scan session is open.
+            assert not purged.wait(timeout=0.2)
+            session.__exit__(None, None, None)
+            assert purged.wait(timeout=10)
+            thread.join(timeout=10)
+            assert engine.active_scans == 0
+        finally:
+            db.close()
+
+    def test_purge_without_scans_is_immediate(self, tmp_path, rng):
+        db = make_db(tmp_path, rng)
+        try:
+            start = time.perf_counter()
+            db.purge_caches()
+            assert time.perf_counter() - start < 1.0
+            assert db.engine.cache.used_bytes == 0
+        finally:
+            db.close()
+
+    def test_new_scan_waits_out_a_purge(self, tmp_path, rng):
+        """A session opened while a purge is waiting/running starts
+        only after the purge finishes — purges see a quiesced engine
+        and scans see a fully-purged one."""
+        db = make_db(tmp_path, rng)
+        try:
+            engine = db.engine
+            first = engine.scan_session()
+            first.__enter__()
+            order: list[str] = []
+
+            def purge():
+                db.purge_caches()
+                order.append("purge")
+
+            def late_scan():
+                # Give the purge a head start so it is registered first.
+                time.sleep(0.1)
+                with engine.scan_session():
+                    order.append("scan")
+
+            threads = [
+                threading.Thread(target=purge),
+                threading.Thread(target=late_scan),
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.3)
+            first.__exit__(None, None, None)
+            for t in threads:
+                t.join(timeout=10)
+            assert order == ["purge", "scan"]
+        finally:
+            db.close()
+
+    def test_queries_register_sessions(self, tmp_path, rng):
+        """Synchronous searches pass through the guard (count drops
+        back to zero, purge interleaved between queries is fine)."""
+        db = make_db(tmp_path, rng)
+        try:
+            q = rng.normal(size=8).astype(np.float32)
+            want = db.search(q, k=5)
+            for _ in range(3):
+                db.purge_caches()
+                assert db.search(q, k=5).neighbors == want.neighbors
+            assert db.engine.active_scans == 0
+        finally:
+            db.close()
