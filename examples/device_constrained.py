@@ -12,6 +12,10 @@ scenarios:
 - **SQ8 quantization** (``quantization="sq8"``): int8 scan codes cut
   cold partition reads ~4x, and the ``rerank_factor`` knob trades the
   small rerank I/O against recall,
+- **PQ quantization** (``quantization="pq"``): M sub-vector codebooks
+  compress each stored code to M bytes (32x at dim=128, M=16) and the
+  scan becomes a per-query ADC lookup-table gather — the next step
+  when SQ8's 4x still leaves a paper-scale collection I/O-bound,
 - the **pipelined partition scan**: cache-cold queries overlap
   partition reads with distance kernels, tuned by three knobs —
   ``pipeline_depth`` (bounded queue of loaded-but-unscored partitions;
@@ -118,15 +122,26 @@ def main() -> None:
 
 
 def quantization_tradeoff(ids, vectors, queries, truth, device) -> None:
-    """SQ8 on the same constrained device: the rerank_factor knob.
+    """SQ8 vs PQ on the same constrained device: picking a scheme.
 
-    The quantized scan reads 1-byte codes instead of float32 blobs
-    (~4x less cold partition I/O) and re-scores the top
-    ``rerank_factor * K`` candidates exactly. Sweeping the factor shows
-    the tradeoff: 1 is cheapest but trusts the approximate ranking,
-    larger factors buy recall back with a few extra point reads.
+    The quantized scan reads compact codes instead of float32 blobs
+    and re-scores the top ``rerank_factor * K`` candidates exactly.
+    Tuning guide:
+
+    - **SQ8** (1 byte/dim, ~4x less I/O): near-lossless per-code, so a
+      small rerank pool (r=2..4) already restores recall. Pick it when
+      4x is enough to fit the working set in the device's I/O budget.
+    - **PQ** (``pq_num_subvectors`` bytes/code — 16 bytes at M=16,
+      dim=128, a 32x payload cut): per-code error is much larger, so
+      it wants a deeper rerank pool (r=8..16) and pays that back with
+      an order of magnitude less scan I/O. Pick it when collections
+      reach paper scale on Small DUTs and SQ8 scans are still
+      I/O-bound. Fewer sub-vectors (M=8) compress harder but quantize
+      coarser — watch recall before shipping that.
+    - ``rerank_factor`` is the recall knob of both: the rerank is a
+      bounded point-fetch of full-precision rows, a few KB per query.
     """
-    print("\n-- SQ8 quantization: memory/latency tradeoff --")
+    print("\n-- quantization: SQ8 vs PQ recall/I-O tradeoff --")
     print(f"{'mode':>14s} {'recall@10':>10s} {'MB/query':>9s} "
           f"{'cold ms':>8s}")
     for quantization, rerank_factor in (
@@ -135,6 +150,9 @@ def quantization_tradeoff(ids, vectors, queries, truth, device) -> None:
         ("sq8", 2),
         ("sq8", 4),
         ("sq8", 8),
+        ("pq", 4),
+        ("pq", 8),
+        ("pq", 16),
     ):
         config = MicroNNConfig(
             dim=DIM,
@@ -143,6 +161,7 @@ def quantization_tradeoff(ids, vectors, queries, truth, device) -> None:
             minibatch_fraction=0.02,
             quantization=quantization,
             rerank_factor=rerank_factor,
+            pq_num_subvectors=16,
         )
         with MicroNN.open(config=config) as db:
             db.upsert_batch(zip(ids, vectors))
@@ -168,16 +187,17 @@ def quantization_tradeoff(ids, vectors, queries, truth, device) -> None:
             label = (
                 "float32"
                 if quantization == "none"
-                else f"sq8 r={rerank_factor}"
+                else f"{quantization} r={rerank_factor}"
             )
             print(
                 f"{label:>14s} {recall:>10.1%} {mb_per_query:>9.2f} "
                 f"{elapsed_ms:>8.2f}"
             )
     print(
-        "sq8 reads ~4x fewer partition bytes; raising rerank_factor "
-        "recovers recall\nfor a few extra full-precision point reads "
-        "per query."
+        "sq8 reads ~4x fewer partition bytes and needs only a shallow "
+        "rerank;\npq reads ~10x+ fewer but wants a deeper one — raise "
+        "rerank_factor until\nrecall holds, each step is just a few "
+        "extra full-precision point reads."
     )
 
 

@@ -27,7 +27,7 @@ SUPPORTED_METRICS = ("l2", "cosine", "dot")
 SUPPORTED_ATTRIBUTE_TYPES = ("TEXT", "INTEGER", "REAL")
 
 #: Partition-storage quantization schemes supported by the scan path.
-SUPPORTED_QUANTIZATION = ("none", "sq8")
+SUPPORTED_QUANTIZATION = ("none", "sq8", "pq")
 
 #: Reserved partition identifier for the delta-store (paper §3.6: the
 #: delta-store is physically co-located with the IVF index and addressed
@@ -165,12 +165,14 @@ class MicroNNConfig:
         paper's update experiment (Fig. 10) uses 0.5 (50% growth).
     quantization:
         Partition-storage quantization scheme: ``"none"`` (default,
-        float32 scans, byte-identical on-disk layout to prior versions)
-        or ``"sq8"`` (int8 scalar-quantized scan codes plus exact
-        rerank; ~4x less partition I/O on the hot query path).
+        float32 scans, byte-identical on-disk layout to prior
+        versions), ``"sq8"`` (int8 scalar-quantized scan codes; ~4x
+        less partition I/O) or ``"pq"`` (product-quantized codes
+        scanned via ADC lookup tables; ``4 * dim / M``x less partition
+        I/O). Both quantized modes rerank exactly.
     rerank_factor:
-        With ``quantization="sq8"``, the number of approximate
-        candidates kept for exact reranking, as a multiple of ``k``.
+        With a quantized scan, the number of approximate candidates
+        kept for exact reranking, as a multiple of ``k``.
     pipeline_depth:
         Bounded-queue depth of the partition-scan I/O–compute pipeline
         (``0`` disables pipelining; scans fall back to the serial
@@ -206,15 +208,40 @@ class MicroNNConfig:
     #: Partition-storage quantization: ``"none"`` keeps the paper's
     #: float32 scan path (and an on-disk layout byte-identical to it);
     #: ``"sq8"`` stores int8 scalar-quantized codes alongside the
-    #: float32 blobs and scans the codes — ~4x less partition I/O —
-    #: reranking the top ``rerank_factor * k`` candidates against the
-    #: full-precision vectors. The delta partition is always scanned in
-    #: full precision so upserts stay cheap.
+    #: float32 blobs and scans the codes — ~4x less partition I/O;
+    #: ``"pq"`` stores product-quantized codes (``pq_num_subvectors``
+    #: bytes per vector, ``4 * dim / M``x less partition I/O — 32x at
+    #: dim=128 with M=16) scanned with per-query ADC lookup tables.
+    #: Both quantized modes rerank the top ``rerank_factor * k``
+    #: candidates against the full-precision vectors. The delta
+    #: partition always stays full-precision on disk so upserts stay
+    #: one cheap row write; see ``delta_quantize_threshold`` for the
+    #: in-memory lazy encoding of a large delta.
     quantization: str = "none"
     #: Oversampling factor of the quantized scan: the scan keeps
     #: ``rerank_factor * k`` approximate candidates and re-scores them
-    #: exactly. Higher values trade rerank I/O for recall.
+    #: exactly. Higher values trade rerank I/O for recall; PQ's larger
+    #: per-code error usually wants this at least as high as SQ8's.
     rerank_factor: int = 4
+    #: Number of PQ sub-vectors ``M`` (``quantization="pq"``). Each
+    #: stored code is M bytes; M must divide ``dim`` evenly (validated
+    #: here, at config time, instead of surfacing as a reshape error in
+    #: the middle of codebook training). Smaller M compresses harder
+    #: but quantizes coarser.
+    pq_num_subvectors: int = 8
+    #: Upper bound on the vectors sampled to train PQ codebooks. Sub-
+    #: space k-means is quadratic-ish in the sample, and codebooks
+    #: converge long before the full collection is seen; the builder
+    #: draws a seeded uniform sample of at most this many vectors.
+    pq_train_sample: int = 10_000
+    #: Lazily quantize the delta partition once it holds at least this
+    #: many vectors: the first quantized scan past the threshold
+    #: encodes the (full-precision, on-disk) delta with the active
+    #: quantizer and caches the codes in memory, so delta-heavy upsert
+    #: workloads stop re-reading the float32 delta on every query.
+    #: Any delta write invalidates the cached codes. ``None`` disables
+    #: lazy encoding and scans the delta exactly, always.
+    delta_quantize_threshold: int | None = 4096
     #: Depth of the partition-scan pipeline: how many loaded-but-not-
     #: yet-scored partitions may sit in the bounded queue between the
     #: I/O stage and the compute stage. While partition ``N`` is being
@@ -312,6 +339,28 @@ class MicroNNConfig:
             )
         if self.rerank_factor < 1:
             raise ConfigError("rerank_factor must be >= 1")
+        if self.pq_num_subvectors < 1:
+            raise ConfigError("pq_num_subvectors must be >= 1")
+        if self.pq_train_sample < 1:
+            raise ConfigError("pq_train_sample must be >= 1")
+        if (
+            self.quantization == "pq"
+            and self.dim % self.pq_num_subvectors != 0
+        ):
+            # Caught here, not as a reshape crash deep inside codebook
+            # training: the PQ layout needs dim = M * dsub exactly.
+            raise ConfigError(
+                f"pq_num_subvectors must divide dim evenly: dim="
+                f"{self.dim} is not a multiple of pq_num_subvectors="
+                f"{self.pq_num_subvectors}"
+            )
+        if (
+            self.delta_quantize_threshold is not None
+            and self.delta_quantize_threshold < 1
+        ):
+            raise ConfigError(
+                "delta_quantize_threshold must be >= 1 when set"
+            )
         if self.pipeline_depth < 0:
             raise ConfigError("pipeline_depth must be >= 0")
         if self.io_prefetch_threads < 1:
@@ -369,6 +418,19 @@ class MicroNNConfig:
     @property
     def uses_quantization(self) -> bool:
         return self.quantization != "none"
+
+    @property
+    def scan_code_width(self) -> int:
+        """Stored bytes per quantized scan code for the active scheme.
+
+        ``dim`` bytes for SQ8 (one per dimension), ``pq_num_subvectors``
+        for PQ (one per sub-vector) — the blob width of every
+        ``vector_codes`` row, and the denominator of the achieved
+        compression ratio reported by :class:`IndexStats`.
+        """
+        if self.quantization == "pq":
+            return self.pq_num_subvectors
+        return self.dim
 
     @property
     def resolved_serve_io_threads(self) -> int:

@@ -622,18 +622,18 @@ class MicroNN:
         return "\n".join(lines)
 
     def scan_mode(self) -> str:
-        """How ANN scans currently read partitions: "float32" or "sq8".
+        """How ANN scans read partitions: "float32", "sq8" or "pq".
 
-        "sq8" requires both the config flag and a trained quantizer; a
-        freshly opened (or never-built) sq8 database reports "float32"
-        because its scans fall back to full precision until the first
-        build trains the quantizer.
+        A quantized mode requires both the config flag and a trained
+        quantizer; a freshly opened (or never-built) sq8/pq database
+        reports "float32" because its scans fall back to full
+        precision until the first build trains the quantizer.
         """
         if (
             self._config.uses_quantization
             and self._engine.load_quantizer() is not None
         ):
-            return "sq8"
+            return self._config.quantization
         return "float32"
 
     def pipeline_description(self) -> str:
@@ -679,16 +679,26 @@ class MicroNN:
 
     def scan_mode_description(self, k: int = 10) -> str:
         """One-line human-readable account of the active scan mode."""
-        if self.scan_mode() == "sq8":
-            factor = self._config.rerank_factor
+        mode = self.scan_mode()
+        factor = self._config.rerank_factor
+        if mode == "sq8":
             return (
                 "sq8 — int8 codes (1 byte/dim, ~4x less partition I/O), "
                 f"exact rerank of top {factor}*k={factor * k} candidates"
             )
+        if mode == "pq":
+            m = self._config.pq_num_subvectors
+            ratio = 4.0 * self._config.dim / m
+            return (
+                f"pq — ADC lookup-table scan over {m}x256 codebooks "
+                f"({m} bytes/vector, ~{ratio:.0f}x less partition I/O), "
+                f"exact rerank of top {factor}*k={factor * k} candidates"
+            )
         if self._config.uses_quantization:
             return (
-                "float32 — sq8 configured but no quantizer trained yet "
-                "(run build_index() or maintain())"
+                f"float32 — {self._config.quantization} configured but "
+                "no quantizer trained yet (run build_index() or "
+                "maintain())"
             )
         return "float32 — full-precision partition scans"
 

@@ -60,10 +60,12 @@ class QueryStats:
     #: The IVF selectivity threshold the optimizer compared against.
     ivf_selectivity: float | None = None
     #: How partitions were scanned: ``"float32"`` full-precision blobs,
-    #: or ``"sq8"`` quantized codes with exact reranking.
+    #: ``"sq8"`` scalar-quantized codes, or ``"pq"`` product-quantized
+    #: codes via ADC lookup tables — the quantized modes both rerank
+    #: exactly.
     scan_mode: str = "float32"
     #: Number of approximate candidates re-scored against their
-    #: full-precision vectors (SQ8 scans only).
+    #: full-precision vectors (quantized scans only).
     candidates_reranked: int = 0
     #: Milliseconds spent loading + decoding partitions. When the scan
     #: was pipelined this is summed across I/O tasks, so
@@ -140,11 +142,22 @@ class IndexStats:
     #: Average partition size recorded at the last full build; the
     #: monitor compares against this to decide when to rebuild.
     baseline_avg_partition_size: float
-    #: Partition-storage quantization scheme in effect ("none"/"sq8").
+    #: Partition-storage quantization scheme in effect
+    #: ("none"/"sq8"/"pq").
     quantization: str = "none"
-    #: Vectors with a stored SQ8 code (indexed partitions only; the
-    #: delta stays full-precision until maintenance folds it in).
+    #: Vectors with a stored quantized code (indexed partitions only;
+    #: the delta stays full-precision on disk until maintenance folds
+    #: it in).
     quantized_vectors: int = 0
+    #: Stored scan-code bytes per vector once a quantizer is trained
+    #: (``dim`` for sq8, ``pq_num_subvectors`` for pq; 0 before
+    #: training or with quantization off) — the PQ-vs-SQ8 choice made
+    #: observable.
+    code_bytes_per_vector: int = 0
+    #: Achieved scan-payload compression vs float32 partitions
+    #: (``4 * dim / code_bytes_per_vector``; 1.0 when scans are
+    #: full-precision).
+    compression_ratio: float = 1.0
 
     @property
     def partition_growth(self) -> float:

@@ -32,7 +32,11 @@ from repro.index.kmeans import (
     plan_num_clusters,
 )
 from repro.storage.engine import StorageEngine
-from repro.storage.quantization import SQ8Trainer
+from repro.storage.quantization import (
+    ProductQuantizer,
+    Quantizer,
+    SQ8Trainer,
+)
 
 #: Memory-tracker category for clustering working memory.
 BUILD_CATEGORY = "index_build"
@@ -87,7 +91,7 @@ class IVFBuilder:
         counts = self._assign_all(trainer, minibatch_size)
         engine.replace_centroids(trainer.centroids, counts)
         if config.uses_quantization:
-            self.refresh_scalar_quantizer()
+            self.refresh_quantizer()
 
         avg_size = num_vectors / max(k, 1)
         engine.set_meta(META_BASELINE_AVG, repr(avg_size))
@@ -106,25 +110,64 @@ class IVFBuilder:
 
     # ------------------------------------------------------------------
 
-    def refresh_scalar_quantizer(self) -> int:
-        """Retrain the SQ8 quantizer and rewrite every code (sq8 only).
+    def refresh_quantizer(self) -> int:
+        """Retrain the active quantizer and rewrite every code.
 
-        One extra streaming pass over the collection: a per-dimension
-        min/max accumulation (a few bytes of state per dimension)
-        followed by the batched code rewrite. A full build is the
-        natural retrain point — the same moment the k-means quantizer
-        is refreshed — and maintenance also calls this when upsert
-        drift makes the trained ranges clip. Returns codes written.
+        A full build is the natural retrain point — the same moment the
+        k-means quantizer is refreshed — and maintenance also calls
+        this when upsert drift degrades the trained quantizer. For SQ8
+        the pass is a streaming per-dimension min/max accumulation (a
+        few bytes of state per dimension); for PQ a bounded
+        ``pq_train_sample``-sized sample is drawn and each sub-space
+        codebook is k-means-trained on it. Either way the batched code
+        rewrite follows, and ``rebuild_codes`` persists the quantizer
+        and the codes in one transaction so the pair can never go out
+        of sync. Returns codes written.
+        """
+        quantizer: Quantizer | None
+        if self._config.quantization == "pq":
+            quantizer = self._train_product_quantizer()
+        else:
+            trainer = SQ8Trainer(self._config.dim)
+            for _, matrix in self._engine.iter_vector_batches(
+                batch_size=4096
+            ):
+                trainer.update(matrix)
+            quantizer = trainer.finish() if trainer.count else None
+        if quantizer is None:
+            return 0
+        return self._engine.rebuild_codes(quantizer)
+
+    def _train_product_quantizer(self) -> ProductQuantizer | None:
+        """Train PQ codebooks on a bounded uniform sample.
+
+        Sub-space k-means needs its sample in memory (unlike SQ8's
+        streaming min/max), so the sample is capped at
+        ``pq_train_sample`` vectors — codebooks of 256 centroids
+        converge long before the full collection is seen — and its
+        residency is charged to the build's memory category like every
+        other training buffer.
         """
         engine = self._engine
-        trainer = SQ8Trainer(self._config.dim)
-        for _, matrix in engine.iter_vector_batches(batch_size=4096):
-            trainer.update(matrix)
-        if trainer.count == 0:
-            return 0
-        # rebuild_codes persists the quantizer and the codes in one
-        # transaction, so the pair can never go out of sync.
-        return engine.rebuild_codes(trainer.finish())
+        config = self._config
+        asset_ids = engine.all_asset_ids()
+        if not asset_ids:
+            return None
+        rng = np.random.default_rng(config.seed)
+        sample_ids = _sample_ids(
+            asset_ids, min(len(asset_ids), config.pq_train_sample), rng
+        )
+        _, sample = engine.fetch_vectors_by_asset_ids(sample_ids)
+        if sample.shape[0] == 0:
+            return None
+        with engine.tracker.transient(
+            BUILD_CATEGORY, int(sample.nbytes)
+        ):
+            return ProductQuantizer.train(
+                sample,
+                config.pq_num_subvectors,
+                seed=config.seed,
+            )
 
     def _plan_minibatch(self, num_vectors: int) -> int:
         config = self._config

@@ -36,12 +36,34 @@ from repro.storage.codec import encode_code_matrix
 from repro.storage.engine import StorageEngine
 
 #: Fraction of flushed vector components allowed to clip outside the
-#: trained quantizer range before maintenance retrains it. Clipped
+#: trained SQ8 range before maintenance retrains it. Clipped
 #: components carry unbounded quantization error, so a drifting upsert
 #: stream must eventually trigger a retrain ("Quantization for Vector
 #: Search under Streaming Updates" keeps recall by retraining on
 #: distribution shift, not on every insert).
 QUANTIZER_DRIFT_CLIP_FRACTION = 0.01
+
+#: Fraction of flushed vectors whose PQ reconstruction error may
+#: exceed the trained-error envelope before maintenance retrains the
+#: codebooks. PQ has no clipping — a drifted vector still encodes, just
+#: badly — so its drift signal is reconstruction error against the
+#: training-time baseline (see ProductQuantizer.drift_fraction).
+PQ_DRIFT_FRACTION = 0.05
+
+
+def quantizer_drifted(quantizer, matrix) -> bool:
+    """Whether ``matrix`` has drifted off the trained quantizer.
+
+    The kind-specific drift signals behind maintenance retrains: SQ8
+    watches the clip fraction (components outside the trained ranges),
+    PQ the fraction of vectors whose reconstruction error leaves the
+    trained envelope.
+    """
+    if quantizer.kind == "pq":
+        return quantizer.drift_fraction(matrix) > PQ_DRIFT_FRACTION
+    return (
+        quantizer.clip_fraction(matrix) > QUANTIZER_DRIFT_CLIP_FRACTION
+    )
 
 
 class IndexMonitor:
@@ -61,6 +83,27 @@ class IndexMonitor:
         avg = indexed / num_partitions if num_partitions else 0.0
         baseline_raw = self._engine.get_meta(META_BASELINE_AVG)
         baseline = float(baseline_raw) if baseline_raw else 0.0
+        quantized = self._engine.count_codes()
+        # Code bytes/vector and the achieved compression come from the
+        # TRAINED quantizer, not the config: a database reopened under
+        # the other scheme still holds the old codes until the next
+        # build, and load_quantizer() is None for the new scheme then —
+        # reporting the config's width would describe codes that do not
+        # exist. Until a quantizer is trained (and codes with it, they
+        # commit together) scans are full-precision: honest 0 and 1.0.
+        quantizer = (
+            self._engine.load_quantizer()
+            if self._config.uses_quantization
+            else None
+        )
+        code_bytes = (
+            quantizer.code_width
+            if quantizer is not None and quantized
+            else 0
+        )
+        compression = (
+            (4.0 * self._config.dim) / code_bytes if code_bytes else 1.0
+        )
         return IndexStats(
             total_vectors=indexed + delta,
             indexed_vectors=indexed,
@@ -71,7 +114,9 @@ class IndexMonitor:
             min_partition_size=min(values) if values else 0,
             baseline_avg_partition_size=baseline,
             quantization=self._config.quantization,
-            quantized_vectors=self._engine.count_codes(),
+            quantized_vectors=quantized,
+            code_bytes_per_vector=code_bytes,
+            compression_ratio=compression,
         )
 
     def recommend(self) -> MaintenanceAction:
@@ -180,7 +225,7 @@ class IncrementalMaintainer:
         engine.set_partition_assignments(moves, code_rows=code_rows)
         engine.update_centroids(centroid_updates)
         if retrain_needed:
-            IVFBuilder(engine, self._config).refresh_scalar_quantizer()
+            IVFBuilder(engine, self._config).refresh_quantizer()
 
         stats_after = self._monitor.stats()
         return MaintenanceReport(
@@ -196,7 +241,7 @@ class IncrementalMaintainer:
     def _plan_flush_codes(
         self, delta, moves: list[tuple[str, int]]
     ) -> tuple[list[tuple[int, str, int, bytes]] | None, bool]:
-        """SQ8 codes for the vectors a flush is about to move.
+        """Quantized codes for the vectors a flush is about to move.
 
         Returns ``(code_rows, retrain_needed)``. The cheap common case
         encodes just the flushed vectors with the *existing* quantizer
@@ -205,18 +250,16 @@ class IncrementalMaintainer:
         situations force the expensive path (full retrain + code
         rewrite after the moves) instead: no quantizer exists yet (a
         pre-quantization database being upgraded in place), or the
-        incoming vectors clip the trained ranges beyond the drift
-        threshold, meaning the data distribution has moved. A crash
-        before the retrain finishes leaves uncoded vectors, which
-        ``integrity_check`` reports explicitly.
+        incoming vectors drifted past the kind-specific threshold
+        (:func:`quantizer_drifted`), meaning the data distribution has
+        moved. A crash before the retrain finishes leaves uncoded
+        vectors, which ``integrity_check`` reports explicitly.
         """
         if not self._config.uses_quantization:
             return None, False
         quantizer = self._engine.load_quantizer()
-        if (
-            quantizer is None
-            or quantizer.clip_fraction(delta.matrix)
-            > QUANTIZER_DRIFT_CLIP_FRACTION
+        if quantizer is None or quantizer_drifted(
+            quantizer, delta.matrix
         ):
             return None, True
         pid_of = dict(moves)

@@ -36,6 +36,7 @@ from repro.core.types import (
 from repro.query.distance import (
     asymmetric_pairwise_distances,
     distances_to_one,
+    make_code_scorer,
     pairwise_distances,
     surface_distance,
 )
@@ -140,7 +141,23 @@ class BatchQueryExecutor:
                 if self._config.uses_quantization
                 else None
             )
-            scan_mode = "sq8" if quantizer is not None else "float32"
+            scan_mode = (
+                quantizer.kind if quantizer is not None else "float32"
+            )
+            # PQ's ADC tables are per-query state: build each query's
+            # scorer ONCE for the whole batch, not once per partition
+            # that query touches (table build is a dim x 256 einsum —
+            # rebuilt per group it would dominate the gather). SQ8
+            # stays on the fused pairwise kernel: its win is decoding
+            # each partition once for ALL interested queries.
+            scorers = None
+            if quantizer is not None and quantizer.kind == "pq":
+                scorers = [
+                    make_code_scorer(
+                        q[row], quantizer, self._config.metric
+                    )
+                    for row in range(num_queries)
+                ]
 
             groups, requested = self._group_by_partition(q, nprobe)
             per_query: list[list[Candidate]] = [
@@ -156,16 +173,17 @@ class BatchQueryExecutor:
             rerank_pool = max(k, self._config.rerank_factor * k)
 
             # Scan phase: each needed partition is read exactly ONCE —
-            # the point of MQO. Under sq8 the read is the code
-            # partition (a quarter of the bytes); the delta and
-            # code-less partitions stay full-precision. Cache-cold
+            # the point of MQO. Under sq8/pq the read is the code
+            # partition (a fraction of the bytes); code-less
+            # partitions and the under-threshold delta stay
+            # full-precision. Cache-cold
             # batches run the same I/O–compute pipeline as single
             # queries: one partition is being read while another's
             # shared GEMM runs, still once per partition per batch.
             # Warm batches keep the serial path (threaded tiny SQLite
             # reads convoy on the GIL; see executor._scan_partitions).
             outcomes, io_time, compute_time, pipelined = self._scan_groups(
-                groups, q, quantizer, rerank_pool, k
+                groups, q, quantizer, scorers, rerank_pool, k
             )
 
             for query_rows, locals_per_query, size, is_codes in outcomes:
@@ -219,18 +237,26 @@ class BatchQueryExecutor:
         )
 
     def _compute_group(self, entry, query_rows, is_codes, q, quantizer,
-                       rerank_pool: int, k: int):
+                       scorers, rerank_pool: int, k: int):
         """Score one partition for every query interested in it."""
         if len(entry) == 0:
             return query_rows, [], 0, is_codes
         sub = q[query_rows]
         # One kernel call covers every query interested in this
-        # partition (a GEMM for float32, the fused int8 contraction
-        # for codes).
+        # partition (a GEMM for float32; the fused int8 contraction
+        # over all interested queries under SQ8). Under PQ each
+        # interested query scores the shared decoded codes against its
+        # own prebuilt ADC table — row-for-row bit-identical to the
+        # single-query kernel.
         if is_codes:
-            dist = asymmetric_pairwise_distances(
-                sub, entry.matrix, quantizer, self._config.metric
-            )
+            if scorers is not None:
+                dist = np.stack(
+                    [scorers[row](entry.matrix) for row in query_rows]
+                )
+            else:
+                dist = asymmetric_pairwise_distances(
+                    sub, entry.matrix, quantizer, self._config.metric
+                )
             keep = rerank_pool
         else:
             dist = pairwise_distances(
@@ -244,7 +270,7 @@ class BatchQueryExecutor:
         return query_rows, locals_per_query, len(entry), is_codes
 
     def _scan_groups(
-        self, groups, q, quantizer, rerank_pool: int, k: int
+        self, groups, q, quantizer, scorers, rerank_pool: int, k: int
     ) -> tuple[list[tuple], float, float, bool]:
         """Run the batch's partition scans (pipelined when cold).
 
@@ -256,7 +282,7 @@ class BatchQueryExecutor:
         items = list(groups.items())
         if self._should_pipeline(items, quantizer):
             return self._scan_groups_pipelined(
-                items, q, quantizer, rerank_pool, k
+                items, q, quantizer, scorers, rerank_pool, k
             )
 
         io_start = time.perf_counter()
@@ -277,7 +303,8 @@ class BatchQueryExecutor:
         def compute(item):
             entry, query_rows, is_codes = item
             return self._compute_group(
-                entry, query_rows, is_codes, q, quantizer, rerank_pool, k
+                entry, query_rows, is_codes, q, quantizer, scorers,
+                rerank_pool, k,
             )
 
         if workers == 1 or total_elements < _PARALLEL_BATCH_ELEMENTS:
@@ -296,10 +323,11 @@ class BatchQueryExecutor:
             (pid for pid, _ in items),
             quantizer is not None,
             DELTA_PARTITION_ID,
+            delta_codes=self._engine.delta_codes,
         )
 
     def _scan_groups_pipelined(
-        self, items, q, quantizer, rerank_pool: int, k: int
+        self, items, q, quantizer, scorers, rerank_pool: int, k: int
     ) -> tuple[list[tuple], float, float, bool]:
         """Batch scans through the two-stage pipeline.
 
@@ -324,7 +352,7 @@ class BatchQueryExecutor:
                 state.outcomes.append(
                     self._compute_group(
                         entry, query_rows, is_codes, q, quantizer,
-                        rerank_pool, k,
+                        scorers, rerank_pool, k,
                     )
                 )
             finally:

@@ -174,10 +174,181 @@ def dequantized_pairwise_distances(
     association) but materializes ``quantizer.decode(codes)`` — a full-
     precision copy of the code partition. Kept as the oracle the fused
     kernel's property tests compare against; the scan path no longer
-    calls it.
+    calls it. Works for PQ codes too (``decode`` reconstructs from the
+    codebooks), which makes it the ADC kernel's oracle as well.
     """
     q = np.atleast_2d(np.asarray(queries, dtype=np.float32))
     c = np.atleast_2d(np.asarray(codes))
     if c.shape[0] == 0:
         return np.empty((q.shape[0], 0), dtype=np.float32)
     return pairwise_distances(q, quantizer.decode(c), metric)
+
+
+# ----------------------------------------------------------------------
+# ADC kernels (product-quantized scan path)
+# ----------------------------------------------------------------------
+
+#: Metrics the ADC lookup-table kernel supports (same set as the other
+#: kernels; cosine needs the additive codeword-norm table).
+SUPPORTED_ADC_METRICS = ("l2", "cosine", "dot")
+
+
+class AdcTable:
+    """One query's asymmetric-distance lookup state (M x K tables).
+
+    Because PQ distances decompose over sub-spaces, every per-sub-
+    vector term a partition scan could need is a function of (query,
+    codebook) alone — so it is computed ONCE per query here, and
+    scoring a partition of packed uint8 codes reduces to a vectorized
+    table gather plus a row sum. No dequantization, no float32 copy of
+    the partition: the only transient is the (n, M) gathered float32
+    block, ``4 * M`` bytes per row — the same footprint class as the
+    codes themselves.
+
+    ``lut`` holds, per (sub-space, centroid):
+
+    - l2: the partial squared distance ``||q_m - c||^2`` (sums to the
+      exact squared distance to the reconstruction);
+    - dot: the negated partial inner product (sums to ``-(q · x̂)``);
+    - cosine: the raw partial inner product; ``norm2`` then holds
+      ``||c||^2`` so ``||x̂||^2`` is a second gather+sum, and the
+      distance is assembled as ``1 - ip / (||q|| * ||x̂||)``.
+    """
+
+    __slots__ = ("metric", "lut", "norm2", "query_norm", "_rows")
+
+    def __init__(
+        self,
+        metric: str,
+        lut: np.ndarray,
+        norm2: np.ndarray | None = None,
+        query_norm: float = 0.0,
+    ) -> None:
+        self.metric = metric
+        self.lut = lut
+        self.norm2 = norm2
+        self.query_norm = query_norm
+        self._rows = np.arange(lut.shape[0])[None, :]
+
+    @property
+    def num_subvectors(self) -> int:
+        return int(self.lut.shape[0])
+
+
+def adc_lookup_table(
+    query: np.ndarray, quantizer, metric: str
+) -> AdcTable:
+    """Build one query's ``M x K`` ADC table(s) for a PQ quantizer.
+
+    This is per-query state: the executors build it once per scan and
+    reuse it for every partition; the serving scheduler builds one per
+    admitted query so coalesced reads are scored per-consumer.
+    """
+    if metric not in SUPPORTED_ADC_METRICS:
+        raise ConfigError(f"unsupported metric {metric!r}")
+    q = np.asarray(query, dtype=np.float32).reshape(-1)
+    books = quantizer.codebooks  # (M, K, dsub) float32
+    m, _, dsub = books.shape
+    if q.shape[0] != m * dsub:
+        raise ValueError(
+            f"dimension mismatch: query {q.shape[0]} vs quantizer "
+            f"{m * dsub}"
+        )
+    qm = q.reshape(m, dsub)
+    if metric == "l2":
+        diff = qm[:, None, :] - books
+        lut = np.einsum(
+            "mkd,mkd->mk", diff, diff, dtype=np.float64
+        ).astype(np.float32)
+        return AdcTable("l2", lut)
+    ip = np.einsum("md,mkd->mk", qm, books, dtype=np.float64).astype(
+        np.float32
+    )
+    if metric == "dot":
+        return AdcTable("dot", -ip)
+    return AdcTable(
+        "cosine",
+        ip,
+        norm2=quantizer.codeword_sq_norms,
+        query_norm=float(np.linalg.norm(q)),
+    )
+
+
+def adc_scores(table: AdcTable, codes: np.ndarray) -> np.ndarray:
+    """Score packed uint8 PQ codes against one query's ADC table (1-D).
+
+    ``table.lut[m, codes[:, m]]`` gathered for all rows at once, then
+    one float32 row-sum — the whole scan kernel. Approximates the true
+    distances to within the quantization error, which is why the scan
+    keeps ``rerank_factor * k`` candidates and re-scores them exactly.
+    """
+    c = np.atleast_2d(np.asarray(codes))
+    if c.shape[0] == 0:
+        return np.empty(0, dtype=np.float32)
+    if c.shape[1] != table.num_subvectors:
+        raise ValueError(
+            f"code width {c.shape[1]} does not match the table's "
+            f"{table.num_subvectors} sub-vectors"
+        )
+    total = table.lut[table._rows, c].sum(axis=1, dtype=np.float32)
+    if table.metric == "l2":
+        np.maximum(total, 0.0, out=total)
+        return total
+    if table.metric == "dot":
+        return total
+    norm2 = table.norm2[table._rows, c].sum(axis=1, dtype=np.float32)
+    norms = np.sqrt(np.maximum(norm2, 0.0))
+    # Each norm is floored by _EPS separately, mirroring the float
+    # kernel's normalization so near-zero vectors degrade identically.
+    denom = max(table.query_norm, _EPS) * np.maximum(norms, _EPS)
+    sims = total / denom
+    np.clip(sims, -1.0, 1.0, out=sims)
+    return (1.0 - sims).astype(np.float32)
+
+
+def adc_distances_to_one(
+    query: np.ndarray, codes: np.ndarray, quantizer, metric: str
+) -> np.ndarray:
+    """ADC distances from one query to each coded row (1-D result)."""
+    return adc_scores(adc_lookup_table(query, quantizer, metric), codes)
+
+
+def adc_pairwise_distances(
+    queries: np.ndarray, codes: np.ndarray, quantizer, metric: str
+) -> np.ndarray:
+    """ADC distance matrix of shape (num_queries, num_codes).
+
+    One table per query row, each scored with :func:`adc_scores`, so
+    every row is bit-identical to the single-query kernel — the
+    property the MQO batch path's parity tests rely on.
+    """
+    q = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    c = np.atleast_2d(np.asarray(codes))
+    out = np.empty((q.shape[0], c.shape[0]), dtype=np.float32)
+    for row in range(q.shape[0]):
+        out[row] = adc_distances_to_one(q[row], c, quantizer, metric)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Quantizer-kind dispatch (the executors' single entry points)
+# ----------------------------------------------------------------------
+
+
+def make_code_scorer(query: np.ndarray, quantizer, metric: str):
+    """One query's coded-partition scorer: ``scorer(codes) -> dists``.
+
+    The per-query state rule in one place: for PQ the ADC table is
+    built here, once, and closed over — every partition of the scan
+    (and every coalesced read a served query consumes) reuses it. For
+    SQ8 the closure is the block-fused asymmetric kernel, which needs
+    no per-query precomputation. Thread-safe: the closed-over state is
+    read-only, so pipeline compute workers may share one scorer.
+    """
+    if quantizer.kind == "pq":
+        table = adc_lookup_table(query, quantizer, metric)
+        return lambda codes: adc_scores(table, codes)
+    q = np.asarray(query, dtype=np.float32)
+    return lambda codes: asymmetric_distances_to_one(
+        q, codes, quantizer, metric
+    )

@@ -14,11 +14,15 @@ The ANN path is Algorithm 2 verbatim:
    the cores are busy at the same time;
 4. merge the per-thread heaps and surface the K best.
 
-With ``quantization="sq8"`` step 3 becomes the *fast scan path*: code
-partitions (1 byte/dimension) are scanned with the asymmetric kernel,
-the top ``rerank_factor * k`` approximate candidates are re-scored
-against their full-precision vectors, and the delta partition is still
-scanned exactly. Same algorithm shape, ~4x less partition I/O.
+With ``quantization="sq8"`` or ``"pq"`` step 3 becomes the *fast scan
+path*: code partitions are scanned with the kind-dispatched quantized
+kernel — the block-fused asymmetric kernel for SQ8 (1 byte/dimension),
+a per-query ADC lookup table for PQ (1 byte/sub-vector) — and the top
+``rerank_factor * k`` approximate candidates are re-scored against
+their full-precision vectors. The delta partition is scanned exactly
+until it outgrows ``delta_quantize_threshold``, after which it is
+lazily encoded in memory. Same algorithm shape, 4-32x less partition
+I/O.
 
 Hybrid plans reuse the same machinery:
 
@@ -44,12 +48,17 @@ from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
 from repro.core.errors import DatabaseClosedError, FilterError
 from repro.core.types import Neighbor, PlanKind, QueryStats, SearchResult
 from repro.query.distance import (
-    asymmetric_distances_to_one,
     distances_to_one,
+    make_code_scorer,
     surface_distance,
 )
 from repro.query.filters import CompileContext, Predicate, default_tokenizer
-from repro.query.heap import TopKHeap, merge_topk, topk_from_distances
+from repro.query.heap import (
+    TopKHeap,
+    merge_topk,
+    push_topk,
+    topk_from_distances,
+)
 from repro.query.pipeline import (
     has_cold_partition,
     release_scratch_payload,
@@ -57,7 +66,7 @@ from repro.query.pipeline import (
 )
 from repro.storage.cache import CachedPartition
 from repro.storage.engine import StorageEngine
-from repro.storage.quantization import SQ8Quantizer
+from repro.storage.quantization import Quantizer
 
 
 #: Total matrix elements above which the distance phase fans out to the
@@ -269,7 +278,7 @@ class QueryExecutor:
         """Post-filter qualifying set, as the serial path computes it."""
         return frozenset(self._qualifying_ids(predicate))
 
-    def scan_quantizer(self) -> SQ8Quantizer | None:
+    def scan_quantizer(self) -> Quantizer | None:
         """The quantizer driving scans, or None (see _scan_quantizer)."""
         return self._scan_quantizer()
 
@@ -360,8 +369,7 @@ class QueryExecutor:
             ):
                 scanned += len(ids)
                 dist = distances_to_one(query, matrix, self._config.metric)
-                for cand in topk_from_distances(ids, dist, k):
-                    heap.push(cand.asset_id, cand.distance)
+                push_topk(heap, ids, dist, k)
         neighbors = self._finalize([heap], k)
 
         io_delta = self._engine.accountant.delta_since(io_before)
@@ -545,6 +553,7 @@ class QueryExecutor:
             (pid for pid, _ in partitions),
             quantized,
             DELTA_PARTITION_ID,
+            delta_codes=self._engine.delta_codes,
         ):
             return None
         io_threads = min(
@@ -693,7 +702,7 @@ class QueryExecutor:
             if len(ids):
                 computed += len(ids)
                 dist = distances_to_one(query, matrix, self._config.metric)
-                heap.push_candidates(topk_from_distances(ids, dist, k))
+                push_topk(heap, ids, dist, k)
             compute_time += time.perf_counter() - start
         outcome = _ScanOutcome(
             vectors_scanned=scanned,
@@ -748,9 +757,7 @@ class QueryExecutor:
                     return
                 state.computed += len(ids)
                 dist = distances_to_one(query, matrix, metric)
-                state.heap.push_candidates(
-                    topk_from_distances(ids, dist, k)
-                )
+                push_topk(state.heap, ids, dist, k)
             finally:
                 if entry.lease is not None:
                     entry.lease.release()
@@ -791,20 +798,19 @@ class QueryExecutor:
         heap = TopKHeap(k)
         for ids, matrix in work:
             dist = distances_to_one(query, matrix, self._config.metric)
-            for cand in topk_from_distances(ids, dist, k):
-                heap.push(cand.asset_id, cand.distance)
+            push_topk(heap, ids, dist, k)
         return heap
 
     # ------------------------------------------------------------------
     # Quantized (sq8) scan path
     # ------------------------------------------------------------------
 
-    def _scan_quantizer(self) -> SQ8Quantizer | None:
+    def _scan_quantizer(self) -> Quantizer | None:
         """The quantizer driving the fast scan, or None for float32.
 
         None either because quantization is off, or because no
-        quantizer has been trained yet (a database opened with sq8 but
-        not yet built) — both fall back to the exact float32 scan.
+        quantizer has been trained yet (a database opened with sq8/pq
+        but not yet built) — both fall back to the exact float32 scan.
         """
         if not self._config.uses_quantization:
             return None
@@ -816,19 +822,23 @@ class QueryExecutor:
         query: np.ndarray,
         k: int,
         qualifying_ids: frozenset[str] | None,
-        quantizer: SQ8Quantizer,
+        quantizer: Quantizer,
     ) -> tuple[list[TopKHeap], _ScanOutcome]:
-        """SQ8 scan: code partitions + exact rerank (tentpole hot path).
+        """Quantized scan: code partitions + exact rerank (hot path).
 
-        Non-delta partitions are read as 1-byte-per-dimension codes —
-        the same sequential range read at a quarter of the bytes — and
-        scored with the asymmetric kernel into bounded heaps of
-        capacity ``rerank_factor * k``. The delta partition (always
-        full-precision, so upserts stay one cheap row write) and any
-        partition without codes (mid-build, or a pre-quantization
-        database) are scanned exactly. The merged approximate top
-        candidates are then re-scored against their float32 vectors,
-        point-fetched by id, and combined with the exact candidates.
+        Non-delta partitions are read as compact codes — the same
+        sequential range read at a fraction of the bytes — and scored
+        with the kind-dispatched kernel (block-fused asymmetric for
+        SQ8, ADC gather+sum against this query's lookup table for PQ;
+        the table is built ONCE here and reused for every partition of
+        the scan) into bounded heaps of capacity ``rerank_factor *
+        k``. The delta partition (full-precision on disk so upserts
+        stay one cheap row write; lazily encoded in memory once past
+        ``delta_quantize_threshold``) and any partition without codes
+        (mid-build, or a pre-quantization database) are scanned
+        exactly. The merged approximate top candidates are then
+        re-scored against their float32 vectors, point-fetched by id,
+        and combined with the exact candidates.
         """
         split = self._pipeline_split(partitions, quantized=True)
         if split is not None:
@@ -839,6 +849,7 @@ class QueryExecutor:
             return self._scan_quantized_adaptive(
                 partitions, query, k, qualifying_ids, quantizer
             )
+        scorer = make_code_scorer(query, quantizer, self._config.metric)
         # Load window, then masking + kernels in the compute window —
         # same phase attribution as the pipelined path (see
         # _scan_partitions).
@@ -874,9 +885,7 @@ class QueryExecutor:
         )
         if workers == 1 or total_elements < _PARALLEL_SCAN_ELEMENTS:
             approx_heaps = [
-                self._scan_codes_work(
-                    approx_work, query, rerank_pool, quantizer
-                )
+                self._scan_codes_work(approx_work, scorer, rerank_pool)
             ]
         else:
             shards: list[list[tuple]] = [[] for _ in range(workers)]
@@ -885,7 +894,7 @@ class QueryExecutor:
             approx_heaps = list(
                 self._worker_pool().map(
                     lambda shard: self._scan_codes_work(
-                        shard, query, rerank_pool, quantizer
+                        shard, scorer, rerank_pool
                     ),
                     shards,
                 )
@@ -900,7 +909,7 @@ class QueryExecutor:
             vectors_scanned=scanned,
             distance_computations=computed + reranked,
             rows_filtered=filtered,
-            scan_mode="sq8",
+            scan_mode=quantizer.kind,
             candidates_reranked=reranked,
             io_time_s=io_time,
             compute_time_s=compute_time,
@@ -913,22 +922,23 @@ class QueryExecutor:
         query: np.ndarray,
         k: int,
         qualifying_ids: frozenset[str] | None,
-        quantizer: SQ8Quantizer,
+        quantizer: Quantizer,
     ) -> tuple[list[TopKHeap], _ScanOutcome]:
-        """Ordered SQ8 load→score loop with adaptive early termination.
+        """Ordered quantized load→score loop with early termination.
 
         The admission bound is the tighter of the approximate heap's
         ``rerank_factor * k``-th distance and the exact heap's k-th.
         The exact side is a true upper bound on the final k-th
         candidate; the approximate side lives in quantized space,
-        where clipping/rounding can understate an exact distance — so
-        under SQ8 the margin must absorb quantization error too, and
-        pruning is a recall heuristic rather than a strict guarantee
-        (bounding on the exact heap alone would almost never fire: it
-        only sees delta and code-less partitions).
+        where quantization can understate an exact distance — so the
+        margin must absorb quantization error too, and pruning is a
+        recall heuristic rather than a strict guarantee (bounding on
+        the exact heap alone would almost never fire: it only sees
+        delta and code-less partitions).
         """
         margin = self._config.adaptive_nprobe_margin
         rerank_pool = max(k, self._config.rerank_factor * k)
+        scorer = make_code_scorer(query, quantizer, self._config.metric)
         approx = TopKHeap(rerank_pool)
         exact = TopKHeap(k)
         io_time = compute_time = 0.0
@@ -952,19 +962,13 @@ class QueryExecutor:
             if len(ids):
                 computed += len(ids)
                 if is_codes:
-                    dist = asymmetric_distances_to_one(
-                        query, matrix, quantizer, self._config.metric
-                    )
-                    approx.push_candidates(
-                        topk_from_distances(ids, dist, rerank_pool)
-                    )
+                    dist = scorer(matrix)
+                    push_topk(approx, ids, dist, rerank_pool)
                 else:
                     dist = distances_to_one(
                         query, matrix, self._config.metric
                     )
-                    exact.push_candidates(
-                        topk_from_distances(ids, dist, k)
-                    )
+                    push_topk(exact, ids, dist, k)
             compute_time += time.perf_counter() - start
         rerank_heap, reranked = self._rerank(
             merge_topk([approx], rerank_pool), query, k
@@ -973,7 +977,7 @@ class QueryExecutor:
             vectors_scanned=scanned,
             distance_computations=computed + reranked,
             rows_filtered=filtered,
-            scan_mode="sq8",
+            scan_mode=quantizer.kind,
             candidates_reranked=reranked,
             io_time_s=io_time,
             compute_time_s=compute_time,
@@ -987,17 +991,20 @@ class QueryExecutor:
         query: np.ndarray,
         k: int,
         qualifying_ids: frozenset[str] | None,
-        quantizer: SQ8Quantizer,
+        quantizer: Quantizer,
         split: tuple[int, int],
     ) -> tuple[list[TopKHeap], _ScanOutcome]:
-        """SQ8 scan through the I/O–compute pipeline.
+        """Quantized scan through the I/O–compute pipeline.
 
         The I/O stage reads code partitions (falling back to float32
-        for the delta and code-less partitions, exactly like the serial
-        path); each compute worker keeps an approx heap of capacity
-        ``rerank_factor * k`` fed by the fused int8 kernel plus an
-        exact heap for full-precision payloads. The merged approximate
-        candidates are reranked once the pipeline drains.
+        for code-less partitions and the under-threshold delta,
+        exactly like the serial path); each compute worker keeps an
+        approx heap of capacity ``rerank_factor * k`` fed by the
+        kind-dispatched code kernel (the shared scorer closes over
+        this query's ADC table under PQ — read-only state, safe across
+        workers) plus an exact heap for full-precision payloads. The
+        merged approximate candidates are reranked once the pipeline
+        drains.
         """
         engine = self._engine
         metric = self._config.metric
@@ -1005,6 +1012,7 @@ class QueryExecutor:
         io_threads, compute_workers = split
         margin = self._config.adaptive_nprobe_margin
         tracker = SharedKthTracker() if margin is not None else None
+        scorer = make_code_scorer(query, quantizer, metric)
 
         def load(item: tuple[int, float]):
             entry, is_codes = engine.load_scan_entry(
@@ -1030,17 +1038,11 @@ class QueryExecutor:
                     return
                 state.computed += len(ids)
                 if is_codes:
-                    dist = asymmetric_distances_to_one(
-                        query, matrix, quantizer, metric
-                    )
-                    state.approx.push_candidates(
-                        topk_from_distances(ids, dist, rerank_pool)
-                    )
+                    dist = scorer(matrix)
+                    push_topk(state.approx, ids, dist, rerank_pool)
                 else:
                     dist = distances_to_one(query, matrix, metric)
-                    state.exact.push_candidates(
-                        topk_from_distances(ids, dist, k)
-                    )
+                    push_topk(state.exact, ids, dist, k)
             finally:
                 if entry.lease is not None:
                     entry.lease.release()
@@ -1075,7 +1077,7 @@ class QueryExecutor:
             distance_computations=sum(s.computed for s in states)
             + reranked,
             rows_filtered=sum(s.filtered for s in states),
-            scan_mode="sq8",
+            scan_mode=quantizer.kind,
             candidates_reranked=reranked,
             io_time_s=outcome.io_s,
             compute_time_s=outcome.compute_s,
@@ -1086,18 +1088,19 @@ class QueryExecutor:
     def _scan_codes_work(
         self,
         work: list[tuple[list[str] | tuple[str, ...], np.ndarray]],
-        query: np.ndarray,
+        scorer,
         capacity: int,
-        quantizer: SQ8Quantizer,
     ) -> TopKHeap:
-        """One worker's share of the asymmetric code scan."""
+        """One worker's share of the coded-partition scan.
+
+        ``scorer`` is this query's :func:`make_code_scorer` closure —
+        shared across shards so PQ's ADC table is built once per query,
+        not once per worker.
+        """
         heap = TopKHeap(capacity)
         for ids, codes in work:
-            dist = asymmetric_distances_to_one(
-                query, codes, quantizer, self._config.metric
-            )
-            for cand in topk_from_distances(ids, dist, capacity):
-                heap.push(cand.asset_id, cand.distance)
+            dist = scorer(codes)
+            push_topk(heap, ids, dist, capacity)
         return heap
 
     def _rerank(

@@ -148,6 +148,47 @@ def merge_topk(heaps: list[TopKHeap], k: int) -> list[Candidate]:
     return out
 
 
+def push_topk(
+    heap: TopKHeap,
+    asset_ids: list[str] | tuple[str, ...],
+    distances,
+    k: int | None = None,
+) -> None:
+    """Fold one partition's distance vector into a bounded heap.
+
+    Equivalent to ``heap.push_candidates(topk_from_distances(...))``
+    — bit-identical retained set — but prunes against the heap's
+    current worst *before* any per-candidate Python work: a row whose
+    distance exceeds the current k-th candidate can never be retained
+    (``push`` would reject it), so it never becomes a ``Candidate``
+    object or a heap operation. With partitions scanned in centroid-
+    distance order the bound tightens after the first partition and
+    the per-partition object churn collapses from O(pool) to O(rows
+    that can still win) — the difference that keeps deep rerank pools
+    (PQ wants ``rerank_factor`` 8-16) off the scan's critical path,
+    and off the GIL that the pipeline's I/O threads share. Rows tied
+    with the worst are kept: a tie can still win on the asset-id
+    tie-break. The bound is read once (stale-but-conservative while
+    the loop pushes): only ever a superset of what ``push`` retains.
+    """
+    import numpy as np
+
+    dist = np.asarray(distances)
+    if dist.shape[0] == 0:
+        return
+    worst = heap.worst_distance()
+    if worst != float("inf"):
+        idx = np.flatnonzero(dist <= worst)
+        if idx.size == 0:
+            return
+        asset_ids = [asset_ids[i] for i in idx]
+        dist = dist[idx]
+    for cand in topk_from_distances(
+        asset_ids, dist, heap.capacity if k is None else k
+    ):
+        heap.push(cand.asset_id, cand.distance)
+
+
 def topk_from_distances(
     asset_ids: list[str] | tuple[str, ...],
     distances,

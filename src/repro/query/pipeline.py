@@ -57,25 +57,33 @@ def is_partition_cold(
     partition_id: int,
     use_codes: bool,
     delta_partition_id: int,
+    delta_codes=None,
 ) -> bool:
-    """Whether one partition misses its (float or codes) LRU.
+    """Whether one partition misses its (float or codes) cache.
 
     The per-partition coldness rule behind pipeline engagement and the
     serving scheduler's per-query cache attribution: with ``use_codes``
     (a quantized scan), non-delta partitions are read from the codes
-    cache and the delta from the float cache, exactly mirroring the
-    load path — including the fallback: a cached *empty* codes entry
-    marks a code-less partition (pre-quantization data, mid-build)
-    whose scan falls through to the full float32 read, so it only
-    counts as warm if the float cache holds it too. Single-query and
-    batch executors must agree on all of this or their pipelines
-    silently diverge.
+    cache and the delta from its lazily-encoded codes slot
+    (``delta_codes``, the engine's ``DeltaCodesCache``) falling back
+    to the float cache, exactly mirroring the load path — including
+    the fallback: a cached *empty* codes entry marks a code-less
+    partition (pre-quantization data, mid-build) whose scan falls
+    through to the full float32 read, so it only counts as warm if the
+    float cache holds it too. Single-query and batch executors must
+    agree on all of this or their pipelines silently diverge.
     """
     if use_codes and partition_id != delta_partition_id:
         entry = codes_cache.get(partition_id)
         if entry is None:
             return True
         return len(entry) == 0 and partition_id not in cache
+    if (
+        use_codes
+        and delta_codes is not None
+        and delta_codes.get() is not None
+    ):
+        return False
     return partition_id not in cache
 
 
@@ -85,11 +93,17 @@ def has_cold_partition(
     partition_ids,
     use_codes: bool,
     delta_partition_id: int,
+    delta_codes=None,
 ) -> bool:
-    """Whether any selected partition misses its (float or codes) LRU."""
+    """Whether any selected partition misses its (float or codes) cache."""
     return any(
         is_partition_cold(
-            cache, codes_cache, pid, use_codes, delta_partition_id
+            cache,
+            codes_cache,
+            pid,
+            use_codes,
+            delta_partition_id,
+            delta_codes=delta_codes,
         )
         for pid in partition_ids
     )

@@ -54,10 +54,7 @@ import numpy as np
 from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
 from repro.core.errors import DatabaseClosedError
 from repro.core.types import PlanKind, QueryStats, SearchResult
-from repro.query.distance import (
-    asymmetric_distances_to_one,
-    distances_to_one,
-)
+from repro.query.distance import distances_to_one, make_code_scorer
 from repro.query.executor import QueryExecutor, _masked, adaptive_skip
 from repro.query.heap import TopKHeap, merge_topk, topk_from_distances
 from repro.query.pipeline import is_partition_cold
@@ -91,11 +88,11 @@ class _ScanTask:
 
     __slots__ = (
         "query", "k", "nprobe", "qualifying_ids", "plan", "stats_extra",
-        "setup_fn", "future", "quantizer", "rerank_pool", "heap",
-        "approx", "exact", "pending", "num_selected", "lock", "failed",
-        "finished", "scanned", "computed", "filtered", "skipped",
-        "shared_hits", "cache_hits", "cache_misses", "bytes_read",
-        "io_s", "compute_s", "submit_t", "admit_t",
+        "setup_fn", "future", "quantizer", "scorer", "rerank_pool",
+        "heap", "approx", "exact", "pending", "num_selected", "lock",
+        "failed", "finished", "scanned", "computed", "filtered",
+        "skipped", "shared_hits", "cache_hits", "cache_misses",
+        "bytes_read", "io_s", "compute_s", "submit_t", "admit_t",
     )
 
     def __init__(
@@ -117,6 +114,7 @@ class _ScanTask:
         self.setup_fn = setup_fn
         self.future: Future = Future()
         self.quantizer = None
+        self.scorer = None
         self.rerank_pool = k
         self.heap: TopKHeap | None = None
         self.approx: TopKHeap | None = None
@@ -144,12 +142,20 @@ class _ScanTask:
         partitions: list[tuple[int, float]],
         quantizer,
         rerank_factor: int,
+        metric: str,
     ) -> None:
-        """Set up heaps + pending set once the probe set is known."""
+        """Set up heaps + pending set once the probe set is known.
+
+        The code scorer is per-query state by construction: under PQ
+        it closes over THIS query's ADC lookup table, so a partition
+        read coalesced across N queries is decoded once and scored N
+        times, each consumer against its own table.
+        """
         self.quantizer = quantizer
         self.num_selected = len(partitions)
         self.pending = {pid for pid, _ in partitions}
         if quantizer is not None:
+            self.scorer = make_code_scorer(self.query, quantizer, metric)
             self.rerank_pool = max(self.k, rerank_factor * self.k)
             self.approx = TopKHeap(self.rerank_pool)
             self.exact = TopKHeap(self.k)
@@ -200,9 +206,7 @@ class _ScanTask:
         if len(ids):
             if is_codes:
                 keep = self.rerank_pool
-                dist = asymmetric_distances_to_one(
-                    self.query, matrix, self.quantizer, metric
-                )
+                dist = self.scorer(matrix)
             else:
                 dist = distances_to_one(self.query, matrix, metric)
             candidates = topk_from_distances(ids, dist, keep)
@@ -405,7 +409,12 @@ class QueryScheduler:
                 task.query, task.nprobe
             )
         quantizer = self._executor.scan_quantizer()
-        task.prepare(partitions, quantizer, self._config.rerank_factor)
+        task.prepare(
+            partitions,
+            quantizer,
+            self._config.rerank_factor,
+            self._config.metric,
+        )
         use_codes = quantizer is not None
         with self._cv:
             for pid, cdist in partitions:
@@ -468,6 +477,7 @@ class QueryScheduler:
             job.pid,
             job.use_codes,
             DELTA_PARTITION_ID,
+            delta_codes=engine.delta_codes,
         )
         # The load-ahead slot is held from here until the payload has
         # been scored (or the load failed).
@@ -664,7 +674,11 @@ class QueryScheduler:
             cache_misses=task.cache_misses,
             bytes_read=task.bytes_read,
             latency_s=now - task.submit_t,
-            scan_mode="sq8" if task.quantizer is not None else "float32",
+            scan_mode=(
+                task.quantizer.kind
+                if task.quantizer is not None
+                else "float32"
+            ),
             candidates_reranked=reranked,
             io_time_ms=task.io_s * 1e3,
             compute_time_ms=task.compute_s * 1e3,

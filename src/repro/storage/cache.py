@@ -32,6 +32,9 @@ CODES_CACHE_CATEGORY = "codes_cache"
 #: Memory-tracker category used for pipeline scratch buffers.
 SCRATCH_CATEGORY = "scratch_buffers"
 
+#: Memory-tracker category used for the lazily encoded delta codes.
+DELTA_CODES_CATEGORY = "delta_codes"
+
 #: Fixed per-row byte overhead charged for row identities (asset and
 #: vector ids) in cache accounting; admission estimates made before
 #: decoding must use the same constant or they drift from ``put``.
@@ -174,6 +177,79 @@ class PartitionCache:
         # Caller holds self._lock.
         if self._tracker is not None:
             self._tracker.set_category(self._category, self._used)
+
+
+class DeltaCodesCache:
+    """Single-slot cache of the lazily quantized delta partition.
+
+    The delta partition is deliberately full-precision *on disk* — an
+    upsert stays one row write — but it is also scanned by EVERY query,
+    so a delta that has grown to thousands of vectors makes each scan
+    re-read (and exactly score) the one partition quantization cannot
+    shrink. Once the delta crosses ``delta_quantize_threshold``, the
+    engine encodes it with the active quantizer on first scan and parks
+    the codes here; later scans score the cached codes through the
+    same rerank machinery as any coded partition.
+
+    A single slot rather than a seat in the byte-budgeted LRUs because
+    the entry's lifetime is write-bound, not capacity-bound: every
+    delta write invalidates it (the very next scan must see the new
+    vector), and it must survive even a zero cache budget — the
+    cache-less device profile is exactly where re-reading the float32
+    delta hurts most. Residency is tracked under
+    :data:`DELTA_CODES_CATEGORY`; the entry is at most
+    ``delta_rows x code_width`` bytes.
+    """
+
+    def __init__(self, tracker: MemoryTracker | None = None) -> None:
+        self._tracker = tracker
+        self._lock = threading.Lock()
+        self._entry: CachedPartition | None = None
+        self._generation = 0
+
+    def generation(self) -> int:
+        """Invalidation counter; read BEFORE loading the delta rows.
+
+        The write-visibility guard: an encoder snapshots this value,
+        reads and encodes the delta, and hands the value back to
+        :meth:`put`. A delta write that commits in between bumps the
+        counter (via :meth:`invalidate`), so the stale entry is
+        rejected instead of cached — without this, a scan racing an
+        upsert could install pre-upsert codes that every later scan
+        would serve, hiding the fresh vector until the next write.
+        """
+        with self._lock:
+            return self._generation
+
+    def get(self) -> CachedPartition | None:
+        with self._lock:
+            return self._entry
+
+    def put(self, entry: CachedPartition, generation: int) -> bool:
+        """Install codes encoded at ``generation``; False if stale."""
+        with self._lock:
+            if generation != self._generation:
+                return False
+            self._entry = entry
+            self._sync_tracker()
+            return True
+
+    def invalidate(self) -> None:
+        """Drop the cached codes (any delta write, purge, or retrain)."""
+        with self._lock:
+            self._generation += 1
+            self._entry = None
+            self._sync_tracker()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return 0 if self._entry is None else len(self._entry)
+
+    def _sync_tracker(self) -> None:
+        # Caller holds self._lock.
+        if self._tracker is not None:
+            nbytes = 0 if self._entry is None else self._entry.nbytes
+            self._tracker.set_category(DELTA_CODES_CATEGORY, nbytes)
 
 
 #: Scratch buffers are rounded up to a multiple of this, so buffers are

@@ -16,10 +16,11 @@ Implements the paper's physical design (§3.2, §3.6):
 - **Partition cache**: reads of whole partitions go through a
   byte-budgeted LRU of decoded matrices (the page-cache analog); cold
   start purges it, warm-up queries populate it.
-- **Quantized codes** (``quantization="sq8"``): a parallel clustered
-  table of 1-byte-per-dimension scan codes, with its own LRU, serving
-  the fast scan path; float32 blobs stay authoritative for reranking,
-  and the codes table is absent entirely in the default float mode.
+- **Quantized codes** (``quantization="sq8"``/``"pq"``): a parallel
+  clustered table of compact scan codes (1 byte per dimension for SQ8,
+  1 byte per sub-vector for PQ), with its own LRU, serving the fast
+  scan path; float32 blobs stay authoritative for reranking, and the
+  codes table is absent entirely in the default float mode.
 
 The engine knows nothing about distances, filters or query plans — it
 stores and retrieves rows. Higher layers compose it.
@@ -49,6 +50,7 @@ from repro.storage.cache import (
     CODES_CACHE_CATEGORY,
     ROW_ID_OVERHEAD_BYTES,
     CachedPartition,
+    DeltaCodesCache,
     PartitionCache,
     ScratchBufferPool,
     ScratchLease,
@@ -66,7 +68,7 @@ from repro.storage.codec import (
 )
 from repro.storage.iomodel import IOAccountant
 from repro.storage.memory import MemoryTracker
-from repro.storage.quantization import SQ8Quantizer
+from repro.storage.quantization import Quantizer, quantizer_from_json
 
 #: Estimated fixed per-row storage overhead, used for byte accounting.
 _ROW_OVERHEAD_BYTES = 24
@@ -144,8 +146,15 @@ class StorageEngine:
         self.scratch = ScratchBufferPool(
             config.device.scratch_buffer_bytes, tracker=self._tracker
         )
+        # Blob width of one stored scan code: dim bytes for sq8, M for
+        # pq — the single constant the codes codec paths decode with.
+        self._code_width = config.scan_code_width
+        # Lazily encoded delta codes (see DeltaCodesCache): populated
+        # by the first quantized scan of an over-threshold delta,
+        # dropped by every delta write.
+        self.delta_codes = DeltaCodesCache(tracker=self._tracker)
         self._quantizer_lock = threading.Lock()
-        self._quantizer: SQ8Quantizer | None = None
+        self._quantizer: Quantizer | None = None
         self._quantizer_loaded = False
         self._centroid_cache: tuple[np.ndarray, np.ndarray] | None = None
         self._centroid_cache_lock = threading.Lock()
@@ -210,6 +219,7 @@ class StorageEngine:
             self._writer.close()
         self.cache.clear()
         self.codes_cache.clear()
+        self.delta_codes.invalidate()
         self.scratch.drain()
         self._drop_centroid_cache()
         if self._tempdir is not None:
@@ -394,6 +404,10 @@ class StorageEngine:
                 )
                 self._write_attributes(conn, record, attr_names)
         self.cache.invalidate(DELTA_PARTITION_ID)
+        if self._use_quantization:
+            # The fresh vectors are in the delta; cached delta codes
+            # predate them and must not serve another scan.
+            self.delta_codes.invalidate()
         self._invalidate_partitions_of(records)
         return len(records)
 
@@ -525,6 +539,11 @@ class StorageEngine:
                 self.cache.invalidate(pid)
         if self._use_quantization:
             self._invalidate_codes_for(touched)
+            delta_entry = self.delta_codes.get()
+            if delta_entry is not None and touched.intersection(
+                delta_entry.asset_ids
+            ):
+                self.delta_codes.invalidate()
         return deleted
 
     # ------------------------------------------------------------------
@@ -616,6 +635,9 @@ class StorageEngine:
                 )
         self.cache.clear()
         self.codes_cache.clear()
+        # A flush moves rows OUT of the delta; cached delta codes
+        # would resurrect them in their old location.
+        self.delta_codes.invalidate()
         return len(moves)
 
     # ------------------------------------------------------------------
@@ -689,28 +711,30 @@ class StorageEngine:
         use_scratch: bool,
         decode: Callable[[list[bytes], int], np.ndarray],
         decode_into: Callable[[list[bytes], int, np.ndarray], np.ndarray],
+        width: int,
     ) -> tuple[np.ndarray, ScratchLease | None]:
         """Decode partition blobs, through scratch when never-cacheable.
 
+        ``width`` is the per-row element count: ``dim`` for float32
+        partitions and SQ8 codes, ``pq_num_subvectors`` for PQ codes.
         ``use_scratch`` loads that ``cache`` could not admit anyway
         (the admission estimate uses the same per-row constant as
         ``CachedPartition.nbytes``) are decoded into a pooled scratch
         lease, returned alongside the matrix for the caller to release
         after scoring; everything else decodes into a fresh matrix.
         """
-        dim = self._config.dim
         if use_scratch and blobs:
-            nbytes = len(blobs) * dim * dtype.itemsize
+            nbytes = len(blobs) * width * dtype.itemsize
             estimate = nbytes + ROW_ID_OVERHEAD_BYTES * len(blobs)
             if not cache.would_admit(estimate):
                 lease = self.scratch.checkout(nbytes)
                 try:
-                    out = lease.array((len(blobs), dim), dtype)
-                    return decode_into(blobs, dim, out), lease
+                    out = lease.array((len(blobs), width), dtype)
+                    return decode_into(blobs, width, out), lease
                 except BaseException:
                     lease.release()
                     raise
-        return decode(blobs, dim), None
+        return decode(blobs, width), None
 
     def load_partition(
         self,
@@ -748,6 +772,7 @@ class StorageEngine:
             use_scratch,
             decode_matrix,
             decode_matrix_into,
+            width=self._config.dim,
         )
         entry = CachedPartition(
             partition_id=partition_id,
@@ -893,14 +918,31 @@ class StorageEngine:
         return {int(pid): int(count) for pid, count in rows}
 
     # ------------------------------------------------------------------
-    # Quantized codes (sq8)
+    # Quantized codes (sq8 / pq)
     # ------------------------------------------------------------------
 
-    #: meta-table key holding the serialized trained quantizer.
+    #: meta-table key holding the serialized trained SQ8 quantizer.
     QUANTIZER_META_KEY = "sq8_quantizer"
+    #: meta-table key holding the serialized trained PQ quantizer.
+    PQ_QUANTIZER_META_KEY = "pq_quantizer"
 
-    def load_quantizer(self) -> SQ8Quantizer | None:
-        """The trained SQ8 quantizer, or None before the first build.
+    @property
+    def quantizer_meta_key(self) -> str:
+        """The meta key of the configured scheme's trained quantizer.
+
+        Kind-specific keys (plus :meth:`rebuild_codes` dropping the
+        other kind's row) make mode switches safe: a database built
+        under sq8 and reopened with ``quantization="pq"`` simply has no
+        trained PQ quantizer yet and falls back to float32 scans until
+        the next build retrains — it can never mis-parse the other
+        scheme's payload or scan codes of the wrong width.
+        """
+        if self._config.quantization == "pq":
+            return self.PQ_QUANTIZER_META_KEY
+        return self.QUANTIZER_META_KEY
+
+    def load_quantizer(self) -> Quantizer | None:
+        """The trained quantizer, or None before the first build.
 
         Cached in memory; :meth:`rebuild_codes` refreshes the cache
         when it persists a retrained quantizer, so readers never
@@ -912,10 +954,19 @@ class StorageEngine:
         with self._quantizer_lock:
             if self._quantizer_loaded:
                 return self._quantizer
-        payload = self.get_meta(self.QUANTIZER_META_KEY)
+        payload = self.get_meta(self.quantizer_meta_key)
         quantizer = (
-            SQ8Quantizer.from_json(payload) if payload is not None else None
+            quantizer_from_json(payload) if payload is not None else None
         )
+        if (
+            quantizer is not None
+            and quantizer.kind != self._config.quantization
+        ):
+            raise StorageError(
+                f"persisted quantizer kind {quantizer.kind!r} does not "
+                f"match configured quantization "
+                f"{self._config.quantization!r}"
+            )
         with self._quantizer_lock:
             self._quantizer = quantizer
             self._quantizer_loaded = True
@@ -927,10 +978,11 @@ class StorageEngine:
         use_cache: bool = True,
         use_scratch: bool = False,
     ) -> CachedPartition:
-        """Load one partition's SQ8 codes as a decoded uint8 matrix.
+        """Load one partition's scan codes as a decoded uint8 matrix.
 
         This is the fast scan path's read: same clustered range scan as
-        :meth:`load_partition` at a quarter of the bytes. Returns an
+        :meth:`load_partition` at a fraction of the bytes (1/4 for SQ8,
+        ``M / (4 * dim)`` for PQ). Returns an
         empty entry when the partition has no code rows (e.g. mid-build
         or for a database created before quantization was enabled);
         callers fall back to the float32 scan for that partition.
@@ -958,6 +1010,7 @@ class StorageEngine:
             use_scratch,
             decode_code_matrix,
             decode_code_matrix_into,
+            width=self._code_width,
         )
         entry = CachedPartition(
             partition_id=partition_id,
@@ -986,14 +1039,22 @@ class StorageEngine:
         """One partition read for an ANN scan: (entry, is_codes).
 
         THE single definition of the scan-path load rule: quantized
-        scans read code partitions, except the delta (always full
-        precision) and code-less partitions (mid-build, or data
-        predating quantization), which fall back to the float32 read.
-        Both executors and the pipeline's coldness heuristic
+        scans read code partitions, except code-less partitions
+        (mid-build, or data predating quantization), which fall back
+        to the float32 read. The delta is full-precision on disk and
+        normally scanned exactly; once it outgrows
+        ``delta_quantize_threshold`` it is lazily encoded in memory
+        (:meth:`_delta_codes_entry`) and scanned as codes like any
+        other coded partition. Both executors and the pipeline's
+        coldness heuristic
         (:func:`repro.query.pipeline.has_cold_partition`) must track
         this rule — keep them in sync when it changes.
         """
-        if quantized and partition_id != DELTA_PARTITION_ID:
+        if quantized and partition_id == DELTA_PARTITION_ID:
+            entry = self._delta_codes_entry()
+            if entry is not None and len(entry):
+                return entry, True
+        elif quantized:
             entry = self.load_partition_codes(
                 partition_id, use_scratch=use_scratch
             )
@@ -1004,8 +1065,52 @@ class StorageEngine:
             False,
         )
 
+    def _delta_codes_entry(self) -> CachedPartition | None:
+        """Lazily encoded delta codes, or None to scan exactly.
+
+        The quantized-delta rule (ROADMAP "quantized delta" item): the
+        delta stays full-precision on disk so upserts remain one row
+        write, but once it holds ``delta_quantize_threshold`` vectors
+        a quantized scan encodes it ONCE with the active quantizer and
+        caches the codes in memory — heavy-upsert workloads then stop
+        paying a growing exact float32 scan on every query. Any delta
+        write (or purge, or quantizer retrain) invalidates the entry.
+        The first scan past the threshold still reads the float32
+        delta (that read is accounted normally); every later scan is
+        served from memory at zero bytes.
+        """
+        threshold = self._config.delta_quantize_threshold
+        if threshold is None:
+            return None
+        cached = self.delta_codes.get()
+        if cached is not None:
+            self._accountant.record_cache_hit()
+            return cached
+        quantizer = self.load_quantizer()
+        if quantizer is None:
+            return None
+        # Generation first, THEN the snapshot read: a delta write
+        # committing between the two bumps the generation, so the
+        # (pre-write) entry below is rejected by put() instead of
+        # masking the fresh vector from every later scan. This scan
+        # still uses the entry — it matches the snapshot it read.
+        generation = self.delta_codes.generation()
+        if self.delta_size() < threshold:
+            return None
+        source = self.load_partition(DELTA_PARTITION_ID)
+        if len(source) == 0:
+            return None
+        entry = CachedPartition(
+            partition_id=DELTA_PARTITION_ID,
+            asset_ids=source.asset_ids,
+            vector_ids=source.vector_ids,
+            matrix=quantizer.encode(source.matrix),
+        )
+        self.delta_codes.put(entry, generation)
+        return entry
+
     def rebuild_codes(
-        self, quantizer: SQ8Quantizer, batch_size: int = 4096
+        self, quantizer: Quantizer, batch_size: int = 4096
     ) -> int:
         """Persist ``quantizer`` and re-encode every indexed vector.
 
@@ -1014,12 +1119,19 @@ class StorageEngine:
         streamed through the quantizer in bounded batches, so peak
         memory stays at one batch. The quantizer's meta row commits in
         the SAME transaction as the codes — they are one unit; a crash
-        can never pair new codes with an old quantizer or vice versa.
+        can never pair new codes with an old quantizer or vice versa
+        (the other scheme's stale meta row is dropped there too, so a
+        later mode switch can never decode codes at the wrong width).
         Returns the number of codes written.
         """
         self._check_open()
         if not self._use_quantization:
             raise StorageError("quantization is not enabled for this database")
+        if quantizer.kind != self._config.quantization:
+            raise StorageError(
+                f"quantizer kind {quantizer.kind!r} does not match "
+                f"configured quantization {self._config.quantization!r}"
+            )
         if quantizer.dim != self._config.dim:
             raise StorageError(
                 f"quantizer has dim={quantizer.dim}, "
@@ -1031,8 +1143,16 @@ class StorageEngine:
             conn.execute(
                 "INSERT INTO meta (key, value) VALUES (?, ?) "
                 "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
-                (self.QUANTIZER_META_KEY, quantizer.to_json()),
+                (self.quantizer_meta_key, quantizer.to_json()),
             )
+            for stale_key in (
+                self.QUANTIZER_META_KEY,
+                self.PQ_QUANTIZER_META_KEY,
+            ):
+                if stale_key != self.quantizer_meta_key:
+                    conn.execute(
+                        "DELETE FROM meta WHERE key=?", (stale_key,)
+                    )
             conn.execute("DELETE FROM vector_codes")
             cursor = conn.execute(
                 "SELECT partition_id, asset_id, vector_id, vector "
@@ -1060,10 +1180,12 @@ class StorageEngine:
             self._quantizer = quantizer
             self._quantizer_loaded = True
         self.codes_cache.clear()
+        # Cached delta codes were encoded under the replaced quantizer.
+        self.delta_codes.invalidate()
         return written
 
     def count_codes(self) -> int:
-        """Number of vectors with a stored SQ8 code row."""
+        """Number of vectors with a stored quantized code row."""
         self._check_open()
         if not self._use_quantization:
             return 0
@@ -1212,6 +1334,7 @@ class StorageEngine:
         try:
             self.cache.clear()
             self.codes_cache.clear()
+            self.delta_codes.invalidate()
             self.scratch.drain()
             self._drop_centroid_cache()
             with self._os_cache_lock:
@@ -1295,7 +1418,7 @@ class StorageEngine:
                 # vector in a quantized partition is invisible to the
                 # fast scan path (e.g. a crash between an assignment
                 # commit and a code rewrite).
-                if self.get_meta(self.QUANTIZER_META_KEY) is not None:
+                if self.get_meta(self.quantizer_meta_key) is not None:
                     uncoded = conn.execute(
                         "SELECT COUNT(*) FROM vectors v "
                         "WHERE v.partition_id != ? "
@@ -1307,8 +1430,8 @@ class StorageEngine:
                     if uncoded:
                         problems.append(
                             f"{uncoded} indexed vectors have no "
-                            "quantized code (invisible to sq8 scans; "
-                            "rebuild the index to re-encode)"
+                            "quantized code (invisible to quantized "
+                            "scans; rebuild the index to re-encode)"
                         )
                 # A code row must shadow a float row in the same
                 # partition; the delta is never quantized.

@@ -1,0 +1,272 @@
+"""Property tests for the product quantizer and its ADC scan kernel.
+
+Three contracts:
+
+1. **Numerical** — ADC lookup-table distances must match the
+   dequantize-then-GEMM reference (distances to the reconstructions)
+   to within float32 tolerance for any codebooks/codes/query
+   hypothesis can produce, on every metric. The reference is exactly
+   what the quantization-error-bounded rerank assumes.
+2. **Determinism** — encoding is a pure function of (data, codebooks):
+   re-encoding, and encoding through a JSON-round-tripped quantizer,
+   yields byte-identical codes.
+3. **Memory** — the ADC kernel must never materialize a float32 copy
+   of the partition (its transient is the (n, M) gathered block), in
+   contrast to the reference kernel it is tested against.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.storage.codec import decode_code_matrix, encode_code_matrix
+from repro.storage.quantization import (
+    ProductQuantizer,
+    quantizer_from_json,
+)
+from repro.query.distance import (
+    adc_distances_to_one,
+    adc_lookup_table,
+    adc_pairwise_distances,
+    adc_scores,
+    dequantized_pairwise_distances,
+)
+
+
+def pq_cases(max_magnitude: float = 1e3):
+    """(training matrix, queries, num_subvectors) of matching dim."""
+    max_magnitude = float(np.float32(max_magnitude))
+    elements = st.floats(
+        min_value=-max_magnitude,
+        max_value=max_magnitude,
+        allow_nan=False,
+        allow_infinity=False,
+        width=32,
+    )
+    return st.tuples(
+        st.integers(min_value=1, max_value=4),  # M
+        st.integers(min_value=1, max_value=4),  # dsub
+    ).flatmap(
+        lambda md: st.tuples(
+            st.integers(min_value=1, max_value=40).flatmap(
+                lambda n: arrays(
+                    np.float32, (n, md[0] * md[1]), elements=elements
+                )
+            ),
+            st.integers(min_value=1, max_value=5).flatmap(
+                lambda q: arrays(
+                    np.float32, (q, md[0] * md[1]), elements=elements
+                )
+            ),
+            st.just(md[0]),
+        )
+    )
+
+
+def assert_matches_reference(matrix, queries, num_subvectors, metric):
+    quantizer = ProductQuantizer.train(matrix, num_subvectors, seed=7)
+    codes = quantizer.encode(matrix)
+    adc = adc_pairwise_distances(queries, codes, quantizer, metric)
+    ref = dequantized_pairwise_distances(queries, codes, quantizer, metric)
+    assert adc.shape == ref.shape
+    assert adc.dtype == np.float32
+    # Same association-order slack as the fused-kernel property tests:
+    # the reference's GEMM expansion cancels catastrophically when the
+    # operand magnitudes dwarf the distance, so the tolerance scales
+    # with the magnitudes entering the subtraction.
+    magnitude = np.maximum(np.abs(ref), 1.0)
+    if metric != "cosine":
+        scale = float(
+            np.max(np.abs(matrix), initial=1.0)
+            * np.max(np.abs(queries), initial=1.0)
+        )
+        magnitude = np.maximum(magnitude, scale)
+    tol = 2e-4 * magnitude
+    assert np.all(np.abs(adc - ref) <= tol)
+
+
+class TestAdcMatchesReference:
+    @given(pq_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_l2(self, case):
+        matrix, queries, m = case
+        assert_matches_reference(matrix, queries, m, "l2")
+
+    @given(pq_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_cosine(self, case):
+        matrix, queries, m = case
+        assert_matches_reference(matrix, queries, m, "cosine")
+
+    @given(pq_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_dot(self, case):
+        matrix, queries, m = case
+        assert_matches_reference(matrix, queries, m, "dot")
+
+    @given(pq_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_to_one_is_each_pairwise_row(self, case):
+        # The MQO parity contract: every batch-kernel row must be
+        # bit-identical to the single-query kernel's output.
+        matrix, queries, m = case
+        quantizer = ProductQuantizer.train(matrix, m, seed=7)
+        codes = quantizer.encode(matrix)
+        pairwise = adc_pairwise_distances(queries, codes, quantizer, "l2")
+        for row in range(queries.shape[0]):
+            single = adc_distances_to_one(
+                queries[row], codes, quantizer, "l2"
+            )
+            assert np.array_equal(pairwise[row], single)
+
+
+class TestDeterminism:
+    @given(pq_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_encode_is_deterministic(self, case):
+        matrix, _, m = case
+        quantizer = ProductQuantizer.train(matrix, m, seed=7)
+        assert np.array_equal(
+            quantizer.encode(matrix), quantizer.encode(matrix)
+        )
+
+    @given(pq_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_training_is_deterministic(self, case):
+        matrix, _, m = case
+        a = ProductQuantizer.train(matrix, m, seed=7)
+        b = ProductQuantizer.train(matrix, m, seed=7)
+        assert np.array_equal(a.codebooks, b.codebooks)
+
+    @given(pq_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_json_round_trip_preserves_codes(self, case):
+        # float32 values survive the float64 JSON round trip exactly,
+        # so a reopened database re-encodes bit-identically.
+        matrix, _, m = case
+        quantizer = ProductQuantizer.train(matrix, m, seed=7)
+        restored = quantizer_from_json(quantizer.to_json())
+        assert isinstance(restored, ProductQuantizer)
+        assert np.array_equal(restored.codebooks, quantizer.codebooks)
+        assert np.array_equal(
+            restored.encode(matrix), quantizer.encode(matrix)
+        )
+
+    @given(pq_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruction_is_a_fixed_point(self, case):
+        # decode∘encode∘decode == decode (a reconstruction re-encodes
+        # to an equally-near centroid, possibly a duplicate, but its
+        # reconstruction is unchanged).
+        matrix, _, m = case
+        quantizer = ProductQuantizer.train(matrix, m, seed=7)
+        recon = quantizer.decode(quantizer.encode(matrix))
+        again = quantizer.decode(quantizer.encode(recon))
+        assert np.array_equal(recon, again)
+
+    @given(pq_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_code_blob_round_trip(self, case):
+        matrix, _, m = case
+        quantizer = ProductQuantizer.train(matrix, m, seed=7)
+        codes = quantizer.encode(matrix)
+        blobs = encode_code_matrix(codes)
+        assert all(len(b) == quantizer.code_width for b in blobs)
+        assert np.array_equal(
+            decode_code_matrix(blobs, quantizer.code_width), codes
+        )
+
+
+class TestShapesAndErrors:
+    def test_codes_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(300, 12)).astype(np.float32)
+        quantizer = ProductQuantizer.train(matrix, 4, seed=0)
+        codes = quantizer.encode(matrix)
+        assert codes.shape == (300, 4)
+        assert codes.dtype == np.uint8
+        assert int(codes.max()) < quantizer.num_centroids
+
+    def test_indivisible_dim_raises(self):
+        from repro.core.errors import StorageError
+
+        matrix = np.zeros((10, 10), dtype=np.float32)
+        with pytest.raises(StorageError, match="divide dim"):
+            ProductQuantizer.train(matrix, 3)
+
+    def test_width_mismatch_raises(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(50, 8)).astype(np.float32)
+        quantizer = ProductQuantizer.train(matrix, 4, seed=0)
+        table = adc_lookup_table(matrix[0], quantizer, "l2")
+        bad = np.zeros((5, 3), dtype=np.uint8)
+        with pytest.raises(ValueError, match="code width"):
+            adc_scores(table, bad)
+
+    def test_empty_codes(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(50, 8)).astype(np.float32)
+        quantizer = ProductQuantizer.train(matrix, 4, seed=0)
+        table = adc_lookup_table(matrix[0], quantizer, "l2")
+        out = adc_scores(table, np.zeros((0, 4), dtype=np.uint8))
+        assert out.shape == (0,)
+
+    def test_drift_fraction_flags_shifted_data(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(2000, 16)).astype(np.float32)
+        quantizer = ProductQuantizer.train(matrix, 4, seed=0)
+        assert quantizer.drift_fraction(matrix) <= 0.05
+        assert quantizer.drift_fraction(matrix + 50.0) > 0.5
+
+    def test_zero_train_mse_does_not_storm(self):
+        # A <=256-row training sample fits itself exactly (train_mse
+        # 0); near-training upserts must not read as drifted, or every
+        # maintenance flush would retrain forever without converging.
+        rng = np.random.default_rng(2)
+        matrix = rng.normal(size=(100, 16)).astype(np.float32)
+        quantizer = ProductQuantizer.train(matrix, 4, seed=0)
+        assert quantizer.train_mse == 0.0
+        jitter = matrix + rng.normal(
+            scale=1e-5, size=matrix.shape
+        ).astype(np.float32)
+        assert quantizer.drift_fraction(jitter) <= 0.05
+        # Genuinely shifted data still trips the signal.
+        assert quantizer.drift_fraction(matrix + 50.0) > 0.5
+
+
+class TestAdcMemoryContract:
+    def test_adc_never_materializes_float32_partition(self):
+        # The no-copy discipline the ADC kernel inherits from the
+        # block-fused SQ8 kernel: scoring n codes allocates O(n * M)
+        # floats (the gathered block), never the (n, dim) float32
+        # partition the reference kernel decodes.
+        rng = np.random.default_rng(2)
+        n, dim, m = 20_000, 64, 8
+        matrix = rng.normal(size=(n, dim)).astype(np.float32)
+        quantizer = ProductQuantizer.train(matrix[:4000], m, seed=0)
+        codes = quantizer.encode(matrix)
+        query = matrix[0]
+        table = adc_lookup_table(query, quantizer, "l2")
+
+        adc_scores(table, codes)  # warm allocators
+        tracemalloc.start()
+        adc_scores(table, codes)
+        _, adc_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        tracemalloc.start()
+        dequantized_pairwise_distances(
+            query.reshape(1, -1), codes, quantizer, "l2"
+        )
+        _, ref_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        partition_bytes = n * dim * 4
+        assert ref_peak >= partition_bytes
+        assert adc_peak < partition_bytes / 4

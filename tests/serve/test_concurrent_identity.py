@@ -3,8 +3,10 @@
 The serving layer's core contract: no matter how many queries are in
 flight, how their loads coalesce, or which thread scores what, the
 neighbors (ids AND distances) of every concurrent query are
-bit-identical to what a lone serial ``search()`` returns — float32 and
-SQ8, filtered and unfiltered, warm and cold.
+bit-identical to what a lone serial ``search()`` returns — float32,
+SQ8 and PQ, filtered and unfiltered, warm and cold. (PQ additionally
+exercises the per-query ADC tables: a coalesced read is decoded once
+and scored against each consumer's own table.)
 """
 
 import threading
@@ -28,6 +30,7 @@ def build_db(tmp_path, rng, quantization):
         default_nprobe=4,
         kmeans_iterations=10,
         quantization=quantization,
+        pq_num_subvectors=4,
         max_inflight_queries=16,
         attributes={"color": "TEXT", "size": "INTEGER"},
         device=DeviceProfile(
@@ -54,7 +57,7 @@ def build_db(tmp_path, rng, quantization):
     return db
 
 
-@pytest.mark.parametrize("quantization", ["none", "sq8"])
+@pytest.mark.parametrize("quantization", ["none", "sq8", "pq"])
 @pytest.mark.parametrize(
     "filters",
     [None, Eq("color", "red"), Gt("size", 25)],
@@ -69,8 +72,8 @@ def test_hammer_bit_identical_to_serial(
             size=(THREADS * QUERIES_PER_THREAD, DIM)
         ).astype(np.float32)
         expected = [db.search(q, k=K, filters=filters) for q in queries]
-        if quantization == "sq8" and filters is None:
-            assert expected[0].stats.scan_mode == "sq8"
+        if quantization != "none" and filters is None:
+            assert expected[0].stats.scan_mode == quantization
 
         db.purge_caches()
         results: list = [None] * len(queries)
@@ -110,7 +113,7 @@ def test_hammer_bit_identical_to_serial(
         db.close()
 
 
-@pytest.mark.parametrize("quantization", ["none", "sq8"])
+@pytest.mark.parametrize("quantization", ["none", "sq8", "pq"])
 def test_hammer_exact_and_prefilter_paths(tmp_path, rng, quantization):
     """The call-task plans (exact KNN, pre-filter) match serial too."""
     db = build_db(tmp_path, rng, quantization)
