@@ -1,0 +1,268 @@
+"""Sharded scatter-gather vs one database: batch QPS, bytes, singles.
+
+The sharded-engine tentpole claim (ISSUE 5), measured end to end: a
+4-shard :class:`~repro.shard.ShardedMicroNN` must serve a cold
+``search_batch`` at **>= 1.5x the QPS** of a single database holding
+the same rows, at comparable bytes — the proof that N independent
+per-shard databases buy N independent I/O paths, not just N files.
+
+Fairness accounting: a sharded fleet probing ``nprobe`` partitions
+*per shard* scans N times the volume of an unsharded probe (partitions
+are sized by ``target_cluster_size`` on both sides), so each fleet
+probes ``NPROBE / num_shards`` per shard — equal total scanned
+partitions everywhere, making QPS and bytes directly comparable. The
+merged results are **not** gated for identity against the unsharded
+database: each side clusters its own rows, so at partial nprobe the
+probe sets differ legitimately (the exhaustive-probe identity contract
+is pinned by ``tests/property/test_shard_parity.py``); the table
+reports the neighbor overlap instead.
+
+Emits ``shard.json`` (``MICRONN_BENCH_ARTIFACTS``) for the CI trend
+diff; bytes are injection-paced and stable, wall-clock is reported but
+not pinned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import DeviceProfile, IOCostModel, MicroNN, MicroNNConfig
+from repro.bench.harness import populate, print_table
+from repro.shard import ShardedMicroNN
+from repro.workloads.datasets import load_dataset
+from repro.workloads.metrics import summarize_latencies
+
+K = 10
+NPROBE = 16
+BATCH_QUERIES = 32
+SINGLE_QUERIES = 8
+SHARD_COUNTS = (1, 2, 4)
+
+#: Flash-like storage latency charged to cache-cold reads (same model
+#: as bench_pipeline/bench_concurrent, so the benches describe one
+#: device).
+FLASH_IO = IOCostModel(seek_latency_s=0.002, per_byte_latency_s=2e-9)
+
+
+def _artifact_dir() -> Path:
+    return Path(os.environ.get("MICRONN_BENCH_ARTIFACTS", "bench-artifacts"))
+
+
+def _config(dataset) -> MicroNNConfig:
+    return MicroNNConfig(
+        dim=dataset.dim,
+        metric=dataset.metric,
+        target_cluster_size=100,
+        pipeline_depth=4,
+        io_prefetch_threads=2,
+        max_inflight_queries=16,
+        device=DeviceProfile(
+            name="bench-shard",
+            worker_threads=4,
+            # Zero partition cache: every partition read is real, so
+            # both layouts pay true cold I/O each round.
+            partition_cache_bytes=0,
+            sqlite_cache_bytes=1024 * 1024,
+            scratch_buffer_bytes=8 * 1024 * 1024,
+            io_model=FLASH_IO,
+        ),
+    )
+
+
+def _reset_cold(db) -> None:
+    """Purge, then re-warm only the centroids so every mode measures
+    partition I/O, not the (identical) centroid read."""
+    db.purge_caches()
+    shards = db.shards if isinstance(db, ShardedMicroNN) else (db,)
+    for shard in shards:
+        shard.engine.load_centroids()
+
+
+def _nprobe_for(db) -> int:
+    """Equal total probe volume: NPROBE partitions fleet-wide."""
+    if isinstance(db, ShardedMicroNN):
+        return max(1, NPROBE // db.num_shards)
+    return NPROBE
+
+
+#: Cold-batch repetitions per layout; the best run is reported. QPS on
+#: a shared machine dips with scheduler noise, and the gate compares
+#: capability, not the unluckiest run — bytes are deterministic and
+#: identical across repetitions regardless.
+BATCH_REPEATS = 3
+
+
+def _run_batch(db, queries) -> dict:
+    best = None
+    for _ in range(BATCH_REPEATS):
+        _reset_cold(db)
+        before = db.io()
+        start = time.perf_counter()
+        batch = db.search_batch(queries, k=K, nprobe=_nprobe_for(db))
+        wall = time.perf_counter() - start
+        io = db.io()
+        run = {
+            "wall_s": wall,
+            "qps": len(queries) / wall,
+            "bytes_read": io.bytes_read - before.bytes_read,
+            "retrieved": [r.asset_ids for r in batch],
+        }
+        if best is None or run["qps"] > best["qps"]:
+            best = run
+    return best
+
+
+def _run_singles(db, queries) -> dict:
+    """Sequential cold single-query scatter (the interactive shape)."""
+    _reset_cold(db)
+    before = db.io()
+    latencies = []
+    for query in queries:
+        q_start = time.perf_counter()
+        db.search(query, k=K, nprobe=_nprobe_for(db))
+        latencies.append(time.perf_counter() - q_start)
+    io = db.io()
+    summary = summarize_latencies(latencies)
+    return {
+        "p50_ms": summary.p50_ms,
+        "p95_ms": summary.p95_ms,
+        "bytes_read": io.bytes_read - before.bytes_read,
+    }
+
+
+def _overlap(reference, retrieved) -> float:
+    """Mean fraction of the reference neighbor sets also retrieved."""
+    total = sum(
+        len(set(ref) & set(got)) / max(len(ref), 1)
+        for ref, got in zip(reference, retrieved)
+    )
+    return total / max(len(reference), 1)
+
+
+def test_sharded_scatter_gather_vs_single(benchmark, bench_dir):
+    from benchmarks.conftest import scaled
+
+    dataset = load_dataset(
+        "sift",
+        num_vectors=scaled(50_000, minimum=5_000),
+        num_queries=max(BATCH_QUERIES, SINGLE_QUERIES),
+    )
+    batch_queries = dataset.queries[:BATCH_QUERIES]
+    single_queries = dataset.queries[:SINGLE_QUERIES]
+    config = _config(dataset)
+
+    results: dict[str, dict] = {}
+    with MicroNN.open(bench_dir / "single.db", config) as db:
+        populate(db, dataset.train_ids, dataset.train)
+        db.build_index()
+        single_batch = _run_batch(db, batch_queries)
+        results["unsharded"] = {
+            "batch": {
+                k_: v
+                for k_, v in single_batch.items()
+                if k_ != "retrieved"
+            },
+            "singles": _run_singles(db, single_queries),
+        }
+        reference = single_batch["retrieved"]
+
+    fleets: dict[int, dict] = {}
+    for num_shards in SHARD_COUNTS:
+        path = bench_dir / f"fleet-{num_shards}"
+        with ShardedMicroNN.open(
+            path, config, shards=num_shards
+        ) as db:
+            populate(db, dataset.train_ids, dataset.train)
+            db.build_index()
+            batch = _run_batch(db, batch_queries)
+            fleets[num_shards] = batch
+            results[str(num_shards)] = {
+                "batch": {
+                    k_: v
+                    for k_, v in batch.items()
+                    if k_ != "retrieved"
+                },
+                "batch_overlap": _overlap(
+                    reference, batch["retrieved"]
+                ),
+                "singles": _run_singles(db, single_queries),
+            }
+
+    base_qps = results["unsharded"]["batch"]["qps"]
+    base_bytes = results["unsharded"]["batch"]["bytes_read"]
+    speedup4 = fleets[4]["qps"] / base_qps
+
+    print_table(
+        "Sharded scatter-gather vs single database (cold, flash I/O)",
+        ["layout", "batch QPS", "speedup", "bytes", "overlap@10",
+         "single p50"],
+        [
+            (
+                "unsharded",
+                f"{base_qps:.1f}",
+                "1.00x",
+                f"{base_bytes / 1e6:.1f} MB",
+                "—",
+                f"{results['unsharded']['singles']['p50_ms']:.1f} ms",
+            )
+        ]
+        + [
+            (
+                f"{n} shard(s)",
+                f"{fleets[n]['qps']:.1f}",
+                f"{fleets[n]['qps'] / base_qps:.2f}x",
+                f"{fleets[n]['bytes_read'] / 1e6:.1f} MB",
+                f"{results[str(n)]['batch_overlap']:.2f}",
+                f"{results[str(n)]['singles']['p50_ms']:.1f} ms",
+            )
+            for n in SHARD_COUNTS
+        ],
+        note=(
+            f"{BATCH_QUERIES}-query cold batch, equal total probe "
+            f"volume ({NPROBE} partitions fleet-wide); 4-shard "
+            f"speedup {speedup4:.2f}x."
+        ),
+    )
+
+    artifact_dir = _artifact_dir()
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "bench": "shard",
+        "dataset": dataset.name,
+        "num_vectors": len(dataset),
+        "k": K,
+        "nprobe_total": NPROBE,
+        "batch_queries": BATCH_QUERIES,
+        "qps_speedup_4_shards": speedup4,
+        "results": results,
+    }
+    (artifact_dir / "shard.json").write_text(
+        json.dumps(payload, indent=2)
+    )
+
+    # Hard acceptance gates (ISSUE 5).
+    assert speedup4 >= 1.5, (
+        f"4-shard batch QPS {fleets[4]['qps']:.1f} is only "
+        f"{speedup4:.2f}x the single database's {base_qps:.1f}"
+    )
+    # Equal probe volume must mean comparable bytes: the scatter may
+    # not silently scan more to go faster.
+    assert fleets[4]["bytes_read"] <= 1.3 * base_bytes, (
+        f"4-shard batch read {fleets[4]['bytes_read']} bytes vs "
+        f"unsharded {base_bytes}"
+    )
+    # The gather is a real global top-k (every query resolves to K
+    # neighbors drawn from all shards).
+    assert all(len(ids) == K for ids in fleets[4]["retrieved"])
+
+    with ShardedMicroNN.open(
+        bench_dir / "fleet-4", config
+    ) as db:
+
+        def cold_batch():
+            return _run_batch(db, batch_queries)
+
+        benchmark(cold_batch)

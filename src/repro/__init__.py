@@ -22,13 +22,20 @@ Package layout:
   estimation, hybrid planner, single-query and MQO batch executors;
 - :mod:`repro.serve` — the concurrent serving layer: async query
   scheduler with shared cross-query I/O and admission control;
+- :mod:`repro.shard` — the sharded multi-database engine: hash-routed
+  writes, scatter-gather search and rebalancing over N shards;
 - :mod:`repro.baselines` — the paper's InMemory comparison point;
 - :mod:`repro.workloads` — dataset analogs, ground truth, recall metrics,
   the filtered-search workload;
 - :mod:`repro.bench` — shared benchmark harness.
 """
 
-from repro.core.config import DeviceProfile, IOCostModel, MicroNNConfig
+from repro.core.config import (
+    DeviceProfile,
+    IOCostModel,
+    MicroNNConfig,
+    ShardConfig,
+)
 from repro.core.database import MicroNN
 from repro.core.errors import (
     ConfigError,
@@ -67,6 +74,7 @@ from repro.query.filters import (
     Predicate,
 )
 from repro.serve.session import ServeStats, Session
+from repro.shard import HashRouter, ShardedMicroNN, ShardedSearchResult
 from repro.storage.engine import VectorRecord
 from repro.storage.quantization import SQ8Quantizer
 
@@ -84,6 +92,11 @@ __all__ = [
     # serving
     "Session",
     "ServeStats",
+    # sharding
+    "ShardedMicroNN",
+    "ShardConfig",
+    "ShardedSearchResult",
+    "HashRouter",
     # results
     "Neighbor",
     "SearchResult",

@@ -11,6 +11,16 @@ integrators can poke at an index without writing code:
     python -m repro.cli stats photos.db --dim 128
     python -m repro.cli demo --dim 64          # self-contained smoke run
 
+Sharded databases work through the same commands: ``create --shards 4``
+lays out a shard *directory* (N SQLite files behind one manifest), and
+every later command auto-detects the manifest — ``--shards`` is only
+needed again to assert the expected count:
+
+    python -m repro.cli create photos.sharded --dim 128 --shards 4
+    python -m repro.cli insert photos.sharded --vectors embeddings.npy
+    python -m repro.cli search photos.sharded --query query.npy -k 10
+    python -m repro.cli stats photos.sharded --dim 128
+
 Vectors travel as ``.npy`` files (float32, shape ``(n, dim)`` for
 inserts, ``(dim,)`` or ``(1, dim)`` for queries). Asset ids default to
 ``row-<i>`` and can be overridden with ``--ids`` (newline-separated
@@ -26,22 +36,63 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import MicroNN, MicroNNConfig
+from repro import MicroNN, MicroNNConfig, ShardedMicroNN
 from repro.core.types import MaintenanceAction
+from repro.shard.manifest import ShardManifest
 
 
-def _open(args: argparse.Namespace) -> MicroNN:
+def _open(args: argparse.Namespace) -> MicroNN | ShardedMicroNN:
+    shards = getattr(args, "shards", None)
+    if ShardManifest.exists(args.database):
+        # An existing sharded directory is recognized without flags,
+        # and the manifest is the source of truth for the config
+        # fingerprint (dim/metric/quantization) — so insert/search/
+        # build/stats drive shards without re-passing creation flags.
+        # Explicit flags still participate: a value that disagrees
+        # with the manifest fails validation instead of being
+        # silently ignored (the flags default to None sentinels).
+        manifest = ShardManifest.load(args.database)
+        config = MicroNNConfig(
+            dim=args.dim or manifest.dim,
+            metric=args.metric or manifest.metric,
+            target_cluster_size=(
+                args.cluster_size or manifest.target_cluster_size
+            ),
+            quantization=args.quantization or manifest.quantization,
+        )
+        return ShardedMicroNN.open(args.database, config, shards=shards)
     config = MicroNNConfig(
         dim=args.dim,
-        metric=args.metric,
-        target_cluster_size=args.cluster_size,
+        metric=args.metric or "l2",
+        target_cluster_size=args.cluster_size or 100,
+        quantization=args.quantization or "none",
     )
+    if shards is not None:
+        return ShardedMicroNN.open(args.database, config, shards=shards)
     return MicroNN.open(args.database, config)
 
 
 def cmd_create(args: argparse.Namespace) -> int:
+    # A pre-existing *database* (manifest or db file) means create
+    # will reopen rather than lay out — a bare empty directory does
+    # not count.
+    existed = (
+        ShardManifest.exists(args.database)
+        or Path(args.database).is_file()
+    )
     db = _open(args)
-    print(f"created {db.path} (dim={args.dim}, metric={args.metric})")
+    layout = (
+        f"{db.num_shards} shards"
+        if isinstance(db, ShardedMicroNN)
+        else "single database"
+    )
+    # Honest verb: create over an existing database (re)opens it —
+    # the data is still there, and the operator should know.
+    verb = "opened existing" if existed else "created"
+    print(
+        f"{verb} {db.path} (dim={db.config.dim}, "
+        f"metric={db.config.metric}, {layout})"
+    )
     db.close()
     return 0
 
@@ -113,9 +164,13 @@ def cmd_search(args: argparse.Namespace) -> int:
     for rank, neighbor in enumerate(result, start=1):
         print(f"{rank:4d}  {neighbor.asset_id}  {neighbor.distance:.6f}")
     stats = result.stats
+    shard_note = (
+        f" shards={stats.shards_probed}" if stats.shards_probed else ""
+    )
     print(
-        f"# plan={stats.plan.value} partitions={stats.partitions_scanned}"
-        f" vectors={stats.vectors_scanned}"
+        f"# plan={stats.plan.value} scan={stats.scan_mode}"
+        f" partitions={stats.partitions_scanned}"
+        f" vectors={stats.vectors_scanned}{shard_note}"
         f" latency={stats.latency_s * 1e3:.2f}ms",
         file=sys.stderr,
     )
@@ -129,12 +184,19 @@ def cmd_stats(args: argparse.Namespace) -> int:
     memory = db.memory()
     io = db.io()
     print(f"path                 {db.path}")
+    if isinstance(db, ShardedMicroNN):
+        print(f"shards               {db.num_shards}")
     print(f"total vectors        {stats.total_vectors}")
     print(f"indexed vectors      {stats.indexed_vectors}")
     print(f"delta vectors        {stats.delta_vectors}")
     print(f"partitions           {stats.num_partitions}")
     print(f"avg partition size   {stats.avg_partition_size:.1f}")
     print(f"partition growth     {stats.partition_growth:+.1%}")
+    print(f"scan mode            {db.scan_mode_description()}")
+    print(f"quantization         {stats.quantization}")
+    print(f"quantized vectors    {stats.quantized_vectors}")
+    print(f"code bytes/vector    {stats.code_bytes_per_vector}")
+    print(f"compression ratio    {stats.compression_ratio:.2f}x")
     print(f"recommended action   {db.recommended_action().value}")
     print(f"resident memory      {memory.current_mib:.2f} MiB")
     print(f"rows written (life)  {io.rows_written}")
@@ -173,30 +235,56 @@ def build_parser() -> argparse.ArgumentParser:
 
     def common(p: argparse.ArgumentParser, needs_db: bool = True) -> None:
         if needs_db:
-            p.add_argument("database", help="path to the .db file")
+            p.add_argument(
+                "database",
+                help="path to the .db file (or sharded directory)",
+            )
         p.add_argument("--dim", type=int, default=None,
                        help="vector dimensionality")
-        p.add_argument("--metric", default="l2",
-                       choices=["l2", "cosine", "dot"])
-        p.add_argument("--cluster-size", type=int, default=100,
-                       dest="cluster_size")
+        # metric/quantization default to None sentinels so an existing
+        # sharded directory's manifest can fill them in — while an
+        # explicitly passed wrong value still fails validation.
+        p.add_argument("--metric", default=None,
+                       choices=["l2", "cosine", "dot"],
+                       help="distance metric (default l2)")
+        p.add_argument("--cluster-size", type=int, default=None,
+                       dest="cluster_size",
+                       help="target vectors per IVF partition "
+                       "(default 100; sharded directories remember "
+                       "their creation value)")
+        p.add_argument("--quantization", default=None,
+                       choices=["none", "sq8", "pq"],
+                       help="partition-storage scan codes "
+                       "(default none)")
+
+    def sharded(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--shards", type=int, default=None,
+            help="shard count: creates a sharded directory, or "
+            "asserts an existing one's count (existing sharded "
+            "directories are auto-detected without this flag)",
+        )
 
     p = sub.add_parser("create", help="create an empty database")
     common(p)
+    sharded(p)
     p.set_defaults(func=cmd_create)
 
     p = sub.add_parser("insert", help="insert vectors from a .npy file")
     common(p)
+    sharded(p)
     p.add_argument("--vectors", required=True)
     p.add_argument("--ids", help="newline-separated asset ids")
     p.set_defaults(func=cmd_insert)
 
     p = sub.add_parser("build", help="(re)build the IVF index")
     common(p)
+    sharded(p)
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("maintain", help="run index maintenance")
     common(p)
+    sharded(p)
     p.add_argument(
         "--force",
         choices=[a.value for a in MaintenanceAction if a.value != "none"],
@@ -205,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("search", help="ANN search with a .npy query")
     common(p)
+    sharded(p)
     p.add_argument("--query", required=True)
     p.add_argument("-k", type=int, default=10)
     p.add_argument("--nprobe", type=int, default=None)
@@ -213,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="print index statistics")
     common(p)
+    sharded(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("demo", help="self-contained smoke run")
@@ -233,6 +323,8 @@ def main(argv: list[str] | None = None) -> int:
     ):
         if args.command == "demo":
             args.dim = 32
+        elif ShardManifest.exists(getattr(args, "database", "")):
+            pass  # the shard manifest records the dimensionality
         else:
             parser.error(f"{args.command} requires --dim")
     return args.func(args)

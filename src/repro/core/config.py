@@ -442,6 +442,73 @@ class MicroNNConfig:
         )
 
 
+@dataclass(frozen=True)
+class ShardConfig:
+    """Layout of a sharded multi-database deployment.
+
+    A :class:`~repro.shard.ShardedMicroNN` composes ``num_shards``
+    independent per-shard databases behind one facade: writes route by
+    a stable hash of the asset id, reads scatter to every shard and
+    gather-merge into a global top-k. Each shard is a complete MicroNN
+    database (own SQLite file, IVF index, quantizer, caches, serving
+    scheduler), so shard count multiplies both write throughput (one
+    writer lock per shard) and cold-read bandwidth (one I/O path per
+    shard).
+
+    Parameters
+    ----------
+    num_shards:
+        How many per-shard databases back the facade. Persisted in the
+        shard directory's manifest; reopening validates the manifest
+        against this value (``None`` at open time adopts the
+        manifest's count).
+    router:
+        Name of the write-routing scheme. ``"hash"`` (the built-in
+        :class:`~repro.shard.HashRouter`) routes by a stable BLAKE2b
+        hash of the asset id — deterministic across processes and
+        platforms, unlike Python's seeded ``hash()``. Custom routers
+        are pluggable: pass a router object to ``ShardedMicroNN`` and
+        name it here so reopen can verify the same scheme is in use.
+    serve_scatter_threshold:
+        Fan-out width (``shards x concurrent queries``) at or above
+        which the scatter stage runs each shard's scan through its own
+        serving scheduler (:mod:`repro.serve`) instead of a serial
+        per-shard loop. Small fan-outs stay serial: scheduler threads
+        cost more than they overlap when only a couple of partitions
+        are in flight per shard.
+    """
+
+    num_shards: int = 1
+    router: str = "hash"
+    serve_scatter_threshold: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.num_shards > 4096:
+            # A fat-finger guard, not a scalability ceiling: every
+            # shard is a live SQLite connection + thread pools, and a
+            # five-digit count is always a typo on-device.
+            raise ConfigError(
+                f"num_shards must be <= 4096, got {self.num_shards}"
+            )
+        if (
+            not self.router
+            or any(c.isspace() or not c.isprintable() for c in self.router)
+        ):
+            # A kind is a manifest-persisted scheme NAME (custom
+            # routers may use dots/dashes, e.g. "user-locality"), not
+            # a Python identifier — just keep it greppable.
+            raise ConfigError(
+                f"router must be a non-empty name without whitespace, "
+                f"got {self.router!r}"
+            )
+        if self.serve_scatter_threshold < 1:
+            raise ConfigError("serve_scatter_threshold must be >= 1")
+
+
 #: Column names used by the library's own schema; attributes must not
 #: collide with them.
 _RESERVED_COLUMNS = frozenset(

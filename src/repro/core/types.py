@@ -93,6 +93,11 @@ class QueryStats:
     #: queue before a slot (and scratch-memory headroom) freed up.
     #: Always 0 for the synchronous ``search()`` path.
     queue_wait_ms: float = 0.0
+    #: How many shards of a sharded database this query scattered to
+    #: (``repro.shard.ShardedMicroNN``); 0 on a single-database query.
+    #: On an aggregated sharded result the cost counters above
+    #: (bytes/io/compute/scans) are sums over the per-shard stats.
+    shards_probed: int = 0
 
 
 @dataclass(frozen=True, slots=True)

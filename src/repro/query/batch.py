@@ -28,7 +28,6 @@ from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
 from repro.core.errors import DatabaseClosedError, FilterError
 from repro.core.types import (
     BatchSearchResult,
-    Neighbor,
     PlanKind,
     QueryStats,
     SearchResult,
@@ -38,9 +37,12 @@ from repro.query.distance import (
     distances_to_one,
     make_code_scorer,
     pairwise_distances,
-    surface_distance,
 )
-from repro.query.heap import Candidate, topk_from_distances
+from repro.query.heap import (
+    Candidate,
+    surfaced_neighbors,
+    topk_from_distances,
+)
 from repro.query.pipeline import (
     has_cold_partition,
     release_scratch_payload,
@@ -488,9 +490,8 @@ class BatchQueryExecutor:
             if prev is None or cand.distance < prev:
                 best[cand.asset_id] = cand.distance
         ranked = sorted(best.items(), key=lambda kv: (kv[1], kv[0]))[:k]
-        neighbors = tuple(
-            Neighbor(asset_id=aid, distance=surface_distance(d, metric))
-            for aid, d in ranked
+        neighbors = surfaced_neighbors(
+            [Candidate(aid, d) for aid, d in ranked], metric
         )
         stats = QueryStats(
             plan=PlanKind.ANN,

@@ -55,11 +55,73 @@ def pairwise_distances(
     raise ConfigError(f"unsupported metric {metric!r}")
 
 
+#: Rows processed per block by the single-query kernels: bounds the
+#: transient ``diff`` buffer (2 MB at dim=128) without affecting any
+#: per-row value — blocks only slice the row axis, and every reduction
+#: below runs along the fixed dimension axis.
+_ROW_BLOCK = 4096
+
+
 def distances_to_one(
     query: np.ndarray, vectors: np.ndarray, metric: str
 ) -> np.ndarray:
-    """Distances from one query to each row of ``vectors`` (1-D result)."""
-    return pairwise_distances(query.reshape(1, -1), vectors, metric)[0]
+    """Distances from one query to each row of ``vectors`` (1-D result).
+
+    Deliberately NOT the 1-row case of :func:`pairwise_distances`:
+    BLAS picks different micro-kernels by matrix shape, so a GEMM's
+    value for a given (query, row) pair shifts by rounding noise with
+    the *other* rows sharing the matrix. This kernel is **row-stable**
+    — each output depends only on the query and that row (einsum
+    reductions along the fixed dimension axis, never a shape-chosen
+    GEMM) — which is what lets two databases with different partition
+    layouts over the same rows surface bit-identical distances: the
+    property the sharded engine's scatter-gather parity contract
+    (:mod:`repro.shard.merge`) is built on. The L2 form is also the
+    well-conditioned one: ``sum((v - q)^2)`` cannot cancel, unlike the
+    norm expansion (whose residue scales with the squared magnitudes).
+    """
+    q = np.asarray(query, dtype=np.float32).reshape(-1)
+    v = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+    if q.shape[0] != v.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: query {q.shape[0]} vs vectors "
+            f"{v.shape[1]}"
+        )
+    n = v.shape[0]
+    out = np.empty(n, dtype=np.float32)
+    if metric == "l2":
+        # One diff buffer reused across blocks: multi-block scans
+        # (exact search batches, large partitions) pay a single
+        # allocation instead of one per block.
+        diff = np.empty(
+            (min(n, _ROW_BLOCK), v.shape[1]), dtype=np.float32
+        )
+        for lo in range(0, n, _ROW_BLOCK):
+            block = v[lo : lo + _ROW_BLOCK]
+            d = diff[: block.shape[0]]
+            np.subtract(block, q, out=d)
+            np.einsum(
+                "ij,ij->i", d, d, out=out[lo : lo + _ROW_BLOCK]
+            )
+    elif metric == "cosine":
+        q_unit = q / max(float(np.sqrt(np.dot(q, q))), _EPS)
+        for lo in range(0, n, _ROW_BLOCK):
+            block = v[lo : lo + _ROW_BLOCK]
+            seg = out[lo : lo + _ROW_BLOCK]
+            norms = np.sqrt(np.einsum("ij,ij->i", block, block))
+            np.einsum("ij,j->i", block, q_unit, out=seg)
+            np.divide(seg, np.maximum(norms, _EPS), out=seg)
+            np.clip(seg, -1.0, 1.0, out=seg)
+            np.subtract(1.0, seg, out=seg)
+    elif metric == "dot":
+        for lo in range(0, n, _ROW_BLOCK):
+            block = v[lo : lo + _ROW_BLOCK]
+            seg = out[lo : lo + _ROW_BLOCK]
+            np.einsum("ij,j->i", block, q, out=seg)
+            np.negative(seg, out=seg)
+    else:
+        raise ConfigError(f"unsupported metric {metric!r}")
+    return out
 
 
 def surface_distance(value: float, metric: str) -> float:

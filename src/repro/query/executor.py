@@ -50,13 +50,13 @@ from repro.core.types import Neighbor, PlanKind, QueryStats, SearchResult
 from repro.query.distance import (
     distances_to_one,
     make_code_scorer,
-    surface_distance,
 )
 from repro.query.filters import CompileContext, Predicate, default_tokenizer
 from repro.query.heap import (
     TopKHeap,
     merge_topk,
     push_topk,
+    surfaced_neighbors,
     topk_from_distances,
 )
 from repro.query.pipeline import (
@@ -401,13 +401,7 @@ class QueryExecutor:
             candidates = topk_from_distances(found_ids, dist, k)
         else:
             candidates = []
-        neighbors = tuple(
-            Neighbor(
-                asset_id=c.asset_id,
-                distance=surface_distance(c.distance, self._config.metric),
-            )
-            for c in candidates
-        )
+        neighbors = surfaced_neighbors(candidates, self._config.metric)
 
         io_delta = self._engine.accountant.delta_since(io_before)
         stats = QueryStats(
@@ -1127,15 +1121,9 @@ class QueryExecutor:
     def _finalize(
         self, heaps: list[TopKHeap], k: int
     ) -> tuple[Neighbor, ...]:
-        """Parallel heap merge + surface-distance conversion."""
-        merged = merge_topk(heaps, k)
-        metric = self._config.metric
-        return tuple(
-            Neighbor(
-                asset_id=c.asset_id,
-                distance=surface_distance(c.distance, metric),
-            )
-            for c in merged
+        """Parallel heap merge + canonical surfaced ordering."""
+        return surfaced_neighbors(
+            merge_topk(heaps, k), self._config.metric
         )
 
 

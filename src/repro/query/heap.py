@@ -120,24 +120,33 @@ class _ReverseStr:
         return hash(self.value)
 
 
-def merge_topk(heaps: list[TopKHeap], k: int) -> list[Candidate]:
-    """Merge per-thread heaps into the global top-K, closest first.
+def merge_candidate_streams(
+    streams: list[list[Candidate]], k: int
+) -> list[Candidate]:
+    """K-way merge of sorted candidate streams into a global top-K.
 
-    A k-way merge over the sorted per-heap lists stops as soon as K
-    results are emitted, so the merge is O(K log T) for T threads after
-    the per-heap sorts.
+    This is the single ordering contract of the library: candidates
+    rank by ``(distance, asset_id)`` — ties broken lexicographically on
+    the id — and duplicate ids keep their closest occurrence only. The
+    per-thread heap merge below and the sharded engine's cross-shard
+    gather stage (:mod:`repro.shard.merge`) both route through here, so
+    a sharded database cannot drift from the unsharded tie-break rules.
+
+    Each input stream must already be sorted by ``(distance,
+    asset_id)``; the merge stops as soon as K results are emitted, so
+    it is O(K log S) for S streams after the per-stream sorts.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
-    streams = [h.sorted_candidates() for h in heaps if len(h) > 0]
     merged = heapq.merge(
-        *streams, key=lambda c: (c.distance, c.asset_id)
+        *(s for s in streams if s),
+        key=lambda c: (c.distance, c.asset_id),
     )
     out: list[Candidate] = []
     seen: set[str] = set()
     for cand in merged:
-        # The same asset can surface from multiple heaps if a vector was
-        # observed both in its partition and in the delta during a
+        # The same asset can surface from multiple streams if a vector
+        # was observed both in its partition and in the delta during a
         # concurrent flush; keep the closest occurrence only.
         if cand.asset_id in seen:
             continue
@@ -146,6 +155,44 @@ def merge_topk(heaps: list[TopKHeap], k: int) -> list[Candidate]:
         if len(out) == k:
             break
     return out
+
+
+def merge_topk(heaps: list[TopKHeap], k: int) -> list[Candidate]:
+    """Merge per-thread heaps into the global top-K, closest first."""
+    return merge_candidate_streams(
+        [h.sorted_candidates() for h in heaps if len(h) > 0], k
+    )
+
+
+def surfaced_neighbors(candidates, metric: str):
+    """Convert ranked candidates to surfaced, canonically ordered
+    :class:`~repro.core.types.Neighbor` tuples.
+
+    The candidates arrive ordered by *internal* distance (squared L2);
+    surfacing applies ``sqrt``, which is monotone but can collapse two
+    adjacent float32 values into one — leaving a pair ordered by an
+    internal difference the caller can no longer observe. The re-sort
+    here makes the *public* ordering contract self-contained: ranked
+    by ``(surfaced distance, asset_id)``, nothing else. Every surface
+    point routes through this function — the serial executor, the
+    batch executor, the serving scheduler and (transitively) the
+    sharded gather merge — so all of them share one contract, and a
+    sharded database (which can only merge on surfaced values) orders
+    exactly like an unsharded one even across sqrt collisions. The
+    sort is O(k log k) on already-ordered data, only ever permuting
+    true surfaced ties.
+    """
+    from repro.core.types import Neighbor
+    from repro.query.distance import surface_distance
+
+    surfaced = [
+        (surface_distance(c.distance, metric), c.asset_id)
+        for c in candidates
+    ]
+    surfaced.sort()
+    return tuple(
+        Neighbor(asset_id=aid, distance=d) for d, aid in surfaced
+    )
 
 
 def push_topk(

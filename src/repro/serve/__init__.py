@@ -7,6 +7,13 @@ read coalescing and bounded admission control; :class:`Session` is the
 client-facing handle. Entry points on the facade:
 ``MicroNN.search_async`` (a future), ``MicroNN.search_asyncio`` (an
 awaitable) and ``MicroNN.serve_session``.
+
+The sharded engine (:mod:`repro.shard`) composes this layer per shard:
+a scattered query runs through every shard's own scheduler (one shared
+I/O stage per shard, its width split across the fleet — see
+``ShardedMicroNN._per_shard_config``), and ``Session`` works unchanged
+over a :class:`~repro.shard.ShardedMicroNN` because submission goes
+through the facade's ``search_async``.
 """
 
 from repro.serve.scheduler import QueryScheduler

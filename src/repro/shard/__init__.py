@@ -1,0 +1,55 @@
+"""Sharded multi-database engine: scatter-gather over MicroNN shards.
+
+One MicroNN database is bounded by one SQLite writer lock, one
+quantizer codebook and one file's I/O path. This package composes N
+independent MicroNN databases behind :class:`ShardedMicroNN`, a facade
+with the same public API:
+
+- :mod:`repro.shard.router` — stable hash routing of writes
+  (:class:`HashRouter`; pluggable);
+- :mod:`repro.shard.manifest` — the persisted shard map
+  (:class:`ShardManifest`): directory layout, shard count, router
+  kind, config fingerprint, validated on reopen;
+- :mod:`repro.shard.merge` — the gather stage: global top-k through
+  the unsharded ordering contract, plus aggregation of
+  query/index/build/maintenance stats;
+- :mod:`repro.shard.sharded` — the facade itself, including
+  ``rebalance()`` for shard-count changes.
+
+    from repro import MicroNNConfig
+    from repro.shard import ShardedMicroNN
+
+    config = MicroNNConfig(dim=128)
+    with ShardedMicroNN.open("photos.sharded", config, shards=4) as db:
+        db.upsert_batch(records)      # routed by asset-id hash
+        db.build_index()              # per-shard builds, in parallel
+        hits = db.search(query, k=10)  # scatter-gather, global top-k
+"""
+
+from repro.core.config import ShardConfig
+from repro.shard.manifest import ShardManifest, shard_filename
+from repro.shard.merge import (
+    ShardedSearchResult,
+    aggregate_index_stats,
+    aggregate_query_stats,
+    merge_neighbors,
+    merge_search_results,
+)
+from repro.shard.router import HashRouter, Router, make_router
+from repro.shard.sharded import RebalanceReport, ShardedMicroNN
+
+__all__ = [
+    "ShardedMicroNN",
+    "ShardConfig",
+    "ShardedSearchResult",
+    "RebalanceReport",
+    "HashRouter",
+    "Router",
+    "make_router",
+    "ShardManifest",
+    "shard_filename",
+    "merge_neighbors",
+    "merge_search_results",
+    "aggregate_query_stats",
+    "aggregate_index_stats",
+]

@@ -1,0 +1,234 @@
+"""On-disk layout and manifest of a sharded database directory.
+
+A sharded deployment is a *directory* (where a single database is a
+file) with one manifest plus one SQLite file per shard::
+
+    photos.sharded/
+        MANIFEST.json
+        shard-0000-of-0004.db
+        shard-0001-of-0004.db
+        shard-0002-of-0004.db
+        shard-0003-of-0004.db
+
+The manifest is the shard map made durable: shard count, router kind,
+the exact shard filenames, and a fingerprint of the config fields that
+must match across reopen (dim, metric, quantization scheme). Opening
+validates all of it before touching any shard, so a renamed shard
+file, a manually deleted shard, or an open with the wrong shard count
+fails loudly up front instead of silently serving a fraction of the
+collection. Shard filenames embed the total count precisely so a
+half-finished rebalance (which writes the *new* count's filenames
+before swapping the manifest) can never be confused for the live
+fleet.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.core.config import MicroNNConfig
+from repro.core.errors import ConfigError, StorageError
+
+#: Manifest filename inside the shard directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+
+def shard_filename(index: int, num_shards: int) -> str:
+    """Canonical shard filename: embeds index AND total count."""
+    return f"shard-{index:04d}-of-{num_shards:04d}.db"
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """The persisted shard map of one sharded directory."""
+
+    num_shards: int
+    router_kind: str
+    shard_files: tuple[str, ...]
+    dim: int
+    metric: str
+    quantization: str
+    #: Recorded so flag-free tooling (the CLI) can rebuild with the
+    #: cluster size the deployment was created with. Informational,
+    #: not validated: like the single-database world, a caller may
+    #: legitimately open with a different target for the next build.
+    target_cluster_size: int = 100
+    version: int = MANIFEST_VERSION
+
+    @classmethod
+    def create(
+        cls, num_shards: int, router_kind: str, config: MicroNNConfig
+    ) -> "ShardManifest":
+        return cls(
+            num_shards=num_shards,
+            router_kind=router_kind,
+            shard_files=tuple(
+                shard_filename(i, num_shards) for i in range(num_shards)
+            ),
+            dim=config.dim,
+            metric=config.metric,
+            quantization=config.quantization,
+            target_cluster_size=config.target_cluster_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str | os.PathLike[str]) -> None:
+        """Atomically and durably persist into ``directory``.
+
+        This is the commit point of creation and of every rebalance,
+        so the write is fsynced before the rename and the directory
+        entry fsynced after — a crash leaves either the old manifest
+        or the new one, never a truncated file that would make the
+        whole fleet unopenable.
+        """
+        payload = {
+            "version": self.version,
+            "num_shards": self.num_shards,
+            "router_kind": self.router_kind,
+            "shard_files": list(self.shard_files),
+            "dim": self.dim,
+            "metric": self.metric,
+            "quantization": self.quantization,
+            "target_cluster_size": self.target_cluster_size,
+        }
+        root = os.fspath(directory)
+        path = os.path.join(root, MANIFEST_NAME)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        try:
+            dir_fd = os.open(root, os.O_RDONLY)
+        except OSError:
+            return  # e.g. platforms that cannot open directories
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike[str]) -> "ShardManifest":
+        path = os.path.join(os.fspath(directory), MANIFEST_NAME)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            raise StorageError(
+                f"no shard manifest at {path}; not a sharded database "
+                "directory"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(
+                f"unreadable shard manifest at {path}: {exc}"
+            ) from exc
+        try:
+            version = int(payload["version"])
+            if version != MANIFEST_VERSION:
+                raise StorageError(
+                    f"shard manifest version {version} is not supported "
+                    f"(expected {MANIFEST_VERSION})"
+                )
+            return cls(
+                num_shards=int(payload["num_shards"]),
+                router_kind=str(payload["router_kind"]),
+                shard_files=tuple(
+                    str(f) for f in payload["shard_files"]
+                ),
+                dim=int(payload["dim"]),
+                metric=str(payload["metric"]),
+                quantization=str(payload["quantization"]),
+                target_cluster_size=int(
+                    payload.get("target_cluster_size", 100)
+                ),
+                version=version,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(
+                f"malformed shard manifest at {path}: {exc!r}"
+            ) from exc
+
+    @staticmethod
+    def exists(directory: str | os.PathLike[str]) -> bool:
+        return os.path.isfile(
+            os.path.join(os.fspath(directory), MANIFEST_NAME)
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(
+        self,
+        directory: str | os.PathLike[str],
+        config: MicroNNConfig,
+        expected_shards: int | None,
+        router_kind: str,
+    ) -> None:
+        """Fail fast when the directory cannot serve this open() call.
+
+        Checks, in order of bluntness: shard count (an explicit
+        ``shards=`` that disagrees with the manifest), router scheme
+        (reopening with a different routing function would scatter
+        writes across the wrong shards), config fingerprint
+        (dim/metric/quantization must match what the shards were built
+        with), and finally the physical files — every manifest-listed
+        shard must exist under its exact recorded name, so a missing
+        or renamed shard file is detected before any query silently
+        drops that shard's rows.
+        """
+        if self.num_shards != len(self.shard_files):
+            raise StorageError(
+                f"corrupt shard manifest: num_shards={self.num_shards} "
+                f"but {len(self.shard_files)} shard files listed"
+            )
+        if (
+            expected_shards is not None
+            and expected_shards != self.num_shards
+        ):
+            raise ConfigError(
+                f"shard count mismatch: open() requested "
+                f"{expected_shards} shards but the manifest records "
+                f"{self.num_shards}; use rebalance() to change the "
+                "shard count"
+            )
+        if router_kind != self.router_kind:
+            raise ConfigError(
+                f"router mismatch: open() uses {router_kind!r} but the "
+                f"manifest records {self.router_kind!r}"
+            )
+        mismatches = [
+            f"{name}: open()={ours!r} manifest={theirs!r}"
+            for name, ours, theirs in (
+                ("dim", config.dim, self.dim),
+                ("metric", config.metric, self.metric),
+                ("quantization", config.quantization, self.quantization),
+            )
+            if ours != theirs
+        ]
+        if mismatches:
+            raise ConfigError(
+                "config does not match the sharded database: "
+                + "; ".join(mismatches)
+            )
+        root = os.fspath(directory)
+        missing = [
+            name
+            for name in self.shard_files
+            if not os.path.isfile(os.path.join(root, name))
+        ]
+        if missing:
+            raise StorageError(
+                f"shard files missing or renamed under {root}: "
+                + ", ".join(missing)
+            )

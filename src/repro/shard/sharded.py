@@ -1,0 +1,1066 @@
+"""The sharded multi-database engine: N MicroNN shards, one facade.
+
+A single MicroNN database caps out at one SQLite writer lock, one
+quantizer codebook and one storage file's I/O path. A
+:class:`ShardedMicroNN` composes ``N`` complete, independent MicroNN
+databases (each with its own file, IVF index, quantizer, caches and
+serving scheduler) behind the same public API:
+
+- **Writes route.** A stable hash of the asset id
+  (:class:`~repro.shard.router.HashRouter`) picks the owning shard, so
+  upserts and deletes touch exactly one shard's writer lock and write
+  throughput scales with the shard count.
+- **Reads scatter-gather.** Every search fans out to all shards
+  concurrently — through each shard's own serving scheduler
+  (:mod:`repro.serve`) when the fan-out is wide enough to be worth
+  scheduler threads, through a serial per-shard loop when it is not —
+  and the per-shard top-k streams merge into a global top-k through
+  the *same* ``(distance, asset_id)`` ordering contract the unsharded
+  executor uses (:mod:`repro.shard.merge`).
+- **Maintenance fans out.** ``build_index``/``maintain`` run per shard
+  (concurrently) and report aggregates; ``rebalance()`` re-routes
+  every row into a new shard count, with the manifest rewrite as the
+  atomic commit point.
+
+The shard map (count, router scheme, shard filenames, config
+fingerprint) persists in the directory's ``MANIFEST.json``
+(:mod:`repro.shard.manifest`); reopening validates it so a missing or
+renamed shard file, a wrong shard count, or a mismatched config fails
+loudly before any query runs.
+
+Approximation semantics: each shard clusters its own rows, so a
+sharded IVF probe set is *per shard* — ``nprobe`` partitions on every
+shard. Exhaustive settings (``exact=True``, or ``nprobe`` covering all
+partitions) return exactly what a single database over the same rows
+returns, neighbor for neighbor; at equal ``nprobe`` a sharded scan
+probes more partitions in total and recall is at least as high in
+practice, at proportionally higher scan cost.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import wait as wait_futures
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.config import MicroNNConfig, ShardConfig
+from repro.core.database import MicroNN, _as_record
+from repro.core.errors import (
+    ConfigError,
+    DatabaseClosedError,
+    FilterError,
+    StorageError,
+)
+from repro.core.types import (
+    BatchSearchResult,
+    BuildReport,
+    IndexStats,
+    MaintenanceAction,
+    MaintenanceReport,
+    PlanKind,
+    SearchResult,
+)
+from repro.query.filters import Predicate
+from repro.shard.manifest import ShardManifest
+from repro.shard.merge import (
+    ACTION_SEVERITY,
+    ShardedSearchResult,
+    aggregate_build_reports,
+    aggregate_index_stats,
+    aggregate_maintenance_reports,
+    merge_batch_results,
+    merge_search_results,
+)
+from repro.shard.router import Router, make_router
+from repro.storage.engine import VectorRecord
+from repro.storage.iomodel import IOSnapshot
+from repro.storage.memory import MemorySnapshot
+
+class _WriteGate:
+    """Shared/exclusive gate protecting the facade's shard map.
+
+    Everything that touches the fleet — writes, maintenance, reads —
+    enters *shared* and runs concurrently (each shard's engine
+    serializes its own writer internally, so per-shard write scaling
+    is preserved; readers never block each other). ``rebalance()``
+    alone takes *exclusive*: it closes and deletes the old shard
+    files, so every other operation must wait out the swap rather
+    than race a fleet that is disappearing under it. Exclusive entry
+    blocks new shared entrants first, then drains the in-flight ones
+    — a steady stream of queries cannot starve a rebalance.
+    """
+
+    def __init__(self) -> None:
+        self._cv = threading.Condition()
+        self._shared = 0
+        self._exclusive = False
+
+    def acquire_shared(self) -> None:
+        with self._cv:
+            while self._exclusive:
+                self._cv.wait()
+            self._shared += 1
+
+    def release_shared(self) -> None:
+        with self._cv:
+            self._shared -= 1
+            self._cv.notify_all()
+
+    @contextlib.contextmanager
+    def shared(self):
+        self.acquire_shared()
+        try:
+            yield
+        finally:
+            self.release_shared()
+
+    @contextlib.contextmanager
+    def exclusive(self):
+        with self._cv:
+            while self._exclusive:
+                self._cv.wait()
+            self._exclusive = True
+            # New shared entrants now queue behind us; wait for the
+            # in-flight ones to drain.
+            while self._shared:
+                self._cv.wait()
+        try:
+            yield
+        finally:
+            with self._cv:
+                self._exclusive = False
+                self._cv.notify_all()
+
+
+@dataclasses.dataclass(frozen=True)
+class RebalanceReport:
+    """Outcome of a shard-count change (:meth:`ShardedMicroNN.rebalance`)."""
+
+    shards_before: int
+    shards_after: int
+    vectors_moved: int
+    #: Whether the new shards were re-indexed after the move (done
+    #: whenever the fleet holds any vectors).
+    rebuilt: bool
+    duration_s: float
+    #: Errors raised while tearing down the *old* shards after the
+    #: manifest commit. The rebalance itself succeeded (the new fleet
+    #: is live and durable); these record cleanup debris — at worst
+    #: stale unlisted files — without masking the successful outcome.
+    teardown_errors: tuple[str, ...] = ()
+
+
+class ShardedMicroNN:
+    """N per-shard MicroNN databases behind the MicroNN public API."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str] | None,
+        config: MicroNNConfig,
+        shard_config: ShardConfig | None = None,
+        router: Router | None = None,
+    ) -> None:
+        self._config = config
+        self._tempdir: str | None = None
+        if path is None:
+            self._tempdir = tempfile.mkdtemp(prefix="micronn-shards-")
+            path = self._tempdir
+        self._path = os.fspath(path)
+        requested = shard_config
+        router_kind = router.kind if router is not None else (
+            (shard_config or ShardConfig()).router
+        )
+
+        if ShardManifest.exists(self._path):
+            manifest = ShardManifest.load(self._path)
+            manifest.validate(
+                self._path,
+                config,
+                requested.num_shards if requested is not None else None,
+                router_kind,
+            )
+            shard_config = dataclasses.replace(
+                requested or ShardConfig(),
+                num_shards=manifest.num_shards,
+                router=manifest.router_kind,
+            )
+        else:
+            shard_config = dataclasses.replace(
+                requested or ShardConfig(), router=router_kind
+            )
+            if router is not None and (
+                router.num_shards != shard_config.num_shards
+            ):
+                raise ConfigError(
+                    f"router covers {router.num_shards} shards but "
+                    f"config declares {shard_config.num_shards}"
+                )
+            if os.path.exists(self._path) and not os.path.isdir(
+                self._path
+            ):
+                raise StorageError(
+                    f"{self._path} exists and is not a directory — a "
+                    "sharded database needs a directory (is this a "
+                    "single-database file?)"
+                )
+            os.makedirs(self._path, exist_ok=True)
+            manifest = ShardManifest.create(
+                shard_config.num_shards, router_kind, config
+            )
+            manifest.save(self._path)
+
+        self._shard_config = shard_config
+        self._manifest = manifest
+        self._router = router or make_router(
+            manifest.router_kind, manifest.num_shards
+        )
+        if self._router.num_shards != manifest.num_shards:
+            raise ConfigError(
+                f"router covers {self._router.num_shards} shards but "
+                f"the manifest records {manifest.num_shards}"
+            )
+        per_shard = self._per_shard_config(config, manifest.num_shards)
+        self._shards: tuple[MicroNN, ...] = _open_fleet(
+            self._path, manifest.shard_files, per_shard
+        )
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        # Guards facade-level writes and maintenance against
+        # rebalance(): a write routed by the old shard map while rows
+        # stream to the new fleet would be copied-from-a-stale-
+        # snapshot and then deleted with the old files. Writes run
+        # concurrently with each other (shared mode — per-shard
+        # engines serialize their own writers); rebalance is
+        # exclusive, so everyone else simply waits out the move.
+        self._write_gate = _WriteGate()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike[str] | None = None,
+        config: MicroNNConfig | None = None,
+        *,
+        shards: int | ShardConfig | None = None,
+        router: Router | None = None,
+        dim: int | None = None,
+        **config_kwargs: object,
+    ) -> "ShardedMicroNN":
+        """Open (creating if needed) a sharded database directory.
+
+        Mirrors :meth:`MicroNN.open`: pass a full config or ``dim`` +
+        keywords. ``shards`` is the shard count (or a full
+        :class:`ShardConfig`); omit it when reopening to adopt the
+        manifest's count. ``path=None`` creates an ephemeral directory
+        removed on close.
+        """
+        if config is None:
+            if dim is None:
+                raise FilterError(
+                    "open() needs either a config or at least dim=..."
+                )
+            config = MicroNNConfig(
+                dim=dim, **config_kwargs  # type: ignore[arg-type]
+            )
+        elif dim is not None or config_kwargs:
+            raise FilterError(
+                "pass either a config object or keyword arguments, "
+                "not both"
+            )
+        if isinstance(shards, int):
+            shards = ShardConfig(num_shards=shards)
+        return cls(path, config, shard_config=shards, router=router)
+
+    def close(self) -> None:
+        """Close every shard; the facade is unusable afterwards.
+
+        Deterministic even under failure: every shard's ``close()``
+        (which drains that shard's serving scheduler and joins its
+        worker pools) is attempted — a raising shard never strands the
+        remaining shards' schedulers — and the first exception is
+        re-raised once the whole fleet is down.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        first_exc: BaseException | None = None
+        for shard in self._shards:
+            try:
+                shard.close()
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+        self._shutdown_pool()
+        if self._tempdir is not None:
+            shutil.rmtree(self._tempdir, ignore_errors=True)
+        if first_exc is not None:
+            raise first_exc
+
+    def __enter__(self) -> "ShardedMicroNN":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DatabaseClosedError("sharded database is closed")
+
+    @property
+    def config(self) -> MicroNNConfig:
+        return self._config
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[MicroNN, ...]:
+        """The per-shard databases (benchmarks introspect them)."""
+        return self._shards
+
+    @property
+    def router(self) -> Router:
+        return self._router
+
+    @property
+    def shard_config(self) -> ShardConfig:
+        return self._shard_config
+
+    @staticmethod
+    def _per_shard_config(
+        config: MicroNNConfig, num_shards: int
+    ) -> MicroNNConfig:
+        """Derive each shard's config from the facade-level one.
+
+        Admission sharing: the serving layer's shared I/O stage width
+        is a per-*database* knob, and a scatter query is in flight on
+        every shard at once — left alone, N shards would spin up N
+        full-width I/O stages for the same device. The resolved width
+        is split across shards with a ceiling (every shard keeps at
+        least one I/O thread), bounding the fleet's total at the
+        single-database budget plus at most ``num_shards - 1`` rounding
+        threads — never N full stages. Per-shard admission
+        (``max_inflight_queries``) is left intact: a scatter query
+        occupies one slot on every shard, which *is* the shared bound
+        — S concurrent scatters saturate every shard's admission
+        together.
+        """
+        if num_shards <= 1:
+            return config
+        total_io = config.resolved_serve_io_threads
+        return dataclasses.replace(
+            config,
+            serve_io_threads=max(
+                1, -(-total_io // num_shards)
+            ),
+        )
+
+    def _gather_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._check_open()
+                self._pool = ThreadPoolExecutor(
+                    max_workers=max(1, len(self._shards)),
+                    thread_name_prefix="micronn-shard-gather",
+                )
+            return self._pool
+
+    def _shutdown_pool(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _map_shards(self, fn, *args_lists):
+        """Run ``fn`` once per shard concurrently; results shard-order.
+
+        Serial fallback when only one shard exists (no threads to pay
+        for). Every future is waited on — even when one shard fails —
+        before the first exception (in shard order) propagates: the
+        caller typically holds the write gate in shared mode, and
+        releasing it while sibling shard operations are still running
+        would let a rebalance delete files under them.
+        """
+        if len(self._shards) == 1:
+            return [fn(self._shards[0], *(a[0] for a in args_lists))]
+        pool = self._gather_pool()
+        futures = [
+            pool.submit(fn, shard, *(a[i] for a in args_lists))
+            for i, shard in enumerate(self._shards)
+        ]
+        wait_futures(futures)
+        return [f.result() for f in futures]
+
+    def _use_schedulers(self, num_queries: int) -> bool:
+        """Scatter through shard schedulers, or a serial loop?
+
+        The scheduler path pays thread handoffs per shard; it wins
+        once the fan-out (shards x concurrent queries) is wide enough
+        that overlapping the shards' I/O matters. Both paths return
+        bit-identical results (the PR 3 contract; the one carve-out
+        is ``adaptive_nprobe_margin``, schedule-dependent on every
+        concurrent path).
+        """
+        return (
+            len(self._shards) > 1
+            and len(self._shards) * num_queries
+            >= self._shard_config.serve_scatter_threshold
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def upsert(
+        self,
+        asset_id: str,
+        vector: np.ndarray,
+        attributes: Mapping[str, object] | None = None,
+    ) -> None:
+        self.upsert_batch(
+            [VectorRecord(asset_id, np.asarray(vector), attributes or {})]
+        )
+
+    def upsert_batch(
+        self, records: Iterable[VectorRecord | tuple]
+    ) -> int:
+        """Route each record to its owning shard; one write
+        transaction per touched shard."""
+        self._check_open()
+        normalized = [_as_record(r) for r in records]
+        # Under the write gate: routing and writing must see one
+        # consistent shard map (see rebalance()).
+        with self._write_gate.shared():
+            by_shard: dict[int, list[VectorRecord]] = {}
+            for rec in normalized:
+                by_shard.setdefault(
+                    self._router.shard_for(rec.asset_id), []
+                ).append(rec)
+            return sum(
+                self._fanout_writes(
+                    [
+                        (idx, self._shards[idx].upsert_batch, batch)
+                        for idx, batch in sorted(by_shard.items())
+                    ]
+                )
+            )
+
+    def delete(self, asset_id: str) -> bool:
+        return self.delete_batch([asset_id]) > 0
+
+    def delete_batch(self, asset_ids: Iterable[str]) -> int:
+        self._check_open()
+        ids = [str(a) for a in asset_ids]
+        with self._write_gate.shared():
+            by_shard: dict[int, list[str]] = {}
+            for asset_id in ids:
+                by_shard.setdefault(
+                    self._router.shard_for(asset_id), []
+                ).append(asset_id)
+            return sum(
+                self._fanout_writes(
+                    [
+                        (idx, self._shards[idx].delete_batch, batch)
+                        for idx, batch in sorted(by_shard.items())
+                    ]
+                )
+            )
+
+    def _fanout_writes(self, calls) -> list[int]:
+        """Run per-shard write calls, concurrently when several shards
+        are touched — this is where one bulk caller actually gets the
+        N-writer-lock scaling (each shard's engine takes only its own
+        lock). A single-shard batch skips the pool. All futures settle
+        before the first error (in shard order) propagates, keeping
+        the shared write gate honest."""
+        if len(calls) <= 1:
+            return [fn(batch) for _, fn, batch in calls]
+        pool = self._gather_pool()
+        futures = [pool.submit(fn, batch) for _, fn, batch in calls]
+        wait_futures(futures)
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # Reads (point lookups)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._write_gate.shared():
+            return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, asset_id: str) -> bool:
+        with self._write_gate.shared():
+            return asset_id in self._shard_of(asset_id)
+
+    def get_vector(self, asset_id: str) -> np.ndarray | None:
+        with self._write_gate.shared():
+            return self._shard_of(asset_id).get_vector(asset_id)
+
+    def get_attributes(self, asset_id: str) -> dict[str, object] | None:
+        with self._write_gate.shared():
+            return self._shard_of(asset_id).get_attributes(asset_id)
+
+    def _shard_of(self, asset_id: str) -> MicroNN:
+        self._check_open()
+        return self._shards[self._router.shard_for(asset_id)]
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+
+    def build_index(self) -> BuildReport:
+        """Build every shard's IVF index (concurrently); aggregate."""
+        self._check_open()
+        start = time.perf_counter()
+        with self._write_gate.shared():
+            reports = self._map_shards(
+                lambda shard: shard.build_index()
+            )
+        return aggregate_build_reports(
+            reports, time.perf_counter() - start
+        )
+
+    def maintain(
+        self, force: MaintenanceAction | None = None
+    ) -> MaintenanceReport:
+        """Fan :meth:`MicroNN.maintain` out to every shard.
+
+        Each shard's monitor makes its own recommendation (shards
+        drift independently — hash routing spreads *rows* evenly, but
+        flush thresholds trip per shard), unless ``force`` overrides
+        them all. The report aggregates: heaviest action taken, summed
+        flush/row counters, fleet-wide stats snapshots.
+        """
+        self._check_open()
+        start = time.perf_counter()
+        with self._write_gate.shared():
+            reports = self._map_shards(
+                lambda shard: shard.maintain(force=force)
+            )
+        return aggregate_maintenance_reports(
+            reports, time.perf_counter() - start
+        )
+
+    def index_stats(self) -> IndexStats:
+        self._check_open()
+        with self._write_gate.shared():
+            return aggregate_index_stats(
+                [shard.index_stats() for shard in self._shards]
+            )
+
+    def recommended_action(self) -> MaintenanceAction:
+        """The heaviest action any shard's monitor recommends."""
+        self._check_open()
+        return max(
+            (shard.recommended_action() for shard in self._shards),
+            key=ACTION_SEVERITY.__getitem__,
+        )
+
+    # ------------------------------------------------------------------
+    # Search (scatter-gather)
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        nprobe: int | None = None,
+        filters: Predicate | None = None,
+        exact: bool = False,
+        plan: PlanKind | None = None,
+    ) -> ShardedSearchResult:
+        """Scatter the query to every shard, gather the global top-k.
+
+        Same parameters as :meth:`MicroNN.search`. Each shard runs the
+        full single-database path (its own optimizer decision for
+        hybrid queries, its own quantized scan + exact rerank), so
+        exhaustive settings return exactly the single-database result
+        over the same rows. ``result.stats`` aggregates shard costs
+        (``shards_probed`` = fan-out width); ``result.shard_stats``
+        keeps the per-shard attribution.
+        """
+        self._check_open()
+        start = time.perf_counter()
+        # Shared gate: a concurrent rebalance() must not close the
+        # old fleet while this scatter is reading from it.
+        with self._write_gate.shared():
+            if self._use_schedulers(1):
+                futures = self._scatter_async(
+                    query, k, nprobe, filters, exact, plan
+                )
+                # Settle every shard before any error propagates (and
+                # the gate is released) — see _map_shards.
+                wait_futures(futures)
+                results = [f.result() for f in futures]
+            else:
+                results = [
+                    shard.search(
+                        query,
+                        k=k,
+                        nprobe=nprobe,
+                        filters=filters,
+                        exact=exact,
+                        plan=plan,
+                    )
+                    for shard in self._shards
+                ]
+        return merge_search_results(
+            results, k, time.perf_counter() - start
+        )
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: int | None = None,
+    ) -> BatchSearchResult:
+        """Scatter the whole batch to every shard's MQO executor.
+
+        Each shard amortizes partition reads across the batch exactly
+        as a single database would (§3.4); the scatter adds the
+        cross-shard axis — all shards scan concurrently, each on its
+        own I/O path — and the gather merges per query. Falls back to
+        a serial per-shard loop when ``shards x queries`` is under the
+        scatter threshold.
+        """
+        self._check_open()
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        start = time.perf_counter()
+        with self._write_gate.shared():
+            if self._use_schedulers(q.shape[0]):
+                batches = self._map_shards(
+                    lambda shard: shard.search_batch(
+                        q, k=k, nprobe=nprobe
+                    )
+                )
+            else:
+                batches = [
+                    shard.search_batch(q, k=k, nprobe=nprobe)
+                    for shard in self._shards
+                ]
+        return merge_batch_results(
+            batches, k, time.perf_counter() - start
+        )
+
+    def _scatter_async(
+        self, query, k, nprobe, filters, exact, plan
+    ) -> list[Future]:
+        """Submit one query to every shard's serving scheduler.
+
+        Input validation happens synchronously in the first shard's
+        ``search_async`` (all shards share the config, so one shard's
+        verdict is the fleet's). If a later submission fails anyway
+        (e.g. a racing close), the already-submitted futures are left
+        to complete — their shards' schedulers own them — and the
+        error propagates to the caller.
+        """
+        return [
+            shard.search_async(
+                query,
+                k=k,
+                nprobe=nprobe,
+                filters=filters,
+                exact=exact,
+                plan=plan,
+            )
+            for shard in self._shards
+        ]
+
+    def search_async(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        nprobe: int | None = None,
+        filters: Predicate | None = None,
+        exact: bool = False,
+        plan: PlanKind | None = None,
+    ) -> Future:
+        """Scatter asynchronously; the future resolves to the merged
+        :class:`ShardedSearchResult`.
+
+        The scatter goes through every shard's own scheduler (shared
+        cross-query I/O coalescing and admission per shard); the
+        gather runs as a completion callback on whichever shard
+        finishes last, so no thread blocks waiting. A failing shard
+        fails the merged future with that shard's exception (earliest
+        shard in shard order wins when several fail) once all shards
+        have settled — error isolation stays per query, exactly as in
+        the single-database scheduler. The facade's write gate is
+        held (shared) until the merged future resolves, so a
+        concurrent ``rebalance()`` waits for every in-flight async
+        query before swapping the fleet.
+        """
+        self._check_open()
+        start = time.perf_counter()
+        self._write_gate.acquire_shared()
+        try:
+            futures = self._scatter_async(
+                query, k, nprobe, filters, exact, plan
+            )
+        except BaseException:
+            self._write_gate.release_shared()
+            raise
+        outer: Future = Future()
+        remaining = [len(futures)]
+        lock = threading.Lock()
+
+        def on_done(_f: Future) -> None:
+            with lock:
+                remaining[0] -= 1
+                if remaining[0] > 0:
+                    return
+            # Last shard settled: the gate releases HERE — tied to the
+            # shard futures, not the outer future, so a caller
+            # cancelling the merged future cannot strip rebalance
+            # protection from still-running shard queries.
+            try:
+                try:
+                    results = [f.result() for f in futures]
+                    merged = merge_search_results(
+                        results, k, time.perf_counter() - start
+                    )
+                except BaseException as exc:
+                    if not outer.done():
+                        outer.set_exception(exc)
+                    return
+                if not outer.done():
+                    outer.set_result(merged)
+            finally:
+                self._write_gate.release_shared()
+
+        for f in futures:
+            f.add_done_callback(on_done)
+        return outer
+
+    async def search_asyncio(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        nprobe: int | None = None,
+        filters: Predicate | None = None,
+        exact: bool = False,
+        plan: PlanKind | None = None,
+    ) -> SearchResult:
+        """Awaitable :meth:`search` for asyncio applications."""
+        import asyncio
+
+        return await asyncio.wrap_future(
+            self.search_async(
+                query,
+                k=k,
+                nprobe=nprobe,
+                filters=filters,
+                exact=exact,
+                plan=plan,
+            )
+        )
+
+    def serve_session(self):
+        """Open a :class:`repro.serve.Session` over the whole fleet.
+
+        Sessions are facade-agnostic — submission goes through
+        ``search_async``, so every submitted query scatter-gathers and
+        the session's stats aggregate merged (fleet-level) results.
+        """
+        from repro.serve.session import Session
+
+        self._check_open()
+        return Session(self)
+
+    # ------------------------------------------------------------------
+    # Rebalancing (shard-count changes)
+    # ------------------------------------------------------------------
+
+    def rebalance(self, num_shards: int) -> RebalanceReport:
+        """Move every row into a fleet of ``num_shards`` shards.
+
+        The only way to change a deployment's shard count (open()
+        refuses a mismatched ``shards=``): streams all rows out of the
+        current shards in bounded batches, routes them through a fresh
+        router for the new count, builds the new shards' indexes, then
+        commits by atomically rewriting the manifest — the moment the
+        new manifest is on disk, the new fleet is the database. Old
+        shard files are deleted after the commit; a crash in between
+        leaves stale (unlisted, ignored) files, never a half-routed
+        fleet.
+
+        Concurrency: the facade's write gate is held exclusively for
+        the whole move — every other facade operation (writes,
+        maintenance, *and* reads) blocks until the swap instead of
+        racing a fleet whose files are being deleted. A rebalance is
+        a stop-the-world event for this facade; schedule it off-peak.
+        In-flight handles on old shard objects are invalid afterwards.
+        Old-shard teardown errors *after* the commit do not raise —
+        the rebalance succeeded and the report says so — they are
+        surfaced in ``RebalanceReport.teardown_errors``.
+        """
+        self._check_open()
+        # Full ShardConfig validation up front: the same count/cap
+        # rules open() enforces must fail HERE, before any copying —
+        # an out-of-range count discovered at swap time would strand
+        # a committed manifest no open() could ever validate.
+        new_shard_config = dataclasses.replace(
+            self._shard_config, num_shards=num_shards
+        )
+        if self._router.kind != "hash":
+            raise ConfigError(
+                "rebalance() supports the built-in hash router only; "
+                "re-shard custom-routed deployments manually"
+            )
+        start = time.perf_counter()
+        if num_shards == len(self._shards):
+            return RebalanceReport(
+                shards_before=num_shards,
+                shards_after=num_shards,
+                vectors_moved=0,
+                rebuilt=False,
+                duration_s=time.perf_counter() - start,
+            )
+        with self._write_gate.exclusive():
+            return self._rebalance_locked(
+                num_shards, new_shard_config, start
+            )
+
+    def _rebalance_locked(
+        self,
+        num_shards: int,
+        new_shard_config: ShardConfig,
+        start: float,
+    ) -> RebalanceReport:
+        new_router = make_router("hash", num_shards)
+        new_manifest = ShardManifest.create(
+            num_shards, "hash", self._config
+        )
+        per_shard = self._per_shard_config(self._config, num_shards)
+        for name in new_manifest.shard_files:
+            _remove_sqlite_files(os.path.join(self._path, name))
+        new_shard_list: list[MicroNN] = []
+        try:
+            for name in new_manifest.shard_files:
+                new_shard_list.append(
+                    MicroNN(os.path.join(self._path, name), per_shard)
+                )
+            new_shards = tuple(new_shard_list)
+            moved = self._copy_rows_into(new_shards, new_router)
+            rebuilt = moved > 0
+            if rebuilt:
+                # Transient pool sized for the NEW fleet: the shared
+                # gather pool is sized for the old count, which would
+                # serialize a grow-path rebuild (1 -> 8 shards would
+                # build one index at a time inside the exclusive
+                # gate). All builds settle before the first error
+                # propagates, so the abort path never closes a shard
+                # under its own in-flight build.
+                with ThreadPoolExecutor(
+                    max_workers=max(1, num_shards),
+                    thread_name_prefix="micronn-shard-rebuild",
+                ) as build_pool:
+                    futures = [
+                        build_pool.submit(shard.build_index)
+                        for shard in new_shards
+                    ]
+                    wait_futures(futures)
+                    for f in futures:
+                        f.result()
+        except BaseException:
+            # Abort: tear the (possibly partial) new fleet down and
+            # leave the manifest — and therefore the live database —
+            # untouched. Cleanup failures are swallowed: every new
+            # shard must be attempted, and the root-cause copy/build/
+            # open error is the one the caller needs to see.
+            for shard in new_shard_list:
+                with contextlib.suppress(BaseException):
+                    shard.close()
+                _remove_sqlite_files(shard.path)
+            raise
+
+        new_manifest.save(self._path)  # the commit point
+        old_shards, old_manifest = self._shards, self._manifest
+        self._shards = new_shards
+        self._manifest = new_manifest
+        self._router = new_router
+        self._shard_config = new_shard_config
+        self._shutdown_pool()  # resized lazily on next use
+        teardown_errors: list[str] = []
+        for shard, name in zip(old_shards, old_manifest.shard_files):
+            try:
+                shard.close()
+            except BaseException as exc:
+                teardown_errors.append(f"{name}: {exc!r}")
+            finally:
+                _remove_sqlite_files(os.path.join(self._path, name))
+        return RebalanceReport(
+            shards_before=len(old_shards),
+            shards_after=num_shards,
+            vectors_moved=moved,
+            rebuilt=rebuilt,
+            duration_s=time.perf_counter() - start,
+            teardown_errors=tuple(teardown_errors),
+        )
+
+    def _copy_rows_into(
+        self, new_shards: tuple[MicroNN, ...], new_router: Router
+    ) -> int:
+        """Stream every row to its new shard in bounded batches."""
+        has_attrs = bool(self._config.attributes)
+        moved = 0
+        for old in self._shards:
+            engine = old.engine
+            for ids, matrix in engine.iter_vector_batches(
+                batch_size=2048
+            ):
+                attrs_by_id = (
+                    engine.get_attributes_many(ids) if has_attrs else {}
+                )
+                by_shard: dict[int, list[VectorRecord]] = {}
+                for i, asset_id in enumerate(ids):
+                    by_shard.setdefault(
+                        new_router.shard_for(asset_id), []
+                    ).append(
+                        VectorRecord(
+                            asset_id,
+                            matrix[i],
+                            attrs_by_id.get(asset_id, {}),
+                        )
+                    )
+                for idx, batch in sorted(by_shard.items()):
+                    moved += new_shards[idx].upsert_batch(batch)
+        return moved
+
+    # ------------------------------------------------------------------
+    # Statistics, telemetry, cache scenarios
+    # ------------------------------------------------------------------
+
+    def refresh_statistics(self) -> None:
+        self._check_open()
+        with self._write_gate.shared():
+            for shard in self._shards:
+                shard.refresh_statistics()
+
+    def purge_caches(self) -> None:
+        """Cold-start scenario on every shard."""
+        self._check_open()
+        with self._write_gate.shared():
+            for shard in self._shards:
+                shard.purge_caches()
+
+    def warm_cache(
+        self, queries: np.ndarray, k: int = 10, nprobe: int | None = None
+    ) -> None:
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        for row in q:
+            self.search(row, k=k, nprobe=nprobe)
+
+    def compact(self) -> int:
+        """Compact every shard; returns total bytes reclaimed."""
+        self._check_open()
+        with self._write_gate.shared():
+            return sum(shard.compact() for shard in self._shards)
+
+    def check_integrity(self) -> list[str]:
+        """Every shard's integrity problems, prefixed by shard file."""
+        self._check_open()
+        with self._write_gate.shared():
+            problems: list[str] = []
+            for shard, name in zip(
+                self._shards, self._manifest.shard_files
+            ):
+                problems.extend(
+                    f"{name}: {p}" for p in shard.check_integrity()
+                )
+            return problems
+
+    def scan_mode(self) -> str:
+        """The fleet's scan mode ("mixed" while shards disagree)."""
+        self._check_open()
+        with self._write_gate.shared():
+            modes = {shard.scan_mode() for shard in self._shards}
+        return modes.pop() if len(modes) == 1 else "mixed"
+
+    def scan_mode_description(self, k: int = 10) -> str:
+        """One-line account of the active scan mode (fleet-uniform
+        config, so shard 0 speaks for everyone)."""
+        self._check_open()
+        return self._shards[0].scan_mode_description(k)
+
+    def memory(self) -> MemorySnapshot:
+        """Summed tracked memory across shards."""
+        self._check_open()
+        with self._write_gate.shared():
+            snapshots = [shard.memory() for shard in self._shards]
+        by_category: dict[str, int] = {}
+        for snap in snapshots:
+            for category, nbytes in snap.by_category.items():
+                by_category[category] = (
+                    by_category.get(category, 0) + nbytes
+                )
+        return MemorySnapshot(
+            current_bytes=sum(s.current_bytes for s in snapshots),
+            # Per-shard peaks need not coincide; the sum is the
+            # conservative fleet envelope.
+            peak_bytes=sum(s.peak_bytes for s in snapshots),
+            by_category=by_category,
+        )
+
+    def io(self) -> IOSnapshot:
+        """Summed cumulative I/O counters across shards."""
+        self._check_open()
+        with self._write_gate.shared():
+            snapshots = [shard.io() for shard in self._shards]
+        return IOSnapshot(
+            bytes_read=sum(s.bytes_read for s in snapshots),
+            read_requests=sum(s.read_requests for s in snapshots),
+            cache_hits=sum(s.cache_hits for s in snapshots),
+            cache_misses=sum(s.cache_misses for s in snapshots),
+            rows_written=sum(s.rows_written for s in snapshots),
+            simulated_latency_s=sum(
+                s.simulated_latency_s for s in snapshots
+            ),
+        )
+
+
+def _open_fleet(
+    root: str, names: tuple[str, ...], config: MicroNNConfig
+) -> tuple[MicroNN, ...]:
+    """Open every shard, closing the partial fleet if one fails.
+
+    A corrupt or mismatched shard file must not leak the SQLite
+    connections of the shards already opened before it.
+    """
+    shards: list[MicroNN] = []
+    try:
+        for name in names:
+            shards.append(MicroNN(os.path.join(root, name), config))
+    except BaseException:
+        for shard in shards:
+            with contextlib.suppress(BaseException):
+                shard.close()
+        raise
+    return tuple(shards)
+
+
+def _remove_sqlite_files(path: str) -> None:
+    """Remove a SQLite database file and its WAL/SHM side files."""
+    for suffix in ("", "-wal", "-shm"):
+        try:
+            os.remove(path + suffix)
+        except FileNotFoundError:
+            pass

@@ -1234,6 +1234,40 @@ class StorageEngine:
             return None
         return dict(zip(names, row))
 
+    def get_attributes_many(
+        self, asset_ids: Sequence[str]
+    ) -> dict[str, dict[str, object]]:
+        """Attribute values for many assets in one query per chunk.
+
+        The bulk twin of :meth:`get_attributes` (used by the sharded
+        engine's rebalance row stream, where a per-row point query
+        would dominate the copy): one ``IN (...)`` select per 512-id
+        chunk, missing assets simply absent from the result.
+        """
+        self._check_open()
+        names = list(self._config.normalized_attributes)
+        if not names:
+            return {}
+        cols = ", ".join(schema_mod._quote_ident(n) for n in names)
+        out: dict[str, dict[str, object]] = {}
+        ids = [str(a) for a in asset_ids]
+        # Plain reader (no read_snapshot): callers stream this while
+        # iter_vector_batches already holds a snapshot on the same
+        # thread-local connection, and autocommit reads compose with
+        # an open transaction where a nested BEGIN would not.
+        conn = self._reader()
+        for lo in range(0, len(ids), 512):
+            chunk = ids[lo : lo + 512]
+            placeholders = ", ".join("?" * len(chunk))
+            rows = conn.execute(
+                f"SELECT asset_id, {cols} FROM attributes "
+                f"WHERE asset_id IN ({placeholders})",
+                chunk,
+            ).fetchall()
+            for row in rows:
+                out[row[0]] = dict(zip(names, row[1:]))
+        return out
+
     def token_document_frequency(self, attribute: str, token: str) -> int:
         """Number of assets whose attribute contains the token (MATCH df)."""
         self._check_open()

@@ -86,6 +86,168 @@ class TestLifecycleViaCli:
         assert "beta" in capsys.readouterr().out
 
 
+class TestShardedCli:
+    def test_sharded_lifecycle(self, tmp_path, npy_vectors, capsys):
+        npy_path, vectors = npy_vectors
+        db_path = str(tmp_path / "cli.sharded")
+
+        assert main(
+            ["create", db_path, "--dim", "8", "--shards", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 shards" in out
+        assert out.startswith("created ")
+        # create over an existing directory is honest about reopening.
+        assert main(["create", db_path, "--dim", "8"]) == 0
+        assert capsys.readouterr().out.startswith("opened existing ")
+        # Later commands auto-detect the manifest — no --shards needed.
+        assert main(["insert", db_path, "--vectors", str(npy_path)]) == 0
+        assert main(["build", db_path, "--dim", "8"]) == 0
+
+        query_path = tmp_path / "query.npy"
+        np.save(query_path, vectors[5])
+        assert main(
+            ["search", db_path, "--query", str(query_path), "-k", "3"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "row-5" in captured.out
+        assert "shards=3" in captured.err
+
+    def test_sharded_stats(self, tmp_path, npy_vectors, capsys):
+        npy_path, _ = npy_vectors
+        db_path = str(tmp_path / "cli.sharded")
+        main(["create", db_path, "--dim", "8", "--shards", "2"])
+        main(["insert", db_path, "--vectors", str(npy_path)])
+        main(["build", db_path, "--dim", "8"])
+        capsys.readouterr()
+        assert main(
+            ["stats", db_path, "--dim", "8", "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shards               2" in out
+        assert "total vectors        120" in out
+        assert "scan mode" in out
+
+    def test_cluster_size_remembered_by_manifest(
+        self, tmp_path, npy_vectors, capsys
+    ):
+        """A flag-free rebuild must use the creation-time cluster
+        size, not silently reset to the default."""
+        npy_path, _ = npy_vectors
+        db_path = str(tmp_path / "cli.sharded")
+        main(
+            ["create", db_path, "--dim", "8", "--shards", "2",
+             "--cluster-size", "30"]
+        )
+        main(["insert", db_path, "--vectors", str(npy_path)])
+        assert main(["build", db_path]) == 0  # no --cluster-size
+        capsys.readouterr()
+        main(["stats", db_path])
+        out = capsys.readouterr().out
+        # 120 vectors / target 30 -> 2 partitions per 60-row shard;
+        # the forgotten-flag bug would build 1 per shard (target 100).
+        assert "partitions           4" in out
+
+    def test_sharded_quantized_flow_is_flag_free(
+        self, tmp_path, npy_vectors, capsys
+    ):
+        """The manifest is the config source of truth on reopen: a
+        directory created with --quantization sq8 + --metric cosine
+        must be drivable without re-passing either flag (or --dim)."""
+        npy_path, vectors = npy_vectors
+        db_path = str(tmp_path / "cli.sharded")
+        main(
+            ["create", db_path, "--dim", "8", "--shards", "2",
+             "--quantization", "sq8", "--metric", "cosine"]
+        )
+        assert main(["insert", db_path, "--vectors", str(npy_path)]) == 0
+        assert main(["build", db_path]) == 0
+        capsys.readouterr()
+        assert main(["stats", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "quantization         sq8" in out
+        query_path = tmp_path / "q.npy"
+        np.save(query_path, vectors[7])
+        assert main(
+            ["search", db_path, "--query", str(query_path), "-k", "1"]
+        ) == 0
+        assert "row-7" in capsys.readouterr().out
+
+    def test_explicit_wrong_metric_on_sharded_dir_fails(
+        self, tmp_path, npy_vectors
+    ):
+        """An explicit --metric that disagrees with the manifest must
+        fail validation, not be silently ignored."""
+        from repro.core.errors import ConfigError
+
+        npy_path, vectors = npy_vectors
+        db_path = str(tmp_path / "cli.sharded")
+        main(["create", db_path, "--dim", "8", "--shards", "2"])
+        query_path = tmp_path / "q.npy"
+        np.save(query_path, vectors[0])
+        with pytest.raises(ConfigError, match="metric"):
+            main(
+                ["search", db_path, "--query", str(query_path),
+                 "--metric", "dot"]
+            )
+        with pytest.raises(ConfigError, match="quantization"):
+            main(["stats", db_path, "--quantization", "pq"])
+
+    def test_create_sharded_over_single_db_file_fails_cleanly(
+        self, tmp_path, npy_vectors
+    ):
+        from repro import StorageError
+
+        db_path = str(tmp_path / "cli.db")
+        main(["create", db_path, "--dim", "8"])
+        with pytest.raises(StorageError, match="not a directory"):
+            main(["create", db_path, "--dim", "8", "--shards", "2"])
+
+    def test_shard_count_mismatch_raises(self, tmp_path, npy_vectors):
+        from repro.core.errors import ConfigError
+
+        db_path = str(tmp_path / "cli.sharded")
+        main(["create", db_path, "--dim", "8", "--shards", "2"])
+        with pytest.raises(ConfigError, match="shard count"):
+            main(["stats", db_path, "--dim", "8", "--shards", "5"])
+
+    def test_build_and_maintain_accept_shards_assert(
+        self, tmp_path, npy_vectors, capsys
+    ):
+        from repro.core.errors import ConfigError
+
+        npy_path, _ = npy_vectors
+        db_path = str(tmp_path / "cli.sharded")
+        main(["create", db_path, "--dim", "8", "--shards", "2"])
+        main(["insert", db_path, "--vectors", str(npy_path)])
+        assert main(["build", db_path, "--shards", "2"]) == 0
+        assert main(
+            ["maintain", db_path, "--shards", "2", "--force",
+             "incremental_flush"]
+        ) == 0
+        with pytest.raises(ConfigError, match="shard count"):
+            main(["build", db_path, "--shards", "3"])
+
+    def test_stats_surfaces_quantization_observability(
+        self, tmp_path, npy_vectors, capsys
+    ):
+        """The PR 4 fields: code bytes/vector, compression ratio and
+        the scan-mode line must show up once a quantizer is trained."""
+        npy_path, _ = npy_vectors
+        db_path = str(tmp_path / "cli.db")
+        args = ["--dim", "8", "--quantization", "sq8"]
+        main(["create", db_path, *args])
+        main(["insert", db_path, "--vectors", str(npy_path), *args])
+        main(["build", db_path, *args])
+        capsys.readouterr()
+        assert main(["stats", db_path, *args]) == 0
+        out = capsys.readouterr().out
+        assert "quantization         sq8" in out
+        assert "code bytes/vector    8" in out
+        assert "compression ratio    4.00x" in out
+        assert "scan mode            sq8" in out
+
+
 class TestCliErrors:
     def test_mismatched_ids_rejected(self, tmp_path, rng, capsys):
         db_path = str(tmp_path / "cli.db")

@@ -1,0 +1,129 @@
+"""Router + manifest tests: stable routing, shard-map validation."""
+
+import dataclasses
+
+import pytest
+
+from repro import MicroNNConfig
+from repro.core.errors import ConfigError, StorageError
+from repro.shard import (
+    HashRouter,
+    ShardManifest,
+    make_router,
+    shard_filename,
+)
+
+
+class TestHashRouter:
+    def test_stable_across_instances(self):
+        a, b = HashRouter(8), HashRouter(8)
+        ids = [f"asset-{i}" for i in range(500)]
+        assert [a.shard_for(i) for i in ids] == [
+            b.shard_for(i) for i in ids
+        ]
+
+    def test_pinned_values(self):
+        """BLAKE2b routing is platform-independent: pin a few ids so a
+        hash-scheme change (which would orphan every stored row) can
+        never slip through silently."""
+        router = HashRouter(4)
+        routed = {
+            asset_id: router.shard_for(asset_id)
+            for asset_id in ("a0000", "a0001", "photo-7", "")
+        }
+        assert routed == {
+            "a0000": 1,
+            "a0001": 1,
+            "photo-7": 1,
+            "": 0,
+        }
+
+    def test_range(self):
+        router = HashRouter(3)
+        assert all(
+            0 <= router.shard_for(f"x{i}") < 3 for i in range(1000)
+        )
+
+    def test_single_shard_short_circuits(self):
+        assert HashRouter(1).shard_for("anything") == 0
+
+    def test_roughly_uniform(self):
+        router = HashRouter(4)
+        counts = [0, 0, 0, 0]
+        for i in range(8000):
+            counts[router.shard_for(f"asset-{i:06d}")] += 1
+        assert min(counts) > 0.8 * (8000 / 4)
+        assert max(counts) < 1.2 * (8000 / 4)
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigError):
+            HashRouter(0)
+
+    def test_make_router_unknown_kind(self):
+        with pytest.raises(ConfigError, match="unknown router"):
+            make_router("geo", 4)
+
+
+class TestManifest:
+    def _manifest(self, num_shards=3, dim=8):
+        config = MicroNNConfig(dim=dim)
+        return ShardManifest.create(num_shards, "hash", config), config
+
+    def test_roundtrip(self, tmp_path):
+        manifest, _ = self._manifest()
+        manifest.save(tmp_path)
+        assert ShardManifest.exists(tmp_path)
+        assert ShardManifest.load(tmp_path) == manifest
+
+    def test_filenames_embed_count(self):
+        manifest, _ = self._manifest(num_shards=2)
+        assert manifest.shard_files == (
+            "shard-0000-of-0002.db",
+            "shard-0001-of-0002.db",
+        )
+        assert shard_filename(7, 12) == "shard-0007-of-0012.db"
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(StorageError, match="no shard manifest"):
+            ShardManifest.load(tmp_path)
+
+    def test_load_malformed(self, tmp_path):
+        (tmp_path / "MANIFEST.json").write_text("{not json")
+        with pytest.raises(StorageError, match="unreadable"):
+            ShardManifest.load(tmp_path)
+
+    def test_load_missing_keys(self, tmp_path):
+        (tmp_path / "MANIFEST.json").write_text('{"version": 1}')
+        with pytest.raises(StorageError, match="malformed"):
+            ShardManifest.load(tmp_path)
+
+    def test_validate_shard_count_mismatch(self, tmp_path):
+        manifest, config = self._manifest(num_shards=3)
+        for name in manifest.shard_files:
+            (tmp_path / name).touch()
+        with pytest.raises(ConfigError, match="shard count mismatch"):
+            manifest.validate(tmp_path, config, 4, "hash")
+
+    def test_validate_router_mismatch(self, tmp_path):
+        manifest, config = self._manifest()
+        with pytest.raises(ConfigError, match="router mismatch"):
+            manifest.validate(tmp_path, config, None, "geo")
+
+    def test_validate_config_fingerprint(self, tmp_path):
+        manifest, config = self._manifest(dim=8)
+        other = dataclasses.replace(config, dim=16)
+        with pytest.raises(ConfigError, match="dim"):
+            manifest.validate(tmp_path, other, None, "hash")
+
+    def test_validate_missing_file(self, tmp_path):
+        manifest, config = self._manifest(num_shards=2)
+        (tmp_path / manifest.shard_files[0]).touch()
+        # shard 1's file was deleted (or renamed) out from under us.
+        with pytest.raises(StorageError, match="missing or renamed"):
+            manifest.validate(tmp_path, config, None, "hash")
+
+    def test_validate_all_present(self, tmp_path):
+        manifest, config = self._manifest(num_shards=2)
+        for name in manifest.shard_files:
+            (tmp_path / name).touch()
+        manifest.validate(tmp_path, config, 2, "hash")

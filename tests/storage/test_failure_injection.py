@@ -1,9 +1,11 @@
 """Failure injection: corruption, invalid state, rollback behaviour."""
 
+import threading
+
 import numpy as np
 import pytest
 
-from repro import MicroNN, MicroNNConfig, StorageError
+from repro import MicroNN, MicroNNConfig, ShardedMicroNN, StorageError
 from repro.core.config import DELTA_PARTITION_ID
 
 
@@ -111,3 +113,102 @@ class TestDeltaSafety:
         db.engine.purge_caches()
         with pytest.raises(StorageError):
             db.search(rng.normal(size=4).astype(np.float32), k=3)
+
+
+class TestShardedCloseFailure:
+    """ShardedMicroNN.close() under a failing shard (ISSUE 5).
+
+    The contract: every shard's close() is attempted — a raising shard
+    must not strand the remaining shards' serving schedulers or worker
+    pools — and the first exception re-raises once the fleet is down.
+    """
+
+    def _fleet(self, tmp_path, rng, shards=3):
+        config = MicroNNConfig(dim=4, target_cluster_size=5,
+                               kmeans_iterations=5)
+        db = ShardedMicroNN.open(tmp_path / "fleet", config,
+                                 shards=shards)
+        vecs = rng.normal(size=(30, 4)).astype(np.float32)
+        db.upsert_batch((f"a{i:02d}", vecs[i]) for i in range(30))
+        db.build_index()
+        # Spin up every shard's serving scheduler so close() has real
+        # schedulers to drain, not lazily-absent ones.
+        db.search_async(vecs[0], k=3).result(timeout=30)
+        return db, vecs
+
+    def test_remaining_shards_closed_and_first_error_reraised(
+        self, tmp_path, rng
+    ):
+        db, _ = self._fleet(tmp_path, rng)
+        victim = db.shards[1]
+        victim_close = victim.close
+        boom = RuntimeError("injected shard close failure")
+
+        def failing_close():
+            raise boom
+
+        victim.close = failing_close
+        try:
+            with pytest.raises(RuntimeError, match="injected"):
+                db.close()
+            # Every *other* shard was still torn down: engines closed,
+            # schedulers drained, no worker threads left behind (the
+            # victim's scheduler is the only one allowed to survive).
+            for idx, shard in enumerate(db.shards):
+                assert shard.engine.is_open == (idx == 1)
+        finally:
+            victim_close()  # reap the injected shard's threads
+        lingering = [
+            t.name for t in threading.enumerate()
+            if t.name.startswith("micronn-")
+        ]
+        assert lingering == []
+
+    def test_first_of_many_failures_wins(self, tmp_path, rng):
+        db, _ = self._fleet(tmp_path, rng)
+        originals = [shard.close for shard in db.shards]
+        for idx in (0, 2):
+            def make(i):
+                def failing_close():
+                    raise RuntimeError(f"shard {i} failed")
+                return failing_close
+            db.shards[idx].close = make(idx)
+        try:
+            with pytest.raises(RuntimeError, match="shard 0 failed"):
+                db.close()
+            assert not db.shards[1].engine.is_open
+        finally:
+            originals[0]()
+            originals[2]()
+
+    def test_close_idempotent_after_failure(self, tmp_path, rng):
+        db, _ = self._fleet(tmp_path, rng)
+        victim = db.shards[2]
+        victim_close = victim.close
+        victim.close = lambda: (_ for _ in ()).throw(
+            RuntimeError("injected")
+        )
+        try:
+            with pytest.raises(RuntimeError):
+                db.close()
+            # Second close is a no-op, not a second round of errors.
+            db.close()
+        finally:
+            victim_close()
+
+    def test_failure_does_not_resurrect_facade(self, tmp_path, rng):
+        from repro.core.errors import DatabaseClosedError
+
+        db, vecs = self._fleet(tmp_path, rng)
+        victim = db.shards[0]
+        victim_close = victim.close
+        victim.close = lambda: (_ for _ in ()).throw(
+            RuntimeError("injected")
+        )
+        try:
+            with pytest.raises(RuntimeError):
+                db.close()
+            with pytest.raises(DatabaseClosedError):
+                db.search(vecs[0], k=3)
+        finally:
+            victim_close()
