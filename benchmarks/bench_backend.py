@@ -1,0 +1,265 @@
+"""Storage-backend A/B: packed partition blobs vs row-per-vector.
+
+The tentpole claim of the storage-backend abstraction, measured end to
+end: the packed layout must (a) return **bit-identical** results to
+the row layout under every quantization mode — same ids, same
+distances, query by query — and (b) cut the bytes read per query of a
+PQ scan by >=2x. The row layout pays ~40 bytes of b-tree key + record
+overhead per row; at 8-byte PQ codes that overhead is 5x the payload,
+and packing the partition into one blob collapses it to a
+per-partition constant. float32 payloads (256 bytes at dim=64) bury
+the same overhead, so the sweep also shows where packing does NOT pay.
+
+Emits a JSON artifact (``MICRONN_BENCH_ARTIFACTS`` directory, default
+``bench-artifacts/``) diffed by the CI trend checker; the byte metrics
+are pinned in ``benchmarks/baselines/backend.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import DeviceProfile, MicroNN, MicroNNConfig
+from repro.bench.harness import populate, print_table
+from repro.workloads.groundtruth import compute_ground_truth
+from repro.workloads.metrics import mean_recall_at_k, summarize_latencies
+
+K = 10
+NPROBE = 32
+
+#: PQ sub-vectors at dim=64: 8-byte codes, dsub=8 — the code width
+#: where row overhead dominates and packing has the most to win.
+PQ_M = 8
+
+BACKENDS = ("sqlite-row", "sqlite-packed", "memory")
+MODES = ("none", "sq8", "pq")
+
+
+def _artifact_dir() -> Path:
+    return Path(
+        os.environ.get("MICRONN_BENCH_ARTIFACTS", "bench-artifacts")
+    )
+
+
+def _backend_dataset(num_vectors: int, num_queries: int):
+    """64-dim low-intrinsic-dimension analog with compact asset ids.
+
+    Same construction as the PQ sweep's (a gaussian mixture in a
+    10-dim latent space embedded through a random orthonormal basis,
+    plus slight ambient noise) so the 8-byte PQ codes can actually
+    rank neighbors. Asset ids are 7-byte zero-padded ordinals: the
+    packed layout ships ids inside its blobs, so id length is part of
+    the measured bytes — compact ids mirror the integer keys a device
+    catalog would use.
+    """
+    from repro.workloads.datasets import Dataset, DatasetSpec
+
+    rng = np.random.default_rng(4321)
+    dim, latent_dim, components = 64, 10, 48
+    spec = DatasetSpec(
+        "backend-lowrank", dim, "l2", 1_000_000, 10_000,
+        components=components,
+    )
+    basis = np.linalg.qr(rng.normal(size=(dim, latent_dim)))[0].astype(
+        np.float32
+    )
+    means = rng.normal(size=(components, latent_dim)).astype(np.float32)
+    scales = rng.uniform(0.15, 0.45, size=components).astype(np.float32)
+    weights = 1.0 / np.arange(1, components + 1) ** 0.7
+    weights /= weights.sum()
+
+    def draw(count: int) -> np.ndarray:
+        labels = rng.choice(components, size=count, p=weights)
+        latent = means[labels] + rng.normal(
+            size=(count, latent_dim)
+        ).astype(np.float32) * scales[labels, None]
+        ambient = rng.normal(0.0, 0.02, size=(count, dim)).astype(
+            np.float32
+        )
+        return (latent @ basis.T + ambient).astype(np.float32)
+
+    return Dataset(
+        spec=spec,
+        train_ids=tuple(f"{i:07d}" for i in range(num_vectors)),
+        train=draw(num_vectors),
+        queries=draw(num_queries),
+        seed=4321,
+    )
+
+
+def _run_backend(
+    bench_dir, dataset, backend: str, quantization: str, truth, **extra
+):
+    """One (backend, mode) cell: cold-read bytes, p50, and the exact
+    per-query ``(asset_id, distance)`` tuples for bit-identity."""
+    extra.setdefault("rerank_factor", 4)
+    config = MicroNNConfig(
+        dim=dataset.dim,
+        metric=dataset.metric,
+        target_cluster_size=100,
+        quantization=quantization,
+        storage_backend=backend,
+        device=DeviceProfile(
+            name=f"bench-{backend}-{quantization}",
+            worker_threads=4,
+            # No partition cache: every scan's bytes hit the I/O
+            # accountant, so the A/B measures the layouts' cold reads.
+            partition_cache_bytes=0,
+            sqlite_cache_bytes=1024 * 1024,
+        ),
+        **extra,
+    )
+    db = MicroNN.open(
+        bench_dir / f"backend-{backend}-{quantization}.db", config
+    )
+    try:
+        populate(db, dataset.train_ids, dataset.train)
+        db.build_index()
+
+        db.purge_caches()
+        db.search(dataset.queries[0], k=K, nprobe=NPROBE)  # warm centroids
+        before = db.io()
+        latencies = []
+        retrieved = []
+        neighbors = []
+        for query in dataset.queries:
+            start = time.perf_counter()
+            result = db.search(query, k=K, nprobe=NPROBE)
+            latencies.append(time.perf_counter() - start)
+            retrieved.append(result.asset_ids)
+            neighbors.append(
+                tuple(
+                    (n.asset_id, n.distance) for n in result.neighbors
+                )
+            )
+        io_delta_bytes = db.io().bytes_read - before.bytes_read
+
+        summary = summarize_latencies(latencies)
+        metrics = {
+            "backend": backend,
+            "quantization": quantization,
+            "recall_at_k": mean_recall_at_k(truth, retrieved, K),
+            "cold_p50_ms": summary.p50_ms,
+            "cold_p95_ms": summary.p95_ms,
+            "bytes_read_per_query": (
+                io_delta_bytes / len(dataset.queries)
+            ),
+        }
+        return metrics, tuple(neighbors)
+    finally:
+        db.close()
+
+
+def test_backend_ab(bench_dir):
+    """Row vs packed vs memory across none/sq8/pq (ISSUE 6 gates).
+
+    Every mode must be bit-identical across all three backends (the
+    physical layout is invisible to results), and the packed layout
+    must read >=2x fewer bytes than the row layout on the PQ scan —
+    at equal recall by construction, since the results are identical.
+    """
+    from benchmarks.conftest import scaled
+
+    dataset = _backend_dataset(
+        num_vectors=scaled(20_000, minimum=5_000),
+        num_queries=scaled(40, minimum=20),
+    )
+    truth = compute_ground_truth(
+        dataset.train_ids,
+        dataset.train,
+        dataset.queries,
+        K,
+        dataset.metric,
+    )
+
+    results: dict[str, dict[str, dict]] = {}
+    neighbors: dict[tuple[str, str], tuple] = {}
+    for mode in MODES:
+        extra = {"pq_num_subvectors": PQ_M} if mode == "pq" else {}
+        results[mode] = {}
+        for backend in BACKENDS:
+            metrics, observed = _run_backend(
+                bench_dir, dataset, backend, mode, truth, **extra
+            )
+            results[mode][backend] = metrics
+            neighbors[(mode, backend)] = observed
+
+    def bytes_of(mode: str, backend: str) -> float:
+        return results[mode][backend]["bytes_read_per_query"]
+
+    def reduction(mode: str) -> float:
+        return bytes_of(mode, "sqlite-row") / max(
+            bytes_of(mode, "sqlite-packed"), 1.0
+        )
+
+    print_table(
+        "Storage backends: bytes read / query (cold), by scan mode",
+        ["Mode", "sqlite-row", "sqlite-packed", "memory", "packed win"],
+        [
+            (
+                mode,
+                f"{bytes_of(mode, 'sqlite-row'):.0f}",
+                f"{bytes_of(mode, 'sqlite-packed'):.0f}",
+                f"{bytes_of(mode, 'memory'):.0f}",
+                f"{reduction(mode):.2f}x",
+            )
+            for mode in MODES
+        ],
+        note="packed stores one blob per partition, so the ~40 B/row "
+        "b-tree overhead collapses to a per-partition constant — "
+        "decisive for 8-byte PQ codes, marginal for float32 payloads.",
+    )
+    print_table(
+        "Storage backends: cold p50 latency, by scan mode",
+        ["Mode", "sqlite-row", "sqlite-packed", "memory"],
+        [
+            (
+                mode,
+                *(
+                    f"{results[mode][b]['cold_p50_ms']:.2f} ms"
+                    for b in BACKENDS
+                ),
+            )
+            for mode in MODES
+        ],
+        note="results are bit-identical across backends per mode "
+        "(asserted below), so recall columns would be constant rows.",
+    )
+
+    artifact_dir = _artifact_dir()
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "bench": "backend_ab",
+        "dataset": dataset.name,
+        # The trend checker's scale guard (see baselines/README.md).
+        "num_vectors": len(dataset),
+        "results": results,
+        "packed_pq_reduction_factor": reduction("pq"),
+        "packed_sq8_reduction_factor": reduction("sq8"),
+        "packed_none_reduction_factor": reduction("none"),
+    }
+    (artifact_dir / "backend.json").write_text(
+        json.dumps(payload, indent=2)
+    )
+
+    # Hard gates for the CI smoke job (ISSUE 6 acceptance).
+    for mode in MODES:
+        baseline = neighbors[(mode, "sqlite-row")]
+        for backend in ("sqlite-packed", "memory"):
+            assert neighbors[(mode, backend)] == baseline, (
+                f"{backend} results diverge from sqlite-row under "
+                f"quantization={mode}"
+            )
+    assert reduction("pq") >= 2.0, (
+        f"packed PQ bytes-read win collapsed: {reduction('pq'):.2f}x"
+    )
+    # Sanity: the PQ comparison happens at useful recall, not noise.
+    pq_recall = results["pq"]["sqlite-row"]["recall_at_k"]
+    assert pq_recall >= 0.90, (
+        f"PQ recall@10 too low for a meaningful A/B: {pq_recall:.3f}"
+    )

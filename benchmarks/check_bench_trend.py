@@ -78,13 +78,25 @@ def compare_artifacts(
     """Return (hard failures, soft warnings) between two metric maps."""
     failures: list[str] = []
     warnings: list[str] = []
-    for path in sorted(baseline.keys() & current.keys()):
+    for path in sorted(baseline.keys()):
         leaf = path.rsplit(".", 1)[-1]
         if HIGHER_IS_BETTER_PATTERN.search(leaf):
             continue
         hard = bool(BYTES_PATTERN.search(leaf))
         soft = bool(LATENCY_PATTERN.search(leaf))
         if not (hard or soft):
+            continue
+        if path not in current:
+            # A gated metric the current run no longer reports is a
+            # silently-vanished gate, not a pass: a renamed key or a
+            # dropped bench section would otherwise disable the
+            # regression check forever. Byte gates fail hard; latency
+            # keys only ever warned, so their absence warns too.
+            message = (
+                f"{path}: present in baseline but missing from the "
+                "current run (renamed metric? update the baseline)"
+            )
+            (failures if hard else warnings).append(message)
             continue
         before, after = baseline[path], current[path]
         if before <= 0:

@@ -37,8 +37,24 @@ from pathlib import Path
 import numpy as np
 
 from repro import MicroNN, MicroNNConfig, ShardedMicroNN
+from repro.core.config import SUPPORTED_STORAGE_BACKENDS
 from repro.core.types import MaintenanceAction
 from repro.shard.manifest import ShardManifest
+from repro.storage.backends import detect_backend
+
+
+def _resolve_backend(args: argparse.Namespace) -> str | None:
+    """The backend an existing single database was laid out with.
+
+    An explicit ``--backend`` always wins (a mismatch then fails the
+    engine's stored-kind validation with a clear error rather than
+    being silently ignored); otherwise sniff the file so reopening a
+    packed or memory-marker database never needs the flag again.
+    """
+    explicit = getattr(args, "backend", None)
+    if explicit is not None:
+        return explicit
+    return detect_backend(args.database)
 
 
 def _open(args: argparse.Namespace) -> MicroNN | ShardedMicroNN:
@@ -46,11 +62,11 @@ def _open(args: argparse.Namespace) -> MicroNN | ShardedMicroNN:
     if ShardManifest.exists(args.database):
         # An existing sharded directory is recognized without flags,
         # and the manifest is the source of truth for the config
-        # fingerprint (dim/metric/quantization) — so insert/search/
-        # build/stats drive shards without re-passing creation flags.
-        # Explicit flags still participate: a value that disagrees
-        # with the manifest fails validation instead of being
-        # silently ignored (the flags default to None sentinels).
+        # fingerprint (dim/metric/quantization/backend) — so insert/
+        # search/build/stats drive shards without re-passing creation
+        # flags. Explicit flags still participate: a value that
+        # disagrees with the manifest fails validation instead of
+        # being silently ignored (the flags default to None sentinels).
         manifest = ShardManifest.load(args.database)
         config = MicroNNConfig(
             dim=args.dim or manifest.dim,
@@ -59,13 +75,19 @@ def _open(args: argparse.Namespace) -> MicroNN | ShardedMicroNN:
                 args.cluster_size or manifest.target_cluster_size
             ),
             quantization=args.quantization or manifest.quantization,
+            storage_backend=(
+                getattr(args, "backend", None)
+                or manifest.storage_backend
+            ),
         )
         return ShardedMicroNN.open(args.database, config, shards=shards)
+    backend = _resolve_backend(args)
     config = MicroNNConfig(
         dim=args.dim,
         metric=args.metric or "l2",
         target_cluster_size=args.cluster_size or 100,
         quantization=args.quantization or "none",
+        **({"storage_backend": backend} if backend else {}),
     )
     if shards is not None:
         return ShardedMicroNN.open(args.database, config, shards=shards)
@@ -91,7 +113,8 @@ def cmd_create(args: argparse.Namespace) -> int:
     verb = "opened existing" if existed else "created"
     print(
         f"{verb} {db.path} (dim={db.config.dim}, "
-        f"metric={db.config.metric}, {layout})"
+        f"metric={db.config.metric}, "
+        f"backend={db.config.storage_backend}, {layout})"
     )
     db.close()
     return 0
@@ -192,6 +215,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"partitions           {stats.num_partitions}")
     print(f"avg partition size   {stats.avg_partition_size:.1f}")
     print(f"partition growth     {stats.partition_growth:+.1%}")
+    print(f"storage backend      {stats.storage_backend}")
     print(f"scan mode            {db.scan_mode_description()}")
     print(f"quantization         {stats.quantization}")
     print(f"quantized vectors    {stats.quantized_vectors}")
@@ -256,6 +280,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["none", "sq8", "pq"],
                        help="partition-storage scan codes "
                        "(default none)")
+        # None sentinel: existing databases are sniffed
+        # (detect_backend) and sharded manifests fill it in, so the
+        # flag is only needed at creation time.
+        p.add_argument("--backend", default=None,
+                       choices=list(SUPPORTED_STORAGE_BACKENDS),
+                       help="physical storage layout (default "
+                       "sqlite-row; existing databases are "
+                       "auto-detected)")
 
     def sharded(p: argparse.ArgumentParser) -> None:
         p.add_argument(

@@ -163,6 +163,9 @@ class IndexStats:
     #: (``4 * dim / code_bytes_per_vector``; 1.0 when scans are
     #: full-precision).
     compression_ratio: float = 1.0
+    #: Physical layout serving this index ("sqlite-row" /
+    #: "sqlite-packed" / "memory").
+    storage_backend: str = "sqlite-row"
 
     @property
     def partition_growth(self) -> float:

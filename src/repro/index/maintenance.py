@@ -117,6 +117,7 @@ class IndexMonitor:
             quantized_vectors=quantized,
             code_bytes_per_vector=code_bytes,
             compression_ratio=compression,
+            storage_backend=self._engine.storage_backend,
         )
 
     def recommend(self) -> MaintenanceAction:

@@ -585,11 +585,19 @@ class QueryScheduler:
                 if not task.finished:
                     live.append((task, cdist))
         sharers = max(len(live), 1)
-        total_bytes = (
-            int(entry.nbytes) + _ROW_OVERHEAD_BYTES * len(entry)
-            if was_cold
-            else 0
-        )
+        if was_cold:
+            # The backend reports the layout's true stored size (the
+            # packed layout has no per-row overhead); fall back to the
+            # row-layout estimate for entries built without one (the
+            # in-memory delta codes).
+            if entry.stored_bytes is not None:
+                total_bytes = int(entry.stored_bytes)
+            else:
+                total_bytes = (
+                    int(entry.nbytes) + _ROW_OVERHEAD_BYTES * len(entry)
+                )
+        else:
+            total_bytes = 0
         share = total_bytes // sharers
         try:
             with self._engine.scan_session():

@@ -58,6 +58,11 @@ class ShardManifest:
     #: not validated: like the single-database world, a caller may
     #: legitimately open with a different target for the next build.
     target_cluster_size: int = 100
+    #: Physical layout every shard file was created with; part of the
+    #: config fingerprint (a fleet must never mix layouts, and a
+    #: reopen under another backend would fail per-shard validation
+    #: anyway — fail once, up front, with the manifest's answer).
+    storage_backend: str = "sqlite-row"
     version: int = MANIFEST_VERSION
 
     @classmethod
@@ -74,6 +79,7 @@ class ShardManifest:
             metric=config.metric,
             quantization=config.quantization,
             target_cluster_size=config.target_cluster_size,
+            storage_backend=config.storage_backend,
         )
 
     # ------------------------------------------------------------------
@@ -98,6 +104,7 @@ class ShardManifest:
             "metric": self.metric,
             "quantization": self.quantization,
             "target_cluster_size": self.target_cluster_size,
+            "storage_backend": self.storage_backend,
         }
         root = os.fspath(directory)
         path = os.path.join(root, MANIFEST_NAME)
@@ -150,6 +157,11 @@ class ShardManifest:
                 quantization=str(payload["quantization"]),
                 target_cluster_size=int(
                     payload.get("target_cluster_size", 100)
+                ),
+                # Manifests predating the backend abstraction are by
+                # definition row-layout fleets.
+                storage_backend=str(
+                    payload.get("storage_backend", "sqlite-row")
                 ),
                 version=version,
             )
@@ -213,6 +225,11 @@ class ShardManifest:
                 ("dim", config.dim, self.dim),
                 ("metric", config.metric, self.metric),
                 ("quantization", config.quantization, self.quantization),
+                (
+                    "storage_backend",
+                    config.storage_backend,
+                    self.storage_backend,
+                ),
             )
             if ours != theirs
         ]

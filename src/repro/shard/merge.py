@@ -236,6 +236,8 @@ def aggregate_index_stats(
         compression_ratio=max(
             s.compression_ratio for s in per_shard
         ),
+        # The manifest pins one backend for every shard.
+        storage_backend=per_shard[0].storage_backend,
     )
 
 

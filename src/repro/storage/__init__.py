@@ -1,5 +1,10 @@
 """Disk-resident relational storage substrate (SQLite + caching)."""
 
+from repro.storage.backends import (
+    StorageBackend,
+    create_backend,
+    detect_backend,
+)
 from repro.storage.cache import CachedPartition, PartitionCache
 from repro.storage.codec import (
     decode_matrix,
@@ -14,8 +19,11 @@ from repro.storage.memory import MemorySnapshot, MemoryTracker
 __all__ = [
     "CachedPartition",
     "PartitionCache",
+    "StorageBackend",
     "StorageEngine",
     "VectorRecord",
+    "create_backend",
+    "detect_backend",
     "IOAccountant",
     "IOSnapshot",
     "MemoryTracker",

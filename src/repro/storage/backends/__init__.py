@@ -1,0 +1,93 @@
+"""Storage-backend registry: physical layouts behind the engine.
+
+``create_backend`` instantiates the backend named by
+``MicroNNConfig.storage_backend``; ``detect_backend`` sniffs which
+backend laid out an existing database (the CLI uses it so reopening a
+database never needs the backend re-specified).
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+from repro.core.errors import StorageError
+from repro.storage.backends.base import (
+    BACKEND_META_KEY,
+    PACKED_PARTITION_OVERHEAD_BYTES,
+    SQLITE_ROW_OVERHEAD_BYTES,
+    PartitionPayload,
+    StorageBackend,
+    file_looks_like_memory_marker,
+    file_looks_like_sqlite,
+)
+from repro.storage.backends.memory import MemoryBackend
+from repro.storage.backends.sqlite_packed import SQLitePackedBackend
+from repro.storage.backends.sqlite_row import SQLiteRowBackend
+
+__all__ = [
+    "BACKEND_META_KEY",
+    "PACKED_PARTITION_OVERHEAD_BYTES",
+    "SQLITE_ROW_OVERHEAD_BYTES",
+    "MemoryBackend",
+    "PartitionPayload",
+    "SQLitePackedBackend",
+    "SQLiteRowBackend",
+    "StorageBackend",
+    "create_backend",
+    "detect_backend",
+]
+
+_BACKENDS: dict[str, type[StorageBackend]] = {
+    cls.kind: cls
+    for cls in (SQLiteRowBackend, SQLitePackedBackend, MemoryBackend)
+}
+
+
+def create_backend(kind: str, path: str, config) -> StorageBackend:
+    """Instantiate the backend registered under ``kind``."""
+    try:
+        cls = _BACKENDS[kind]
+    except KeyError:
+        raise StorageError(
+            f"unknown storage backend {kind!r}; "
+            f"supported: {sorted(_BACKENDS)}"
+        ) from None
+    return cls(path, config)
+
+
+def detect_backend(path: str | os.PathLike[str]) -> str | None:
+    """Which backend laid out the database at ``path`` (None if absent).
+
+    A SQLite file reports the backend recorded in its meta table; a
+    file predating the backend abstraction (no ``storage_backend``
+    meta row) is by definition ``sqlite-row``. A memory-backend
+    placeholder reports ``memory``.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return None
+    if file_looks_like_memory_marker(path):
+        return "memory"
+    if not file_looks_like_sqlite(path):
+        return None
+    uri = f"file:{path}?mode=ro"
+    try:
+        conn = sqlite3.connect(uri, uri=True)
+    except sqlite3.Error:
+        return None
+    try:
+        has_meta = conn.execute(
+            "SELECT 1 FROM sqlite_master "
+            "WHERE type='table' AND name='meta'"
+        ).fetchone()
+        if has_meta is None:
+            return "sqlite-row"
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key=?", (BACKEND_META_KEY,)
+        ).fetchone()
+        return "sqlite-row" if row is None else str(row[0])
+    except sqlite3.Error:
+        return None
+    finally:
+        conn.close()

@@ -1,0 +1,368 @@
+"""The storage-backend protocol: the physical-layout surface.
+
+:class:`~repro.storage.engine.StorageEngine` owns everything a layout
+does not care about — caches, scratch buffers, byte accounting, the
+quantizer lifecycle, attribute/token/centroid/meta SQL (identical
+across backends) — and delegates the *vector payload* surface to a
+:class:`StorageBackend`: how vector rows and quantized code rows are
+physically laid out, read and rewritten, plus how connections to the
+underlying store are made.
+
+Three implementations ship (see the package ``__init__``):
+
+- ``sqlite-row`` — the paper's layout: one SQLite row per vector,
+  clustered by ``(partition_id, asset_id, vector_id)``. Byte-identical
+  on disk to every previous version of this repo.
+- ``sqlite-packed`` — one contiguous blob per partition (ids array +
+  packed float32/sq8/pq payload in a single row), eliminating the
+  ~40 bytes/row of key+record overhead that dominates partition reads
+  once codes shrink to 8–16 bytes (the "decoupling vector data and
+  index storage" design; see PAPERS.md).
+- ``memory`` — the row layout on a single shared in-memory SQLite
+  connection: zero disk I/O, for tests and benchmarks.
+
+The contract every backend must honor for cross-backend bit-identity:
+partition reads return rows ordered by ``(asset_id, vector_id)``,
+full-collection iteration orders by ``(partition_id, asset_id,
+vector_id)`` with the delta partition (id ``-1``) first, and id
+point-fetches return each request chunk in ascending ``asset_id``
+order. The row-stable distance kernels then produce identical results
+over identical row orders.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import sqlite3
+import threading
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Iterator, Sequence
+
+#: Estimated fixed per-row storage overhead of one SQLite row (b-tree
+#: key + record header), used for byte accounting of row-per-vector
+#: reads and of per-row point fetches on every backend.
+SQLITE_ROW_OVERHEAD_BYTES = 24
+
+#: Estimated fixed per-partition overhead of one packed blob row.
+PACKED_PARTITION_OVERHEAD_BYTES = 24
+
+#: Meta-table key recording which backend laid out the database file.
+BACKEND_META_KEY = "storage_backend"
+
+#: First bytes of every SQLite database file.
+SQLITE_MAGIC = b"SQLite format 3\x00"
+
+#: Content of the placeholder file a memory backend leaves at its path
+#: (so path-existence checks, e.g. the shard manifest's, keep working).
+MEMORY_MARKER = (
+    b"MicroNN memory-backend placeholder: the data lives in process "
+    b"memory and does not survive process exit.\n"
+)
+
+
+@dataclass
+class PartitionPayload:
+    """One partition's rows as read from a backend, before decoding.
+
+    Exactly one of ``blobs`` (row-per-vector layouts: one blob per
+    row) or ``packed`` (packed layouts: one contiguous buffer) is
+    set; both are ``None``/empty for an empty partition.
+
+    ``stored_bytes`` is the backend's estimate of the physical bytes
+    this read pulled from storage (payload plus layout overhead) —
+    what the I/O accountant charges, and what makes the packed
+    layout's smaller reads visible end to end.
+    """
+
+    asset_ids: tuple[str, ...]
+    vector_ids: tuple[int, ...]
+    blobs: list[bytes] | None
+    packed: bytes | None
+    stored_bytes: int
+
+    def __len__(self) -> int:
+        return len(self.asset_ids)
+
+
+class StorageBackend(abc.ABC):
+    """Physical layout + connection strategy behind a StorageEngine."""
+
+    #: Registry name, persisted in the meta table and the shard
+    #: manifest fingerprint.
+    kind: ClassVar[str]
+
+    #: Whether readers and the writer share one connection (the memory
+    #: backend). The engine then serializes reads behind
+    #: :attr:`writer_lock` instead of relying on WAL snapshots.
+    shared_connection: ClassVar[bool] = False
+
+    #: Whether the database lives in a real file (vacuum/size checks).
+    file_backed: ClassVar[bool] = True
+
+    def __init__(self, path: str, config) -> None:
+        self._path = path
+        self._config = config
+        #: The engine's write serialization lock. Owned here so a
+        #: shared-connection backend can serialize its internal reads
+        #: against the same lock.
+        self.writer_lock = threading.RLock()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def connect_writer(self) -> sqlite3.Connection:
+        """Open (or hand out) the single writer connection."""
+
+    @abc.abstractmethod
+    def connect_reader(self) -> sqlite3.Connection:
+        """Open (or hand out) a reader connection for this thread."""
+
+    def close_connection(self, conn: sqlite3.Connection) -> None:
+        """Close one connection handed out by this backend."""
+        conn.close()
+
+    def shutdown(self) -> None:
+        """Release backend-held resources after connections closed."""
+
+    # ------------------------------------------------------------------
+    # Schema & stored-kind validation
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def create_layout_tables(
+        self, conn: sqlite3.Connection, use_quantization: bool
+    ) -> None:
+        """Create this layout's vector/code tables (idempotent)."""
+
+    def validate_stored_kind(self, conn: sqlite3.Connection) -> None:
+        """Refuse to open a database laid out by a different backend.
+
+        Runs BEFORE any DDL so a mismatched open never pollutes the
+        file with the wrong layout's empty tables. A database that
+        predates the backend abstraction (meta table present, no
+        ``storage_backend`` key) is by definition ``sqlite-row``.
+        """
+        from repro.core.errors import StorageError
+
+        has_meta = conn.execute(
+            "SELECT 1 FROM sqlite_master "
+            "WHERE type='table' AND name='meta'"
+        ).fetchone()
+        if has_meta is None:
+            return  # fresh database; this backend claims it
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key=?", (BACKEND_META_KEY,)
+        ).fetchone()
+        stored = str(row[0]) if row is not None else "sqlite-row"
+        if stored != self.kind:
+            raise StorageError(
+                f"database at {self._path!r} was created with "
+                f"storage_backend={stored!r}; config says "
+                f"storage_backend={self.kind!r}. Reopen it with the "
+                "backend it was created with."
+            )
+
+    # ------------------------------------------------------------------
+    # Vector writes
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def remove_assets(
+        self,
+        conn: sqlite3.Connection,
+        asset_ids: Sequence[str],
+        drop_codes: bool,
+    ) -> int:
+        """Remove the assets' vector (and code) rows; return count."""
+
+    @abc.abstractmethod
+    def insert_delta_rows(
+        self,
+        conn: sqlite3.Connection,
+        rows: Sequence[tuple[str, int, bytes]],
+    ) -> None:
+        """Insert fresh ``(asset_id, vector_id, blob)`` delta rows."""
+
+    @abc.abstractmethod
+    def apply_assignments(
+        self,
+        conn: sqlite3.Connection,
+        moves: Sequence[tuple[str, int]],
+        code_rows: Sequence[tuple[int, str, int, bytes]] | None,
+        use_quantization: bool,
+    ) -> None:
+        """Move vectors (and their codes) between partitions."""
+
+    @abc.abstractmethod
+    def rewrite_codes(
+        self,
+        conn: sqlite3.Connection,
+        encode_blobs: Callable[[list[bytes]], list[bytes]],
+        batch_size: int,
+    ) -> int:
+        """Drop all codes, re-encode every indexed vector; return count.
+
+        ``encode_blobs`` maps a batch of float32 vector blobs to the
+        same-length list of code blobs (the engine closes over the
+        trained quantizer).
+        """
+
+    # ------------------------------------------------------------------
+    # Vector reads
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def read_partition(
+        self, conn: sqlite3.Connection, partition_id: int
+    ) -> PartitionPayload:
+        """One partition's float32 rows, ordered by (asset, vector) id."""
+
+    @abc.abstractmethod
+    def read_partition_codes(
+        self, conn: sqlite3.Connection, partition_id: int
+    ) -> PartitionPayload:
+        """One partition's code rows, same order as the float rows."""
+
+    @abc.abstractmethod
+    def fetch_vector_blobs(
+        self,
+        conn: sqlite3.Connection,
+        asset_ids: Sequence[str],
+        chunk_size: int,
+    ) -> tuple[list[str], list[bytes], int]:
+        """Point-fetch: (found_ids, blobs, stored_bytes), chunk-sorted."""
+
+    @abc.abstractmethod
+    def get_vector_blob(
+        self, conn: sqlite3.Connection, asset_id: str
+    ) -> bytes | None:
+        """One asset's float32 blob, or None."""
+
+    @abc.abstractmethod
+    def get_partition_of(
+        self, conn: sqlite3.Connection, asset_id: str
+    ) -> int | None:
+        """The partition currently holding the asset, or None."""
+
+    @abc.abstractmethod
+    def iter_row_batches(
+        self,
+        conn: sqlite3.Connection,
+        include_delta: bool,
+        batch_size: int,
+    ) -> Iterator[tuple[list[str], list[bytes], int]]:
+        """Stream all rows as (ids, blobs, stored_bytes) batches.
+
+        Global order is ``(partition_id, asset_id, vector_id)`` with
+        the delta partition first — index builds sample and assign in
+        this order, so it must be identical across backends.
+        """
+
+    @abc.abstractmethod
+    def all_asset_ids(self, conn: sqlite3.Connection) -> list[str]:
+        """Every stored asset id, ascending."""
+
+    @abc.abstractmethod
+    def count_vectors(
+        self, conn: sqlite3.Connection, include_delta: bool
+    ) -> int:
+        ...
+
+    @abc.abstractmethod
+    def delta_size(self, conn: sqlite3.Connection) -> int:
+        ...
+
+    @abc.abstractmethod
+    def partition_sizes(
+        self, conn: sqlite3.Connection, include_delta: bool
+    ) -> dict[int, int]:
+        ...
+
+    @abc.abstractmethod
+    def count_codes(self, conn: sqlite3.Connection) -> int:
+        ...
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def integrity_problems(
+        self,
+        conn: sqlite3.Connection,
+        use_quantization: bool,
+        quantizer_trained: bool,
+    ) -> list[str]:
+        """Layout-specific invariant violations (empty = healthy)."""
+
+
+class SQLiteFileConnectionsMixin:
+    """WAL-mode file connections shared by the SQLite file backends.
+
+    One writer + per-thread readers, exactly the paper's concurrency
+    design: the pragmas here are THE pragmas the engine has always
+    used, so the row backend's files stay byte-identical to databases
+    created before the backend abstraction existed.
+    """
+
+    def _connect(self) -> sqlite3.Connection:
+        self._validate_file()
+        conn = sqlite3.connect(
+            self.path, timeout=30.0, check_same_thread=False
+        )
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA foreign_keys=ON")
+        page_budget = self._config.device.sqlite_cache_bytes
+        conn.execute(f"PRAGMA cache_size=-{max(1, page_budget // 1024)}")
+        return conn
+
+    def _validate_file(self) -> None:
+        from repro.core.errors import StorageError
+
+        if os.path.exists(self.path) and file_looks_like_memory_marker(
+            self.path
+        ):
+            raise StorageError(
+                f"{self.path!r} is a memory-backend placeholder, not a "
+                "SQLite database; its data lived in process memory. "
+                "Open it with storage_backend='memory' (same process) "
+                "or rebuild it."
+            )
+
+    def connect_writer(self) -> sqlite3.Connection:
+        return self._connect()
+
+    def connect_reader(self) -> sqlite3.Connection:
+        conn = self._connect()
+        conn.execute("PRAGMA query_only=ON")
+        return conn
+
+
+def file_looks_like_memory_marker(path: str) -> bool:
+    """Whether ``path`` holds a memory backend's placeholder file."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(MEMORY_MARKER)) == MEMORY_MARKER
+    except OSError:
+        return False
+
+
+def file_looks_like_sqlite(path: str) -> bool:
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(len(SQLITE_MAGIC))
+    except OSError:
+        return False
+    # A zero-length file is what sqlite3.connect leaves behind before
+    # the first page is written; treat it as a (fresh) database.
+    return head == SQLITE_MAGIC or (
+        len(head) == 0 and os.path.exists(path)
+    )

@@ -1,0 +1,121 @@
+"""Pure in-memory backend: the row layout on one shared connection.
+
+For tests and benchmarks that want engine semantics without disk I/O.
+The data lives in a single ``:memory:`` SQLite connection shared by
+the writer and every reader; the engine serializes reads behind the
+writer lock instead of relying on WAL snapshots (an in-memory
+database has no WAL).
+
+Reopen-by-path works within one process: a process-global registry
+maps the database path to its live connection, and a small marker
+file is left at the path so path-existence checks (e.g. the shard
+manifest's) keep working. The marker makes failure modes explicit —
+opening it with a SQLite backend, or from a fresh process, raises a
+clear error instead of silently presenting an empty database.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+
+from repro.core.errors import StorageError
+from repro.storage.backends.base import (
+    MEMORY_MARKER,
+    file_looks_like_memory_marker,
+    file_looks_like_sqlite,
+)
+from repro.storage.backends.sqlite_row import RowLayoutSQL
+
+#: path -> live shared connection, for reopen within the process.
+_REGISTRY: dict[str, sqlite3.Connection] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def reset_registry() -> None:
+    """Drop every registered in-memory database (test isolation)."""
+    with _REGISTRY_LOCK:
+        for conn in _REGISTRY.values():
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+        _REGISTRY.clear()
+
+
+class MemoryBackend(RowLayoutSQL):
+    """Row layout on a shared ``:memory:`` connection."""
+
+    kind = "memory"
+    shared_connection = True
+    file_backed = False
+
+    def __init__(self, path: str, config) -> None:
+        super().__init__(path, config)
+        self._conn: sqlite3.Connection | None = None
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    def connect_writer(self) -> sqlite3.Connection:
+        key = os.path.abspath(self._path)
+        with _REGISTRY_LOCK:
+            conn = _REGISTRY.get(key)
+            if conn is None:
+                self._validate_fresh_path()
+                conn = sqlite3.connect(
+                    ":memory:", check_same_thread=False
+                )
+                conn.execute("PRAGMA foreign_keys=ON")
+                with open(self._path, "wb") as fh:
+                    fh.write(MEMORY_MARKER)
+                _REGISTRY[key] = conn
+        self._conn = conn
+        return conn
+
+    def _validate_fresh_path(self) -> None:
+        if not os.path.exists(self._path):
+            return
+        if file_looks_like_sqlite(self._path):
+            raise StorageError(
+                f"{self._path!r} is a SQLite database file; open it "
+                "with storage_backend='sqlite-row' or "
+                "'sqlite-packed', not the memory backend."
+            )
+        if file_looks_like_memory_marker(self._path):
+            raise StorageError(
+                f"{self._path!r} is a memory-backend placeholder from "
+                "another process: in-memory databases do not survive "
+                "process restart. Delete the file to start fresh."
+            )
+        raise StorageError(
+            f"{self._path!r} exists and is not a MicroNN database"
+        )
+
+    def connect_reader(self) -> sqlite3.Connection:
+        if self._conn is None:
+            return self.connect_writer()
+        return self._conn
+
+    def close_connection(self, conn: sqlite3.Connection) -> None:
+        # The connection IS the database; it stays alive in the
+        # registry so the path can be reopened within this process.
+        pass
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+
+    def iter_row_batches(self, conn, include_delta, batch_size):
+        # A shared connection has no snapshot isolation: the index
+        # builder commits partition moves on this same connection
+        # while iterating, which would perturb a live cursor over the
+        # very rows it is reading. Materialize the row stream first;
+        # the collection already lives in memory, so this does not
+        # change the process's asymptotic footprint.
+        batches = list(
+            super().iter_row_batches(conn, include_delta, batch_size)
+        )
+        yield from batches

@@ -55,6 +55,13 @@ class CachedPartition:
     view into pooled memory, the entry must never be cached, and the
     consumer returns the lease to its :class:`ScratchBufferPool` once
     the partition has been scored.
+
+    ``stored_bytes`` is the on-disk size the storage backend reported
+    for this partition's read — layout-dependent (the packed layout
+    has no per-row b-tree overhead), so consumers that estimate I/O
+    (the serving scheduler's cost model) must prefer it over
+    reconstructing bytes from ``nbytes``. ``None`` on entries built
+    away from a backend read (e.g. in-memory delta codes).
     """
 
     partition_id: int
@@ -62,6 +69,7 @@ class CachedPartition:
     vector_ids: tuple[int, ...]
     matrix: np.ndarray
     lease: "ScratchLease | None" = None
+    stored_bytes: int | None = None
 
     @property
     def nbytes(self) -> int:

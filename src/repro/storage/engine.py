@@ -46,6 +46,12 @@ from repro.core.errors import (
     UnknownAttributeError,
 )
 from repro.storage import schema as schema_mod
+from repro.storage.backends import (
+    BACKEND_META_KEY,
+    PartitionPayload,
+    create_backend,
+)
+from repro.storage.backends.base import SQLITE_ROW_OVERHEAD_BYTES
 from repro.storage.cache import (
     CODES_CACHE_CATEGORY,
     ROW_ID_OVERHEAD_BYTES,
@@ -71,7 +77,10 @@ from repro.storage.memory import MemoryTracker
 from repro.storage.quantization import Quantizer, quantizer_from_json
 
 #: Estimated fixed per-row storage overhead, used for byte accounting.
-_ROW_OVERHEAD_BYTES = 24
+#: Canonical home is ``repro.storage.backends.base``; re-exported here
+#: because the serving scheduler (and older call sites) import it from
+#: the engine.
+_ROW_OVERHEAD_BYTES = SQLITE_ROW_OVERHEAD_BYTES
 
 
 @dataclass(frozen=True)
@@ -105,23 +114,34 @@ class StorageEngine:
             path = os.path.join(self._tempdir, "micronn.db")
         self._path = os.fspath(path)
 
-        self._writer_lock = threading.RLock()
+        # The physical layout + connection strategy live behind the
+        # backend; the engine adopts its writer lock so a shared-
+        # connection backend can serialize reads against writes.
+        self._backend = create_backend(
+            config.storage_backend, self._path, config
+        )
+        self._writer_lock = self._backend.writer_lock
         self._readers_lock = threading.Lock()
         self._reader_registry: list[sqlite3.Connection] = []
         self._local = threading.local()
 
-        self._writer = self._connect()
+        self._writer = self._backend.connect_writer()
+        # Refuse a database laid out by a different backend BEFORE any
+        # DDL runs, so a mismatched open never pollutes the file.
+        self._backend.validate_stored_kind(self._writer)
         self._use_fts5 = bool(
             config.fts_attributes
         ) and schema_mod.fts5_available(self._writer)
         self._use_quantization = config.uses_quantization
         with self._writer:
-            schema_mod.create_schema(
+            schema_mod.create_common_schema(
                 self._writer,
                 config.normalized_attributes,
                 config.fts_attributes,
                 self._use_fts5,
-                use_quantization=self._use_quantization,
+            )
+            self._backend.create_layout_tables(
+                self._writer, self._use_quantization
             )
         self._init_meta()
 
@@ -190,6 +210,11 @@ class StorageEngine:
         return self._config
 
     @property
+    def storage_backend(self) -> str:
+        """Name of the active physical layout (e.g. ``sqlite-row``)."""
+        return self._backend.kind
+
+    @property
     def tracker(self) -> MemoryTracker:
         return self._tracker
 
@@ -213,10 +238,11 @@ class StorageEngine:
         with self._readers_lock:
             for conn in self._reader_registry:
                 with contextlib.suppress(sqlite3.Error):
-                    conn.close()
+                    self._backend.close_connection(conn)
             self._reader_registry.clear()
         with contextlib.suppress(sqlite3.Error):
-            self._writer.close()
+            self._backend.close_connection(self._writer)
+        self._backend.shutdown()
         self.cache.clear()
         self.codes_cache.clear()
         self.delta_codes.invalidate()
@@ -233,24 +259,14 @@ class StorageEngine:
         if self._closed:
             raise DatabaseClosedError("database is closed")
 
-    def _connect(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(
-            self._path, timeout=30.0, check_same_thread=False
-        )
-        conn.execute("PRAGMA journal_mode=WAL")
-        conn.execute("PRAGMA synchronous=NORMAL")
-        conn.execute("PRAGMA foreign_keys=ON")
-        page_budget = self._config.device.sqlite_cache_bytes
-        conn.execute(f"PRAGMA cache_size=-{max(1, page_budget // 1024)}")
-        return conn
-
     def _reader(self) -> sqlite3.Connection:
         """Thread-local read-only connection (snapshot per transaction)."""
         self._check_open()
+        if self._backend.shared_connection:
+            return self._writer
         conn = getattr(self._local, "conn", None)
         if conn is None:
-            conn = self._connect()
-            conn.execute("PRAGMA query_only=ON")
+            conn = self._backend.connect_reader()
             self._local.conn = conn
             with self._readers_lock:
                 self._reader_registry.append(conn)
@@ -286,7 +302,16 @@ class StorageEngine:
         Under WAL, a deferred transaction pins the database snapshot at
         its first read; everything inside the ``with`` block sees one
         consistent state even while the writer commits concurrently.
+
+        A shared-connection backend (memory) has no WAL snapshots:
+        reads serialize behind the writer lock instead — the lock is
+        re-entrant, so same-thread writes inside the block still work.
         """
+        if self._backend.shared_connection:
+            self._check_open()
+            with self._writer_lock:
+                yield self._writer
+            return
         conn = self._reader()
         conn.execute("BEGIN DEFERRED")
         try:
@@ -294,6 +319,22 @@ class StorageEngine:
         finally:
             with contextlib.suppress(sqlite3.Error):
                 conn.execute("COMMIT")
+
+    @contextlib.contextmanager
+    def _plain_reader(self) -> Iterator[sqlite3.Connection]:
+        """A connection for a single autocommit point-read.
+
+        File backends hand out the thread-local reader WITHOUT opening
+        a transaction (callers may already hold a snapshot on the same
+        connection, where a nested BEGIN would fail); the shared-
+        connection backend serializes behind the writer lock.
+        """
+        if self._backend.shared_connection:
+            self._check_open()
+            with self._writer_lock:
+                yield self._writer
+            return
+        yield self._reader()
 
     # ------------------------------------------------------------------
     # Meta
@@ -313,9 +354,18 @@ class StorageEngine:
                         ("dim", str(self._config.dim)),
                         ("metric", self._config.metric),
                         ("next_vector_id", "1"),
+                        (BACKEND_META_KEY, self._backend.kind),
                     ],
                 )
             else:
+                # Databases predating the backend abstraction carry no
+                # backend row; stamp the (already validated) kind so
+                # detection is explicit from here on.
+                self._writer.execute(
+                    "INSERT INTO meta (key, value) VALUES (?, ?) "
+                    "ON CONFLICT(key) DO NOTHING",
+                    (BACKEND_META_KEY, self._backend.kind),
+                )
                 stored_dim = int(self.get_meta("dim") or 0)
                 if stored_dim != self._config.dim:
                     raise StorageError(
@@ -377,31 +427,36 @@ class StorageEngine:
         attr_names = list(self._config.normalized_attributes)
         with self.write_transaction() as conn:
             first_id = self._allocate_vector_ids(len(records))
+            # Validate and encode everything first, then hand the
+            # backend one batched remove + insert. Duplicate asset ids
+            # within a batch resolve last-wins, matching the old
+            # per-record delete-then-insert loop.
+            staged: dict[str, tuple[VectorRecord, int, bytes]] = {}
             for offset, record in enumerate(records):
                 self._validate_attributes(record.attributes)
                 blob = encode_vector(record.vector, dim)
-                conn.execute(
-                    "DELETE FROM vectors WHERE asset_id=?",
-                    (record.asset_id,),
+                staged[record.asset_id] = (
+                    record,
+                    first_id + offset,
+                    blob,
                 )
-                if self._use_quantization:
-                    # The fresh vector lands in the full-precision
-                    # delta; any stale code row must not survive it.
-                    conn.execute(
-                        "DELETE FROM vector_codes WHERE asset_id=?",
-                        (record.asset_id,),
-                    )
-                conn.execute(
-                    "INSERT INTO vectors "
-                    "(partition_id, asset_id, vector_id, vector) "
-                    "VALUES (?, ?, ?, ?)",
-                    (
-                        DELTA_PARTITION_ID,
-                        record.asset_id,
-                        first_id + offset,
-                        blob,
-                    ),
-                )
+            ordered = list(staged.values())
+            # Fresh vectors land in the full-precision delta; any
+            # stale vector row (wherever it lives) and code row must
+            # not survive them.
+            self._backend.remove_assets(
+                conn,
+                [record.asset_id for record, _, _ in ordered],
+                drop_codes=self._use_quantization,
+            )
+            self._backend.insert_delta_rows(
+                conn,
+                [
+                    (record.asset_id, vector_id, blob)
+                    for record, vector_id, blob in ordered
+                ],
+            )
+            for record, _, _ in ordered:
                 self._write_attributes(conn, record, attr_names)
         self.cache.invalidate(DELTA_PARTITION_ID)
         if self._use_quantization:
@@ -514,19 +569,11 @@ class StorageEngine:
         ids = list(asset_ids)
         if not ids:
             return 0
-        deleted = 0
         with self.write_transaction() as conn:
+            deleted = self._backend.remove_assets(
+                conn, ids, drop_codes=self._use_quantization
+            )
             for asset_id in ids:
-                cur = conn.execute(
-                    "DELETE FROM vectors WHERE asset_id=?", (asset_id,)
-                )
-                if cur.rowcount > 0:
-                    deleted += cur.rowcount
-                if self._use_quantization:
-                    conn.execute(
-                        "DELETE FROM vector_codes WHERE asset_id=?",
-                        (asset_id,),
-                    )
                 conn.execute(
                     "DELETE FROM attributes WHERE asset_id=?", (asset_id,)
                 )
@@ -613,26 +660,9 @@ class StorageEngine:
         if code_rows and not self._use_quantization:
             raise StorageError("quantization is not enabled for this database")
         with self.write_transaction() as conn:
-            conn.executemany(
-                "UPDATE vectors SET partition_id=? WHERE asset_id=?",
-                [(pid, asset_id) for asset_id, pid in moves],
+            self._backend.apply_assignments(
+                conn, moves, code_rows, self._use_quantization
             )
-            if self._use_quantization:
-                # Codes are clustered by partition id exactly like the
-                # float rows; a move must rewrite both or the quantized
-                # scan would miss the vector.
-                conn.executemany(
-                    "UPDATE vector_codes SET partition_id=? "
-                    "WHERE asset_id=?",
-                    [(pid, asset_id) for asset_id, pid in moves],
-                )
-            if code_rows:
-                conn.executemany(
-                    "INSERT OR REPLACE INTO vector_codes "
-                    "(partition_id, asset_id, vector_id, code) "
-                    "VALUES (?, ?, ?, ?)",
-                    list(code_rows),
-                )
         self.cache.clear()
         self.codes_cache.clear()
         # A flush moves rows OUT of the delta; cached delta codes
@@ -696,8 +726,9 @@ class StorageEngine:
 
     def centroid_count(self) -> int:
         self._check_open()
-        cur = self._reader().execute("SELECT COUNT(*) FROM centroids")
-        return int(cur.fetchone()[0])
+        with self._plain_reader() as conn:
+            cur = conn.execute("SELECT COUNT(*) FROM centroids")
+            return int(cur.fetchone()[0])
 
     # ------------------------------------------------------------------
     # Reads: partitions and vectors
@@ -736,6 +767,57 @@ class StorageEngine:
                     raise
         return decode(blobs, width), None
 
+    def _materialize(
+        self,
+        payload: PartitionPayload,
+        dtype: np.dtype,
+        cache: PartitionCache,
+        use_scratch: bool,
+        decode: Callable[[list[bytes], int], np.ndarray],
+        decode_into: Callable[[list[bytes], int, np.ndarray], np.ndarray],
+        width: int,
+    ) -> tuple[np.ndarray, ScratchLease | None]:
+        """Decode a backend payload — per-row blobs or one packed blob.
+
+        The packed path is a zero-copy reinterpretation of the blob
+        (plus one copy into the cacheable/scratch destination), with
+        the same scratch-admission rule as the per-row path.
+        """
+        if payload.packed is None:
+            return self._decode_blobs(
+                payload.blobs or [],
+                dtype,
+                cache,
+                use_scratch,
+                decode,
+                decode_into,
+                width,
+            )
+        count = len(payload.asset_ids)
+        expected = count * width * dtype.itemsize
+        if len(payload.packed) != expected:
+            raise StorageError(
+                f"packed partition blob holds {len(payload.packed)} "
+                f"bytes, expected {expected} ({count} rows of "
+                f"{width} x {dtype.itemsize}-byte elements)"
+            )
+        source = np.frombuffer(payload.packed, dtype=dtype).reshape(
+            count, width
+        )
+        if use_scratch and count:
+            nbytes = count * width * dtype.itemsize
+            estimate = nbytes + ROW_ID_OVERHEAD_BYTES * count
+            if not cache.would_admit(estimate):
+                lease = self.scratch.checkout(nbytes)
+                try:
+                    out = lease.array((count, width), dtype)
+                    np.copyto(out, source)
+                    return out, lease
+                except BaseException:
+                    lease.release()
+                    raise
+        return source.copy(), None
+
     def load_partition(
         self,
         partition_id: int,
@@ -758,15 +840,9 @@ class StorageEngine:
                 return cached
             self._accountant.record_cache_miss()
         with self.read_snapshot() as conn:
-            rows = conn.execute(
-                "SELECT asset_id, vector_id, vector FROM vectors "
-                "WHERE partition_id=? ORDER BY asset_id, vector_id",
-                (partition_id,),
-            ).fetchall()
-        asset_ids = tuple(r[0] for r in rows)
-        vector_ids = tuple(int(r[1]) for r in rows)
-        matrix, lease = self._decode_blobs(
-            [r[2] for r in rows],
+            payload = self._backend.read_partition(conn, partition_id)
+        matrix, lease = self._materialize(
+            payload,
             VECTOR_DTYPE,
             self.cache,
             use_scratch,
@@ -776,17 +852,17 @@ class StorageEngine:
         )
         entry = CachedPartition(
             partition_id=partition_id,
-            asset_ids=asset_ids,
-            vector_ids=vector_ids,
+            asset_ids=payload.asset_ids,
+            vector_ids=payload.vector_ids,
             matrix=matrix,
             lease=lease,
+            stored_bytes=payload.stored_bytes,
         )
         with self._os_cache_lock:
             charge = partition_id not in self._os_cached_partitions
             self._os_cached_partitions.add(partition_id)
         self._accountant.record_read(
-            entry.nbytes + _ROW_OVERHEAD_BYTES * len(rows),
-            charge_cost=charge,
+            payload.stored_bytes, charge_cost=charge
         )
         if use_cache and lease is None:
             self.cache.put(entry)
@@ -802,44 +878,27 @@ class StorageEngine:
         bound-parameter limit.
         """
         self._check_open()
-        found: list[str] = []
-        blobs: list[bytes] = []
         with self.read_snapshot() as conn:
-            for start in range(0, len(asset_ids), chunk_size):
-                chunk = list(asset_ids[start : start + chunk_size])
-                placeholders = ", ".join("?" for _ in chunk)
-                rows = conn.execute(
-                    "SELECT asset_id, vector FROM vectors "
-                    f"WHERE asset_id IN ({placeholders})",
-                    chunk,
-                ).fetchall()
-                for asset_id, blob in rows:
-                    found.append(asset_id)
-                    blobs.append(blob)
+            found, blobs, stored = self._backend.fetch_vector_blobs(
+                conn, asset_ids, chunk_size
+            )
         matrix = decode_matrix(blobs, self._config.dim)
-        self._accountant.record_read(
-            int(matrix.nbytes) + _ROW_OVERHEAD_BYTES * len(found)
-        )
+        self._accountant.record_read(stored)
         return found, matrix
 
     def get_vector(self, asset_id: str) -> np.ndarray | None:
         """Return one asset's vector, or None if absent."""
         self._check_open()
-        cur = self._reader().execute(
-            "SELECT vector FROM vectors WHERE asset_id=?", (asset_id,)
-        )
-        row = cur.fetchone()
-        if row is None:
+        with self._plain_reader() as conn:
+            blob = self._backend.get_vector_blob(conn, asset_id)
+        if blob is None:
             return None
-        return decode_vector(row[0], self._config.dim)
+        return decode_vector(blob, self._config.dim)
 
     def get_partition_of(self, asset_id: str) -> int | None:
         self._check_open()
-        cur = self._reader().execute(
-            "SELECT partition_id FROM vectors WHERE asset_id=?", (asset_id,)
-        )
-        row = cur.fetchone()
-        return None if row is None else int(row[0])
+        with self._plain_reader() as conn:
+            return self._backend.get_partition_of(conn, asset_id)
 
     def iter_vector_batches(
         self, batch_size: int = 4096, include_delta: bool = True
@@ -853,69 +912,35 @@ class StorageEngine:
         self._check_open()
         if batch_size < 1:
             raise StorageError("batch_size must be >= 1")
-        where = "" if include_delta else "WHERE partition_id != ?"
-        params: tuple[object, ...] = (
-            () if include_delta else (DELTA_PARTITION_ID,)
-        )
         with self.read_snapshot() as conn:
-            cursor = conn.execute(
-                "SELECT asset_id, vector FROM vectors "
-                f"{where} ORDER BY partition_id, asset_id, vector_id",
-                params,
-            )
-            while True:
-                rows = cursor.fetchmany(batch_size)
-                if not rows:
-                    break
-                ids = [r[0] for r in rows]
-                matrix = decode_matrix([r[1] for r in rows], self._config.dim)
-                self._accountant.record_read(
-                    int(matrix.nbytes) + _ROW_OVERHEAD_BYTES * len(rows)
-                )
+            for ids, blobs, stored in self._backend.iter_row_batches(
+                conn, include_delta, batch_size
+            ):
+                matrix = decode_matrix(blobs, self._config.dim)
+                self._accountant.record_read(stored)
                 yield ids, matrix
 
     def all_asset_ids(self) -> list[str]:
         """All asset ids (ids only — a few bytes per vector)."""
         self._check_open()
         with self.read_snapshot() as conn:
-            rows = conn.execute(
-                "SELECT asset_id FROM vectors ORDER BY asset_id"
-            ).fetchall()
-        return [r[0] for r in rows]
+            return self._backend.all_asset_ids(conn)
 
     def count_vectors(self, include_delta: bool = True) -> int:
         self._check_open()
-        if include_delta:
-            cur = self._reader().execute("SELECT COUNT(*) FROM vectors")
-        else:
-            cur = self._reader().execute(
-                "SELECT COUNT(*) FROM vectors WHERE partition_id != ?",
-                (DELTA_PARTITION_ID,),
-            )
-        return int(cur.fetchone()[0])
+        with self._plain_reader() as conn:
+            return self._backend.count_vectors(conn, include_delta)
 
     def delta_size(self) -> int:
         self._check_open()
-        cur = self._reader().execute(
-            "SELECT COUNT(*) FROM vectors WHERE partition_id = ?",
-            (DELTA_PARTITION_ID,),
-        )
-        return int(cur.fetchone()[0])
+        with self._plain_reader() as conn:
+            return self._backend.delta_size(conn)
 
     def partition_sizes(self, include_delta: bool = False) -> dict[int, int]:
         """Map of partition id to row count (index monitor input)."""
         self._check_open()
-        where = "" if include_delta else "WHERE partition_id != ?"
-        params: tuple[object, ...] = (
-            () if include_delta else (DELTA_PARTITION_ID,)
-        )
         with self.read_snapshot() as conn:
-            rows = conn.execute(
-                "SELECT partition_id, COUNT(*) FROM vectors "
-                f"{where} GROUP BY partition_id",
-                params,
-            ).fetchall()
-        return {int(pid): int(count) for pid, count in rows}
+            return self._backend.partition_sizes(conn, include_delta)
 
     # ------------------------------------------------------------------
     # Quantized codes (sq8 / pq)
@@ -998,13 +1023,11 @@ class StorageEngine:
                 return cached
             self._accountant.record_cache_miss()
         with self.read_snapshot() as conn:
-            rows = conn.execute(
-                "SELECT asset_id, vector_id, code FROM vector_codes "
-                "WHERE partition_id=? ORDER BY asset_id, vector_id",
-                (partition_id,),
-            ).fetchall()
-        matrix, lease = self._decode_blobs(
-            [r[2] for r in rows],
+            payload = self._backend.read_partition_codes(
+                conn, partition_id
+            )
+        matrix, lease = self._materialize(
+            payload,
             CODE_DTYPE,
             self.codes_cache,
             use_scratch,
@@ -1014,17 +1037,17 @@ class StorageEngine:
         )
         entry = CachedPartition(
             partition_id=partition_id,
-            asset_ids=tuple(r[0] for r in rows),
-            vector_ids=tuple(int(r[1]) for r in rows),
+            asset_ids=payload.asset_ids,
+            vector_ids=payload.vector_ids,
             matrix=matrix,
             lease=lease,
+            stored_bytes=payload.stored_bytes,
         )
         with self._os_cache_lock:
             charge = partition_id not in self._os_cached_code_partitions
             self._os_cached_code_partitions.add(partition_id)
         self._accountant.record_read(
-            entry.nbytes + _ROW_OVERHEAD_BYTES * len(rows),
-            charge_cost=charge,
+            payload.stored_bytes, charge_cost=charge
         )
         if use_cache and lease is None:
             self.codes_cache.put(entry)
@@ -1138,7 +1161,11 @@ class StorageEngine:
                 f"database dim={self._config.dim}"
             )
         dim = self._config.dim
-        written = 0
+
+        def encode_blobs(blobs: list[bytes]) -> list[bytes]:
+            matrix = decode_matrix(blobs, dim)
+            return encode_code_matrix(quantizer.encode(matrix))
+
         with self.write_transaction() as conn:
             conn.execute(
                 "INSERT INTO meta (key, value) VALUES (?, ?) "
@@ -1153,29 +1180,9 @@ class StorageEngine:
                     conn.execute(
                         "DELETE FROM meta WHERE key=?", (stale_key,)
                     )
-            conn.execute("DELETE FROM vector_codes")
-            cursor = conn.execute(
-                "SELECT partition_id, asset_id, vector_id, vector "
-                "FROM vectors WHERE partition_id != ? "
-                "ORDER BY partition_id, asset_id, vector_id",
-                (DELTA_PARTITION_ID,),
+            written = self._backend.rewrite_codes(
+                conn, encode_blobs, batch_size
             )
-            while True:
-                rows = cursor.fetchmany(batch_size)
-                if not rows:
-                    break
-                matrix = decode_matrix([r[3] for r in rows], dim)
-                blobs = encode_code_matrix(quantizer.encode(matrix))
-                conn.executemany(
-                    "INSERT INTO vector_codes "
-                    "(partition_id, asset_id, vector_id, code) "
-                    "VALUES (?, ?, ?, ?)",
-                    [
-                        (int(r[0]), r[1], int(r[2]), blob)
-                        for r, blob in zip(rows, blobs)
-                    ],
-                )
-                written += len(rows)
         with self._quantizer_lock:
             self._quantizer = quantizer
             self._quantizer_loaded = True
@@ -1189,8 +1196,8 @@ class StorageEngine:
         self._check_open()
         if not self._use_quantization:
             return 0
-        cur = self._reader().execute("SELECT COUNT(*) FROM vector_codes")
-        return int(cur.fetchone()[0])
+        with self._plain_reader() as conn:
+            return self._backend.count_codes(conn)
 
     # ------------------------------------------------------------------
     # Reads: attributes
@@ -1216,8 +1223,9 @@ class StorageEngine:
         sql = "SELECT COUNT(*) FROM attributes"
         if where_sql:
             sql += f" WHERE {where_sql}"
-        cur = self._reader().execute(sql, list(params))
-        return int(cur.fetchone()[0])
+        with self._plain_reader() as conn:
+            cur = conn.execute(sql, list(params))
+            return int(cur.fetchone()[0])
 
     def get_attributes(self, asset_id: str) -> dict[str, object] | None:
         """Return one asset's attribute values, or None if absent."""
@@ -1226,10 +1234,12 @@ class StorageEngine:
         if not names:
             return None
         cols = ", ".join(schema_mod._quote_ident(n) for n in names)
-        cur = self._reader().execute(
-            f"SELECT {cols} FROM attributes WHERE asset_id=?", (asset_id,)
-        )
-        row = cur.fetchone()
+        with self._plain_reader() as conn:
+            cur = conn.execute(
+                f"SELECT {cols} FROM attributes WHERE asset_id=?",
+                (asset_id,),
+            )
+            row = cur.fetchone()
         if row is None:
             return None
         return dict(zip(names, row))
@@ -1255,27 +1265,28 @@ class StorageEngine:
         # iter_vector_batches already holds a snapshot on the same
         # thread-local connection, and autocommit reads compose with
         # an open transaction where a nested BEGIN would not.
-        conn = self._reader()
-        for lo in range(0, len(ids), 512):
-            chunk = ids[lo : lo + 512]
-            placeholders = ", ".join("?" * len(chunk))
-            rows = conn.execute(
-                f"SELECT asset_id, {cols} FROM attributes "
-                f"WHERE asset_id IN ({placeholders})",
-                chunk,
-            ).fetchall()
-            for row in rows:
-                out[row[0]] = dict(zip(names, row[1:]))
+        with self._plain_reader() as conn:
+            for lo in range(0, len(ids), 512):
+                chunk = ids[lo : lo + 512]
+                placeholders = ", ".join("?" * len(chunk))
+                rows = conn.execute(
+                    f"SELECT asset_id, {cols} FROM attributes "
+                    f"WHERE asset_id IN ({placeholders})",
+                    chunk,
+                ).fetchall()
+                for row in rows:
+                    out[row[0]] = dict(zip(names, row[1:]))
         return out
 
     def token_document_frequency(self, attribute: str, token: str) -> int:
         """Number of assets whose attribute contains the token (MATCH df)."""
         self._check_open()
-        cur = self._reader().execute(
-            "SELECT COUNT(*) FROM tokens WHERE attribute=? AND token=?",
-            (attribute, token),
-        )
-        return int(cur.fetchone()[0])
+        with self._plain_reader() as conn:
+            cur = conn.execute(
+                "SELECT COUNT(*) FROM tokens WHERE attribute=? AND token=?",
+                (attribute, token),
+            )
+            return int(cur.fetchone()[0])
 
     # ------------------------------------------------------------------
     # Statistics persistence (selectivity module reads/writes these)
@@ -1293,11 +1304,12 @@ class StorageEngine:
 
     def load_column_stats(self, attribute: str) -> str | None:
         self._check_open()
-        cur = self._reader().execute(
-            "SELECT payload FROM column_stats WHERE attribute=?",
-            (attribute,),
-        )
-        row = cur.fetchone()
+        with self._plain_reader() as conn:
+            cur = conn.execute(
+                "SELECT payload FROM column_stats WHERE attribute=?",
+                (attribute,),
+            )
+            row = cur.fetchone()
         return None if row is None else str(row[0])
 
     def load_all_column_stats(self) -> dict[str, str]:
@@ -1394,6 +1406,10 @@ class StorageEngine:
         transaction under the hood).
         """
         self._check_open()
+        if not self._backend.file_backed:
+            # Nothing on disk to compact; the in-memory backend's
+            # placeholder file never grows.
+            return 0
         before = os.path.getsize(self._path)
         with self._writer_lock:
             self._writer.execute("VACUUM")
@@ -1413,82 +1429,14 @@ class StorageEngine:
         - centroid vector_count drift versus actual partition sizes.
         """
         self._check_open()
-        problems: list[str] = []
+        # Resolve the quantizer meta row BEFORE entering the snapshot:
+        # get_meta reads through the writer connection, and the
+        # backend's check must not depend on engine state mid-read.
+        quantizer_trained = (
+            self._use_quantization
+            and self.get_meta(self.quantizer_meta_key) is not None
+        )
         with self.read_snapshot() as conn:
-            for (line,) in conn.execute("PRAGMA integrity_check"):
-                if line != "ok":
-                    problems.append(f"sqlite: {line}")
-            orphan_rows = conn.execute(
-                "SELECT COUNT(*) FROM vectors v WHERE v.partition_id != ? "
-                "AND NOT EXISTS (SELECT 1 FROM centroids c "
-                "WHERE c.partition_id = v.partition_id)",
-                (DELTA_PARTITION_ID,),
-            ).fetchone()[0]
-            if orphan_rows:
-                problems.append(
-                    f"{orphan_rows} vectors assigned to partitions "
-                    "with no centroid"
-                )
-            # Deletes legitimately leave recorded counts above the
-            # actual sizes until the next rebuild; the corrupt
-            # direction is a partition holding MORE vectors than its
-            # centroid ever accounted for (a flush that forgot to
-            # update the count).
-            drift = conn.execute(
-                "SELECT c.partition_id, c.vector_count, COUNT(v.asset_id)"
-                " FROM centroids c LEFT JOIN vectors v "
-                "ON v.partition_id = c.partition_id "
-                "GROUP BY c.partition_id "
-                "HAVING COUNT(v.asset_id) > c.vector_count"
-            ).fetchall()
-            for pid, recorded, actual in drift:
-                problems.append(
-                    f"partition {pid}: centroid records {recorded} "
-                    f"vectors, table holds {actual}"
-                )
-            if self._use_quantization:
-                # Once a quantizer is trained, EVERY indexed (non-
-                # delta) vector must carry a code row — an uncoded
-                # vector in a quantized partition is invisible to the
-                # fast scan path (e.g. a crash between an assignment
-                # commit and a code rewrite).
-                if self.get_meta(self.quantizer_meta_key) is not None:
-                    uncoded = conn.execute(
-                        "SELECT COUNT(*) FROM vectors v "
-                        "WHERE v.partition_id != ? "
-                        "AND NOT EXISTS (SELECT 1 FROM vector_codes c "
-                        "WHERE c.asset_id = v.asset_id "
-                        "AND c.partition_id = v.partition_id)",
-                        (DELTA_PARTITION_ID,),
-                    ).fetchone()[0]
-                    if uncoded:
-                        problems.append(
-                            f"{uncoded} indexed vectors have no "
-                            "quantized code (invisible to quantized "
-                            "scans; rebuild the index to re-encode)"
-                        )
-                # A code row must shadow a float row in the same
-                # partition; the delta is never quantized.
-                stale = conn.execute(
-                    "SELECT COUNT(*) FROM vector_codes c "
-                    "WHERE NOT EXISTS (SELECT 1 FROM vectors v "
-                    "WHERE v.asset_id = c.asset_id "
-                    "AND v.partition_id = c.partition_id)"
-                ).fetchone()[0]
-                if stale:
-                    problems.append(
-                        f"{stale} quantized code rows do not match any "
-                        "vector row"
-                    )
-                delta_codes = conn.execute(
-                    "SELECT COUNT(*) FROM vector_codes "
-                    "WHERE partition_id = ?",
-                    (DELTA_PARTITION_ID,),
-                ).fetchone()[0]
-                if delta_codes:
-                    problems.append(
-                        f"{delta_codes} quantized code rows in the "
-                        "delta partition (delta must stay "
-                        "full-precision)"
-                    )
-        return problems
+            return self._backend.integrity_problems(
+                conn, self._use_quantization, quantizer_trained
+            )

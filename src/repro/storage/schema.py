@@ -90,6 +90,58 @@ CREATE UNIQUE INDEX IF NOT EXISTS idx_codes_asset_id
     ON vector_codes (asset_id)
 """
 
+#: Packed-blob layout (``storage_backend="sqlite-packed"``): one row
+#: per partition holding the whole partition as three contiguous
+#: blobs — length-prefixed asset ids, an int64 vector-id array and the
+#: packed float32 payload. A partition scan reads ONE row, so the
+#: ~40 bytes/row of b-tree key+record overhead disappears; with 8–16
+#: byte PQ codes that overhead would otherwise dominate the read.
+PACKED_PARTITIONS_TABLE = """
+CREATE TABLE IF NOT EXISTS packed_partitions (
+    partition_id INTEGER PRIMARY KEY,
+    row_count    INTEGER NOT NULL,
+    asset_ids    BLOB    NOT NULL,
+    vector_ids   BLOB    NOT NULL,
+    vectors      BLOB    NOT NULL
+)
+"""
+
+#: Packed quantized scan codes, mirroring ``packed_partitions`` (row
+#: order inside the blobs is ascending asset id, identical to the
+#: float blob, so scan results stay bit-identical to the row layout).
+PACKED_CODES_TABLE = """
+CREATE TABLE IF NOT EXISTS packed_codes (
+    partition_id INTEGER PRIMARY KEY,
+    row_count    INTEGER NOT NULL,
+    asset_ids    BLOB    NOT NULL,
+    codes        BLOB    NOT NULL
+)
+"""
+
+#: The delta-store stays row-per-vector under the packed layout:
+#: upserts must remain one cheap row write, not a rewrite of a packed
+#: blob per batch.
+PACKED_DELTA_TABLE = """
+CREATE TABLE IF NOT EXISTS delta_vectors (
+    asset_id  TEXT    PRIMARY KEY,
+    vector_id INTEGER NOT NULL,
+    vector    BLOB    NOT NULL
+) WITHOUT ROWID
+"""
+
+#: Point lookups (get_vector, rerank fetches, upsert deletes) need to
+#: find an asset's partition and its row index inside the packed blob
+#: without scanning blobs; this locator is the packed layout's analog
+#: of the row layout's unique asset-id index.
+PACKED_LOCATOR_TABLE = """
+CREATE TABLE IF NOT EXISTS vector_locator (
+    asset_id     TEXT    PRIMARY KEY,
+    partition_id INTEGER NOT NULL,
+    vector_id    INTEGER NOT NULL,
+    row_index    INTEGER NOT NULL
+) WITHOUT ROWID
+"""
+
 TOKENS_TABLE = """
 CREATE TABLE IF NOT EXISTS tokens (
     attribute TEXT NOT NULL,
@@ -159,21 +211,20 @@ def fts5_available(conn: sqlite3.Connection) -> bool:
         return False
 
 
-def create_schema(
+def create_common_schema(
     conn: sqlite3.Connection,
     attributes: dict[str, str],
     fts_attributes: tuple[str, ...],
     use_fts5: bool,
-    use_quantization: bool = False,
 ) -> None:
-    """Create all tables and indexes on a fresh or existing database."""
+    """Create the layout-independent tables (everything but vectors).
+
+    The vector/code tables belong to the selected storage backend
+    (``repro.storage.backends``), which creates its own layout tables
+    after this.
+    """
     conn.execute(META_TABLE)
     conn.execute(CENTROIDS_TABLE)
-    conn.execute(VECTORS_TABLE)
-    conn.execute(VECTORS_ASSET_INDEX)
-    if use_quantization:
-        conn.execute(VECTOR_CODES_TABLE)
-        conn.execute(CODES_ASSET_INDEX)
     conn.execute(TOKENS_TABLE)
     conn.execute(TOKENS_ASSET_INDEX)
     conn.execute(COLUMN_STATS_TABLE)
@@ -182,6 +233,22 @@ def create_schema(
         conn.execute(ddl)
     if use_fts5 and fts_attributes:
         conn.execute(fts_table_ddl(fts_attributes))
+
+
+def create_schema(
+    conn: sqlite3.Connection,
+    attributes: dict[str, str],
+    fts_attributes: tuple[str, ...],
+    use_fts5: bool,
+    use_quantization: bool = False,
+) -> None:
+    """Create all tables and indexes of the default row layout."""
+    create_common_schema(conn, attributes, fts_attributes, use_fts5)
+    conn.execute(VECTORS_TABLE)
+    conn.execute(VECTORS_ASSET_INDEX)
+    if use_quantization:
+        conn.execute(VECTOR_CODES_TABLE)
+        conn.execute(CODES_ASSET_INDEX)
 
 
 def _quote_ident(name: str) -> str:

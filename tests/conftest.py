@@ -2,10 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import MicroNN, MicroNNConfig
+
+#: Storage backend the suite runs under (the CI matrix sets this; see
+#: MicroNNConfig.storage_backend). Most tests are backend-agnostic;
+#: the markers below skip the few white-box tests that reach past the
+#: public API into one backend's physical layout.
+TEST_BACKEND = os.environ.get("MICRONN_TEST_BACKEND", "sqlite-row")
+
+#: Skip under the memory backend: the test needs a real database file
+#: (file sizes, WAL snapshots, surviving process restarts).
+requires_file_backend = pytest.mark.skipif(
+    TEST_BACKEND == "memory",
+    reason="test requires an on-disk database file",
+)
+
+#: Skip under the packed backend: the test issues raw SQL against the
+#: row-per-vector tables (``vectors`` / ``vector_codes``).
+requires_row_layout = pytest.mark.skipif(
+    TEST_BACKEND == "sqlite-packed",
+    reason="white-box test assumes the row-per-vector table layout",
+)
 
 
 @pytest.fixture

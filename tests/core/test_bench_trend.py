@@ -89,6 +89,28 @@ class TestCompare:
         )
         assert failures == [] and warnings == []
 
+    def test_missing_bytes_gate_fails_hard(self):
+        # A gated metric vanishing from the current run must not read
+        # as "no regression" — a renamed key would silently disable
+        # the gate forever.
+        base = {"r.bytes_read_per_query": 1000.0}
+        failures, warnings = compare_artifacts(base, {})
+        assert len(failures) == 1
+        assert "missing" in failures[0]
+        assert warnings == []
+
+    def test_missing_latency_key_warns(self):
+        base = {"r.cold_p50_ms": 10.0}
+        failures, warnings = compare_artifacts(base, {})
+        assert failures == []
+        assert len(warnings) == 1
+        assert "missing" in warnings[0]
+
+    def test_missing_ungated_key_ignored(self):
+        base = {"r.scan_sharing": 2.0, "r.io_time_ms": 1.0}
+        failures, warnings = compare_artifacts(base, {})
+        assert failures == [] and warnings == []
+
 
 class TestDirectories:
     def _write(self, path, payload):

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro import Eq, MicroNN, MicroNNConfig, PlanKind
+from tests.conftest import requires_file_backend, requires_row_layout
 
 
 @pytest.fixture
@@ -28,6 +29,7 @@ def db(tmp_path, rng):
 
 
 class TestCompact:
+    @requires_file_backend
     def test_compact_reclaims_after_mass_delete(self, tmp_path, rng):
         # Enough data that deletions free whole SQLite pages.
         config = MicroNNConfig(dim=256, target_cluster_size=50,
@@ -68,6 +70,7 @@ class TestIntegrityCheck:
         db.maintain(force=MaintenanceAction.INCREMENTAL_FLUSH)
         assert db.check_integrity() == []
 
+    @requires_row_layout
     def test_detects_orphaned_partition(self, db):
         with db.engine.write_transaction() as conn:
             conn.execute(

@@ -11,6 +11,7 @@ import pytest
 
 from repro import MicroNN, MicroNNConfig
 from repro.core.types import MaintenanceAction
+from tests.conftest import requires_row_layout
 from repro.workloads.datasets import load_dataset
 from repro.workloads.groundtruth import compute_ground_truth
 from repro.workloads.metrics import mean_recall_at_k
@@ -76,6 +77,8 @@ class TestInsertionEpochs:
         finally:
             db.close()
 
+    @requires_row_layout  # row-granular flash-wear ratio (Fig. 10d);
+    # the packed layout rewrites whole partition blobs on a flush
     def test_incremental_io_fraction_of_rebuild(self, tmp_path, dataset):
         """Fig. 10d: incremental maintenance writes a few % of a full
         rebuild's row changes."""

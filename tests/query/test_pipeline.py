@@ -17,6 +17,7 @@ import pytest
 from repro import DeviceProfile, Eq, MicroNN, MicroNNConfig
 from repro.core.errors import ConfigError
 from repro.core.types import PlanKind
+from tests.conftest import requires_row_layout
 
 
 def clustered(rng, n, dim, components=8, spread=6.0):
@@ -160,6 +161,7 @@ class TestObservability:
         )
         assert "pipeline_depth=0" in serial.explain(Eq("color", "red"))
 
+    @requires_row_layout
     def test_codeless_sq8_scans_stay_pipelined(self, tmp_path, rng):
         # A trained quantizer with code-less partitions (mid-build, or
         # a crash between assignment and re-encode) falls back to cold

@@ -7,6 +7,7 @@ import pytest
 
 from repro import ConfigError, Eq, MicroNN, MicroNNConfig
 from repro.core.types import PlanKind
+from tests.conftest import requires_row_layout
 
 
 def clustered(rng, n, dim, components=8, spread=6.0):
@@ -191,6 +192,7 @@ class TestMaintenanceInteraction:
         assert stats.quantized_vectors == stats.indexed_vectors
         assert db.check_integrity() == []
 
+    @requires_row_layout
     def test_flush_commits_moves_and_codes_atomically(self, sq8_db):
         # The crash-safety invariant behind the single-transaction
         # flush: a vector landing in a quantized partition WITHOUT its
@@ -250,13 +252,21 @@ def table_names(db: MicroNN) -> set[str]:
 
 class TestOnDiskCompatibility:
     def test_none_layout_has_no_codes_table(self, populated_db):
-        assert "vector_codes" not in table_names(populated_db)
+        tables = table_names(populated_db)
+        # Neither layout's codes table exists without quantization.
+        assert "vector_codes" not in tables
+        assert "packed_codes" not in tables
         # And no quantizer key pollutes the meta table.
         assert populated_db.engine.get_meta("sq8_quantizer") is None
 
     def test_sq8_layout_has_codes_table(self, sq8_db):
         db, _ = sq8_db
-        assert "vector_codes" in table_names(db)
+        expected = (
+            "packed_codes"
+            if db.engine.storage_backend == "sqlite-packed"
+            else "vector_codes"
+        )
+        assert expected in table_names(db)
 
     def test_float_db_reopened_with_sq8_upgrades(self, tmp_path, rng):
         vectors = clustered(rng, 120, 16)

@@ -1,0 +1,185 @@
+"""Backend registry, stored-kind validation, and packed-codec units.
+
+The cross-backend *behavioral* contract (bit-identical search results)
+lives in ``tests/property/test_backend_parity.py``; this module covers
+the plumbing around it: every mismatched open must fail validation
+with an error naming both backends, detection must identify what laid
+out a file, and the packed id codec must round-trip and reject
+corruption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig
+from repro.core.config import SUPPORTED_STORAGE_BACKENDS
+from repro.core.errors import ConfigError, StorageError
+from repro.shard import ShardedMicroNN
+from repro.storage.backends import create_backend, detect_backend
+from repro.storage.backends.memory import reset_registry
+from repro.storage.backends.sqlite_packed import (
+    pack_asset_ids,
+    unpack_asset_ids,
+)
+
+
+def _config(backend: str) -> MicroNNConfig:
+    return MicroNNConfig(
+        dim=8,
+        target_cluster_size=10,
+        kmeans_iterations=5,
+        storage_backend=backend,
+    )
+
+
+def _create(path, backend: str, n: int = 12) -> None:
+    rng = np.random.default_rng(7)
+    with MicroNN.open(path, _config(backend)) as db:
+        for i in range(n):
+            db.upsert(f"a{i:03d}", rng.normal(size=8).astype(np.float32))
+        db.build_index()
+
+
+class TestStoredKindValidation:
+    """A database must only ever reopen under the backend that laid
+    it out — never silently present empty tables."""
+
+    @pytest.mark.parametrize(
+        "created, reopened",
+        [
+            ("sqlite-row", "sqlite-packed"),
+            ("sqlite-packed", "sqlite-row"),
+        ],
+    )
+    def test_mismatched_sqlite_open_fails(
+        self, tmp_path, created, reopened
+    ):
+        path = tmp_path / "x.db"
+        _create(path, created)
+        with pytest.raises(StorageError) as excinfo:
+            MicroNN.open(path, _config(reopened))
+        # The error must name both sides of the mismatch.
+        assert created in str(excinfo.value)
+        assert reopened in str(excinfo.value)
+
+    def test_memory_marker_rejects_file_backend(self, tmp_path):
+        path = tmp_path / "m.db"
+        _create(path, "memory")
+        with pytest.raises(StorageError, match="placeholder"):
+            MicroNN.open(path, _config("sqlite-row"))
+
+    def test_sqlite_file_rejects_memory_backend(self, tmp_path):
+        path = tmp_path / "x.db"
+        _create(path, "sqlite-row")
+        with pytest.raises(StorageError, match="SQLite database"):
+            MicroNN.open(path, _config("memory"))
+
+    def test_stale_memory_marker_rejects_reopen(self, tmp_path):
+        # A marker left by a dead process must not present as an
+        # empty database; the data it pointed at is gone.
+        path = tmp_path / "m.db"
+        _create(path, "memory")
+        reset_registry()  # simulate a process restart
+        with pytest.raises(StorageError, match="process"):
+            MicroNN.open(path, _config("memory"))
+
+    def test_mismatch_leaves_file_untouched(self, tmp_path):
+        # The failed open must not pollute the file with the other
+        # layout's empty tables: the original backend still opens.
+        path = tmp_path / "x.db"
+        _create(path, "sqlite-packed")
+        with pytest.raises(StorageError):
+            MicroNN.open(path, _config("sqlite-row"))
+        with MicroNN.open(path, _config("sqlite-packed")) as db:
+            assert len(db) == 12
+            assert db.check_integrity() == []
+
+
+class TestShardedFingerprint:
+    def test_manifest_pins_backend(self, tmp_path):
+        root = tmp_path / "fleet.sharded"
+        db = ShardedMicroNN.open(
+            root, _config("sqlite-packed"), shards=2
+        )
+        db.close()
+        with pytest.raises(ConfigError, match="storage_backend"):
+            ShardedMicroNN.open(root, _config("sqlite-row"))
+        reopened = ShardedMicroNN.open(root, _config("sqlite-packed"))
+        reopened.close()
+
+
+class TestDetectBackend:
+    def test_absent_path_is_none(self, tmp_path):
+        assert detect_backend(tmp_path / "nope.db") is None
+
+    @pytest.mark.parametrize(
+        "backend", ["sqlite-row", "sqlite-packed", "memory"]
+    )
+    def test_detects_each_kind(self, tmp_path, backend):
+        path = tmp_path / f"{backend}.db"
+        _create(path, backend)
+        assert detect_backend(path) == backend
+
+    def test_legacy_file_is_row(self, tmp_path):
+        # Databases predating the abstraction have no meta key.
+        import sqlite3
+
+        path = tmp_path / "legacy.db"
+        _create(path, "sqlite-row")
+        conn = sqlite3.connect(path)
+        conn.execute("DELETE FROM meta WHERE key='storage_backend'")
+        conn.commit()
+        conn.close()
+        assert detect_backend(path) == "sqlite-row"
+
+    def test_junk_file_is_none(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_bytes(b"definitely not a database")
+        assert detect_backend(path) is None
+
+
+class TestRegistry:
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="unknown storage"):
+            create_backend(
+                "sqlite-rocket", str(tmp_path / "x.db"), _config
+            )
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=8, storage_backend="sqlite-rocket")
+
+    def test_supported_backends_match_registry(self):
+        from repro.storage.backends import _BACKENDS
+
+        assert set(SUPPORTED_STORAGE_BACKENDS) == set(_BACKENDS)
+
+    def test_memory_reopen_same_process_sees_data(self, tmp_path):
+        path = tmp_path / "m.db"
+        _create(path, "memory", n=9)
+        with MicroNN.open(path, _config("memory")) as db:
+            assert len(db) == 9
+            assert db.get_vector("a003") is not None
+
+
+class TestPackedIdCodec:
+    def test_round_trip(self):
+        ids = ("", "a", "weekÝend", "x" * 300, "0007")
+        blob = pack_asset_ids(ids)
+        assert unpack_asset_ids(blob, len(ids)) == ids
+
+    def test_truncated_blob_rejected(self):
+        blob = pack_asset_ids(["abc", "def"])
+        with pytest.raises(StorageError, match="truncated"):
+            unpack_asset_ids(blob[:-2], 2)
+
+    def test_trailing_bytes_rejected(self):
+        blob = pack_asset_ids(["abc"])
+        with pytest.raises(StorageError, match="trailing"):
+            unpack_asset_ids(blob + b"xx", 1)
+
+    def test_oversize_id_rejected(self):
+        with pytest.raises(StorageError, match="65535"):
+            pack_asset_ids(["x" * 70000])

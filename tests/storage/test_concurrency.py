@@ -7,6 +7,7 @@ import numpy as np
 import pytest
 
 from repro import MicroNN, MicroNNConfig
+from tests.conftest import requires_file_backend, requires_row_layout
 
 
 @pytest.fixture
@@ -151,6 +152,8 @@ class TestConcurrentReadersWriter:
 
 
 class TestSnapshotIsolation:
+    @requires_file_backend  # shared-conn backend has no WAL snapshots
+    @requires_row_layout  # counts the row-layout ``vectors`` table
     def test_read_snapshot_is_stable(self, tmp_path, config, rng):
         """A read transaction pins its snapshot despite commits."""
         db = MicroNN.open(tmp_path / "c.db", config)

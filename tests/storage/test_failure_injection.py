@@ -7,6 +7,7 @@ import pytest
 
 from repro import MicroNN, MicroNNConfig, ShardedMicroNN, StorageError
 from repro.core.config import DELTA_PARTITION_ID
+from tests.conftest import requires_row_layout
 
 
 @pytest.fixture
@@ -31,6 +32,7 @@ def corrupt_blob(db, asset_id: str, payload: bytes) -> None:
     engine.purge_caches()
 
 
+@requires_row_layout  # corrupt_blob writes the row-layout table
 class TestCorruption:
     def test_truncated_blob_detected_on_read(self, db):
         corrupt_blob(db, "a00", b"\x00" * 7)  # not a multiple of 4*dim
