@@ -20,6 +20,17 @@ A walkthrough of the sharded multi-database engine (repro.shard):
   a fresh fleet and atomically swaps the manifest; the directory
   stays a valid database throughout.
 
+Degraded serving: a dead or corrupt shard does not take the fleet
+down. The scatter retries it (``ShardConfig.shard_retries`` with
+``shard_retry_backoff_ms``), optionally bounds it with a per-shard
+``shard_timeout_s`` budget, and on failure merges the surviving
+shards' answers, naming the casualty in
+``ShardedSearchResult.degraded_shards`` (``stats.degraded`` is set).
+Check that field when serving user traffic — a degraded answer has
+fewer candidates, never wrong ones. Run ``db.verify()`` /
+``db.repair()`` (or ``python -m repro.cli scrub <dir> --repair``) to
+bring the shard back; see README "Durability & recovery".
+
 Tuning rules of thumb, demonstrated below:
 
 - shard when one database's writer lock or one file's I/O path is the

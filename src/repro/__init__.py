@@ -39,12 +39,14 @@ from repro.core.config import (
 from repro.core.database import MicroNN
 from repro.core.errors import (
     ConfigError,
+    CorruptPartitionError,
     DatabaseClosedError,
     DimensionMismatchError,
     FilterError,
     MicroNNError,
     StorageError,
     UnknownAttributeError,
+    WriteConflictError,
 )
 from repro.core.types import (
     BatchSearchResult,
@@ -75,7 +77,7 @@ from repro.query.filters import (
 )
 from repro.serve.session import ServeStats, Session
 from repro.shard import HashRouter, ShardedMicroNN, ShardedSearchResult
-from repro.storage.engine import VectorRecord
+from repro.storage.engine import ScrubReport, VectorRecord
 from repro.storage.quantization import SQ8Quantizer
 
 __version__ = "1.0.0"
@@ -107,6 +109,7 @@ __all__ = [
     "BuildReport",
     "MaintenanceAction",
     "MaintenanceReport",
+    "ScrubReport",
     # filters
     "Predicate",
     "Eq",
@@ -127,6 +130,8 @@ __all__ = [
     "ConfigError",
     "FilterError",
     "StorageError",
+    "CorruptPartitionError",
+    "WriteConflictError",
     "DatabaseClosedError",
     "DimensionMismatchError",
     "UnknownAttributeError",

@@ -228,6 +228,61 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_scrub_report(report, prefix: str = "") -> bool:
+    print(
+        f"{prefix}checked {report.partitions_checked} partition(s): "
+        f"{len(report.corrupt_vectors)} corrupt vector blob(s), "
+        f"{len(report.corrupt_codes)} corrupt code blob(s), "
+        f"{len(report.unstamped)} unstamped, "
+        f"quantizer {'ok' if report.quantizer_ok else 'CORRUPT'}"
+    )
+    if report.corrupt_vectors:
+        print(f"{prefix}  corrupt vectors: {list(report.corrupt_vectors)}")
+    if report.corrupt_codes:
+        print(f"{prefix}  corrupt codes:   {list(report.corrupt_codes)}")
+    if report.repaired_codes or report.dropped_partitions or report.stamped:
+        print(
+            f"{prefix}  repaired: {report.repaired_codes} code blob(s) "
+            f"rebuilt, {len(report.dropped_partitions)} partition(s) "
+            f"dropped, {report.stamped} checksum(s) stamped"
+        )
+    return report.healthy
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    """Checksum-verify (and optionally repair) a database's blobs."""
+    db = _open(args)
+
+    def run_and_print(action) -> bool:
+        healthy = True
+        if isinstance(db, ShardedMicroNN):
+            for shard_file, report in action().items():
+                print(f"{shard_file}:")
+                healthy = (
+                    _print_scrub_report(report, prefix="  ") and healthy
+                )
+        else:
+            healthy = _print_scrub_report(action())
+        return healthy
+
+    healthy = run_and_print(db.repair if args.repair else db.verify)
+    if args.repair and not healthy:
+        # The repair report lists what *was* wrong; whether the
+        # database is clean now is a fresh scrub's verdict (dropped
+        # partitions count as clean — they no longer exist).
+        print("# post-repair verification:")
+        healthy = run_and_print(db.verify)
+    if not healthy and not args.repair:
+        print(
+            "# corruption found — corrupt partitions are quarantined "
+            "(queries degrade); run `scrub --repair` to rebuild "
+            "recoverable blobs",
+            file=sys.stderr,
+        )
+    db.close()
+    return 0 if healthy else 1
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     """Self-contained smoke run on synthetic data (no files needed)."""
     rng = np.random.default_rng(0)
@@ -337,6 +392,19 @@ def build_parser() -> argparse.ArgumentParser:
     sharded(p)
     p.set_defaults(func=cmd_stats)
 
+    p = sub.add_parser(
+        "scrub",
+        help="checksum-verify partition blobs (exit 1 on corruption)",
+    )
+    common(p)
+    sharded(p)
+    p.add_argument(
+        "--repair", action="store_true",
+        help="rebuild corrupt code blobs from intact floats, drop "
+        "unrecoverable partitions, re-stamp missing checksums",
+    )
+    p.set_defaults(func=cmd_scrub)
+
     p = sub.add_parser("demo", help="self-contained smoke run")
     common(p, needs_db=False)
     p.set_defaults(func=cmd_demo)
@@ -351,6 +419,7 @@ def main(argv: list[str] | None = None) -> int:
         "build",
         "maintain",
         "stats",
+        "scrub",
         "demo",
     ):
         if args.command == "demo":

@@ -322,6 +322,17 @@ class MicroNNConfig:
     #: persisted in the database (and shard manifest) and validated on
     #: reopen.
     storage_backend: str = field(default_factory=_default_storage_backend)
+    #: Bounded retry budget for transient ``database is locked``
+    #: errors when acquiring the write transaction: after the
+    #: in-connection busy timeout expires, the engine retries ``BEGIN
+    #: IMMEDIATE`` up to this many more times before surfacing a
+    #: :class:`~repro.core.errors.WriteConflictError`. ``0`` fails on
+    #: the first locked error.
+    busy_retries: int = 4
+    #: Base backoff between busy retries, in milliseconds. Each retry
+    #: doubles it and adds uniform jitter so two contending writers do
+    #: not re-collide in lockstep.
+    busy_backoff_ms: float = 10.0
     device: DeviceProfile = field(default_factory=DeviceProfile.large)
     seed: int = 0
 
@@ -400,12 +411,22 @@ class MicroNNConfig:
             raise ConfigError(
                 "adaptive_nprobe_margin must be >= 0 when set"
             )
-        if self.storage_backend not in SUPPORTED_STORAGE_BACKENDS:
+        # ``fault:<inner>`` wraps a real backend with the fault-
+        # injecting test decorator (``repro.storage.backends.fault``);
+        # the inner kind must itself be supported.
+        backend_kind = self.storage_backend
+        if backend_kind.startswith("fault:"):
+            backend_kind = backend_kind[len("fault:"):]
+        if backend_kind not in SUPPORTED_STORAGE_BACKENDS:
             raise ConfigError(
                 f"storage_backend must be one of "
-                f"{SUPPORTED_STORAGE_BACKENDS}, "
-                f"got {self.storage_backend!r}"
+                f"{SUPPORTED_STORAGE_BACKENDS} (optionally prefixed "
+                f"with 'fault:'), got {self.storage_backend!r}"
             )
+        if self.busy_retries < 0:
+            raise ConfigError("busy_retries must be >= 0")
+        if self.busy_backoff_ms < 0:
+            raise ConfigError("busy_backoff_ms must be >= 0")
         if self.max_inflight_queries < 1:
             raise ConfigError("max_inflight_queries must be >= 1")
         if self.serve_io_threads is not None and self.serve_io_threads < 1:
@@ -515,6 +536,23 @@ class ShardConfig:
     num_shards: int = 1
     router: str = "hash"
     serve_scatter_threshold: int = 4
+    #: Per-shard wall-clock budget for one scattered query, in
+    #: seconds. A shard that has not answered within the budget is
+    #: treated as dead for that query: the gather returns the other
+    #: shards' merged results tagged with the laggard in
+    #: ``ShardedSearchResult.degraded_shards``. ``None`` (default)
+    #: waits indefinitely — single-device deployments usually prefer
+    #: a late answer over a partial one.
+    shard_timeout_s: float | None = None
+    #: How many times a failed shard query is retried (with backoff)
+    #: before the shard is declared degraded for that query. Retries
+    #: cover transient faults (a locked database file, a mid-repair
+    #: hiccup); hard failures (missing file, closed shard) fail each
+    #: attempt fast.
+    shard_retries: int = 1
+    #: Base backoff between shard retries, in milliseconds; doubles
+    #: per attempt with uniform jitter.
+    shard_retry_backoff_ms: float = 50.0
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -541,6 +579,12 @@ class ShardConfig:
             )
         if self.serve_scatter_threshold < 1:
             raise ConfigError("serve_scatter_threshold must be >= 1")
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ConfigError("shard_timeout_s must be > 0 when set")
+        if self.shard_retries < 0:
+            raise ConfigError("shard_retries must be >= 0")
+        if self.shard_retry_backoff_ms < 0:
+            raise ConfigError("shard_retry_backoff_ms must be >= 0")
 
 
 #: Column names used by the library's own schema; attributes must not

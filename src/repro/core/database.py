@@ -56,7 +56,7 @@ from repro.query.selectivity import (
     collect_statistics,
     load_statistics,
 )
-from repro.storage.engine import StorageEngine, VectorRecord
+from repro.storage.engine import ScrubReport, StorageEngine, VectorRecord
 from repro.storage.iomodel import IOSnapshot
 from repro.storage.memory import MemorySnapshot
 
@@ -73,12 +73,18 @@ class MicroNN:
         self._engine = StorageEngine(
             path, config, tokenizer=default_tokenizer
         )
-        self._executor = QueryExecutor(self._engine, config)
-        self._batch_executor = BatchQueryExecutor(self._engine, config)
-        self._builder = IVFBuilder(self._engine, config)
-        self._monitor = IndexMonitor(self._engine, config)
-        self._maintainer = IncrementalMaintainer(self._engine, config)
-        self._token_stats = TokenStats(self._engine)
+        try:
+            self._executor = QueryExecutor(self._engine, config)
+            self._batch_executor = BatchQueryExecutor(self._engine, config)
+            self._builder = IVFBuilder(self._engine, config)
+            self._monitor = IndexMonitor(self._engine, config)
+            self._maintainer = IncrementalMaintainer(self._engine, config)
+            self._token_stats = TokenStats(self._engine)
+        except BaseException:
+            # A failure after the engine came up must not leak its
+            # connections (or the tempdir of an ephemeral database).
+            self._engine.close()
+            raise
         self._estimator_lock = threading.Lock()
         self._estimator: SelectivityEstimator | None = None
         # The concurrent serving scheduler is built lazily on the first
@@ -576,6 +582,35 @@ class MicroNN:
         """
         return self._engine.integrity_check()
 
+    def verify(self) -> ScrubReport:
+        """Checksum-verify every partition blob and the quantizer.
+
+        Read-only scrub: recomputes the CRC32 of each partition's
+        vectors (and codes, when quantized) against the stored
+        checksums. Corrupt partitions are quarantined — queries keep
+        answering without them and flag themselves ``degraded`` — and
+        the returned :class:`ScrubReport` says exactly what is wrong.
+        """
+        return self._engine.scrub()
+
+    def repair(self) -> ScrubReport:
+        """Scrub, then fix what can be fixed.
+
+        Corrupt code blobs are rebuilt bit-identically from the intact
+        float vectors; a corrupt quantizer payload is dropped (scans
+        fall back to full precision until the next build retrains it);
+        partitions whose *float* blob is corrupt are unrecoverable and
+        dropped. Afterwards the quarantine list is cleared and caches
+        purged, so search results are bit-identical to an uncorrupted
+        database minus any dropped partitions.
+        """
+        return self._engine.repair()
+
+    @property
+    def quarantined_partitions(self) -> tuple[int, ...]:
+        """Partitions currently served empty due to checksum failures."""
+        return self._engine.quarantined_partitions
+
     def explain(
         self,
         filters: Predicate,
@@ -607,6 +642,16 @@ class MicroNN:
                 f"{decision.ivf_selectivity:.6f}"
             ),
         ]
+        quarantined = self._engine.quarantined_partitions
+        if quarantined:
+            shown = ", ".join(str(p) for p in quarantined[:8])
+            if len(quarantined) > 8:
+                shown += ", ..."
+            lines.append(
+                f"  DEGRADED:         {len(quarantined)} partition(s) "
+                f"quarantined by checksum failures [{shown}] — served "
+                "empty until repair()"
+            )
         if decision.kind is PlanKind.PRE_FILTER:
             lines.append(
                 "  chosen plan: PRE-FILTER — the filter narrows the "

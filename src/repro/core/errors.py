@@ -51,6 +51,22 @@ class DatabaseClosedError(StorageError):
     """Raised when an operation is attempted on a closed database."""
 
 
+class CorruptPartitionError(StorageError):
+    """Raised when a stored partition blob fails its checksum.
+
+    Carries the offending ``partition_id`` so the engine can
+    quarantine exactly that partition and keep serving degraded
+    results from the rest of the index.
+    """
+
+    def __init__(self, partition_id: int, detail: str = "") -> None:
+        message = f"partition {partition_id} failed integrity check"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.partition_id = partition_id
+
+
 class WriteConflictError(StorageError):
     """Raised when the single-writer lock cannot be acquired."""
 
@@ -66,3 +82,13 @@ class IndexNotBuiltError(MicroNNError):
 
 class EmptyDatabaseError(MicroNNError):
     """Raised when an operation requires at least one stored vector."""
+
+
+class SimulatedCrash(Exception):
+    """Raised by the fault-injecting test backend at a scripted point.
+
+    Deliberately NOT a :class:`MicroNNError`: production code must
+    never catch it by accident (a real crash cannot be caught), so it
+    escapes every ``except MicroNNError`` / ``except StorageError``
+    handler and unwinds the process exactly like a kill would.
+    """

@@ -98,6 +98,15 @@ class QueryStats:
     #: On an aggregated sharded result the cost counters above
     #: (bytes/io/compute/scans) are sums over the per-shard stats.
     shards_probed: int = 0
+    #: Probe-set partitions served as empty because a stored checksum
+    #: mismatch quarantined them (bit-rot containment): the query
+    #: succeeded but its recall is degraded until ``repair()`` runs.
+    partitions_quarantined: int = 0
+    #: True when this result is known to be incomplete — at least one
+    #: partition was quarantined (or, on a sharded aggregate, at least
+    #: one shard failed to answer). The neighbours returned are still
+    #: correct for the data that was reachable.
+    degraded: bool = False
 
 
 @dataclass(frozen=True, slots=True)

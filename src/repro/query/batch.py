@@ -221,6 +221,8 @@ class BatchQueryExecutor:
             io_time_ms=io_time * 1e3,
             compute_time_ms=compute_time * 1e3,
             scan_pipelined=pipelined,
+            partitions_quarantined=io_delta.partitions_quarantined,
+            degraded=io_delta.partitions_quarantined > 0,
         )
         return BatchSearchResult(
             results=results,

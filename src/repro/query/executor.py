@@ -344,6 +344,8 @@ class QueryExecutor:
             compute_time_ms=outcome.compute_time_s * 1e3,
             scan_pipelined=outcome.pipelined,
             partitions_skipped=outcome.partitions_skipped,
+            partitions_quarantined=io_delta.partitions_quarantined,
+            degraded=io_delta.partitions_quarantined > 0,
         )
         return SearchResult(neighbors=neighbors, stats=stats)
 
@@ -379,6 +381,8 @@ class QueryExecutor:
             distance_computations=scanned,
             bytes_read=io_delta.bytes_read,
             latency_s=time.perf_counter() - start,
+            partitions_quarantined=io_delta.partitions_quarantined,
+            degraded=io_delta.partitions_quarantined > 0,
         )
         return SearchResult(neighbors=neighbors, stats=stats)
 
@@ -411,6 +415,8 @@ class QueryExecutor:
             rows_filtered=0,
             bytes_read=io_delta.bytes_read,
             latency_s=time.perf_counter() - start,
+            partitions_quarantined=io_delta.partitions_quarantined,
+            degraded=io_delta.partitions_quarantined > 0,
         )
         return SearchResult(neighbors=neighbors, stats=stats)
 

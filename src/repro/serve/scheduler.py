@@ -93,6 +93,7 @@ class _ScanTask:
         "failed", "finished", "scanned", "computed", "filtered",
         "skipped", "shared_hits", "cache_hits", "cache_misses",
         "bytes_read", "io_s", "compute_s", "submit_t", "admit_t",
+        "quarantined",
     )
 
     def __init__(
@@ -131,6 +132,7 @@ class _ScanTask:
         self.shared_hits = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.quarantined = 0
         self.bytes_read = 0
         self.io_s = 0.0
         self.compute_s = 0.0
@@ -585,6 +587,13 @@ class QueryScheduler:
                 if not task.finished:
                     live.append((task, cdist))
         sharers = max(len(live), 1)
+        # A quarantined partition loads as empty: every waiter's query
+        # degraded (it consulted a partition that could not be served).
+        quarantined = (
+            len(entry) == 0
+            and job.pid != DELTA_PARTITION_ID
+            and self._engine.is_quarantined(job.pid)
+        )
         if was_cold:
             # The backend reports the layout's true stored size (the
             # packed layout has no per-row overhead); fall back to the
@@ -604,6 +613,8 @@ class QueryScheduler:
                 for i, (task, cdist) in enumerate(live):
                     with task.lock:
                         task.io_s += load_s / sharers
+                        if quarantined:
+                            task.quarantined += 1
                         if sharers > 1:
                             task.shared_hits += 1
                         # The leader's read was the physical one; it
@@ -693,6 +704,8 @@ class QueryScheduler:
             partitions_skipped=task.skipped,
             io_shared_hits=task.shared_hits,
             queue_wait_ms=(task.admit_t - task.submit_t) * 1e3,
+            partitions_quarantined=task.quarantined,
+            degraded=task.quarantined > 0,
         )
         if task.stats_extra:
             stats = dataclasses.replace(stats, **task.stats_extra)

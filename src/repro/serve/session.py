@@ -15,6 +15,7 @@ scheduler, admission control and coalesced I/O stage.
 
 from __future__ import annotations
 
+import contextlib
 from concurrent.futures import Future
 from dataclasses import dataclass
 
@@ -59,6 +60,7 @@ class Session:
     def __init__(self, db) -> None:
         self._db = db
         self._futures: list[Future] = []
+        self._session_closed = False
 
     def submit(self, query: np.ndarray, **kwargs) -> Future:
         """Submit one query (keywords as in ``MicroNN.search``)."""
@@ -103,9 +105,25 @@ class Session:
             max_queue_wait_ms=max(waits) if waits else 0.0,
         )
 
+    def close(self) -> None:
+        """Wait for every in-flight query; never raises, safe to repeat.
+
+        Unlike :meth:`drain` a failed or cancelled query does not
+        re-raise here — inspect :meth:`stats` or the individual futures
+        for failures — so ``close()`` belongs in ``finally`` blocks and
+        is idempotent by construction.
+        """
+        if self._session_closed:
+            return
+        self._session_closed = True
+        for future in self._futures:
+            with contextlib.suppress(BaseException):
+                future.result()
+
     def __enter__(self) -> "Session":
         return self
 
     def __exit__(self, exc_type, *exc_info: object) -> None:
         if exc_type is None:
             self.drain()
+        self.close()

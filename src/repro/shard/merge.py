@@ -70,9 +70,16 @@ class ShardedSearchResult(SearchResult):
     the scatter was) — plus ``shard_stats``, the untouched per-shard
     :class:`QueryStats` in shard order for per-shard bytes/io/compute
     attribution.
+
+    ``degraded_shards`` names the shard database files that could not
+    be searched (dead, corrupt, or over their per-shard timeout) and
+    were therefore EXCLUDED from this merge: the result is the exact
+    top-k over the surviving shards only, and ``stats.degraded`` is
+    set. Empty on a healthy scatter.
     """
 
     shard_stats: tuple[QueryStats, ...] = ()
+    degraded_shards: tuple[str, ...] = ()
 
 
 def merge_neighbors(
@@ -93,16 +100,25 @@ def merge_search_results(
     results: Sequence[SearchResult],
     k: int,
     latency_s: float,
+    degraded_shards: Sequence[str] = (),
 ) -> ShardedSearchResult:
-    """Gather one query's per-shard results into the global result."""
+    """Gather one query's per-shard results into the global result.
+
+    ``degraded_shards`` names shards that produced no result (dead /
+    corrupt / timed out); they are reflected on the result and force
+    the aggregate's ``degraded`` flag.
+    """
     if not results:
         raise ValueError("at least one shard result is required")
     return ShardedSearchResult(
         neighbors=merge_neighbors([r.neighbors for r in results], k),
         stats=aggregate_query_stats(
-            [r.stats for r in results], latency_s
+            [r.stats for r in results],
+            latency_s,
+            degraded=bool(degraded_shards),
         ),
         shard_stats=tuple(r.stats for r in results),
+        degraded_shards=tuple(degraded_shards),
     )
 
 
@@ -154,9 +170,15 @@ def merge_batch_results(
 
 
 def aggregate_query_stats(
-    per_shard: Sequence[QueryStats], latency_s: float
+    per_shard: Sequence[QueryStats],
+    latency_s: float,
+    degraded: bool = False,
 ) -> QueryStats:
-    """Fold per-shard execution traces into one scatter-wide trace."""
+    """Fold per-shard execution traces into one scatter-wide trace.
+
+    ``degraded`` forces the aggregate's degraded flag even when every
+    *surviving* shard was healthy (the caller dropped a shard).
+    """
     if not per_shard:
         raise ValueError("at least one shard stats is required")
     return QueryStats(
@@ -189,6 +211,10 @@ def aggregate_query_stats(
         io_shared_hits=sum(s.io_shared_hits for s in per_shard),
         queue_wait_ms=max(s.queue_wait_ms for s in per_shard),
         shards_probed=len(per_shard),
+        partitions_quarantined=sum(
+            s.partitions_quarantined for s in per_shard
+        ),
+        degraded=degraded or any(s.degraded for s in per_shard),
     )
 
 

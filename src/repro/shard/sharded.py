@@ -41,14 +41,17 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import logging
 import os
+import re
 import shutil
+import sqlite3
 import tempfile
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import wait as wait_futures
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
@@ -81,9 +84,58 @@ from repro.shard.merge import (
     merge_search_results,
 )
 from repro.shard.router import Router, make_router
-from repro.storage.engine import VectorRecord
+from repro.storage.engine import ScrubReport, VectorRecord
 from repro.storage.iomodel import IOSnapshot
 from repro.storage.memory import MemorySnapshot
+
+logger = logging.getLogger(__name__)
+
+#: Shard failures a scatter treats as "this shard is unavailable" —
+#: the query degrades to the surviving shards instead of erroring.
+#: Anything else (bad k, closed facade, programming errors) still
+#: propagates: degraded serving must never mask caller mistakes.
+_DEGRADABLE_SHARD_ERRORS = (
+    StorageError,
+    sqlite3.Error,
+    OSError,
+    TimeoutError,
+)
+
+#: Filename shape of a fleet member (``shard_filename``); the stale-
+#: file sweep only ever touches names of this shape, so user files in
+#: the directory are never at risk.
+_SHARD_FILE_RE = re.compile(r"^shard-\d{4}-of-\d{4}\.db(?:-wal|-shm)?$")
+
+
+def _sweep_stale_shard_files(
+    root: str, listed: tuple[str, ...]
+) -> list[str]:
+    """Delete crash-leftover shard files the manifest does not list.
+
+    A rebalance that crashed between creating the new fleet's files
+    and committing the manifest leaves unlisted ``shard-*.db`` files
+    (plus WAL/SHM side files) behind. They are dead weight — the
+    manifest is the single source of truth — so reopening sweeps them,
+    logging each removal.
+    """
+    keep: set[str] = set()
+    for name in listed:
+        keep.update((name, name + "-wal", name + "-shm"))
+    removed: list[str] = []
+    for entry in sorted(os.listdir(root)):
+        if entry in keep or not _SHARD_FILE_RE.match(entry):
+            continue
+        with contextlib.suppress(OSError):
+            os.remove(os.path.join(root, entry))
+            removed.append(entry)
+    if removed:
+        logger.warning(
+            "removed stale shard files not listed in the manifest "
+            "(crash-leftover from an interrupted rebalance?): %s",
+            ", ".join(removed),
+        )
+    return removed
+
 
 class _WriteGate:
     """Shared/exclusive gate protecting the facade's shard map.
@@ -193,6 +245,10 @@ class ShardedMicroNN:
                 num_shards=manifest.num_shards,
                 router=manifest.router_kind,
             )
+            # Crash hygiene: an interrupted rebalance may have left
+            # unlisted shard files; the manifest validated, so they
+            # are provably not part of this database.
+            _sweep_stale_shard_files(self._path, manifest.shard_files)
         else:
             shard_config = dataclasses.replace(
                 requested or ShardConfig(), router=router_kind
@@ -574,6 +630,20 @@ class ShardedMicroNN:
             key=ACTION_SEVERITY.__getitem__,
         )
 
+    def verify(self) -> dict[str, "ScrubReport"]:
+        """Checksum-scrub every shard; reports keyed by shard file."""
+        self._check_open()
+        with self._write_gate.shared():
+            reports = self._map_shards(lambda shard: shard.verify())
+        return dict(zip(self._manifest.shard_files, reports))
+
+    def repair(self) -> dict[str, "ScrubReport"]:
+        """Scrub and repair every shard; reports keyed by shard file."""
+        self._check_open()
+        with self._write_gate.exclusive():
+            reports = self._map_shards(lambda shard: shard.repair())
+        return dict(zip(self._manifest.shard_files, reports))
+
     # ------------------------------------------------------------------
     # Search (scatter-gather)
     # ------------------------------------------------------------------
@@ -596,34 +666,173 @@ class ShardedMicroNN:
         over the same rows. ``result.stats`` aggregates shard costs
         (``shards_probed`` = fan-out width); ``result.shard_stats``
         keeps the per-shard attribution.
+
+        **Degraded serving.** A shard that is dead (files removed,
+        corrupt beyond open), raising storage/OS errors, or over the
+        per-shard timeout (``ShardConfig.shard_timeout_s``) is retried
+        up to ``shard_retries`` times with exponential backoff, then
+        EXCLUDED: the query returns the exact top-k over the surviving
+        shards, with the dead shard named in
+        ``result.degraded_shards`` and ``result.stats.degraded`` set.
+        Only when every shard fails does the first error propagate.
+        Caller mistakes (bad ``k``, closed facade) always raise.
         """
         self._check_open()
         start = time.perf_counter()
+
+        def run(shard: MicroNN) -> SearchResult:
+            return shard.search(
+                query,
+                k=k,
+                nprobe=nprobe,
+                filters=filters,
+                exact=exact,
+                plan=plan,
+            )
+
         # Shared gate: a concurrent rebalance() must not close the
         # old fleet while this scatter is reading from it.
+        def submit(shard: MicroNN) -> Future:
+            return shard.search_async(
+                query,
+                k=k,
+                nprobe=nprobe,
+                filters=filters,
+                exact=exact,
+                plan=plan,
+            )
+
         with self._write_gate.shared():
             if self._use_schedulers(1):
-                futures = self._scatter_async(
-                    query, k, nprobe, filters, exact, plan
-                )
-                # Settle every shard before any error propagates (and
-                # the gate is released) — see _map_shards.
-                wait_futures(futures)
-                results = [f.result() for f in futures]
+                outcomes = self._gather_scheduled(submit, run)
             else:
-                results = [
-                    shard.search(
-                        query,
-                        k=k,
-                        nprobe=nprobe,
-                        filters=filters,
-                        exact=exact,
-                        plan=plan,
-                    )
+                outcomes = [
+                    self._run_shard_guarded(run, shard)
                     for shard in self._shards
                 ]
+        return self._merge_outcomes(outcomes, k, start)
+
+    def _run_shard_guarded(
+        self,
+        run: Callable[[MicroNN], SearchResult],
+        shard: MicroNN,
+        attempts_left: int | None = None,
+    ) -> tuple[SearchResult | None, BaseException | None]:
+        """One shard's search with bounded, backed-off retries.
+
+        Returns ``(result, None)`` on success, ``(None, error)`` once
+        the degradable-error budget is exhausted. Non-degradable
+        exceptions propagate immediately.
+        """
+        cfg = self._shard_config
+        attempts = (
+            cfg.shard_retries + 1
+            if attempts_left is None
+            else max(1, attempts_left)
+        )
+        backoff_s = cfg.shard_retry_backoff_ms / 1000.0
+        error: BaseException | None = None
+        for attempt in range(attempts):
+            try:
+                return run(shard), None
+            except _DEGRADABLE_SHARD_ERRORS as exc:
+                error = exc
+                if attempt + 1 < attempts and backoff_s > 0:
+                    time.sleep(backoff_s * (2**attempt))
+        return None, error
+
+    def _gather_scheduled(
+        self,
+        submit: Callable[[MicroNN], Future],
+        run: Callable[[MicroNN], SearchResult],
+    ) -> list[tuple[SearchResult | None, BaseException | None]]:
+        """Scatter through shard schedulers with timeout + retry.
+
+        Shards run concurrently, so one deadline is the per-shard
+        timeout. A shard whose future fails with a degradable error is
+        retried serially (its scheduler already failed the query); a
+        shard still running at the deadline is marked degraded without
+        retry — waiting again would double the latency budget. Its
+        in-flight query is left to its own scheduler, which owns it.
+        """
+        futures = self._scatter_async_guarded(submit)
+        timeout = self._shard_config.shard_timeout_s
+        wait_futures([f for f, _ in futures], timeout=timeout)
+        outcomes: list[
+            tuple[SearchResult | None, BaseException | None]
+        ] = []
+        for future, shard in futures:
+            if not future.done():
+                outcomes.append(
+                    (None, TimeoutError("per-shard timeout exceeded"))
+                )
+                continue
+            exc = future.exception()
+            if exc is None:
+                outcomes.append((future.result(), None))
+            elif isinstance(exc, _DEGRADABLE_SHARD_ERRORS):
+                # One scheduler attempt is spent; retry the remainder
+                # of the budget serially against the shard.
+                outcomes.append(
+                    self._run_shard_guarded(
+                        run, shard, self._shard_config.shard_retries
+                    )
+                    if self._shard_config.shard_retries > 0
+                    else (None, exc)
+                )
+            else:
+                raise exc
+        return outcomes
+
+    def _scatter_async_guarded(
+        self, submit: Callable[[MicroNN], Future]
+    ) -> list[tuple[Future, MicroNN]]:
+        """Submit to every shard's scheduler; a shard whose *submit*
+        already fails degradably gets a pre-failed future instead of
+        aborting the scatter."""
+        out: list[tuple[Future, MicroNN]] = []
+        for shard in self._shards:
+            try:
+                future = submit(shard)
+            except _DEGRADABLE_SHARD_ERRORS as exc:
+                failed: Future = Future()
+                failed.set_exception(exc)
+                future = failed
+            out.append((future, shard))
+        return out
+
+    def _merge_outcomes(
+        self,
+        outcomes: list[tuple[SearchResult | None, BaseException | None]],
+        k: int,
+        start: float,
+    ) -> ShardedSearchResult:
+        results: list[SearchResult] = []
+        degraded: list[str] = []
+        first_error: BaseException | None = None
+        for (result, error), name in zip(
+            outcomes, self._manifest.shard_files
+        ):
+            if error is None and result is not None:
+                results.append(result)
+            else:
+                degraded.append(name)
+                if first_error is None:
+                    first_error = error
+        if not results:
+            raise first_error if first_error is not None else StorageError(
+                "every shard failed"
+            )
+        if degraded:
+            logger.warning(
+                "degraded scatter-gather: excluded shards %s",
+                ", ".join(degraded),
+            )
         return merge_search_results(
-            results, k, time.perf_counter() - start
+            results,
+            k,
+            time.perf_counter() - start,
+            degraded_shards=degraded,
         )
 
     def search_batch(
@@ -733,9 +942,38 @@ class ShardedMicroNN:
             # protection from still-running shard queries.
             try:
                 try:
-                    results = [f.result() for f in futures]
+                    results: list[SearchResult] = []
+                    degraded: list[str] = []
+                    first_error: BaseException | None = None
+                    for f, name in zip(
+                        futures, self._manifest.shard_files
+                    ):
+                        exc = f.exception()
+                        if exc is None:
+                            results.append(f.result())
+                        elif isinstance(exc, _DEGRADABLE_SHARD_ERRORS):
+                            degraded.append(name)
+                            if first_error is None:
+                                first_error = exc
+                        else:
+                            raise exc
+                    if not results:
+                        raise (
+                            first_error
+                            if first_error is not None
+                            else StorageError("every shard failed")
+                        )
+                    if degraded:
+                        logger.warning(
+                            "degraded scatter-gather: excluded "
+                            "shards %s",
+                            ", ".join(degraded),
+                        )
                     merged = merge_search_results(
-                        results, k, time.perf_counter() - start
+                        results,
+                        k,
+                        time.perf_counter() - start,
+                        degraded_shards=degraded,
                     )
                 except BaseException as exc:
                     if not outer.done():
@@ -1033,6 +1271,9 @@ class ShardedMicroNN:
             rows_written=sum(s.rows_written for s in snapshots),
             simulated_latency_s=sum(
                 s.simulated_latency_s for s in snapshots
+            ),
+            partitions_quarantined=sum(
+                s.partitions_quarantined for s in snapshots
             ),
         )
 

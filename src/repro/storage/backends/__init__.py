@@ -45,13 +45,24 @@ _BACKENDS: dict[str, type[StorageBackend]] = {
 
 
 def create_backend(kind: str, path: str, config) -> StorageBackend:
-    """Instantiate the backend registered under ``kind``."""
+    """Instantiate the backend registered under ``kind``.
+
+    ``fault:<inner>`` wraps the inner backend with the fault-injecting
+    test decorator (``repro.storage.backends.fault``), imported lazily
+    so production opens never load the fault machinery.
+    """
+    if kind.startswith("fault:"):
+        from repro.storage.backends.fault import FaultInjectingBackend
+
+        inner = create_backend(kind[len("fault:"):], path, config)
+        return FaultInjectingBackend(path, config, inner)
     try:
         cls = _BACKENDS[kind]
     except KeyError:
         raise StorageError(
             f"unknown storage backend {kind!r}; "
-            f"supported: {sorted(_BACKENDS)}"
+            f"supported: {sorted(_BACKENDS)} "
+            "(optionally prefixed with 'fault:')"
         ) from None
     return cls(path, config)
 

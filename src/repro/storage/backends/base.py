@@ -36,8 +36,9 @@ import abc
 import os
 import sqlite3
 import threading
+import zlib
 from dataclasses import dataclass
-from typing import Callable, ClassVar, Iterator, Sequence
+from typing import Callable, ClassVar, Iterable, Iterator, Sequence
 
 #: Estimated fixed per-row storage overhead of one SQLite row (b-tree
 #: key + record header), used for byte accounting of row-per-vector
@@ -49,6 +50,10 @@ PACKED_PARTITION_OVERHEAD_BYTES = 24
 
 #: Meta-table key recording which backend laid out the database file.
 BACKEND_META_KEY = "storage_backend"
+
+#: Checksum kinds in the ``partition_checksums`` table.
+CHECKSUM_KIND_VECTORS = "vectors"
+CHECKSUM_KIND_CODES = "codes"
 
 #: First bytes of every SQLite database file.
 SQLITE_MAGIC = b"SQLite format 3\x00"
@@ -83,6 +88,30 @@ class PartitionPayload:
 
     def __len__(self) -> int:
         return len(self.asset_ids)
+
+
+def payload_checksum(payload: PartitionPayload) -> int:
+    """CRC32 over a partition payload's logical content.
+
+    Covers the ids as well as the stored bytes, so a flipped byte in a
+    packed asset-id array is caught just like one in the vector
+    payload. Computed from the SAME object ``read_partition`` returns,
+    so write-side stamping (which re-reads through the same method)
+    and read-side verification agree by construction within a backend.
+    """
+    crc = 0
+    for asset_id in payload.asset_ids:
+        crc = zlib.crc32(asset_id.encode("utf-8"), crc)
+    for vector_id in payload.vector_ids:
+        crc = zlib.crc32(
+            int(vector_id).to_bytes(8, "little", signed=True), crc
+        )
+    if payload.packed is not None:
+        crc = zlib.crc32(payload.packed, crc)
+    elif payload.blobs:
+        for blob in payload.blobs:
+            crc = zlib.crc32(blob, crc)
+    return crc
 
 
 class StorageBackend(abc.ABC):
@@ -130,6 +159,30 @@ class StorageBackend(abc.ABC):
 
     def shutdown(self) -> None:
         """Release backend-held resources after connections closed."""
+
+    # ------------------------------------------------------------------
+    # Commit points
+    # ------------------------------------------------------------------
+
+    def before_begin_write(self) -> None:
+        """Hook fired just before a write transaction's BEGIN.
+
+        The fault-injecting test backend raises transient ``database
+        is locked`` errors here to exercise the engine's bounded
+        busy-retry deterministically.
+        """
+
+    def before_commit(self, label: str) -> None:
+        """Hook fired by the engine just before a write txn commits.
+
+        ``label`` names the commit point (``"upsert"``, ``"flush"``,
+        …). No-op for real backends; the fault-injecting test backend
+        counts these and raises :class:`SimulatedCrash` on scripted
+        ordinals to prove every commit point is crash-consistent.
+        """
+
+    def after_commit(self, label: str) -> None:
+        """Hook fired right after a write txn committed durably."""
 
     # ------------------------------------------------------------------
     # Schema & stored-kind validation
@@ -213,6 +266,116 @@ class StorageBackend(abc.ABC):
         same-length list of code blobs (the engine closes over the
         trained quantizer).
         """
+
+    @abc.abstractmethod
+    def drop_partition(
+        self,
+        conn: sqlite3.Connection,
+        partition_id: int,
+        use_quantization: bool,
+    ) -> int:
+        """Delete one partition's vector (and code) rows; return count.
+
+        The unrecoverable-corruption escape hatch of ``repair()``: the
+        caller is responsible for the layout-independent cleanup
+        (centroid row, checksum rows).
+        """
+
+    # ------------------------------------------------------------------
+    # Checksums
+    # ------------------------------------------------------------------
+
+    def partitions_of(
+        self, conn: sqlite3.Connection, asset_ids: Sequence[str]
+    ) -> set[int]:
+        """Distinct partitions currently holding any of the assets."""
+        out: set[int] = set()
+        for asset_id in asset_ids:
+            pid = self.get_partition_of(conn, asset_id)
+            if pid is not None:
+                out.add(int(pid))
+        return out
+
+    def stored_checksums(
+        self, conn: sqlite3.Connection, partition_id: int
+    ) -> dict[str, int]:
+        """The recorded CRCs of one partition (absent kinds missing)."""
+        rows = conn.execute(
+            "SELECT kind, crc32 FROM partition_checksums "
+            "WHERE partition_id=?",
+            (partition_id,),
+        ).fetchall()
+        return {str(kind): int(crc) for kind, crc in rows}
+
+    def checksummed_partitions(self, conn: sqlite3.Connection) -> set[int]:
+        """Every partition with at least one recorded checksum."""
+        rows = conn.execute(
+            "SELECT DISTINCT partition_id FROM partition_checksums"
+        ).fetchall()
+        return {int(r[0]) for r in rows}
+
+    def refresh_checksums(
+        self,
+        conn: sqlite3.Connection,
+        partition_ids: Iterable[int] | None,
+        use_quantization: bool,
+        kinds: tuple[str, ...] = (
+            CHECKSUM_KIND_VECTORS,
+            CHECKSUM_KIND_CODES,
+        ),
+    ) -> None:
+        """Recompute and store the CRCs of the given partitions.
+
+        Must run inside the same write transaction as the mutation it
+        covers, so payload and checksum commit (or roll back)
+        together. ``None`` refreshes every indexed partition plus any
+        partition that still has a stale checksum row. The delta
+        partition is never checksummed: every upsert rewrites it, and
+        its scans are always full-precision and reranked exactly.
+        """
+        from repro.core.config import DELTA_PARTITION_ID
+
+        if partition_ids is None:
+            pids = set(self.partition_sizes(conn, include_delta=False))
+            pids.update(self.checksummed_partitions(conn))
+        else:
+            pids = {int(p) for p in partition_ids}
+        pids.discard(DELTA_PARTITION_ID)
+        for pid in sorted(pids):
+            if CHECKSUM_KIND_VECTORS in kinds:
+                self._stamp_checksum(
+                    conn,
+                    pid,
+                    CHECKSUM_KIND_VECTORS,
+                    self.read_partition(conn, pid),
+                )
+            if CHECKSUM_KIND_CODES in kinds and use_quantization:
+                self._stamp_checksum(
+                    conn,
+                    pid,
+                    CHECKSUM_KIND_CODES,
+                    self.read_partition_codes(conn, pid),
+                )
+
+    def _stamp_checksum(
+        self,
+        conn: sqlite3.Connection,
+        partition_id: int,
+        kind: str,
+        payload: PartitionPayload,
+    ) -> None:
+        if len(payload):
+            conn.execute(
+                "INSERT OR REPLACE INTO partition_checksums "
+                "(partition_id, kind, crc32) VALUES (?, ?, ?)",
+                (partition_id, kind, payload_checksum(payload)),
+            )
+        else:
+            conn.execute(
+                "DELETE FROM partition_checksums "
+                "WHERE partition_id=? AND kind=?",
+                (partition_id, kind),
+            )
 
     # ------------------------------------------------------------------
     # Vector reads

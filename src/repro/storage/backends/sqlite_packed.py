@@ -445,6 +445,39 @@ class SQLitePackedBackend(SQLiteFileConnectionsMixin, StorageBackend):
             written += count
         return written
 
+    def drop_partition(
+        self,
+        conn: sqlite3.Connection,
+        partition_id: int,
+        use_quantization: bool,
+    ) -> int:
+        row = conn.execute(
+            "SELECT row_count FROM packed_partitions "
+            "WHERE partition_id=?",
+            (partition_id,),
+        ).fetchone()
+        dropped = 0 if row is None else int(row[0])
+        conn.execute(
+            "DELETE FROM packed_partitions WHERE partition_id=?",
+            (partition_id,),
+        )
+        conn.execute(
+            "DELETE FROM vector_locator WHERE partition_id=?",
+            (partition_id,),
+        )
+        if use_quantization:
+            conn.execute(
+                "DELETE FROM packed_codes WHERE partition_id=?",
+                (partition_id,),
+            )
+        return dropped
+
+    def partitions_of(
+        self, conn: sqlite3.Connection, asset_ids: Sequence[str]
+    ) -> set[int]:
+        located = self._locate(conn, list(dict.fromkeys(asset_ids)))
+        return {pid for pid, _, _ in located.values()}
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------

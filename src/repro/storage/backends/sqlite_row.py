@@ -143,6 +143,39 @@ class RowLayoutSQL(StorageBackend):
             written += len(rows)
         return written
 
+    def drop_partition(
+        self,
+        conn: sqlite3.Connection,
+        partition_id: int,
+        use_quantization: bool,
+    ) -> int:
+        cur = conn.execute(
+            "DELETE FROM vectors WHERE partition_id=?", (partition_id,)
+        )
+        dropped = max(0, cur.rowcount)
+        if use_quantization:
+            conn.execute(
+                "DELETE FROM vector_codes WHERE partition_id=?",
+                (partition_id,),
+            )
+        return dropped
+
+    def partitions_of(
+        self, conn: sqlite3.Connection, asset_ids: Sequence[str]
+    ) -> set[int]:
+        out: set[int] = set()
+        ids = list(asset_ids)
+        for start in range(0, len(ids), 500):
+            chunk = ids[start : start + 500]
+            placeholders = ", ".join("?" for _ in chunk)
+            rows = conn.execute(
+                "SELECT DISTINCT partition_id FROM vectors "
+                f"WHERE asset_id IN ({placeholders})",
+                chunk,
+            ).fetchall()
+            out.update(int(r[0]) for r in rows)
+        return out
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------

@@ -29,12 +29,16 @@ stores and retrieves rows. Higher layers compose it.
 from __future__ import annotations
 
 import contextlib
+import logging
 import os
+import random
 import shutil
 import sqlite3
 import tempfile
 import threading
-from dataclasses import dataclass, field
+import time
+import zlib
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -44,6 +48,7 @@ from repro.core.errors import (
     DatabaseClosedError,
     StorageError,
     UnknownAttributeError,
+    WriteConflictError,
 )
 from repro.storage import schema as schema_mod
 from repro.storage.backends import (
@@ -51,7 +56,12 @@ from repro.storage.backends import (
     PartitionPayload,
     create_backend,
 )
-from repro.storage.backends.base import SQLITE_ROW_OVERHEAD_BYTES
+from repro.storage.backends.base import (
+    CHECKSUM_KIND_CODES,
+    CHECKSUM_KIND_VECTORS,
+    SQLITE_ROW_OVERHEAD_BYTES,
+    payload_checksum,
+)
 from repro.storage.cache import (
     CODES_CACHE_CATEGORY,
     ROW_ID_OVERHEAD_BYTES,
@@ -82,6 +92,23 @@ from repro.storage.quantization import Quantizer, quantizer_from_json
 #: the engine.
 _ROW_OVERHEAD_BYTES = SQLITE_ROW_OVERHEAD_BYTES
 
+logger = logging.getLogger(__name__)
+
+#: Every labeled commit point in the engine, in rough lifecycle order.
+#: The fault-injection kill-point sweep iterates this registry so a new
+#: write path cannot silently skip crash-safety coverage — add the
+#: label here when adding a ``write_transaction(label=...)`` call site.
+COMMIT_POINTS: tuple[str, ...] = (
+    "upsert",
+    "delete",
+    "replace_centroids",
+    "update_centroids",
+    "assign",
+    "rebuild_codes",
+    "column_stats",
+    "repair",
+)
+
 
 @dataclass(frozen=True)
 class VectorRecord:
@@ -90,6 +117,33 @@ class VectorRecord:
     asset_id: str
     vector: np.ndarray
     attributes: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Outcome of a cold integrity pass over every indexed partition.
+
+    ``repaired_codes``, ``dropped_partitions`` and ``stamped`` are only
+    populated by :meth:`StorageEngine.repair`; a plain scrub leaves
+    them at their defaults.
+    """
+
+    partitions_checked: int
+    corrupt_vectors: tuple[int, ...]
+    corrupt_codes: tuple[int, ...]
+    unstamped: tuple[int, ...]
+    quantizer_ok: bool
+    repaired_codes: int = 0
+    dropped_partitions: tuple[int, ...] = ()
+    stamped: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            not self.corrupt_vectors
+            and not self.corrupt_codes
+            and self.quantizer_ok
+        )
 
 
 class StorageEngine:
@@ -196,6 +250,14 @@ class StorageEngine:
         self._scan_cv = threading.Condition()
         self._active_scans = 0
         self._purging = False
+        # Partitions that failed an integrity check (CRC mismatch or a
+        # structurally unreadable payload). A quarantined partition is
+        # served as EMPTY — queries degrade (flagged in QueryStats)
+        # instead of erroring or silently returning wrong neighbors —
+        # until repair() rebuilds or drops it.
+        self._quarantine_lock = threading.Lock()
+        self._quarantined: set[int] = set()
+        self._quantizer_corrupt = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -276,15 +338,60 @@ class StorageEngine:
     # Transactions
     # ------------------------------------------------------------------
 
+    def _begin_write(self) -> None:
+        """``BEGIN IMMEDIATE`` with bounded, jittered busy retries.
+
+        A transient ``database is locked``/``busy`` error (another
+        process holds the write lock, or the fault wrapper injects one)
+        is retried up to ``config.busy_retries`` times with exponential
+        backoff starting at ``config.busy_backoff_ms``; exhaustion
+        raises :class:`WriteConflictError`. Non-lock operational errors
+        propagate untouched.
+        """
+        retries = self._config.busy_retries
+        backoff_s = self._config.busy_backoff_ms / 1000.0
+        attempt = 0
+        while True:
+            try:
+                self._backend.before_begin_write()
+                self._writer.execute("BEGIN IMMEDIATE")
+                return
+            except sqlite3.OperationalError as exc:
+                text = str(exc).lower()
+                if "locked" not in text and "busy" not in text:
+                    raise
+                if attempt >= retries:
+                    raise WriteConflictError(
+                        "could not acquire the write transaction after "
+                        f"{attempt + 1} attempts: {exc}"
+                    ) from exc
+                delay = backoff_s * (2**attempt)
+                if delay > 0:
+                    # Jitter desynchronizes contending writers.
+                    time.sleep(random.uniform(delay * 0.5, delay))
+                attempt += 1
+
     @contextlib.contextmanager
-    def write_transaction(self) -> Iterator[sqlite3.Connection]:
-        """Serialized write transaction with row-change accounting."""
+    def write_transaction(
+        self, label: str = "write"
+    ) -> Iterator[sqlite3.Connection]:
+        """Serialized write transaction with row-change accounting.
+
+        ``label`` names the commit point for the crash-safety hooks
+        (:data:`COMMIT_POINTS`): the backend's ``before_commit`` /
+        ``after_commit`` are invoked around the commit so a fault-
+        injecting backend can crash at exactly this boundary. An
+        exception from ``before_commit`` (a pre-commit crash) rolls the
+        transaction back; ``after_commit`` runs once the transaction is
+        durable, outside the rollback scope.
+        """
         self._check_open()
         with self._writer_lock:
             before = self._writer.total_changes
+            self._begin_write()
             try:
-                self._writer.execute("BEGIN IMMEDIATE")
                 yield self._writer
+                self._backend.before_commit(label)
             except BaseException:
                 self._writer.rollback()
                 raise
@@ -294,6 +401,7 @@ class StorageEngine:
                 changed = self._writer.total_changes - before
                 if changed > 0:
                     self._accountant.record_rows_written(changed)
+            self._backend.after_commit(label)
 
     @contextlib.contextmanager
     def read_snapshot(self) -> Iterator[sqlite3.Connection]:
@@ -425,7 +533,7 @@ class StorageEngine:
             return 0
         dim = self._config.dim
         attr_names = list(self._config.normalized_attributes)
-        with self.write_transaction() as conn:
+        with self.write_transaction("upsert") as conn:
             first_id = self._allocate_vector_ids(len(records))
             # Validate and encode everything first, then hand the
             # backend one batched remove + insert. Duplicate asset ids
@@ -441,12 +549,18 @@ class StorageEngine:
                     blob,
                 )
             ordered = list(staged.values())
+            batch_ids = [record.asset_id for record, _, _ in ordered]
+            # Replacing an indexed asset shrinks its old partition, so
+            # that partition's stored checksum must be restamped in the
+            # SAME transaction. Resolve the old homes before the rows
+            # move.
+            touched = self._backend.partitions_of(conn, batch_ids)
             # Fresh vectors land in the full-precision delta; any
             # stale vector row (wherever it lives) and code row must
             # not survive them.
             self._backend.remove_assets(
                 conn,
-                [record.asset_id for record, _, _ in ordered],
+                batch_ids,
                 drop_codes=self._use_quantization,
             )
             self._backend.insert_delta_rows(
@@ -458,6 +572,9 @@ class StorageEngine:
             )
             for record, _, _ in ordered:
                 self._write_attributes(conn, record, attr_names)
+            self._backend.refresh_checksums(
+                conn, touched, self._use_quantization
+            )
         self.cache.invalidate(DELTA_PARTITION_ID)
         if self._use_quantization:
             # The fresh vectors are in the delta; cached delta codes
@@ -569,7 +686,8 @@ class StorageEngine:
         ids = list(asset_ids)
         if not ids:
             return 0
-        with self.write_transaction() as conn:
+        with self.write_transaction("delete") as conn:
+            touched_pids = self._backend.partitions_of(conn, ids)
             deleted = self._backend.remove_assets(
                 conn, ids, drop_codes=self._use_quantization
             )
@@ -578,6 +696,9 @@ class StorageEngine:
                     "DELETE FROM attributes WHERE asset_id=?", (asset_id,)
                 )
                 self._delete_tokens(conn, asset_id)
+            self._backend.refresh_checksums(
+                conn, touched_pids, self._use_quantization
+            )
         # Deleted rows may be cached inside any partition entry.
         touched = set(ids)
         for pid in self.cache.cached_partition_ids():
@@ -605,7 +726,7 @@ class StorageEngine:
         if len(centroids) != len(counts):
             raise StorageError("centroids and counts length mismatch")
         dim = self._config.dim
-        with self.write_transaction() as conn:
+        with self.write_transaction("replace_centroids") as conn:
             conn.execute("DELETE FROM centroids")
             conn.executemany(
                 "INSERT INTO centroids (partition_id, centroid, vector_count)"
@@ -625,7 +746,7 @@ class StorageEngine:
         if not updates:
             return
         dim = self._config.dim
-        with self.write_transaction() as conn:
+        with self.write_transaction("update_centroids") as conn:
             conn.executemany(
                 "UPDATE centroids SET centroid=?, vector_count=? "
                 "WHERE partition_id=?",
@@ -659,9 +780,21 @@ class StorageEngine:
             return 0
         if code_rows and not self._use_quantization:
             raise StorageError("quantization is not enabled for this database")
-        with self.write_transaction() as conn:
+        with self.write_transaction("assign") as conn:
+            # Both sides of every move need a fresh checksum: the
+            # source partition the row leaves and the destination it
+            # lands in.
+            touched = self._backend.partitions_of(
+                conn, [asset_id for asset_id, _ in moves]
+            )
+            touched.update(pid for _, pid in moves)
+            if code_rows:
+                touched.update(pid for pid, _, _, _ in code_rows)
             self._backend.apply_assignments(
                 conn, moves, code_rows, self._use_quantization
+            )
+            self._backend.refresh_checksums(
+                conn, touched, self._use_quantization
             )
         self.cache.clear()
         self.codes_cache.clear()
@@ -729,6 +862,62 @@ class StorageEngine:
         with self._plain_reader() as conn:
             cur = conn.execute("SELECT COUNT(*) FROM centroids")
             return int(cur.fetchone()[0])
+
+    # ------------------------------------------------------------------
+    # Integrity: checksums and quarantine
+    # ------------------------------------------------------------------
+
+    def is_quarantined(self, partition_id: int) -> bool:
+        with self._quarantine_lock:
+            return partition_id in self._quarantined
+
+    @property
+    def quarantined_partitions(self) -> tuple[int, ...]:
+        """Sorted ids of partitions currently served as empty."""
+        with self._quarantine_lock:
+            return tuple(sorted(self._quarantined))
+
+    def _stored_checksum(
+        self, conn: sqlite3.Connection, partition_id: int, kind: str
+    ) -> int | None:
+        row = conn.execute(
+            "SELECT crc32 FROM partition_checksums "
+            "WHERE partition_id=? AND kind=?",
+            (partition_id, kind),
+        ).fetchone()
+        return None if row is None else int(row[0])
+
+    def _empty_entry(
+        self, partition_id: int, dtype: np.dtype = VECTOR_DTYPE
+    ) -> CachedPartition:
+        width = (
+            self._code_width if dtype is CODE_DTYPE else self._config.dim
+        )
+        return CachedPartition(
+            partition_id=partition_id,
+            asset_ids=(),
+            vector_ids=(),
+            matrix=np.empty((0, width), dtype=dtype),
+        )
+
+    def _quarantine(
+        self,
+        partition_id: int,
+        detail: str,
+        dtype: np.dtype = VECTOR_DTYPE,
+    ) -> CachedPartition:
+        """Mark a partition corrupt and serve it as empty (degraded)."""
+        with self._quarantine_lock:
+            fresh = partition_id not in self._quarantined
+            self._quarantined.add(partition_id)
+        if fresh:
+            logger.warning(
+                "quarantined partition %d: %s", partition_id, detail
+            )
+        self.cache.invalidate(partition_id)
+        self.codes_cache.invalidate(partition_id)
+        self._accountant.record_quarantined()
+        return self._empty_entry(partition_id, dtype)
 
     # ------------------------------------------------------------------
     # Reads: partitions and vectors
@@ -833,23 +1022,55 @@ class StorageEngine:
         matrix has been consumed.
         """
         self._check_open()
+        if partition_id != DELTA_PARTITION_ID and self.is_quarantined(
+            partition_id
+        ):
+            self._accountant.record_quarantined()
+            return self._empty_entry(partition_id)
         if use_cache:
             cached = self.cache.get(partition_id)
             if cached is not None:
                 self._accountant.record_cache_hit()
                 return cached
             self._accountant.record_cache_miss()
-        with self.read_snapshot() as conn:
-            payload = self._backend.read_partition(conn, partition_id)
-        matrix, lease = self._materialize(
-            payload,
-            VECTOR_DTYPE,
-            self.cache,
-            use_scratch,
-            decode_matrix,
-            decode_matrix_into,
-            width=self._config.dim,
-        )
+        # Cold read: verify the payload against its stored CRC (stamped
+        # by every write that touched the partition). The delta is
+        # exempt — it is rewritten too often to checksum per upsert and
+        # a corrupt delta is a hard error, not a degradable one.
+        try:
+            with self.read_snapshot() as conn:
+                payload = self._backend.read_partition(
+                    conn, partition_id
+                )
+                expected = (
+                    self._stored_checksum(
+                        conn, partition_id, CHECKSUM_KIND_VECTORS
+                    )
+                    if partition_id != DELTA_PARTITION_ID
+                    else None
+                )
+        except (StorageError, ValueError) as exc:
+            if partition_id == DELTA_PARTITION_ID:
+                raise
+            return self._quarantine(partition_id, str(exc))
+        if expected is not None and payload_checksum(payload) != expected:
+            return self._quarantine(
+                partition_id, "vector payload checksum mismatch"
+            )
+        try:
+            matrix, lease = self._materialize(
+                payload,
+                VECTOR_DTYPE,
+                self.cache,
+                use_scratch,
+                decode_matrix,
+                decode_matrix_into,
+                width=self._config.dim,
+            )
+        except (StorageError, ValueError) as exc:
+            if partition_id == DELTA_PARTITION_ID:
+                raise
+            return self._quarantine(partition_id, str(exc))
         entry = CachedPartition(
             partition_id=partition_id,
             asset_ids=payload.asset_ids,
@@ -980,9 +1201,31 @@ class StorageEngine:
             if self._quantizer_loaded:
                 return self._quantizer
         payload = self.get_meta(self.quantizer_meta_key)
-        quantizer = (
-            quantizer_from_json(payload) if payload is not None else None
-        )
+        quantizer: Quantizer | None = None
+        if payload is not None:
+            stored_crc = self.get_meta(self.quantizer_meta_key + "_crc32")
+            crc_ok = stored_crc is None or int(stored_crc) == zlib.crc32(
+                payload.encode("utf-8")
+            )
+            if not crc_ok:
+                self._quantizer_corrupt = True
+                logger.warning(
+                    "stored quantizer failed its checksum; serving "
+                    "float32 scans until repair() or the next build"
+                )
+            else:
+                try:
+                    quantizer = quantizer_from_json(payload)
+                except (ValueError, KeyError, TypeError) as exc:
+                    # Only reachable on legacy rows with no CRC to
+                    # catch the corruption first.
+                    self._quantizer_corrupt = True
+                    logger.warning(
+                        "stored quantizer failed to parse (%s); "
+                        "serving float32 scans until repair() or the "
+                        "next build",
+                        exc,
+                    )
         if (
             quantizer is not None
             and quantizer.kind != self._config.quantization
@@ -1016,25 +1259,53 @@ class StorageEngine:
         self._check_open()
         if not self._use_quantization:
             raise StorageError("quantization is not enabled for this database")
+        if partition_id != DELTA_PARTITION_ID and self.is_quarantined(
+            partition_id
+        ):
+            self._accountant.record_quarantined()
+            return self._empty_entry(partition_id, CODE_DTYPE)
         if use_cache:
             cached = self.codes_cache.get(partition_id)
             if cached is not None:
                 self._accountant.record_cache_hit()
                 return cached
             self._accountant.record_cache_miss()
-        with self.read_snapshot() as conn:
-            payload = self._backend.read_partition_codes(
-                conn, partition_id
+        try:
+            with self.read_snapshot() as conn:
+                payload = self._backend.read_partition_codes(
+                    conn, partition_id
+                )
+                expected = (
+                    self._stored_checksum(
+                        conn, partition_id, CHECKSUM_KIND_CODES
+                    )
+                    if partition_id != DELTA_PARTITION_ID
+                    else None
+                )
+        except (StorageError, ValueError) as exc:
+            if partition_id == DELTA_PARTITION_ID:
+                raise
+            return self._quarantine(partition_id, str(exc), CODE_DTYPE)
+        if expected is not None and payload_checksum(payload) != expected:
+            return self._quarantine(
+                partition_id,
+                "code payload checksum mismatch",
+                CODE_DTYPE,
             )
-        matrix, lease = self._materialize(
-            payload,
-            CODE_DTYPE,
-            self.codes_cache,
-            use_scratch,
-            decode_code_matrix,
-            decode_code_matrix_into,
-            width=self._code_width,
-        )
+        try:
+            matrix, lease = self._materialize(
+                payload,
+                CODE_DTYPE,
+                self.codes_cache,
+                use_scratch,
+                decode_code_matrix,
+                decode_code_matrix_into,
+                width=self._code_width,
+            )
+        except (StorageError, ValueError) as exc:
+            if partition_id == DELTA_PARTITION_ID:
+                raise
+            return self._quarantine(partition_id, str(exc), CODE_DTYPE)
         entry = CachedPartition(
             partition_id=partition_id,
             asset_ids=payload.asset_ids,
@@ -1083,6 +1354,12 @@ class StorageEngine:
             )
             if len(entry):
                 return entry, True
+            # A quarantined partition already reported itself as empty;
+            # the float fallback would re-count the same quarantine.
+            if partition_id != DELTA_PARTITION_ID and self.is_quarantined(
+                partition_id
+            ):
+                return entry, False
         return (
             self.load_partition(partition_id, use_scratch=use_scratch),
             False,
@@ -1166,11 +1443,18 @@ class StorageEngine:
             matrix = decode_matrix(blobs, dim)
             return encode_code_matrix(quantizer.encode(matrix))
 
-        with self.write_transaction() as conn:
-            conn.execute(
+        with self.write_transaction("rebuild_codes") as conn:
+            quantizer_json = quantizer.to_json()
+            conn.executemany(
                 "INSERT INTO meta (key, value) VALUES (?, ?) "
                 "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
-                (self.quantizer_meta_key, quantizer.to_json()),
+                [
+                    (self.quantizer_meta_key, quantizer_json),
+                    (
+                        self.quantizer_meta_key + "_crc32",
+                        str(zlib.crc32(quantizer_json.encode("utf-8"))),
+                    ),
+                ],
             )
             for stale_key in (
                 self.QUANTIZER_META_KEY,
@@ -1178,14 +1462,19 @@ class StorageEngine:
             ):
                 if stale_key != self.quantizer_meta_key:
                     conn.execute(
-                        "DELETE FROM meta WHERE key=?", (stale_key,)
+                        "DELETE FROM meta WHERE key IN (?, ?)",
+                        (stale_key, stale_key + "_crc32"),
                     )
             written = self._backend.rewrite_codes(
                 conn, encode_blobs, batch_size
             )
+            self._backend.refresh_checksums(
+                conn, None, True, kinds=(CHECKSUM_KIND_CODES,)
+            )
         with self._quantizer_lock:
             self._quantizer = quantizer
             self._quantizer_loaded = True
+        self._quantizer_corrupt = False
         self.codes_cache.clear()
         # Cached delta codes were encoded under the replaced quantizer.
         self.delta_codes.invalidate()
@@ -1294,7 +1583,7 @@ class StorageEngine:
 
     def save_column_stats(self, attribute: str, payload: str) -> None:
         self._check_open()
-        with self.write_transaction() as conn:
+        with self.write_transaction("column_stats") as conn:
             conn.execute(
                 "INSERT INTO column_stats (attribute, payload) "
                 "VALUES (?, ?) ON CONFLICT(attribute) "
@@ -1391,6 +1680,165 @@ class StorageEngine:
             with self._scan_cv:
                 self._purging = False
                 self._scan_cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # Scrub & repair
+    # ------------------------------------------------------------------
+
+    def _quantizer_healthy(self) -> bool:
+        """Cold-verify the stored quantizer payload (CRC + parse)."""
+        if not self._use_quantization:
+            return True
+        payload = self.get_meta(self.quantizer_meta_key)
+        if payload is None:
+            return True
+        stored_crc = self.get_meta(self.quantizer_meta_key + "_crc32")
+        if stored_crc is not None and int(stored_crc) != zlib.crc32(
+            payload.encode("utf-8")
+        ):
+            self._quantizer_corrupt = True
+            return False
+        try:
+            quantizer_from_json(payload)
+        except (ValueError, KeyError, TypeError):
+            self._quantizer_corrupt = True
+            return False
+        return True
+
+    def scrub(self) -> ScrubReport:
+        """Cold-verify every indexed partition against its stored CRC.
+
+        Corrupt partitions are quarantined so later queries degrade
+        (served as empty, flagged in stats) instead of erroring or
+        silently returning wrong neighbors. Otherwise read-only — use
+        :meth:`repair` to act on the findings. The delta partition is
+        exempt by design (see :meth:`load_partition`).
+        """
+        self._check_open()
+        corrupt_vectors: list[int] = []
+        corrupt_codes: list[int] = []
+        unstamped: list[int] = []
+        with self.read_snapshot() as conn:
+            pids = sorted(
+                self._backend.partition_sizes(conn, include_delta=False)
+            )
+            for pid in pids:
+                expected = self._backend.stored_checksums(conn, pid)
+                try:
+                    payload = self._backend.read_partition(conn, pid)
+                except (StorageError, ValueError):
+                    corrupt_vectors.append(pid)
+                else:
+                    want = expected.get(CHECKSUM_KIND_VECTORS)
+                    if want is None:
+                        unstamped.append(pid)
+                    elif payload_checksum(payload) != want:
+                        corrupt_vectors.append(pid)
+                if not self._use_quantization:
+                    continue
+                try:
+                    codes = self._backend.read_partition_codes(conn, pid)
+                except (StorageError, ValueError):
+                    corrupt_codes.append(pid)
+                    continue
+                want = expected.get(CHECKSUM_KIND_CODES)
+                if want is not None and payload_checksum(codes) != want:
+                    corrupt_codes.append(pid)
+        quantizer_ok = self._quantizer_healthy()
+        for pid in corrupt_vectors:
+            self._quarantine(pid, "scrub: vector payload corrupt")
+        for pid in corrupt_codes:
+            if pid not in corrupt_vectors:
+                self._quarantine(
+                    pid, "scrub: code payload corrupt", CODE_DTYPE
+                )
+        return ScrubReport(
+            partitions_checked=len(pids),
+            corrupt_vectors=tuple(corrupt_vectors),
+            corrupt_codes=tuple(corrupt_codes),
+            unstamped=tuple(unstamped),
+            quantizer_ok=quantizer_ok,
+        )
+
+    def repair(self) -> ScrubReport:
+        """Scrub, then rebuild what is recoverable and drop the rest.
+
+        - Corrupt codes with healthy floats are re-encoded wholesale
+          via :meth:`rebuild_codes`: float blobs stay authoritative, so
+          search results are restored bit-identically.
+        - Corrupt float payloads are unrecoverable; the partition is
+          dropped outright (rows, codes, centroid, checksum rows) so
+          the index is consistent again. The report names the dropped
+          partitions — those vectors need re-upserting from the source
+          of truth.
+        - A corrupt quantizer payload is cleared (together with every
+          code checksum) so scans fall back to exact float32 until the
+          next index build retrains it.
+        - Partitions predating checksumming get stamped.
+
+        Clears the quarantine set and purges caches at the end.
+        """
+        report = self.scrub()
+        dropped: list[int] = []
+        repaired = 0
+        stamped = 0
+        if report.corrupt_vectors:
+            with self.write_transaction("repair") as conn:
+                for pid in report.corrupt_vectors:
+                    self._backend.drop_partition(
+                        conn, pid, self._use_quantization
+                    )
+                    conn.execute(
+                        "DELETE FROM centroids WHERE partition_id=?",
+                        (pid,),
+                    )
+                    conn.execute(
+                        "DELETE FROM partition_checksums "
+                        "WHERE partition_id=?",
+                        (pid,),
+                    )
+                    dropped.append(pid)
+            self._drop_centroid_cache()
+        if report.unstamped:
+            survivors = [
+                pid for pid in report.unstamped if pid not in set(dropped)
+            ]
+            if survivors:
+                with self.write_transaction("repair") as conn:
+                    self._backend.refresh_checksums(
+                        conn, survivors, self._use_quantization
+                    )
+                stamped = len(survivors)
+        if not report.quantizer_ok:
+            with self.write_transaction("repair") as conn:
+                conn.executemany(
+                    "DELETE FROM meta WHERE key=?",
+                    [
+                        (self.quantizer_meta_key,),
+                        (self.quantizer_meta_key + "_crc32",),
+                    ],
+                )
+                conn.execute(
+                    "DELETE FROM partition_checksums WHERE kind=?",
+                    (CHECKSUM_KIND_CODES,),
+                )
+            with self._quantizer_lock:
+                self._quantizer = None
+                self._quantizer_loaded = True
+            self._quantizer_corrupt = False
+        elif report.corrupt_codes:
+            quantizer = self.load_quantizer()
+            if quantizer is not None:
+                repaired = self.rebuild_codes(quantizer)
+        with self._quarantine_lock:
+            self._quarantined.clear()
+        self.purge_caches()
+        return replace(
+            report,
+            repaired_codes=repaired,
+            dropped_partitions=tuple(dropped),
+            stamped=stamped,
+        )
 
     # ------------------------------------------------------------------
     # Disk hygiene

@@ -34,6 +34,10 @@ class IOSnapshot:
     cache_misses: int
     rows_written: int
     simulated_latency_s: float
+    #: Partition loads answered by the quarantine list instead of
+    #: storage: a checksum mismatch was detected (now or earlier) and
+    #: the partition was served as empty, degrading the query.
+    partitions_quarantined: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -55,6 +59,7 @@ class IOAccountant:
         self._cache_misses = 0
         self._rows_written = 0
         self._simulated_latency = 0.0
+        self._partitions_quarantined = 0
 
     @property
     def model(self) -> IOCostModel:
@@ -87,6 +92,11 @@ class IOAccountant:
         with self._lock:
             self._cache_misses += 1
 
+    def record_quarantined(self) -> None:
+        """Record one partition load served from the quarantine list."""
+        with self._lock:
+            self._partitions_quarantined += 1
+
     def record_rows_written(self, count: int) -> None:
         """Record rows inserted/updated/deleted (flash-wear proxy)."""
         if count < 0:
@@ -103,6 +113,7 @@ class IOAccountant:
                 cache_misses=self._cache_misses,
                 rows_written=self._rows_written,
                 simulated_latency_s=self._simulated_latency,
+                partitions_quarantined=self._partitions_quarantined,
             )
 
     def delta_since(self, before: IOSnapshot) -> IOSnapshot:
@@ -116,6 +127,9 @@ class IOAccountant:
             rows_written=now.rows_written - before.rows_written,
             simulated_latency_s=(
                 now.simulated_latency_s - before.simulated_latency_s
+            ),
+            partitions_quarantined=(
+                now.partitions_quarantined - before.partitions_quarantined
             ),
         )
 

@@ -375,12 +375,17 @@ class ProductQuantizer:
         m, _, dsub = self.codebooks.shape
         codes = np.empty((arr.shape[0], m), dtype=CODE_DTYPE)
         for i in range(m):
-            sub = arr[:, i * dsub : (i + 1) * dsub]
+            sub = arr[:, i * dsub : (i + 1) * dsub].astype(np.float64)
+            book = self.codebooks[i].astype(np.float64)
             # ||s - c||^2 = ||s||^2 - 2 s.c + ||c||^2; the ||s||^2 term
             # is constant per row, so the argmin needs only the GEMM
-            # and the precomputed centroid norms.
-            scores = self._sub_norms[i][None, :] - 2.0 * (
-                sub @ self.codebooks[i].T
+            # and the centroid norms. Accumulated in float64: in
+            # float32 the expanded form loses the gap between nearby
+            # centroids once ||c||^2 dominates, and the argmin can
+            # assign a centroid to a DIFFERENT centroid — breaking
+            # encode(decode(encode(x))) == encode(x).
+            scores = np.einsum("kd,kd->k", book, book)[None, :] - 2.0 * (
+                sub @ book.T
             )
             codes[:, i] = np.argmin(scores, axis=1).astype(CODE_DTYPE)
         return codes

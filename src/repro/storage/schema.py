@@ -163,6 +163,23 @@ CREATE TABLE IF NOT EXISTS column_stats (
 ) WITHOUT ROWID
 """
 
+#: CRC32 of each indexed partition's stored payload, one row per
+#: ``(partition_id, kind)`` with kind ``"vectors"`` (the float32
+#: payload plus the ids it is keyed by) or ``"codes"`` (the quantized
+#: scan codes). Written inside the same transaction as the payload it
+#: covers, verified on every cold read; the delta partition is
+#: excluded (rewritten by every upsert, and always reranked exactly).
+#: A partition with no checksum row predates this table and is read
+#: unverified — scrub stamps it on the next pass.
+PARTITION_CHECKSUMS_TABLE = """
+CREATE TABLE IF NOT EXISTS partition_checksums (
+    partition_id INTEGER NOT NULL,
+    kind         TEXT    NOT NULL,
+    crc32        INTEGER NOT NULL,
+    PRIMARY KEY (partition_id, kind)
+) WITHOUT ROWID
+"""
+
 
 def attributes_table_ddl(attributes: dict[str, str]) -> str:
     """DDL for the attributes table with the client-declared columns."""
@@ -228,6 +245,7 @@ def create_common_schema(
     conn.execute(TOKENS_TABLE)
     conn.execute(TOKENS_ASSET_INDEX)
     conn.execute(COLUMN_STATS_TABLE)
+    conn.execute(PARTITION_CHECKSUMS_TABLE)
     conn.execute(attributes_table_ddl(attributes))
     for ddl in attribute_index_ddls(attributes):
         conn.execute(ddl)

@@ -15,17 +15,24 @@ from repro import MicroNN, MicroNNConfig
 #: public API into one backend's physical layout.
 TEST_BACKEND = os.environ.get("MICRONN_TEST_BACKEND", "sqlite-row")
 
+#: The physical layout behind the configured backend: a fault-
+#: injecting wrapper (``fault:<inner>``) keeps its inner backend's
+#: layout, so the skip markers see through the prefix.
+_PHYSICAL_BACKEND = TEST_BACKEND
+while _PHYSICAL_BACKEND.startswith("fault:"):
+    _PHYSICAL_BACKEND = _PHYSICAL_BACKEND[len("fault:"):]
+
 #: Skip under the memory backend: the test needs a real database file
 #: (file sizes, WAL snapshots, surviving process restarts).
 requires_file_backend = pytest.mark.skipif(
-    TEST_BACKEND == "memory",
+    _PHYSICAL_BACKEND == "memory",
     reason="test requires an on-disk database file",
 )
 
 #: Skip under the packed backend: the test issues raw SQL against the
 #: row-per-vector tables (``vectors`` / ``vector_codes``).
 requires_row_layout = pytest.mark.skipif(
-    TEST_BACKEND == "sqlite-packed",
+    _PHYSICAL_BACKEND == "sqlite-packed",
     reason="white-box test assumes the row-per-vector table layout",
 )
 

@@ -1,0 +1,166 @@
+"""Idempotent-close audit: teardown never raises, however it happens.
+
+Crash recovery and error handling routinely double-close handles
+(``finally`` blocks, context managers wrapping explicit closes,
+cleanup after a failed open). None of MicroNN, ShardedMicroNN or
+Session may raise on a repeated close, a close after a failed open,
+or a close racing in-flight queries.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig, ShardedMicroNN
+from repro.core import database as database_module
+
+
+@pytest.fixture
+def config():
+    return MicroNNConfig(dim=4, target_cluster_size=5, kmeans_iterations=3)
+
+
+def populate(db, rng, n=30):
+    vecs = rng.normal(size=(n, 4)).astype(np.float32)
+    db.upsert_batch((f"a{i:02d}", vecs[i]) for i in range(n))
+    db.build_index()
+    return vecs
+
+
+class TestDoubleClose:
+    def test_micronn_double_close(self, tmp_path, config, rng):
+        db = MicroNN.open(tmp_path / "a.db", config)
+        populate(db, rng)
+        db.close()
+        db.close()
+        db.close()
+
+    def test_micronn_context_manager_then_close(self, tmp_path, config):
+        with MicroNN.open(tmp_path / "b.db", config) as db:
+            pass
+        db.close()  # __exit__ already closed it
+
+    def test_sharded_double_close(self, tmp_path, config, rng):
+        db = ShardedMicroNN.open(tmp_path / "fleet", config, shards=3)
+        populate(db, rng)
+        db.close()
+        db.close()
+
+    def test_sharded_close_with_already_closed_shard(
+        self, tmp_path, config, rng
+    ):
+        db = ShardedMicroNN.open(tmp_path / "fleet", config, shards=3)
+        populate(db, rng)
+        db.shards[1].close()  # a repair script closed one shard
+        db.close()
+        db.close()
+
+    def test_session_double_close(self, tmp_path, config, rng):
+        db = MicroNN.open(tmp_path / "c.db", config)
+        vecs = populate(db, rng)
+        session = db.serve_session()
+        session.submit(vecs[0], k=3)
+        session.close()
+        session.close()
+        db.close()
+
+    def test_session_close_never_raises_on_failed_query(
+        self, tmp_path, config, rng
+    ):
+        db = MicroNN.open(tmp_path / "d.db", config)
+        vecs = populate(db, rng)
+        with db.serve_session() as session:
+            future = session.submit(vecs[0], k=3)
+            future.cancel()  # close() must swallow the CancelledError
+            session.close()
+        stats = session.stats()
+        assert stats.submitted == 1
+        db.close()
+
+
+class TestCloseAfterFailedOpen:
+    def test_engine_closed_when_init_fails_past_it(
+        self, tmp_path, config, monkeypatch
+    ):
+        """A constructor failure after the engine came up must close
+        the engine — no leaked connections or tempdirs."""
+        closed = []
+        original_close = database_module.StorageEngine.close
+
+        def tracking_close(self):
+            closed.append(self.path)
+            original_close(self)
+
+        class ExplodingExecutor:
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("executor init failed")
+
+        monkeypatch.setattr(
+            database_module.StorageEngine, "close", tracking_close
+        )
+        monkeypatch.setattr(
+            database_module, "QueryExecutor", ExplodingExecutor
+        )
+        with pytest.raises(RuntimeError, match="executor init failed"):
+            MicroNN.open(tmp_path / "boom.db", config)
+        assert len(closed) == 1
+
+    def test_open_failure_leaves_reopenable_path(self, tmp_path, config):
+        # A failed open (here: path is a directory) must not wedge
+        # the path for a later, correct open.
+        bad = tmp_path / "taken"
+        bad.mkdir()
+        with pytest.raises(Exception):
+            db = MicroNN.open(bad, config)
+            db.close()
+        good = MicroNN.open(tmp_path / "ok.db", config)
+        good.close()
+
+
+class TestCloseDuringInflight:
+    def test_micronn_close_races_async_queries(
+        self, tmp_path, config, rng
+    ):
+        db = MicroNN.open(tmp_path / "race.db", config)
+        vecs = populate(db, rng, n=60)
+        futures = [db.search_async(vecs[i % 60], k=5) for i in range(24)]
+        db.close()  # drains the scheduler: futures settle, no raise
+        db.close()
+        for future in futures:
+            # Settled either way — completed, failed, or cancelled by
+            # the draining scheduler; a resolved result is a real
+            # answer.
+            assert future.done()
+            if not future.cancelled() and future.exception() is None:
+                assert len(future.result().neighbors) == 5
+
+    def test_session_close_waits_out_inflight(self, tmp_path, config, rng):
+        db = MicroNN.open(tmp_path / "wait.db", config)
+        vecs = populate(db, rng)
+        session = db.serve_session()
+        for i in range(8):
+            session.submit(vecs[i], k=3)
+        done = threading.Event()
+
+        def closer():
+            session.close()
+            done.set()
+
+        thread = threading.Thread(target=closer)
+        thread.start()
+        thread.join(timeout=10)
+        assert done.is_set()
+        assert session.stats().completed == 8
+        db.close()
+
+    def test_sharded_close_races_async_queries(self, tmp_path, config, rng):
+        db = ShardedMicroNN.open(tmp_path / "fleet", config, shards=3)
+        vecs = populate(db, rng, n=60)
+        futures = [db.search_async(vecs[i], k=5) for i in range(8)]
+        db.close()
+        db.close()
+        for future in futures:
+            assert future.done()

@@ -1,0 +1,173 @@
+"""Property: mutating stored partition bytes never lies to a query.
+
+For ANY byte-level mutation (bit flip, truncation, extension) of ANY
+scanned partition blob, a subsequent search must either return the
+exact uncorrupted answer or flag itself degraded (with the corrupt
+partition quarantined) — it must never raise out of the public API
+and never silently return different neighbors unflagged.
+
+The scan-path payloads are the covered surface: float partition blobs
+under full-precision scans, code blobs under quantized scans. (Rerank
+point-fetches are deliberately outside the checksum boundary — see
+README "Durability & recovery".)
+"""
+
+from __future__ import annotations
+
+import shutil
+import sqlite3
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MicroNN, MicroNNConfig
+from tests.conftest import _PHYSICAL_BACKEND, requires_file_backend
+
+DIM = 4
+N = 40
+PACKED = _PHYSICAL_BACKEND == "sqlite-packed"
+
+
+def _config(quantization: str) -> MicroNNConfig:
+    return MicroNNConfig(
+        dim=DIM,
+        target_cluster_size=6,
+        kmeans_iterations=3,
+        default_nprobe=1000,  # probe everything: deterministic
+        quantization=quantization,
+    )
+
+
+@pytest.fixture(scope="module")
+def template(tmp_path_factory):
+    """One built database per scan mode, plus its correct answers."""
+    root = tmp_path_factory.mktemp("mutation")
+    rng = np.random.default_rng(7)
+    vectors = rng.normal(size=(N, DIM)).astype(np.float32)
+    out = {}
+    for quant in ("none", "sq8"):
+        path = root / f"tpl-{quant}.db"
+        db = MicroNN.open(path, _config(quant))
+        db.upsert_batch((f"a{i:03d}", vectors[i]) for i in range(N))
+        db.build_index()
+        baseline = [
+            [n.asset_id for n in db.search(vectors[q], k=8)]
+            for q in range(3)
+        ]
+        db.close()
+        out[quant] = (path, baseline)
+    return root, vectors, out
+
+
+def _mutate(blob: bytes, op: str, offset: int, value: int) -> bytes:
+    if op == "flip":
+        i = offset % len(blob)
+        return blob[:i] + bytes([blob[i] ^ value]) + blob[i + 1 :]
+    if op == "truncate":
+        keep = max(1, len(blob) - 1 - offset % 8)
+        return blob[:keep]
+    return blob + bytes([value] * (1 + offset % 8))  # extend
+
+
+def _corrupt_scanned_blob(
+    path, codes: bool, row_pick: int, op: str, offset: int, value: int
+) -> None:
+    """Mutate one scan-path payload below the engine."""
+    conn = sqlite3.connect(path)
+    try:
+        if PACKED:
+            table, column = (
+                ("packed_codes", "codes")
+                if codes
+                else ("packed_partitions", "vectors")
+            )
+            rows = conn.execute(
+                f"SELECT partition_id, {column} FROM {table} "
+                "ORDER BY partition_id"
+            ).fetchall()
+            pid, blob = rows[row_pick % len(rows)]
+            conn.execute(
+                f"UPDATE {table} SET {column}=? WHERE partition_id=?",
+                (_mutate(blob, op, offset, value), pid),
+            )
+        else:
+            table, column = (
+                ("vector_codes", "code") if codes else ("vectors", "vector")
+            )
+            where = (
+                "asset_id IN (SELECT asset_id FROM vectors "
+                "WHERE partition_id >= 0)"
+                if codes
+                else "partition_id >= 0"
+            )
+            rows = conn.execute(
+                f"SELECT asset_id, {column} FROM {table} WHERE {where} "
+                "ORDER BY asset_id"
+            ).fetchall()
+            asset_id, blob = rows[row_pick % len(rows)]
+            conn.execute(
+                f"UPDATE {table} SET {column}=? WHERE asset_id=?",
+                (_mutate(blob, op, offset, value), asset_id),
+            )
+        conn.commit()
+    finally:
+        conn.close()
+
+
+MUTATIONS = st.tuples(
+    st.sampled_from(["flip", "truncate", "extend"]),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=255),
+    st.integers(min_value=0, max_value=1_000),
+)
+
+
+@requires_file_backend  # each example clones the template db file
+class TestMutationNeverLies:
+    def _check(self, template, quant: str, codes: bool, mutation):
+        op, offset, value, row_pick = mutation
+        root, vectors, out = template
+        tpl_path, baseline = out[quant]
+        work = root / f"case-{quant}-{codes}.db"
+        shutil.copyfile(tpl_path, work)
+        try:
+            _corrupt_scanned_blob(work, codes, row_pick, op, offset, value)
+            db = MicroNN.open(work, _config(quant))
+            try:
+                for q, expected in enumerate(baseline):
+                    result = db.search(vectors[q], k=8)
+                    got = [n.asset_id for n in result]
+                    # Either the exact uncorrupted answer, or an
+                    # explicitly degraded one — never a silent lie.
+                    if got != expected:
+                        assert result.stats.degraded, (
+                            f"unflagged wrong answer after {op} "
+                            f"(got {got}, expected {expected})"
+                        )
+                        assert result.stats.partitions_quarantined >= 1
+                    # Degraded or not, only real ids come back.
+                    assert all(g.startswith("a") for g in got)
+            finally:
+                db.close()
+        finally:
+            work.unlink(missing_ok=True)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(mutation=MUTATIONS)
+    def test_float_blob_mutation(self, template, mutation):
+        self._check(template, "none", codes=False, mutation=mutation)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(mutation=MUTATIONS)
+    def test_code_blob_mutation(self, template, mutation):
+        self._check(template, "sq8", codes=True, mutation=mutation)
