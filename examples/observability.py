@@ -1,0 +1,127 @@
+"""Observability: metrics exposition, query tracing, the event log.
+
+A tour of the telemetry layer (repro.obs), which every database
+carries by default:
+
+- **metrics** — ``db.metrics()`` returns a point-in-time snapshot of
+  every counter/gauge/histogram the engine, executors, scheduler and
+  maintenance paths maintain; export it as Prometheus 0.0.4 text or
+  JSON. ``ShardedMicroNN.metrics()`` merges the fleet with a
+  ``shard="N"`` label on every sample.
+- **traces** — ``db.search(..., trace=True)`` attaches a nested span
+  tree (``SearchResult.trace``) timed on monotonic clocks;
+  ``trace.to_json()`` is Chrome trace-event JSON you can drop on
+  https://ui.perfetto.dev and read as a flame chart.
+- **events** — operational anomalies (slow queries, quarantines,
+  scrubs, retrains, degraded shards) land in a bounded ring with
+  exact lifetime counts, and optionally in a JSONL file
+  (``event_log_path``) that survives the ring's eviction.
+
+Telemetry is on by default and costs a single attribute check when
+idle; ``benchmarks/bench_obs_overhead.py`` gates the warm-query
+overhead at <5%. Set ``telemetry_enabled=False`` to pin it to zero.
+
+Run:  python examples/observability.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import MicroNN, MicroNNConfig
+
+DIM = 64
+NUM_VECTORS = 4000
+K = 10
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    tmp = Path(tempfile.mkdtemp(prefix="micronn-obs-"))
+
+    config = MicroNNConfig(
+        dim=DIM,
+        target_cluster_size=100,
+        # Anything slower than 5 ms is worth a second look on-device.
+        slow_query_ms=5.0,
+        # Mirror every event to a JSONL file for post-mortems.
+        event_log_path=str(tmp / "events.jsonl"),
+    )
+
+    with MicroNN.open(config=config) as db:
+        vectors = rng.normal(size=(NUM_VECTORS, DIM)).astype(np.float32)
+        db.upsert_batch(
+            (f"asset-{i:05d}", vectors[i]) for i in range(NUM_VECTORS)
+        )
+        db.build_index()
+
+        # --- 1. Metrics: run some traffic, then snapshot. -----------
+        db.purge_caches()  # make the first queries visibly "cold"
+        for i in range(20):
+            db.search(vectors[i], k=K)
+
+        snap = db.metrics()
+        loads_cold = snap.value(
+            "micronn_partition_loads_total", {"temperature": "cold"}
+        )
+        loads_hot = snap.value(
+            "micronn_partition_loads_total", {"temperature": "hot"}
+        )
+        print(
+            f"20 queries: {snap.value('micronn_queries_total'):.0f} "
+            f"counted, partition loads cold={loads_cold:.0f} "
+            f"hot={loads_hot:.0f}"
+        )
+        print(
+            "latency histogram holds "
+            f"{snap.histogram('micronn_query_latency_seconds').count}"
+            " samples"
+        )
+
+        # The exposition formats a scraper or a dashboard would pull.
+        prom = snap.to_prometheus()
+        print("\nPrometheus exposition (excerpt):")
+        for line in prom.splitlines():
+            if line.startswith("micronn_queries_total"):
+                print(f"  {line}")
+        as_json = json.loads(snap.to_json())
+        print(f"JSON export: {len(as_json['families'])} metric families")
+
+        # --- 2. Tracing: one query, spans, Perfetto export. ---------
+        result = db.search(vectors[0], k=K, trace=True)
+        trace = result.trace
+        root = trace.find("search_ann")
+        print(
+            f"\ntraced query: {root.duration_s * 1e3:.2f} ms in spans "
+            f"vs {result.stats.latency_s * 1e3:.2f} ms measured"
+        )
+        for child in root.children:
+            print(
+                f"  {child.name:<20} {child.duration_s * 1e6:8.0f} us"
+            )
+        out = tmp / "trace.json"
+        out.write_text(trace.to_json())
+        print(f"wrote {out} — open it at https://ui.perfetto.dev")
+
+        # --- 3. Events: the slow-query log and lifetime counts. -----
+        slow = db.events(kind="slow_query")
+        print(
+            f"\nevent log: {db.index_stats().events_logged} events, "
+            f"{len(slow)} slow queries over {config.slow_query_ms} ms"
+        )
+        if slow:
+            worst = max(slow, key=lambda e: e.get("latency_ms"))
+            print(
+                f"  worst: {worst.get('latency_ms'):.2f} ms "
+                f"(plan={worst.get('plan')})"
+            )
+        print(
+            "JSONL sink lines: "
+            f"{sum(1 for _ in open(config.event_log_path))}"
+        )
+
+
+if __name__ == "__main__":
+    main()

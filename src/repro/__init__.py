@@ -22,6 +22,8 @@ Package layout:
   estimation, hybrid planner, single-query and MQO batch executors;
 - :mod:`repro.serve` — the concurrent serving layer: async query
   scheduler with shared cross-query I/O and admission control;
+- :mod:`repro.obs` — the observability substrate: metrics registry,
+  per-query trace spans (Perfetto-loadable), structured event log;
 - :mod:`repro.shard` — the sharded multi-database engine: hash-routed
   writes, scatter-gather search and rebalancing over N shards;
 - :mod:`repro.baselines` — the paper's InMemory comparison point;
@@ -58,6 +60,16 @@ from repro.core.types import (
     PlanKind,
     QueryStats,
     SearchResult,
+)
+from repro.obs import (
+    Event,
+    EventLog,
+    MetricsRegistry,
+    MetricsSnapshot,
+    QueryTrace,
+    Span,
+    Tracer,
+    merge_snapshots,
 )
 from repro.query.filters import (
     And,
@@ -110,6 +122,15 @@ __all__ = [
     "MaintenanceAction",
     "MaintenanceReport",
     "ScrubReport",
+    # observability
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "merge_snapshots",
+    "Tracer",
+    "Span",
+    "QueryTrace",
+    "Event",
+    "EventLog",
     # filters
     "Predicate",
     "Eq",

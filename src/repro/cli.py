@@ -283,6 +283,55 @@ def cmd_scrub(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Export the telemetry registry (Prometheus text or JSON).
+
+    The snapshot covers this process's lifetime — the CLI runs a
+    warm-up query first (when the index has data) so the exposition
+    demonstrates live query families, not just gauges.
+    """
+    db = _open(args)
+    if args.warm_queries > 0 and len(db) > 0:
+        rng = np.random.default_rng(0)
+        for _ in range(args.warm_queries):
+            db.search(
+                rng.normal(size=db.config.dim).astype(np.float32), k=1
+            )
+    snapshot = db.metrics()
+    if args.format == "json":
+        print(snapshot.to_json())
+    else:
+        sys.stdout.write(snapshot.to_prometheus())
+    db.close()
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced query; write Chrome-trace JSON for Perfetto."""
+    query = np.load(args.query).reshape(-1)
+    args.dim = query.shape[0]
+    db = _open(args)
+    if isinstance(db, ShardedMicroNN):
+        print(
+            "trace drives the single-database executor; run it "
+            "against one shard file",
+            file=sys.stderr,
+        )
+        db.close()
+        return 2
+    result = db.search(query, k=args.k, nprobe=args.nprobe, trace=True)
+    Path(args.out).write_text(result.trace.to_json())
+    stats = result.stats
+    print(
+        f"wrote {args.out}: {len(result.trace.spans)} root "
+        f"span(s), query latency {stats.latency_s * 1e3:.2f}ms "
+        f"(plan={stats.plan.value}, scan={stats.scan_mode}) — load in "
+        "https://ui.perfetto.dev or chrome://tracing"
+    )
+    db.close()
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     """Self-contained smoke run on synthetic data (no files needed)."""
     rng = np.random.default_rng(0)
@@ -405,6 +454,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_scrub)
 
+    p = sub.add_parser(
+        "metrics",
+        help="export telemetry (Prometheus text exposition or JSON)",
+    )
+    common(p)
+    sharded(p)
+    p.add_argument(
+        "--format", default="prom", choices=["prom", "json"],
+        help="output format (default prom: Prometheus text 0.0.4)",
+    )
+    p.add_argument(
+        "--warm-queries", type=int, default=3, dest="warm_queries",
+        help="queries to run before snapshotting so query families "
+        "have samples (0 to export gauges only)",
+    )
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one traced query, write Chrome-trace JSON",
+    )
+    common(p)
+    p.add_argument("--query", required=True)
+    p.add_argument(
+        "--out", default="trace.json",
+        help="output path for the Chrome-trace JSON (default "
+        "trace.json; open in Perfetto)",
+    )
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--nprobe", type=int, default=None)
+    p.set_defaults(func=cmd_trace)
+
     p = sub.add_parser("demo", help="self-contained smoke run")
     common(p, needs_db=False)
     p.set_defaults(func=cmd_demo)
@@ -420,6 +501,7 @@ def main(argv: list[str] | None = None) -> int:
         "maintain",
         "stats",
         "scrub",
+        "metrics",
         "demo",
     ):
         if args.command == "demo":

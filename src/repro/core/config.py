@@ -333,6 +333,24 @@ class MicroNNConfig:
     #: doubles it and adds uniform jitter so two contending writers do
     #: not re-collide in lockstep.
     busy_backoff_ms: float = 10.0
+    #: Master switch for the observability substrate (``repro.obs``):
+    #: the engine-owned metrics registry and structured event log.
+    #: Disabled, every instrument call collapses to one attribute
+    #: check (the no-op fast path gated by
+    #: ``benchmarks/bench_obs_overhead.py``). Per-query tracing is
+    #: independent of this switch — it only runs when a search passes
+    #: ``trace=True``.
+    telemetry_enabled: bool = True
+    #: Queries slower than this wall-clock threshold (milliseconds)
+    #: emit a ``slow_query`` event into the structured event log.
+    slow_query_ms: float = 250.0
+    #: Capacity of the bounded in-memory event ring; the oldest events
+    #: are evicted first, lifetime per-kind counts are kept exactly.
+    event_log_capacity: int = 512
+    #: Optional JSONL sink: every emitted event is also appended to
+    #: this path as one JSON object per line (opened lazily on first
+    #: emit). Shards sharing one config append to the same file.
+    event_log_path: str | None = None
     device: DeviceProfile = field(default_factory=DeviceProfile.large)
     seed: int = 0
 
@@ -431,6 +449,10 @@ class MicroNNConfig:
             raise ConfigError("max_inflight_queries must be >= 1")
         if self.serve_io_threads is not None and self.serve_io_threads < 1:
             raise ConfigError("serve_io_threads must be >= 1 when set")
+        if self.slow_query_ms <= 0:
+            raise ConfigError("slow_query_ms must be > 0")
+        if self.event_log_capacity < 1:
+            raise ConfigError("event_log_capacity must be >= 1")
         self._validate_attributes()
 
     def _validate_attributes(self) -> None:

@@ -45,6 +45,7 @@ from repro.core.types import (
     SearchResult,
 )
 from repro.index.ivf import IVFBuilder
+from repro.obs import Event, MetricsSnapshot, Tracer
 from repro.index.maintenance import IncrementalMaintainer, IndexMonitor
 from repro.query.batch import BatchQueryExecutor
 from repro.query.executor import QueryExecutor, _check_k
@@ -299,6 +300,7 @@ class MicroNN:
         filters: Predicate | None = None,
         exact: bool = False,
         plan: PlanKind | None = None,
+        trace: bool = False,
     ) -> SearchResult:
         """Nearest-neighbour search (Algorithm 2 + hybrid plans, §3.3-3.5).
 
@@ -321,13 +323,21 @@ class MicroNN:
             Force :data:`PlanKind.PRE_FILTER` or
             :data:`PlanKind.POST_FILTER` for a filtered query,
             bypassing the optimizer.
+        trace:
+            Record a per-query span trace: the returned
+            :attr:`SearchResult.trace` holds the span forest, and
+            ``result.trace.to_chrome_trace()`` renders Chrome-trace
+            JSON loadable in Perfetto / ``chrome://tracing``.
         """
         nprobe = nprobe or self._config.default_nprobe
+        tracer = Tracer() if trace else None
         if exact:
-            return self._executor.search_exact(query, k, predicate=filters)
+            return self._executor.search_exact(
+                query, k, predicate=filters, tracer=tracer
+            )
         if filters is None:
-            return self._executor.search_ann(query, k, nprobe)
-        return self._search_hybrid(query, k, nprobe, filters, plan)
+            return self._executor.search_ann(query, k, nprobe, tracer=tracer)
+        return self._search_hybrid(query, k, nprobe, filters, plan, tracer)
 
     def _search_hybrid(
         self,
@@ -336,16 +346,19 @@ class MicroNN:
         nprobe: int,
         filters: Predicate,
         plan: PlanKind | None,
+        tracer: Tracer | None = None,
     ) -> SearchResult:
         decision: PlanDecision | None = None
         if plan is None:
             decision = self.plan_for(filters, nprobe)
             plan = decision.kind
         if plan is PlanKind.PRE_FILTER:
-            result = self._executor.search_prefilter(query, k, filters)
+            result = self._executor.search_prefilter(
+                query, k, filters, tracer=tracer
+            )
         elif plan is PlanKind.POST_FILTER:
             result = self._executor.search_postfilter(
-                query, k, nprobe, filters
+                query, k, nprobe, filters, tracer=tracer
             )
         else:
             raise FilterError(
@@ -357,7 +370,11 @@ class MicroNN:
                 estimated_selectivity=decision.estimated_selectivity,
                 ivf_selectivity=decision.ivf_selectivity,
             )
-            result = SearchResult(neighbors=result.neighbors, stats=stats)
+            result = SearchResult(
+                neighbors=result.neighbors,
+                stats=stats,
+                trace=result.trace,
+            )
         return result
 
     def plan_for(
@@ -762,6 +779,27 @@ class MicroNN:
     def io(self) -> IOSnapshot:
         """Cumulative I/O counters (bytes read, rows written, cache)."""
         return self._engine.accountant.snapshot()
+
+    def metrics(self) -> MetricsSnapshot:
+        """Immutable snapshot of the telemetry registry.
+
+        Export it with :meth:`MetricsSnapshot.to_prometheus` (text
+        exposition an agent can scrape) or
+        :meth:`MetricsSnapshot.to_json`. Empty (but valid) when
+        ``telemetry_enabled=False``.
+        """
+        return self._engine.metrics.snapshot()
+
+    def events(
+        self, limit: int | None = None, kind: str | None = None
+    ) -> tuple[Event, ...]:
+        """The newest structured events, oldest-first.
+
+        ``kind`` filters to one event kind (see
+        :data:`repro.obs.EVENT_KINDS`); ``limit`` caps how many of the
+        newest matching events are returned.
+        """
+        return self._engine.events.tail(limit=limit, kind=kind)
 
 
 def _as_record(record: VectorRecord | tuple) -> VectorRecord:

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.trace import QueryTrace
 
 
 class PlanKind(enum.Enum):
@@ -115,6 +118,10 @@ class SearchResult:
 
     neighbors: tuple[Neighbor, ...]
     stats: QueryStats
+    #: Per-query span forest (``repro.obs.trace.QueryTrace``), present
+    #: only when the query ran with ``trace=True``; render it with
+    #: ``result.trace.to_chrome_trace()`` and load in Perfetto.
+    trace: "QueryTrace | None" = None
 
     def __len__(self) -> int:
         return len(self.neighbors)
@@ -175,6 +182,16 @@ class IndexStats:
     #: Physical layout serving this index ("sqlite-row" /
     #: "sqlite-packed" / "memory").
     storage_backend: str = "sqlite-row"
+    #: Whether the observability substrate (metrics registry + event
+    #: log) is recording for this database.
+    telemetry_enabled: bool = True
+    #: Partitions currently quarantined by checksum mismatches (served
+    #: as empty — degraded, never wrong — until ``repair()``).
+    quarantined_partitions: int = 0
+    #: Lifetime structured events emitted (survives ring eviction).
+    events_logged: int = 0
+    #: Lifetime queries over the ``slow_query_ms`` threshold.
+    slow_queries: int = 0
 
     @property
     def partition_growth(self) -> float:

@@ -118,6 +118,12 @@ class IndexMonitor:
             code_bytes_per_vector=code_bytes,
             compression_ratio=compression,
             storage_backend=self._engine.storage_backend,
+            telemetry_enabled=self._engine.metrics.enabled,
+            quarantined_partitions=len(
+                self._engine.quarantined_partitions
+            ),
+            events_logged=self._engine.events.total_emitted,
+            slow_queries=self._engine.events.count("slow_query"),
         )
 
     def recommend(self) -> MaintenanceAction:
@@ -227,6 +233,16 @@ class IncrementalMaintainer:
         engine.update_centroids(centroid_updates)
         if retrain_needed:
             IVFBuilder(engine, self._config).refresh_quantizer()
+            engine.metrics.counter(
+                "micronn_maintenance_actions_total",
+                "Maintenance actions taken, by kind.",
+                labels=("action",),
+            ).inc(action="retrain")
+            engine.events.emit(
+                "retrain",
+                quantization=self._config.quantization,
+                vectors_flushed=len(moves),
+            )
 
         stats_after = self._monitor.stats()
         return MaintenanceReport(

@@ -1,0 +1,50 @@
+"""Observability substrate: metrics, trace spans, structured events.
+
+Three cooperating pieces, all engine-owned and config-gated by
+``MicroNNConfig.telemetry_enabled``:
+
+- :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry`
+  (counters / gauges / fixed-bucket histograms, labelled) with
+  immutable snapshots, Prometheus text exposition, JSON export, and
+  shard merging;
+- :mod:`repro.obs.trace` — a per-query span :class:`Tracer` producing
+  Chrome-trace-event JSON (``SearchResult.trace``);
+- :mod:`repro.obs.events` — a bounded ring-buffer :class:`EventLog`
+  for rare, meaningful moments (quarantine, degraded serving,
+  retrains, crash-recovery sweeps, slow queries) with an optional
+  JSONL sink.
+"""
+
+from repro.obs.events import EVENT_KINDS, Event, EventLog
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS_S,
+    WAIT_MS_BUCKETS,
+    FamilySnapshot,
+    HistogramValue,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SampleSnapshot,
+    merge_snapshots,
+)
+from repro.obs.trace import QueryTrace, Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "FamilySnapshot",
+    "SampleSnapshot",
+    "HistogramValue",
+    "merge_snapshots",
+    "LATENCY_BUCKETS_S",
+    "BYTES_BUCKETS",
+    "WAIT_MS_BUCKETS",
+    "DEPTH_BUCKETS",
+    "Tracer",
+    "Span",
+    "QueryTrace",
+    "EventLog",
+    "Event",
+    "EVENT_KINDS",
+]

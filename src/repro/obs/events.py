@@ -1,0 +1,151 @@
+"""Bounded ring-buffer structured event log with optional JSONL sink.
+
+Operationally significant moments — a partition quarantined, a query
+served degraded, a shard dropped from a scatter, a quantizer retrain,
+a crash-recovery sweep, a query over the ``slow_query_ms`` threshold —
+are rare and individually meaningful, the opposite shape from metrics.
+They land in a fixed-capacity in-memory ring (oldest evicted first)
+inspectable via :meth:`EventLog.tail`, and, when the config names a
+``event_log_path``, are appended as one JSON object per line so an
+external collector can follow the file.
+
+Like the metrics registry, a disabled log's :meth:`EventLog.emit` is a
+single attribute check. Lifetime per-kind counts survive ring
+eviction, so ``count("slow_query")`` is exact even after overflow.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["Event", "EventLog", "EVENT_KINDS"]
+
+#: The event kinds the engine and shard layers emit today. ``emit``
+#: accepts any kind string; this tuple documents the built-in ones.
+EVENT_KINDS = (
+    "quarantine",
+    "degraded_query",
+    "degraded_shard",
+    "retrain",
+    "crash_recovery_sweep",
+    "slow_query",
+    "scrub",
+    "repair",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One structured event: a kind, a wall-clock stamp, and fields."""
+
+    kind: str
+    timestamp: float
+    fields: tuple[tuple[str, object], ...] = ()
+
+    def get(self, name: str, default: object = None) -> object:
+        for key, value in self.fields:
+            if key == name:
+                return value
+        return default
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "timestamp": self.timestamp,
+            **dict(self.fields),
+        }
+
+
+class EventLog:
+    """Thread-safe bounded event ring with an optional JSONL sink."""
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        jsonl_path: str | None = None,
+        enabled: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("event log capacity must be >= 1")
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._ring: deque[Event] = deque(maxlen=capacity)
+        self._counts: dict[str, int] = {}
+        self._total = 0
+        self._jsonl_path = jsonl_path
+        self._sink = None
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    @property
+    def total_emitted(self) -> int:
+        """Lifetime emit count, unaffected by ring eviction."""
+        with self._lock:
+            return self._total
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Record one event (no-op when telemetry is disabled)."""
+        if not self._enabled:
+            return
+        event = Event(
+            kind=kind,
+            timestamp=time.time(),
+            fields=tuple(sorted(fields.items())),
+        )
+        with self._lock:
+            self._ring.append(event)
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            self._total += 1
+            if self._jsonl_path is not None:
+                if self._sink is None:
+                    self._sink = open(
+                        self._jsonl_path, "a", encoding="utf-8"
+                    )
+                self._sink.write(
+                    json.dumps(event.to_dict(), default=str) + "\n"
+                )
+                self._sink.flush()
+
+    def tail(
+        self, limit: int | None = None, kind: str | None = None
+    ) -> tuple[Event, ...]:
+        """Newest-last view of the ring, optionally filtered by kind."""
+        with self._lock:
+            events = list(self._ring)
+        if kind is not None:
+            events = [event for event in events if event.kind == kind]
+        if limit is not None:
+            events = events[-limit:]
+        return tuple(events)
+
+    def count(self, kind: str | None = None) -> int:
+        """Lifetime count of one kind (or of everything)."""
+        with self._lock:
+            if kind is None:
+                return self._total
+            return self._counts.get(kind, 0)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def close(self) -> None:
+        """Close the JSONL sink (idempotent); the ring stays readable."""
+        with self._lock:
+            sink, self._sink = self._sink, None
+        if sink is not None:
+            sink.close()

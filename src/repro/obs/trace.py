@@ -1,0 +1,218 @@
+"""Per-query span tracer emitting Chrome-trace-event JSON.
+
+A :class:`Tracer` is created per traced query (``search(trace=True)``)
+and threaded through the executor, which wraps each phase —
+partition selection, the scan itself, finalization — in a
+:meth:`Tracer.span` context manager. Spans nest via a thread-local
+stack (a span opened while another is active on the same thread
+becomes its child; a span opened on a fresh thread becomes a new
+root), and all clocks are ``time.perf_counter`` so durations are
+monotonic and immune to wall-clock steps.
+
+The finished :class:`QueryTrace` rides on ``SearchResult.trace`` and
+renders to the Chrome trace-event format (``"X"`` complete events,
+microsecond timestamps) via :meth:`QueryTrace.to_chrome_trace` — load
+the JSON file in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` to see the query timeline.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Tracer", "Span", "QueryTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One closed span: a named interval with nested children.
+
+    ``start_s`` is relative to the tracer's epoch (its construction
+    time), so a trace always starts near ``t=0``.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    thread_id: int
+    args: tuple[tuple[str, object], ...] = ()
+    children: tuple["Span", ...] = ()
+
+    def child_duration_s(self) -> float:
+        return sum(child.duration_s for child in self.children)
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass(frozen=True, slots=True)
+class QueryTrace:
+    """The finished span forest of one query."""
+
+    spans: tuple[Span, ...] = ()
+
+    def total_s(self) -> float:
+        """Summed duration of the root spans."""
+        return sum(span.duration_s for span in self.spans)
+
+    def find(self, name: str) -> Span | None:
+        """First span (depth-first) with the given name."""
+        for root in self.spans:
+            for span in root.walk():
+                if span.name == name:
+                    return span
+        return None
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome trace-event JSON object (Perfetto-loadable)."""
+        events = []
+        for root in self.spans:
+            for span in root.walk():
+                events.append(
+                    {
+                        "name": span.name,
+                        "cat": "micronn",
+                        "ph": "X",
+                        "ts": round(span.start_s * 1e6, 3),
+                        "dur": round(span.duration_s * 1e6, 3),
+                        "pid": 1,
+                        "tid": span.thread_id,
+                        "args": dict(span.args),
+                    }
+                )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_chrome_trace(), indent=indent)
+
+
+@dataclass
+class _OpenSpan:
+    name: str
+    start_s: float
+    args: dict
+    children: list = field(default_factory=list)
+
+
+class _ActiveSpan:
+    """Context manager for one in-flight span."""
+
+    __slots__ = ("_tracer", "_node")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict) -> None:
+        self._tracer = tracer
+        self._node = _OpenSpan(name=name, start_s=0.0, args=args)
+
+    def set(self, **args: object) -> None:
+        """Attach (or overwrite) span arguments while it is open."""
+        self._node.args.update(args)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._push(self._node)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._node.args.setdefault("error", repr(exc))
+        self._tracer._pop(self._node)
+
+
+class Tracer:
+    """Collects one query's spans; cheap enough to create per query.
+
+    Thread-safe: each thread keeps its own span stack, so spans opened
+    by pipeline workers become independent roots attributed to their
+    thread id rather than corrupting the caller's nesting.
+    """
+
+    def __init__(self) -> None:
+        self._clock = time.perf_counter
+        self._epoch = self._clock()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+
+    def span(self, name: str, **args: object) -> _ActiveSpan:
+        """Open a span; use as a context manager."""
+        return _ActiveSpan(self, name, dict(args))
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, node: _OpenSpan) -> None:
+        node.start_s = self._clock() - self._epoch
+        self._stack().append(node)
+
+    def _pop(self, node: _OpenSpan) -> None:
+        end_s = self._clock() - self._epoch
+        stack = self._stack()
+        # Tolerate out-of-order exits (generator abandonment): close
+        # everything above the span being exited as its children.
+        while stack and stack[-1] is not node:
+            self._pop(stack[-1])
+        if stack:
+            stack.pop()
+        closed = Span(
+            name=node.name,
+            start_s=node.start_s,
+            duration_s=max(0.0, end_s - node.start_s),
+            thread_id=threading.get_ident(),
+            args=tuple(sorted(node.args.items())),
+            children=tuple(node.children),
+        )
+        if stack:
+            stack[-1].children.append(closed)
+        else:
+            with self._lock:
+                self._roots.append(closed)
+
+    def add_span(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        **args: object,
+    ) -> None:
+        """Attach a pre-measured span under the current thread's top.
+
+        For phases whose timing is measured elsewhere (e.g. the
+        pipeline's summed I/O and compute thread-time) — ``start_s``
+        is relative to the tracer epoch, like :attr:`Span.start_s`.
+        """
+        closed = Span(
+            name=name,
+            start_s=start_s,
+            duration_s=max(0.0, duration_s),
+            thread_id=threading.get_ident(),
+            args=tuple(sorted(args.items())),
+        )
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(closed)
+        else:
+            with self._lock:
+                self._roots.append(closed)
+
+    def now_s(self) -> float:
+        """Current time relative to the tracer epoch."""
+        return self._clock() - self._epoch
+
+    def finish(self) -> QueryTrace:
+        """Close out the trace (open spans on the calling thread are
+        closed first) and return the immutable span forest."""
+        stack = getattr(self._local, "stack", None)
+        while stack:
+            self._pop(stack[-1])
+        with self._lock:
+            roots = tuple(self._roots)
+        return QueryTrace(spans=roots)

@@ -40,6 +40,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,6 +48,12 @@ import numpy as np
 from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
 from repro.core.errors import DatabaseClosedError, FilterError
 from repro.core.types import Neighbor, PlanKind, QueryStats, SearchResult
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS_S,
+)
+from repro.obs.trace import Tracer
 from repro.query.distance import (
     distances_to_one,
     make_code_scorer,
@@ -94,6 +101,13 @@ def adaptive_skip(
     if kth == float("inf"):
         return False
     return centroid_dist > kth + margin * abs(kth)
+
+
+def _span(tracer: Tracer | None, name: str, **args: object):
+    """A tracer span, or a no-op context when the query is untraced."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, **args)
 
 
 class SharedKthTracker:
@@ -144,6 +158,8 @@ class _ScanOutcome:
     compute_time_s: float = 0.0
     #: Whether the I/O–compute pipeline executed this scan.
     pipelined: bool = False
+    #: Pipeline prefetch-queue high-water mark (0 when serial).
+    max_depth: int = 0
 
 
 class _ScanState:
@@ -218,6 +234,42 @@ class QueryExecutor:
         self._centroid_index: (
             tuple[np.ndarray, object, dict[int, int]] | None
         ) = None
+        # Query-level telemetry: every finished query (serial, served,
+        # or sharded-per-shard) funnels its QueryStats through
+        # record_query_stats, so these counters reconcile exactly with
+        # summed per-query stats. Registration is idempotent — the
+        # scheduler and batch executor share the same families.
+        metrics = engine.metrics
+        self._m_queries = metrics.counter(
+            "micronn_queries_total",
+            "Finished queries by plan and scan mode.",
+            labels=("plan", "scan_mode"),
+        )
+        self._m_latency = metrics.histogram(
+            "micronn_query_latency_seconds",
+            "End-to-end query latency.",
+            buckets=LATENCY_BUCKETS_S,
+            labels=("plan", "scan_mode"),
+        )
+        self._m_query_bytes = metrics.histogram(
+            "micronn_query_bytes_read",
+            "Stored bytes read per query.",
+            buckets=BYTES_BUCKETS,
+            labels=("scan_mode",),
+        )
+        self._m_vectors = metrics.counter(
+            "micronn_query_vectors_scanned_total",
+            "Vectors scanned across all queries.",
+        )
+        self._m_partitions = metrics.counter(
+            "micronn_query_partitions_scanned_total",
+            "Partitions scanned across all queries.",
+        )
+        self._m_pipeline_depth = metrics.histogram(
+            "micronn_pipeline_prefetch_depth",
+            "Prefetch-queue high-water mark of pipelined scans.",
+            buckets=DEPTH_BUCKETS,
+        )
 
     def _worker_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
@@ -294,6 +346,45 @@ class QueryExecutor:
         """Merge heaps into surfaced neighbors (serving layer)."""
         return self._finalize(heaps, k)
 
+    def record_query_stats(self, stats: QueryStats) -> None:
+        """Fold one finished query into the metrics/event substrate.
+
+        The single funnel for query-level telemetry: the serial plans
+        call it themselves and the serving scheduler calls it for each
+        query it assembles, so counter totals reconcile exactly with
+        the per-query ``QueryStats`` the callers saw (the invariant the
+        metrics hammer test asserts). Slow and degraded queries also
+        emit structured events.
+        """
+        labels = {"plan": stats.plan.value, "scan_mode": stats.scan_mode}
+        self._m_queries.inc(**labels)
+        self._m_latency.observe(stats.latency_s, **labels)
+        self._m_query_bytes.observe(
+            stats.bytes_read, scan_mode=stats.scan_mode
+        )
+        self._m_vectors.inc(stats.vectors_scanned)
+        self._m_partitions.inc(stats.partitions_scanned)
+        events = self._engine.events
+        if not events.enabled:
+            return
+        latency_ms = stats.latency_s * 1e3
+        if latency_ms >= self._config.slow_query_ms:
+            events.emit(
+                "slow_query",
+                plan=stats.plan.value,
+                scan_mode=stats.scan_mode,
+                latency_ms=round(latency_ms, 3),
+                nprobe=stats.nprobe,
+                bytes_read=stats.bytes_read,
+                queue_wait_ms=round(stats.queue_wait_ms, 3),
+            )
+        if stats.degraded:
+            events.emit(
+                "degraded_query",
+                plan=stats.plan.value,
+                partitions_quarantined=stats.partitions_quarantined,
+            )
+
     # ------------------------------------------------------------------
     # Plan entry points
     # ------------------------------------------------------------------
@@ -305,6 +396,7 @@ class QueryExecutor:
         nprobe: int,
         qualifying_ids: frozenset[str] | None = None,
         plan: PlanKind = PlanKind.ANN,
+        tracer: Tracer | None = None,
     ) -> SearchResult:
         """Algorithm 2: probe ``nprobe`` partitions plus the delta."""
         _check_k(k)
@@ -312,19 +404,39 @@ class QueryExecutor:
         io_before = self._engine.accountant.snapshot()
         query = self._as_query(query)
 
-        with self._engine.scan_session():
-            partitions = self.select_partitions(query, nprobe)
-            quantizer = self._scan_quantizer()
-            if quantizer is not None:
-                heaps, outcome = self._scan_partitions_quantized(
-                    partitions, query, k, qualifying_ids, quantizer
-                )
-            else:
-                heaps, outcome = self._scan_partitions(
-                    partitions, query, k, qualifying_ids
-                )
-        neighbors = self._finalize(heaps, k)
+        with _span(
+            tracer, "search_ann", plan=plan.value, k=k, nprobe=nprobe
+        ):
+            with self._engine.scan_session():
+                with _span(tracer, "select_partitions") as select_span:
+                    partitions = self.select_partitions(query, nprobe)
+                    quantizer = self._scan_quantizer()
+                    if select_span is not None:
+                        select_span.set(probe_set=len(partitions))
+                with _span(tracer, "scan_partitions") as scan_span:
+                    if quantizer is not None:
+                        heaps, outcome = self._scan_partitions_quantized(
+                            partitions, query, k, qualifying_ids, quantizer
+                        )
+                    else:
+                        heaps, outcome = self._scan_partitions(
+                            partitions, query, k, qualifying_ids
+                        )
+                    if scan_span is not None:
+                        scan_span.set(
+                            scan_mode=outcome.scan_mode,
+                            pipelined=outcome.pipelined,
+                            vectors_scanned=outcome.vectors_scanned,
+                            io_time_ms=round(outcome.io_time_s * 1e3, 3),
+                            compute_time_ms=round(
+                                outcome.compute_time_s * 1e3, 3
+                            ),
+                        )
+            with _span(tracer, "finalize"):
+                neighbors = self._finalize(heaps, k)
 
+        if outcome.pipelined:
+            self._m_pipeline_depth.observe(outcome.max_depth)
         io_delta = self._engine.accountant.delta_since(io_before)
         stats = QueryStats(
             plan=plan,
@@ -347,32 +459,42 @@ class QueryExecutor:
             partitions_quarantined=io_delta.partitions_quarantined,
             degraded=io_delta.partitions_quarantined > 0,
         )
-        return SearchResult(neighbors=neighbors, stats=stats)
+        self.record_query_stats(stats)
+        return SearchResult(
+            neighbors=neighbors,
+            stats=stats,
+            trace=tracer.finish() if tracer is not None else None,
+        )
 
     def search_exact(
         self,
         query: np.ndarray,
         k: int,
         predicate: Predicate | None = None,
+        tracer: Tracer | None = None,
     ) -> SearchResult:
         """Exact KNN: exhaustive scan (optionally under a predicate)."""
         _check_k(k)
         if predicate is not None:
-            return self.search_prefilter(query, k, predicate)
+            return self.search_prefilter(query, k, predicate, tracer=tracer)
         start = time.perf_counter()
         io_before = self._engine.accountant.snapshot()
         query = self._as_query(query)
 
         heap = TopKHeap(k)
         scanned = 0
-        with self._engine.scan_session():
-            for ids, matrix in self._engine.iter_vector_batches(
-                batch_size=4096
-            ):
-                scanned += len(ids)
-                dist = distances_to_one(query, matrix, self._config.metric)
-                push_topk(heap, ids, dist, k)
-        neighbors = self._finalize([heap], k)
+        with _span(tracer, "search_exact", k=k):
+            with self._engine.scan_session(), _span(tracer, "full_scan"):
+                for ids, matrix in self._engine.iter_vector_batches(
+                    batch_size=4096
+                ):
+                    scanned += len(ids)
+                    dist = distances_to_one(
+                        query, matrix, self._config.metric
+                    )
+                    push_topk(heap, ids, dist, k)
+            with _span(tracer, "finalize"):
+                neighbors = self._finalize([heap], k)
 
         io_delta = self._engine.accountant.delta_since(io_before)
         stats = QueryStats(
@@ -384,10 +506,19 @@ class QueryExecutor:
             partitions_quarantined=io_delta.partitions_quarantined,
             degraded=io_delta.partitions_quarantined > 0,
         )
-        return SearchResult(neighbors=neighbors, stats=stats)
+        self.record_query_stats(stats)
+        return SearchResult(
+            neighbors=neighbors,
+            stats=stats,
+            trace=tracer.finish() if tracer is not None else None,
+        )
 
     def search_prefilter(
-        self, query: np.ndarray, k: int, predicate: Predicate
+        self,
+        query: np.ndarray,
+        k: int,
+        predicate: Predicate,
+        tracer: Tracer | None = None,
     ) -> SearchResult:
         """Pre-filtering plan: filter first, brute force the survivors."""
         _check_k(k)
@@ -395,17 +526,27 @@ class QueryExecutor:
         io_before = self._engine.accountant.snapshot()
         query = self._as_query(query)
 
-        with self._engine.scan_session():
-            qualifying = self._qualifying_ids(predicate)
-            found_ids, matrix = self._engine.fetch_vectors_by_asset_ids(
-                sorted(qualifying)
-            )
-        if len(found_ids):
-            dist = distances_to_one(query, matrix, self._config.metric)
-            candidates = topk_from_distances(found_ids, dist, k)
-        else:
-            candidates = []
-        neighbors = surfaced_neighbors(candidates, self._config.metric)
+        with _span(tracer, "search_prefilter", k=k):
+            with self._engine.scan_session():
+                with _span(tracer, "evaluate_filter"):
+                    qualifying = self._qualifying_ids(predicate)
+                with _span(tracer, "fetch_survivors"):
+                    found_ids, matrix = (
+                        self._engine.fetch_vectors_by_asset_ids(
+                            sorted(qualifying)
+                        )
+                    )
+            with _span(tracer, "finalize"):
+                if len(found_ids):
+                    dist = distances_to_one(
+                        query, matrix, self._config.metric
+                    )
+                    candidates = topk_from_distances(found_ids, dist, k)
+                else:
+                    candidates = []
+                neighbors = surfaced_neighbors(
+                    candidates, self._config.metric
+                )
 
         io_delta = self._engine.accountant.delta_since(io_before)
         stats = QueryStats(
@@ -418,7 +559,12 @@ class QueryExecutor:
             partitions_quarantined=io_delta.partitions_quarantined,
             degraded=io_delta.partitions_quarantined > 0,
         )
-        return SearchResult(neighbors=neighbors, stats=stats)
+        self.record_query_stats(stats)
+        return SearchResult(
+            neighbors=neighbors,
+            stats=stats,
+            trace=tracer.finish() if tracer is not None else None,
+        )
 
     def search_postfilter(
         self,
@@ -426,15 +572,18 @@ class QueryExecutor:
         k: int,
         nprobe: int,
         predicate: Predicate,
+        tracer: Tracer | None = None,
     ) -> SearchResult:
         """Post-filtering plan: ANN scan masked by the predicate."""
-        qualifying = frozenset(self._qualifying_ids(predicate))
+        with _span(tracer, "evaluate_filter"):
+            qualifying = frozenset(self._qualifying_ids(predicate))
         return self.search_ann(
             query,
             k,
             nprobe,
             qualifying_ids=qualifying,
             plan=PlanKind.POST_FILTER,
+            tracer=tracer,
         )
 
     # ------------------------------------------------------------------
@@ -786,6 +935,7 @@ class QueryExecutor:
             compute_time_s=outcome.compute_s,
             pipelined=True,
             partitions_skipped=outcome.skipped,
+            max_depth=outcome.max_depth,
         )
 
     def _scan_work(
@@ -1083,6 +1233,7 @@ class QueryExecutor:
             compute_time_s=outcome.compute_s,
             pipelined=True,
             partitions_skipped=outcome.skipped,
+            max_depth=outcome.max_depth,
         )
 
     def _scan_codes_work(

@@ -129,6 +129,11 @@ class PipelineOutcome:
     #: Work items the ``admit`` callback rejected — never loaded, never
     #: scored (adaptive-nprobe early termination).
     skipped: int = 0
+    #: High-water mark of the bounded queue: the most loaded-but-not-
+    #: yet-scored payloads observed in flight at once. At most
+    #: ``depth``; persistently hitting it means compute is the
+    #: bottleneck, persistently ~1 means I/O is.
+    max_depth: int = 0
 
 
 def run_scan_pipeline(
@@ -179,6 +184,7 @@ def run_scan_pipeline(
     producers_left = io_threads
     io_seconds = [0.0]
     skipped = [0]
+    depth_hwm = [0]
     errors: list[BaseException] = []
 
     def next_item():
@@ -194,9 +200,14 @@ def run_scan_pipeline(
         while not abort.is_set():
             try:
                 queue.put(payload, timeout=_POLL_S)
-                return True
             except Full:
                 continue
+            if payload is not _SENTINEL:
+                occupancy = queue.qsize()  # approximate is fine
+                with lock:
+                    if occupancy > depth_hwm[0]:
+                        depth_hwm[0] = occupancy
+            return True
         return False
 
     def produce() -> None:
@@ -287,4 +298,5 @@ def run_scan_pipeline(
         io_s=io_seconds[0],
         compute_s=sum(spent for _, spent in results),
         skipped=skipped[0],
+        max_depth=depth_hwm[0],
     )

@@ -54,6 +54,7 @@ import numpy as np
 from repro.core.config import DELTA_PARTITION_ID, MicroNNConfig
 from repro.core.errors import DatabaseClosedError
 from repro.core.types import PlanKind, QueryStats, SearchResult
+from repro.obs.metrics import WAIT_MS_BUCKETS
 from repro.query.distance import distances_to_one, make_code_scorer
 from repro.query.executor import QueryExecutor, _masked, adaptive_skip
 from repro.query.heap import TopKHeap, merge_topk, topk_from_distances
@@ -261,6 +262,25 @@ class QueryScheduler:
         self._submitted = 0
         self._completed = 0
         self._failed = 0
+        metrics = engine.metrics
+        self._m_submitted = metrics.counter(
+            "micronn_serve_submitted_total",
+            "Queries submitted to the serving scheduler.",
+        )
+        self._m_resolved = metrics.counter(
+            "micronn_serve_resolved_total",
+            "Scheduled queries resolved, by outcome.",
+            labels=("outcome",),
+        )
+        self._m_queue_wait = metrics.histogram(
+            "micronn_serve_queue_wait_ms",
+            "Milliseconds queries waited for admission.",
+            buckets=WAIT_MS_BUCKETS,
+        )
+        self._m_coalesced = metrics.counter(
+            "micronn_serve_coalesced_loads_total",
+            "Physical partition loads shared by 2+ concurrent queries.",
+        )
         io_threads = config.resolved_serve_io_threads
         # Load-ahead bound: the scheduler's generalization of the
         # single-query pipeline's `depth`. At most this many decoded
@@ -351,6 +371,7 @@ class QueryScheduler:
                 raise DatabaseClosedError("scheduler is closed")
             self._submitted += 1
             self._waiting.append(task)
+        self._m_submitted.inc()
         self._pump()
 
     def _pump(self) -> None:
@@ -377,6 +398,9 @@ class QueryScheduler:
                     self._cv.notify_all()
                 continue
             task.admit_t = time.perf_counter()
+            self._m_queue_wait.observe(
+                (task.admit_t - task.submit_t) * 1e3
+            )
             # Launch on the compute pool: plan setup, predicate
             # evaluation and centroid selection are real storage work
             # that must not run on the submitting thread (which may be
@@ -587,6 +611,8 @@ class QueryScheduler:
                 if not task.finished:
                     live.append((task, cdist))
         sharers = max(len(live), 1)
+        if sharers > 1:
+            self._m_coalesced.inc()
         # A quarantined partition loads as empty: every waiter's query
         # degraded (it consulted a partition that could not be served).
         quarantined = (
@@ -709,6 +735,10 @@ class QueryScheduler:
         )
         if task.stats_extra:
             stats = dataclasses.replace(stats, **task.stats_extra)
+        # The scheduler's scan path bypasses the executor's entry
+        # points, so it funnels through the same per-query recording —
+        # serial and served queries land in one metric family.
+        executor.record_query_stats(stats)
         return SearchResult(neighbors=neighbors, stats=stats)
 
     def _execute_call(self, task, fn, extra: dict | None) -> None:
@@ -769,6 +799,7 @@ class QueryScheduler:
             else:
                 self._completed += 1
             self._cv.notify_all()
+        self._m_resolved.inc(outcome="failed" if failed else "completed")
         self._pump()
 
     @property

@@ -264,6 +264,14 @@ def aggregate_index_stats(
         ),
         # The manifest pins one backend for every shard.
         storage_backend=per_shard[0].storage_backend,
+        # The manifest's config applies fleet-wide, so telemetry is
+        # only "on" for the collection when every shard records.
+        telemetry_enabled=all(s.telemetry_enabled for s in per_shard),
+        quarantined_partitions=sum(
+            s.quarantined_partitions for s in per_shard
+        ),
+        events_logged=sum(s.events_logged for s in per_shard),
+        slow_queries=sum(s.slow_queries for s in per_shard),
     )
 
 

@@ -72,6 +72,7 @@ from repro.core.types import (
     PlanKind,
     SearchResult,
 )
+from repro.obs import MetricsSnapshot, merge_snapshots
 from repro.query.filters import Predicate
 from repro.shard.manifest import ShardManifest
 from repro.shard.merge import (
@@ -248,8 +249,11 @@ class ShardedMicroNN:
             # Crash hygiene: an interrupted rebalance may have left
             # unlisted shard files; the manifest validated, so they
             # are provably not part of this database.
-            _sweep_stale_shard_files(self._path, manifest.shard_files)
+            swept = _sweep_stale_shard_files(
+                self._path, manifest.shard_files
+            )
         else:
+            swept = []
             shard_config = dataclasses.replace(
                 requested or ShardConfig(), router=router_kind
             )
@@ -288,6 +292,14 @@ class ShardedMicroNN:
         self._shards: tuple[MicroNN, ...] = _open_fleet(
             self._path, manifest.shard_files, per_shard
         )
+        if swept:
+            # The sweep ran before any shard existed; shard 0's log is
+            # the fleet's designated carrier for facade-level events.
+            self._shards[0].engine.events.emit(
+                "crash_recovery_sweep",
+                files_removed=len(swept),
+                files=",".join(swept),
+            )
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         # Guards facade-level writes and maintenance against
@@ -828,12 +840,24 @@ class ShardedMicroNN:
                 "degraded scatter-gather: excluded shards %s",
                 ", ".join(degraded),
             )
+            self._emit_degraded(degraded)
         return merge_search_results(
             results,
             k,
             time.perf_counter() - start,
             degraded_shards=degraded,
         )
+
+    def _emit_degraded(self, degraded: list[str]) -> None:
+        """Record a degraded scatter on the first *surviving* shard's
+        event log (a dead shard's log may be unreachable)."""
+        excluded = set(degraded)
+        for shard, name in zip(self._shards, self._manifest.shard_files):
+            if name not in excluded:
+                shard.engine.events.emit(
+                    "degraded_shard", shards=",".join(degraded)
+                )
+                return
 
     def search_batch(
         self,
@@ -969,6 +993,7 @@ class ShardedMicroNN:
                             "shards %s",
                             ", ".join(degraded),
                         )
+                        self._emit_degraded(degraded)
                     merged = merge_search_results(
                         results,
                         k,
@@ -1257,6 +1282,85 @@ class ShardedMicroNN:
             peak_bytes=sum(s.peak_bytes for s in snapshots),
             by_category=by_category,
         )
+
+    def metrics(self) -> MetricsSnapshot:
+        """The fleet's merged telemetry snapshot.
+
+        Every sample carries a prepended ``shard="<index>"`` label, so
+        per-shard attribution survives the merge (sum over the label
+        for fleet totals; the exposition stays valid Prometheus text).
+        """
+        self._check_open()
+        with self._write_gate.shared():
+            snapshots = [shard.metrics() for shard in self._shards]
+        return merge_snapshots(
+            snapshots,
+            extra_labels=[
+                {"shard": str(i)} for i in range(len(snapshots))
+            ],
+        )
+
+    def explain(
+        self,
+        filters: Predicate | None = None,
+        nprobe: int | None = None,
+        k: int = 10,
+    ) -> str:
+        """Human-readable account of how a scatter would execute.
+
+        The sharded EXPLAIN analog: the fan-out shape, then one line
+        per shard — its scan mode, row count, cumulative bytes read
+        and quarantine state — plus, when ``filters`` is given, each
+        shard's own optimizer decision (shards estimate selectivity
+        from their own statistics, so plans can legitimately differ).
+        Nothing is executed.
+        """
+        self._check_open()
+        with self._write_gate.shared():
+            num = len(self._shards)
+            lines = [
+                (
+                    f"sharded scatter-gather plan (k={k}, "
+                    f"shards={num}, router={self._router.kind})"
+                ),
+                (
+                    "  scatter:  every query fans out to all "
+                    f"{num} shard(s); nprobe applies per shard"
+                ),
+                (
+                    "  gather:   per-shard top-k merged by "
+                    "(distance, asset_id); serving via "
+                    + (
+                        "shard schedulers"
+                        if self._use_schedulers(1)
+                        else "serial per-shard loop"
+                    )
+                ),
+            ]
+            for shard, name in zip(
+                self._shards, self._manifest.shard_files
+            ):
+                io = shard.io()
+                line = (
+                    f"  {name}: scan={shard.scan_mode()}, "
+                    f"vectors={len(shard)}, "
+                    f"bytes_read={io.bytes_read}"
+                )
+                quarantined = len(shard.quarantined_partitions)
+                if quarantined:
+                    line += (
+                        f", DEGRADED ({quarantined} partition(s) "
+                        "quarantined)"
+                    )
+                lines.append(line)
+                if filters is not None:
+                    decision = shard.plan_for(filters, nprobe)
+                    lines.append(
+                        f"    plan: {decision.kind.value} "
+                        "(estimated selectivity "
+                        f"{decision.estimated_selectivity:.6f})"
+                    )
+        return "\n".join(lines)
 
     def io(self) -> IOSnapshot:
         """Summed cumulative I/O counters across shards."""

@@ -82,6 +82,7 @@ from repro.storage.codec import (
     encode_code_matrix,
     encode_vector,
 )
+from repro.obs import EventLog, MetricsRegistry
 from repro.storage.iomodel import IOAccountant
 from repro.storage.memory import MemoryTracker
 from repro.storage.quantization import Quantizer, quantizer_from_json
@@ -258,6 +259,67 @@ class StorageEngine:
         self._quarantine_lock = threading.Lock()
         self._quarantined: set[int] = set()
         self._quantizer_corrupt = False
+        # Observability substrate (repro.obs): the engine owns the
+        # metrics registry and event log so every layer above — the
+        # executors, the scheduler, maintenance, the shard facade —
+        # records into one place per database. Disabled instruments
+        # collapse to a single attribute check (no lock), keeping the
+        # hot paths unconditionally instrumented.
+        self.metrics = MetricsRegistry(enabled=config.telemetry_enabled)
+        self.events = EventLog(
+            capacity=config.event_log_capacity,
+            jsonl_path=config.event_log_path,
+            enabled=config.telemetry_enabled,
+        )
+        self._m_loads = self.metrics.counter(
+            "micronn_partition_loads_total",
+            "Partition loads by payload kind and cache temperature.",
+            labels=("backend", "kind", "temperature"),
+        )
+        self._m_load_bytes = self.metrics.counter(
+            "micronn_partition_bytes_read_total",
+            "Stored bytes read for cold partition loads.",
+            labels=("backend", "kind"),
+        )
+        self._m_quarantined = self.metrics.counter(
+            "micronn_partitions_quarantined_total",
+            "Partitions quarantined by integrity-check failures.",
+        )
+        self._m_maintenance = self.metrics.counter(
+            "micronn_maintenance_actions_total",
+            "Maintenance/scrub actions performed.",
+            labels=("action",),
+        )
+        gauge = self.metrics.gauge(
+            "micronn_cache_bytes",
+            "Partition/scratch memory pools: used vs budget.",
+            labels=("pool", "stat"),
+        )
+        gauge.set_fn(lambda: self.cache.used_bytes, pool="float", stat="used")
+        gauge.set_fn(
+            lambda: self.cache.budget_bytes, pool="float", stat="budget"
+        )
+        gauge.set_fn(
+            lambda: self.codes_cache.used_bytes, pool="codes", stat="used"
+        )
+        gauge.set_fn(
+            lambda: self.codes_cache.budget_bytes,
+            pool="codes",
+            stat="budget",
+        )
+        gauge.set_fn(
+            lambda: self.scratch.pinned_bytes, pool="scratch", stat="pinned"
+        )
+        gauge.set_fn(
+            lambda: self.scratch.pooled_bytes, pool="scratch", stat="pooled"
+        )
+        gauge.set_fn(
+            lambda: self.scratch.budget_bytes, pool="scratch", stat="budget"
+        )
+        self.metrics.gauge(
+            "micronn_partitions_quarantined",
+            "Partitions currently quarantined (cleared by repair).",
+        ).set_fn(lambda: float(len(self._quarantined)))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -310,6 +372,7 @@ class StorageEngine:
         self.delta_codes.invalidate()
         self.scratch.drain()
         self._drop_centroid_cache()
+        self.events.close()
         if self._tempdir is not None:
             shutil.rmtree(self._tempdir, ignore_errors=True)
 
@@ -914,6 +977,10 @@ class StorageEngine:
             logger.warning(
                 "quarantined partition %d: %s", partition_id, detail
             )
+            self._m_quarantined.inc()
+            self.events.emit(
+                "quarantine", partition_id=partition_id, detail=detail
+            )
         self.cache.invalidate(partition_id)
         self.codes_cache.invalidate(partition_id)
         self._accountant.record_quarantined()
@@ -1031,6 +1098,11 @@ class StorageEngine:
             cached = self.cache.get(partition_id)
             if cached is not None:
                 self._accountant.record_cache_hit()
+                self._m_loads.inc(
+                    backend=self._backend.kind,
+                    kind="vectors",
+                    temperature="hot",
+                )
                 return cached
             self._accountant.record_cache_miss()
         # Cold read: verify the payload against its stored CRC (stamped
@@ -1084,6 +1156,12 @@ class StorageEngine:
             self._os_cached_partitions.add(partition_id)
         self._accountant.record_read(
             payload.stored_bytes, charge_cost=charge
+        )
+        self._m_loads.inc(
+            backend=self._backend.kind, kind="vectors", temperature="cold"
+        )
+        self._m_load_bytes.inc(
+            payload.stored_bytes, backend=self._backend.kind, kind="vectors"
         )
         if use_cache and lease is None:
             self.cache.put(entry)
@@ -1268,6 +1346,11 @@ class StorageEngine:
             cached = self.codes_cache.get(partition_id)
             if cached is not None:
                 self._accountant.record_cache_hit()
+                self._m_loads.inc(
+                    backend=self._backend.kind,
+                    kind="codes",
+                    temperature="hot",
+                )
                 return cached
             self._accountant.record_cache_miss()
         try:
@@ -1319,6 +1402,12 @@ class StorageEngine:
             self._os_cached_code_partitions.add(partition_id)
         self._accountant.record_read(
             payload.stored_bytes, charge_cost=charge
+        )
+        self._m_loads.inc(
+            backend=self._backend.kind, kind="codes", temperature="cold"
+        )
+        self._m_load_bytes.inc(
+            payload.stored_bytes, backend=self._backend.kind, kind="codes"
         )
         if use_cache and lease is None:
             self.codes_cache.put(entry)
@@ -1752,6 +1841,14 @@ class StorageEngine:
                 self._quarantine(
                     pid, "scrub: code payload corrupt", CODE_DTYPE
                 )
+        self._m_maintenance.inc(action="scrub")
+        self.events.emit(
+            "scrub",
+            partitions_checked=len(pids),
+            corrupt_vectors=len(corrupt_vectors),
+            corrupt_codes=len(corrupt_codes),
+            quantizer_ok=quantizer_ok,
+        )
         return ScrubReport(
             partitions_checked=len(pids),
             corrupt_vectors=tuple(corrupt_vectors),
@@ -1833,6 +1930,13 @@ class StorageEngine:
         with self._quarantine_lock:
             self._quarantined.clear()
         self.purge_caches()
+        self._m_maintenance.inc(action="repair")
+        self.events.emit(
+            "repair",
+            dropped_partitions=len(dropped),
+            repaired_codes=repaired,
+            stamped=stamped,
+        )
         return replace(
             report,
             repaired_codes=repaired,

@@ -1,0 +1,164 @@
+"""Event log: ring overflow, lifetime counts, JSONL sink, emitters."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig
+from repro.obs.events import EventLog
+
+
+class TestEventLog:
+    def test_emit_and_tail(self):
+        log = EventLog(capacity=8)
+        log.emit("quarantine", partition_id=3)
+        log.emit("slow_query", latency_ms=400.0)
+        events = log.tail()
+        assert [e.kind for e in events] == ["quarantine", "slow_query"]
+        assert events[0].get("partition_id") == 3
+        assert events[0].get("absent", "dflt") == "dflt"
+
+    def test_ring_overflow_evicts_oldest_counts_survive(self):
+        log = EventLog(capacity=5)
+        for i in range(12):
+            log.emit("slow_query", seq=i)
+        assert len(log) == 5
+        assert [e.get("seq") for e in log.tail()] == [7, 8, 9, 10, 11]
+        # Lifetime counts are exact despite eviction.
+        assert log.count("slow_query") == 12
+        assert log.count() == 12
+        assert log.total_emitted == 12
+        assert log.counts_by_kind() == {"slow_query": 12}
+
+    def test_tail_filters_and_limits(self):
+        log = EventLog(capacity=16)
+        for i in range(4):
+            log.emit("a", i=i)
+            log.emit("b", i=i)
+        assert [e.get("i") for e in log.tail(kind="a")] == [0, 1, 2, 3]
+        assert [e.get("i") for e in log.tail(limit=2, kind="b")] == [2, 3]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_disabled_log_is_noop(self):
+        log = EventLog(capacity=4, enabled=False)
+        log.emit("quarantine")
+        assert len(log) == 0
+        assert log.count() == 0
+
+    def test_jsonl_sink_lines_parse(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(capacity=4, jsonl_path=path)
+        log.emit("quarantine", partition_id=1, detail="crc mismatch")
+        log.emit("slow_query", latency_ms=300.5)
+        log.close()
+        lines = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8")
+        ]
+        assert [entry["kind"] for entry in lines] == [
+            "quarantine",
+            "slow_query",
+        ]
+        assert lines[0]["partition_id"] == 1
+        assert lines[0]["timestamp"] > 0
+        # The sink keeps every event, including ones the ring evicts.
+        for i in range(10):
+            log2 = log  # reuse: close() is idempotent, emit reopens
+            log2.emit("a", i=i)
+        log.close()
+        total = sum(1 for _ in open(path, encoding="utf-8"))
+        assert total == 12
+
+    def test_event_to_dict(self):
+        log = EventLog(capacity=2)
+        log.emit("retrain", quantization="sq8")
+        payload = log.tail()[0].to_dict()
+        assert payload["kind"] == "retrain"
+        assert payload["quantization"] == "sq8"
+
+
+class TestEngineEvents:
+    def test_slow_query_event_emitted_over_threshold(self, rng):
+        config = MicroNNConfig(
+            dim=8,
+            target_cluster_size=10,
+            # Every query is "slow" against a microsecond threshold.
+            slow_query_ms=0.001,
+        )
+        with MicroNN.open(config=config) as db:
+            vecs = rng.normal(size=(60, 8)).astype(np.float32)
+            db.upsert_batch((f"s-{i}", vecs[i]) for i in range(60))
+            db.build_index()
+            db.search(vecs[0], k=3)
+            events = db.events(kind="slow_query")
+            assert len(events) == 1
+            assert events[0].get("latency_ms") > 0
+            assert db.index_stats().slow_queries == 1
+
+    def test_fast_queries_emit_nothing(self, rng):
+        config = MicroNNConfig(
+            dim=8, target_cluster_size=10, slow_query_ms=60_000.0
+        )
+        with MicroNN.open(config=config) as db:
+            vecs = rng.normal(size=(60, 8)).astype(np.float32)
+            db.upsert_batch((f"f-{i}", vecs[i]) for i in range(60))
+            db.build_index()
+            db.search(vecs[0], k=3)
+            assert db.events(kind="slow_query") == ()
+
+    def test_scrub_emits_event(self, rng):
+        with MicroNN.open(dim=8, target_cluster_size=10) as db:
+            vecs = rng.normal(size=(40, 8)).astype(np.float32)
+            db.upsert_batch((f"c-{i}", vecs[i]) for i in range(40))
+            db.build_index()
+            db.verify()
+            events = db.events(kind="scrub")
+            assert len(events) == 1
+            assert events[0].get("partitions_checked") > 0
+
+    def test_event_log_path_config_writes_jsonl(self, rng, tmp_path):
+        path = str(tmp_path / "micronn-events.jsonl")
+        config = MicroNNConfig(
+            dim=8,
+            target_cluster_size=10,
+            slow_query_ms=0.001,
+            event_log_path=path,
+        )
+        with MicroNN.open(config=config) as db:
+            vecs = rng.normal(size=(40, 8)).astype(np.float32)
+            db.upsert_batch((f"j-{i}", vecs[i]) for i in range(40))
+            db.build_index()
+            db.search(vecs[0], k=3)
+        entries = [
+            json.loads(line) for line in open(path, encoding="utf-8")
+        ]
+        assert any(e["kind"] == "slow_query" for e in entries)
+
+    def test_config_validation(self):
+        from repro import ConfigError
+
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=8, slow_query_ms=0.0)
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=8, event_log_capacity=0)
+
+    def test_disabled_telemetry_suppresses_events(self, rng):
+        config = MicroNNConfig(
+            dim=8,
+            target_cluster_size=10,
+            slow_query_ms=0.001,
+            telemetry_enabled=False,
+        )
+        with MicroNN.open(config=config) as db:
+            vecs = rng.normal(size=(40, 8)).astype(np.float32)
+            db.upsert_batch((f"n-{i}", vecs[i]) for i in range(40))
+            db.build_index()
+            db.search(vecs[0], k=3)
+            assert db.events() == ()
+            assert db.index_stats().events_logged == 0

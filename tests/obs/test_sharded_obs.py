@@ -1,0 +1,111 @@
+"""Shard-level observability: merged metrics, explain, fleet events."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ShardedMicroNN
+
+
+@pytest.fixture
+def sharded_db(rng):
+    with ShardedMicroNN.open(
+        dim=8, shards=2, target_cluster_size=10, default_nprobe=3
+    ) as db:
+        vectors = rng.normal(size=(160, 8)).astype(np.float32)
+        db.upsert_batch((f"s-{i:03d}", vectors[i]) for i in range(160))
+        db.build_index()
+        yield db, vectors
+
+
+class TestShardedMetrics:
+    def test_merged_snapshot_has_shard_labels(self, sharded_db):
+        db, vectors = sharded_db
+        db.search(vectors[0], k=3)
+        snap = db.metrics()
+        # One scatter = one query per shard.
+        assert snap.value("micronn_queries_total") == 2.0
+        assert snap.value(
+            "micronn_queries_total", {"shard": "0"}
+        ) == 1.0
+        assert snap.value(
+            "micronn_queries_total", {"shard": "1"}
+        ) == 1.0
+        text = snap.to_prometheus()
+        assert 'shard="0"' in text
+        assert 'shard="1"' in text
+
+    def test_merged_histograms_sum_counts(self, sharded_db):
+        db, vectors = sharded_db
+        for i in range(3):
+            db.search(vectors[i], k=3)
+        snap = db.metrics()
+        assert (
+            snap.histogram_count("micronn_query_latency_seconds")
+            == 3 * db.num_shards
+        )
+
+    def test_aggregated_index_stats(self, sharded_db):
+        db, _ = sharded_db
+        stats = db.index_stats()
+        assert stats.telemetry_enabled is True
+        assert stats.quarantined_partitions == 0
+
+
+class TestShardedExplain:
+    def test_explain_lists_every_shard(self, sharded_db):
+        db, _ = sharded_db
+        text = db.explain()
+        assert "sharded scatter-gather plan" in text
+        assert "router=hash" in text
+        for name in ("shard-0000-of-0002.db", "shard-0001-of-0002.db"):
+            assert name in text
+        assert "scan=float32" in text
+        assert "bytes_read=" in text
+        assert "DEGRADED" not in text
+
+    def test_explain_marks_quarantined_shards(self, sharded_db):
+        db, _ = sharded_db
+        engine = db.shards[0].engine
+        pid = next(iter(engine.partition_sizes(include_delta=False)))
+        engine._quarantine(pid, "test corruption")
+        assert "DEGRADED" in db.explain()
+
+    def test_explain_with_filters_shows_per_shard_plans(self, rng):
+        from repro import Eq
+
+        with ShardedMicroNN.open(
+            dim=8,
+            shards=2,
+            target_cluster_size=10,
+            attributes={"color": "TEXT"},
+        ) as db:
+            vectors = rng.normal(size=(120, 8)).astype(np.float32)
+            db.upsert_batch(
+                (
+                    f"f-{i:03d}",
+                    vectors[i],
+                    {"color": "red" if i % 2 else "blue"},
+                )
+                for i in range(120)
+            )
+            db.build_index()
+            db.refresh_statistics()
+            text = db.explain(filters=Eq("color", "red"))
+            assert text.count("plan: ") == 2
+            assert "estimated selectivity" in text
+
+
+class TestFleetEvents:
+    def test_quarantine_surfaces_in_events_and_stats(self, sharded_db):
+        db, _ = sharded_db
+        engine = db.shards[1].engine
+        pid = next(iter(engine.partition_sizes(include_delta=False)))
+        engine._quarantine(pid, "test corruption")
+        stats = db.index_stats()
+        assert stats.quarantined_partitions == 1
+        assert stats.events_logged >= 1
+        events = db.shards[1].events(kind="quarantine")
+        assert len(events) == 1
+        assert events[0].get("partition_id") == pid
