@@ -124,6 +124,7 @@ def main() -> None:
 
     quantization_tradeoff(ids, vectors, queries, truth, device)
     pipeline_tuning(ids, vectors, queries, device)
+    blobfile_tuning(ids, vectors, queries, device)
 
 
 def quantization_tradeoff(ids, vectors, queries, truth, device) -> None:
@@ -281,6 +282,94 @@ def pipeline_tuning(ids, vectors, queries, device) -> None:
         "io+compute exceeding the cold latency is the overlap: both "
         "stages run\nat the same time. Warm queries bypass the "
         "pipeline entirely."
+    )
+
+
+def blobfile_tuning(ids, vectors, queries, device) -> None:
+    """The mmap'd blob-file backend and its compaction knobs.
+
+    ``storage_backend="blobfile"`` keeps the packed layout's
+    per-partition records but moves them out of SQLite into an
+    append-only ``<db>.blob.<gen>`` side file served via mmap. Two
+    things change on a constrained device:
+
+    - **Scan memory.** Cold scans hand the distance kernels NumPy
+      views of the OS page cache instead of decoding each partition
+      into a scratch buffer: ``benchmarks/bench_backend.py`` (10k x
+      64-dim, cold float scans) measures the traced allocation peak
+      at 183 KiB vs packed's 369 KiB, bytes read per query 830 KB vs
+      828 KB (the +0.2% is fixed record headers), and cold p50 8.6 ms
+      vs 10.2 ms — the decode step is simply gone. The page cache
+      also means partition bytes are shared across processes and
+      evictable under memory pressure, which a heap-resident
+      partition cache is not.
+    - **Compaction, not write amplification in place.** A rewrite
+      appends a fresh record and flips that partition's locator row;
+      the superseded record stays behind as dead bytes. Watch
+      ``db.index_stats().storage_dead_ratio`` and tune:
+
+      - ``blob_compact_min_dead_ratio`` (default 0.3) — ``maintain()``
+        compacts the file once dead bytes cross this fraction.
+        Lower it on storage-tight devices (reclaim sooner, compact
+        more often); raise it when flash write endurance is the
+        scarcer resource.
+      - ``blob_compact_budget_bytes`` — skip compaction in a
+        maintenance window whose live payload exceeds the budget, so
+        a battery-sensitive device can defer the copy-forward to a
+        charger-connected window and call ``db.compact()`` itself.
+      - ``scrub_budget_bytes`` — amortize ``verify()`` over
+        maintenance windows (round-robin cursor, persisted), instead
+        of one full-file read storm.
+      - ``verify_point_reads`` — CRC-check the containing record on
+        every exact-rerank point fetch (a few extra KB of mmap'd
+        bytes per query; default off).
+    """
+    import os
+    import tempfile
+
+    print("\n-- blobfile: mmap'd records + background compaction --")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "device.db")
+        config = MicroNNConfig(
+            dim=DIM,
+            target_cluster_size=100,
+            device=device,
+            minibatch_fraction=0.02,
+            storage_backend="blobfile",
+            blob_compact_min_dead_ratio=0.3,
+        )
+        with MicroNN.open(path, config) as db:
+            db.upsert_batch(zip(ids, vectors))
+            db.build_index()
+            db.purge_caches()
+            before = db.io()
+            for q in queries:
+                db.purge_caches()
+                db.search(q, k=K, nprobe=8)
+            mb = (db.io().bytes_read - before.bytes_read) / len(queries) / 1e6
+            print(f"cold scan, mmap'd bytes/query : {mb:8.2f} MB")
+
+            # Rewrite every vector: each partition appends a fresh
+            # record, the old ones become dead bytes.
+            db.upsert_batch(zip(ids, vectors))
+            db.build_index()
+            stats = db.index_stats()
+            print(
+                f"after full rewrite, dead bytes: "
+                f"{stats.storage_dead_bytes / 1e6:8.2f} MB "
+                f"({stats.storage_dead_ratio:.0%} of the blob file)"
+            )
+            db.maintain()  # dead ratio > 0.3 → compacts
+            stats = db.index_stats()
+            print(
+                f"after maintain() compaction   : "
+                f"{stats.storage_dead_bytes / 1e6:8.2f} MB "
+                f"({stats.storage_dead_ratio:.0%})"
+            )
+    print(
+        "maintain() compacts once storage_dead_ratio crosses\n"
+        "blob_compact_min_dead_ratio; results are bit-identical to the\n"
+        "sqlite layouts before, during, and after."
     )
 
 

@@ -27,8 +27,15 @@ SUPPORTED_METRICS = ("l2", "cosine", "dot")
 #: Physical storage layouts (see ``repro.storage.backends``):
 #: ``"sqlite-row"`` is the paper's row-per-vector clustered table,
 #: ``"sqlite-packed"`` stores one contiguous blob per partition,
+#: ``"blobfile"`` keeps partition payloads in an mmap'd append-only
+#: blob file next to the SQLite metadata (zero-copy scans), and
 #: ``"memory"`` keeps the row layout in a shared in-memory database.
-SUPPORTED_STORAGE_BACKENDS = ("sqlite-row", "sqlite-packed", "memory")
+SUPPORTED_STORAGE_BACKENDS = (
+    "sqlite-row",
+    "sqlite-packed",
+    "blobfile",
+    "memory",
+)
 
 
 def _default_storage_backend() -> str:
@@ -322,6 +329,32 @@ class MicroNNConfig:
     #: persisted in the database (and shard manifest) and validated on
     #: reopen.
     storage_backend: str = field(default_factory=_default_storage_backend)
+    #: Verify rerank point-reads against the stored partition CRCs.
+    #: Off (the default), a point-fetch slices the requested rows
+    #: straight out of storage — the fastest path, but a flipped byte
+    #: in a fetched row would go unnoticed until the next scrub. On,
+    #: point-fetches resolve through the CRC-verified partition-load
+    #: path instead, so rerank reads inherit the same
+    #: degraded-never-wrong guarantee as cold scans, at the cost of
+    #: loading (and caching) each touched partition.
+    verify_point_reads: bool = False
+    #: Byte budget of the amortized background scrub that runs inside
+    #: every ``maintain()`` pass: partitions are CRC-verified
+    #: round-robin (cursor persisted in the meta table) until the
+    #: budget is spent, so a full sweep is spread over many passes
+    #: instead of stalling one. ``None`` (the default) disables the
+    #: background scrub; explicit ``verify()`` calls are unaffected.
+    scrub_budget_bytes: int | None = None
+    #: Dead-byte ratio of the blobfile backend's append-only file at
+    #: which ``maintain()`` schedules a compaction (copy-live-forward
+    #: into a new generation, atomic swap). Ignored by the other
+    #: backends.
+    blob_compact_min_dead_ratio: float = 0.3
+    #: Upper bound on the bytes a single ``maintain()``-scheduled
+    #: compaction may copy (the live bytes of the blob file). When the
+    #: live set exceeds the budget the pass skips compaction rather
+    #: than blowing through it. ``None`` (the default) means no bound.
+    blob_compact_budget_bytes: int | None = None
     #: Bounded retry budget for transient ``database is locked``
     #: errors when acquiring the write transaction: after the
     #: in-connection busy timeout expires, the engine retries ``BEGIN
@@ -440,6 +473,24 @@ class MicroNNConfig:
                 f"storage_backend must be one of "
                 f"{SUPPORTED_STORAGE_BACKENDS} (optionally prefixed "
                 f"with 'fault:'), got {self.storage_backend!r}"
+            )
+        if (
+            self.scrub_budget_bytes is not None
+            and self.scrub_budget_bytes < 1
+        ):
+            raise ConfigError(
+                "scrub_budget_bytes must be >= 1 when set"
+            )
+        if not 0.0 < self.blob_compact_min_dead_ratio <= 1.0:
+            raise ConfigError(
+                "blob_compact_min_dead_ratio must be in (0, 1]"
+            )
+        if (
+            self.blob_compact_budget_bytes is not None
+            and self.blob_compact_budget_bytes < 1
+        ):
+            raise ConfigError(
+                "blob_compact_budget_bytes must be >= 1 when set"
             )
         if self.busy_retries < 0:
             raise ConfigError("busy_retries must be >= 0")

@@ -257,7 +257,19 @@ class MicroNN:
         partitions; a full rebuild re-clusters everything once the
         average partition size has outgrown its threshold. ``force``
         overrides the monitor's recommendation.
+
+        Every cycle also runs the amortized storage-hygiene pass: a
+        budgeted partial scrub when ``scrub_budget_bytes`` is set, and
+        (on the blobfile backend) blob-file compaction once dead bytes
+        reach ``blob_compact_min_dead_ratio`` of the file.
         """
+        report = self._maintain_index(force)
+        self._background_hygiene()
+        return report
+
+    def _maintain_index(
+        self, force: MaintenanceAction | None
+    ) -> MaintenanceReport:
         action = force or self._monitor.recommend()
         if action is MaintenanceAction.NONE:
             return MaintenanceReport(
@@ -281,6 +293,34 @@ class MicroNN:
             stats_before=stats_before,
             stats_after=self._monitor.stats(),
         )
+
+    def _background_hygiene(self) -> None:
+        """Amortized hygiene piggy-backed on every maintenance cycle.
+
+        Both halves are budgeted so a cycle never stalls on a full
+        cold read of the index: the partial scrub verifies at most
+        ``scrub_budget_bytes`` of stored payloads (round-robin, with a
+        persisted cursor), and compaction only triggers once the blob
+        file's dead-byte ratio crosses the configured threshold — and
+        is skipped while the live set exceeds
+        ``blob_compact_budget_bytes`` (when set), bounding the copy
+        work of one cycle.
+        """
+        cfg = self._config
+        if cfg.scrub_budget_bytes is not None:
+            self._engine.scrub(budget_bytes=cfg.scrub_budget_bytes)
+        dead, total = self._engine.blob_dead_bytes()
+        if total <= 0 or dead <= 0:
+            return
+        if dead / total < cfg.blob_compact_min_dead_ratio:
+            return
+        live = total - dead
+        if (
+            cfg.blob_compact_budget_bytes is not None
+            and live > cfg.blob_compact_budget_bytes
+        ):
+            return
+        self._engine.compact_storage()
 
     def index_stats(self) -> IndexStats:
         return self._monitor.stats()
@@ -586,11 +626,14 @@ class MicroNN:
     def compact(self) -> int:
         """Reclaim disk space left by deletes and partition moves.
 
-        Returns the number of bytes the database file shrank by.
-        On-device storage is shared and flash-constrained (§2.1), so
-        periodic compaction after heavy delete traffic matters.
+        Returns the total number of bytes reclaimed. On-device storage
+        is shared and flash-constrained (§2.1), so periodic compaction
+        after heavy delete traffic matters. On the blobfile backend
+        this compacts the append-only blob file first (copying live
+        records into a fresh generation), then vacuums the SQLite
+        file; on the other backends only the vacuum applies.
         """
-        return self._engine.vacuum()
+        return self._engine.compact_storage() + self._engine.vacuum()
 
     def check_integrity(self) -> list[str]:
         """Verify storage health; returns a list of problems (empty =
@@ -599,16 +642,21 @@ class MicroNN:
         """
         return self._engine.integrity_check()
 
-    def verify(self) -> ScrubReport:
-        """Checksum-verify every partition blob and the quantizer.
+    def verify(self, budget_bytes: int | None = None) -> ScrubReport:
+        """Checksum-verify partition blobs and the quantizer.
 
         Read-only scrub: recomputes the CRC32 of each partition's
         vectors (and codes, when quantized) against the stored
         checksums. Corrupt partitions are quarantined — queries keep
         answering without them and flag themselves ``degraded`` — and
         the returned :class:`ScrubReport` says exactly what is wrong.
+
+        ``budget_bytes`` limits one call to roughly that many stored
+        payload bytes, resuming round-robin where the previous
+        budgeted call stopped (the amortized pass :meth:`maintain`
+        runs when ``scrub_budget_bytes`` is configured).
         """
-        return self._engine.scrub()
+        return self._engine.scrub(budget_bytes=budget_bytes)
 
     def repair(self) -> ScrubReport:
         """Scrub, then fix what can be fixed.

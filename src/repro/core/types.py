@@ -192,6 +192,15 @@ class IndexStats:
     events_logged: int = 0
     #: Lifetime queries over the ``slow_query_ms`` threshold.
     slow_queries: int = 0
+    #: Append-only garbage in the blobfile backend's blob file:
+    #: records superseded by rewrites or orphaned by rolled-back
+    #: appends. Always 0 on the other backends.
+    storage_dead_bytes: int = 0
+    #: ``storage_dead_bytes`` as a fraction of the blob-file size —
+    #: the signal ``maintain()`` compares against
+    #: ``blob_compact_min_dead_ratio`` to trigger compaction. 0.0 on
+    #: the other backends (and on an empty blob file).
+    storage_dead_ratio: float = 0.0
 
     @property
     def partition_growth(self) -> float:

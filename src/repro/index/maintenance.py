@@ -104,6 +104,7 @@ class IndexMonitor:
         compression = (
             (4.0 * self._config.dim) / code_bytes if code_bytes else 1.0
         )
+        dead_bytes, blob_bytes = self._engine.blob_dead_bytes()
         return IndexStats(
             total_vectors=indexed + delta,
             indexed_vectors=indexed,
@@ -124,6 +125,10 @@ class IndexMonitor:
             ),
             events_logged=self._engine.events.total_emitted,
             slow_queries=self._engine.events.count("slow_query"),
+            storage_dead_bytes=dead_bytes,
+            storage_dead_ratio=(
+                dead_bytes / blob_bytes if blob_bytes else 0.0
+            ),
         )
 
     def recommend(self) -> MaintenanceAction:

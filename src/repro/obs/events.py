@@ -35,6 +35,7 @@ EVENT_KINDS = (
     "slow_query",
     "scrub",
     "repair",
+    "compact",
 )
 
 

@@ -105,7 +105,9 @@ _DEGRADABLE_SHARD_ERRORS = (
 #: Filename shape of a fleet member (``shard_filename``); the stale-
 #: file sweep only ever touches names of this shape, so user files in
 #: the directory are never at risk.
-_SHARD_FILE_RE = re.compile(r"^shard-\d{4}-of-\d{4}\.db(?:-wal|-shm)?$")
+_SHARD_FILE_RE = re.compile(
+    r"^shard-\d{4}-of-\d{4}\.db(?:-wal|-shm|\.blob\.\d+)?$"
+)
 
 
 def _sweep_stale_shard_files(
@@ -115,16 +117,25 @@ def _sweep_stale_shard_files(
 
     A rebalance that crashed between creating the new fleet's files
     and committing the manifest leaves unlisted ``shard-*.db`` files
-    (plus WAL/SHM side files) behind. They are dead weight — the
+    (plus WAL/SHM side files, plus the blobfile backend's
+    ``.blob.<gen>`` payload files) behind. They are dead weight — the
     manifest is the single source of truth — so reopening sweeps them,
     logging each removal.
     """
     keep: set[str] = set()
+    keep_blob_prefixes: tuple[str, ...] = tuple(
+        name + ".blob." for name in listed
+    )
     for name in listed:
         keep.update((name, name + "-wal", name + "-shm"))
     removed: list[str] = []
     for entry in sorted(os.listdir(root)):
         if entry in keep or not _SHARD_FILE_RE.match(entry):
+            continue
+        if entry.startswith(keep_blob_prefixes):
+            # Blob generations of a listed shard: the shard's own
+            # stale-generation sweep owns their lifecycle (the current
+            # generation is recorded in its meta table, not here).
             continue
         with contextlib.suppress(OSError):
             os.remove(os.path.join(root, entry))
@@ -1403,9 +1414,23 @@ def _open_fleet(
 
 
 def _remove_sqlite_files(path: str) -> None:
-    """Remove a SQLite database file and its WAL/SHM side files."""
+    """Remove a database file and its side files.
+
+    Covers SQLite's WAL/SHM files plus any ``.blob.<gen>`` payload
+    generations the blobfile backend keeps next to the database.
+    """
     for suffix in ("", "-wal", "-shm"):
         try:
             os.remove(path + suffix)
         except FileNotFoundError:
             pass
+    base = os.path.basename(path) + ".blob."
+    root = os.path.dirname(path) or "."
+    try:
+        entries = os.listdir(root)
+    except OSError:
+        return
+    for entry in entries:
+        if entry.startswith(base):
+            with contextlib.suppress(OSError):
+                os.remove(os.path.join(root, entry))

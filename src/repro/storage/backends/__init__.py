@@ -21,6 +21,7 @@ from repro.storage.backends.base import (
     file_looks_like_memory_marker,
     file_looks_like_sqlite,
 )
+from repro.storage.backends.blobfile import BlobFileBackend
 from repro.storage.backends.memory import MemoryBackend
 from repro.storage.backends.sqlite_packed import SQLitePackedBackend
 from repro.storage.backends.sqlite_row import SQLiteRowBackend
@@ -29,6 +30,7 @@ __all__ = [
     "BACKEND_META_KEY",
     "PACKED_PARTITION_OVERHEAD_BYTES",
     "SQLITE_ROW_OVERHEAD_BYTES",
+    "BlobFileBackend",
     "MemoryBackend",
     "PartitionPayload",
     "SQLitePackedBackend",
@@ -40,7 +42,12 @@ __all__ = [
 
 _BACKENDS: dict[str, type[StorageBackend]] = {
     cls.kind: cls
-    for cls in (SQLiteRowBackend, SQLitePackedBackend, MemoryBackend)
+    for cls in (
+        SQLiteRowBackend,
+        SQLitePackedBackend,
+        BlobFileBackend,
+        MemoryBackend,
+    )
 }
 
 

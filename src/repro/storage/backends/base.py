@@ -83,7 +83,7 @@ class PartitionPayload:
     asset_ids: tuple[str, ...]
     vector_ids: tuple[int, ...]
     blobs: list[bytes] | None
-    packed: bytes | None
+    packed: bytes | memoryview | None
     stored_bytes: int
 
     def __len__(self) -> int:
@@ -128,6 +128,13 @@ class StorageBackend(abc.ABC):
 
     #: Whether the database lives in a real file (vacuum/size checks).
     file_backed: ClassVar[bool] = True
+
+    #: Whether ``read_partition``/``read_partition_codes`` return
+    #: ``packed`` buffers that are long-lived zero-copy views (e.g.
+    #: into an ``mmap``). The engine then hands the scan kernels a
+    #: read-only NumPy view over the buffer instead of copying it into
+    #: a scratch lease or a fresh array.
+    serves_mmap_views: ClassVar[bool] = False
 
     def __init__(self, path: str, config) -> None:
         self._path = path

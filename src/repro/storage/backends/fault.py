@@ -64,6 +64,13 @@ class FaultPlan:
     #: After the Nth commit, truncate one stored partition blob in
     #: place and then crash (post-commit media corruption).
     tear_blob_after_commit: int | None = None
+    #: After the Nth commit, truncate the tail of the blobfile
+    #: backend's append-only file — tearing the most recently appended
+    #: *referenced* record — and then crash. Models the device losing
+    #: the tail of a flushed append (a media-level torn write, the one
+    #: torn-append case the commit protocol cannot make unreachable).
+    #: Only meaningful wrapping the ``blobfile`` backend.
+    tear_append_after_commit: int | None = None
     #: Inject this many transient "database is locked" errors on the
     #: next write-transaction BEGINs.
     lock_errors: int = 0
@@ -142,6 +149,7 @@ class FaultInjectingBackend(StorageBackend):
         self.kind = inner.kind
         self.shared_connection = inner.shared_connection
         self.file_backed = inner.file_backed
+        self.serves_mmap_views = inner.serves_mmap_views
         # The inner backend may serialize internal work on its own
         # writer lock; the engine must adopt that same lock.
         self.writer_lock = inner.writer_lock
@@ -156,6 +164,7 @@ class FaultInjectingBackend(StorageBackend):
     # ------------------------------------------------------------------
 
     def before_begin_write(self) -> None:
+        self._inner.before_begin_write()
         ctrl = self.controller
         with ctrl._lock:
             inject = (
@@ -167,6 +176,12 @@ class FaultInjectingBackend(StorageBackend):
             raise sqlite3.OperationalError("database is locked")
 
     def before_commit(self, label: str) -> None:
+        # The inner hook first: a real backend uses it to make its
+        # side files durable before COMMIT (the blobfile fsync). A
+        # scripted pre-commit crash then still models a process kill
+        # with everything flushed — the transaction must roll back and
+        # any flushed-but-unreferenced bytes must be harmless.
+        self._inner.before_commit(label)
         ctrl = self.controller
         with ctrl._lock:
             ctrl.attempted.append(label)
@@ -181,6 +196,10 @@ class FaultInjectingBackend(StorageBackend):
             )
 
     def after_commit(self, label: str) -> None:
+        # The inner hook first (the blobfile generation swap): a crash
+        # scripted here then exercises the post-finalization state,
+        # while the reopen sweep covers the pre-finalization one.
+        self._inner.after_commit(label)
         ctrl = self.controller
         with ctrl._lock:
             ctrl.committed.append(label)
@@ -194,6 +213,12 @@ class FaultInjectingBackend(StorageBackend):
                 f"scripted crash (torn blob) after commit #{ordinal} "
                 f"({label})"
             )
+        if ordinal == plan.tear_append_after_commit:
+            self._tear_append_tail()
+            raise SimulatedCrash(
+                f"scripted crash (torn append) after commit "
+                f"#{ordinal} ({label})"
+            )
         if ordinal == plan.crash_after_commit:
             raise SimulatedCrash(
                 f"scripted crash after commit #{ordinal} ({label})"
@@ -201,6 +226,9 @@ class FaultInjectingBackend(StorageBackend):
 
     def _tear_one_blob(self) -> None:
         """Truncate one indexed partition blob, committed in place."""
+        if self.kind == "blobfile":
+            self._flip_blobfile_record_tail()
+            return
         conn = self._inner.connect_writer()
         try:
             if self.kind == "sqlite-packed":
@@ -228,9 +256,69 @@ class FaultInjectingBackend(StorageBackend):
         finally:
             self._inner.close_connection(conn)
 
+    def _flip_blobfile_record_tail(self) -> None:
+        """Corrupt the lowest partition's live blob record in place."""
+        conn = self._inner.connect_writer()
+        try:
+            row = conn.execute(
+                "SELECT gen, offset, length FROM blob_locator "
+                "WHERE kind='vectors' AND partition_id = "
+                "(SELECT MIN(partition_id) FROM blob_locator "
+                "WHERE kind='vectors')"
+            ).fetchone()
+        finally:
+            self._inner.close_connection(conn)
+        if row is None:
+            return
+        gen, offset, length = (int(v) for v in row)
+        path = self._inner.blob_path(gen)
+        tail = max(offset, offset + length - 5)
+        with open(path, "r+b") as fh:
+            fh.seek(tail)
+            chunk = fh.read(offset + length - tail)
+            fh.seek(tail)
+            fh.write(bytes(b ^ 0xFF for b in chunk))
+        self._inner.drop_mappings()
+
+    def _tear_append_tail(self) -> None:
+        """Truncate the tail of the last referenced blob record.
+
+        Only meaningful for the ``blobfile`` backend: the file loses
+        the last bytes of its most recently appended *referenced*
+        record (plus any trailing garbage), modelling a flushed append
+        the media tore. The next read of that record must detect it
+        and quarantine, never serve partial bytes.
+        """
+        if self.kind != "blobfile":
+            return
+        conn = self._inner.connect_writer()
+        try:
+            row = conn.execute(
+                "SELECT gen, offset, length FROM blob_locator "
+                "ORDER BY offset DESC LIMIT 1"
+            ).fetchone()
+        finally:
+            self._inner.close_connection(conn)
+        if row is None:
+            return
+        gen, offset, length = (int(v) for v in row)
+        path = self._inner.blob_path(gen)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(offset, offset + length - 5))
+        self._inner.drop_mappings()
+
     # ------------------------------------------------------------------
     # Pure delegation
     # ------------------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        # Backend-specific extensions (the blobfile backend's
+        # ``compact``/``dead_bytes``/``blob_stats``/…) delegate
+        # transparently; ``hasattr`` stays truthful for backends that
+        # lack them. Dunder/private lookups must fail normally.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._inner, name)
 
     def connect_writer(self) -> sqlite3.Connection:
         return self._inner.connect_writer()

@@ -111,6 +111,28 @@ COMMIT_POINTS: tuple[str, ...] = (
 )
 
 
+#: Meta key persisting the budgeted-scrub round-robin cursor: the last
+#: partition id verified by an amortized pass, so the next pass resumes
+#: after it instead of re-reading the same prefix every cycle.
+SCRUB_CURSOR_META_KEY = "scrub_cursor"
+
+
+def commit_points_for(backend_kind: str) -> tuple[str, ...]:
+    """Every commit point reachable on the given physical layout.
+
+    The blobfile backend adds ``"compact"`` (the locator/generation
+    flip of its copy-live-forward compaction); the other layouts never
+    emit it, so the kill-point sweep asks here instead of hard-coding
+    :data:`COMMIT_POINTS`.
+    """
+    kind = backend_kind
+    if kind.startswith("fault:"):
+        kind = kind[len("fault:"):]
+    if kind == "blobfile":
+        return COMMIT_POINTS + ("compact",)
+    return COMMIT_POINTS
+
+
 @dataclass(frozen=True)
 class VectorRecord:
     """One asset to upsert: vector plus optional attribute values."""
@@ -176,6 +198,9 @@ class StorageEngine:
             config.storage_backend, self._path, config
         )
         self._writer_lock = self._backend.writer_lock
+        self._serves_views = bool(
+            getattr(self._backend, "serves_mmap_views", False)
+        )
         self._readers_lock = threading.Lock()
         self._reader_registry: list[sqlite3.Connection] = []
         self._local = threading.local()
@@ -320,6 +345,29 @@ class StorageEngine:
             "micronn_partitions_quarantined",
             "Partitions currently quarantined (cleared by repair).",
         ).set_fn(lambda: float(len(self._quarantined)))
+        # Blob-file backend instrumentation: record appends, blob-file
+        # compactions, and bytes served zero-copy through the mapping.
+        # Exported as a gauge family reading the backend's counters so
+        # the hot append/read paths never touch the registry.
+        if hasattr(self._backend, "blob_stats"):
+            blob_gauge = self.metrics.gauge(
+                "micronn_blobfile_stats",
+                "Blob-file backend counters: record appends, appended "
+                "bytes, compactions, mmap'd bytes served.",
+                labels=("stat",),
+            )
+            for stat in (
+                "appends",
+                "appended_bytes",
+                "compactions",
+                "mmap_bytes_served",
+            ):
+                blob_gauge.set_fn(
+                    lambda s=stat: float(
+                        self._backend.blob_stats()[s]
+                    ),
+                    stat=stat,
+                )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -1060,6 +1108,15 @@ class StorageEngine:
         source = np.frombuffer(payload.packed, dtype=dtype).reshape(
             count, width
         )
+        if self._serves_views:
+            # Zero-copy path (blobfile): ``packed`` is a read-only
+            # view over the backend's mmap, so the reinterpretation
+            # above IS the partition matrix — no float/code buffer is
+            # materialized and no scratch lease is needed. The mapped
+            # bytes stay valid for the life of the view: records are
+            # append-only within a generation, and a compaction swap
+            # keeps the retired mapping alive until its views die.
+            return source, None
         if use_scratch and count:
             nbytes = count * width * dtype.itemsize
             estimate = nbytes + ROW_ID_OVERHEAD_BYTES * count
@@ -1177,6 +1234,8 @@ class StorageEngine:
         bound-parameter limit.
         """
         self._check_open()
+        if self._config.verify_point_reads:
+            return self._fetch_vectors_verified(asset_ids, chunk_size)
         with self.read_snapshot() as conn:
             found, blobs, stored = self._backend.fetch_vector_blobs(
                 conn, asset_ids, chunk_size
@@ -1185,9 +1244,60 @@ class StorageEngine:
         self._accountant.record_read(stored)
         return found, matrix
 
+    def _fetch_vectors_verified(
+        self, asset_ids: Sequence[str], chunk_size: int
+    ) -> tuple[list[str], np.ndarray]:
+        """Point-fetch through the CRC-verified partition-load path.
+
+        ``verify_point_reads``: instead of slicing rows straight out of
+        storage, resolve each asset's partition and read it through
+        :meth:`load_partition` — which verifies the stored checksum on
+        cold loads and serves quarantined partitions as empty. Rerank
+        reads then carry the same degraded-never-wrong guarantee as
+        scans. Order contract preserved: each request chunk contributes
+        its found assets in ascending ``asset_id`` order.
+        """
+        found: list[str] = []
+        rows: list[np.ndarray] = []
+        for start in range(0, len(asset_ids), chunk_size):
+            chunk = list(asset_ids[start : start + chunk_size])
+            by_partition: dict[int, list[str]] = {}
+            with self._plain_reader() as conn:
+                for aid in chunk:
+                    pid = self._backend.get_partition_of(conn, aid)
+                    if pid is not None:
+                        by_partition.setdefault(int(pid), []).append(aid)
+            chunk_rows: dict[str, np.ndarray] = {}
+            for pid in sorted(by_partition):
+                entry = self.load_partition(pid)
+                index = {a: i for i, a in enumerate(entry.asset_ids)}
+                for aid in by_partition[pid]:
+                    row = index.get(aid)
+                    if row is not None:
+                        chunk_rows[aid] = entry.matrix[row]
+            for aid in sorted(chunk_rows):
+                found.append(aid)
+                rows.append(chunk_rows[aid])
+        if not rows:
+            return found, np.empty(
+                (0, self._config.dim), dtype=VECTOR_DTYPE
+            )
+        return found, np.array(rows, dtype=VECTOR_DTYPE)
+
     def get_vector(self, asset_id: str) -> np.ndarray | None:
         """Return one asset's vector, or None if absent."""
         self._check_open()
+        if self._config.verify_point_reads:
+            with self._plain_reader() as conn:
+                pid = self._backend.get_partition_of(conn, asset_id)
+            if pid is None:
+                return None
+            entry = self.load_partition(int(pid))
+            try:
+                row = entry.asset_ids.index(asset_id)
+            except ValueError:
+                return None
+            return entry.matrix[row].copy()
         with self._plain_reader() as conn:
             blob = self._backend.get_vector_blob(conn, asset_id)
         if blob is None:
@@ -1794,23 +1904,47 @@ class StorageEngine:
             return False
         return True
 
-    def scrub(self) -> ScrubReport:
-        """Cold-verify every indexed partition against its stored CRC.
+    def scrub(self, budget_bytes: int | None = None) -> ScrubReport:
+        """Cold-verify indexed partitions against their stored CRCs.
 
         Corrupt partitions are quarantined so later queries degrade
         (served as empty, flagged in stats) instead of erroring or
         silently returning wrong neighbors. Otherwise read-only — use
         :meth:`repair` to act on the findings. The delta partition is
         exempt by design (see :meth:`load_partition`).
+
+        With ``budget_bytes`` set the pass is amortized: partitions are
+        verified round-robin — resuming after the cursor persisted by
+        the previous budgeted pass — and the pass stops once that many
+        stored payload bytes have been read (always verifying at least
+        one partition so a tiny budget still makes progress).
+        Successive maintenance cycles therefore spread a full scrub
+        over time instead of stalling one cycle on a cold read of the
+        entire index.
         """
         self._check_open()
         corrupt_vectors: list[int] = []
         corrupt_codes: list[int] = []
         unstamped: list[int] = []
+        cursor: int | None = None
+        if budget_bytes is not None:
+            raw = self.get_meta(SCRUB_CURSOR_META_KEY)
+            try:
+                cursor = None if raw is None else int(raw)
+            except ValueError:
+                cursor = None
+        checked = 0
+        spent = 0
         with self.read_snapshot() as conn:
             pids = sorted(
                 self._backend.partition_sizes(conn, include_delta=False)
             )
+            if budget_bytes is not None and cursor is not None:
+                # Rotate so the pass resumes after the last partition
+                # the previous budgeted pass verified, wrapping around.
+                pids = [p for p in pids if p > cursor] + [
+                    p for p in pids if p <= cursor
+                ]
             for pid in pids:
                 expected = self._backend.stored_checksums(conn, pid)
                 try:
@@ -1818,21 +1952,31 @@ class StorageEngine:
                 except (StorageError, ValueError):
                     corrupt_vectors.append(pid)
                 else:
+                    spent += payload.stored_bytes
                     want = expected.get(CHECKSUM_KIND_VECTORS)
                     if want is None:
                         unstamped.append(pid)
                     elif payload_checksum(payload) != want:
                         corrupt_vectors.append(pid)
-                if not self._use_quantization:
-                    continue
-                try:
-                    codes = self._backend.read_partition_codes(conn, pid)
-                except (StorageError, ValueError):
-                    corrupt_codes.append(pid)
-                    continue
-                want = expected.get(CHECKSUM_KIND_CODES)
-                if want is not None and payload_checksum(codes) != want:
-                    corrupt_codes.append(pid)
+                checked += 1
+                cursor = pid
+                if self._use_quantization:
+                    try:
+                        codes = self._backend.read_partition_codes(
+                            conn, pid
+                        )
+                    except (StorageError, ValueError):
+                        corrupt_codes.append(pid)
+                    else:
+                        spent += codes.stored_bytes
+                        want = expected.get(CHECKSUM_KIND_CODES)
+                        if (
+                            want is not None
+                            and payload_checksum(codes) != want
+                        ):
+                            corrupt_codes.append(pid)
+                if budget_bytes is not None and spent >= budget_bytes:
+                    break
         quantizer_ok = self._quantizer_healthy()
         for pid in corrupt_vectors:
             self._quarantine(pid, "scrub: vector payload corrupt")
@@ -1841,16 +1985,20 @@ class StorageEngine:
                 self._quarantine(
                     pid, "scrub: code payload corrupt", CODE_DTYPE
                 )
+        if budget_bytes is not None and cursor is not None:
+            self.set_meta(SCRUB_CURSOR_META_KEY, str(cursor))
         self._m_maintenance.inc(action="scrub")
         self.events.emit(
             "scrub",
-            partitions_checked=len(pids),
+            partitions_checked=checked,
             corrupt_vectors=len(corrupt_vectors),
             corrupt_codes=len(corrupt_codes),
             quantizer_ok=quantizer_ok,
+            partial=budget_bytes is not None,
+            bytes_read=spent,
         )
         return ScrubReport(
-            partitions_checked=len(pids),
+            partitions_checked=checked,
             corrupt_vectors=tuple(corrupt_vectors),
             corrupt_codes=tuple(corrupt_codes),
             unstamped=tuple(unstamped),
@@ -1947,6 +2095,41 @@ class StorageEngine:
     # ------------------------------------------------------------------
     # Disk hygiene
     # ------------------------------------------------------------------
+
+    def blob_dead_bytes(self) -> tuple[int, int]:
+        """``(dead_bytes, file_bytes)`` of the backend's blob file.
+
+        Dead bytes are append-only garbage: records superseded by a
+        rewrite or orphaned by a rolled-back append. ``(0, 0)`` on
+        backends without a blob file.
+        """
+        self._check_open()
+        probe = getattr(self._backend, "dead_bytes", None)
+        if probe is None:
+            return (0, 0)
+        with self.read_snapshot() as conn:
+            dead, total = probe(conn)
+        return int(dead), int(total)
+
+    def compact_storage(self) -> int:
+        """Copy live blob records forward and drop the dead bytes.
+
+        Rewrites and rolled-back appends leave superseded records
+        behind in the append-only blob file; compaction copies the
+        live set into a new generation file and atomically flips every
+        locator row (plus the generation meta key) in one ``"compact"``
+        transaction — a crash on either side of that commit leaves one
+        complete, consistent generation. Returns bytes reclaimed; 0 on
+        backends without a compactable blob file.
+        """
+        self._check_open()
+        if not hasattr(self._backend, "compact"):
+            return 0
+        with self.write_transaction("compact") as conn:
+            reclaimed = self._backend.compact(conn)
+        self._m_maintenance.inc(action="compact")
+        self.events.emit("compact", reclaimed_bytes=int(reclaimed))
+        return int(reclaimed)
 
     def vacuum(self) -> int:
         """Rewrite the database file, reclaiming space from deletes.

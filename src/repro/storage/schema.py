@@ -142,6 +142,27 @@ CREATE TABLE IF NOT EXISTS vector_locator (
 ) WITHOUT ROWID
 """
 
+#: Blob-file layout (``storage_backend="blobfile"``): partition
+#: payloads live as length-prefixed, CRC-stamped records in an
+#: append-only ``<db>.blob.<gen>`` file; SQLite keeps this locator —
+#: one row per ``(partition_id, kind)`` mapping the partition to its
+#: record's byte range. ``gen`` names the blob-file generation the
+#: record lives in (bumped by compaction's atomic swap), so a record
+#: reference is valid exactly when its generation's file is. Rewrites
+#: append a fresh record and flip the locator row in the same SQLite
+#: transaction; a torn append is unreachable garbage by construction.
+BLOB_LOCATOR_TABLE = """
+CREATE TABLE IF NOT EXISTS blob_locator (
+    partition_id INTEGER NOT NULL,
+    kind         TEXT    NOT NULL,
+    gen          INTEGER NOT NULL,
+    offset       INTEGER NOT NULL,
+    length       INTEGER NOT NULL,
+    row_count    INTEGER NOT NULL,
+    PRIMARY KEY (partition_id, kind)
+) WITHOUT ROWID
+"""
+
 TOKENS_TABLE = """
 CREATE TABLE IF NOT EXISTS tokens (
     attribute TEXT NOT NULL,

@@ -29,11 +29,19 @@ requires_file_backend = pytest.mark.skipif(
     reason="test requires an on-disk database file",
 )
 
-#: Skip under the packed backend: the test issues raw SQL against the
-#: row-per-vector tables (``vectors`` / ``vector_codes``).
+#: Skip under the packed/blobfile backends: the test issues raw SQL
+#: against the row-per-vector tables (``vectors`` / ``vector_codes``).
 requires_row_layout = pytest.mark.skipif(
-    _PHYSICAL_BACKEND == "sqlite-packed",
+    _PHYSICAL_BACKEND in ("sqlite-packed", "blobfile"),
     reason="white-box test assumes the row-per-vector table layout",
+)
+
+#: Skip under the blobfile backend: the test reaches into the packed
+#: layout's SQLite blob tables (``partitions`` / ``partition_codes``),
+#: which the blobfile layout replaces with the append-only blob file.
+requires_sqlite_blob_tables = pytest.mark.skipif(
+    _PHYSICAL_BACKEND == "blobfile",
+    reason="white-box test assumes partition blobs live in SQLite",
 )
 
 

@@ -2,8 +2,9 @@
 
 The acceptance property of the storage-backend abstraction (ISSUE 6):
 for the same inserted rows and config, every backend — ``sqlite-row``,
-``sqlite-packed``, ``memory`` — must return *bit-identical* search
-results: same ids, same distances, query by query. Unlike the sharded
+``sqlite-packed``, ``blobfile``, ``memory`` — must return
+*bit-identical* search results: same ids, same distances, query by
+query. Unlike the sharded
 parity suite (where per-shard clustering forces exhaustive probes),
 the backends share one deterministic build over one insertion order,
 so identity must hold at ANY nprobe — partial probes, filters, exact
@@ -29,7 +30,7 @@ from hypothesis import strategies as st
 from repro import MicroNN, MicroNNConfig
 from repro.query.filters import Eq, Ge
 
-BACKENDS = ("sqlite-row", "sqlite-packed", "memory")
+BACKENDS = ("sqlite-row", "sqlite-packed", "blobfile", "memory")
 
 DIM = 32
 

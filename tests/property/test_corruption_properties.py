@@ -14,6 +14,8 @@ README "Durability & recovery".)
 
 from __future__ import annotations
 
+import glob
+import os
 import shutil
 import sqlite3
 
@@ -28,6 +30,7 @@ from tests.conftest import _PHYSICAL_BACKEND, requires_file_backend
 DIM = 4
 N = 40
 PACKED = _PHYSICAL_BACKEND == "sqlite-packed"
+BLOBFILE = _PHYSICAL_BACKEND == "blobfile"
 
 
 def _config(quantization: str) -> MicroNNConfig:
@@ -71,10 +74,57 @@ def _mutate(blob: bytes, op: str, offset: int, value: int) -> bytes:
     return blob + bytes([value] * (1 + offset % 8))  # extend
 
 
+def _corrupt_blobfile_record(
+    path, codes: bool, row_pick: int, op: str, offset: int, value: int
+) -> None:
+    """Mutate one record payload inside the append-only blob file.
+
+    Records are fixed in place by the SQLite locator, so truncation
+    and extension of a single payload are expressed as in-place tail
+    damage — what media rot actually does to a region of a file.
+    """
+    from repro.storage.backends.blobfile import RECORD_HEADER, _payload_pad
+
+    kind = "codes" if codes else "vectors"
+    conn = sqlite3.connect(path)
+    try:
+        rows = conn.execute(
+            "SELECT partition_id, gen, offset, length FROM blob_locator "
+            "WHERE kind=? ORDER BY partition_id",
+            (kind,),
+        ).fetchall()
+    finally:
+        conn.close()
+    _pid, gen, rec_off, _length = rows[row_pick % len(rows)]
+    with open(f"{path}.blob.{gen}", "r+b") as fh:
+        fh.seek(rec_off)
+        header = fh.read(RECORD_HEADER.size)
+        (_m, _v, kind_code, _p, count, ids_nbytes, payload_nbytes, _c) = (
+            RECORD_HEADER.unpack(header)
+        )
+        vids_nbytes = count * 8 if kind_code == 0 else 0
+        data_end = RECORD_HEADER.size + ids_nbytes + vids_nbytes
+        payload_off = rec_off + data_end + _payload_pad(rec_off + data_end)
+        if op == "flip":
+            pos = payload_off + offset % payload_nbytes
+            fh.seek(pos)
+            byte = fh.read(1)
+            fh.seek(pos)
+            fh.write(bytes([byte[0] ^ value]))
+        else:  # truncate / extend: clobber the payload tail in place
+            n = min(1 + offset % 8, payload_nbytes)
+            fill = b"\x00" * n if op == "truncate" else bytes([value]) * n
+            fh.seek(payload_off + payload_nbytes - n)
+            fh.write(fill)
+
+
 def _corrupt_scanned_blob(
     path, codes: bool, row_pick: int, op: str, offset: int, value: int
 ) -> None:
     """Mutate one scan-path payload below the engine."""
+    if BLOBFILE:
+        _corrupt_blobfile_record(path, codes, row_pick, op, offset, value)
+        return
     conn = sqlite3.connect(path)
     try:
         if PACKED:
@@ -132,6 +182,9 @@ class TestMutationNeverLies:
         tpl_path, baseline = out[quant]
         work = root / f"case-{quant}-{codes}.db"
         shutil.copyfile(tpl_path, work)
+        for side in glob.glob(f"{tpl_path}.blob.*"):
+            suffix = side[len(str(tpl_path)) :]
+            shutil.copyfile(side, f"{work}{suffix}")
         try:
             _corrupt_scanned_blob(work, codes, row_pick, op, offset, value)
             db = MicroNN.open(work, _config(quant))
@@ -153,6 +206,8 @@ class TestMutationNeverLies:
                 db.close()
         finally:
             work.unlink(missing_ok=True)
+            for side in glob.glob(f"{work}.blob.*"):
+                os.unlink(side)
 
     @settings(
         max_examples=20,

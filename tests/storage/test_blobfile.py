@@ -1,0 +1,403 @@
+"""White-box tests for the blobfile backend's physical layout.
+
+The cross-backend parity, crash-safety and scrub/repair suites already
+exercise ``blobfile`` through the public API (via the CI backend
+matrix); this module pins what is *specific* to the layout: the
+append-only record file, zero-copy mmap views, dead-byte accounting,
+generation-swapping compaction, the ``verify_point_reads`` knob, and
+the budgeted round-robin scrub.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig
+from repro.shard.sharded import _SHARD_FILE_RE, _remove_sqlite_files
+from repro.storage.backends.blobfile import (
+    RECORD_HEADER,
+    RECORD_MAGIC,
+    BlobFileBackend,
+    blob_file_path,
+)
+from repro.storage.engine import SCRUB_CURSOR_META_KEY, commit_points_for
+
+DIM = 8
+
+
+def make_config(**overrides) -> MicroNNConfig:
+    kwargs = dict(
+        dim=DIM,
+        target_cluster_size=10,
+        kmeans_iterations=5,
+        default_nprobe=4,
+        storage_backend="blobfile",
+    )
+    kwargs.update(overrides)
+    return MicroNNConfig(**kwargs)
+
+
+def make_db(path, **overrides) -> MicroNN:
+    return MicroNN.open(path, make_config(**overrides))
+
+
+def populate(db: MicroNN, n: int = 120, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, DIM)).astype(np.float32)
+    db.upsert_batch((f"a{i:04d}", vectors[i]) for i in range(n))
+    db.build_index()
+    return vectors
+
+
+def locator_rows(db_path) -> list[tuple[int, str, int, int, int, int]]:
+    """(partition_id, kind, gen, offset, length, row_count) rows."""
+    conn = sqlite3.connect(os.fspath(db_path))
+    try:
+        return conn.execute(
+            "SELECT partition_id, kind, gen, offset, length, row_count "
+            "FROM blob_locator ORDER BY partition_id, kind"
+        ).fetchall()
+    finally:
+        conn.close()
+
+
+def flip_payload_byte(db_path, partition_id: int) -> None:
+    """Corrupt one payload byte of a partition's vectors record."""
+    row = next(
+        r
+        for r in locator_rows(db_path)
+        if r[0] == partition_id and r[1] == "vectors"
+    )
+    _, _, gen, offset, length, _ = row
+    blob = blob_file_path(os.fspath(db_path), gen)
+    with open(blob, "r+b") as fh:
+        fh.seek(offset + length - 3)
+        byte = fh.read(1)
+        fh.seek(offset + length - 3)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestRecordLayout:
+    def test_blob_file_holds_every_partition_record(self, tmp_path):
+        path = tmp_path / "t.db"
+        with make_db(path) as db:
+            populate(db)
+            backend = db.engine._backend
+            assert isinstance(backend, BlobFileBackend)
+            blob = backend.blob_path()
+            assert os.path.exists(blob)
+            rows = locator_rows(path)
+            assert rows, "build must have appended partition records"
+            size = os.path.getsize(blob)
+            with open(blob, "rb") as fh:
+                for pid, kind, gen, offset, length, count in rows:
+                    assert gen == 0
+                    assert offset + length <= size
+                    fh.seek(offset)
+                    header = fh.read(RECORD_HEADER.size)
+                    magic, version, _, rec_pid, rec_count, _, _, _ = (
+                        RECORD_HEADER.unpack(header)
+                    )
+                    assert magic == RECORD_MAGIC
+                    assert version == 1
+                    assert rec_pid == pid
+                    assert rec_count == count
+
+    def test_scans_serve_readonly_mmap_views(self, tmp_path):
+        """The zero-copy contract: a cold partition load is a NumPy
+        view over the mapping — no owned buffer, not writable, no
+        scratch lease — and the kernels consume it as-is."""
+        path = tmp_path / "t.db"
+        with make_db(path) as db:
+            vectors = populate(db)
+            backend = db.engine._backend
+            pid = locator_rows(path)[0][0]
+            entry = db.engine.load_partition(pid, use_cache=False)
+            assert entry.lease is None
+            assert entry.matrix.dtype == np.float32
+            assert not entry.matrix.flags["OWNDATA"]
+            assert not entry.matrix.flags["WRITEABLE"]
+            assert backend.mmap_bytes_served_total > 0
+            # The view is the real data: exact search over it returns
+            # true nearest neighbours.
+            hits = db.search(vectors[0], k=1, exact=True)
+            assert hits[0].asset_id == "a0000"
+
+    def test_stale_generations_swept_on_open(self, tmp_path):
+        path = tmp_path / "t.db"
+        with make_db(path) as db:
+            populate(db)
+            live = db.engine._backend.blob_path()
+        stale = blob_file_path(os.fspath(path), 9)
+        with open(stale, "wb") as fh:
+            fh.write(b"leftover from a crashed compaction")
+        with make_db(path) as db:
+            assert not os.path.exists(stale)
+            assert os.path.exists(live)
+            assert db.verify().healthy
+
+
+class TestDeadBytesAndCompaction:
+    def test_rewrites_accrue_dead_bytes_and_compact_reclaims(
+        self, tmp_path
+    ):
+        path = tmp_path / "t.db"
+        with make_db(path) as db:
+            vectors = populate(db)
+            engine = db.engine
+            assert engine.blob_dead_bytes() == (0, 0) or (
+                engine.blob_dead_bytes()[0] == 0
+            )
+            # Re-upserting every asset and rebuilding rewrites every
+            # partition record; the superseded records become garbage.
+            db.upsert_batch(
+                (f"a{i:04d}", vectors[i]) for i in range(len(vectors))
+            )
+            db.build_index()
+            dead, total = engine.blob_dead_bytes()
+            assert dead > 0
+            assert total > dead
+            stats = db.index_stats()
+            assert stats.storage_dead_bytes == dead
+            assert stats.storage_dead_ratio == pytest.approx(
+                dead / total
+            )
+            before = db.search(vectors[3], k=10)
+
+            reclaimed = engine.compact_storage()
+            assert reclaimed >= dead
+            dead2, total2 = engine.blob_dead_bytes()
+            assert dead2 == 0
+            assert total2 <= total - dead
+            # Generation swapped: one live blob file, the new one.
+            backend = engine._backend
+            assert backend.blob_path().endswith(".blob.1")
+            assert os.path.exists(backend.blob_path())
+            assert not os.path.exists(blob_file_path(os.fspath(path), 0))
+            assert all(row[2] == 1 for row in locator_rows(path))
+            # Results are bit-identical across the swap.
+            after = db.search(vectors[3], k=10)
+            assert after.asset_ids == before.asset_ids
+            assert after.distances == before.distances
+            assert db.verify().healthy
+            assert db.check_integrity() == []
+        # And across a reopen of the compacted generation.
+        with make_db(path) as db:
+            again = db.search(vectors[3], k=10)
+            assert again.asset_ids == before.asset_ids
+            assert db.verify().healthy
+
+    def test_rolled_back_append_bytes_are_unreachable_garbage(
+        self, tmp_path
+    ):
+        """Bytes past the last committed record (a torn or rolled-back
+        append) are invisible to readers — scrub stays clean — and are
+        dropped by the next compaction."""
+        path = tmp_path / "t.db"
+        with make_db(path) as db:
+            populate(db)
+            blob = db.engine._backend.blob_path()
+            with open(blob, "ab") as fh:
+                fh.write(b"\xde\xad" * 512)
+            dead, _ = db.engine.blob_dead_bytes()
+            assert dead == 1024
+            assert db.verify().healthy
+            db.engine.compact_storage()
+            assert db.engine.blob_dead_bytes()[0] == 0
+            assert db.verify().healthy
+
+    def test_maintain_compacts_once_dead_ratio_crosses_threshold(
+        self, tmp_path
+    ):
+        path = tmp_path / "t.db"
+        with make_db(path, blob_compact_min_dead_ratio=0.2) as db:
+            vectors = populate(db)
+            db.upsert_batch(
+                (f"a{i:04d}", vectors[i]) for i in range(len(vectors))
+            )
+            db.build_index()
+            dead, total = db.engine.blob_dead_bytes()
+            assert dead / total >= 0.2
+            db.maintain()
+            assert db.engine.blob_dead_bytes()[0] == 0
+            events = db.events(kind="compact")
+            assert events and events[-1].get("reclaimed_bytes") > 0
+
+    def test_maintain_defers_compaction_over_live_budget(self, tmp_path):
+        path = tmp_path / "t.db"
+        with make_db(
+            path,
+            blob_compact_min_dead_ratio=0.2,
+            blob_compact_budget_bytes=1,
+        ) as db:
+            vectors = populate(db)
+            db.upsert_batch(
+                (f"a{i:04d}", vectors[i]) for i in range(len(vectors))
+            )
+            db.build_index()
+            dead, _ = db.engine.blob_dead_bytes()
+            assert dead > 0
+            db.maintain()
+            # Live set exceeds the one-byte copy budget: deferred.
+            assert db.engine.blob_dead_bytes()[0] == dead
+
+    def test_compact_is_noop_on_other_backends(self, tmp_path):
+        with MicroNN.open(
+            tmp_path / "row.db",
+            make_config(storage_backend="sqlite-row"),
+        ) as db:
+            populate(db, n=40)
+            assert db.engine.blob_dead_bytes() == (0, 0)
+            assert db.engine.compact_storage() == 0
+            stats = db.index_stats()
+            assert stats.storage_dead_bytes == 0
+            assert stats.storage_dead_ratio == 0.0
+
+
+class TestVerifiedPointReads:
+    def test_point_reads_match_with_verification_on(self, tmp_path):
+        path = tmp_path / "t.db"
+        with make_db(path) as db:
+            vectors = populate(db)
+            raw = db.get_vector("a0005")
+            batch_ids, batch_rows = db.engine.fetch_vectors_by_asset_ids(
+                ["a0001", "a0007", "zz-missing"]
+            )
+        with make_db(path, verify_point_reads=True) as db:
+            verified = db.get_vector("a0005")
+            np.testing.assert_array_equal(raw, verified)
+            np.testing.assert_array_equal(verified, vectors[5])
+            got_ids, got_rows = db.engine.fetch_vectors_by_asset_ids(
+                ["a0001", "a0007", "zz-missing"]
+            )
+            assert got_ids == batch_ids
+            np.testing.assert_array_equal(got_rows, batch_rows)
+
+    def test_corrupt_record_quarantined_on_verified_point_read(
+        self, tmp_path
+    ):
+        path = tmp_path / "t.db"
+        with make_db(path) as db:
+            populate(db)
+            pid = locator_rows(path)[0][0]
+            entry = db.engine.load_partition(pid, use_cache=False)
+            victim = entry.asset_ids[0]
+        flip_payload_byte(path, pid)
+        # Verification off (the default): the raw offset-slice read
+        # returns the stored bytes without noticing the corruption.
+        with make_db(path) as db:
+            assert db.get_vector(victim) is not None
+            assert db.engine.quarantined_partitions == ()
+        # Verification on: the CRC-checked partition read catches it,
+        # the partition is quarantined, the read degrades to "absent".
+        with make_db(path, verify_point_reads=True) as db:
+            assert db.get_vector(victim) is None
+            assert pid in db.engine.quarantined_partitions
+            found, _ = db.engine.fetch_vectors_by_asset_ids([victim])
+            assert found == []
+            # repair() drops the torn partition; reads are clean again.
+            report = db.repair()
+            assert pid in report.dropped_partitions
+            assert db.verify().healthy
+
+
+class TestBudgetedScrub:
+    def test_budgeted_passes_cycle_every_partition(self, tmp_path):
+        path = tmp_path / "t.db"
+        with make_db(path) as db:
+            populate(db)
+            pids = set(db.engine.partition_sizes(include_delta=False))
+            assert len(pids) >= 3
+            seen: set[int] = set()
+            for _ in range(len(pids)):
+                report = db.verify(budget_bytes=1)
+                assert report.partitions_checked == 1
+                seen.add(int(db.engine.get_meta(SCRUB_CURSOR_META_KEY)))
+            # One partition per pass, round-robin: after exactly
+            # len(pids) passes every partition has been verified once.
+            assert seen == pids
+            event = db.events(kind="scrub")[-1]
+            assert event.get("partial") is True
+            assert event.get("bytes_read") > 0
+
+    def test_cursor_survives_reopen(self, tmp_path):
+        path = tmp_path / "t.db"
+        with make_db(path) as db:
+            populate(db)
+            db.verify(budget_bytes=1)
+            cursor = db.engine.get_meta(SCRUB_CURSOR_META_KEY)
+        with make_db(path) as db:
+            assert db.engine.get_meta(SCRUB_CURSOR_META_KEY) == cursor
+            db.verify(budget_bytes=1)
+            assert db.engine.get_meta(SCRUB_CURSOR_META_KEY) != cursor
+
+    def test_budgeted_scrub_still_catches_corruption(self, tmp_path):
+        path = tmp_path / "t.db"
+        with make_db(path) as db:
+            populate(db)
+            pids = sorted(db.engine.partition_sizes(include_delta=False))
+        flip_payload_byte(path, pids[0])
+        with make_db(path, scrub_budget_bytes=1) as db:
+            # Enough maintain() cycles to cover the whole ring.
+            for _ in range(len(pids)):
+                db.maintain()
+            assert pids[0] in db.engine.quarantined_partitions
+
+    def test_full_scrub_ignores_cursor(self, tmp_path):
+        path = tmp_path / "t.db"
+        with make_db(path) as db:
+            populate(db)
+            total = len(db.engine.partition_sizes(include_delta=False))
+            db.verify(budget_bytes=1)
+            report = db.verify()
+            assert report.partitions_checked == total
+
+
+class TestTelemetryAndRegistry:
+    def test_blobfile_stats_gauges_exported(self, tmp_path):
+        with make_db(tmp_path / "t.db") as db:
+            populate(db)
+            db.search(np.zeros(DIM, dtype=np.float32), k=3)
+            text = db.metrics().to_prometheus()
+            assert "micronn_blobfile_stats" in text
+            stats = db.engine._backend.blob_stats()
+            assert stats["appends"] > 0
+            assert stats["appended_bytes"] > 0
+            assert stats["mmap_bytes_served"] > 0
+
+    def test_commit_point_registry_includes_compact(self):
+        assert "compact" in commit_points_for("blobfile")
+        assert "compact" in commit_points_for("fault:blobfile")
+        assert "compact" not in commit_points_for("sqlite-packed")
+
+    def test_index_stats_reports_backend(self, tmp_path):
+        with make_db(tmp_path / "t.db") as db:
+            populate(db, n=40)
+            assert db.index_stats().storage_backend == "blobfile"
+
+
+class TestShardFileHygiene:
+    def test_shard_sweep_pattern_covers_blob_generations(self):
+        assert _SHARD_FILE_RE.match("shard-0001-of-0002.db")
+        assert _SHARD_FILE_RE.match("shard-0001-of-0002.db-wal")
+        assert _SHARD_FILE_RE.match("shard-0001-of-0002.db.blob.0")
+        assert _SHARD_FILE_RE.match("shard-0001-of-0002.db.blob.12")
+        assert not _SHARD_FILE_RE.match("shard-0001-of-0002.db.blob.")
+        assert not _SHARD_FILE_RE.match("keep-me.db.blob.0")
+
+    def test_remove_sqlite_files_takes_blob_generations(self, tmp_path):
+        base = tmp_path / "shard-0001-of-0002.db"
+        for name in (
+            "shard-0001-of-0002.db",
+            "shard-0001-of-0002.db-wal",
+            "shard-0001-of-0002.db.blob.0",
+            "shard-0001-of-0002.db.blob.3",
+        ):
+            (tmp_path / name).write_bytes(b"x")
+        (tmp_path / "unrelated.txt").write_bytes(b"keep")
+        _remove_sqlite_files(os.fspath(base))
+        assert sorted(os.listdir(tmp_path)) == ["unrelated.txt"]

@@ -28,7 +28,7 @@ from repro import MicroNN, MicroNNConfig, WriteConflictError
 from repro.core.errors import SimulatedCrash
 from repro.core.types import MaintenanceAction
 from repro.storage.backends.fault import FaultPlan, controller_for
-from repro.storage.engine import COMMIT_POINTS
+from repro.storage.engine import commit_points_for
 from tests.conftest import _PHYSICAL_BACKEND
 
 FAULT_BACKEND = f"fault:{_PHYSICAL_BACKEND}"
@@ -60,9 +60,11 @@ def make_vectors(rng: np.random.Generator) -> dict[str, np.ndarray]:
 def build_steps(db: MicroNN, vectors: dict[str, np.ndarray]):
     """The scripted workload: (name, fn, adds, removes) per step.
 
-    Collectively the steps pass every label in ``COMMIT_POINTS``:
-    upsert, delete, replace_centroids + assign + rebuild_codes +
-    column_stats (build), assign + update_centroids (flush), repair.
+    Collectively the steps pass every label in
+    ``commit_points_for(backend)``: upsert, delete,
+    replace_centroids + assign + rebuild_codes + column_stats (build),
+    assign + update_centroids (flush), compact (a labelled commit on
+    the blobfile backend only; a no-op elsewhere), repair.
     """
     first = [i for i in vectors if i.startswith("a")]
     second = [i for i in vectors if i.startswith("b")]
@@ -95,6 +97,16 @@ def build_steps(db: MicroNN, vectors: dict[str, np.ndarray]):
         (
             "flush",
             lambda: db.maintain(force=MaintenanceAction.INCREMENTAL_FLUSH),
+            set(),
+            set(),
+        ),
+        # Blob-file compaction (generation copy + locator flip) is a
+        # labelled commit on the blobfile backend; on the others
+        # compact_storage() returns 0 without committing anything, so
+        # the step is a harmless no-op there.
+        (
+            "compact",
+            lambda: db.engine.compact_storage(),
             set(),
             set(),
         ),
@@ -172,12 +184,12 @@ def run_clean(tmp_path, rng):
 class TestKillPointSweep:
     def test_workload_covers_every_commit_point(self, tmp_path, rng):
         _, labels = run_clean(tmp_path, rng)
-        assert set(COMMIT_POINTS) <= labels
+        assert set(commit_points_for(_PHYSICAL_BACKEND)) <= labels
 
     @pytest.mark.parametrize("mode", ["before", "after"])
     def test_sweep(self, tmp_path, rng, mode):
         total, _ = run_clean(tmp_path, rng)
-        assert total >= len(COMMIT_POINTS)
+        assert total >= len(commit_points_for(_PHYSICAL_BACKEND))
         for ordinal in range(1, total + 1):
             case = tmp_path / f"{mode}-{ordinal:02d}"
             case.mkdir()
@@ -305,5 +317,45 @@ class TestTornWrites:
             result = db.search(probe, k=5, nprobe=10_000)
             assert not result.stats.degraded
             assert db.engine.quarantined_partitions == ()
+        finally:
+            db.close()
+
+    def test_torn_append_tail_degrades_then_repairs(self, tmp_path, rng):
+        """A torn append — power loss mid-write leaves the blob file's
+        last record truncated. The locator points past the end of the
+        file, so the partition fails verification, is quarantined, and
+        repair() drops it, restoring a clean verify()."""
+        if _PHYSICAL_BACKEND != "blobfile":
+            pytest.skip("torn appends target the blob file's tail record")
+        path = tmp_path / "torn-append.db"
+        vectors = make_vectors(rng)
+        config = make_config(FAULT_BACKEND, quantization="none")
+        db = MicroNN.open(path, config)
+        ctrl = controller_for(db.path)
+        db.upsert_batch((i, v) for i, v in vectors.items())
+        db.build_index()
+        ctrl.arm(FaultPlan(tear_append_after_commit=1))
+        extra = rng.normal(size=DIM).astype(np.float32)
+        with pytest.raises(SimulatedCrash):
+            db.upsert("zz-extra", extra)
+        ctrl.disarm()
+        db.close()
+
+        db = MicroNN.open(
+            path, make_config(_PHYSICAL_BACKEND, quantization="none")
+        )
+        try:
+            # The truncated tail record fails verification (bounds or
+            # CRC) and only that partition is implicated.
+            report = db.verify()
+            assert report.corrupt_vectors
+            assert len(report.corrupt_vectors) == 1
+            # Torn floats are unrecoverable; repair drops the
+            # partition and the database verifies clean again.
+            report = db.repair()
+            assert report.dropped_partitions
+            assert db.verify().healthy
+            db.build_index()
+            assert db.check_integrity() == []
         finally:
             db.close()

@@ -15,6 +15,7 @@ from repro.storage.cache import (
     _SCRATCH_GRANULE,
 )
 from repro.storage.memory import MemoryTracker
+from tests.conftest import _PHYSICAL_BACKEND
 
 
 class TestCheckoutCheckin:
@@ -176,6 +177,10 @@ def cold_device(scratch_bytes: int = 1 << 22) -> DeviceProfile:
     )
 
 
+@pytest.mark.skipif(
+    _PHYSICAL_BACKEND == "blobfile",
+    reason="blobfile serves zero-copy mmap views and never leases scratch",
+)
 class TestEngineIntegration:
     def _open(self, rng, quantization: str = "none") -> MicroNN:
         config = MicroNNConfig(

@@ -27,6 +27,7 @@ from tests.conftest import _PHYSICAL_BACKEND, requires_file_backend
 
 DIM = 6
 PACKED = _PHYSICAL_BACKEND == "sqlite-packed"
+BLOBFILE = _PHYSICAL_BACKEND == "blobfile"
 
 
 @pytest.fixture
@@ -54,6 +55,24 @@ def flip_blob(db, pid: int, *, codes: bool = False) -> None:
     thing standing between this and a silently wrong answer.
     """
     engine = db.engine
+    if BLOBFILE:
+        # Payloads live in the append-only blob file, not SQLite:
+        # flip a byte of the record's payload tail in place.
+        kind = "codes" if codes else "vectors"
+        with engine.read_snapshot() as conn:
+            gen, offset, length = conn.execute(
+                "SELECT gen, offset, length FROM blob_locator "
+                "WHERE partition_id=? AND kind=?",
+                (pid, kind),
+            ).fetchone()
+        with open(f"{engine.path}.blob.{gen}", "r+b") as fh:
+            fh.seek(offset + length - 3)
+            byte = fh.read(1)
+            fh.seek(offset + length - 3)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        engine._backend.drop_mappings()
+        engine.purge_caches()
+        return
     with engine.write_transaction() as conn:
         if PACKED:
             table, column = (
