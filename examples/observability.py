@@ -16,6 +16,12 @@ carries by default:
   scrubs, retrains, degraded shards) land in a bounded ring with
   exact lifetime counts, and optionally in a JSONL file
   (``event_log_path``) that survives the ring's eviction.
+- **quality auditing** — ``audit_sample_rate`` turns on a shadow
+  recall auditor that re-executes sampled queries on the exact scan
+  path off the hot path; a sliding window below
+  ``audit_recall_floor`` emits a ``recall_dip`` event, and
+  ``db.advise()`` turns the observed recall + workload heatmaps into
+  evidence-backed tuning recommendations.
 
 Telemetry is on by default and costs a single attribute check when
 idle; ``benchmarks/bench_obs_overhead.py`` gates the warm-query
@@ -121,6 +127,53 @@ def main() -> None:
             "JSONL sink lines: "
             f"{sum(1 for _ in open(config.event_log_path))}"
         )
+
+    # --- 4. Quality auditing: induce a recall dip, catch it. --------
+    # Reopen with the auditor on and a deliberately starved probe set:
+    # nprobe=1 on a ~40-partition index collapses recall, the shadow
+    # audits see it, and advise() names the knob to turn.
+    audited = MicroNNConfig(
+        dim=DIM,
+        target_cluster_size=100,
+        default_nprobe=1,  # the induced misconfiguration
+        audit_sample_rate=1.0,  # audit everything (demo; sample in prod)
+        audit_max_per_min=10_000,
+        audit_recall_floor=0.9,
+        audit_window=16,
+    )
+    with MicroNN.open(config=audited) as db:
+        vectors = rng.normal(size=(NUM_VECTORS, DIM)).astype(np.float32)
+        db.upsert_batch(
+            (f"asset-{i:05d}", vectors[i]) for i in range(NUM_VECTORS)
+        )
+        db.build_index()
+        for i in range(40):
+            db.search(vectors[i], k=K)
+
+        summary = db.audit_summary()
+        print(
+            f"\nshadow audit: {summary.audited_queries} queries, "
+            f"mean recall@{K} {summary.mean_recall:.3f}, "
+            f"{summary.recall_dips} dip(s) below "
+            f"{audited.audit_recall_floor}"
+        )
+        for event in db.events(kind="recall_dip", limit=1):
+            print(
+                f"  recall_dip: window mean "
+                f"{event.get('mean_recall')} at "
+                f"nprobe={event.get('nprobe')}"
+            )
+        heat = db.workload().heatmap[:3]
+        print(
+            "hottest partitions: "
+            + ", ".join(
+                f"#{h.partition_id} ({h.scans} scans)" for h in heat
+            )
+        )
+        print()
+        from repro.obs import format_recommendations
+
+        print(format_recommendations(db.advise()))
 
 
 if __name__ == "__main__":

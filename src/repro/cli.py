@@ -30,6 +30,8 @@ file).
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 import time
 from pathlib import Path
@@ -39,6 +41,11 @@ import numpy as np
 from repro import MicroNN, MicroNNConfig, ShardedMicroNN
 from repro.core.config import SUPPORTED_STORAGE_BACKENDS
 from repro.core.types import MaintenanceAction
+from repro.obs import (
+    EVENT_KINDS,
+    format_recommendations,
+    merge_chrome_traces,
+)
 from repro.shard.manifest import ShardManifest
 from repro.storage.backends import detect_backend
 
@@ -312,13 +319,29 @@ def cmd_trace(args: argparse.Namespace) -> int:
     args.dim = query.shape[0]
     db = _open(args)
     if isinstance(db, ShardedMicroNN):
+        # The sharded facade's search() aggregates results but not
+        # span forests, so the scatter is traced per shard and the
+        # forests merged into one Chrome trace — each shard becomes
+        # its own named process row in Perfetto.
+        results = [
+            shard.search(query, k=args.k, nprobe=args.nprobe, trace=True)
+            for shard in db.shards
+        ]
+        labels = [Path(shard.path).name for shard in db.shards]
+        merged = merge_chrome_traces(
+            [r.trace for r in results], labels=labels
+        )
+        Path(args.out).write_text(json.dumps(merged, indent=2))
+        spans = sum(len(r.trace.spans) for r in results)
+        latency = max(r.stats.latency_s for r in results)
         print(
-            "trace drives the single-database executor; run it "
-            "against one shard file",
-            file=sys.stderr,
+            f"wrote {args.out}: {spans} root span(s) across "
+            f"{len(results)} shard(s), slowest shard "
+            f"{latency * 1e3:.2f}ms — load in "
+            "https://ui.perfetto.dev or chrome://tracing"
         )
         db.close()
-        return 2
+        return 0
     result = db.search(query, k=args.k, nprobe=args.nprobe, trace=True)
     Path(args.out).write_text(result.trace.to_json())
     stats = result.stats
@@ -330,6 +353,46 @@ def cmd_trace(args: argparse.Namespace) -> int:
     )
     db.close()
     return 0
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    """Print the newest structured events (optionally one kind)."""
+    db = _open(args)
+    events = db.events(limit=args.limit, kind=args.kind)
+    if args.json:
+        for event in events:
+            print(json.dumps(event.to_dict(), default=str))
+    elif not events:
+        kinds = ", ".join(EVENT_KINDS)
+        print(f"no events recorded (kinds: {kinds})")
+    else:
+        for event in events:
+            stamp = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(event.timestamp)
+            )
+            fields = " ".join(
+                f"{key}={value}" for key, value in event.fields
+            )
+            print(f"{stamp}  {event.kind:<20s} {fields}".rstrip())
+    db.close()
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    """Print evidence-backed tuning recommendations."""
+    db = _open(args)
+    recs = db.advise()
+    if args.json:
+        print(
+            json.dumps([dataclasses.asdict(rec) for rec in recs],
+                       indent=2)
+        )
+    else:
+        print(format_recommendations(recs))
+    db.close()
+    # Exit 1 when any recommendation flags an observed quality/cost
+    # problem, so scripts can gate on `repro advise`.
+    return 1 if any(rec.severity == "warn" for rec in recs) else 0
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -472,10 +535,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser(
+        "events",
+        help="print the newest structured events (see EVENT_KINDS)",
+    )
+    common(p)
+    sharded(p)
+    p.add_argument(
+        "--kind", default=None,
+        help="filter to one event kind (e.g. recall_dip, quarantine)",
+    )
+    p.add_argument(
+        "--limit", type=int, default=None,
+        help="keep only the newest N matching events",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="one JSON object per line instead of the table",
+    )
+    p.set_defaults(func=cmd_events)
+
+    p = sub.add_parser(
+        "advise",
+        help="evidence-backed tuning recommendations (exit 1 on warn)",
+    )
+    common(p)
+    sharded(p)
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable recommendation list",
+    )
+    p.set_defaults(func=cmd_advise)
+
+    p = sub.add_parser(
         "trace",
         help="run one traced query, write Chrome-trace JSON",
     )
     common(p)
+    sharded(p)
     p.add_argument("--query", required=True)
     p.add_argument(
         "--out", default="trace.json",
@@ -502,6 +598,8 @@ def main(argv: list[str] | None = None) -> int:
         "stats",
         "scrub",
         "metrics",
+        "events",
+        "advise",
         "demo",
     ):
         if args.command == "demo":

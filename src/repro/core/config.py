@@ -384,6 +384,29 @@ class MicroNNConfig:
     #: this path as one JSON object per line (opened lazily on first
     #: emit). Shards sharing one config append to the same file.
     event_log_path: str | None = None
+    #: Fraction of approximate queries (ANN / post-filter plans) the
+    #: shadow recall auditor re-executes on the exact scan path, in
+    #: [0, 1]. The decision is a seeded, platform-stable hash of the
+    #: query bytes, so the same query is always (or never) audited
+    #: under a given seed. ``0.0`` (the default) disables auditing
+    #: entirely — no worker thread, no hot-path hash.
+    audit_sample_rate: float = 0.0
+    #: Hard cap on shadow audits started per minute, bounding the
+    #: background exact-scan work regardless of traffic volume.
+    #: Over-budget samples are dropped and counted
+    #: (``micronn_audit_dropped_total{reason="rate_capped"}``).
+    audit_max_per_min: int = 600
+    #: When the sliding-window mean of audited recall@k falls below
+    #: this floor, the auditor emits a ``recall_dip`` event (and the
+    #: advisor recommends the recall knobs). In [0, 1].
+    audit_recall_floor: float = 0.9
+    #: Audited queries per sliding window: the dip check fires only on
+    #: a full window and then re-arms, so a sustained regression emits
+    #: one event per window span.
+    audit_window: int = 32
+    #: Per-partition rows the workload heatmap retains; the least-
+    #: recently-touched quarter is evicted on overflow.
+    workload_heatmap_partitions: int = 4096
     device: DeviceProfile = field(default_factory=DeviceProfile.large)
     seed: int = 0
 
@@ -504,6 +527,18 @@ class MicroNNConfig:
             raise ConfigError("slow_query_ms must be > 0")
         if self.event_log_capacity < 1:
             raise ConfigError("event_log_capacity must be >= 1")
+        if not 0.0 <= self.audit_sample_rate <= 1.0:
+            raise ConfigError("audit_sample_rate must be in [0, 1]")
+        if self.audit_max_per_min < 1:
+            raise ConfigError("audit_max_per_min must be >= 1")
+        if not 0.0 <= self.audit_recall_floor <= 1.0:
+            raise ConfigError("audit_recall_floor must be in [0, 1]")
+        if self.audit_window < 1:
+            raise ConfigError("audit_window must be >= 1")
+        if self.workload_heatmap_partitions < 1:
+            raise ConfigError(
+                "workload_heatmap_partitions must be >= 1"
+            )
         self._validate_attributes()
 
     def _validate_attributes(self) -> None:

@@ -45,8 +45,17 @@ from repro.core.types import (
     SearchResult,
 )
 from repro.index.ivf import IVFBuilder
-from repro.obs import Event, MetricsSnapshot, Tracer
 from repro.index.maintenance import IncrementalMaintainer, IndexMonitor
+from repro.obs import (
+    AuditSummary,
+    Event,
+    MetricsSnapshot,
+    RecallAuditor,
+    Recommendation,
+    Tracer,
+    WorkloadSnapshot,
+    build_recommendations,
+)
 from repro.query.batch import BatchQueryExecutor
 from repro.query.executor import QueryExecutor, _check_k
 from repro.query.filters import Predicate, default_tokenizer
@@ -81,6 +90,24 @@ class MicroNN:
             self._monitor = IndexMonitor(self._engine, config)
             self._maintainer = IncrementalMaintainer(self._engine, config)
             self._token_stats = TokenStats(self._engine)
+            # Shadow recall auditor (repro.obs.audit): constructed only
+            # when sampling is on, and attached to the engine so the
+            # executor/scheduler funnel and the maintenance flush hook
+            # can reach it. Its worker thread starts lazily on the
+            # first sampled query.
+            self._auditor = None
+            if config.audit_sample_rate > 0 and config.telemetry_enabled:
+                self._auditor = RecallAuditor(
+                    self._executor,
+                    self._engine.metrics,
+                    self._engine.events,
+                    sample_rate=config.audit_sample_rate,
+                    max_per_min=config.audit_max_per_min,
+                    recall_floor=config.audit_recall_floor,
+                    window=config.audit_window,
+                    seed=config.seed,
+                )
+                self._engine.auditor = self._auditor
         except BaseException:
             # A failure after the engine came up must not leak its
             # connections (or the tempdir of an ephemeral database).
@@ -148,13 +175,20 @@ class MicroNN:
             if scheduler is not None:
                 scheduler.close()
         finally:
+            # The auditor drains before the executor closes: its
+            # shadow scans run on the caller-visible engine, so they
+            # must finish while the storage connections are alive.
             try:
-                self._executor.close()
+                if self._auditor is not None:
+                    self._auditor.close()
             finally:
                 try:
-                    self._batch_executor.close()
+                    self._executor.close()
                 finally:
-                    self._engine.close()
+                    try:
+                        self._batch_executor.close()
+                    finally:
+                        self._engine.close()
 
     def __enter__(self) -> "MicroNN":
         return self
@@ -323,7 +357,16 @@ class MicroNN:
         self._engine.compact_storage()
 
     def index_stats(self) -> IndexStats:
-        return self._monitor.stats()
+        stats = self._monitor.stats()
+        if self._auditor is None:
+            return stats
+        audit = self._auditor.summary()
+        return dataclasses.replace(
+            stats,
+            audited_queries=audit.audited_queries,
+            audit_recall_mean=audit.mean_recall,
+            recall_dips=audit.recall_dips,
+        )
 
     def recommended_action(self) -> MaintenanceAction:
         return self._monitor.recommend()
@@ -848,6 +891,40 @@ class MicroNN:
         newest matching events are returned.
         """
         return self._engine.events.tail(limit=limit, kind=kind)
+
+    def audit_summary(self) -> AuditSummary | None:
+        """Aggregate state of the shadow recall auditor.
+
+        ``None`` when auditing is off (``audit_sample_rate=0`` or
+        telemetry disabled). Pending shadow audits are drained first so
+        the summary reflects every query sampled so far.
+        """
+        if self._auditor is None:
+            return None
+        self._auditor.flush()
+        return self._auditor.summary()
+
+    def workload(self) -> WorkloadSnapshot:
+        """Bounded per-partition heatmap + query workload sketch."""
+        return self._engine.workload.snapshot()
+
+    def advise(self) -> tuple[Recommendation, ...]:
+        """Structured tuning recommendations from observed behaviour.
+
+        Combines the shadow auditor's measured recall, the partition
+        workload heatmap, and index stats into concrete knob
+        suggestions (``default_nprobe``, ``rerank_factor``,
+        ``adaptive_nprobe_margin``, cache sizing, quantization scheme),
+        each carrying the evidence it was derived from.
+        """
+        audit = self.audit_summary()
+        return build_recommendations(
+            self._config,
+            self.index_stats(),
+            self.metrics(),
+            audit,
+            self.workload(),
+        )
 
 
 def _as_record(record: VectorRecord | tuple) -> VectorRecord:

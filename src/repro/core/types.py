@@ -201,6 +201,14 @@ class IndexStats:
     #: ``blob_compact_min_dead_ratio`` to trigger compaction. 0.0 on
     #: the other backends (and on an empty blob file).
     storage_dead_ratio: float = 0.0
+    #: Queries shadow-audited by the recall auditor (0 when
+    #: ``audit_sample_rate`` is 0).
+    audited_queries: int = 0
+    #: Mean audited recall@k across every shadow audit (0.0 when
+    #: nothing has been audited yet — check ``audited_queries``).
+    audit_recall_mean: float = 0.0
+    #: ``recall_dip`` events the auditor has emitted.
+    recall_dips: int = 0
 
     @property
     def partition_growth(self) -> float:

@@ -237,6 +237,12 @@ class IncrementalMaintainer:
         engine.set_partition_assignments(moves, code_rows=code_rows)
         engine.update_centroids(centroid_updates)
         if retrain_needed:
+            # Drain pending shadow audits before the quantizer changes
+            # underneath them, and re-arm the dip window afterwards so
+            # pre-retrain recall never triggers a post-retrain dip.
+            auditor = getattr(engine, "auditor", None)
+            if auditor is not None:
+                auditor.flush()
             IVFBuilder(engine, self._config).refresh_quantizer()
             engine.metrics.counter(
                 "micronn_maintenance_actions_total",
@@ -248,6 +254,8 @@ class IncrementalMaintainer:
                 quantization=self._config.quantization,
                 vectors_flushed=len(moves),
             )
+            if auditor is not None:
+                auditor.reset_window()
 
         stats_after = self._monitor.stats()
         return MaintenanceReport(

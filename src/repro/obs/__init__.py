@@ -1,6 +1,6 @@
-"""Observability substrate: metrics, trace spans, structured events.
+"""Observability substrate: metrics, traces, events, quality audit.
 
-Three cooperating pieces, all engine-owned and config-gated by
+Cooperating pieces, all engine-owned and config-gated by
 ``MicroNNConfig.telemetry_enabled``:
 
 - :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry`
@@ -8,18 +8,35 @@ Three cooperating pieces, all engine-owned and config-gated by
   immutable snapshots, Prometheus text exposition, JSON export, and
   shard merging;
 - :mod:`repro.obs.trace` — a per-query span :class:`Tracer` producing
-  Chrome-trace-event JSON (``SearchResult.trace``);
+  Chrome-trace-event JSON (``SearchResult.trace``), with
+  :func:`merge_chrome_traces` folding per-shard traces into one
+  process-labelled timeline;
 - :mod:`repro.obs.events` — a bounded ring-buffer :class:`EventLog`
   for rare, meaningful moments (quarantine, degraded serving,
-  retrains, crash-recovery sweeps, slow queries) with an optional
-  JSONL sink.
+  retrains, crash-recovery sweeps, slow queries, recall dips) with an
+  optional JSONL sink;
+- :mod:`repro.obs.audit` — a sampled shadow :class:`RecallAuditor`
+  re-executing live queries on the exact scan path and recording
+  observed recall@k;
+- :mod:`repro.obs.workload` — bounded per-partition access heatmaps
+  plus a query-shape sketch (:class:`WorkloadMonitor`);
+- :mod:`repro.obs.advisor` — the evidence-backed tuning rule engine
+  behind ``advise()``.
 """
 
+from repro.obs.advisor import (
+    Recommendation,
+    build_recommendations,
+    combine_audit_summaries,
+    format_recommendations,
+)
+from repro.obs.audit import AuditSummary, RecallAuditor
 from repro.obs.events import EVENT_KINDS, Event, EventLog
 from repro.obs.metrics import (
     BYTES_BUCKETS,
     DEPTH_BUCKETS,
     LATENCY_BUCKETS_S,
+    RECALL_BUCKETS,
     WAIT_MS_BUCKETS,
     FamilySnapshot,
     HistogramValue,
@@ -28,7 +45,13 @@ from repro.obs.metrics import (
     SampleSnapshot,
     merge_snapshots,
 )
-from repro.obs.trace import QueryTrace, Span, Tracer
+from repro.obs.trace import QueryTrace, Span, Tracer, merge_chrome_traces
+from repro.obs.workload import (
+    PartitionHeat,
+    WorkloadMonitor,
+    WorkloadSketch,
+    WorkloadSnapshot,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -41,10 +64,22 @@ __all__ = [
     "BYTES_BUCKETS",
     "WAIT_MS_BUCKETS",
     "DEPTH_BUCKETS",
+    "RECALL_BUCKETS",
     "Tracer",
     "Span",
     "QueryTrace",
+    "merge_chrome_traces",
     "EventLog",
     "Event",
     "EVENT_KINDS",
+    "RecallAuditor",
+    "AuditSummary",
+    "WorkloadMonitor",
+    "WorkloadSketch",
+    "WorkloadSnapshot",
+    "PartitionHeat",
+    "Recommendation",
+    "build_recommendations",
+    "format_recommendations",
+    "combine_audit_summaries",
 ]

@@ -1,0 +1,393 @@
+"""Sampled shadow recall auditing against the exact scan path.
+
+The telemetry substrate measures latency and bytes; this module
+measures the axis the paper trades them against: **recall**. A
+:class:`RecallAuditor` deterministically samples finished approximate
+queries (ANN / post-filter — exact and pre-filter plans are 100%
+recall by construction), re-executes each sample on the *exact* scan
+machinery off the hot path, and folds the observed recall@k into the
+metric families, the event log, and a sliding window that raises a
+``recall_dip`` event when quality drops below the configured floor.
+
+Design constraints, in order:
+
+- **Hot-path cost is one hash.** ``maybe_submit`` does a seeded
+  BLAKE2b of the query bytes, a threshold compare, and (on the sampled
+  fraction only) a rate-cap check plus a queue append. Everything
+  expensive — the exhaustive shadow scan — runs on one background
+  worker thread.
+- **Deterministic sampling.** The same query bytes under the same seed
+  always make the same sampling decision, on every platform (the
+  :class:`~repro.shard.router.HashRouter` argument), so audited
+  workloads are reproducible and per-shard audit populations are
+  stable under re-runs.
+- **No recursion.** Shadow queries run through
+  ``QueryExecutor.shadow_exact_ids``, which bypasses the per-query
+  telemetry funnel entirely — they appear in no metric family, emit no
+  events, and can never be re-sampled. A thread-local guard makes the
+  no-recursion property hold even if a future caller routes shadow
+  work through an instrumented path.
+- **Bounded everything.** The pending queue, the per-minute budget
+  (``audit_max_per_min``), and the sliding window are all fixed-size;
+  overflow increments a ``dropped`` counter instead of growing state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.metrics import RECALL_BUCKETS
+
+__all__ = ["RecallAuditor", "AuditSummary"]
+
+#: Plans whose results are approximate and therefore worth auditing.
+_AUDITABLE_PLANS = ("ann", "post_filter")
+
+#: Pending shadow executions the queue will hold before dropping.
+_QUEUE_LIMIT = 256
+
+#: Distinct (plan, scan_mode, nprobe) evidence rows kept for advise().
+_EVIDENCE_LIMIT = 64
+
+
+@dataclass(frozen=True, slots=True)
+class AuditSummary:
+    """Point-in-time audit state consumed by ``advise()``."""
+
+    #: Queries shadow-audited so far.
+    audited_queries: int
+    #: Mean recall@k across every audited query.
+    mean_recall: float
+    #: Mean recall of the (possibly partial) current sliding window.
+    window_mean: float
+    #: Audits currently in the sliding window.
+    window_size: int
+    #: ``recall_dip`` events emitted.
+    recall_dips: int
+    #: Sampled queries dropped before auditing (rate cap / overflow).
+    dropped: int
+    #: Per-(plan, scan_mode, nprobe) evidence: (key, count, mean).
+    by_label: tuple[tuple[tuple[str, str, int], int, float], ...]
+
+    def recall_at_nprobe(self) -> tuple[tuple[int, int, float], ...]:
+        """(nprobe, audited, mean_recall) rows, ascending nprobe."""
+        acc: dict[int, tuple[int, float]] = {}
+        for (_, _, nprobe), count, mean in self.by_label:
+            prev_count, prev_sum = acc.get(nprobe, (0, 0.0))
+            acc[nprobe] = (prev_count + count, prev_sum + mean * count)
+        return tuple(
+            (nprobe, count, total / count)
+            for nprobe, (count, total) in sorted(acc.items())
+        )
+
+
+class RecallAuditor:
+    """Deterministic sampled shadow auditor over one executor."""
+
+    def __init__(
+        self,
+        executor,
+        metrics,
+        events,
+        *,
+        sample_rate: float,
+        max_per_min: int,
+        recall_floor: float,
+        window: int,
+        seed: int = 0,
+    ) -> None:
+        self._executor = executor
+        self._events = events
+        self._sample_rate = float(sample_rate)
+        self._max_per_min = int(max_per_min)
+        self._recall_floor = float(recall_floor)
+        self._seed = struct.pack("<q", int(seed))
+        self.enabled = self._sample_rate > 0.0
+        self._m_recall = metrics.histogram(
+            "micronn_audit_recall",
+            "Shadow-audited recall@k of sampled queries.",
+            buckets=RECALL_BUCKETS,
+            labels=("plan", "scan_mode", "nprobe"),
+        )
+        self._m_audited = metrics.counter(
+            "micronn_audit_queries_total",
+            "Queries shadow-audited against the exact scan path.",
+            labels=("plan", "scan_mode"),
+        )
+        self._m_dropped = metrics.counter(
+            "micronn_audit_dropped_total",
+            "Sampled queries dropped before auditing, by reason.",
+            labels=("reason",),
+        )
+        self._m_dips = metrics.counter(
+            "micronn_audit_recall_dips_total",
+            "Sliding-window recall dips detected.",
+        )
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._queue: deque = deque()
+        self._pending = 0
+        self._worker: threading.Thread | None = None
+        self._stop = False
+        self._shadow = threading.local()
+        # Rate-cap window (monotonic minute buckets).
+        self._minute_start: float | None = None
+        self._minute_count = 0
+        # Accumulators (under _lock).
+        self._audited = 0
+        self._recall_sum = 0.0
+        self._dropped = 0
+        self._dips = 0
+        self._window: deque[float] = deque(maxlen=max(1, int(window)))
+        self._by_label: dict[tuple[str, str, int], list] = {}
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+
+    def should_sample(self, query: np.ndarray) -> bool:
+        """Deterministic, platform-independent sampling decision.
+
+        BLAKE2b over the canonical float32 query bytes, salted with the
+        config seed, mapped to [0, 1) and compared to the sample rate —
+        the same construction as the shard ``HashRouter``, so the
+        decision is stable across processes, platforms, and shards.
+        """
+        if self._sample_rate >= 1.0:
+            return True
+        digest = hashlib.blake2b(
+            np.ascontiguousarray(query, dtype=np.float32).tobytes(),
+            digest_size=8,
+            salt=self._seed,
+        ).digest()
+        (value,) = struct.unpack("<Q", digest)
+        return value / 2.0**64 < self._sample_rate
+
+    def maybe_submit(self, query, k: int, stats, neighbors) -> bool:
+        """Sample one finished query; True when enqueued for audit.
+
+        Called at the end of every approximate query (serial and
+        scheduled). Never blocks: over-budget or over-queue samples are
+        dropped and counted.
+        """
+        if not self.enabled:
+            return False
+        if stats.plan.value not in _AUDITABLE_PLANS:
+            return False
+        if getattr(self._shadow, "active", False):
+            return False
+        if not self.should_sample(query):
+            return False
+        now = time.monotonic()
+        with self._lock:
+            if self._stop:
+                return False
+            if (
+                self._minute_start is None
+                or now - self._minute_start >= 60.0
+            ):
+                self._minute_start = now
+                self._minute_count = 0
+            if self._minute_count >= self._max_per_min:
+                self._dropped += 1
+                reason = "rate_capped"
+            elif len(self._queue) >= _QUEUE_LIMIT:
+                self._dropped += 1
+                reason = "queue_full"
+            else:
+                self._minute_count += 1
+                self._pending += 1
+                self._queue.append(
+                    (
+                        np.array(query, dtype=np.float32, copy=True),
+                        int(k),
+                        stats.plan.value,
+                        stats.scan_mode,
+                        int(stats.nprobe),
+                        tuple(n.asset_id for n in neighbors),
+                    )
+                )
+                reason = None
+                self._ensure_worker()
+                self._cv.notify()
+        if reason is not None:
+            self._m_dropped.inc(reason=reason)
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Background worker
+    # ------------------------------------------------------------------
+
+    def _ensure_worker(self) -> None:
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._worker_loop,
+                name="micronn-audit",
+                daemon=True,
+            )
+            self._worker.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._stop:
+                    self._cv.wait()
+                if self._stop and not self._queue:
+                    return
+                item = self._queue.popleft()
+            try:
+                self._audit_one(*item)
+            except Exception:
+                # The executor may be mid-close, or a fault-injecting
+                # backend may be armed; a failed shadow run must never
+                # kill the worker or surface to the live query path.
+                self._m_dropped.inc(reason="error")
+                with self._lock:
+                    self._dropped += 1
+            finally:
+                with self._lock:
+                    self._pending -= 1
+                    self._cv.notify_all()
+
+    def _audit_one(
+        self,
+        query: np.ndarray,
+        k: int,
+        plan: str,
+        scan_mode: str,
+        nprobe: int,
+        result_ids: tuple[str, ...],
+    ) -> None:
+        self._shadow.active = True
+        try:
+            exact_ids = self._executor.shadow_exact_ids(query, k)
+        finally:
+            self._shadow.active = False
+        denom = len(exact_ids)
+        if not denom:
+            return
+        overlap = len(frozenset(result_ids) & frozenset(exact_ids))
+        recall = overlap / denom
+        self._m_recall.observe(
+            recall, plan=plan, scan_mode=scan_mode, nprobe=str(nprobe)
+        )
+        self._m_audited.inc(plan=plan, scan_mode=scan_mode)
+        dip = None
+        with self._lock:
+            self._audited += 1
+            self._recall_sum += recall
+            key = (plan, scan_mode, nprobe)
+            row = self._by_label.get(key)
+            if row is None and len(self._by_label) < _EVIDENCE_LIMIT:
+                row = self._by_label[key] = [0, 0.0]
+            if row is not None:
+                row[0] += 1
+                row[1] += recall
+            self._window.append(recall)
+            if len(self._window) == self._window.maxlen:
+                mean = sum(self._window) / len(self._window)
+                if mean < self._recall_floor:
+                    dip = (len(self._window), mean)
+                    self._dips += 1
+                    # Re-arm: the next dip needs a full fresh window,
+                    # so a sustained regression emits one event per
+                    # window span instead of one per query.
+                    self._window.clear()
+        if overlap < denom:
+            self._events.emit(
+                "audit",
+                plan=plan,
+                scan_mode=scan_mode,
+                nprobe=nprobe,
+                k=k,
+                recall=round(recall, 4),
+                missing=denom - overlap,
+            )
+        if dip is not None:
+            window, mean = dip
+            self._m_dips.inc()
+            self._events.emit(
+                "recall_dip",
+                window=window,
+                mean_recall=round(mean, 4),
+                floor=self._recall_floor,
+                plan=plan,
+                scan_mode=scan_mode,
+                nprobe=nprobe,
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle + summaries
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def flush(self, timeout: float | None = None) -> bool:
+        """Block until every queued shadow audit has completed.
+
+        Called by maintenance before a retrain (so the audit window
+        reflects the pre-retrain quantizer) and by tests; returns False
+        on timeout.
+        """
+        with self._lock:
+            self._cv.notify_all()
+            if timeout is None:
+                while self._pending > 0:
+                    self._cv.wait()
+                return True
+            deadline = time.monotonic() + timeout
+            while self._pending > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cv.wait(remaining)
+            return True
+
+    def reset_window(self) -> None:
+        """Drop the sliding window (maintenance calls this after a
+        retrain: pre- and post-retrain recall are different regimes)."""
+        with self._lock:
+            self._window.clear()
+
+    def close(self) -> None:
+        """Stop the worker after draining what is already queued."""
+        with self._lock:
+            self._stop = True
+            self._cv.notify_all()
+            worker = self._worker
+        if worker is not None:
+            worker.join()
+
+    def summary(self) -> AuditSummary:
+        with self._lock:
+            window = list(self._window)
+            return AuditSummary(
+                audited_queries=self._audited,
+                mean_recall=(
+                    self._recall_sum / self._audited
+                    if self._audited
+                    else 0.0
+                ),
+                window_mean=(
+                    sum(window) / len(window) if window else 0.0
+                ),
+                window_size=len(window),
+                recall_dips=self._dips,
+                dropped=self._dropped,
+                by_label=tuple(
+                    (key, row[0], row[1] / row[0])
+                    for key, row in sorted(self._by_label.items())
+                    if row[0]
+                ),
+            )

@@ -36,6 +36,8 @@ EVENT_KINDS = (
     "scrub",
     "repair",
     "compact",
+    "audit",
+    "recall_dip",
 )
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "BYTES_BUCKETS",
     "WAIT_MS_BUCKETS",
     "DEPTH_BUCKETS",
+    "RECALL_BUCKETS",
 ]
 
 #: Query/operation latency buckets, seconds (0.5 ms .. 2.5 s).
@@ -59,6 +60,10 @@ WAIT_MS_BUCKETS = (
 )
 #: Pipeline prefetch-depth buckets (work items in flight).
 DEPTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+#: Recall@k buckets (fractions; dense near 1.0 where tuning happens).
+RECALL_BUCKETS = (
+    0.1, 0.25, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0,
+)
 
 _KINDS = ("counter", "gauge", "histogram")
 

@@ -23,7 +23,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Tracer", "Span", "QueryTrace"]
+__all__ = ["Tracer", "Span", "QueryTrace", "merge_chrome_traces"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,8 +69,13 @@ class QueryTrace:
                     return span
         return None
 
-    def to_chrome_trace(self) -> dict:
-        """Chrome trace-event JSON object (Perfetto-loadable)."""
+    def to_chrome_trace(self, pid: int = 1) -> dict:
+        """Chrome trace-event JSON object (Perfetto-loadable).
+
+        ``pid`` labels every event's process id — a single-database
+        trace is process 1; the sharded merge assigns one pid per
+        shard (:func:`merge_chrome_traces`).
+        """
         events = []
         for root in self.spans:
             for span in root.walk():
@@ -81,7 +86,7 @@ class QueryTrace:
                         "ph": "X",
                         "ts": round(span.start_s * 1e6, 3),
                         "dur": round(span.duration_s * 1e6, 3),
-                        "pid": 1,
+                        "pid": pid,
                         "tid": span.thread_id,
                         "args": dict(span.args),
                     }
@@ -90,6 +95,39 @@ class QueryTrace:
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_chrome_trace(), indent=indent)
+
+
+def merge_chrome_traces(
+    traces: list[QueryTrace], labels: list[str] | None = None
+) -> dict:
+    """Fold per-shard query traces into one Chrome-trace JSON object.
+
+    Each trace becomes its own process: events are re-stamped with
+    ``pid = i + 1`` and a ``process_name`` metadata event carries the
+    shard label, so Perfetto renders the scatter as parallel process
+    tracks on a shared timeline (every tracer's epoch is its own
+    construction time, which for a scatter is the same instant to
+    within dispatch jitter).
+    """
+    events: list[dict] = []
+    for i, trace in enumerate(traces):
+        pid = i + 1
+        label = (
+            labels[i]
+            if labels is not None and i < len(labels)
+            else f"shard-{i}"
+        )
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        events.extend(trace.to_chrome_trace(pid=pid)["traceEvents"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 @dataclass

@@ -385,6 +385,49 @@ class QueryExecutor:
                 partitions_quarantined=stats.partitions_quarantined,
             )
 
+    def observe_completed_query(
+        self, query: np.ndarray, k: int, stats: QueryStats, neighbors
+    ) -> None:
+        """Quality-observability funnel for one finished query.
+
+        Folds the query shape into the engine's workload sketch and
+        offers the query to the shadow recall auditor (which samples
+        deterministically and does all real work off this thread).
+        Called by every serial plan entry point and by the serving
+        scheduler's result assembly — the same coverage contract as
+        :meth:`record_query_stats`. Shadow audits themselves bypass
+        this funnel entirely (:meth:`shadow_exact_ids`), so auditing
+        can never sample its own traffic.
+        """
+        workload = self._engine.workload
+        if workload.enabled:
+            workload.record_query(k, stats)
+        auditor = self._engine.auditor
+        if auditor is not None and auditor.enabled:
+            auditor.maybe_submit(query, k, stats, neighbors)
+
+    def shadow_exact_ids(self, query: np.ndarray, k: int) -> list[str]:
+        """Exact top-k asset ids with NO telemetry side effects.
+
+        The recall auditor's shadow path: the same exhaustive scan,
+        kernels, and canonical ``(distance, asset_id)`` surfacing as
+        :meth:`search_exact`, but it records no stats, emits no
+        events, and never re-enters the audit funnel — the structural
+        guarantee that shadow queries cannot recurse.
+        """
+        _check_k(k)
+        query = self._as_query(query)
+        heap = TopKHeap(k)
+        with self._engine.scan_session():
+            for ids, matrix in self._engine.iter_vector_batches(
+                batch_size=4096
+            ):
+                dist = distances_to_one(
+                    query, matrix, self._config.metric
+                )
+                push_topk(heap, ids, dist, k)
+        return [n.asset_id for n in self._finalize([heap], k)]
+
     # ------------------------------------------------------------------
     # Plan entry points
     # ------------------------------------------------------------------
@@ -460,6 +503,7 @@ class QueryExecutor:
             degraded=io_delta.partitions_quarantined > 0,
         )
         self.record_query_stats(stats)
+        self.observe_completed_query(query, k, stats, neighbors)
         return SearchResult(
             neighbors=neighbors,
             stats=stats,
@@ -507,6 +551,7 @@ class QueryExecutor:
             degraded=io_delta.partitions_quarantined > 0,
         )
         self.record_query_stats(stats)
+        self.observe_completed_query(query, k, stats, neighbors)
         return SearchResult(
             neighbors=neighbors,
             stats=stats,
@@ -560,6 +605,7 @@ class QueryExecutor:
             degraded=io_delta.partitions_quarantined > 0,
         )
         self.record_query_stats(stats)
+        self.observe_completed_query(query, k, stats, neighbors)
         return SearchResult(
             neighbors=neighbors,
             stats=stats,
@@ -838,6 +884,7 @@ class QueryExecutor:
         for pid, cdist in partitions:
             if adaptive_skip(cdist, heap.worst_distance(), margin):
                 skipped += 1
+                self._engine.workload.record_skip(pid)
                 continue
             start = time.perf_counter()
             entry = self._engine.load_partition(pid)
@@ -895,7 +942,10 @@ class QueryExecutor:
         if tracker is not None:
 
             def admit(item: tuple[int, float]) -> bool:
-                return not adaptive_skip(item[1], tracker.value, margin)
+                if adaptive_skip(item[1], tracker.value, margin):
+                    engine.workload.record_skip(item[0])
+                    return False
+                return True
 
         def score(state: _ScanState, entry: CachedPartition) -> None:
             try:
@@ -1097,6 +1147,7 @@ class QueryExecutor:
             kth = min(approx.worst_distance(), exact.worst_distance())
             if adaptive_skip(cdist, kth, margin):
                 skipped += 1
+                self._engine.workload.record_skip(pid)
                 continue
             start = time.perf_counter()
             entry, is_codes = self._engine.load_scan_entry(
@@ -1176,7 +1227,10 @@ class QueryExecutor:
         if tracker is not None:
 
             def admit(item: tuple[int, float]) -> bool:
-                return not adaptive_skip(item[1], tracker.value, margin)
+                if adaptive_skip(item[1], tracker.value, margin):
+                    engine.workload.record_skip(item[0])
+                    return False
+                return True
 
         def score(state: _QuantizedScanState, payload) -> None:
             entry, is_codes = payload

@@ -560,6 +560,7 @@ class QueryScheduler:
             job.state = _DONE
             self._jobs.pop(job.key, None)
             waiters = list(job.waiters)
+        self._engine.workload.record_skip(job.pid)
         for task, _ in waiters:
             with task.lock:
                 if not task.finished:
@@ -737,8 +738,13 @@ class QueryScheduler:
             stats = dataclasses.replace(stats, **task.stats_extra)
         # The scheduler's scan path bypasses the executor's entry
         # points, so it funnels through the same per-query recording —
-        # serial and served queries land in one metric family.
+        # serial and served queries land in one metric family, and the
+        # quality funnel (workload sketch + shadow recall audit) sees
+        # scheduled queries exactly like serial ones.
         executor.record_query_stats(stats)
+        executor.observe_completed_query(
+            task.query, task.k, stats, neighbors
+        )
         return SearchResult(neighbors=neighbors, stats=stats)
 
     def _execute_call(self, task, fn, extra: dict | None) -> None:

@@ -272,6 +272,22 @@ def aggregate_index_stats(
         ),
         events_logged=sum(s.events_logged for s in per_shard),
         slow_queries=sum(s.slow_queries for s in per_shard),
+        storage_dead_bytes=sum(
+            s.storage_dead_bytes for s in per_shard
+        ),
+        audited_queries=sum(s.audited_queries for s in per_shard),
+        # Count-weighted so a heavily-audited shard dominates the
+        # collection-wide recall estimate.
+        audit_recall_mean=(
+            sum(
+                s.audit_recall_mean * s.audited_queries
+                for s in per_shard
+            )
+            / sum(s.audited_queries for s in per_shard)
+            if any(s.audited_queries for s in per_shard)
+            else 0.0
+        ),
+        recall_dips=sum(s.recall_dips for s in per_shard),
     )
 
 

@@ -72,7 +72,14 @@ from repro.core.types import (
     PlanKind,
     SearchResult,
 )
-from repro.obs import MetricsSnapshot, merge_snapshots
+from repro.obs import (
+    AuditSummary,
+    MetricsSnapshot,
+    Recommendation,
+    build_recommendations,
+    combine_audit_summaries,
+    merge_snapshots,
+)
 from repro.query.filters import Predicate
 from repro.shard.manifest import ShardManifest
 from repro.shard.merge import (
@@ -1309,6 +1316,75 @@ class ShardedMicroNN:
             extra_labels=[
                 {"shard": str(i)} for i in range(len(snapshots))
             ],
+        )
+
+    def events(
+        self, limit: int | None = None, kind: str | None = None
+    ) -> tuple:
+        """The fleet's newest structured events, merged by timestamp.
+
+        Same contract as :meth:`MicroNN.events`; each shard's ring is
+        read and the union is ordered oldest-first before ``limit``
+        keeps the newest entries.
+        """
+        self._check_open()
+        with self._write_gate.shared():
+            per_shard = self._map_shards(
+                lambda shard: shard.events(kind=kind)
+            )
+        merged = sorted(
+            (event for events in per_shard for event in events),
+            key=lambda event: event.timestamp,
+        )
+        if limit is not None:
+            merged = merged[-limit:]
+        return tuple(merged)
+
+    def audit_summary(self) -> AuditSummary | None:
+        """Fleet-wide shadow-audit summary (``None`` if auditing is
+        off everywhere)."""
+        self._check_open()
+        with self._write_gate.shared():
+            summaries = [
+                s for s in self._map_shards(
+                    lambda shard: shard.audit_summary()
+                )
+                if s is not None
+            ]
+        if not summaries:
+            return None
+        return combine_audit_summaries(summaries)
+
+    def advise(self) -> tuple[Recommendation, ...]:
+        """Fleet-wide tuning recommendations.
+
+        Per-shard audit summaries fan in shard-labeled (so the
+        evidence shows which shard is dragging recall down), stats
+        aggregate, and metrics merge; the manifest's config applies to
+        every shard, so one recommendation set covers the fleet.
+        """
+        self._check_open()
+        with self._write_gate.shared():
+            per_shard = [
+                (f"shard{i}", s)
+                for i, s in enumerate(
+                    self._map_shards(
+                        lambda shard: shard.audit_summary()
+                    )
+                )
+                if s is not None
+            ]
+        summaries = [s for _, s in per_shard]
+        audit = (
+            combine_audit_summaries(summaries) if summaries else None
+        )
+        return build_recommendations(
+            self._shards[0].config,
+            self.index_stats(),
+            self.metrics(),
+            audit,
+            None,
+            per_shard_audit=tuple(per_shard),
         )
 
     def explain(

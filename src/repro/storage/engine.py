@@ -82,7 +82,7 @@ from repro.storage.codec import (
     encode_code_matrix,
     encode_vector,
 )
-from repro.obs import EventLog, MetricsRegistry
+from repro.obs import EventLog, MetricsRegistry, WorkloadMonitor
 from repro.storage.iomodel import IOAccountant
 from repro.storage.memory import MemoryTracker
 from repro.storage.quantization import Quantizer, quantizer_from_json
@@ -296,6 +296,17 @@ class StorageEngine:
             jsonl_path=config.event_log_path,
             enabled=config.telemetry_enabled,
         )
+        # Workload heatmap/sketch: same ownership story as the metrics
+        # registry — every layer above records into the engine's one
+        # monitor. The recall auditor is owned by the database facade
+        # (it needs the executor for shadow runs) and attaches itself
+        # here so the executor, scheduler, and maintenance can reach
+        # it without threading a reference through three constructors.
+        self.workload = WorkloadMonitor(
+            enabled=config.telemetry_enabled,
+            max_partitions=config.workload_heatmap_partitions,
+        )
+        self.auditor = None
         self._m_loads = self.metrics.counter(
             "micronn_partition_loads_total",
             "Partition loads by payload kind and cache temperature.",
@@ -1150,6 +1161,7 @@ class StorageEngine:
             partition_id
         ):
             self._accountant.record_quarantined()
+            self.workload.record_quarantine_hit(partition_id)
             return self._empty_entry(partition_id)
         if use_cache:
             cached = self.cache.get(partition_id)
@@ -1160,6 +1172,7 @@ class StorageEngine:
                     kind="vectors",
                     temperature="hot",
                 )
+                self.workload.record_access(partition_id, 0, hot=True)
                 return cached
             self._accountant.record_cache_miss()
         # Cold read: verify the payload against its stored CRC (stamped
@@ -1219,6 +1232,9 @@ class StorageEngine:
         )
         self._m_load_bytes.inc(
             payload.stored_bytes, backend=self._backend.kind, kind="vectors"
+        )
+        self.workload.record_access(
+            partition_id, payload.stored_bytes, hot=False
         )
         if use_cache and lease is None:
             self.cache.put(entry)
@@ -1451,6 +1467,7 @@ class StorageEngine:
             partition_id
         ):
             self._accountant.record_quarantined()
+            self.workload.record_quarantine_hit(partition_id)
             return self._empty_entry(partition_id, CODE_DTYPE)
         if use_cache:
             cached = self.codes_cache.get(partition_id)
@@ -1461,6 +1478,7 @@ class StorageEngine:
                     kind="codes",
                     temperature="hot",
                 )
+                self.workload.record_access(partition_id, 0, hot=True)
                 return cached
             self._accountant.record_cache_miss()
         try:
@@ -1518,6 +1536,9 @@ class StorageEngine:
         )
         self._m_load_bytes.inc(
             payload.stored_bytes, backend=self._backend.kind, kind="codes"
+        )
+        self.workload.record_access(
+            partition_id, payload.stored_bytes, hot=False
         )
         if use_cache and lease is None:
             self.codes_cache.put(entry)

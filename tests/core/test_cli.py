@@ -248,6 +248,108 @@ class TestShardedCli:
         assert "scan mode            sq8" in out
 
 
+class TestObservabilityCli:
+    def _built_db(self, tmp_path, npy_vectors, sharded=False):
+        npy_path, vectors = npy_vectors
+        db_path = str(
+            tmp_path / ("cli.sharded" if sharded else "cli.db")
+        )
+        create = ["create", db_path, "--dim", "8"]
+        if sharded:
+            create += ["--shards", "2"]
+        main(create)
+        main(["insert", db_path, "--vectors", str(npy_path)])
+        main(["build", db_path, "--dim", "8"])
+        return db_path, vectors
+
+    def test_trace_single_db(self, tmp_path, npy_vectors, capsys):
+        db_path, vectors = self._built_db(tmp_path, npy_vectors)
+        q_path = tmp_path / "q.npy"
+        np.save(q_path, vectors[0])
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["trace", db_path, "--query", str(q_path), "--out",
+             str(out_path)]
+        ) == 0
+        assert out_path.exists()
+
+    def test_trace_sharded_merges_per_shard_processes(
+        self, tmp_path, npy_vectors, capsys
+    ):
+        """The old carve-out returned 2 on sharded dirs; now the
+        scatter is traced per shard and merged with labelled pids."""
+        import json
+
+        db_path, vectors = self._built_db(
+            tmp_path, npy_vectors, sharded=True
+        )
+        q_path = tmp_path / "q.npy"
+        np.save(q_path, vectors[0])
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["trace", db_path, "--query", str(q_path), "--out",
+             str(out_path)]
+        ) == 0
+        doc = json.loads(out_path.read_text())
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2}
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M"
+        }
+        assert names == {
+            "shard-0000-of-0002.db",
+            "shard-0001-of-0002.db",
+        }
+        assert "2 shard(s)" in capsys.readouterr().out
+
+    def test_events_command(self, tmp_path, npy_vectors, capsys):
+        import json
+
+        db_path, _ = self._built_db(tmp_path, npy_vectors)
+        capsys.readouterr()
+        assert main(["events", db_path, "--dim", "8"]) == 0
+        assert "no events recorded" in capsys.readouterr().out
+        # Force an event, then read it back (text and JSON).
+        main(["insert", db_path, "--vectors",
+              str(npy_vectors[0])])
+        main(["maintain", db_path, "--dim", "8", "--force",
+              "incremental_flush"])
+        capsys.readouterr()
+        assert main(
+            ["events", db_path, "--dim", "8", "--kind", "slow_query",
+             "--limit", "1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["events", db_path, "--dim", "8", "--json"]) == 0
+        for line in capsys.readouterr().out.splitlines():
+            if line:
+                json.loads(line)
+
+    def test_advise_command(self, tmp_path, npy_vectors, capsys):
+        import json
+
+        db_path, _ = self._built_db(tmp_path, npy_vectors)
+        capsys.readouterr()
+        # No audits recorded -> the enable-auditing info rec, exit 0.
+        assert main(["advise", db_path, "--dim", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "tuning recommendations" in out
+        assert "audit_sample_rate" in out
+        assert main(["advise", db_path, "--dim", "8", "--json"]) == 0
+        recs = json.loads(capsys.readouterr().out)
+        assert recs[0]["knob"] == "audit_sample_rate"
+
+    def test_advise_sharded(self, tmp_path, npy_vectors, capsys):
+        db_path, _ = self._built_db(
+            tmp_path, npy_vectors, sharded=True
+        )
+        capsys.readouterr()
+        assert main(["advise", db_path]) == 0
+        assert "tuning recommendations" in capsys.readouterr().out
+
+
 class TestCliErrors:
     def test_mismatched_ids_rejected(self, tmp_path, rng, capsys):
         db_path = str(tmp_path / "cli.db")

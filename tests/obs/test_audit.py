@@ -1,0 +1,357 @@
+"""Shadow recall auditor, workload heatmaps, and the tuning advisor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MicroNN, MicroNNConfig, ShardedMicroNN
+from repro.core.errors import ConfigError
+from repro.obs import (
+    RECALL_BUCKETS,
+    MetricsRegistry,
+    RecallAuditor,
+    build_recommendations,
+    combine_audit_summaries,
+    merge_snapshots,
+)
+from repro.obs.events import EventLog
+from repro.workloads.groundtruth import compute_ground_truth
+
+
+def _audited_db(rng, n=400, dim=16, **overrides):
+    kwargs = dict(
+        dim=dim,
+        target_cluster_size=20,
+        default_nprobe=2,
+        audit_sample_rate=1.0,
+        audit_max_per_min=100_000,
+    )
+    kwargs.update(overrides)
+    config = MicroNNConfig(**kwargs)
+    db = MicroNN.open(config=config)
+    vectors = rng.normal(size=(n, dim)).astype(np.float32)
+    db.upsert_batch((f"a-{i:05d}", vectors[i]) for i in range(n))
+    db.build_index()
+    return db, vectors
+
+
+class TestSamplingDeterminism:
+    def _auditor(self, sample_rate, seed):
+        return RecallAuditor(
+            executor=None,
+            metrics=MetricsRegistry(),
+            events=EventLog(),
+            sample_rate=sample_rate,
+            max_per_min=100,
+            recall_floor=0.9,
+            window=8,
+            seed=seed,
+        )
+
+    def test_same_seed_same_decisions(self, rng):
+        queries = rng.normal(size=(200, 8)).astype(np.float32)
+        a = self._auditor(0.5, seed=7)
+        b = self._auditor(0.5, seed=7)
+        decisions_a = [a.should_sample(q) for q in queries]
+        decisions_b = [b.should_sample(q) for q in queries]
+        assert decisions_a == decisions_b
+        # The rate is honoured approximately over many queries.
+        frac = sum(decisions_a) / len(decisions_a)
+        assert 0.3 < frac < 0.7
+
+    def test_different_seed_different_population(self, rng):
+        queries = rng.normal(size=(200, 8)).astype(np.float32)
+        a = self._auditor(0.5, seed=7)
+        b = self._auditor(0.5, seed=8)
+        assert [a.should_sample(q) for q in queries] != [
+            b.should_sample(q) for q in queries
+        ]
+
+    def test_rate_one_samples_everything(self, rng):
+        a = self._auditor(1.0, seed=0)
+        assert all(
+            a.should_sample(q)
+            for q in rng.normal(size=(20, 8)).astype(np.float32)
+        )
+
+    def test_config_validates_audit_knobs(self):
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, audit_sample_rate=1.5)
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, audit_max_per_min=0)
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, audit_recall_floor=-0.1)
+        with pytest.raises(ConfigError):
+            MicroNNConfig(dim=4, audit_window=0)
+
+
+class TestShadowAudit:
+    def test_audits_every_query_and_never_itself(self, rng):
+        """sample_rate=1.0 audits exactly the live queries: the shadow
+        re-executions bypass the funnel, so they are never re-sampled
+        (no recursion) and never appear in the query metrics."""
+        db, vectors = _audited_db(rng)
+        with db:
+            for i in range(25):
+                db.search(vectors[i], k=5)
+            summary = db.audit_summary()
+            assert summary.audited_queries == 25
+            assert db._auditor.pending == 0
+            snap = db.metrics()
+            # Live queries only — 25 shadow scans left no trace here.
+            assert snap.value("micronn_queries_total") == 25.0
+            assert snap.histogram_count("micronn_audit_recall") == 25
+
+    def test_recall_matches_offline_ground_truth(self, rng):
+        """Acceptance: the audited recall histogram mean agrees with
+        workloads.groundtruth within ±0.02 on a seeded 10k workload."""
+        db, vectors = _audited_db(rng, n=10_000, dim=16)
+        with db:
+            k = 10
+            queries = vectors[:100]
+            for q in queries:
+                db.search(q, k=k)
+            summary = db.audit_summary()
+            assert summary.audited_queries == 100
+
+            ids = [f"a-{i:05d}" for i in range(len(vectors))]
+            truth = compute_ground_truth(ids, vectors, queries, k, "l2")
+            offline = []
+            for q, expected in zip(queries, truth):
+                got = db.search(q, k=k).asset_ids
+                offline.append(
+                    len(set(got) & set(expected)) / len(expected)
+                )
+            offline_mean = sum(offline) / len(offline)
+
+            hist = db.metrics().histogram("micronn_audit_recall")
+            assert hist is not None and hist.count >= 100
+            assert abs(hist.sum / hist.count - offline_mean) <= 0.02
+            assert abs(summary.mean_recall - offline_mean) <= 0.02
+
+    def test_exact_plans_are_not_audited(self, rng):
+        db, vectors = _audited_db(rng)
+        with db:
+            for i in range(5):
+                db.search(vectors[i], k=3, exact=True)
+            assert db.audit_summary().audited_queries == 0
+
+    def test_recall_dip_fires_on_induced_regression(self, rng):
+        db, vectors = _audited_db(
+            rng, audit_window=8, audit_recall_floor=0.95
+        )
+        with db:
+            # nprobe=1 on a 20-partition index: recall collapses.
+            for i in range(40):
+                db.search(vectors[i], k=10, nprobe=1)
+            summary = db.audit_summary()
+            assert summary.recall_dips >= 1
+            dips = db.events(kind="recall_dip")
+            assert dips
+            assert dips[-1].get("floor") == 0.95
+            assert dips[-1].get("mean_recall") < 0.95
+            assert dips[-1].get("nprobe") == 1
+            stats = db.index_stats()
+            assert stats.recall_dips == summary.recall_dips
+            assert stats.audited_queries == 40
+            assert (
+                db.metrics().value("micronn_audit_recall_dips_total")
+                == summary.recall_dips
+            )
+
+    def test_rate_cap_drops_and_counts(self, rng):
+        db, vectors = _audited_db(rng, audit_max_per_min=3)
+        with db:
+            for i in range(10):
+                db.search(vectors[i], k=5)
+            summary = db.audit_summary()
+            assert summary.audited_queries == 3
+            assert summary.dropped == 7
+            assert db.metrics().value(
+                "micronn_audit_dropped_total", {"reason": "rate_capped"}
+            ) == 7.0
+
+    def test_scheduler_path_feeds_the_same_funnel(self, rng):
+        db, vectors = _audited_db(rng)
+        with db:
+            futures = [
+                db.search_async(vectors[i], k=5) for i in range(12)
+            ]
+            for f in futures:
+                f.result()
+            assert db.audit_summary().audited_queries == 12
+
+    def test_audit_disabled_by_default(self, rng):
+        with MicroNN.open(config=MicroNNConfig(dim=8)) as db:
+            vectors = rng.normal(size=(50, 8)).astype(np.float32)
+            db.upsert_batch((f"d-{i}", vectors[i]) for i in range(50))
+            db.build_index()
+            db.search(vectors[0], k=3)
+            assert db.audit_summary() is None
+            assert db.index_stats().audited_queries == 0
+
+
+class TestWorkloadMonitor:
+    def test_snapshot_tracks_heat_and_sketch(self, rng):
+        db, vectors = _audited_db(rng)
+        with db:
+            for i in range(20):
+                db.search(vectors[i], k=5)
+            snap = db.workload()
+            assert snap.sketch.queries == 20
+            assert snap.sketch.median_k == 5
+            assert snap.heatmap
+            assert snap.heatmap[0].scans >= 1
+            # The heatmap is ordered hottest-first and at least one
+            # real partition paid cold-read bytes.
+            assert any(h.bytes_read > 0 for h in snap.heatmap)
+
+    def test_heatmap_stays_bounded(self, rng):
+        from repro.obs import WorkloadMonitor
+
+        mon = WorkloadMonitor(enabled=True, max_partitions=8)
+        for pid in range(100):
+            mon.record_access(pid, 100, hot=False)
+        assert len(mon.snapshot(heat_limit=1000).heatmap) <= 8
+
+
+class TestMergedAuditFamilies:
+    def test_merge_snapshots_sums_audit_histograms_bucketwise(self):
+        """Satellite: per-shard micronn_audit_recall histograms merge
+        bucket-wise with count/sum reconciliation."""
+        regs = [MetricsRegistry(), MetricsRegistry()]
+        observations = ([0.4, 0.9, 1.0], [0.6, 1.0])
+        for reg, values in zip(regs, observations):
+            hist = reg.histogram(
+                "micronn_audit_recall",
+                "recall",
+                buckets=RECALL_BUCKETS,
+                labels=("plan", "scan_mode", "nprobe"),
+            )
+            for value in values:
+                hist.observe(
+                    value, plan="ann", scan_mode="float32", nprobe="2"
+                )
+        merged = merge_snapshots([reg.snapshot() for reg in regs])
+        value = merged.histogram("micronn_audit_recall")
+        assert value.count == 5
+        assert value.sum == pytest.approx(3.9)
+        per_shard = [
+            reg.snapshot().histogram("micronn_audit_recall")
+            for reg in regs
+        ]
+        for i in range(len(value.counts)):
+            assert value.counts[i] == sum(
+                h.counts[i] for h in per_shard
+            )
+        # Cumulative-bucket invariant survives the merge.
+        assert list(value.counts) == sorted(value.counts)
+        assert value.counts[-1] == value.count
+
+    def test_sharded_audit_fan_in(self, rng):
+        with ShardedMicroNN.open(
+            dim=8,
+            shards=2,
+            target_cluster_size=10,
+            default_nprobe=2,
+            audit_sample_rate=1.0,
+            audit_max_per_min=100_000,
+        ) as db:
+            vectors = rng.normal(size=(160, 8)).astype(np.float32)
+            db.upsert_batch(
+                (f"s-{i:03d}", vectors[i]) for i in range(160)
+            )
+            db.build_index()
+            for i in range(10):
+                db.search(vectors[i], k=5)
+            summary = db.audit_summary()
+            # One scatter = one audited query per shard.
+            assert summary.audited_queries == 20
+            stats = db.index_stats()
+            assert stats.audited_queries == 20
+            assert stats.audit_recall_mean == pytest.approx(
+                summary.mean_recall
+            )
+            snap = db.metrics()
+            assert snap.histogram_count("micronn_audit_recall") == 20
+            assert (
+                snap.histogram_count(
+                    "micronn_audit_recall", {"shard": "0"}
+                )
+                == 10
+            )
+
+
+class TestAdvisor:
+    def test_low_recall_recommends_raising_nprobe(self, rng):
+        db, vectors = _audited_db(rng, audit_recall_floor=0.95)
+        with db:
+            for i in range(20):
+                db.search(vectors[i], k=10, nprobe=1)
+            recs = db.advise()
+            by_knob = {rec.knob: rec for rec in recs}
+            rec = by_knob["default_nprobe"]
+            assert rec.action == "raise"
+            assert int(rec.suggested) > int(rec.current)
+            assert rec.severity == "warn"
+            assert "audited recall@k mean" in rec.evidence
+
+    def test_no_audits_recommends_enabling_auditor(self, rng):
+        with MicroNN.open(config=MicroNNConfig(dim=8)) as db:
+            vectors = rng.normal(size=(40, 8)).astype(np.float32)
+            db.upsert_batch((f"e-{i}", vectors[i]) for i in range(40))
+            db.build_index()
+            recs = db.advise()
+            assert recs[0].knob == "audit_sample_rate"
+            assert recs[0].action == "enable"
+
+    def test_healthy_recall_recommends_keep(self, rng):
+        db, vectors = _audited_db(rng)
+        with db:
+            # Exhaustive probing: recall 1.0 by construction.
+            for i in range(20):
+                db.search(vectors[i], k=5, nprobe=1000)
+            recs = db.advise()
+            assert any(rec.action == "keep" for rec in recs)
+            assert not any(rec.severity == "warn" for rec in recs)
+
+    def test_sharded_advise_labels_shards(self, rng):
+        with ShardedMicroNN.open(
+            dim=8,
+            shards=2,
+            target_cluster_size=10,
+            default_nprobe=1,
+            audit_sample_rate=1.0,
+            audit_max_per_min=100_000,
+        ) as db:
+            vectors = rng.normal(size=(160, 8)).astype(np.float32)
+            db.upsert_batch(
+                (f"s-{i:03d}", vectors[i]) for i in range(160)
+            )
+            db.build_index()
+            for i in range(15):
+                db.search(vectors[i], k=10, nprobe=1)
+            recs = db.advise()
+            rec = next(r for r in recs if r.knob == "default_nprobe")
+            assert "shard0=" in rec.evidence
+            assert "shard1=" in rec.evidence
+
+    def test_combine_audit_summaries_weights_by_count(self, rng):
+        db, vectors = _audited_db(rng)
+        with db:
+            for i in range(10):
+                db.search(vectors[i], k=5)
+            one = db.audit_summary()
+        combined = combine_audit_summaries([one, one])
+        assert combined.audited_queries == 2 * one.audited_queries
+        assert combined.mean_recall == pytest.approx(one.mean_recall)
+
+    def test_build_recommendations_is_pure_on_none_inputs(self, rng):
+        db, _ = _audited_db(rng)
+        with db:
+            recs = build_recommendations(
+                db.config, db.index_stats(), db.metrics(), None, None
+            )
+            assert recs
+            assert recs[0].knob == "audit_sample_rate"
